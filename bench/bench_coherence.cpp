@@ -1,0 +1,71 @@
+// Ablation — intra-node coherence strategy (Section 4.1: the template ships
+// snoopy; "other strategies, like directory schemes, can be added with
+// relative ease").
+//
+// Sweep the CPU count of one shared-memory node under a sharing-heavy
+// synthetic load and compare snoopy vs directory coherence.
+//
+// Shape to hold: with few sharers the broadcast bus is cheap and the
+// directory's lookup latency is pure overhead; as CPUs (and invalidation
+// fan-out) grow, the directory's per-sharer point-to-point cost rises while
+// its non-broadcast misses keep the bus freer — the classic tradeoff whose
+// crossover the workbench lets a designer locate for *their* parameters.
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/stochastic.hpp"
+#include "stats/stats.hpp"
+
+using namespace merm;
+
+int main() {
+  std::cout << "# ablation: snoopy vs directory coherence "
+               "(shared-memory node)\n\n";
+
+  stats::Table t({"cpus", "snoopy time", "snoopy bus txns", "directory time",
+                  "directory bus txns", "dir/snoopy time"});
+
+  for (const std::uint32_t cpus : {2u, 4u, 8u}) {
+    struct Outcome {
+      sim::Tick time;
+      std::uint64_t bus_txns;
+    };
+    auto run = [cpus](machine::CoherenceKind kind) {
+      machine::MachineParams arch = machine::presets::powerpc601_node();
+      arch.node.cpu_count = cpus;
+      arch.node.memory.coherence = kind;
+      core::Workbench wb(arch);
+      gen::StochasticDescription d;
+      d.instructions_per_round = 6000;
+      d.rounds = 2;
+      d.comm.pattern = gen::CommPattern::kNone;
+      // Hot shared working set: plenty of cross-CPU sharing.
+      d.memory.data_working_set = 8 * 1024;
+      d.mix.store = 0.2;
+      d.seed = 3;
+      auto w = gen::make_stochastic_workload(d, 1, cpus);
+      const auto r = wb.run_detailed(w);
+      if (!r.completed) throw std::runtime_error("blocked");
+      return Outcome{
+          r.simulated_time,
+          wb.machine().compute_node(0).memory().bus().transactions.value()};
+    };
+
+    const Outcome snoopy = run(machine::CoherenceKind::kSnoopy);
+    const Outcome directory = run(machine::CoherenceKind::kDirectory);
+    t.add_row({std::to_string(cpus), sim::format_time(snoopy.time),
+               std::to_string(snoopy.bus_txns),
+               sim::format_time(directory.time),
+               std::to_string(directory.bus_txns),
+               stats::Table::fmt(static_cast<double>(directory.time) /
+                                     static_cast<double>(snoopy.time),
+                                 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape: the directory issues more (smaller) transactions "
+               "and pays its\nlookup on every miss; on a single shared bus "
+               "snooping stays cheaper —\nthe directory's win (no broadcast "
+               "medium needed) shows on switched fabrics,\nwhich is exactly "
+               "why the parameterization matters.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E-F2 — the hybrid model (Fig. 2) quantified: accuracy retained and events
+// saved when moving from detailed simulation to the derived task-level
+// model, across workloads.
+//
+// Shape to hold: task-level replay reproduces detailed execution time within
+// a few percent on the same machine while using 1-2 orders of magnitude
+// fewer kernel events — the quantitative basis for the paper's two-level
+// design.
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "stats/stats.hpp"
+
+using namespace merm;
+
+int main() {
+  std::cout << "# E-F2: hybrid model — detailed vs derived task-level\n\n";
+
+  struct Case {
+    const char* name;
+    std::uint32_t nodes;
+    gen::AppFn app;
+  };
+  const Case cases[] = {
+      {"stencil 64x64x4", 4,
+       [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+         gen::stencil_spmd(a, s, n, gen::StencilParams{64, 4});
+       }},
+      {"matmul 32", 4,
+       [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+         gen::matmul_spmd(a, s, n, gen::MatmulParams{32});
+       }},
+      {"allreduce 1024x4", 4,
+       [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+         gen::allreduce_spmd(a, s, n, gen::AllReduceParams{1024, 4});
+       }},
+      {"master-worker", 4,
+       [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+         gen::master_worker(a, s, n,
+                            gen::MasterWorkerParams{24, 2048, 1024, 256});
+       }},
+  };
+
+  stats::Table t({"workload", "detailed time", "task-level time", "error",
+                  "event ratio", "host speedup"});
+  bool all_hold = true;
+  for (const Case& c : cases) {
+    machine::MachineParams arch = machine::presets::t805_multicomputer(2, 2);
+    core::Workbench detailed(arch);
+    auto w = gen::make_offline_workload(c.nodes, c.app);
+    std::vector<node::TaskRecorder> recorders;
+    const auto rd = detailed.run_detailed(w, sim::kTickMax, &recorders);
+    if (!rd.completed) return 1;
+
+    core::Workbench task(arch);
+    trace::Workload tasks;
+    for (const auto& rec : recorders) {
+      tasks.sources.push_back(
+          std::make_unique<trace::VectorSource>(rec.task_trace()));
+    }
+    const auto rt = task.run_task_level(tasks);
+    if (!rt.completed) return 1;
+
+    const double err = std::abs(static_cast<double>(rt.simulated_time) -
+                                static_cast<double>(rd.simulated_time)) /
+                       static_cast<double>(rd.simulated_time);
+    const double event_ratio = static_cast<double>(rd.events_processed) /
+                               static_cast<double>(rt.events_processed);
+    all_hold = all_hold && err < 0.10 && event_ratio > 10;
+    t.add_row({c.name, sim::format_time(rd.simulated_time),
+               sim::format_time(rt.simulated_time),
+               stats::Table::fmt(100 * err, 2) + "%",
+               stats::Table::fmt(event_ratio, 0) + "x",
+               stats::Table::fmt(rd.host_seconds /
+                                     std::max(rt.host_seconds, 1e-6),
+                                 0) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: <10% error at >10x fewer events across "
+               "workloads — "
+            << (all_hold ? "HOLDS" : "FAILS") << "\n";
+  return all_hold ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Kernel microbenchmarks (google-benchmark): the raw costs that determine
+// the slowdown figures of Section 6 — event throughput of the Pearl-
+// replacement kernel, per-operation cost of the CPU+memory models, channel
+// hand-offs, and trace-generation rates.
+#include <benchmark/benchmark.h>
+
+#include "cpu/cpu.hpp"
+#include "gen/apps.hpp"
+#include "gen/stochastic.hpp"
+#include "memory/hierarchy.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+using namespace merm;
+
+namespace {
+
+// Pure event-queue throughput: schedule/execute trivial callbacks.
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<sim::Tick>(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+// Coroutine process switching: two processes ping-ponging delays.
+void BM_ProcessSwitching(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int p = 0; p < 2; ++p) {
+      sim.spawn([](sim::Simulator& s, int count) -> sim::Process {
+        for (int i = 0; i < count; ++i) {
+          co_await s.delay(10);
+        }
+      }(sim, n));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ProcessSwitching)->Arg(1 << 14);
+
+// Channel rendezvous hand-off rate.
+void BM_ChannelRendezvous(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> ch;
+    const int n = static_cast<int>(state.range(0));
+    sim.spawn([](sim::Channel<int>& c, int count) -> sim::Process {
+      for (int i = 0; i < count; ++i) co_await c.send(i);
+    }(ch, n));
+    sim.spawn([](sim::Channel<int>& c, int count) -> sim::Process {
+      for (int i = 0; i < count; ++i) (void)co_await c.receive();
+    }(ch, n));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelRendezvous)->Arg(1 << 14);
+
+// The detailed model's inner loop: cost per simulated operation, with a
+// warm and a thrashing cache.
+void BM_OperationExecution(benchmark::State& state) {
+  const bool thrash = state.range(0) != 0;
+  machine::NodeParams node = machine::presets::powerpc601_node().node;
+  sim::Simulator sim;
+  memory::MemoryHierarchy mem(sim, node);
+  cpu::Cpu cpu(sim, node.cpu, mem, 0);
+  std::vector<trace::Operation> ops;
+  const std::uint64_t span = thrash ? (8u << 20) : (8u << 10);
+  for (int i = 0; i < 4096; ++i) {
+    ops.push_back(trace::Operation::ifetch(0x1000 + (i % 256) * 4));
+    ops.push_back(trace::Operation::load(
+        trace::DataType::kDouble,
+        0x100000 + (static_cast<std::uint64_t>(i) * 2987) % span));
+    ops.push_back(trace::Operation::add(trace::DataType::kDouble));
+  }
+  for (auto _ : state) {
+    sim.spawn([](cpu::Cpu& c,
+                 const std::vector<trace::Operation>& trace_ops)
+                  -> sim::Process {
+      for (const auto& op : trace_ops) {
+        co_await c.execute(op);
+      }
+    }(cpu, ops));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ops.size()));
+  state.SetLabel(thrash ? "thrashing" : "cache-resident");
+}
+BENCHMARK(BM_OperationExecution)->Arg(0)->Arg(1);
+
+// Trace generation rates: stochastic vs annotated (offline).
+void BM_StochasticGeneration(benchmark::State& state) {
+  gen::StochasticDescription d;
+  d.instructions_per_round = 50'000;
+  d.rounds = 1;
+  d.comm.pattern = gen::CommPattern::kNone;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    gen::StochasticSource src(d, 0, 1);
+    n = 0;
+    while (src.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StochasticGeneration);
+
+void BM_AnnotatedGeneration(benchmark::State& state) {
+  std::size_t n = 0;
+  for (auto _ : state) {
+    gen::VarTable vars;
+    gen::VectorSink sink;
+    gen::Annotator a(vars, sink);
+    gen::compute_kernel(a, 0, 1, gen::ComputeKernelParams{8192, 1, 1});
+    n = sink.ops().size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AnnotatedGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// E-S6b — Section 6, task-level simulation performance.
+//
+// Paper: "simulation at this level of abstraction results in a typical
+// slowdown of between 0.5 and 4 per processor", strongly dependent on the
+// computation/communication ratio — "an entire multicomputer can be
+// simulated with only a minor slowdown".
+//
+// We sweep the comm:comp ratio of a synthetic task workload on a 16-node
+// T805 mesh and report slowdown per simulated processor.  Shape to hold:
+// values around O(1), decreasing as computation (simulated almost for free
+// at task level) starts to dominate, and always orders of magnitude below
+// detailed mode.
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/stochastic.hpp"
+#include "stats/stats.hpp"
+
+using namespace merm;
+
+int main() {
+  std::cout << "# E-S6b: task-level slowdown per simulated processor\n";
+  std::cout << "# paper: typical 0.5 - 4 per processor\n\n";
+
+  const auto arch = machine::presets::t805_multicomputer(4, 4);
+  const std::uint32_t nodes = arch.node_count();
+
+  stats::Table table({"mean compute/round", "msg bytes", "messages",
+                      "sim time", "host s", "slowdown/proc"});
+
+  double min_slowdown = 1e30;
+  double max_slowdown = 0;
+  struct Point {
+    sim::Tick compute;
+    std::uint64_t bytes;
+  };
+  // From communication-bound to computation-bound.
+  const Point points[] = {
+      {50 * sim::kTicksPerMicrosecond, 16 * 1024},
+      {200 * sim::kTicksPerMicrosecond, 16 * 1024},
+      {1000 * sim::kTicksPerMicrosecond, 8 * 1024},
+      {5000 * sim::kTicksPerMicrosecond, 4 * 1024},
+      {20000 * sim::kTicksPerMicrosecond, 1024},
+  };
+  for (const Point& p : points) {
+    gen::StochasticDescription d;
+    d.task_level = true;
+    d.rounds = 60;
+    d.mean_task_ticks = p.compute;
+    d.comm.pattern = gen::CommPattern::kRandomPerm;
+    d.comm.message_bytes = p.bytes;
+    d.seed = 5;
+
+    core::Workbench wb(arch);
+    auto w = gen::make_stochastic_task_workload(d, nodes);
+    const core::RunResult r = wb.run_task_level(w);
+    if (!r.completed) {
+      std::cerr << "workload deadlocked\n";
+      return 1;
+    }
+    const double slowdown = r.slowdown_per_processor();
+    min_slowdown = std::min(min_slowdown, slowdown);
+    max_slowdown = std::max(max_slowdown, slowdown);
+    table.add_row({sim::format_time(p.compute), std::to_string(p.bytes),
+                   std::to_string(r.messages),
+                   sim::format_time(r.simulated_time),
+                   stats::Table::fmt(r.host_seconds, 4),
+                   stats::Table::fmt(slowdown, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nslowdown/proc range: " << stats::Table::fmt(min_slowdown, 3)
+            << " - " << stats::Table::fmt(max_slowdown, 3)
+            << "  (paper: 0.5 - 4)\n";
+  std::cout << "shape check: O(1) slowdown, decreasing as computation "
+               "dominates — "
+            << (max_slowdown < 50 && min_slowdown < 1.0 ? "HOLDS" : "FAILS")
+            << "\n";
+  return (max_slowdown < 50 && min_slowdown < 1.0) ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+; Communication-heavy all-to-all with exponential message sizes.
+instructions_per_round = 4000
+rounds = 4
+seed = 21
+[mix]
+fp_fraction = 0.6
+[comm]
+pattern = all_to_all
+message_bytes = 2048
+exponential_sizes = true

@@ -1,0 +1,28 @@
+instructions_per_round = 10000
+rounds = 4
+seed = 1
+task_level = false
+mean_task_us = 100
+
+[mix]
+load = 0.25
+store = 0.1
+load_const = 0.05
+add = 0.3
+sub = 0.1
+mul = 0.15
+div = 0.05
+fp_fraction = 0.3
+branch_fraction = 0.1
+
+[memory]
+data_working_set = 65536
+spatial_locality = 0.7
+code_working_set = 4096
+
+[comm]
+pattern = ring
+stride = 1
+message_bytes = 1024
+exponential_sizes = false
+synchronous = false

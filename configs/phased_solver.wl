@@ -1,0 +1,17 @@
+; A two-phase iterative solver: an FP-heavy compute phase with neighbor
+; exchange, then a memory-bound assembly phase ending in a gather.
+rounds = 4
+seed = 12
+[phase.0]
+instructions = 15000
+fp_fraction = 0.8
+data_working_set = 32768
+pattern = ring
+message_bytes = 16384
+[phase.1]
+instructions = 5000
+fp_fraction = 0.1
+data_working_set = 524288
+spatial_locality = 0.4
+pattern = gather
+message_bytes = 4096

@@ -1,0 +1,7 @@
+; Coarse-grained compute with a ring exchange each round.
+instructions_per_round = 20000
+rounds = 6
+seed = 7
+[comm]
+pattern = ring
+message_bytes = 8192

@@ -1,0 +1,8 @@
+; Task-level fast-prototyping load: random permutation traffic.
+task_level = true
+rounds = 40
+mean_task_us = 500
+seed = 3
+[comm]
+pattern = random_perm
+message_bytes = 32768

@@ -1,0 +1,65 @@
+// Architecture X vs Architecture Y (Fig. 1): the comparison driver the
+// workbench exists for.
+//
+// Question a designer might ask in 1997: for a ring-rotation parallel
+// matrix multiply, how much does upgrading a transputer mesh to a
+// wormhole-routed RISC torus buy, and where does the time go?
+//
+//   $ ./examples/design_space
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "stats/stats.hpp"
+
+int main() {
+  using namespace merm;
+
+  const gen::AppFn app = [](gen::Annotator& a, trace::NodeId self,
+                            std::uint32_t nodes) {
+    gen::matmul_spmd(a, self, nodes, gen::MatmulParams{32});
+  };
+  const auto workload_for = [&](const machine::MachineParams& params) {
+    return gen::make_offline_workload(params.node_count(), app);
+  };
+
+  stats::Table table({"architecture", "nodes", "sim time", "messages",
+                      "net mean latency", "cpu busy frac"});
+
+  for (const machine::MachineParams& arch :
+       {machine::presets::t805_multicomputer(2, 2),
+        machine::presets::ipsc860_hypercube(4),
+        machine::presets::generic_risc(2, 2)}) {
+    core::Workbench wb(arch);
+    auto w = workload_for(arch);
+    const core::RunResult r = wb.run_detailed(w);
+    if (!r.completed) {
+      std::cerr << "workload did not complete on " << arch.name << "\n";
+      return 1;
+    }
+    double busy = 0.0;
+    for (std::uint32_t n = 0; n < wb.machine().node_count(); ++n) {
+      busy += static_cast<double>(
+                  wb.machine().compute_node(n).cpu(0).busy_ticks()) /
+              static_cast<double>(r.simulated_time);
+    }
+    busy /= wb.machine().node_count();
+    table.add_row(
+        {arch.name, std::to_string(arch.node_count()),
+         sim::format_time(r.simulated_time), std::to_string(r.messages),
+         sim::format_time(static_cast<sim::Tick>(
+             wb.machine().network().message_latency_ticks.mean())),
+         stats::Table::fmt(busy, 3)});
+  }
+  table.print(std::cout);
+
+  // The one-call comparison API gives the headline number directly.
+  const auto cmp =
+      core::Workbench::compare(machine::presets::t805_multicomputer(2, 2),
+                               machine::presets::generic_risc(2, 2),
+                               workload_for);
+  std::cout << "\ngeneric-risc runs this workload "
+            << stats::Table::fmt(1.0 / cmp.speedup_x_over_y(), 1)
+            << "x faster than t805 (simulated time).\n";
+  return 0;
+}

@@ -1,0 +1,173 @@
+// The workbench as a command-line tool: machine descriptions and workload
+// descriptions are files; evaluating an architecture is a shell command.
+//
+//   $ ./examples/mermaid_cli presets
+//   $ ./examples/mermaid_cli describe preset:t805:4x4 > t805.cfg
+//   $ ./examples/mermaid_cli describe-workload > ring.wl
+//   $ ./examples/mermaid_cli run --machine t805.cfg --workload ring.wl
+//   $ ./examples/mermaid_cli run --machine preset:risc:2x2 ...
+//       ... --workload ring.wl --level task --stats out.csv
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "gen/workload_config.hpp"
+#include "machine/config.hpp"
+
+namespace {
+
+using namespace merm;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  mermaid_cli presets\n"
+      << "  mermaid_cli describe <machine>            # print full config\n"
+      << "  mermaid_cli describe-workload             # print defaults\n"
+      << "  mermaid_cli run --machine <machine> --workload <file>\n"
+      << "              [--level detailed|task] [--stats <csv>]\n"
+      << "              [--progress <us>]\n"
+      << "\n<machine> is a config file path or "
+      << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n";
+  return 2;
+}
+
+machine::MachineParams resolve_machine(const std::string& spec) {
+  if (spec.rfind("preset:", 0) == 0) {
+    std::string rest = spec.substr(7);
+    std::string name = rest;
+    std::uint32_t w = 4;
+    std::uint32_t h = 4;
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      name = rest.substr(0, colon);
+      const std::string dims = rest.substr(colon + 1);
+      const auto x = dims.find('x');
+      if (x == std::string::npos) {
+        throw std::runtime_error("bad preset dims '" + dims + "'");
+      }
+      w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
+      h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
+    }
+    if (name == "t805") return machine::presets::t805_multicomputer(w, h);
+    if (name == "ppc601") return machine::presets::powerpc601_node();
+    if (name == "risc") return machine::presets::generic_risc(w, h);
+    if (name == "ipsc860") {
+      return machine::presets::ipsc860_hypercube(w * h);
+    }
+    throw std::runtime_error("unknown preset '" + name + "'");
+  }
+  std::ifstream in(spec);
+  if (!in) throw std::runtime_error("cannot open machine config " + spec);
+  return machine::parse_config(in);
+}
+
+int cmd_presets() {
+  std::cout << "preset:t805[:WxH]   20 MHz T805 transputer mesh, "
+               "store-and-forward\n";
+  std::cout << "preset:ppc601       66 MHz PowerPC 601 node, 2 cache levels\n";
+  std::cout << "preset:risc[:WxH]   200 MHz generic RISC torus, wormhole\n";
+  std::cout << "preset:ipsc860[:WxH] 40 MHz i860 hypercube (WxH nodes), "
+               "cut-through\n";
+  return 0;
+}
+
+int cmd_describe(const std::string& spec) {
+  machine::write_config(std::cout, resolve_machine(spec));
+  return 0;
+}
+
+int cmd_describe_workload() {
+  gen::StochasticDescription d;
+  gen::write_workload(std::cout, d);
+  return 0;
+}
+
+struct RunArgs {
+  std::string machine;
+  std::string workload;
+  std::string level = "detailed";
+  std::string stats_out;
+  std::uint64_t progress_us = 0;
+};
+
+int cmd_run(const RunArgs& args) {
+  const machine::MachineParams params = resolve_machine(args.machine);
+  std::ifstream wl(args.workload);
+  if (!wl) {
+    std::cerr << "cannot open workload " << args.workload << "\n";
+    return 1;
+  }
+  gen::StochasticDescription desc = gen::parse_workload(wl);
+
+  core::Workbench wb(params);
+  wb.register_all_stats();
+  if (args.progress_us > 0) {
+    wb.enable_progress(args.progress_us * sim::kTicksPerMicrosecond,
+                       &std::cerr);
+  }
+
+  core::RunResult result;
+  if (args.level == "task") {
+    auto w = gen::make_stochastic_task_workload(desc, params.node_count());
+    result = wb.run_task_level(w);
+  } else if (args.level == "detailed") {
+    auto w = gen::make_stochastic_workload(desc, params.node_count(),
+                                           params.node.cpu_count);
+    result = wb.run_detailed(w);
+  } else {
+    std::cerr << "unknown level '" << args.level << "'\n";
+    return 2;
+  }
+  result.print(std::cout);
+
+  if (!args.stats_out.empty()) {
+    std::ofstream out(args.stats_out);
+    wb.stats().write_csv(out);
+    std::cout << "stats written to " << args.stats_out << "\n";
+  }
+  return result.completed ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 1 && args[0] == "presets") return cmd_presets();
+    if (args.size() == 2 && args[0] == "describe") return cmd_describe(args[1]);
+    if (args.size() == 1 && args[0] == "describe-workload") {
+      return cmd_describe_workload();
+    }
+    if (!args.empty() && args[0] == "run") {
+      RunArgs run;
+      for (std::size_t i = 1; i + 1 < args.size(); i += 2) {
+        const std::string& key = args[i];
+        const std::string& value = args[i + 1];
+        if (key == "--machine") {
+          run.machine = value;
+        } else if (key == "--workload") {
+          run.workload = value;
+        } else if (key == "--level") {
+          run.level = value;
+        } else if (key == "--stats") {
+          run.stats_out = value;
+        } else if (key == "--progress") {
+          run.progress_us = std::stoull(value);
+        } else {
+          std::cerr << "unknown flag " << key << "\n";
+          return usage();
+        }
+      }
+      if (run.machine.empty() || run.workload.empty()) return usage();
+      return cmd_run(run);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

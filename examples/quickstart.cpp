@@ -1,0 +1,71 @@
+// Quickstart: simulate a 4x4 T805 transputer multicomputer running an
+// annotated SPMD stencil, at both abstraction levels.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the canonical workbench workflow:
+//   1. pick an architecture (a preset; see examples/cache_explorer.cpp for
+//      config-file parameterization),
+//   2. describe the application (an annotated kernel),
+//   3. run the detailed simulation and read the results,
+//   4. derive the task-level workload from the run and replay it — the
+//      fast-prototyping path.
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+
+int main() {
+  using namespace merm;
+
+  // 1. Architecture: 16 transputers on a 4x4 store-and-forward mesh.
+  const machine::MachineParams arch = machine::presets::t805_multicomputer(4, 4);
+  std::cout << "Machine: " << arch.name << ", " << arch.node_count()
+            << " nodes\n\n";
+
+  // 2. Application: a 32x32 Jacobi stencil, 4 iterations, strip-partitioned
+  //    over all 16 nodes with halo exchanges.
+  const gen::AppFn app = [](gen::Annotator& a, trace::NodeId self,
+                            std::uint32_t nodes) {
+    gen::stencil_spmd(a, self, nodes, gen::StencilParams{32, 4});
+  };
+
+  // 3. Detailed (operation-level) simulation.
+  core::Workbench detailed(arch);
+  auto workload = gen::make_offline_workload(arch.node_count(), app);
+  std::vector<node::TaskRecorder> recorders;
+  const core::RunResult r1 =
+      detailed.run_detailed(workload, sim::kTickMax, &recorders);
+  r1.print(std::cout);
+
+  std::cout << "\nNetwork: " << detailed.machine().network().messages.value()
+            << " messages, mean latency "
+            << sim::format_time(static_cast<sim::Tick>(
+                   detailed.machine().network().message_latency_ticks.mean()))
+            << ", mean hops "
+            << detailed.machine().network().message_hops.mean() << "\n\n";
+
+  // 4. Fast prototyping: replay the derived task-level workload.
+  core::Workbench task_level(arch);
+  trace::Workload tasks;
+  for (const auto& rec : recorders) {
+    tasks.sources.push_back(
+        std::make_unique<trace::VectorSource>(rec.task_trace()));
+  }
+  const core::RunResult r2 = task_level.run_task_level(tasks);
+  r2.print(std::cout);
+
+  std::cout << "\nTask-level replay reproduced the detailed execution time "
+               "within "
+            << stats::Table::fmt(
+                   100.0 *
+                       std::abs(static_cast<double>(r2.simulated_time) -
+                                static_cast<double>(r1.simulated_time)) /
+                       static_cast<double>(r1.simulated_time),
+                   2)
+            << "% using "
+            << (r1.events_processed / std::max<std::uint64_t>(
+                                          1, r2.events_processed))
+            << "x fewer simulator events.\n";
+  return 0;
+}

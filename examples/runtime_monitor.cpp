@@ -1,0 +1,54 @@
+// Run-time visualization (Fig. 1's "visualization of simulation data ...
+// at run-time and post-mortem"): while a 16-node stencil runs, the monitor
+// samples network and cache counters every simulated 200 us, echoes
+// progress lines, and leaves plot-ready CSVs behind.
+//
+//   $ ./examples/runtime_monitor
+//   $ column -s, -t runtime_counters.csv | head
+#include <fstream>
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "stats/stats.hpp"
+
+int main() {
+  using namespace merm;
+
+  core::Workbench wb(machine::presets::t805_multicomputer(4, 4));
+  wb.register_all_stats();
+
+  // Sample the counters a designer watches live: message and byte flow,
+  // plus one node's memory traffic as a proxy for compute progress.
+  stats::CounterSampler sampler(
+      wb.stats(), {"t805.net.messages", "t805.net.packets", "t805.net.bytes",
+                   "t805.node0.mem.accesses", "t805.node0.comm.recvs"});
+  wb.enable_progress(200 * sim::kTicksPerMicrosecond, &std::cout);
+  wb.attach_sampler(&sampler);
+
+  auto workload = gen::make_offline_workload(
+      16, [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        gen::stencil_spmd(a, self, nodes, gen::StencilParams{64, 6});
+      });
+  const core::RunResult r = wb.run_detailed(workload);
+  std::cout << "\n";
+  r.print(std::cout);
+
+  {
+    std::ofstream csv("runtime_counters.csv");
+    sampler.write_csv(csv);
+    std::ofstream rates("runtime_rates.csv");
+    sampler.write_csv_deltas(rates);
+    std::ofstream all("final_stats.csv");
+    wb.stats().write_csv(all);
+  }
+  std::cout << "\nwrote runtime_counters.csv (cumulative), runtime_rates.csv "
+               "(per-interval)\nand final_stats.csv ("
+            << wb.stats().counter_values().size()
+            << " metrics) — gnuplot/pandas-ready.\n";
+
+  // Post-mortem: a latency histogram straight to the terminal.
+  std::cout << "\nmessage latency distribution (ns):\n";
+  wb.machine().network().latency_histogram.print(std::cout, "latency");
+  return r.completed ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Fast prototyping with the task-level communication model: sweep topology
+// and switching strategy for a halo-exchange workload *before* committing to
+// a detailed node design.
+//
+// This is the workflow Section 3.2 sketches: "if there is only the need for
+// fast prototyping, then just using the communication model might be
+// sufficient" — whole machines simulated with minor slowdown.
+//
+//   $ ./examples/stencil_prototyping
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "gen/stochastic.hpp"
+#include "machine/config.hpp"
+#include "stats/stats.hpp"
+
+int main() {
+  using namespace merm;
+
+  // A synthetic task-level description of a communication-heavy iterative
+  // code: a short compute step followed by a random-permutation exchange of
+  // 64 KiB messages (traffic that actually stresses path length), 12 steps.
+  gen::StochasticDescription desc;
+  desc.task_level = true;
+  desc.rounds = 12;
+  desc.mean_task_ticks = 100 * sim::kTicksPerMicrosecond;
+  desc.comm.pattern = gen::CommPattern::kRandomPerm;
+  desc.comm.message_bytes = 64 * 1024;
+  desc.seed = 2024;
+
+  stats::Table table({"topology", "switching", "sim time", "mean msg latency",
+                      "link util"});
+
+  struct Config {
+    machine::TopologyKind topo;
+    std::array<std::uint32_t, 2> dims;
+    machine::Switching sw;
+  };
+  const Config configs[] = {
+      {machine::TopologyKind::kRing, {16, 1}, machine::Switching::kStoreAndForward},
+      {machine::TopologyKind::kRing, {16, 1}, machine::Switching::kWormhole},
+      {machine::TopologyKind::kMesh2D, {4, 4}, machine::Switching::kStoreAndForward},
+      {machine::TopologyKind::kMesh2D, {4, 4}, machine::Switching::kWormhole},
+      {machine::TopologyKind::kTorus2D, {4, 4}, machine::Switching::kWormhole},
+      {machine::TopologyKind::kHypercube, {16, 1}, machine::Switching::kWormhole},
+  };
+
+  for (const Config& c : configs) {
+    machine::MachineParams arch = machine::presets::generic_risc(4, 4);
+    arch.topology.kind = c.topo;
+    arch.topology.dims = c.dims;
+    arch.router.switching = c.sw;
+    arch.name = std::string(machine::to_string(c.topo)) + "/" +
+                machine::to_string(c.sw);
+
+    core::Workbench wb(arch);
+    auto w = gen::make_stochastic_task_workload(desc, arch.node_count());
+    const core::RunResult r = wb.run_task_level(w);
+    if (!r.completed) {
+      std::cerr << "deadlock on " << arch.name << "\n";
+      return 1;
+    }
+    table.add_row(
+        {machine::to_string(c.topo), machine::to_string(c.sw),
+         sim::format_time(r.simulated_time),
+         sim::format_time(static_cast<sim::Tick>(
+             wb.machine().network().message_latency_ticks.mean())),
+         stats::Table::fmt(
+             wb.machine().network().mean_link_utilization(r.simulated_time),
+             4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nLong ring paths hurt under random traffic, and on the "
+               "saturated ring wormhole\nis *worse* than store-and-forward — "
+               "blocked worms hold whole paths.  Richer\ntopologies lower "
+               "per-link load until switching strategy barely matters:\n"
+               "exactly the interaction a designer wants to discover before "
+               "building anything.\n";
+  return 0;
+}

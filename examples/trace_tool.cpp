@@ -1,0 +1,152 @@
+// Trace utility: record, inspect and convert workbench traces — the
+// post-mortem analysis entry point of the environment (Fig. 1).
+//
+//   $ ./examples/trace_tool record stencil out.trc   # annotated kernel -> file
+//   $ ./examples/trace_tool stats out.trc            # per-node summaries
+//   $ ./examples/trace_tool dump out.trc | head      # text form
+//   $ ./examples/trace_tool convert out.trc out.txt  # binary -> text
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "gen/apps.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace merm;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  trace_tool record <stencil|matmul|allreduce|pingpong> <file>\n"
+            << "  trace_tool stats <file>\n"
+            << "  trace_tool dump <file>\n"
+            << "  trace_tool convert <binary-in> <text-out>\n"
+            << "  trace_tool compress <binary-in> <packed-out>\n"
+            << "  trace_tool decompress <packed-in> <binary-out>\n";
+  return 2;
+}
+
+std::vector<std::vector<trace::Operation>> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return trace::read_binary(in);
+}
+
+int cmd_record(const std::string& kernel, const std::string& path) {
+  gen::AppFn app;
+  std::uint32_t nodes = 4;
+  if (kernel == "stencil") {
+    app = [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+      gen::stencil_spmd(a, s, n, gen::StencilParams{32, 4});
+    };
+  } else if (kernel == "matmul") {
+    app = [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+      gen::matmul_spmd(a, s, n, gen::MatmulParams{32});
+    };
+  } else if (kernel == "allreduce") {
+    app = [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+      gen::allreduce_spmd(a, s, n, gen::AllReduceParams{512, 2});
+    };
+  } else if (kernel == "pingpong") {
+    nodes = 2;
+    app = [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+      gen::pingpong(a, s, n, gen::PingPongParams{16, 4096});
+    };
+  } else {
+    return usage();
+  }
+  const auto traces = gen::record_app_traces(nodes, app);
+  std::ofstream out(path, std::ios::binary);
+  trace::write_binary(out, traces);
+  std::uint64_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  std::cout << "wrote " << total << " operations for " << nodes
+            << " nodes to " << path << "\n";
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  const auto traces = load(path);
+  for (std::size_t n = 0; n < traces.size(); ++n) {
+    std::map<trace::OpCode, std::uint64_t> histogram;
+    std::uint64_t bytes_sent = 0;
+    for (const auto& op : traces[n]) {
+      histogram[op.code] += 1;
+      if (op.code == trace::OpCode::kSend || op.code == trace::OpCode::kASend) {
+        bytes_sent += op.value;
+      }
+    }
+    std::cout << "node " << n << ": " << traces[n].size() << " operations\n";
+    for (const auto& [code, count] : histogram) {
+      std::cout << "  " << trace::to_string(code) << ": " << count << "\n";
+    }
+    if (bytes_sent > 0) {
+      std::cout << "  bytes sent: " << bytes_sent << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(const std::string& path) {
+  const auto traces = load(path);
+  trace::write_text_multi(std::cout, traces);
+  return 0;
+}
+
+int cmd_convert(const std::string& in_path, const std::string& out_path) {
+  const auto traces = load(in_path);
+  std::ofstream out(out_path);
+  trace::write_text_multi(out, traces);
+  std::cout << "converted " << in_path << " -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_compress(const std::string& in_path, const std::string& out_path) {
+  const auto traces = load(in_path);
+  std::ofstream out(out_path, std::ios::binary);
+  trace::write_compressed(out, traces);
+  out.flush();
+  std::ifstream a(in_path, std::ios::binary | std::ios::ate);
+  std::ifstream b(out_path, std::ios::binary | std::ios::ate);
+  std::cout << "compressed " << a.tellg() << " -> " << b.tellg() << " bytes\n";
+  return 0;
+}
+
+int cmd_decompress(const std::string& in_path, const std::string& out_path) {
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + in_path);
+  const auto traces = trace::read_compressed(in);
+  std::ofstream out(out_path, std::ios::binary);
+  trace::write_binary(out, traces);
+  std::cout << "decompressed " << in_path << " -> " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 3 && args[0] == "record") {
+      return cmd_record(args[1], args[2]);
+    }
+    if (args.size() == 2 && args[0] == "stats") return cmd_stats(args[1]);
+    if (args.size() == 2 && args[0] == "dump") return cmd_dump(args[1]);
+    if (args.size() == 3 && args[0] == "convert") {
+      return cmd_convert(args[1], args[2]);
+    }
+    if (args.size() == 3 && args[0] == "compress") {
+      return cmd_compress(args[1], args[2]);
+    }
+    if (args.size() == 3 && args[0] == "decompress") {
+      return cmd_decompress(args[1], args[2]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,57 @@
+#include "core/host.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace merm::core {
+
+namespace {
+
+double read_proc_cpuinfo_hz() {
+  std::ifstream in("/proc/cpuinfo");
+  if (!in) return 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      try {
+        const double mhz = std::stod(line.substr(colon + 1));
+        if (mhz > 1.0) return mhz * 1e6;
+      } catch (...) {
+        continue;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double calibrate_hz() {
+  // A dependent add chain retires close to one op per cycle on any modern
+  // out-of-order core; time a fixed count of them.
+  volatile std::uint64_t sink = 0;
+  constexpr std::uint64_t kOps = 200'000'000;
+  HostTimer timer;
+  std::uint64_t x = 1;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    x += x >> 3;  // dependent: serializes at ~1-2 ops/cycle
+  }
+  sink = x;
+  (void)sink;
+  const double secs = timer.elapsed_seconds();
+  if (secs <= 0.0) return 1e9;
+  // Two dependent ALU ops per iteration (shift + add).
+  return 2.0 * static_cast<double>(kOps) / secs;
+}
+
+}  // namespace
+
+double host_frequency_hz() {
+  static const double hz = [] {
+    const double from_proc = read_proc_cpuinfo_hz();
+    return from_proc > 0.0 ? from_proc : calibrate_hz();
+  }();
+  return hz;
+}
+
+}  // namespace merm::core

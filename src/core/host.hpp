@@ -1,0 +1,32 @@
+// Host-side measurement utilities for the slowdown experiments (Section 6):
+// wall-clock timing and an estimate of the host clock frequency, needed to
+// express simulation cost as "host cycles per simulated cycle".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace merm::core {
+
+/// Monotonic wall-clock stopwatch.
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_seconds() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Host CPU frequency in Hz.  Reads /proc/cpuinfo when available, otherwise
+/// calibrates with a timed dependent-arithmetic loop (~1 op/cycle).  Cached
+/// after the first call.
+double host_frequency_hz();
+
+}  // namespace merm::core

@@ -1,0 +1,142 @@
+#include "core/workbench.hpp"
+
+#include <iomanip>
+
+namespace merm::core {
+
+void RunResult::print(std::ostream& os) const {
+  os << "== " << machine_name << " ("
+     << (level == node::SimulationLevel::kDetailed ? "detailed" : "task-level")
+     << ") ==\n";
+  os << "  completed:        " << (completed ? "yes" : "NO (blocked)") << "\n";
+  os << "  simulated time:   " << sim::format_time(simulated_time) << " ("
+     << simulated_cpu_cycles << " cpu cycles)\n";
+  os << "  operations:       " << operations << "\n";
+  os << "  messages:         " << messages << "\n";
+  os << "  kernel events:    " << events_processed << "\n";
+  os << "  host time:        " << std::fixed << std::setprecision(3)
+     << host_seconds << " s\n";
+  os << "  footprint:        " << sim::format_bytes(footprint_bytes) << "\n";
+  os << "  slowdown/proc:    " << std::setprecision(1)
+     << slowdown_per_processor() << " (" << processors << " processors)\n";
+}
+
+Workbench::Workbench(machine::MachineParams params)
+    : params_(std::move(params)),
+      machine_(std::make_unique<node::Machine>(sim_, params_)) {}
+
+void Workbench::register_all_stats() {
+  machine_->register_stats(registry_, params_.name);
+}
+
+void Workbench::enable_progress(sim::Tick interval, std::ostream* echo) {
+  progress_interval_ = interval;
+  progress_echo_ = echo;
+}
+
+void Workbench::arm_progress(const std::vector<sim::ProcessHandle>& handles) {
+  if (progress_interval_ == 0) return;
+  // Self-rescheduling sampler; stops once the workload has finished so it
+  // cannot keep an otherwise idle simulation alive.
+  auto sample = std::make_shared<std::function<void()>>();
+  *sample = [this, handles, sample] {
+    progress_.record(sim_.now(),
+                     static_cast<double>(sim_.events_processed()));
+    if (sampler_ != nullptr) sampler_->sample(sim_.now());
+    if (progress_echo_ != nullptr) {
+      *progress_echo_ << "[progress] t=" << sim::format_time(sim_.now())
+                      << " events=" << sim_.events_processed()
+                      << " messages=" << machine_->total_messages() << "\n";
+    }
+    if (!node::Machine::all_finished(handles)) {
+      sim_.schedule_in(progress_interval_, *sample);
+    }
+  };
+  sim_.schedule_in(progress_interval_, *sample);
+}
+
+RunResult Workbench::run_impl(trace::Workload& workload,
+                              node::SimulationLevel level, sim::Tick until,
+                              std::vector<node::TaskRecorder>* recorders) {
+  std::vector<sim::ProcessHandle> handles =
+      level == node::SimulationLevel::kDetailed
+          ? machine_->launch_detailed(workload, recorders)
+          : machine_->launch_task_level(workload);
+  return finish_run(handles, level, until, machine_->total_ops_executed());
+}
+
+vsm::VsmSystem& Workbench::enable_vsm(vsm::VsmParams params) {
+  if (!vsm_) {
+    vsm_ = std::make_unique<vsm::VsmSystem>(*machine_, params);
+  }
+  return *vsm_;
+}
+
+RunResult Workbench::run_detailed_shared(trace::Workload& workload,
+                                         sim::Tick until) {
+  enable_vsm();
+  std::vector<sim::ProcessHandle> handles = vsm_->launch_detailed(workload);
+  return finish_run(handles, node::SimulationLevel::kDetailed, until,
+                    machine_->total_ops_executed());
+}
+
+RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
+                                node::SimulationLevel level, sim::Tick until,
+                                std::uint64_t ops_before) {
+  arm_progress(handles);
+
+  HostTimer timer;
+  sim_.run(until);
+  const double host_seconds = timer.elapsed_seconds();
+
+  RunResult r;
+  r.machine_name = params_.name;
+  r.level = level;
+  r.completed = node::Machine::all_finished(handles);
+  r.simulated_time = sim_.now();
+  r.simulated_cpu_cycles =
+      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(sim_.now());
+  r.events_processed = sim_.events_processed();
+  r.operations = machine_->total_ops_executed() - ops_before;
+  r.messages = machine_->total_messages();
+  r.host_seconds = host_seconds;
+  r.footprint_bytes = machine_->footprint_bytes();
+  r.processors = level == node::SimulationLevel::kDetailed
+                     ? machine_->node_count() * machine_->cpus_per_node()
+                     : machine_->node_count();
+  return r;
+}
+
+RunResult Workbench::run_detailed(trace::Workload& workload, sim::Tick until,
+                                  std::vector<node::TaskRecorder>* recorders) {
+  return run_impl(workload, node::SimulationLevel::kDetailed, until,
+                  recorders);
+}
+
+RunResult Workbench::run_task_level(trace::Workload& workload,
+                                    sim::Tick until) {
+  return run_impl(workload, node::SimulationLevel::kTaskLevel, until, nullptr);
+}
+
+Workbench::Comparison Workbench::compare(
+    const machine::MachineParams& arch_x, const machine::MachineParams& arch_y,
+    const std::function<trace::Workload(const machine::MachineParams&)>&
+        workload_for,
+    node::SimulationLevel level) {
+  Comparison c;
+  {
+    Workbench wx(arch_x);
+    trace::Workload w = workload_for(arch_x);
+    c.x = level == node::SimulationLevel::kDetailed ? wx.run_detailed(w)
+                                                    : wx.run_task_level(w);
+  }
+  {
+    Workbench wy(arch_y);
+    trace::Workload w = workload_for(arch_y);
+    c.y = level == node::SimulationLevel::kDetailed ? wy.run_detailed(w)
+                                                    : wy.run_task_level(w);
+  }
+  return c;
+}
+
+}  // namespace merm::core

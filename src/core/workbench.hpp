@@ -1,0 +1,149 @@
+// The Mermaid workbench: the public front end tying the simulation
+// environment of Fig. 1 together.
+//
+// A Workbench instantiates an architecture from MachineParams, accepts a
+// workload from either trace generator, runs it at the chosen abstraction
+// level (detailed or task-level), and reports simulated results together
+// with the simulation-cost metrics of Section 6 (slowdown per simulated
+// processor, memory footprint).
+//
+//   merm::core::Workbench wb(machine::presets::t805_multicomputer(4, 4));
+//   auto workload = gen::make_offline_workload(16, my_app);
+//   auto result = wb.run_detailed(workload);
+//   result.print(std::cout);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "trace/stream.hpp"
+#include "vsm/vsm.hpp"
+
+namespace merm::core {
+
+/// Outcome of one simulation run.
+struct RunResult {
+  std::string machine_name;
+  node::SimulationLevel level = node::SimulationLevel::kDetailed;
+  bool completed = false;      ///< every workload process finished
+  sim::Tick simulated_time = 0;
+  std::uint64_t simulated_cpu_cycles = 0;  ///< simulated_time in CPU cycles
+  std::uint64_t events_processed = 0;
+  std::uint64_t operations = 0;  ///< operations consumed from the workload
+  std::uint64_t messages = 0;
+  double host_seconds = 0.0;
+  std::size_t footprint_bytes = 0;
+  std::uint32_t processors = 1;  ///< simulated processors (nodes * cpus)
+
+  /// Host cycles spent per simulated CPU cycle, per simulated processor —
+  /// the paper's slowdown metric.
+  double slowdown_per_processor(double host_hz = host_frequency_hz()) const {
+    if (simulated_cpu_cycles == 0 || processors == 0) return 0.0;
+    return host_seconds * host_hz /
+           (static_cast<double>(simulated_cpu_cycles) *
+            static_cast<double>(processors));
+  }
+
+  /// Simulated target cycles per host second.
+  double cycles_per_host_second() const {
+    return host_seconds > 0.0
+               ? static_cast<double>(simulated_cpu_cycles) / host_seconds
+               : 0.0;
+  }
+
+  void print(std::ostream& os) const;
+};
+
+class Workbench {
+ public:
+  explicit Workbench(machine::MachineParams params);
+
+  sim::Simulator& simulator() { return sim_; }
+  node::Machine& machine() { return *machine_; }
+  const machine::MachineParams& params() const { return params_; }
+  stats::StatRegistry& stats() { return registry_; }
+
+  /// Registers all model metrics in stats() under the machine name.
+  void register_all_stats();
+
+  /// Enables run-time progress sampling: every `interval` of simulated time
+  /// a sample (time, events, messages) is appended to progress_series() and,
+  /// if `echo` is set, a one-line report is printed.
+  void enable_progress(sim::Tick interval, std::ostream* echo = nullptr);
+  const stats::TimeSeries& progress_series() const { return progress_; }
+
+  /// Attaches a counter sampler to the progress schedule (requires
+  /// enable_progress); it is sampled once per interval during runs — the
+  /// run-time visualization feed of Fig. 1.
+  void attach_sampler(stats::CounterSampler* sampler) { sampler_ = sampler; }
+
+  /// Runs a detailed (operation-level) workload to completion (or `until`).
+  RunResult run_detailed(trace::Workload& workload,
+                         sim::Tick until = sim::kTickMax,
+                         std::vector<node::TaskRecorder>* recorders = nullptr);
+
+  /// Runs a task-level workload (communication model only).
+  RunResult run_task_level(trace::Workload& workload,
+                           sim::Tick until = sim::kTickMax);
+
+  /// Enables the virtual shared memory layer (idempotent); subsequent
+  /// run_detailed_shared calls route shared-region accesses through it.
+  vsm::VsmSystem& enable_vsm(vsm::VsmParams params = {});
+  vsm::VsmSystem* vsm() { return vsm_.get(); }
+
+  /// Runs a detailed workload whose shared-region loads/stores go through
+  /// the DSM.  Calls enable_vsm() with defaults if not yet enabled.
+  RunResult run_detailed_shared(trace::Workload& workload,
+                                sim::Tick until = sim::kTickMax);
+
+  /// Architecture comparison (the "Architecture X / Architecture Y" driver
+  /// of Fig. 1): runs workloads from the same generator on two machines.
+  struct Comparison {
+    RunResult x;
+    RunResult y;
+    /// Ratio of simulated execution times (y relative to x).
+    double speedup_x_over_y() const {
+      return x.simulated_time == 0
+                 ? 0.0
+                 : static_cast<double>(y.simulated_time) /
+                       static_cast<double>(x.simulated_time);
+    }
+  };
+  static Comparison compare(
+      const machine::MachineParams& arch_x,
+      const machine::MachineParams& arch_y,
+      const std::function<trace::Workload(const machine::MachineParams&)>&
+          workload_for,
+      node::SimulationLevel level = node::SimulationLevel::kDetailed);
+
+ private:
+  RunResult run_impl(trace::Workload& workload, node::SimulationLevel level,
+                     sim::Tick until,
+                     std::vector<node::TaskRecorder>* recorders);
+  void arm_progress(const std::vector<sim::ProcessHandle>& handles);
+
+  RunResult finish_run(const std::vector<sim::ProcessHandle>& handles,
+                       node::SimulationLevel level, sim::Tick until,
+                       std::uint64_t ops_before);
+
+  machine::MachineParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<node::Machine> machine_;
+  std::unique_ptr<vsm::VsmSystem> vsm_;
+  stats::StatRegistry registry_;
+  stats::TimeSeries progress_;
+  stats::CounterSampler* sampler_ = nullptr;
+  sim::Tick progress_interval_ = 0;
+  std::ostream* progress_echo_ = nullptr;
+};
+
+}  // namespace merm::core

@@ -1,0 +1,54 @@
+#include "cpu/cpu.hpp"
+
+#include <stdexcept>
+
+namespace merm::cpu {
+
+using trace::OpCode;
+
+Cpu::Cpu(sim::Simulator& sim, const machine::CpuParams& params,
+         memory::MemoryHierarchy& memory, std::uint32_t index)
+    : sim_(sim),
+      params_(params),
+      clock_(params.frequency_hz),
+      memory_(memory),
+      index_(index) {}
+
+sim::Task<> Cpu::execute(const trace::Operation& op) {
+  if (!trace::is_computational(op.code)) {
+    throw std::logic_error("Cpu::execute given non-computational operation: " +
+                           trace::to_string(op));
+  }
+  const sim::Tick start = sim_.now();
+  ops_executed.add();
+
+  const sim::Cycles cost = params_.cost(op.code, op.type);
+  issue_cycles.add(cost);
+  co_await sim_.delay(clock_.to_ticks(cost));
+
+  if (trace::is_memory_access(op.code)) {
+    memory_ops.add();
+    co_await memory_.access(index_,
+                            op.code == OpCode::kLoad
+                                ? memory::AccessType::kLoad
+                                : memory::AccessType::kStore,
+                            op.value);
+  } else if (trace::is_instruction_fetch(op.code)) {
+    fetch_ops.add();
+    co_await memory_.access(index_, memory::AccessType::kIFetch, op.value);
+  } else {
+    arith_ops.add();
+  }
+
+  busy_ticks_ += sim_.now() - start;
+}
+
+void Cpu::register_stats(stats::StatRegistry& reg, const std::string& prefix) {
+  reg.register_counter(prefix + ".ops", &ops_executed);
+  reg.register_counter(prefix + ".memory_ops", &memory_ops);
+  reg.register_counter(prefix + ".fetch_ops", &fetch_ops);
+  reg.register_counter(prefix + ".arith_ops", &arith_ops);
+  reg.register_counter(prefix + ".issue_cycles", &issue_cycles);
+}
+
+}  // namespace merm::cpu

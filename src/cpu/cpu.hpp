@@ -1,0 +1,59 @@
+// The CPU component of the single-node computational model (Fig. 3a).
+//
+// The CPU executes the computational operation set of Table 1: it charges
+// the machine-parameterized issue cost of each abstract instruction and
+// drives the memory hierarchy for instruction fetches, loads and stores.
+// It deliberately does not model pipeline structure — the paper notes that
+// the abstraction level (no register specifiers in operations) precludes
+// cycle-accurate pipeline simulation and trades that accuracy for speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/params.hpp"
+#include "memory/hierarchy.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "trace/operation.hpp"
+
+namespace merm::cpu {
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& sim, const machine::CpuParams& params,
+      memory::MemoryHierarchy& memory, std::uint32_t index);
+
+  /// Executes one computational operation, consuming simulated time.
+  /// Communication operations are a precondition violation — the node model
+  /// routes those to the communication model instead.
+  sim::Task<> execute(const trace::Operation& op);
+
+  std::uint32_t index() const { return index_; }
+  const sim::Clock& clock() const { return clock_; }
+
+  /// Busy time so far (ticks the CPU spent executing operations).
+  sim::Tick busy_ticks() const { return busy_ticks_; }
+  /// Busy time expressed in this CPU's cycles.
+  sim::Cycles busy_cycles() const { return clock_.to_cycles(busy_ticks_); }
+
+  // -- statistics --
+  stats::Counter ops_executed;
+  stats::Counter memory_ops;   ///< loads + stores
+  stats::Counter fetch_ops;    ///< ifetch/branch/call/ret
+  stats::Counter arith_ops;    ///< add/sub/mul/div + loadc
+  stats::Counter issue_cycles; ///< cycles charged from the cost table
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  sim::Simulator& sim_;
+  machine::CpuParams params_;
+  sim::Clock clock_;
+  memory::MemoryHierarchy& memory_;
+  std::uint32_t index_;
+  sim::Tick busy_ticks_ = 0;
+};
+
+}  // namespace merm::cpu

@@ -1,0 +1,141 @@
+#include "gen/annotate.hpp"
+
+#include <stdexcept>
+
+namespace merm::gen {
+
+using trace::Operation;
+
+Annotator::Annotator(VarTable& vars, OpSink& sink)
+    : vars_(vars),
+      sink_(sink),
+      pc_(vars.layout().code_base),
+      next_function_(vars.layout().code_base + 0x10000) {}
+
+FuncId Annotator::declare_function(const std::string& /*name*/,
+                                   std::uint32_t approx_instructions) {
+  const FuncId f = next_function_;
+  next_function_ += static_cast<std::uint64_t>(approx_instructions) *
+                    kInstrBytes;
+  // Keep functions line-aligned so instruction-cache studies see clean
+  // per-function footprints.
+  next_function_ = (next_function_ + 63) / 64 * 64;
+  return f;
+}
+
+void Annotator::fetch() {
+  sink_.emit(Operation::ifetch(pc_));
+  ++emitted_;
+  pc_ += kInstrBytes;
+}
+
+void Annotator::load(VarId v, std::uint64_t index) {
+  const VarDesc& d = vars_[v];
+  if (d.in_register) return;  // operand already in a register: no instruction
+  fetch();
+  sink_.emit(Operation::load(d.type, d.element_address(index)));
+  ++emitted_;
+}
+
+void Annotator::store(VarId v, std::uint64_t index) {
+  const VarDesc& d = vars_[v];
+  if (d.in_register) return;
+  fetch();
+  sink_.emit(Operation::store(d.type, d.element_address(index)));
+  ++emitted_;
+}
+
+void Annotator::load_const(trace::DataType type) {
+  fetch();
+  sink_.emit(Operation::load_const(type));
+  ++emitted_;
+}
+
+void Annotator::arith(trace::OpCode op, trace::DataType type) {
+  if (!trace::is_arithmetic(op)) {
+    throw std::invalid_argument("arith() given non-arithmetic opcode");
+  }
+  fetch();
+  sink_.emit(Operation{op, type, 0, trace::kNoNode, 0});
+  ++emitted_;
+}
+
+void Annotator::binop(trace::OpCode op, VarId dst, VarId a, VarId b,
+                      std::uint64_t dst_index, std::uint64_t a_index,
+                      std::uint64_t b_index) {
+  load(a, a_index);
+  load(b, b_index);
+  arith(op, vars_[dst].type);
+  store(dst, dst_index);
+}
+
+void Annotator::fused_multiply_add(VarId a, VarId b, trace::DataType type,
+                                   std::uint64_t a_index,
+                                   std::uint64_t b_index) {
+  load(a, a_index);
+  load(b, b_index);
+  arith(trace::OpCode::kMul, type);
+  arith(trace::OpCode::kAdd, type);
+}
+
+void Annotator::branch(std::uint64_t target) {
+  sink_.emit(Operation::branch(target));
+  ++emitted_;
+  pc_ = target;
+}
+
+void Annotator::branch_not_taken() {
+  // The comparison...
+  fetch();
+  sink_.emit(Operation::sub(trace::DataType::kInt32));
+  ++emitted_;
+  // ...and the fall-through branch instruction.
+  fetch();
+}
+
+void Annotator::call(FuncId f) {
+  sink_.emit(Operation::call(f));
+  ++emitted_;
+  return_stack_.push_back(pc_);
+  pc_ = f;
+}
+
+void Annotator::ret() {
+  if (return_stack_.empty()) {
+    throw std::logic_error("ret() without matching call()");
+  }
+  const std::uint64_t back = return_stack_.back();
+  return_stack_.pop_back();
+  sink_.emit(Operation::ret(back));
+  ++emitted_;
+  pc_ = back;
+}
+
+void Annotator::send(std::uint64_t bytes, trace::NodeId dest,
+                     std::int32_t tag) {
+  sink_.emit(Operation::send(bytes, dest, tag));
+  ++emitted_;
+}
+
+void Annotator::recv(trace::NodeId source, std::int32_t tag) {
+  sink_.emit(Operation::recv(source, tag));
+  ++emitted_;
+}
+
+void Annotator::asend(std::uint64_t bytes, trace::NodeId dest,
+                      std::int32_t tag) {
+  sink_.emit(Operation::asend(bytes, dest, tag));
+  ++emitted_;
+}
+
+void Annotator::arecv(trace::NodeId source, std::int32_t tag) {
+  sink_.emit(Operation::arecv(source, tag));
+  ++emitted_;
+}
+
+void Annotator::compute(sim::Tick duration) {
+  sink_.emit(Operation::compute(duration));
+  ++emitted_;
+}
+
+}  // namespace merm::gen

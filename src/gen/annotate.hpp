@@ -1,0 +1,124 @@
+// The annotation translator (Sections 3 and 5.1): "a library that is linked
+// together with the instrumented applications, while the annotations simply
+// are calls to the library".
+//
+// An instrumented application here is ordinary C++ code (the kernels in
+// gen/apps.hpp) whose memory and computational behaviour is described by
+// calls on an Annotator.  The annotations follow the program's control flow
+// — the generator (the running C++ code) evaluates loop and branch
+// conditions, so "every invocation of a loop body is individually traced and
+// leads to recurring addresses of instruction fetches".
+//
+// The Annotator is "a kind of generic compiler": using the variable
+// descriptor table it translates a source-level reference like load(a[i])
+// into the ifetch + memory operations appropriate for the target: register
+// variables emit nothing, memory variables emit ifetch(pc) + load(type,
+// address).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/vartable.hpp"
+#include "trace/operation.hpp"
+
+namespace merm::gen {
+
+/// Destination of translated operations.
+class OpSink {
+ public:
+  virtual ~OpSink() = default;
+  virtual void emit(const trace::Operation& op) = 0;
+};
+
+/// Collects operations into a vector (offline trace generation).
+class VectorSink final : public OpSink {
+ public:
+  void emit(const trace::Operation& op) override { ops_.push_back(op); }
+  const std::vector<trace::Operation>& ops() const { return ops_; }
+  std::vector<trace::Operation> take() { return std::move(ops_); }
+
+ private:
+  std::vector<trace::Operation> ops_;
+};
+
+/// Identifier of a declared function (its entry address).
+using FuncId = std::uint64_t;
+
+class Annotator {
+ public:
+  Annotator(VarTable& vars, OpSink& sink);
+
+  VarTable& vars() { return vars_; }
+
+  // -- code layout --
+
+  /// Current code address (the program counter of the generated trace).
+  std::uint64_t here() const { return pc_; }
+
+  /// Reserves a code region for a function body; call/ret transfer to and
+  /// from it.
+  FuncId declare_function(const std::string& name,
+                          std::uint32_t approx_instructions = 64);
+
+  // -- computational annotations (each emits ifetch(pc) + operation) --
+
+  /// A read of variable `v` (element `index` for arrays).  Register
+  /// variables emit nothing — the operand is already in a register.
+  void load(VarId v, std::uint64_t index = 0);
+  /// A write of variable `v`.
+  void store(VarId v, std::uint64_t index = 0);
+  /// Load-immediate into a register.
+  void load_const(trace::DataType type);
+  /// A register-to-register arithmetic instruction.
+  void arith(trace::OpCode op, trace::DataType type);
+
+  /// dst = a <op> b — the common expression shape: two loads, the
+  /// arithmetic, one store (each component elided for register variables).
+  void binop(trace::OpCode op, VarId dst, VarId a, VarId b,
+             std::uint64_t dst_index = 0, std::uint64_t a_index = 0,
+             std::uint64_t b_index = 0);
+
+  /// dst += a * b with dst register-resident (the inner-product pattern):
+  /// loads a and b, multiply, add; no store.
+  void fused_multiply_add(VarId a, VarId b, trace::DataType type,
+                          std::uint64_t a_index = 0, std::uint64_t b_index = 0);
+
+  // -- control-flow annotations --
+
+  /// A taken branch to `target` (use here() before a loop body to get the
+  /// back-edge target).  Resets the program counter: subsequent annotations
+  /// re-fetch the loop body's addresses.
+  void branch(std::uint64_t target);
+  /// A not-taken conditional branch (fetch + fall through): the comparison
+  /// and branch instructions of a loop exit test.
+  void branch_not_taken();
+  void call(FuncId f);
+  void ret();
+
+  // -- communication annotations (forwarded untranslated, Section 5.1) --
+
+  void send(std::uint64_t bytes, trace::NodeId dest, std::int32_t tag = 0);
+  void recv(trace::NodeId source, std::int32_t tag = 0);
+  void asend(std::uint64_t bytes, trace::NodeId dest, std::int32_t tag = 0);
+  void arecv(trace::NodeId source, std::int32_t tag = 0);
+  void compute(sim::Tick duration);
+
+  /// Operations emitted so far.
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  static constexpr std::uint64_t kInstrBytes = 4;
+
+  void fetch();  ///< emit ifetch(pc_) and advance pc_
+
+  VarTable& vars_;
+  OpSink& sink_;
+  std::uint64_t pc_;
+  std::uint64_t next_function_;
+  std::vector<std::uint64_t> return_stack_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace merm::gen

@@ -1,0 +1,336 @@
+#include "gen/apps.hpp"
+
+#include <stdexcept>
+
+#include "gen/threaded_source.hpp"
+
+namespace merm::gen {
+
+using trace::DataType;
+using trace::NodeId;
+using trace::OpCode;
+
+namespace {
+constexpr DataType kF64 = DataType::kDouble;
+constexpr DataType kI32 = DataType::kInt32;
+
+/// Emits the bookkeeping of a counted loop iteration: increment + compare +
+/// taken back-edge (or the fall-through exit on the last iteration).
+class CountedLoop {
+ public:
+  CountedLoop(Annotator& a, std::uint64_t trips)
+      : a_(a), trips_(trips), head_(a.here()) {}
+
+  /// Call at the end of each body; returns true while the loop continues.
+  bool next() {
+    ++done_;
+    a_.arith(OpCode::kAdd, kI32);  // induction variable update (register)
+    if (done_ < trips_) {
+      a_.branch(head_);
+      return true;
+    }
+    a_.branch_not_taken();
+    return false;
+  }
+
+ private:
+  Annotator& a_;
+  std::uint64_t trips_;
+  std::uint64_t done_ = 0;
+  std::uint64_t head_;
+};
+}  // namespace
+
+void matmul_spmd(Annotator& a, NodeId self, std::uint32_t nodes,
+                 const MatmulParams& p) {
+  const std::uint32_t n = p.n;
+  if (n % nodes != 0) {
+    throw std::invalid_argument("matmul: n must divide by node count");
+  }
+  const std::uint32_t rows = n / nodes;  // my rows of A and C; rows per B block
+
+  VarTable& vars = a.vars();
+  const VarId A = vars.declare_global("A", kF64, std::uint64_t(rows) * n);
+  const VarId B = vars.declare_global("Bblk", kF64, std::uint64_t(rows) * n);
+  const VarId C = vars.declare_global("C", kF64, std::uint64_t(rows) * n);
+  const std::uint64_t block_bytes = std::uint64_t(rows) * n * 8;
+
+  for (std::uint32_t step = 0; step < nodes; ++step) {
+    const std::uint32_t owner = (static_cast<std::uint32_t>(self) + step) %
+                                nodes;  // whose B block we hold
+    // C[i][j] += A[i][owner_rows + k] * Bblk[k][j]
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        a.load(C, std::uint64_t(i) * n + j);  // accumulator
+        CountedLoop kloop(a, rows);
+        std::uint32_t k = 0;
+        do {
+          a.fused_multiply_add(A, B, kF64,
+                               std::uint64_t(i) * n + owner * rows + k,
+                               std::uint64_t(k) * n + j);
+          ++k;
+        } while (kloop.next());
+        a.store(C, std::uint64_t(i) * n + j);
+      }
+    }
+    if (step + 1 < nodes && nodes > 1) {
+      // Rotate B blocks backward around the ring.
+      const auto prev = static_cast<NodeId>(
+          (static_cast<std::uint32_t>(self) + nodes - 1) % nodes);
+      const auto next = static_cast<NodeId>(
+          (static_cast<std::uint32_t>(self) + 1) % nodes);
+      a.asend(block_bytes, prev, static_cast<std::int32_t>(step));
+      a.recv(next, static_cast<std::int32_t>(step));
+    }
+  }
+}
+
+void stencil_spmd(Annotator& a, NodeId self, std::uint32_t nodes,
+                  const StencilParams& p) {
+  const std::uint32_t n = p.n;
+  if (n % nodes != 0) {
+    throw std::invalid_argument("stencil: n must divide by node count");
+  }
+  const std::uint32_t strip = n / nodes;     // interior rows owned
+  const std::uint32_t rows = strip + 2;      // plus halo rows
+  const std::uint64_t row_bytes = std::uint64_t(n) * 8;
+
+  VarTable& vars = a.vars();
+  VarId U = vars.declare_global("U", kF64, std::uint64_t(rows) * n);
+  VarId V = vars.declare_global("V", kF64, std::uint64_t(rows) * n);
+  const VarId quarter = vars.declare_global("c", kF64, 1);
+
+  const bool has_up = self > 0;
+  const bool has_down = static_cast<std::uint32_t>(self) + 1 < nodes;
+
+  for (std::uint32_t iter = 0; iter < p.iterations; ++iter) {
+    const auto tag = static_cast<std::int32_t>(iter);
+    // Halo exchange (asend first: deadlock-free).
+    if (has_up) a.asend(row_bytes, self - 1, tag);
+    if (has_down) a.asend(row_bytes, self + 1, tag);
+    if (has_up) a.recv(self - 1, tag);
+    if (has_down) a.recv(self + 1, tag);
+
+    // V[i][j] = c * (U[i-1][j] + U[i+1][j] + U[i][j-1] + U[i][j+1])
+    const std::uint32_t lo = has_up ? 1 : 2;          // skip global boundary
+    const std::uint32_t hi = has_down ? rows - 1 : rows - 2;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      CountedLoop jloop(a, n - 2);
+      std::uint32_t j = 1;
+      do {
+        const std::uint64_t c = std::uint64_t(i) * n + j;
+        a.load(U, c - n);
+        a.load(U, c + n);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(U, c - 1);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(U, c + 1);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(quarter);
+        a.arith(OpCode::kMul, kF64);
+        a.store(V, c);
+        ++j;
+      } while (jloop.next());
+    }
+    std::swap(U, V);
+  }
+}
+
+void allreduce_spmd(Annotator& a, NodeId self, std::uint32_t nodes,
+                    const AllReduceParams& p) {
+  if ((nodes & (nodes - 1)) != 0) {
+    throw std::invalid_argument("allreduce: nodes must be a power of two");
+  }
+  VarTable& vars = a.vars();
+  const VarId X = vars.declare_global("X", kF64, p.elements);
+  const VarId sum = vars.declare_global("sum", kF64, 1);
+  const VarId incoming = vars.declare_global("incoming", kF64, 1);
+
+  for (std::uint32_t rep = 0; rep < p.repeats; ++rep) {
+    // Local reduction into a register accumulator.
+    a.load_const(kF64);
+    CountedLoop loop(a, p.elements);
+    std::uint64_t e = 0;
+    do {
+      a.load(X, e);
+      a.arith(OpCode::kAdd, kF64);
+      ++e;
+    } while (loop.next());
+    a.store(sum);
+
+    // Recursive doubling.
+    for (std::uint32_t bit = 1; bit < nodes; bit <<= 1) {
+      const auto partner = static_cast<NodeId>(
+          static_cast<std::uint32_t>(self) ^ bit);
+      const auto tag = static_cast<std::int32_t>(rep * 64 + bit);
+      a.asend(8, partner, tag);
+      a.recv(partner, tag);
+      a.binop(OpCode::kAdd, sum, sum, incoming);
+    }
+  }
+}
+
+void pingpong(Annotator& a, NodeId self, std::uint32_t nodes,
+              const PingPongParams& p) {
+  if (nodes < 2 || self > 1) return;  // spectators trace nothing
+  for (std::uint32_t r = 0; r < p.rounds; ++r) {
+    const auto tag = static_cast<std::int32_t>(r);
+    if (self == 0) {
+      a.send(p.bytes, 1, tag);
+      a.recv(1, tag);
+    } else {
+      a.recv(0, tag);
+      a.send(p.bytes, 0, tag);
+    }
+  }
+}
+
+void master_worker(Annotator& a, NodeId self, std::uint32_t nodes,
+                   const MasterWorkerParams& p) {
+  if (nodes < 2) {
+    throw std::invalid_argument("master_worker needs >= 2 nodes");
+  }
+  constexpr std::int32_t kTaskTag = 1;
+  constexpr std::int32_t kResultTag = 2;
+
+  if (self == 0) {
+    for (std::uint32_t t = 0; t < p.tasks; ++t) {
+      const auto worker = static_cast<NodeId>(1 + t % (nodes - 1));
+      a.asend(p.task_bytes, worker, kTaskTag);
+    }
+    for (std::uint32_t t = 0; t < p.tasks; ++t) {
+      a.recv(trace::kNoNode, kResultTag);  // any-source collection
+    }
+    return;
+  }
+
+  VarTable& vars = a.vars();
+  const VarId buf = vars.declare_global("task", kF64, p.task_flops + 1);
+  std::uint32_t my_tasks = p.tasks / (nodes - 1);
+  if (static_cast<std::uint32_t>(self) - 1 < p.tasks % (nodes - 1)) {
+    ++my_tasks;
+  }
+  for (std::uint32_t t = 0; t < my_tasks; ++t) {
+    a.recv(0, kTaskTag);
+    a.load_const(kF64);
+    CountedLoop loop(a, p.task_flops);
+    std::uint64_t k = 0;
+    do {
+      a.fused_multiply_add(buf, buf, kF64, k, k + 1);
+      ++k;
+    } while (loop.next());
+    a.asend(p.result_bytes, 0, kResultTag);
+  }
+}
+
+void transpose_spmd(Annotator& a, NodeId self, std::uint32_t nodes,
+                    const TransposeParams& p) {
+  const std::uint32_t n = p.n;
+  if (n % nodes != 0) {
+    throw std::invalid_argument("transpose: n must divide by node count");
+  }
+  const std::uint32_t rows = n / nodes;
+  const std::uint64_t block_bytes =
+      std::uint64_t(rows) * rows * 8;  // rows x rows tile per peer
+
+  VarTable& vars = a.vars();
+  const VarId A = vars.declare_global("A", kF64, std::uint64_t(rows) * n);
+  const VarId B = vars.declare_global("B", kF64, std::uint64_t(rows) * n);
+
+  // Pack + scatter: one tile to every peer (self-tile handled locally).
+  for (std::uint32_t peer = 0; peer < nodes; ++peer) {
+    if (peer == static_cast<std::uint32_t>(self)) continue;
+    // Pack the tile destined for `peer` (strided reads, sequential writes).
+    CountedLoop pack(a, rows);
+    std::uint32_t r = 0;
+    do {
+      a.load(A, std::uint64_t(r) * n + peer * rows);
+      a.store(B, std::uint64_t(peer) * rows + r);
+      ++r;
+    } while (pack.next());
+    a.asend(block_bytes, static_cast<NodeId>(peer), 0);
+  }
+  for (std::uint32_t peer = 0; peer < nodes; ++peer) {
+    if (peer == static_cast<std::uint32_t>(self)) continue;
+    a.recv(static_cast<NodeId>(peer), 0);
+    // Unpack the received tile into transposed position.
+    CountedLoop unpack(a, rows);
+    std::uint32_t r = 0;
+    do {
+      a.load(B, std::uint64_t(peer) * rows + r);
+      a.store(A, std::uint64_t(r) * n + peer * rows);
+      ++r;
+    } while (unpack.next());
+  }
+  // Local diagonal tile transpose.
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    CountedLoop diag(a, rows);
+    std::uint32_t j = 0;
+    do {
+      a.load(A, std::uint64_t(i) * n + self * rows + j);
+      a.store(A, std::uint64_t(j) * n + self * rows + i);
+      ++j;
+    } while (diag.next());
+  }
+}
+
+void compute_kernel(Annotator& a, NodeId /*self*/, std::uint32_t /*nodes*/,
+                    const ComputeKernelParams& p) {
+  VarTable& vars = a.vars();
+  const VarId X = vars.declare_global("X", kF64, p.array_elements);
+  const VarId Y = vars.declare_global("Y", kF64, p.array_elements);
+
+  for (std::uint32_t pass = 0; pass < p.passes; ++pass) {
+    CountedLoop loop(a, p.array_elements / p.stride);
+    std::uint64_t i = 0;
+    do {
+      a.load(X, i);
+      a.load(Y, i);
+      a.arith(OpCode::kMul, kF64);
+      a.arith(OpCode::kAdd, kF64);
+      a.store(Y, i);
+      i += p.stride;
+    } while (loop.next());
+  }
+}
+
+trace::Workload make_offline_workload(std::uint32_t nodes, const AppFn& app) {
+  trace::Workload w;
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    VarTable vars;
+    VectorSink sink;
+    Annotator a(vars, sink);
+    app(a, static_cast<NodeId>(i), nodes);
+    w.sources.push_back(
+        std::make_unique<trace::VectorSource>(sink.take()));
+  }
+  return w;
+}
+
+std::vector<std::vector<trace::Operation>> record_app_traces(
+    std::uint32_t nodes, const AppFn& app) {
+  std::vector<std::vector<trace::Operation>> out;
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    VarTable vars;
+    VectorSink sink;
+    Annotator a(vars, sink);
+    app(a, static_cast<NodeId>(i), nodes);
+    out.push_back(sink.take());
+  }
+  return out;
+}
+
+trace::Workload make_threaded_workload(std::uint32_t nodes, const AppFn& app) {
+  trace::Workload w;
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    w.sources.push_back(std::make_unique<ThreadedSource>(
+        [app, i, nodes](AppContext& ctx) {
+          VarTable vars;
+          Annotator a(vars, ctx);
+          app(a, static_cast<NodeId>(i), nodes);
+        }));
+  }
+  return w;
+}
+
+}  // namespace merm::gen

@@ -1,0 +1,110 @@
+// Instrumented application kernels (Section 5).
+//
+// These are the workbench's "annotated applications": ordinary C++ functions
+// whose numerical work is described through Annotator calls.  The C++
+// control flow *is* the application's control flow — the generator evaluates
+// loop bounds and branch conditions, the architecture simulator only ever
+// sees the resulting operation trace.
+//
+// All kernels are SPMD: the same function runs for every node, parameterized
+// by (self, nodes).  Communication patterns are deadlock-free by
+// construction (asend+recv, or sync send/recv in an order that cannot
+// cycle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gen/annotate.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::gen {
+
+/// A per-node annotated program.
+using AppFn = std::function<void(Annotator& a, trace::NodeId self,
+                                 std::uint32_t nodes)>;
+
+/// Dense matrix multiply C = A * B with row-block distribution and ring
+/// rotation of B blocks (each node sees every B block after nodes-1
+/// exchanges).  `n` must be divisible by `nodes`.
+struct MatmulParams {
+  std::uint32_t n = 24;  ///< matrices are n x n doubles
+};
+void matmul_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                 const MatmulParams& p);
+
+/// Jacobi 5-point stencil on an n x n grid, row-strip distribution with halo
+/// exchange each iteration — the coarse-grained compute/communicate
+/// alternation the paper's Section 3.2 describes as typical.
+struct StencilParams {
+  std::uint32_t n = 32;          ///< grid is n x n doubles
+  std::uint32_t iterations = 4;
+};
+void stencil_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                  const StencilParams& p);
+
+/// Local reduction followed by recursive-doubling allreduce.  `nodes` must
+/// be a power of two.
+struct AllReduceParams {
+  std::uint32_t elements = 256;  ///< doubles reduced locally per node
+  std::uint32_t repeats = 1;
+};
+void allreduce_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                    const AllReduceParams& p);
+
+/// Synchronous ping-pong between nodes 0 and 1 (other nodes idle): the
+/// classic latency microbenchmark, and the blocking-semantics exerciser.
+struct PingPongParams {
+  std::uint32_t rounds = 8;
+  std::uint64_t bytes = 1024;
+};
+void pingpong(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+              const PingPongParams& p);
+
+/// Master-worker: node 0 deals task descriptors round-robin and collects
+/// results (any-source receive); workers compute per task.
+struct MasterWorkerParams {
+  std::uint32_t tasks = 16;
+  std::uint32_t task_flops = 512;    ///< multiply-adds per task
+  std::uint64_t task_bytes = 256;    ///< descriptor size
+  std::uint64_t result_bytes = 64;
+};
+void master_worker(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                   const MasterWorkerParams& p);
+
+/// Distributed matrix transpose: the all-to-all personalized exchange at
+/// the heart of 2D FFTs.  Each node scatters one block to every other node
+/// and receives one from each, then permutes locally.  `n` must divide by
+/// `nodes`.
+struct TransposeParams {
+  std::uint32_t n = 32;  ///< matrix is n x n doubles, row-block distributed
+};
+void transpose_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                    const TransposeParams& p);
+
+/// Pure local computation over an array working set (no communication):
+/// used for single-node (e.g. PowerPC 601) studies and cache sweeps.
+struct ComputeKernelParams {
+  std::uint32_t array_elements = 4096;  ///< doubles
+  std::uint32_t passes = 4;
+  std::uint32_t stride = 1;             ///< element stride between accesses
+};
+void compute_kernel(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                    const ComputeKernelParams& p);
+
+// -- workload builders --
+
+/// Runs each node's program to completion up front and returns the recorded
+/// traces (offline generation; valid for timing-independent programs).
+trace::Workload make_offline_workload(std::uint32_t nodes, const AppFn& app);
+
+/// Per-node op vectors of an offline run (for trace files and analysis).
+std::vector<std::vector<trace::Operation>> record_app_traces(
+    std::uint32_t nodes, const AppFn& app);
+
+/// Wraps each node's program in a ThreadedSource: live generation with
+/// physical-time interleaving (the paper's actual mechanism).
+trace::Workload make_threaded_workload(std::uint32_t nodes, const AppFn& app);
+
+}  // namespace merm::gen

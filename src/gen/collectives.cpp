@@ -1,0 +1,87 @@
+#include "gen/collectives.hpp"
+
+#include <stdexcept>
+
+namespace merm::gen {
+
+namespace {
+constexpr std::uint64_t kBarrierBytes = 4;  // a token message
+}
+
+void barrier(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+             std::int32_t tag_base) {
+  if (nodes < 2) return;
+  const auto me = static_cast<std::uint32_t>(self);
+  std::int32_t round = 0;
+  for (std::uint32_t dist = 1; dist < nodes; dist <<= 1, ++round) {
+    if (round >= kTagsPerCollective) {
+      throw std::logic_error("barrier exceeded its tag budget");
+    }
+    const auto to = static_cast<trace::NodeId>((me + dist) % nodes);
+    const auto from =
+        static_cast<trace::NodeId>((me + nodes - dist % nodes) % nodes);
+    a.asend(kBarrierBytes, to, tag_base + round);
+    a.recv(from, tag_base + round);
+  }
+}
+
+void broadcast(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+               trace::NodeId root, std::uint64_t bytes,
+               std::int32_t tag_base) {
+  if (nodes < 2) return;
+  const std::uint32_t r =
+      (static_cast<std::uint32_t>(self) + nodes -
+       static_cast<std::uint32_t>(root)) %
+      nodes;
+  std::int32_t round = 0;
+  for (std::uint32_t mask = 1; mask < nodes; mask <<= 1, ++round) {
+    if (r < mask) {
+      const std::uint32_t partner = r + mask;
+      if (partner < nodes) {
+        const auto to = static_cast<trace::NodeId>(
+            (partner + static_cast<std::uint32_t>(root)) % nodes);
+        a.asend(bytes, to, tag_base + round);
+      }
+    } else if (r < 2 * mask) {
+      const std::uint32_t partner = r - mask;
+      const auto from = static_cast<trace::NodeId>(
+          (partner + static_cast<std::uint32_t>(root)) % nodes);
+      a.recv(from, tag_base + round);
+    }
+  }
+}
+
+void reduce(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+            trace::NodeId root, std::uint64_t bytes, std::int32_t tag_base,
+            trace::OpCode combine_op, trace::DataType combine_type) {
+  if (nodes < 2) return;
+  const std::uint32_t r =
+      (static_cast<std::uint32_t>(self) + nodes -
+       static_cast<std::uint32_t>(root)) %
+      nodes;
+  // Mirror of the broadcast tree: receive from children (high rounds first
+  // would also work; we run low-to-high like an up-sweep).
+  std::uint32_t top_mask = 1;
+  while ((top_mask << 1) < nodes) top_mask <<= 1;
+  std::int32_t round = 0;
+  for (std::uint32_t mask = top_mask; mask >= 1; mask >>= 1, ++round) {
+    if (r < mask) {
+      const std::uint32_t child = r + mask;
+      if (child < nodes) {
+        const auto from = static_cast<trace::NodeId>(
+            (child + static_cast<std::uint32_t>(root)) % nodes);
+        a.recv(from, tag_base + round);
+        a.arith(combine_op, combine_type);
+      }
+    } else if (r < 2 * mask) {
+      const std::uint32_t parent = r - mask;
+      const auto to = static_cast<trace::NodeId>(
+          (parent + static_cast<std::uint32_t>(root)) % nodes);
+      a.asend(bytes, to, tag_base + round);
+      break;  // after sending up, this node is done
+    }
+    if (mask == 1) break;
+  }
+}
+
+}  // namespace merm::gen

@@ -1,0 +1,35 @@
+// Collective-communication annotations built on the Table-1 message-passing
+// operations: barrier, broadcast and reduce.  SPMD kernels (notably the
+// virtual-shared-memory programs, which have no other explicit messages)
+// use these for phase synchronization.
+//
+// All collectives are deadlock-free by construction (asend + recv) and
+// consume a caller-provided tag base; a collective uses at most
+// kTagsPerCollective consecutive tags.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/annotate.hpp"
+
+namespace merm::gen {
+
+inline constexpr std::int32_t kTagsPerCollective = 64;
+
+/// Dissemination barrier: ceil(log2 n) rounds of shifted exchanges.  Any
+/// node count.
+void barrier(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+             std::int32_t tag_base);
+
+/// Binomial-tree broadcast of `bytes` from `root`.
+void broadcast(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+               trace::NodeId root, std::uint64_t bytes, std::int32_t tag_base);
+
+/// Binomial-tree reduction of `bytes` to `root` (each non-leaf combines with
+/// `combine_op` on `combine_type` before forwarding).
+void reduce(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+            trace::NodeId root, std::uint64_t bytes, std::int32_t tag_base,
+            trace::OpCode combine_op = trace::OpCode::kAdd,
+            trace::DataType combine_type = trace::DataType::kDouble);
+
+}  // namespace merm::gen

@@ -1,0 +1,51 @@
+#include "gen/direct_execution.hpp"
+
+namespace merm::gen {
+
+using trace::OpCode;
+using trace::Operation;
+
+std::vector<Operation> estimate_direct_execution(
+    const std::vector<Operation>& ops, const DirectExecutionModel& m) {
+  const sim::Clock clock(m.cpu.frequency_hz);
+  std::vector<Operation> out;
+  sim::Cycles pending = 0;
+
+  auto flush = [&] {
+    if (pending > 0) {
+      out.push_back(Operation::compute(clock.to_ticks(pending)));
+      pending = 0;
+    }
+  };
+
+  for (const Operation& op : ops) {
+    if (trace::is_computational(op.code)) {
+      pending += m.cpu.cost(op.code, op.type);
+      if (trace::is_memory_access(op.code) ||
+          trace::is_instruction_fetch(op.code)) {
+        pending += m.assumed_memory_cycles;
+      }
+    } else if (op.code == OpCode::kCompute) {
+      flush();
+      out.push_back(op);
+    } else {
+      flush();
+      out.push_back(op);
+    }
+  }
+  flush();
+  return out;
+}
+
+trace::Workload make_direct_execution_workload(
+    const std::vector<std::vector<Operation>>& per_node,
+    const DirectExecutionModel& m) {
+  trace::Workload w;
+  for (const auto& ops : per_node) {
+    w.sources.push_back(std::make_unique<trace::VectorSource>(
+        estimate_direct_execution(ops, m)));
+  }
+  return w;
+}
+
+}  // namespace merm::gen

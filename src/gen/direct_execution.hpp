@@ -1,0 +1,43 @@
+// The direct-execution baseline (Section 2).
+//
+// Direct-execution simulators run local instructions natively and only
+// *count* their cost, statically estimated at instrumentation time; global
+// events alone are simulated.  The paper rejects the technique because
+// statically estimated local instructions cannot react to architectural
+// parameters — "the performance evaluation of instruction or private data
+// caches can only be marginally performed".
+//
+// We implement it as a comparator: a node's operation trace is folded into a
+// task-level trace whose compute() durations charge each local operation its
+// issue cost plus a *fixed assumed* memory latency.  Running this through
+// the communication model gives direct-execution-style results: fast, and
+// blind to cache parameters (bench_accuracy_tradeoff quantifies both).
+#pragma once
+
+#include <vector>
+
+#include "machine/params.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::gen {
+
+struct DirectExecutionModel {
+  machine::CpuParams cpu;
+  /// Static per-access memory cost (cycles) added for loads, stores and
+  /// instruction fetches — the compile-time estimate that replaces cache
+  /// simulation.
+  sim::Cycles assumed_memory_cycles = 1;
+};
+
+/// Folds one node's operation-level trace into a task-level trace: maximal
+/// runs of computational operations become a single compute(duration) with
+/// the statically estimated duration; communication operations pass through.
+std::vector<trace::Operation> estimate_direct_execution(
+    const std::vector<trace::Operation>& ops, const DirectExecutionModel& m);
+
+/// Builds the task-level workload for all nodes.
+trace::Workload make_direct_execution_workload(
+    const std::vector<std::vector<trace::Operation>>& per_node,
+    const DirectExecutionModel& m);
+
+}  // namespace merm::gen

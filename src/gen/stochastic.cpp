@@ -1,0 +1,320 @@
+#include "gen/stochastic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace merm::gen {
+
+using trace::DataType;
+using trace::NodeId;
+using trace::OpCode;
+using trace::Operation;
+
+namespace {
+
+// Address layout for synthetic traces: code low, data above, disjoint.
+constexpr std::uint64_t kCodeBase = 0x1000;
+constexpr std::uint64_t kDataBase = 0x100000;
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  // splitmix-style combiner for derived deterministic streams.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (a + 1) +
+                    0xbf58476d1ce4e5b9ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t sample_message_bytes(const CommPhase& comm, sim::Rng& rng) {
+  if (!comm.exponential_sizes) return comm.message_bytes;
+  const double v = rng.exponential(static_cast<double>(comm.message_bytes));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::vector<StochasticPhase> StochasticDescription::effective_phases() const {
+  if (!phases.empty()) return phases;
+  StochasticPhase p;
+  p.instructions = instructions_per_round;
+  p.mix = mix;
+  p.memory = memory;
+  p.comm = comm;
+  p.mean_task_ticks = mean_task_ticks;
+  return {p};
+}
+
+StochasticSource::StochasticSource(const StochasticDescription& desc,
+                                   NodeId self, std::uint32_t node_count,
+                                   bool emit_comm)
+    : desc_(desc),
+      phases_(desc.effective_phases()),
+      self_(self),
+      node_count_(node_count),
+      emit_comm_(emit_comm),
+      rng_(mix_seed(desc.seed, static_cast<std::uint64_t>(self), 0)),
+      pc_(kCodeBase) {
+  if (node_count_ == 0) throw std::invalid_argument("node_count == 0");
+  op_dists_.reserve(phases_.size());
+  for (const StochasticPhase& p : phases_) {
+    op_dists_.emplace_back(std::array<double, 7>{
+        p.mix.load, p.mix.store, p.mix.load_const, p.mix.add, p.mix.sub,
+        p.mix.mul, p.mix.div});
+  }
+  total_segments_ =
+      desc_.rounds * static_cast<std::uint32_t>(phases_.size());
+  instructions_left_ = phases_.front().instructions;
+}
+
+std::vector<Operation> StochasticSource::comm_schedule(
+    const StochasticDescription& desc, NodeId self, std::uint32_t node_count,
+    std::uint32_t segment) {
+  std::vector<Operation> ops;
+  const auto phases = desc.effective_phases();
+  const CommPhase& comm = phases[segment % phases.size()].comm;
+  const std::uint32_t round = segment;  // unique tag space per segment
+  const auto n = node_count;
+  const auto i = static_cast<std::uint32_t>(self);
+  if (comm.pattern == CommPattern::kNone || n < 2) return ops;
+
+  const auto tag = static_cast<std::int32_t>(round) * 2;
+  // The sender of a message samples its size from a stream derived from
+  // (seed, round, sender) — receivers never need the size.
+  sim::Rng size_rng(mix_seed(desc.seed, round, i + 1));
+
+  auto exchange = [&](std::uint32_t to, std::uint32_t from) {
+    const std::uint64_t bytes = sample_message_bytes(comm, size_rng);
+    if (comm.synchronous) {
+      // Even/odd phasing avoids the all-blocked-in-send rendezvous deadlock.
+      if (i % 2 == 0) {
+        ops.push_back(Operation::send(bytes, static_cast<NodeId>(to), tag));
+        ops.push_back(Operation::recv(static_cast<NodeId>(from), tag));
+      } else {
+        ops.push_back(Operation::recv(static_cast<NodeId>(from), tag));
+        ops.push_back(Operation::send(bytes, static_cast<NodeId>(to), tag));
+      }
+    } else {
+      ops.push_back(Operation::asend(bytes, static_cast<NodeId>(to), tag));
+      ops.push_back(Operation::recv(static_cast<NodeId>(from), tag));
+    }
+  };
+
+  switch (comm.pattern) {
+    case CommPattern::kNone:
+      break;
+    case CommPattern::kRing:
+      exchange((i + 1) % n, (i + n - 1) % n);
+      break;
+    case CommPattern::kShift: {
+      const std::uint32_t s = comm.stride % n;
+      if (s != 0) exchange((i + s) % n, (i + n - s) % n);
+      break;
+    }
+    case CommPattern::kAllToAll: {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const std::uint64_t bytes = sample_message_bytes(comm, size_rng);
+        ops.push_back(Operation::asend(bytes, static_cast<NodeId>(j), tag));
+      }
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        ops.push_back(Operation::recv(static_cast<NodeId>(j), tag));
+      }
+      break;
+    }
+    case CommPattern::kGather: {
+      if (i == 0) {
+        for (std::uint32_t j = 1; j < n; ++j) {
+          ops.push_back(Operation::recv(static_cast<NodeId>(j), tag));
+        }
+        // Scatter results back.
+        sim::Rng scatter_rng(mix_seed(desc.seed, round, 1));
+        for (std::uint32_t j = 1; j < n; ++j) {
+          const std::uint64_t bytes = sample_message_bytes(comm, scatter_rng);
+          ops.push_back(
+              Operation::asend(bytes, static_cast<NodeId>(j), tag + 1));
+        }
+      } else {
+        const std::uint64_t bytes = sample_message_bytes(comm, size_rng);
+        ops.push_back(Operation::asend(bytes, 0, tag));
+        ops.push_back(Operation::recv(0, tag + 1));
+      }
+      break;
+    }
+    case CommPattern::kRandomPerm: {
+      // All nodes derive the same permutation from (seed, round).
+      sim::Rng perm_rng(mix_seed(desc.seed, round, 0));
+      std::vector<std::uint32_t> perm(n);
+      for (std::uint32_t k = 0; k < n; ++k) perm[k] = k;
+      for (std::uint32_t k = n - 1; k > 0; --k) {
+        const auto j =
+            static_cast<std::uint32_t>(perm_rng.next_below(k + 1));
+        std::swap(perm[k], perm[j]);
+      }
+      std::vector<std::uint32_t> inverse(n);
+      for (std::uint32_t k = 0; k < n; ++k) inverse[perm[k]] = k;
+      if (perm[i] != i) {
+        sim::Rng my_size_rng(mix_seed(desc.seed, round, perm[i] * n + i));
+        const std::uint64_t bytes = sample_message_bytes(comm, my_size_rng);
+        ops.push_back(
+            Operation::asend(bytes, static_cast<NodeId>(perm[i]), tag));
+      }
+      if (inverse[i] != i) {
+        ops.push_back(Operation::recv(static_cast<NodeId>(inverse[i]), tag));
+      }
+      break;
+    }
+  }
+  return ops;
+}
+
+void StochasticSource::generate_instruction() {
+  const StochasticPhase& ph = phase();
+  const OperationMix& mix = ph.mix;
+  // Fetch of the instruction itself.
+  pending_.push_back(Operation::ifetch(pc_));
+  pc_ += 4;
+  if (pc_ >= kCodeBase + ph.memory.code_working_set) pc_ = kCodeBase;
+
+  const std::size_t kind =
+      op_dists_[segment_ % op_dists_.size()].sample(rng_);
+  const bool fp = rng_.chance(mix.fp_fraction);
+  const DataType arith_type = fp ? DataType::kDouble : DataType::kInt32;
+  const DataType mem_type = fp ? DataType::kDouble : DataType::kInt32;
+
+  auto data_address = [&]() {
+    const std::uint64_t elem = trace::size_of(mem_type);
+    if (!rng_.chance(ph.memory.spatial_locality)) {
+      data_cursor_ =
+          rng_.next_below(ph.memory.data_working_set / elem) * elem;
+    }
+    const std::uint64_t addr = kDataBase + data_cursor_;
+    data_cursor_ = (data_cursor_ + elem) % ph.memory.data_working_set;
+    return addr;
+  };
+
+  switch (kind) {
+    case 0:
+      pending_.push_back(Operation::load(mem_type, data_address()));
+      break;
+    case 1:
+      pending_.push_back(Operation::store(mem_type, data_address()));
+      break;
+    case 2:
+      pending_.push_back(Operation::load_const(arith_type));
+      break;
+    case 3:
+      pending_.push_back(Operation::add(arith_type));
+      break;
+    case 4:
+      pending_.push_back(Operation::sub(arith_type));
+      break;
+    case 5:
+      pending_.push_back(Operation::mul(arith_type));
+      break;
+    case 6:
+      pending_.push_back(Operation::div(arith_type));
+      break;
+    default:
+      break;
+  }
+
+  // Occasionally end the basic block with a taken branch within the code
+  // working set (recurring ifetch addresses, as the paper describes).
+  if (rng_.chance(mix.branch_fraction)) {
+    const std::uint64_t target =
+        kCodeBase + rng_.next_below(ph.memory.code_working_set / 4) * 4;
+    pending_.push_back(Operation::branch(target));
+    pc_ = target;
+  }
+}
+
+void StochasticSource::generate_computation_slice() {
+  if (desc_.task_level) {
+    const double d =
+        rng_.exponential(static_cast<double>(phase().mean_task_ticks));
+    pending_.push_back(Operation::compute(
+        std::max<sim::Tick>(1, static_cast<sim::Tick>(d))));
+    return;
+  }
+  // Generate a slice of the segment's instructions; refill() is called
+  // again until the budget is exhausted.
+  const std::uint64_t slice = std::min<std::uint64_t>(instructions_left_, 256);
+  for (std::uint64_t k = 0; k < slice; ++k) {
+    generate_instruction();
+  }
+  instructions_left_ -= slice;
+}
+
+void StochasticSource::refill() {
+  if (segment_ >= total_segments_) return;
+
+  if (in_computation_) {
+    if (desc_.task_level) {
+      generate_computation_slice();
+      in_computation_ = false;
+    } else if (instructions_left_ > 0) {
+      generate_computation_slice();
+      if (instructions_left_ == 0) in_computation_ = false;
+    } else {
+      in_computation_ = false;
+    }
+  }
+  if (!pending_.empty()) return;
+
+  // Communication for this segment, then advance to the next one.
+  if (!in_computation_) {
+    if (emit_comm_) {
+      auto comm = comm_schedule(desc_, self_, node_count_, segment_);
+      for (const auto& op : comm) pending_.push_back(op);
+    }
+    ++segment_;
+    if (segment_ < total_segments_) {
+      instructions_left_ = phase().instructions;
+    }
+    in_computation_ = true;
+  }
+}
+
+std::optional<Operation> StochasticSource::next() {
+  while (pending_.empty() && segment_ < total_segments_) {
+    refill();
+  }
+  if (pending_.empty()) return std::nullopt;
+  const Operation op = pending_.front();
+  pending_.pop_front();
+  return op;
+}
+
+trace::Workload make_stochastic_workload(const StochasticDescription& desc,
+                                         std::uint32_t node_count,
+                                         std::uint32_t cpus_per_node) {
+  trace::Workload w;
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    for (std::uint32_t c = 0; c < cpus_per_node; ++c) {
+      StochasticDescription d = desc;
+      d.seed = mix_seed(desc.seed, n, c);
+      // Keep the global seed's comm schedule: comm_schedule uses desc.seed,
+      // so sources that emit communication must share it.
+      const bool comm = c == 0;
+      if (comm) d.seed = desc.seed;
+      w.sources.push_back(std::make_unique<StochasticSource>(
+          d, static_cast<NodeId>(n), node_count, comm));
+    }
+  }
+  return w;
+}
+
+trace::Workload make_stochastic_task_workload(StochasticDescription desc,
+                                              std::uint32_t node_count) {
+  desc.task_level = true;
+  trace::Workload w;
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    w.sources.push_back(std::make_unique<StochasticSource>(
+        desc, static_cast<NodeId>(n), node_count, /*emit_comm=*/true));
+  }
+  return w;
+}
+
+}  // namespace merm::gen

@@ -1,0 +1,160 @@
+// The stochastic trace generator (Section 3): produces "realistic synthetic
+// traces of operations" from a probabilistic application description —
+// "useful when fast-prototyping new architectures" and trivially tunable.
+//
+// A description is a sequence of identical rounds: a computation phase (an
+// operation mix over a data working set, or a single task-level compute) and
+// a communication phase drawn from a structured pattern.  Traces for
+// different nodes are generated lazily and independently, but the
+// communication schedule is derived deterministically from (seed, round,
+// pattern), so sends and receives always match across nodes — a property the
+// generator tests verify.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "trace/operation.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::gen {
+
+/// Relative frequencies of computational operations (arithmetic and memory).
+struct OperationMix {
+  double load = 0.25;
+  double store = 0.10;
+  double load_const = 0.05;
+  double add = 0.30;
+  double sub = 0.10;
+  double mul = 0.15;
+  double div = 0.05;
+  /// Fraction of arithmetic operations performed in double precision.
+  double fp_fraction = 0.3;
+  /// Fraction of instructions that end a basic block with a taken branch.
+  double branch_fraction = 0.1;
+};
+
+/// Memory reference behaviour.
+struct MemoryPattern {
+  std::uint64_t data_working_set = 64 * 1024;
+  /// Probability that a data reference is sequential to the previous one
+  /// (otherwise it jumps uniformly within the working set).
+  double spatial_locality = 0.7;
+  std::uint64_t code_working_set = 4 * 1024;
+};
+
+enum class CommPattern : std::uint8_t {
+  kNone,
+  kRing,        ///< exchange with (i±1) mod n
+  kShift,       ///< exchange with (i±stride) mod n
+  kAllToAll,    ///< every node exchanges with every other
+  kGather,      ///< all nodes send to node 0, node 0 scatters back
+  kRandomPerm,  ///< a fresh random permutation each round
+};
+
+struct CommPhase {
+  CommPattern pattern = CommPattern::kRing;
+  std::uint32_t stride = 1;           ///< for kShift
+  std::uint64_t message_bytes = 1024; ///< fixed size, or mean when exponential
+  bool exponential_sizes = false;
+  /// Use synchronous (rendezvous) send/recv with even/odd phasing instead of
+  /// asend + recv.  Exercises the blocking semantics.
+  bool synchronous = false;
+};
+
+/// One behavioural phase of a multi-phase description: its own instruction
+/// budget, operation mix, memory pattern and communication.
+struct StochasticPhase {
+  std::uint64_t instructions = 10'000;
+  OperationMix mix;
+  MemoryPattern memory;
+  CommPhase comm;
+  /// Task-level alternative for this phase.
+  sim::Tick mean_task_ticks = 100 * sim::kTicksPerMicrosecond;
+};
+
+struct StochasticDescription {
+  /// Computational operations per node per round (instruction level).
+  std::uint64_t instructions_per_round = 10'000;
+  std::uint32_t rounds = 4;
+  OperationMix mix;
+  MemoryPattern memory;
+  CommPhase comm;
+
+  /// Optional explicit phase sequence; when non-empty, each round runs the
+  /// whole sequence (the top-level mix/memory/comm fields are ignored).
+  /// Models applications alternating between distinct regimes, e.g. an
+  /// FP-heavy solve phase with neighbor exchange followed by an
+  /// integer/pointer phase with a gather.
+  std::vector<StochasticPhase> phases;
+
+  /// Task-level descriptions emit compute(duration) instead of instructions.
+  bool task_level = false;
+  /// Mean task duration (exponential) when task_level is set.
+  sim::Tick mean_task_ticks = 100 * sim::kTicksPerMicrosecond;
+
+  std::uint64_t seed = 1;
+
+  /// The effective phase sequence (synthesized from the top-level fields
+  /// when `phases` is empty).
+  std::vector<StochasticPhase> effective_phases() const;
+};
+
+/// Lazy per-node synthetic trace.
+class StochasticSource final : public trace::OperationSource {
+ public:
+  StochasticSource(const StochasticDescription& desc, trace::NodeId self,
+                   std::uint32_t node_count, bool emit_comm = true);
+
+  std::optional<trace::Operation> next() override;
+
+  /// The communication operations node `self` performs in segment `segment`
+  /// (round * phase-count + phase index) — identical on every node that
+  /// computes it (the matching guarantee).
+  static std::vector<trace::Operation> comm_schedule(
+      const StochasticDescription& desc, trace::NodeId self,
+      std::uint32_t node_count, std::uint32_t segment);
+
+ private:
+  void refill();
+  void generate_computation_slice();
+  void generate_instruction();
+
+  const StochasticPhase& phase() const {
+    return phases_[segment_ % phases_.size()];
+  }
+
+  StochasticDescription desc_;
+  std::vector<StochasticPhase> phases_;
+  std::vector<sim::DiscreteDistribution> op_dists_;  ///< one per phase
+  trace::NodeId self_;
+  std::uint32_t node_count_;
+  bool emit_comm_;
+  sim::Rng rng_;
+
+  std::uint32_t segment_ = 0;       ///< rounds * phases consumed so far
+  std::uint32_t total_segments_ = 0;
+  std::uint64_t instructions_left_ = 0;
+  bool in_computation_ = true;
+  std::deque<trace::Operation> pending_;
+
+  // memory reference state
+  std::uint64_t data_cursor_ = 0;
+  std::uint64_t pc_ = 0;
+};
+
+/// Builds an instruction-level workload: `cpus_per_node` sources per node;
+/// communication is issued by CPU 0 of each node, extra CPUs compute only.
+trace::Workload make_stochastic_workload(const StochasticDescription& desc,
+                                         std::uint32_t node_count,
+                                         std::uint32_t cpus_per_node = 1);
+
+/// Builds a task-level workload (one source per node) from the description,
+/// forcing task_level semantics.
+trace::Workload make_stochastic_task_workload(StochasticDescription desc,
+                                              std::uint32_t node_count);
+
+}  // namespace merm::gen

@@ -1,0 +1,114 @@
+#include "gen/threaded_source.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace merm::gen {
+
+namespace {
+/// Thrown into the application thread when the source is destroyed before
+/// the application finished (e.g. a bounded simulation run).
+struct Abandoned {};
+}  // namespace
+
+void AppContext::emit(const trace::Operation& op) { owner_.push(op); }
+
+sim::Tick AppContext::now() const {
+  std::lock_guard<std::mutex> lock(owner_.mu_);
+  return owner_.last_event_time_;
+}
+
+ThreadedSource::ThreadedSource(AppFn app, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  thread_ = std::thread([this, fn = std::move(app)] { thread_main(fn); });
+}
+
+ThreadedSource::~ThreadedSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned_ = true;
+    cv_app_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadedSource::thread_main(AppFn app) {
+  AppContext ctx(*this);
+  try {
+    app(ctx);
+  } catch (const Abandoned&) {
+    // Simulation ended before the application did; unwind quietly.
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    app_error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  app_finished_ = true;
+  cv_sim_.notify_all();
+}
+
+void ThreadedSource::push(const trace::Operation& op) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_app_.wait(lock,
+               [this] { return queue_.size() < capacity_ || abandoned_; });
+  if (abandoned_) throw Abandoned{};
+
+  queue_.push_back(op);
+  const bool global = trace::is_global_event(op.code);
+  if (global) {
+    ++globals_emitted_;
+    waiting_for_global_ = true;
+  }
+  cv_sim_.notify_all();
+
+  if (global) {
+    // Suspend until the simulator explicitly resumes this "thread" — the
+    // physical-time interleaving handshake.
+    cv_app_.wait(lock, [this] {
+      return globals_completed_ >= globals_emitted_ || abandoned_;
+    });
+    waiting_for_global_ = false;
+    if (abandoned_) throw Abandoned{};
+  }
+}
+
+std::optional<trace::Operation> ThreadedSource::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_sim_.wait(lock, [this] {
+    if (!queue_.empty() || app_finished_) return true;
+    // The application can only be blocked on an unresolved global event; if
+    // the consumer pulls again without resolving it, that's a protocol bug
+    // worth failing loudly on rather than deadlocking.
+    if (waiting_for_global_ && globals_completed_ < globals_emitted_) {
+      return true;
+    }
+    return false;
+  });
+  if (app_error_) {
+    std::exception_ptr e = app_error_;
+    app_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (queue_.empty()) {
+    if (!app_finished_ && waiting_for_global_) {
+      throw std::logic_error(
+          "ThreadedSource::next() called past an unresolved global event");
+    }
+    return std::nullopt;
+  }
+  trace::Operation op = queue_.front();
+  queue_.pop_front();
+  cv_app_.notify_all();
+  return op;
+}
+
+void ThreadedSource::global_event_issued(sim::Tick /*t*/) {}
+
+void ThreadedSource::global_event_done(sim::Tick t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++globals_completed_;
+  last_event_time_ = t;
+  cv_app_.notify_all();
+}
+
+}  // namespace merm::gen

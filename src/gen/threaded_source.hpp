@@ -1,0 +1,96 @@
+// Physical-time-interleaved trace generation with real threads
+// (Sections 2 and 3.1).
+//
+// "Both trace generators model concurrent execution by means of threads ...
+// Whenever a thread encounters a global event, it is suspended until
+// explicitly resumed by the simulator."
+//
+// A ThreadedSource runs one node's instrumented application on a host
+// thread.  The thread pushes operations into a bounded queue; local
+// (computational) operations may buffer freely — they cannot be affected by
+// other processors — but when the application emits a *global event* the
+// thread blocks until the architecture simulator reports the event complete
+// (global_event_done).  The simulator pulls operations with next(), which
+// blocks host-side until the application produced one.  Because the
+// application only advances past a global event once the simulator has
+// resolved it at the correct simulated time, the generated multiprocessor
+// trace "is exactly the one that would be observed if the application was
+// actually executed on the target machine".
+//
+// The suspended application can read the simulated completion time of its
+// last global event through AppContext::now() — the feedback arrow of
+// Fig. 1 — enabling timing-dependent control flow.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "gen/annotate.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::gen {
+
+class ThreadedSource;
+
+/// Handed to the application function running on the generator thread.
+/// Also an OpSink, so an Annotator can write straight into it.
+class AppContext final : public OpSink {
+ public:
+  explicit AppContext(ThreadedSource& owner) : owner_(owner) {}
+
+  /// Emits one operation.  Blocks while the queue is full; for global
+  /// events, additionally blocks until the simulator completed the event.
+  void emit(const trace::Operation& op) override;
+
+  /// Simulated time at which this node's most recent global event
+  /// completed (0 before the first one).
+  sim::Tick now() const;
+
+ private:
+  ThreadedSource& owner_;
+};
+
+class ThreadedSource final : public trace::OperationSource {
+ public:
+  using AppFn = std::function<void(AppContext&)>;
+
+  /// Spawns the generator thread immediately; it runs ahead until the
+  /// operation queue fills or it hits a global event.
+  explicit ThreadedSource(AppFn app, std::size_t queue_capacity = 1024);
+  ~ThreadedSource() override;
+
+  ThreadedSource(const ThreadedSource&) = delete;
+  ThreadedSource& operator=(const ThreadedSource&) = delete;
+
+  std::optional<trace::Operation> next() override;
+  void global_event_issued(sim::Tick t) override;
+  void global_event_done(sim::Tick t) override;
+
+ private:
+  friend class AppContext;
+
+  void thread_main(AppFn app);
+  void push(const trace::Operation& op);  // called from app thread
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_app_;   ///< wakes the application thread
+  std::condition_variable cv_sim_;   ///< wakes the simulator side
+  std::deque<trace::Operation> queue_;
+  std::size_t capacity_;
+  bool app_finished_ = false;
+  bool abandoned_ = false;           ///< source destroyed before app finished
+  bool waiting_for_global_ = false;  ///< app blocked on an in-flight event
+  std::exception_ptr app_error_;     ///< rethrown from next()
+  std::uint64_t globals_emitted_ = 0;
+  std::uint64_t globals_completed_ = 0;
+  sim::Tick last_event_time_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace merm::gen

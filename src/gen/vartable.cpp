@@ -1,0 +1,112 @@
+#include "gen/vartable.hpp"
+
+#include <stdexcept>
+
+namespace merm::gen {
+
+VarTable::VarTable(AddressLayout layout)
+    : layout_(layout),
+      next_global_(layout.data_base),
+      next_shared_(layout.shared_base),
+      stack_top_(layout.stack_base) {
+  // The outermost "frame" holds main()'s locals.
+  frames_.push_back(Frame{0, stack_top_, 0});
+}
+
+VarId VarTable::declare_global(std::string name, trace::DataType type,
+                               std::uint64_t elements) {
+  if (elements == 0) throw std::invalid_argument("zero-element variable");
+  VarDesc d;
+  d.name = std::move(name);
+  d.storage = StorageClass::kGlobal;
+  d.type = type;
+  d.elements = elements;
+  // Align to the element size.
+  const std::uint64_t size = trace::size_of(type);
+  next_global_ = (next_global_ + size - 1) / size * size;
+  d.address = next_global_;
+  next_global_ += size * elements;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId VarTable::declare_shared(std::string name, trace::DataType type,
+                               std::uint64_t elements, bool page_align,
+                               std::uint64_t page_bytes) {
+  if (elements == 0) throw std::invalid_argument("zero-element variable");
+  VarDesc d;
+  d.name = std::move(name);
+  d.storage = StorageClass::kShared;
+  d.type = type;
+  d.elements = elements;
+  const std::uint64_t size = trace::size_of(type);
+  if (page_align) {
+    next_shared_ = (next_shared_ + page_bytes - 1) / page_bytes * page_bytes;
+  } else {
+    next_shared_ = (next_shared_ + size - 1) / size * size;
+  }
+  d.address = next_shared_;
+  next_shared_ += size * elements;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId VarTable::declare_local(std::string name, trace::DataType type,
+                              std::uint64_t elements) {
+  if (elements == 0) throw std::invalid_argument("zero-element variable");
+  VarDesc d;
+  d.name = std::move(name);
+  d.storage = StorageClass::kLocal;
+  d.type = type;
+  d.elements = elements;
+  const std::uint64_t size = trace::size_of(type);
+  stack_top_ -= size * elements;
+  stack_top_ = stack_top_ / size * size;  // align downward
+  d.address = stack_top_;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId VarTable::declare_argument(std::string name, trace::DataType type) {
+  VarDesc d;
+  d.name = std::move(name);
+  d.storage = StorageClass::kArgument;
+  d.type = type;
+  Frame& f = frames_.back();
+  if (f.args_declared < kRegisterArgs) {
+    d.in_register = true;
+  } else {
+    const std::uint64_t size = trace::size_of(type);
+    stack_top_ -= size;
+    stack_top_ = stack_top_ / size * size;
+    d.address = stack_top_;
+  }
+  ++f.args_declared;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void VarTable::promote_to_register(VarId v) {
+  VarDesc& d = vars_[v];
+  if (d.elements != 1) {
+    throw std::invalid_argument("cannot register-allocate array '" + d.name +
+                                "'");
+  }
+  d.in_register = true;
+}
+
+void VarTable::push_frame() {
+  frames_.push_back(Frame{vars_.size(), stack_top_, 0});
+}
+
+void VarTable::pop_frame() {
+  if (frames_.size() == 1) {
+    throw std::logic_error("pop_frame on outermost frame");
+  }
+  const Frame f = frames_.back();
+  frames_.pop_back();
+  vars_.resize(f.first_var);
+  stack_top_ = f.stack_top;
+}
+
+}  // namespace merm::gen

@@ -1,0 +1,115 @@
+// The variable descriptor table of the annotation translator (Section 5.1).
+//
+// "Every variable used in the application has an entry in the so-called
+// variable descriptor table.  This table determines whether a variable is
+// global, local, or a function argument.  It further contains information on
+// the addresses of variables, whether they are placed in a register or not
+// and the types of the variables."
+//
+// The table performs the address assignment a compiler would: globals in a
+// data segment, locals in stack frames that grow with call depth, and the
+// first few scalar arguments in registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace merm::gen {
+
+enum class StorageClass : std::uint8_t {
+  kGlobal,
+  kLocal,
+  kArgument,
+  kShared,  ///< virtual-shared-memory region (see src/vsm)
+};
+
+/// Index into the variable descriptor table.
+using VarId = std::uint32_t;
+
+struct VarDesc {
+  std::string name;
+  StorageClass storage = StorageClass::kGlobal;
+  trace::DataType type = trace::DataType::kInt32;
+  std::uint64_t address = 0;   ///< base address (unused when in_register)
+  bool in_register = false;    ///< register-allocated: no memory traffic
+  std::uint64_t elements = 1;  ///< array length (1 = scalar)
+
+  std::uint64_t element_address(std::uint64_t index) const {
+    return address + index * trace::size_of(type);
+  }
+};
+
+/// Address-space layout used by the translator.  Code, globals and stack
+/// live in disjoint regions so cache studies see realistic conflict
+/// behaviour.
+struct AddressLayout {
+  std::uint64_t code_base = 0x0000'1000;
+  std::uint64_t data_base = 0x0010'0000;
+  std::uint64_t stack_base = 0x7fff'0000;  ///< grows downward
+  /// Base of the virtual-shared-memory region; accesses here are serviced
+  /// by the DSM layer.  Must agree with vsm::VsmParams::shared_base.
+  std::uint64_t shared_base = 0x4000'0000'0000ULL;
+};
+
+class VarTable {
+ public:
+  explicit VarTable(AddressLayout layout = {});
+
+  /// Declares a global scalar/array.
+  VarId declare_global(std::string name, trace::DataType type,
+                       std::uint64_t elements = 1);
+
+  /// Declares a variable in the virtual shared memory region.  SPMD
+  /// programs declaring shared variables in the same order see the same
+  /// addresses on every node — the DSM keeps them coherent.
+  /// `page_align` starts the variable on a fresh page boundary (for
+  /// false-sharing studies).
+  VarId declare_shared(std::string name, trace::DataType type,
+                       std::uint64_t elements = 1, bool page_align = false,
+                       std::uint64_t page_bytes = 4096);
+
+  /// Declares a local in the current frame.
+  VarId declare_local(std::string name, trace::DataType type,
+                      std::uint64_t elements = 1);
+
+  /// Declares a function argument in the current frame.  The first
+  /// `kRegisterArgs` scalar arguments are register-allocated.
+  VarId declare_argument(std::string name, trace::DataType type);
+
+  /// Marks a scalar as register-allocated (e.g. a loop counter the compiler
+  /// would keep in a register).  Register variables emit no memory traffic.
+  void promote_to_register(VarId v);
+
+  /// Enters/leaves a function scope: locals declared after push_frame are
+  /// dropped by pop_frame and their stack space is reclaimed.
+  void push_frame();
+  void pop_frame();
+
+  const VarDesc& operator[](VarId v) const { return vars_[v]; }
+  std::size_t size() const { return vars_.size(); }
+  std::size_t frame_depth() const { return frames_.size(); }
+
+  const AddressLayout& layout() const { return layout_; }
+
+  /// Number of scalar arguments passed in registers.
+  static constexpr std::uint32_t kRegisterArgs = 4;
+
+ private:
+  struct Frame {
+    std::size_t first_var;       ///< index of first var declared in frame
+    std::uint64_t stack_top;     ///< stack pointer on entry
+    std::uint32_t args_declared; ///< argument count in this frame
+  };
+
+  AddressLayout layout_;
+  std::vector<VarDesc> vars_;
+  std::vector<Frame> frames_;
+  std::uint64_t next_global_ = 0;
+  std::uint64_t next_shared_ = 0;
+  std::uint64_t stack_top_ = 0;
+};
+
+}  // namespace merm::gen

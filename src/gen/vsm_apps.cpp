@@ -1,0 +1,140 @@
+#include "gen/vsm_apps.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/collectives.hpp"
+
+namespace merm::gen {
+
+using trace::DataType;
+using trace::OpCode;
+
+namespace {
+constexpr DataType kF64 = DataType::kDouble;
+}
+
+void vsm_stencil_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                      const VsmStencilParams& p) {
+  const std::uint32_t n = p.n;
+  if (n % nodes != 0) {
+    throw std::invalid_argument("vsm_stencil: n must divide by node count");
+  }
+  VarTable& vars = a.vars();
+  // Shared grids: identical addresses on every node (SPMD declaration
+  // order), coherence by the DSM.
+  VarId U = vars.declare_shared("U", kF64, std::uint64_t(n) * n,
+                                /*page_align=*/true);
+  VarId V = vars.declare_shared("V", kF64, std::uint64_t(n) * n,
+                                /*page_align=*/true);
+  const VarId quarter = vars.declare_global("c", kF64, 1);
+
+  const std::uint32_t strip = n / nodes;
+  const std::uint32_t row_lo =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(self) * strip);
+  const std::uint32_t row_hi = std::min<std::uint32_t>(
+      n - 1, (static_cast<std::uint32_t>(self) + 1) * strip);
+
+  std::int32_t tag = p.tag_base;
+  for (std::uint32_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::uint32_t i = row_lo; i < row_hi; ++i) {
+      for (std::uint32_t j = 1; j + 1 < n; ++j) {
+        const std::uint64_t c = std::uint64_t(i) * n + j;
+        a.load(U, c - n);  // may fault to a neighbor's page
+        a.load(U, c + n);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(U, c - 1);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(U, c + 1);
+        a.arith(OpCode::kAdd, kF64);
+        a.load(quarter);
+        a.arith(OpCode::kMul, kF64);
+        a.store(V, c);
+      }
+    }
+    // Phase synchronization: nobody reads V (as next iteration's U) before
+    // every writer finished.
+    barrier(a, self, nodes, tag);
+    tag += kTagsPerCollective;
+    std::swap(U, V);
+  }
+}
+
+void vsm_reduction_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                        const VsmReductionParams& p) {
+  VarTable& vars = a.vars();
+  // Slot layout decides the sharing behaviour.
+  std::vector<VarId> slots;
+  if (p.padded) {
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      slots.push_back(vars.declare_shared("slot" + std::to_string(i), kF64, 1,
+                                          /*page_align=*/true));
+    }
+  } else {
+    const VarId packed =
+        vars.declare_shared("slots", kF64, nodes, /*page_align=*/true);
+    for (std::uint32_t i = 0; i < nodes; ++i) slots.push_back(packed);
+  }
+  const VarId x = vars.declare_global("x", kF64, p.elements);
+  const VarId total = vars.declare_shared("total", kF64, 1,
+                                          /*page_align=*/true);
+
+  std::int32_t tag = p.tag_base;
+  for (std::uint32_t round = 0; round < p.rounds; ++round) {
+    // Private accumulation.
+    a.load_const(kF64);
+    for (std::uint32_t e = 0; e < p.elements; ++e) {
+      a.load(x, e);
+      a.arith(OpCode::kAdd, kF64);
+    }
+    // Publish into my slot (a shared write: faults, invalidates readers).
+    const std::uint64_t index =
+        p.padded ? 0 : static_cast<std::uint64_t>(self);
+    a.store(slots[static_cast<std::size_t>(self)], index);
+    barrier(a, self, nodes, tag);
+    tag += kTagsPerCollective;
+    // Node 0 combines all slots (shared reads) into the shared total.
+    if (self == 0) {
+      a.load_const(kF64);
+      for (std::uint32_t i = 0; i < nodes; ++i) {
+        a.load(slots[i], p.padded ? 0 : i);
+        a.arith(OpCode::kAdd, kF64);
+      }
+      a.store(total);
+    }
+    barrier(a, self, nodes, tag);
+    tag += kTagsPerCollective;
+    // Everyone reads the result (read-sharing of the total page).
+    a.load(total);
+  }
+}
+
+void vsm_broadcast_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                        const VsmBroadcastParams& p) {
+  VarTable& vars = a.vars();
+  const VarId block = vars.declare_shared("block", kF64, p.block_doubles,
+                                          /*page_align=*/true);
+  std::int32_t tag = p.tag_base;
+  for (std::uint32_t round = 0; round < p.rounds; ++round) {
+    if (self == 0) {
+      for (std::uint32_t i = 0; i < p.block_doubles; ++i) {
+        a.load_const(kF64);
+        a.store(block, i);
+      }
+    }
+    barrier(a, self, nodes, tag);
+    tag += kTagsPerCollective;
+    if (self != 0) {
+      a.load_const(kF64);
+      for (std::uint32_t i = 0; i < p.block_doubles; ++i) {
+        a.load(block, i);
+        a.arith(OpCode::kAdd, kF64);
+      }
+    }
+    barrier(a, self, nodes, tag);
+    tag += kTagsPerCollective;
+  }
+}
+
+}  // namespace merm::gen

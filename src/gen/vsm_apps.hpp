@@ -1,0 +1,51 @@
+// Annotated kernels written against the virtual shared memory (Section 5.1's
+// outlook): data exchange happens through plain loads/stores to the shared
+// region; the only explicit messages are barrier/reduce collectives for
+// phase synchronization.  Compare stencil_spmd (explicit halo messages) with
+// vsm_stencil_spmd (neighbor rows read directly from shared memory).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/annotate.hpp"
+
+namespace merm::gen {
+
+/// Jacobi stencil on a shared n x n grid: each node updates its row strip in
+/// place of explicit halo exchange — boundary rows are fetched by the DSM on
+/// demand.  Requires n*n*8 bytes * 2 within the shared region.
+struct VsmStencilParams {
+  std::uint32_t n = 32;
+  std::uint32_t iterations = 2;
+  /// Tag base for the inter-iteration barriers.
+  std::int32_t tag_base = 1 << 20;
+};
+void vsm_stencil_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                      const VsmStencilParams& p);
+
+/// Global sum: each node accumulates a private array into a shared slot,
+/// then node 0 combines the slots.  Two layouts:
+///  - padded = true : one page per slot (no false sharing),
+///  - padded = false: all slots in one page (write-fault ping-pong — the
+///    classic false-sharing pathology, visible in the fault counters).
+struct VsmReductionParams {
+  std::uint32_t elements = 256;  ///< private doubles summed per node
+  std::uint32_t rounds = 2;
+  bool padded = true;
+  std::int32_t tag_base = 1 << 21;
+};
+void vsm_reduction_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                        const VsmReductionParams& p);
+
+/// Producer/consumer through shared memory: node 0 writes a block, others
+/// read it after a barrier (read-sharing: one write fault, n-1 read faults,
+/// then invalidation on the next round's write).
+struct VsmBroadcastParams {
+  std::uint32_t block_doubles = 1024;
+  std::uint32_t rounds = 3;
+  std::int32_t tag_base = 1 << 22;
+};
+void vsm_broadcast_spmd(Annotator& a, trace::NodeId self, std::uint32_t nodes,
+                        const VsmBroadcastParams& p);
+
+}  // namespace merm::gen

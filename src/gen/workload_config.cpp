@@ -1,0 +1,301 @@
+#include "gen/workload_config.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace merm::gen {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("workload config line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+double parse_double(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) fail(line, "trailing junk in '" + v + "'");
+    return d;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + v + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t u = std::stoull(v, &pos, 0);
+    if (pos != v.size()) fail(line, "trailing junk in '" + v + "'");
+    return u;
+  } catch (const std::logic_error&) {
+    fail(line, "bad integer '" + v + "'");
+  }
+}
+
+bool parse_bool(const std::string& v, int line) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  fail(line, "bad boolean '" + v + "'");
+}
+
+CommPattern parse_pattern(const std::string& v, int line) {
+  if (v == "none") return CommPattern::kNone;
+  if (v == "ring") return CommPattern::kRing;
+  if (v == "shift") return CommPattern::kShift;
+  if (v == "all_to_all") return CommPattern::kAllToAll;
+  if (v == "gather") return CommPattern::kGather;
+  if (v == "random_perm") return CommPattern::kRandomPerm;
+  fail(line, "unknown pattern '" + v + "'");
+}
+
+}  // namespace
+
+const char* to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::kNone:
+      return "none";
+    case CommPattern::kRing:
+      return "ring";
+    case CommPattern::kShift:
+      return "shift";
+    case CommPattern::kAllToAll:
+      return "all_to_all";
+    case CommPattern::kGather:
+      return "gather";
+    case CommPattern::kRandomPerm:
+      return "random_perm";
+  }
+  return "?";
+}
+
+StochasticDescription parse_workload(std::istream& is) {
+  return parse_workload(is, StochasticDescription{});
+}
+
+StochasticDescription parse_workload(std::istream& is,
+                                     const StochasticDescription& base) {
+  StochasticDescription d = base;
+  std::string section;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find_first_of(";#");
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.rfind("phase.", 0) == 0) {
+        const auto idx = static_cast<std::size_t>(
+            parse_u64(section.substr(6), line_no));
+        while (d.phases.size() <= idx) {
+          // New phases start from the description's top-level behaviour.
+          StochasticPhase p;
+          p.instructions = d.instructions_per_round;
+          p.mix = d.mix;
+          p.memory = d.memory;
+          p.comm = d.comm;
+          p.mean_task_ticks = d.mean_task_ticks;
+          d.phases.push_back(p);
+        }
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (section.empty()) {
+      if (key == "instructions_per_round") {
+        d.instructions_per_round = parse_u64(value, line_no);
+      } else if (key == "rounds") {
+        d.rounds = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "seed") {
+        d.seed = parse_u64(value, line_no);
+      } else if (key == "task_level") {
+        d.task_level = parse_bool(value, line_no);
+      } else if (key == "mean_task_us") {
+        d.mean_task_ticks =
+            parse_u64(value, line_no) * sim::kTicksPerMicrosecond;
+      } else {
+        fail(line_no, "unknown top-level key '" + key + "'");
+      }
+    } else if (section == "mix") {
+      OperationMix& m = d.mix;
+      if (key == "load") {
+        m.load = parse_double(value, line_no);
+      } else if (key == "store") {
+        m.store = parse_double(value, line_no);
+      } else if (key == "load_const") {
+        m.load_const = parse_double(value, line_no);
+      } else if (key == "add") {
+        m.add = parse_double(value, line_no);
+      } else if (key == "sub") {
+        m.sub = parse_double(value, line_no);
+      } else if (key == "mul") {
+        m.mul = parse_double(value, line_no);
+      } else if (key == "div") {
+        m.div = parse_double(value, line_no);
+      } else if (key == "fp_fraction") {
+        m.fp_fraction = parse_double(value, line_no);
+      } else if (key == "branch_fraction") {
+        m.branch_fraction = parse_double(value, line_no);
+      } else {
+        fail(line_no, "unknown [mix] key '" + key + "'");
+      }
+    } else if (section == "memory") {
+      if (key == "data_working_set") {
+        d.memory.data_working_set = parse_u64(value, line_no);
+      } else if (key == "spatial_locality") {
+        d.memory.spatial_locality = parse_double(value, line_no);
+      } else if (key == "code_working_set") {
+        d.memory.code_working_set = parse_u64(value, line_no);
+      } else {
+        fail(line_no, "unknown [memory] key '" + key + "'");
+      }
+    } else if (section == "comm") {
+      if (key == "pattern") {
+        d.comm.pattern = parse_pattern(value, line_no);
+      } else if (key == "stride") {
+        d.comm.stride = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "message_bytes") {
+        d.comm.message_bytes = parse_u64(value, line_no);
+      } else if (key == "exponential_sizes") {
+        d.comm.exponential_sizes = parse_bool(value, line_no);
+      } else if (key == "synchronous") {
+        d.comm.synchronous = parse_bool(value, line_no);
+      } else {
+        fail(line_no, "unknown [comm] key '" + key + "'");
+      }
+    } else if (section.rfind("phase.", 0) == 0) {
+      const auto idx =
+          static_cast<std::size_t>(parse_u64(section.substr(6), line_no));
+      StochasticPhase& p = d.phases[idx];
+      if (key == "instructions") {
+        p.instructions = parse_u64(value, line_no);
+      } else if (key == "mean_task_us") {
+        p.mean_task_ticks =
+            parse_u64(value, line_no) * sim::kTicksPerMicrosecond;
+      } else if (key == "load") {
+        p.mix.load = parse_double(value, line_no);
+      } else if (key == "store") {
+        p.mix.store = parse_double(value, line_no);
+      } else if (key == "add") {
+        p.mix.add = parse_double(value, line_no);
+      } else if (key == "sub") {
+        p.mix.sub = parse_double(value, line_no);
+      } else if (key == "mul") {
+        p.mix.mul = parse_double(value, line_no);
+      } else if (key == "div") {
+        p.mix.div = parse_double(value, line_no);
+      } else if (key == "fp_fraction") {
+        p.mix.fp_fraction = parse_double(value, line_no);
+      } else if (key == "branch_fraction") {
+        p.mix.branch_fraction = parse_double(value, line_no);
+      } else if (key == "data_working_set") {
+        p.memory.data_working_set = parse_u64(value, line_no);
+      } else if (key == "spatial_locality") {
+        p.memory.spatial_locality = parse_double(value, line_no);
+      } else if (key == "code_working_set") {
+        p.memory.code_working_set = parse_u64(value, line_no);
+      } else if (key == "pattern") {
+        p.comm.pattern = parse_pattern(value, line_no);
+      } else if (key == "stride") {
+        p.comm.stride = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "message_bytes") {
+        p.comm.message_bytes = parse_u64(value, line_no);
+      } else if (key == "exponential_sizes") {
+        p.comm.exponential_sizes = parse_bool(value, line_no);
+      } else if (key == "synchronous") {
+        p.comm.synchronous = parse_bool(value, line_no);
+      } else {
+        fail(line_no, "unknown [phase] key '" + key + "'");
+      }
+    } else {
+      fail(line_no, "unknown section '" + section + "'");
+    }
+  }
+  return d;
+}
+
+StochasticDescription parse_workload_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_workload(is);
+}
+
+void write_workload(std::ostream& os, const StochasticDescription& d) {
+  os << "instructions_per_round = " << d.instructions_per_round << "\n";
+  os << "rounds = " << d.rounds << "\n";
+  os << "seed = " << d.seed << "\n";
+  os << "task_level = " << (d.task_level ? "true" : "false") << "\n";
+  os << "mean_task_us = " << d.mean_task_ticks / sim::kTicksPerMicrosecond
+     << "\n\n";
+  os << "[mix]\n";
+  os << "load = " << d.mix.load << "\n";
+  os << "store = " << d.mix.store << "\n";
+  os << "load_const = " << d.mix.load_const << "\n";
+  os << "add = " << d.mix.add << "\n";
+  os << "sub = " << d.mix.sub << "\n";
+  os << "mul = " << d.mix.mul << "\n";
+  os << "div = " << d.mix.div << "\n";
+  os << "fp_fraction = " << d.mix.fp_fraction << "\n";
+  os << "branch_fraction = " << d.mix.branch_fraction << "\n\n";
+  os << "[memory]\n";
+  os << "data_working_set = " << d.memory.data_working_set << "\n";
+  os << "spatial_locality = " << d.memory.spatial_locality << "\n";
+  os << "code_working_set = " << d.memory.code_working_set << "\n\n";
+  os << "[comm]\n";
+  os << "pattern = " << to_string(d.comm.pattern) << "\n";
+  os << "stride = " << d.comm.stride << "\n";
+  os << "message_bytes = " << d.comm.message_bytes << "\n";
+  os << "exponential_sizes = " << (d.comm.exponential_sizes ? "true" : "false")
+     << "\n";
+  os << "synchronous = " << (d.comm.synchronous ? "true" : "false") << "\n";
+
+  for (std::size_t i = 0; i < d.phases.size(); ++i) {
+    const StochasticPhase& p = d.phases[i];
+    os << "\n[phase." << i << "]\n";
+    os << "instructions = " << p.instructions << "\n";
+    os << "mean_task_us = " << p.mean_task_ticks / sim::kTicksPerMicrosecond
+       << "\n";
+    os << "load = " << p.mix.load << "\n";
+    os << "store = " << p.mix.store << "\n";
+    os << "add = " << p.mix.add << "\n";
+    os << "sub = " << p.mix.sub << "\n";
+    os << "mul = " << p.mix.mul << "\n";
+    os << "div = " << p.mix.div << "\n";
+    os << "fp_fraction = " << p.mix.fp_fraction << "\n";
+    os << "branch_fraction = " << p.mix.branch_fraction << "\n";
+    os << "data_working_set = " << p.memory.data_working_set << "\n";
+    os << "spatial_locality = " << p.memory.spatial_locality << "\n";
+    os << "code_working_set = " << p.memory.code_working_set << "\n";
+    os << "pattern = " << to_string(p.comm.pattern) << "\n";
+    os << "stride = " << p.comm.stride << "\n";
+    os << "message_bytes = " << p.comm.message_bytes << "\n";
+    os << "exponential_sizes = "
+       << (p.comm.exponential_sizes ? "true" : "false") << "\n";
+    os << "synchronous = " << (p.comm.synchronous ? "true" : "false") << "\n";
+  }
+}
+
+std::string write_workload_string(const StochasticDescription& desc) {
+  std::ostringstream os;
+  write_workload(os, desc);
+  return os.str();
+}
+
+}  // namespace merm::gen

@@ -1,0 +1,49 @@
+// Textual stochastic application descriptions.
+//
+// Fig. 1 treats application descriptions as artifacts independent of the
+// architecture: "they only have to be made once, after which they can be
+// used to evaluate a wide range of architectures".  Machine configs are text
+// (machine/config.hpp); this gives stochastic descriptions the same
+// treatment:
+//
+//   instructions_per_round = 20000
+//   rounds = 8
+//   seed = 42
+//   task_level = false
+//   [mix]
+//   load = 0.25
+//   store = 0.10
+//   fp_fraction = 0.3
+//   branch_fraction = 0.1
+//   [memory]
+//   data_working_set = 65536
+//   spatial_locality = 0.7
+//   code_working_set = 4096
+//   [comm]
+//   pattern = ring            ; none|ring|shift|all_to_all|gather|random_perm
+//   message_bytes = 4096
+//   synchronous = false
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "gen/stochastic.hpp"
+
+namespace merm::gen {
+
+/// Parses a description (starting from defaults, or from `base`).  Throws
+/// std::runtime_error with a line number on malformed input.
+StochasticDescription parse_workload(std::istream& is);
+StochasticDescription parse_workload(std::istream& is,
+                                     const StochasticDescription& base);
+StochasticDescription parse_workload_string(const std::string& text);
+
+/// Writes a complete description that parse_workload round-trips.
+void write_workload(std::ostream& os, const StochasticDescription& desc);
+std::string write_workload_string(const StochasticDescription& desc);
+
+const char* to_string(CommPattern p);
+
+}  // namespace merm::gen

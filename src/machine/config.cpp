@@ -1,0 +1,424 @@
+#include "machine/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace merm::machine {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("machine config line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+double parse_double(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) fail(line, "trailing junk in number '" + v + "'");
+    return d;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number '" + v + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t u = std::stoull(v, &pos, 0);
+    if (pos != v.size()) fail(line, "trailing junk in number '" + v + "'");
+    return u;
+  } catch (const std::logic_error&) {
+    fail(line, "bad integer '" + v + "'");
+  }
+}
+
+bool parse_bool(const std::string& v, int line) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  fail(line, "bad boolean '" + v + "'");
+}
+
+TopologyKind parse_topology(const std::string& v, int line) {
+  if (v == "ring") return TopologyKind::kRing;
+  if (v == "mesh2d") return TopologyKind::kMesh2D;
+  if (v == "torus2d") return TopologyKind::kTorus2D;
+  if (v == "hypercube") return TopologyKind::kHypercube;
+  if (v == "star") return TopologyKind::kStar;
+  if (v == "fully_connected") return TopologyKind::kFullyConnected;
+  fail(line, "unknown topology '" + v + "'");
+}
+
+Switching parse_switching(const std::string& v, int line) {
+  if (v == "store_and_forward") return Switching::kStoreAndForward;
+  if (v == "virtual_cut_through") return Switching::kVirtualCutThrough;
+  if (v == "wormhole") return Switching::kWormhole;
+  fail(line, "unknown switching '" + v + "'");
+}
+
+RoutingAlgorithm parse_routing(const std::string& v, int line) {
+  if (v == "dimension_order") return RoutingAlgorithm::kDimensionOrder;
+  if (v == "shortest_path") return RoutingAlgorithm::kShortestPath;
+  fail(line, "unknown routing '" + v + "'");
+}
+
+WritePolicy parse_write_policy(const std::string& v, int line) {
+  if (v == "write_through") return WritePolicy::kWriteThrough;
+  if (v == "write_back") return WritePolicy::kWriteBack;
+  fail(line, "unknown write policy '" + v + "'");
+}
+
+// "cost.mul.f32" -> (kMul, kFloat); "cost.mul" -> (kMul, all types).
+void apply_cost_key(CpuParams& cpu, const std::string& key,
+                    const std::string& value, int line) {
+  std::vector<std::string> parts;
+  std::stringstream ss(key);
+  std::string part;
+  while (std::getline(ss, part, '.')) parts.push_back(part);
+  if (parts.size() < 2 || parts.size() > 3 || parts[0] != "cost") {
+    fail(line, "bad cost key '" + key + "'");
+  }
+  const auto opcode = trace::opcode_from_string(parts[1]);
+  if (!opcode) fail(line, "unknown opcode '" + parts[1] + "'");
+  const Cycles cycles = parse_u64(value, line);
+  if (parts.size() == 2) {
+    cpu.set_cost_all_types(*opcode, cycles);
+  } else {
+    const auto type = trace::datatype_from_string(parts[2]);
+    if (!type) fail(line, "unknown data type '" + parts[2] + "'");
+    cpu.set_cost(*opcode, *type, cycles);
+  }
+}
+
+}  // namespace
+
+MachineParams parse_config(std::istream& is) {
+  return parse_config(is, MachineParams{});
+}
+
+MachineParams parse_config(std::istream& is, const MachineParams& base) {
+  MachineParams m = base;
+  std::string section;
+  std::string raw;
+  int line_no = 0;
+
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = raw.find_first_of(";#");
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.rfind("cache.", 0) == 0) {
+        const std::size_t idx =
+            static_cast<std::size_t>(parse_u64(section.substr(6), line_no));
+        if (m.node.memory.levels.size() <= idx) {
+          m.node.memory.levels.resize(idx + 1);
+        }
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (section.empty()) {
+      if (key == "name") {
+        m.name = value;
+      } else {
+        fail(line_no, "unknown top-level key '" + key + "'");
+      }
+    } else if (section == "node") {
+      if (key == "cpu_count") {
+        m.node.cpu_count = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "force_coherence") {
+        m.node.force_coherence = parse_bool(value, line_no);
+      } else {
+        fail(line_no, "unknown [node] key '" + key + "'");
+      }
+    } else if (section == "cpu") {
+      if (key == "frequency_hz") {
+        m.node.cpu.frequency_hz = parse_double(value, line_no);
+      } else if (key.rfind("cost.", 0) == 0) {
+        apply_cost_key(m.node.cpu, key, value, line_no);
+      } else {
+        fail(line_no, "unknown [cpu] key '" + key + "'");
+      }
+    } else if (section.rfind("cache.", 0) == 0) {
+      const std::size_t idx =
+          static_cast<std::size_t>(parse_u64(section.substr(6), line_no));
+      CacheLevelParams& c = m.node.memory.levels[idx];
+      if (key == "size_bytes") {
+        c.size_bytes = parse_u64(value, line_no);
+      } else if (key == "line_bytes") {
+        c.line_bytes = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "associativity") {
+        c.associativity =
+            static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "hit_cycles") {
+        c.hit_cycles = parse_u64(value, line_no);
+      } else if (key == "write_policy") {
+        c.write_policy = parse_write_policy(value, line_no);
+      } else if (key == "allocate_on_write_miss") {
+        c.allocate_on_write_miss = parse_bool(value, line_no);
+      } else {
+        fail(line_no, "unknown [cache] key '" + key + "'");
+      }
+    } else if (section == "memory") {
+      MemoryParams& mem = m.node.memory;
+      if (key == "split_l1") {
+        mem.split_l1 = parse_bool(value, line_no);
+      } else if (key == "bus_frequency_hz") {
+        mem.bus_frequency_hz = parse_double(value, line_no);
+      } else if (key == "bus_width_bytes") {
+        mem.bus_width_bytes =
+            static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "bus_arbitration_cycles") {
+        mem.bus_arbitration_cycles = parse_u64(value, line_no);
+      } else if (key == "dram_access_cycles") {
+        mem.dram_access_cycles = parse_u64(value, line_no);
+      } else if (key == "dram_beat_cycles") {
+        mem.dram_beat_cycles = parse_u64(value, line_no);
+      } else if (key == "cache_levels") {
+        mem.levels.resize(parse_u64(value, line_no));
+      } else if (key == "coherence") {
+        if (value == "snoopy") {
+          mem.coherence = CoherenceKind::kSnoopy;
+        } else if (value == "directory") {
+          mem.coherence = CoherenceKind::kDirectory;
+        } else {
+          fail(line_no, "unknown coherence '" + value + "'");
+        }
+      } else if (key == "directory_lookup_cycles") {
+        mem.directory_lookup_cycles = parse_u64(value, line_no);
+      } else {
+        fail(line_no, "unknown [memory] key '" + key + "'");
+      }
+    } else if (section == "topology") {
+      if (key == "kind") {
+        m.topology.kind = parse_topology(value, line_no);
+      } else if (key == "dims") {
+        std::stringstream ss(value);
+        std::uint32_t a = 0;
+        std::uint32_t b = 1;
+        if (!(ss >> a)) fail(line_no, "bad dims");
+        ss >> b;
+        m.topology.dims = {a, b};
+      } else {
+        fail(line_no, "unknown [topology] key '" + key + "'");
+      }
+    } else if (section == "router") {
+      RouterParams& r = m.router;
+      if (key == "switching") {
+        r.switching = parse_switching(value, line_no);
+      } else if (key == "routing") {
+        r.routing = parse_routing(value, line_no);
+      } else if (key == "frequency_hz") {
+        r.frequency_hz = parse_double(value, line_no);
+      } else if (key == "max_packet_bytes") {
+        r.max_packet_bytes =
+            static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "header_bytes") {
+        r.header_bytes = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "flit_bytes") {
+        r.flit_bytes = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "routing_decision_cycles") {
+        r.routing_decision_cycles = parse_u64(value, line_no);
+      } else if (key == "input_buffer_flits") {
+        r.input_buffer_flits =
+            static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else {
+        fail(line_no, "unknown [router] key '" + key + "'");
+      }
+    } else if (section == "link") {
+      if (key == "bandwidth_bytes_per_s") {
+        m.link.bandwidth_bytes_per_s = parse_double(value, line_no);
+      } else if (key == "propagation_delay_ns") {
+        m.link.propagation_delay =
+            parse_u64(value, line_no) * sim::kTicksPerNanosecond;
+      } else if (key == "virtual_channels") {
+        m.link.virtual_channels =
+            static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else {
+        fail(line_no, "unknown [link] key '" + key + "'");
+      }
+    } else if (section == "nic") {
+      if (key == "send_setup_ns") {
+        m.nic.send_setup = parse_u64(value, line_no) * sim::kTicksPerNanosecond;
+      } else if (key == "recv_setup_ns") {
+        m.nic.recv_setup = parse_u64(value, line_no) * sim::kTicksPerNanosecond;
+      } else if (key == "copy_bytes_per_s") {
+        m.nic.copy_bytes_per_s = parse_double(value, line_no);
+      } else {
+        fail(line_no, "unknown [nic] key '" + key + "'");
+      }
+    } else {
+      fail(line_no, "unknown section '" + section + "'");
+    }
+  }
+  return m;
+}
+
+MachineParams parse_config_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_config(is);
+}
+
+MachineParams parse_config_string(const std::string& text,
+                                  const MachineParams& base) {
+  std::istringstream is(text);
+  return parse_config(is, base);
+}
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kMesh2D:
+      return "mesh2d";
+    case TopologyKind::kTorus2D:
+      return "torus2d";
+    case TopologyKind::kHypercube:
+      return "hypercube";
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kFullyConnected:
+      return "fully_connected";
+  }
+  return "?";
+}
+
+const char* to_string(Switching s) {
+  switch (s) {
+    case Switching::kStoreAndForward:
+      return "store_and_forward";
+    case Switching::kVirtualCutThrough:
+      return "virtual_cut_through";
+    case Switching::kWormhole:
+      return "wormhole";
+  }
+  return "?";
+}
+
+const char* to_string(RoutingAlgorithm r) {
+  switch (r) {
+    case RoutingAlgorithm::kDimensionOrder:
+      return "dimension_order";
+    case RoutingAlgorithm::kShortestPath:
+      return "shortest_path";
+  }
+  return "?";
+}
+
+const char* to_string(WritePolicy p) {
+  switch (p) {
+    case WritePolicy::kWriteThrough:
+      return "write_through";
+    case WritePolicy::kWriteBack:
+      return "write_back";
+  }
+  return "?";
+}
+
+void write_config(std::ostream& os, const MachineParams& m) {
+  os << "name = " << m.name << "\n\n";
+
+  os << "[node]\n";
+  os << "cpu_count = " << m.node.cpu_count << "\n";
+  os << "force_coherence = " << (m.node.force_coherence ? "true" : "false")
+     << "\n\n";
+
+  os << "[cpu]\n";
+  os << "frequency_hz = " << m.node.cpu.frequency_hz << "\n";
+  for (int c = 0; c < trace::kOpCodeCount; ++c) {
+    const auto code = static_cast<trace::OpCode>(c);
+    if (trace::is_communication(code) || code == trace::OpCode::kCompute) {
+      continue;
+    }
+    for (int t = 0; t < trace::kDataTypeCount; ++t) {
+      const auto type = static_cast<trace::DataType>(t);
+      os << "cost." << trace::to_string(code) << '.' << trace::to_string(type)
+         << " = " << m.node.cpu.cost(code, type) << "\n";
+    }
+  }
+  os << "\n";
+
+  os << "[memory]\n";
+  const MemoryParams& mem = m.node.memory;
+  os << "split_l1 = " << (mem.split_l1 ? "true" : "false") << "\n";
+  os << "cache_levels = " << mem.levels.size() << "\n";
+  os << "bus_frequency_hz = " << mem.bus_frequency_hz << "\n";
+  os << "bus_width_bytes = " << mem.bus_width_bytes << "\n";
+  os << "bus_arbitration_cycles = " << mem.bus_arbitration_cycles << "\n";
+  os << "dram_access_cycles = " << mem.dram_access_cycles << "\n";
+  os << "dram_beat_cycles = " << mem.dram_beat_cycles << "\n";
+  os << "coherence = "
+     << (mem.coherence == CoherenceKind::kSnoopy ? "snoopy" : "directory")
+     << "\n";
+  os << "directory_lookup_cycles = " << mem.directory_lookup_cycles << "\n\n";
+
+  for (std::size_t i = 0; i < mem.levels.size(); ++i) {
+    const CacheLevelParams& c = mem.levels[i];
+    os << "[cache." << i << "]\n";
+    os << "size_bytes = " << c.size_bytes << "\n";
+    os << "line_bytes = " << c.line_bytes << "\n";
+    os << "associativity = " << c.associativity << "\n";
+    os << "hit_cycles = " << c.hit_cycles << "\n";
+    os << "write_policy = " << to_string(c.write_policy) << "\n";
+    os << "allocate_on_write_miss = "
+       << (c.allocate_on_write_miss ? "true" : "false") << "\n\n";
+  }
+
+  os << "[topology]\n";
+  os << "kind = " << to_string(m.topology.kind) << "\n";
+  os << "dims = " << m.topology.dims[0] << ' ' << m.topology.dims[1] << "\n\n";
+
+  os << "[router]\n";
+  os << "switching = " << to_string(m.router.switching) << "\n";
+  os << "routing = " << to_string(m.router.routing) << "\n";
+  os << "frequency_hz = " << m.router.frequency_hz << "\n";
+  os << "max_packet_bytes = " << m.router.max_packet_bytes << "\n";
+  os << "header_bytes = " << m.router.header_bytes << "\n";
+  os << "flit_bytes = " << m.router.flit_bytes << "\n";
+  os << "routing_decision_cycles = " << m.router.routing_decision_cycles
+     << "\n";
+  os << "input_buffer_flits = " << m.router.input_buffer_flits << "\n\n";
+
+  os << "[link]\n";
+  os << "bandwidth_bytes_per_s = " << m.link.bandwidth_bytes_per_s << "\n";
+  os << "propagation_delay_ns = "
+     << m.link.propagation_delay / sim::kTicksPerNanosecond << "\n";
+  os << "virtual_channels = " << m.link.virtual_channels << "\n\n";
+
+  os << "[nic]\n";
+  os << "send_setup_ns = " << m.nic.send_setup / sim::kTicksPerNanosecond
+     << "\n";
+  os << "recv_setup_ns = " << m.nic.recv_setup / sim::kTicksPerNanosecond
+     << "\n";
+  os << "copy_bytes_per_s = " << m.nic.copy_bytes_per_s << "\n";
+}
+
+std::string write_config_string(const MachineParams& params) {
+  std::ostringstream os;
+  write_config(os, params);
+  return os.str();
+}
+
+}  // namespace merm::machine

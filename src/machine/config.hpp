@@ -1,0 +1,57 @@
+// Textual machine descriptions.
+//
+// The workbench's parameterization story: an architecture is a small text
+// file, so sweeping a design space is editing (or generating) configs, not
+// recompiling models.  The format is INI-like:
+//
+//   name = t805-4x4
+//   [node]
+//   cpu_count = 1
+//   [cpu]
+//   frequency_hz = 20e6
+//   cost.load = 2          ; all data types
+//   cost.mul.f32 = 11      ; one data type
+//   [cache.0]
+//   size_bytes = 32768
+//   line_bytes = 64
+//   associativity = 8
+//   hit_cycles = 1
+//   write_policy = write_back
+//   [memory]
+//   bus_frequency_hz = 33e6
+//   ...
+//   [topology]
+//   kind = mesh2d
+//   dims = 4 4
+//   [router] / [link] / [nic] ...
+//
+// Unknown keys are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "machine/params.hpp"
+
+namespace merm::machine {
+
+/// Parses a machine description.  Starts from defaults (or from `base` if
+/// provided), applies the config on top.  Throws std::runtime_error with a
+/// line number on malformed input.
+MachineParams parse_config(std::istream& is);
+MachineParams parse_config(std::istream& is, const MachineParams& base);
+MachineParams parse_config_string(const std::string& text);
+MachineParams parse_config_string(const std::string& text,
+                                  const MachineParams& base);
+
+/// Writes a complete config that parse_config round-trips.
+void write_config(std::ostream& os, const MachineParams& params);
+std::string write_config_string(const MachineParams& params);
+
+const char* to_string(TopologyKind k);
+const char* to_string(Switching s);
+const char* to_string(RoutingAlgorithm r);
+const char* to_string(WritePolicy p);
+
+}  // namespace merm::machine

@@ -1,0 +1,272 @@
+#include "machine/params.hpp"
+
+#include <stdexcept>
+
+namespace merm::machine {
+
+using trace::DataType;
+using trace::OpCode;
+
+CpuParams::CpuParams() {
+  // A plausible single-issue load-store default: most operations one cycle,
+  // multiplies and divides slower, FP slower than integer.
+  set_cost_all_types(OpCode::kLoad, 1);
+  set_cost_all_types(OpCode::kStore, 1);
+  set_cost_all_types(OpCode::kLoadConst, 1);
+  set_cost_all_types(OpCode::kAdd, 1);
+  set_cost_all_types(OpCode::kSub, 1);
+  set_cost_all_types(OpCode::kMul, 4);
+  set_cost_all_types(OpCode::kDiv, 16);
+  set_cost_all_types(OpCode::kIFetch, 1);
+  set_cost_all_types(OpCode::kBranch, 2);
+  set_cost_all_types(OpCode::kCall, 3);
+  set_cost_all_types(OpCode::kRet, 3);
+
+  // FP adjustments.
+  for (OpCode c : {OpCode::kAdd, OpCode::kSub}) {
+    set_cost(c, DataType::kFloat, 3);
+    set_cost(c, DataType::kDouble, 3);
+  }
+  set_cost(OpCode::kMul, DataType::kFloat, 5);
+  set_cost(OpCode::kMul, DataType::kDouble, 6);
+  set_cost(OpCode::kDiv, DataType::kFloat, 18);
+  set_cost(OpCode::kDiv, DataType::kDouble, 31);
+}
+
+void CpuParams::set_cost_all_types(OpCode c, Cycles cycles) {
+  for (auto& cost : cost_table[static_cast<std::size_t>(c)]) {
+    cost = cycles;
+  }
+}
+
+std::uint32_t TopologyParams::node_count() const {
+  switch (kind) {
+    case TopologyKind::kMesh2D:
+    case TopologyKind::kTorus2D:
+      return dims[0] * dims[1];
+    case TopologyKind::kRing:
+    case TopologyKind::kStar:
+    case TopologyKind::kFullyConnected:
+    case TopologyKind::kHypercube:
+      return dims[0];
+  }
+  return 0;
+}
+
+namespace presets {
+
+MachineParams powerpc601_node() {
+  MachineParams m;
+  m.name = "ppc601";
+
+  m.node.cpu_count = 1;
+  CpuParams& cpu = m.node.cpu;
+  cpu.frequency_hz = 66e6;
+  // PowerPC 601-flavoured costs (single-issue abstraction of the 3-way
+  // machine; the workbench models issue cost, not pipeline structure).
+  cpu.set_cost_all_types(OpCode::kLoad, 1);
+  cpu.set_cost_all_types(OpCode::kStore, 1);
+  cpu.set_cost_all_types(OpCode::kLoadConst, 1);
+  cpu.set_cost_all_types(OpCode::kAdd, 1);
+  cpu.set_cost_all_types(OpCode::kSub, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kInt32, 5);
+  cpu.set_cost(OpCode::kMul, DataType::kInt64, 10);
+  cpu.set_cost(OpCode::kDiv, DataType::kInt32, 36);
+  cpu.set_cost(OpCode::kDiv, DataType::kInt64, 36);
+  cpu.set_cost(OpCode::kAdd, DataType::kFloat, 1);
+  cpu.set_cost(OpCode::kAdd, DataType::kDouble, 1);
+  cpu.set_cost(OpCode::kSub, DataType::kFloat, 1);
+  cpu.set_cost(OpCode::kSub, DataType::kDouble, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kFloat, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kDouble, 2);
+  cpu.set_cost(OpCode::kDiv, DataType::kFloat, 17);
+  cpu.set_cost(OpCode::kDiv, DataType::kDouble, 31);
+  cpu.set_cost_all_types(OpCode::kBranch, 1);
+  cpu.set_cost_all_types(OpCode::kCall, 2);
+  cpu.set_cost_all_types(OpCode::kRet, 2);
+
+  // 32 KB unified 8-way L1 (64-byte lines, as on the 601) plus a 256 KB
+  // direct-mapped off-chip L2 — the "two levels of cache" of Section 6.
+  MemoryParams& mem = m.node.memory;
+  mem.split_l1 = false;
+  mem.levels = {
+      CacheLevelParams{32 * 1024, 64, 8, 1, WritePolicy::kWriteBack, true},
+      CacheLevelParams{256 * 1024, 64, 1, 8, WritePolicy::kWriteBack, true},
+  };
+  mem.bus_frequency_hz = 33e6;
+  mem.bus_width_bytes = 8;
+  mem.bus_arbitration_cycles = 1;
+  mem.dram_access_cycles = 6;  // ~180 ns @ 33 MHz
+  mem.dram_beat_cycles = 1;
+
+  // Single node: topology degenerates to one node.
+  m.topology.kind = TopologyKind::kMesh2D;
+  m.topology.dims = {1, 1};
+  return m;
+}
+
+MachineParams t805_multicomputer(std::uint32_t width, std::uint32_t height) {
+  MachineParams m;
+  m.name = "t805";
+
+  m.node.cpu_count = 1;
+  CpuParams& cpu = m.node.cpu;
+  cpu.frequency_hz = 20e6;
+  // T805: microcoded stack machine abstracted to load-store costs; FP on-chip.
+  cpu.set_cost_all_types(OpCode::kLoad, 2);
+  cpu.set_cost_all_types(OpCode::kStore, 2);
+  cpu.set_cost_all_types(OpCode::kLoadConst, 1);
+  cpu.set_cost_all_types(OpCode::kAdd, 1);
+  cpu.set_cost_all_types(OpCode::kSub, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kInt32, 38);
+  cpu.set_cost(OpCode::kDiv, DataType::kInt32, 39);
+  cpu.set_cost(OpCode::kAdd, DataType::kFloat, 6);
+  cpu.set_cost(OpCode::kAdd, DataType::kDouble, 6);
+  cpu.set_cost(OpCode::kSub, DataType::kFloat, 6);
+  cpu.set_cost(OpCode::kSub, DataType::kDouble, 6);
+  cpu.set_cost(OpCode::kMul, DataType::kFloat, 11);
+  cpu.set_cost(OpCode::kMul, DataType::kDouble, 18);
+  cpu.set_cost(OpCode::kDiv, DataType::kFloat, 16);
+  cpu.set_cost(OpCode::kDiv, DataType::kDouble, 27);
+  cpu.set_cost_all_types(OpCode::kIFetch, 1);
+  cpu.set_cost_all_types(OpCode::kBranch, 3);
+  cpu.set_cost_all_types(OpCode::kCall, 7);
+  cpu.set_cost_all_types(OpCode::kRet, 5);
+
+  // No caches: on-chip SRAM plus external memory behind a 32-bit interface.
+  MemoryParams& mem = m.node.memory;
+  mem.levels.clear();
+  mem.bus_frequency_hz = 20e6;
+  mem.bus_width_bytes = 4;
+  mem.bus_arbitration_cycles = 0;
+  mem.dram_access_cycles = 3;
+  mem.dram_beat_cycles = 1;
+
+  m.topology.kind = TopologyKind::kMesh2D;
+  m.topology.dims = {width, height};
+
+  RouterParams& r = m.router;
+  r.switching = Switching::kStoreAndForward;  // software through-routing
+  r.routing = RoutingAlgorithm::kDimensionOrder;
+  r.frequency_hz = 20e6;
+  r.max_packet_bytes = 512;
+  r.header_bytes = 4;
+  r.flit_bytes = 1;  // bit-serial links; byte granularity
+  r.routing_decision_cycles = 20;
+  r.input_buffer_flits = 512;
+
+  // 20 Mbit/s links, ~0.8 efficiency after protocol bits.
+  m.link.bandwidth_bytes_per_s = 20e6 / 8.0 * 0.8;
+  m.link.propagation_delay = 10 * sim::kTicksPerNanosecond;
+
+  m.nic.send_setup = 5 * sim::kTicksPerMicrosecond;
+  m.nic.recv_setup = 5 * sim::kTicksPerMicrosecond;
+  m.nic.copy_bytes_per_s = 20e6;
+  return m;
+}
+
+MachineParams generic_risc(std::uint32_t width, std::uint32_t height) {
+  MachineParams m;
+  m.name = "generic-risc";
+
+  m.node.cpu_count = 1;
+  m.node.cpu = CpuParams{};
+  m.node.cpu.frequency_hz = 200e6;
+
+  MemoryParams& mem = m.node.memory;
+  mem.split_l1 = true;
+  mem.levels = {
+      CacheLevelParams{16 * 1024, 32, 2, 1, WritePolicy::kWriteBack, true},
+      CacheLevelParams{512 * 1024, 64, 4, 6, WritePolicy::kWriteBack, true},
+  };
+  mem.bus_frequency_hz = 100e6;
+  mem.bus_width_bytes = 8;
+  mem.bus_arbitration_cycles = 1;
+  mem.dram_access_cycles = 10;
+  mem.dram_beat_cycles = 1;
+
+  m.topology.kind = TopologyKind::kTorus2D;
+  m.topology.dims = {width, height};
+
+  RouterParams& r = m.router;
+  r.switching = Switching::kWormhole;
+  r.routing = RoutingAlgorithm::kDimensionOrder;
+  r.frequency_hz = 100e6;
+  r.max_packet_bytes = 4096;
+  r.header_bytes = 8;
+  r.flit_bytes = 4;
+  r.routing_decision_cycles = 2;
+  r.input_buffer_flits = 16;
+
+  m.link.bandwidth_bytes_per_s = 200e6;
+  m.link.propagation_delay = 20 * sim::kTicksPerNanosecond;
+
+  m.nic.send_setup = sim::kTicksPerMicrosecond;
+  m.nic.recv_setup = sim::kTicksPerMicrosecond;
+  m.nic.copy_bytes_per_s = 400e6;
+  return m;
+}
+
+MachineParams ipsc860_hypercube(std::uint32_t nodes) {
+  MachineParams m;
+  m.name = "ipsc860";
+
+  m.node.cpu_count = 1;
+  CpuParams& cpu = m.node.cpu;
+  cpu.frequency_hz = 40e6;
+  // i860-flavoured: fast pipelined FP, slow integer multiply/divide.
+  cpu.set_cost_all_types(OpCode::kLoad, 1);
+  cpu.set_cost_all_types(OpCode::kStore, 1);
+  cpu.set_cost_all_types(OpCode::kLoadConst, 1);
+  cpu.set_cost_all_types(OpCode::kAdd, 1);
+  cpu.set_cost_all_types(OpCode::kSub, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kInt32, 10);
+  cpu.set_cost(OpCode::kDiv, DataType::kInt32, 38);
+  cpu.set_cost(OpCode::kMul, DataType::kFloat, 1);
+  cpu.set_cost(OpCode::kMul, DataType::kDouble, 2);
+  cpu.set_cost(OpCode::kDiv, DataType::kFloat, 22);
+  cpu.set_cost(OpCode::kDiv, DataType::kDouble, 38);
+  cpu.set_cost_all_types(OpCode::kBranch, 2);
+  cpu.set_cost_all_types(OpCode::kCall, 3);
+  cpu.set_cost_all_types(OpCode::kRet, 3);
+
+  // 8 KB unified on-chip cache (2-way, 32-byte lines), 64-bit 40 MHz bus.
+  MemoryParams& mem = m.node.memory;
+  mem.split_l1 = false;
+  mem.levels = {
+      CacheLevelParams{8 * 1024, 32, 2, 1, WritePolicy::kWriteBack, true}};
+  mem.bus_frequency_hz = 40e6;
+  mem.bus_width_bytes = 8;
+  mem.bus_arbitration_cycles = 1;
+  mem.dram_access_cycles = 4;
+  mem.dram_beat_cycles = 1;
+
+  m.topology.kind = TopologyKind::kHypercube;
+  m.topology.dims = {nodes, 1};
+
+  RouterParams& r = m.router;
+  // The iPSC/860's Direct-Connect Modules do hardware cut-through.
+  r.switching = Switching::kVirtualCutThrough;
+  r.routing = RoutingAlgorithm::kDimensionOrder;  // e-cube
+  r.frequency_hz = 40e6;
+  r.max_packet_bytes = 1024;
+  r.header_bytes = 8;
+  r.flit_bytes = 2;
+  r.routing_decision_cycles = 4;
+  r.input_buffer_flits = 1024;
+
+  // ~2.8 MB/s sustained per channel.
+  m.link.bandwidth_bytes_per_s = 2.8e6;
+  m.link.propagation_delay = 30 * sim::kTicksPerNanosecond;
+  m.link.virtual_channels = 2;
+
+  // Long software send path (~60 us one-way small-message latency).
+  m.nic.send_setup = 25 * sim::kTicksPerMicrosecond;
+  m.nic.recv_setup = 25 * sim::kTicksPerMicrosecond;
+  m.nic.copy_bytes_per_s = 25e6;
+  return m;
+}
+
+}  // namespace presets
+
+}  // namespace merm::machine

@@ -1,0 +1,199 @@
+// Machine parameter tables — the parameterization surface of the workbench.
+//
+// "Every model has a set of machine parameters that is calibrated with
+// published information or by benchmarking" (Section 3).  A MachineParams
+// aggregates everything the architecture models consume: per-operation CPU
+// cycle costs, cache hierarchy geometry and policies, bus, DRAM, and the
+// interconnect (topology, router, links, network interface).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "trace/operation.hpp"
+
+namespace merm::machine {
+
+using sim::Cycles;
+
+/// CPU timing model parameters: base cycles per operation and type.
+///
+/// Costs exclude memory-hierarchy time: a load costs `cost(kLoad, t)` issue
+/// cycles plus whatever the cache hierarchy charges for the access.
+struct CpuParams {
+  double frequency_hz = 100e6;
+
+  /// cost_table[opcode][datatype] in cycles.  Communication opcodes are
+  /// ignored here (the communication model prices those).
+  std::array<std::array<Cycles, trace::kDataTypeCount>, trace::kOpCodeCount>
+      cost_table{};
+
+  CpuParams();
+
+  Cycles cost(trace::OpCode c, trace::DataType t) const {
+    return cost_table[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+  }
+  void set_cost(trace::OpCode c, trace::DataType t, Cycles cycles) {
+    cost_table[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)] =
+        cycles;
+  }
+  /// Sets the cost of opcode `c` for every data type.
+  void set_cost_all_types(trace::OpCode c, Cycles cycles);
+};
+
+enum class WritePolicy : std::uint8_t { kWriteThrough, kWriteBack };
+
+/// One cache level.  Caches are tags-only (the paper's memory-saving choice):
+/// geometry and policies are modelled, data contents are not.
+struct CacheLevelParams {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t associativity = 4;  ///< ways; 0 means fully associative
+  Cycles hit_cycles = 1;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  bool allocate_on_write_miss = true;
+
+  std::uint64_t sets() const {
+    const std::uint32_t ways =
+        associativity == 0
+            ? static_cast<std::uint32_t>(size_bytes / line_bytes)
+            : associativity;
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+};
+
+/// Intra-node cache-coherence strategy for multi-CPU nodes.  The paper's
+/// template ships a snoopy bus protocol and notes "other strategies, like
+/// directory schemes, can be added with relative ease" — both are provided.
+enum class CoherenceKind : std::uint8_t {
+  kSnoopy,     ///< bus broadcast; every miss/upgrade is one bus transaction
+  kDirectory,  ///< sharer tracking at memory; point-to-point invalidations
+};
+
+/// The memory hierarchy of one node (Fig. 3a): optional split L1, further
+/// unified levels, a bus, and DRAM.
+struct MemoryParams {
+  /// If true, level 0 is split into instruction and data caches with
+  /// identical parameters `levels[0]`; otherwise level 0 is unified.
+  bool split_l1 = false;
+  std::vector<CacheLevelParams> levels;  ///< L1 first; may be empty
+
+  /// Bus connecting last cache level (or CPUs) to memory.
+  double bus_frequency_hz = 66e6;
+  std::uint32_t bus_width_bytes = 8;
+  Cycles bus_arbitration_cycles = 1;
+
+  /// DRAM: fixed access latency plus per-bus-width-beat transfer.
+  Cycles dram_access_cycles = 8;  ///< in bus cycles
+  Cycles dram_beat_cycles = 1;    ///< per bus-width beat, in bus cycles
+
+  /// Coherence strategy (multi-CPU nodes).
+  CoherenceKind coherence = CoherenceKind::kSnoopy;
+  /// Directory lookup/update latency, in bus cycles (directory scheme only).
+  Cycles directory_lookup_cycles = 4;
+};
+
+/// A MIMD node: one or more CPUs sharing a cache hierarchy/bus/memory.
+struct NodeParams {
+  std::uint32_t cpu_count = 1;
+  CpuParams cpu;
+  MemoryParams memory;
+  /// Snoopy-bus coherence is enabled automatically when cpu_count > 1.
+  bool force_coherence = false;
+};
+
+enum class TopologyKind : std::uint8_t {
+  kRing,
+  kMesh2D,
+  kTorus2D,
+  kHypercube,
+  kStar,
+  kFullyConnected,
+};
+
+struct TopologyParams {
+  TopologyKind kind = TopologyKind::kMesh2D;
+  /// Interpretation depends on kind: mesh/torus use dims[0] x dims[1];
+  /// ring/star/fully-connected/hypercube use dims[0] as the node count
+  /// (hypercube requires a power of two).
+  std::array<std::uint32_t, 2> dims = {2, 2};
+
+  std::uint32_t node_count() const;
+};
+
+enum class Switching : std::uint8_t {
+  kStoreAndForward,
+  kVirtualCutThrough,
+  kWormhole,
+};
+
+enum class RoutingAlgorithm : std::uint8_t {
+  kDimensionOrder,  ///< XY for mesh/torus, e-cube for hypercube
+  kShortestPath,    ///< table-based, BFS-computed
+};
+
+struct RouterParams {
+  Switching switching = Switching::kWormhole;
+  RoutingAlgorithm routing = RoutingAlgorithm::kDimensionOrder;
+  double frequency_hz = 20e6;
+  std::uint32_t max_packet_bytes = 4096;  ///< messages split beyond this
+  std::uint32_t header_bytes = 8;
+  std::uint32_t flit_bytes = 4;
+  Cycles routing_decision_cycles = 2;  ///< per packet per hop
+  std::uint32_t input_buffer_flits = 16;
+};
+
+struct LinkParams {
+  double bandwidth_bytes_per_s = 20e6 / 8.0 * 0.8;  ///< payload bandwidth
+  sim::Tick propagation_delay = 50 * sim::kTicksPerNanosecond;
+  /// Virtual channels per link.  Rings and tori need >= 2 for deadlock-free
+  /// wormhole routing (dateline scheme); ignored by store-and-forward.
+  std::uint32_t virtual_channels = 2;
+};
+
+/// The node-side network interface: the "abstract processor" software costs.
+struct NicParams {
+  sim::Tick send_setup = 2 * sim::kTicksPerMicrosecond;
+  sim::Tick recv_setup = 2 * sim::kTicksPerMicrosecond;
+  double copy_bytes_per_s = 40e6;  ///< memory copy bandwidth at the NIC
+};
+
+/// Everything needed to instantiate a multicomputer model.
+struct MachineParams {
+  std::string name = "generic";
+  NodeParams node;
+  TopologyParams topology;
+  RouterParams router;
+  LinkParams link;
+  NicParams nic;
+
+  std::uint32_t node_count() const { return topology.node_count(); }
+};
+
+/// Calibrated presets (see DESIGN.md "Substitutions").
+namespace presets {
+
+/// A node resembling the Motorola PowerPC 601: 66 MHz, 32 KB unified
+/// 8-way L1, 256 KB off-chip L2, 64-bit 33 MHz bus.  Used by the paper's
+/// detailed-mode slowdown measurement ("two levels of cache").
+MachineParams powerpc601_node();
+
+/// A multicomputer of 20 MHz T805 transputers on a 2D mesh with four
+/// 20 Mbit/s bidirectional links per node and store-and-forward switching.
+MachineParams t805_multicomputer(std::uint32_t width, std::uint32_t height);
+
+/// A generic modern-ish RISC multicomputer used by tests and examples:
+/// 200 MHz CPUs, split L1 + unified L2, wormhole-routed 2D torus.
+MachineParams generic_risc(std::uint32_t width, std::uint32_t height);
+
+/// A multicomputer in the style of the Intel iPSC/860: 40 MHz i860 nodes
+/// (small unified cache) on a hypercube with cut-through routing.
+/// `nodes` must be a power of two.
+MachineParams ipsc860_hypercube(std::uint32_t nodes);
+
+}  // namespace presets
+
+}  // namespace merm::machine

@@ -1,0 +1,37 @@
+#include "memory/bus.hpp"
+
+namespace merm::memory {
+
+Bus::Bus(sim::Simulator& sim, double frequency_hz, std::uint32_t width_bytes,
+         sim::Cycles arbitration_cycles)
+    : sim_(sim),
+      clock_(frequency_hz),
+      width_(width_bytes),
+      arbitration_cycles_(arbitration_cycles) {}
+
+sim::Tick Bus::occupancy(std::uint64_t bytes,
+                         sim::Cycles extra_cycles) const {
+  const std::uint64_t beats = (bytes + width_ - 1) / width_;
+  return clock_.to_ticks(arbitration_cycles_ + extra_cycles + beats);
+}
+
+sim::Task<> Bus::transaction(std::uint64_t bytes, sim::Cycles extra_cycles) {
+  const sim::Tick requested = sim_.now();
+  co_await grant_.acquire();
+  queue_wait_ticks.add(static_cast<double>(sim_.now() - requested));
+
+  const sim::Tick hold = occupancy(bytes, extra_cycles);
+  co_await sim_.delay(hold);
+  busy_ticks_ += hold;
+  transactions.add();
+  bytes_transferred.add(bytes);
+  grant_.release();
+}
+
+void Bus::register_stats(stats::StatRegistry& reg, const std::string& prefix) {
+  reg.register_counter(prefix + ".transactions", &transactions);
+  reg.register_counter(prefix + ".bytes", &bytes_transferred);
+  reg.register_accumulator(prefix + ".queue_wait_ticks", &queue_wait_ticks);
+}
+
+}  // namespace merm::memory

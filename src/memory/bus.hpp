@@ -1,0 +1,60 @@
+// The node bus (Fig. 3a): "a simple forwarding mechanism, carrying out
+// arbitration upon multiple accesses".
+//
+// Modelled as a FIFO-granted exclusive resource: a transaction occupies the
+// bus for arbitration + extra + data-beat cycles in the bus clock domain.
+// Contention between CPUs of a multiprocessor node emerges from queueing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/coro.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::memory {
+
+class Bus {
+ public:
+  Bus(sim::Simulator& sim, double frequency_hz, std::uint32_t width_bytes,
+      sim::Cycles arbitration_cycles);
+
+  /// Performs one bus transaction transferring `bytes` (0 for pure control
+  /// transactions such as coherence broadcasts), holding the bus for
+  ///   arbitration + extra_cycles + ceil(bytes / width) beats.
+  /// Suspends while earlier transactions drain (FIFO order).
+  sim::Task<> transaction(std::uint64_t bytes, sim::Cycles extra_cycles = 0);
+
+  /// Ticks a transaction would occupy the bus, excluding queueing.
+  sim::Tick occupancy(std::uint64_t bytes, sim::Cycles extra_cycles) const;
+
+  const sim::Clock& clock() const { return clock_; }
+  std::uint32_t width_bytes() const { return width_; }
+
+  // -- statistics --
+  stats::Counter transactions;
+  stats::Counter bytes_transferred;
+  stats::Accumulator queue_wait_ticks;  ///< time spent waiting for grant
+  sim::Tick busy_ticks() const { return busy_ticks_; }
+  /// Fraction of time the bus was occupied up to `now`.
+  double utilization(sim::Tick now) const {
+    return now == 0 ? 0.0
+                    : static_cast<double>(busy_ticks_) /
+                          static_cast<double>(now);
+  }
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  sim::Simulator& sim_;
+  sim::Clock clock_;
+  std::uint32_t width_;
+  sim::Cycles arbitration_cycles_;
+  sim::FifoResource grant_;
+  sim::Tick busy_ticks_ = 0;
+};
+
+}  // namespace merm::memory

@@ -1,0 +1,159 @@
+#include "memory/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace merm::memory {
+
+const char* to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid:
+      return "I";
+    case LineState::kShared:
+      return "S";
+    case LineState::kExclusive:
+      return "E";
+    case LineState::kModified:
+      return "M";
+  }
+  return "?";
+}
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const machine::CacheLevelParams& params, std::string name)
+    : params_(params), name_(std::move(name)) {
+  if (!is_pow2(params_.line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  ways_ = params_.associativity == 0
+              ? static_cast<std::uint32_t>(params_.size_bytes /
+                                           params_.line_bytes)
+              : params_.associativity;
+  if (ways_ == 0 ||
+      params_.size_bytes % (static_cast<std::uint64_t>(params_.line_bytes) *
+                            ways_) !=
+          0) {
+    throw std::invalid_argument("cache size not divisible by line*ways");
+  }
+  sets_ = params_.size_bytes /
+          (static_cast<std::uint64_t>(params_.line_bytes) * ways_);
+  if (!is_pow2(sets_)) {
+    throw std::invalid_argument("cache set count must be a power of two");
+  }
+  lines_.resize(sets_ * ways_);
+}
+
+Cache::Line* Cache::find(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+LineState Cache::probe(std::uint64_t addr) const {
+  const Line* line = find(addr);
+  return line ? line->state : LineState::kInvalid;
+}
+
+bool Cache::touch(std::uint64_t addr, bool is_write) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  line->lru = ++lru_clock_;
+  if (is_write) {
+    line->state = LineState::kModified;
+  }
+  return true;
+}
+
+Cache::Eviction Cache::fill(std::uint64_t addr, LineState fill) {
+  assert(fill != LineState::kInvalid);
+  assert(find(addr) == nullptr && "fill of resident line");
+  const std::uint64_t set = set_index(addr);
+  Line* base = &lines_[set * ways_];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state == LineState::kInvalid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  Eviction ev;
+  if (victim->state != LineState::kInvalid) {
+    ev.valid = true;
+    ev.dirty = victim->state == LineState::kModified;
+    // Reconstruct the victim's base address from tag and set.
+    ev.addr = (victim->tag * sets_ + set) * params_.line_bytes;
+    evictions.add();
+    if (ev.dirty) writebacks.add();
+  }
+  victim->tag = tag_of(addr);
+  victim->state = fill;
+  victim->lru = ++lru_clock_;
+  return ev;
+}
+
+LineState Cache::set_state(std::uint64_t addr, LineState s) {
+  Line* line = find(addr);
+  if (line == nullptr) return LineState::kInvalid;
+  const LineState prev = line->state;
+  line->state = s;
+  return prev;
+}
+
+LineState Cache::invalidate(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return LineState::kInvalid;
+  const LineState prev = line->state;
+  line->state = LineState::kInvalid;
+  invalidations.add();
+  return prev;
+}
+
+LineState Cache::downgrade(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return LineState::kInvalid;
+  const LineState prev = line->state;
+  if (prev == LineState::kModified || prev == LineState::kExclusive) {
+    line->state = LineState::kShared;
+    downgrades.add();
+  }
+  return prev;
+}
+
+std::size_t Cache::resident_lines() const {
+  std::size_t n = 0;
+  for (const Line& l : lines_) {
+    if (l.state != LineState::kInvalid) ++n;
+  }
+  return n;
+}
+
+std::size_t Cache::footprint_bytes() const {
+  return lines_.size() * sizeof(Line);
+}
+
+void Cache::register_stats(stats::StatRegistry& reg,
+                           const std::string& prefix) {
+  reg.register_counter(prefix + ".hits", &hits);
+  reg.register_counter(prefix + ".misses", &misses);
+  reg.register_counter(prefix + ".evictions", &evictions);
+  reg.register_counter(prefix + ".writebacks", &writebacks);
+  reg.register_counter(prefix + ".invalidations", &invalidations);
+  reg.register_counter(prefix + ".downgrades", &downgrades);
+}
+
+}  // namespace merm::memory

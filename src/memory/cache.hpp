@@ -1,0 +1,120 @@
+// Tags-only set-associative cache model.
+//
+// Following the paper's memory-saving design, a cache holds only tags and
+// line state, never data: "simulated caches only need to hold addresses
+// (tags), not data".  State is MESI so the same structure serves both
+// uniprocessor hierarchies (where only I/E/M occur) and snoopy multi-CPU
+// nodes.  Replacement is true LRU per set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::memory {
+
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+const char* to_string(LineState s);
+
+class Cache {
+ public:
+  Cache(const machine::CacheLevelParams& params, std::string name);
+
+  const std::string& name() const { return name_; }
+  const machine::CacheLevelParams& params() const { return params_; }
+
+  /// Address of the first byte of the line containing `addr`.
+  std::uint64_t line_base(std::uint64_t addr) const {
+    return addr & ~static_cast<std::uint64_t>(params_.line_bytes - 1);
+  }
+
+  /// Non-destructive probe (no LRU update).
+  LineState probe(std::uint64_t addr) const;
+  bool contains(std::uint64_t addr) const {
+    return probe(addr) != LineState::kInvalid;
+  }
+
+  /// Reference a resident line: updates LRU; for writes upgrades
+  /// Exclusive -> Modified.  Returns false if the line is not resident.
+  bool touch(std::uint64_t addr, bool is_write);
+
+  /// Result of inserting a line on a miss.
+  struct Eviction {
+    bool valid = false;       ///< a victim line was evicted
+    bool dirty = false;       ///< victim was Modified (needs writeback)
+    std::uint64_t addr = 0;   ///< victim line base address
+  };
+
+  /// Allocates a line in state `fill` (evicting LRU if the set is full).
+  /// The line must not already be resident.
+  Eviction fill(std::uint64_t addr, LineState fill);
+
+  /// Changes the state of a resident line (coherence actions).  Returns the
+  /// previous state, or kInvalid if not resident.
+  LineState set_state(std::uint64_t addr, LineState s);
+
+  /// Snoop: invalidate the line if resident.  Returns its previous state.
+  LineState invalidate(std::uint64_t addr);
+
+  /// Snoop: Modified/Exclusive -> Shared.  Returns previous state.
+  LineState downgrade(std::uint64_t addr);
+
+  /// Number of resident (non-invalid) lines.
+  std::size_t resident_lines() const;
+
+  /// Approximate memory consumed by the tag store itself (the quantity the
+  /// paper's memory-usage argument is about).
+  std::size_t footprint_bytes() const;
+
+  // -- statistics --
+  stats::Counter hits;
+  stats::Counter misses;
+  stats::Counter evictions;
+  stats::Counter writebacks;
+  stats::Counter invalidations;  ///< snoop-induced invalidations
+  stats::Counter downgrades;
+
+  double hit_rate() const {
+    const auto total = hits.value() + misses.value();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits.value()) /
+                            static_cast<double>(total);
+  }
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+    LineState state = LineState::kInvalid;
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const {
+    return (addr / params_.line_bytes) % sets_;
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr / params_.line_bytes / sets_;
+  }
+
+  Line* find(std::uint64_t addr);
+  const Line* find(std::uint64_t addr) const;
+
+  machine::CacheLevelParams params_;
+  std::string name_;
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways_, set-major
+};
+
+}  // namespace merm::memory

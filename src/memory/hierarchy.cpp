@@ -1,0 +1,314 @@
+#include "memory/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace merm::memory {
+
+using machine::WritePolicy;
+
+MemoryHierarchy::MemoryHierarchy(sim::Simulator& sim,
+                                 const machine::NodeParams& params)
+    : sim_(sim),
+      params_(params),
+      cpu_clock_(params.cpu.frequency_hz),
+      cpu_count_(params.cpu_count),
+      coherent_(params.cpu_count > 1 || params.force_coherence),
+      level_count_(params.memory.levels.size()),
+      bus_(sim, params.memory.bus_frequency_hz, params.memory.bus_width_bytes,
+           params.memory.bus_arbitration_cycles) {
+  if (cpu_count_ == 0) throw std::invalid_argument("node needs >= 1 CPU");
+  const auto& mem = params_.memory;
+  if (level_count_ > 0) {
+    for (std::uint32_t c = 0; c < cpu_count_; ++c) {
+      dcaches_.push_back(std::make_unique<Cache>(
+          mem.levels[0], "l1" + std::string(mem.split_l1 ? "d" : "") + "." +
+                             std::to_string(c)));
+      if (mem.split_l1) {
+        icaches_.push_back(std::make_unique<Cache>(
+            mem.levels[0], "l1i." + std::to_string(c)));
+      }
+    }
+    for (std::size_t lvl = 1; lvl < level_count_; ++lvl) {
+      shared_.push_back(std::make_unique<Cache>(
+          mem.levels[lvl], "l" + std::to_string(lvl + 1)));
+    }
+  }
+}
+
+Cache* MemoryHierarchy::l1(std::uint32_t cpu, AccessType type) {
+  if (level_count_ == 0) return nullptr;
+  if (params_.memory.split_l1 && type == AccessType::kIFetch) {
+    return icaches_[cpu].get();
+  }
+  return dcaches_[cpu].get();
+}
+
+Cache* MemoryHierarchy::shared_level(std::size_t i) {
+  if (i == 0 || i > shared_.size()) return nullptr;
+  return shared_[i - 1].get();
+}
+
+std::size_t MemoryHierarchy::footprint_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : dcaches_) total += c->footprint_bytes();
+  for (const auto& c : icaches_) total += c->footprint_bytes();
+  for (const auto& c : shared_) total += c->footprint_bytes();
+  return total;
+}
+
+MemoryHierarchy::SnoopResult MemoryHierarchy::snoop(std::uint32_t requester,
+                                                    AccessType type,
+                                                    std::uint64_t line_addr,
+                                                    bool for_write) {
+  SnoopResult result;
+  for (std::uint32_t c = 0; c < cpu_count_; ++c) {
+    if (c == requester) continue;
+    Cache* peer = l1(c, type);
+    const LineState st = peer->probe(line_addr);
+    if (st == LineState::kInvalid) continue;
+    result.supplied = true;
+    ++result.holders;
+    if (st == LineState::kModified) result.was_dirty = true;
+    if (for_write) {
+      peer->invalidate(line_addr);
+    } else {
+      peer->downgrade(line_addr);
+    }
+  }
+  // With a split L1, data lines may also live in peer *instruction* caches
+  // only for ifetches; cross-type snooping is unnecessary because the
+  // generators keep code and data address ranges disjoint.
+  return result;
+}
+
+sim::Task<> MemoryHierarchy::fill_with_writeback(Cache& cache,
+                                                 std::uint64_t addr,
+                                                 LineState state) {
+  const Cache::Eviction ev = cache.fill(cache.line_base(addr), state);
+  if (!ev.valid || !ev.dirty) co_return;
+  // Dirty victim: push into the next level down, or to memory over the bus.
+  // Identify the level below `cache`: L1 -> shared_[0]; shared_[i] ->
+  // shared_[i+1]; last level -> memory.
+  Cache* below = nullptr;
+  bool is_l1 = true;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < shared_.size(); ++i) {
+    if (shared_[i].get() == &cache) {
+      is_l1 = false;
+      idx = i;
+      break;
+    }
+  }
+  if (is_l1) {
+    below = shared_.empty() ? nullptr : shared_[0].get();
+  } else {
+    below = idx + 1 < shared_.size() ? shared_[idx + 1].get() : nullptr;
+  }
+
+  if (below != nullptr) {
+    if (below->probe(ev.addr) != LineState::kInvalid) {
+      below->touch(ev.addr, /*is_write=*/true);  // mark dirty below
+    } else {
+      // Non-inclusive: victim absent below; absorb it (may cascade).
+      co_await fill_with_writeback(*below, ev.addr, LineState::kModified);
+    }
+  } else {
+    co_await bus_.transaction(cache.params().line_bytes);
+  }
+}
+
+sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
+                                    std::uint64_t addr) {
+  accesses.add();
+  const sim::Tick start = sim_.now();
+  const bool is_write = type == AccessType::kStore;
+
+  if (level_count_ == 0) {
+    // Cacheless node (e.g. T805): every access is a bus + memory access of
+    // one bus beat.
+    dram_accesses.add();
+    co_await bus_.transaction(bus_.width_bytes(),
+                              params_.memory.dram_access_cycles);
+    access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+    co_return;
+  }
+
+  Cache& first = *l1(cpu, type);
+  const std::uint64_t line = first.line_base(addr);
+  const LineState st = first.probe(addr);
+
+  // L1 lookup cost is paid hit or miss.
+  co_await sim_.delay(cpu_clock_.to_ticks(first.params().hit_cycles));
+
+  if (st != LineState::kInvalid) {
+    first.hits.add();
+    const bool write_back_l1 =
+        first.params().write_policy == WritePolicy::kWriteBack;
+    first.touch(addr, is_write && write_back_l1);
+    if (is_write) {
+      if (!write_back_l1) {
+        // Write-through: propagate the word downwards; line stays clean.
+        if (Cache* l2 = shared_.empty() ? nullptr : shared_[0].get()) {
+          co_await sim_.delay(cpu_clock_.to_ticks(l2->params().hit_cycles));
+          if (l2->probe(addr) != LineState::kInvalid) {
+            l2->touch(addr, l2->params().write_policy ==
+                                WritePolicy::kWriteBack);
+          }
+          if (l2->params().write_policy == WritePolicy::kWriteThrough) {
+            co_await bus_.transaction(bus_.width_bytes());
+          }
+        } else {
+          co_await bus_.transaction(bus_.width_bytes());
+        }
+        if (coherent_) {
+          const SnoopResult sr = snoop(cpu, type, line, /*for_write=*/true);
+          if (params_.memory.coherence ==
+                  machine::CoherenceKind::kDirectory &&
+              sr.holders > 0) {
+            // Point-to-point invalidations to each tracked sharer (the
+            // write-through bus transaction above doubles as the broadcast
+            // under snooping).
+            for (int i = 0; i < sr.holders; ++i) {
+              co_await bus_.transaction(0);
+            }
+          }
+        }
+      } else if (coherent_ && st == LineState::kShared) {
+        // MESI upgrade: invalidate the other copies before writing.
+        if (params_.memory.coherence == machine::CoherenceKind::kSnoopy) {
+          // One broadcast transaction; all snoopers react for free.
+          co_await bus_.transaction(0);
+          snoop(cpu, type, line, /*for_write=*/true);
+        } else {
+          // Directory: consult the sharer list, then invalidate each holder
+          // point to point.
+          const SnoopResult sr = snoop(cpu, type, line, /*for_write=*/true);
+          co_await bus_.transaction(0,
+                                    params_.memory.directory_lookup_cycles);
+          for (int i = 0; i < sr.holders; ++i) {
+            co_await bus_.transaction(0);
+          }
+        }
+      }
+    }
+    access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+    co_return;
+  }
+
+  first.misses.add();
+
+  // Snoop peer L1s (multiprocessor nodes only).
+  const bool directory =
+      params_.memory.coherence == machine::CoherenceKind::kDirectory;
+  bool peer_had_copy = false;
+  if (coherent_) {
+    const SnoopResult sr = snoop(cpu, type, line, is_write);
+    const sim::Cycles dir_extra =
+        directory ? params_.memory.directory_lookup_cycles : 0;
+    if (sr.supplied) {
+      peer_had_copy = true;
+      // Cache-to-cache supply over the bus; a dirty owner flushes the line;
+      // the directory variant additionally pays its lookup.
+      co_await bus_.transaction(first.params().line_bytes,
+                                (sr.was_dirty ? 1 : 0) + dir_extra);
+      if (directory && is_write && sr.holders > 1) {
+        // Extra clean sharers beyond the supplier: point-to-point
+        // invalidations (snooping handled them within the broadcast).
+        for (int i = 1; i < sr.holders; ++i) {
+          co_await bus_.transaction(0);
+        }
+      }
+    } else if (directory) {
+      // Even an unshared miss consults the directory on its way to memory.
+      co_await bus_.transaction(0, dir_extra);
+    }
+  }
+
+  if (!peer_had_copy) {
+    // Walk the shared levels.
+    bool found = false;
+    std::size_t found_level = 0;
+    for (std::size_t i = 0; i < shared_.size(); ++i) {
+      Cache& level = *shared_[i];
+      co_await sim_.delay(cpu_clock_.to_ticks(level.params().hit_cycles));
+      if (level.probe(addr) != LineState::kInvalid) {
+        level.hits.add();
+        level.touch(addr, false);
+        found = true;
+        found_level = i;
+        break;
+      }
+      level.misses.add();
+    }
+
+    if (!found) {
+      // Fetch the outermost level's line (or L1's when no shared levels)
+      // from DRAM over the bus.
+      dram_accesses.add();
+      const std::uint32_t fetch_bytes =
+          shared_.empty() ? first.params().line_bytes
+                          : shared_.back()->params().line_bytes;
+      co_await bus_.transaction(fetch_bytes,
+                                params_.memory.dram_access_cycles);
+      // Allocate in every shared level walked (outermost first).
+      for (std::size_t i = shared_.size(); i-- > 0;) {
+        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive);
+      }
+    } else {
+      // Allocate in the levels above the hit.
+      for (std::size_t i = found_level; i-- > 0;) {
+        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive);
+      }
+    }
+  }
+
+  // A peer may have filled this line while our miss was waiting on the bus
+  // (the snoop above is stale by now).  Re-resolve coherence state right
+  // before the fill — no suspension points from here on, so the fill is
+  // atomic with respect to other accesses.  Zero-cost: the timing was
+  // charged above; this models the snoop that rides the bus transaction.
+  if (coherent_) {
+    const SnoopResult final_snoop = snoop(cpu, type, line, is_write);
+    peer_had_copy = peer_had_copy || final_snoop.supplied;
+  }
+
+  // Finally allocate in L1 (unless policy says not to on write misses).
+  const bool allocate =
+      !is_write || first.params().allocate_on_write_miss;
+  if (allocate) {
+    LineState fill_state;
+    if (is_write) {
+      fill_state = first.params().write_policy == WritePolicy::kWriteBack
+                       ? LineState::kModified
+                       : LineState::kShared;
+    } else {
+      fill_state = (coherent_ && peer_had_copy) ? LineState::kShared
+                                                : LineState::kExclusive;
+    }
+    co_await fill_with_writeback(first, addr, fill_state);
+  }
+  if (is_write && !allocate) {
+    // No-allocate write miss: the word goes straight to the level below.
+    co_await bus_.transaction(bus_.width_bytes());
+  }
+  if (is_write && first.params().write_policy == WritePolicy::kWriteThrough &&
+      allocate) {
+    // Write-through write miss with allocation still propagates the word.
+    co_await bus_.transaction(bus_.width_bytes());
+  }
+
+  access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+}
+
+void MemoryHierarchy::register_stats(stats::StatRegistry& reg,
+                                     const std::string& prefix) {
+  reg.register_counter(prefix + ".accesses", &accesses);
+  reg.register_counter(prefix + ".dram_accesses", &dram_accesses);
+  reg.register_accumulator(prefix + ".latency_ticks", &access_latency_ticks);
+  for (auto& c : dcaches_) c->register_stats(reg, prefix + "." + c->name());
+  for (auto& c : icaches_) c->register_stats(reg, prefix + "." + c->name());
+  for (auto& c : shared_) c->register_stats(reg, prefix + "." + c->name());
+  bus_.register_stats(reg, prefix + ".bus");
+}
+
+}  // namespace merm::memory

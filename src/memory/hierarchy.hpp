@@ -1,0 +1,97 @@
+// The memory hierarchy of one MIMD node (Fig. 3a): per-CPU L1 caches
+// (optionally split I/D), shared lower levels, a bus, and DRAM.
+//
+// Coherence: when a node has multiple CPUs, the private L1s run a snoopy
+// MESI protocol over the node bus, exactly the configuration the paper
+// describes ("multiple processors using a common cache hierarchy ... the
+// caches provide a snoopy bus protocol").  Other strategies (directories)
+// would slot in behind the same access() interface.
+//
+// Simplifications, documented for calibration purposes:
+//  - The L1<->L2 connection is a private port (no bus occupancy); the bus
+//    carries DRAM traffic, coherence broadcasts and cache-to-cache copies.
+//  - Dirty-victim writebacks occupy the bus synchronously with the access
+//    that caused them (no write buffer).
+//  - Accesses never straddle a cache line (trace generators emit aligned
+//    scalar accesses).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "memory/bus.hpp"
+#include "memory/cache.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::memory {
+
+enum class AccessType : std::uint8_t { kIFetch, kLoad, kStore };
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(sim::Simulator& sim, const machine::NodeParams& params);
+
+  /// Simulates one access by CPU `cpu`; completes (in simulated time) when
+  /// the access would retire.  Does not include the CPU's issue cost.
+  sim::Task<> access(std::uint32_t cpu, AccessType type, std::uint64_t addr);
+
+  std::uint32_t cpu_count() const { return cpu_count_; }
+  bool coherent() const { return coherent_; }
+
+  /// Level-0 cache used by `cpu` for the given access type (nullptr if the
+  /// node has no caches, e.g. the T805 preset).
+  Cache* l1(std::uint32_t cpu, AccessType type);
+  /// Shared level `i` (1-based: 1 = L2).  nullptr when absent.
+  Cache* shared_level(std::size_t i);
+  std::size_t level_count() const { return level_count_; }
+
+  Bus& bus() { return bus_; }
+
+  /// Total simulator memory consumed by tag stores (paper Section 6:
+  /// footprint excludes data because caches are tags-only).
+  std::size_t footprint_bytes() const;
+
+  // -- statistics --
+  stats::Counter accesses;
+  stats::Counter dram_accesses;
+  stats::Accumulator access_latency_ticks;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  /// Snoop result against peer L1 caches.
+  struct SnoopResult {
+    bool supplied = false;   ///< a peer copy supplied the line
+    bool was_dirty = false;  ///< the supplier held it Modified
+    int holders = 0;         ///< peers whose state was changed
+  };
+
+  SnoopResult snoop(std::uint32_t requester, AccessType type,
+                    std::uint64_t line_addr, bool for_write);
+
+  /// Fills `cache` and charges any dirty-victim writeback on the bus.
+  sim::Task<> fill_with_writeback(Cache& cache, std::uint64_t addr,
+                                  LineState state);
+
+  sim::Simulator& sim_;
+  machine::NodeParams params_;
+  sim::Clock cpu_clock_;
+  std::uint32_t cpu_count_;
+  bool coherent_;
+  std::size_t level_count_;
+
+  // Private level-0 caches: per CPU, [cpu] = unified, or with split_l1
+  // icaches_[cpu] + dcaches_[cpu].
+  std::vector<std::unique_ptr<Cache>> dcaches_;  // or unified
+  std::vector<std::unique_ptr<Cache>> icaches_;  // only when split_l1
+  std::vector<std::unique_ptr<Cache>> shared_;   // levels 1..n-1
+
+  Bus bus_;
+};
+
+}  // namespace merm::memory

@@ -1,0 +1,238 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+
+namespace merm::network {
+
+using machine::Switching;
+
+Link::Link(sim::Simulator& sim, const machine::LinkParams& params)
+    : sim_(sim), params_(params) {
+  const std::uint32_t vcs = std::max<std::uint32_t>(1, params.virtual_channels);
+  vcs_.reserve(vcs);
+  for (std::uint32_t v = 0; v < vcs; ++v) {
+    vcs_.push_back(std::make_unique<sim::FifoResource>());
+  }
+}
+
+sim::Task<> Link::acquire(std::uint32_t vc) { co_await vcs_[vc]->acquire(); }
+
+void Link::release(std::uint32_t vc) { vcs_[vc]->release(); }
+
+sim::Tick Link::serialization(std::uint64_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
+  return static_cast<sim::Tick>(seconds *
+                                    static_cast<double>(sim::kTicksPerSecond) +
+                                0.5);
+}
+
+Network::Network(sim::Simulator& sim, const machine::TopologyParams& topo,
+                 const machine::RouterParams& router,
+                 const machine::LinkParams& link)
+    : sim_(sim),
+      router_(router),
+      link_params_(link),
+      router_clock_(router.frequency_hz),
+      topology_(Topology::make(topo)) {
+  links_.resize(topology_.node_count());
+  for (std::uint32_t n = 0; n < topology_.node_count(); ++n) {
+    const auto node = static_cast<NodeId>(n);
+    links_[n].reserve(topology_.port_count(node));
+    for (std::uint32_t p = 0; p < topology_.port_count(node); ++p) {
+      links_[n].push_back(std::make_unique<Link>(sim_, link_params_));
+    }
+  }
+}
+
+std::uint32_t Network::packet_count(std::uint64_t bytes) const {
+  if (bytes == 0) return 1;  // zero-payload control message: one packet
+  return static_cast<std::uint32_t>(
+      (bytes + router_.max_packet_bytes - 1) / router_.max_packet_bytes);
+}
+
+sim::Tick Network::zero_load_packet_latency(std::uint64_t payload_bytes,
+                                            std::uint32_t hops) const {
+  const std::uint64_t pkt = payload_bytes + router_.header_bytes;
+  const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
+  Link probe(sim_, link_params_);
+  const sim::Tick t_ser = probe.serialization(pkt);
+  const sim::Tick t_flit = probe.serialization(router_.flit_bytes);
+  const sim::Tick t_prop = link_params_.propagation_delay;
+  switch (router_.switching) {
+    case Switching::kStoreAndForward:
+      return hops * (t_r + t_ser + t_prop);
+    case Switching::kWormhole:
+    case Switching::kVirtualCutThrough:
+      // Header pipelines hop by hop; the body (everything behind the header
+      // flit) then streams through in one serialization time.
+      return hops * (t_r + t_flit + t_prop) +
+             (t_ser > t_flit ? t_ser - t_flit : 0);
+  }
+  return 0;
+}
+
+sim::Task<> Network::transmit(NodeId src, NodeId dst, std::uint64_t bytes) {
+  messages.add();
+  bytes_delivered.add(bytes);
+  if (src == dst) co_return;
+
+  const sim::Tick start = sim_.now();
+  const std::uint32_t n_packets = packet_count(bytes);
+  const std::uint64_t full_payload = router_.max_packet_bytes;
+
+  std::uint32_t remaining = n_packets;
+  sim::Event all_done;
+  std::uint64_t left = bytes;
+  for (std::uint32_t i = 0; i < n_packets; ++i) {
+    const std::uint64_t payload = std::min<std::uint64_t>(left, full_payload);
+    left -= payload;
+    sim_.spawn(packet_process(src, dst, payload, &remaining, &all_done));
+  }
+  co_await all_done;
+
+  message_latency_ticks.add(static_cast<double>(sim_.now() - start));
+  message_hops.add(static_cast<double>(topology_.hop_distance(src, dst)));
+  latency_histogram.add((sim_.now() - start) / sim::kTicksPerNanosecond);
+}
+
+sim::Process Network::packet_process(NodeId src, NodeId dst,
+                                     std::uint64_t payload_bytes,
+                                     std::uint32_t* remaining,
+                                     sim::Event* all_done) {
+  packets.add();
+  const std::uint64_t pkt_bytes = payload_bytes + router_.header_bytes;
+  const auto route = topology_.path(router_.routing, src, dst);
+  const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
+  const sim::Tick t_prop = link_params_.propagation_delay;
+
+  // Per-hop links along the route, with dateline virtual-channel selection:
+  // a packet starts each dimension on VC 0 and moves to VC 1 when it crosses
+  // a wrap-around edge, breaking the cyclic channel dependencies of rings
+  // and tori under wormhole switching.
+  std::vector<Link*> hop_links;
+  std::vector<std::uint32_t> hop_vcs;
+  hop_links.reserve(route.size());
+  hop_vcs.reserve(route.size());
+  {
+    NodeId here = src;
+    std::uint32_t vc = 0;
+    int prev_dim = -1;
+    for (std::uint32_t port : route) {
+      Link& link = link_at(here, port);
+      const NodeId next = topology_.neighbor(here, port).node;
+      const int dim = topology_.edge_dimension(here, next);
+      if (dim != prev_dim) {
+        vc = 0;
+        prev_dim = dim;
+      }
+      if (topology_.is_wrap_edge(here, next)) {
+        vc = std::min(vc + 1, link.vc_count() - 1);
+      }
+      hop_links.push_back(&link);
+      hop_vcs.push_back(vc);
+      here = next;
+    }
+  }
+
+  switch (router_.switching) {
+    case Switching::kStoreAndForward: {
+      // One link held at a time: VC 0 suffices (no hold-and-wait chains).
+      for (Link* link : hop_links) {
+        co_await link->acquire(0);
+        const sim::Tick hold = t_r + link->serialization(pkt_bytes) + t_prop;
+        co_await sim_.delay(hold);
+        link->add_busy(hold);
+        link->packets.add();
+        link->bytes.add(pkt_bytes);
+        link->release(0);
+      }
+      break;
+    }
+    case Switching::kWormhole:
+    case Switching::kVirtualCutThrough: {
+      const sim::Tick t_flit =
+          hop_links.front()->serialization(router_.flit_bytes);
+      const sim::Tick t_full = hop_links.front()->serialization(pkt_bytes);
+      // Body = packet minus the header flit already accounted per hop.
+      const sim::Tick t_body = t_full > t_flit ? t_full - t_flit : 0;
+      const bool cut_through_buffers =
+          router_.switching == Switching::kVirtualCutThrough &&
+          static_cast<std::uint64_t>(router_.input_buffer_flits) *
+                  router_.flit_bytes >=
+              pkt_bytes;
+
+      std::vector<std::pair<Link*, std::uint32_t>> held;
+      held.reserve(hop_links.size());
+      std::vector<sim::Tick> header_passed;
+      header_passed.reserve(hop_links.size());
+      for (std::size_t h = 0; h < hop_links.size(); ++h) {
+        Link* link = hop_links[h];
+        const std::uint32_t vc = hop_vcs[h];
+        co_await link->acquire(vc);
+        co_await sim_.delay(t_r + t_flit + t_prop);
+        header_passed.push_back(sim_.now());
+        link->packets.add();
+        link->bytes.add(pkt_bytes);
+        if (cut_through_buffers) {
+          // Tail passes this link t_body after the header did; the packet is
+          // then fully buffered downstream and the link frees up.
+          link->add_busy(t_body);
+          sim_.schedule_in(t_body, [link, vc] { link->release(vc); });
+        } else {
+          held.emplace_back(link, vc);
+        }
+      }
+      // Body streams behind the header to the destination.
+      co_await sim_.delay(t_body);
+      for (std::size_t i = 0; i < held.size(); ++i) {
+        // held[i] was acquired at hop i; it has been occupied since its
+        // header passed until the tail drained at the destination.
+        held[i].first->add_busy(sim_.now() - header_passed[i] + t_flit);
+        held[i].first->release(held[i].second);
+      }
+      break;
+    }
+  }
+
+  if (--*remaining == 0) {
+    all_done->trigger();
+  }
+}
+
+double Network::mean_link_utilization(sim::Tick now) const {
+  if (now == 0) return 0.0;
+  std::uint64_t busy = 0;
+  std::uint64_t count = 0;
+  for (const auto& node_links : links_) {
+    for (const auto& link : node_links) {
+      busy += link->busy_ticks();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(busy) /
+                          (static_cast<double>(count) *
+                           static_cast<double>(now));
+}
+
+void Network::register_stats(stats::StatRegistry& reg,
+                             const std::string& prefix) {
+  reg.register_counter(prefix + ".messages", &messages);
+  reg.register_counter(prefix + ".packets", &packets);
+  reg.register_counter(prefix + ".bytes", &bytes_delivered);
+  reg.register_accumulator(prefix + ".latency_ticks", &message_latency_ticks);
+  reg.register_accumulator(prefix + ".hops", &message_hops);
+}
+
+std::size_t Network::footprint_bytes() const {
+  std::size_t total = sizeof(Network);
+  for (const auto& node_links : links_) {
+    total += node_links.size() * sizeof(Link);
+  }
+  total += topology_.node_count() * topology_.node_count() * 2 *
+           sizeof(std::uint32_t);  // routing tables
+  return total;
+}
+
+}  // namespace merm::network

@@ -1,0 +1,124 @@
+// The communication network: routers, links, and the three switching
+// strategies of the router model (Section 4.2).
+//
+// A message is split into packets (max_packet_bytes of payload plus a
+// header); each packet traverses its deterministic route as a coroutine
+// process, contending for unidirectional links which are FIFO-granted
+// resources.  The switching strategy decides link hold times:
+//
+//  - store-and-forward: each hop holds its link for routing + full packet
+//    serialization + propagation; hops are sequential.
+//  - wormhole: links are acquired in path order and all held until the tail
+//    drains at the destination; per-hop cost is routing + one flit +
+//    propagation, with a single end-to-end serialization of the body.
+//    Blocked headers therefore stall the entire held path — wormhole's
+//    signature congestion behaviour.
+//  - virtual cut-through: like wormhole, but when the downstream input
+//    buffer can hold the whole packet, the upstream link is released as soon
+//    as the tail has passed it; with undersized buffers VCT degenerates to
+//    wormhole (exactly the real mechanism).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "network/topology.hpp"
+#include "sim/coro.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::network {
+
+/// One unidirectional link: bandwidth + propagation delay, multiplexed into
+/// `virtual_channels` independently-arbitrated virtual channels.  Each VC is
+/// a FIFO-granted resource; modelling simplification: a VC in use gets the
+/// full link bandwidth (no per-flit interleaving between VCs).
+class Link {
+ public:
+  Link(sim::Simulator& sim, const machine::LinkParams& params);
+
+  std::uint32_t vc_count() const {
+    return static_cast<std::uint32_t>(vcs_.size());
+  }
+  sim::Task<> acquire(std::uint32_t vc = 0);
+  void release(std::uint32_t vc = 0);
+
+  /// Time to clock `bytes` onto the wire.
+  sim::Tick serialization(std::uint64_t bytes) const;
+  sim::Tick propagation() const { return params_.propagation_delay; }
+
+  void add_busy(sim::Tick t) { busy_ticks_ += t; }
+  sim::Tick busy_ticks() const { return busy_ticks_; }
+
+  stats::Counter packets;
+  stats::Counter bytes;
+
+ private:
+  sim::Simulator& sim_;
+  machine::LinkParams params_;
+  std::vector<std::unique_ptr<sim::FifoResource>> vcs_;
+  sim::Tick busy_ticks_ = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, const machine::TopologyParams& topo,
+          const machine::RouterParams& router,
+          const machine::LinkParams& link);
+
+  const Topology& topology() const { return topology_; }
+  std::uint32_t node_count() const { return topology_.node_count(); }
+
+  /// Simulates the delivery of a `bytes`-byte message; completes, in
+  /// simulated time, when the last packet has been ejected at `dst`.
+  /// src == dst completes immediately (local delivery is the node's
+  /// business).
+  sim::Task<> transmit(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// Packets a message of `bytes` splits into.
+  std::uint32_t packet_count(std::uint64_t bytes) const;
+
+  /// Zero-load latency of a single `bytes`-byte packet over `hops` hops —
+  /// the analytic formula the switching tests validate against.
+  sim::Tick zero_load_packet_latency(std::uint64_t payload_bytes,
+                                     std::uint32_t hops) const;
+
+  Link& link_at(NodeId node, std::uint32_t port) {
+    return *links_[static_cast<std::size_t>(node)][port];
+  }
+
+  // -- statistics --
+  stats::Counter messages;
+  stats::Counter packets;
+  stats::Counter bytes_delivered;
+  stats::Accumulator message_latency_ticks;
+  stats::Accumulator message_hops;
+  stats::Log2Histogram latency_histogram;  ///< in nanoseconds
+
+  /// Mean link utilization at time `now`.
+  double mean_link_utilization(sim::Tick now) const;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+  /// Approximate simulator memory for the network model itself.
+  std::size_t footprint_bytes() const;
+
+ private:
+  sim::Process packet_process(NodeId src, NodeId dst,
+                              std::uint64_t payload_bytes,
+                              std::uint32_t* remaining, sim::Event* all_done);
+
+  sim::Simulator& sim_;
+  machine::RouterParams router_;
+  machine::LinkParams link_params_;
+  sim::Clock router_clock_;
+  Topology topology_;
+  std::vector<std::vector<std::unique_ptr<Link>>> links_;
+};
+
+}  // namespace merm::network

@@ -1,0 +1,306 @@
+#include "network/topology.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace merm::network {
+
+using machine::TopologyKind;
+
+namespace {
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2u(std::uint32_t v) {
+  std::uint32_t r = 0;
+  while ((1u << (r + 1)) <= v) ++r;
+  return r;
+}
+}  // namespace
+
+void Topology::add_bidirectional(NodeId a, NodeId b) {
+  auto& pa = ports_[static_cast<std::size_t>(a)];
+  auto& pb = ports_[static_cast<std::size_t>(b)];
+  const auto port_a = static_cast<std::uint32_t>(pa.size());
+  const auto port_b = static_cast<std::uint32_t>(pb.size());
+  pa.push_back(PortTarget{b, port_b});
+  pb.push_back(PortTarget{a, port_a});
+}
+
+Topology Topology::make(const machine::TopologyParams& params) {
+  Topology t;
+  t.kind_ = params.kind;
+  const std::uint32_t n = params.node_count();
+  if (n == 0) throw std::invalid_argument("topology with zero nodes");
+  t.ports_.resize(n);
+
+  switch (params.kind) {
+    case TopologyKind::kRing: {
+      if (n == 2) {
+        t.add_bidirectional(0, 1);
+      } else if (n > 2) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          t.add_bidirectional(static_cast<NodeId>(i),
+                              static_cast<NodeId>((i + 1) % n));
+        }
+      }
+      break;
+    }
+    case TopologyKind::kMesh2D:
+    case TopologyKind::kTorus2D: {
+      const std::uint32_t w = params.dims[0];
+      const std::uint32_t h = params.dims[1];
+      if (w == 0 || h == 0) throw std::invalid_argument("mesh with zero dim");
+      t.width_ = w;
+      t.height_ = h;
+      const bool torus = params.kind == TopologyKind::kTorus2D;
+      auto id = [w](std::uint32_t x, std::uint32_t y) {
+        return static_cast<NodeId>(y * w + x);
+      };
+      for (std::uint32_t y = 0; y < h; ++y) {
+        for (std::uint32_t x = 0; x < w; ++x) {
+          if (x + 1 < w) t.add_bidirectional(id(x, y), id(x + 1, y));
+          if (y + 1 < h) t.add_bidirectional(id(x, y), id(x, y + 1));
+        }
+      }
+      if (torus) {
+        // Wrap links; skip when the dimension is too small to need them.
+        if (w > 2) {
+          for (std::uint32_t y = 0; y < h; ++y) {
+            t.add_bidirectional(id(w - 1, y), id(0, y));
+          }
+        }
+        if (h > 2) {
+          for (std::uint32_t x = 0; x < w; ++x) {
+            t.add_bidirectional(id(x, h - 1), id(x, 0));
+          }
+        }
+      }
+      break;
+    }
+    case TopologyKind::kHypercube: {
+      if (!is_pow2(n)) {
+        throw std::invalid_argument("hypercube needs power-of-two nodes");
+      }
+      const std::uint32_t dims = n == 1 ? 0 : log2u(n);
+      // Port k of node i connects to node i ^ (1 << k), symmetrically.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        t.ports_[i].resize(dims);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t k = 0; k < dims; ++k) {
+          const std::uint32_t j = i ^ (1u << k);
+          t.ports_[i][k] = PortTarget{static_cast<NodeId>(j), k};
+        }
+      }
+      break;
+    }
+    case TopologyKind::kStar: {
+      for (std::uint32_t i = 1; i < n; ++i) {
+        t.add_bidirectional(0, static_cast<NodeId>(i));
+      }
+      break;
+    }
+    case TopologyKind::kFullyConnected: {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+          t.add_bidirectional(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+      break;
+    }
+  }
+
+  t.compute_tables();
+  return t;
+}
+
+void Topology::compute_tables() {
+  const std::uint32_t n = node_count();
+  constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+  next_port_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+  distance_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+
+  // One BFS per destination over the (symmetric) port graph.
+  for (std::uint32_t dest = 0; dest < n; ++dest) {
+    auto dist = [&](std::uint32_t v) -> std::uint32_t& {
+      return distance_[static_cast<std::size_t>(v) * n + dest];
+    };
+    dist(dest) = 0;
+    std::deque<std::uint32_t> frontier{dest};
+    while (!frontier.empty()) {
+      const std::uint32_t v = frontier.front();
+      frontier.pop_front();
+      for (const PortTarget& pt : ports_[v]) {
+        const auto u = static_cast<std::uint32_t>(pt.node);
+        if (dist(u) == kUnreachable) {
+          dist(u) = dist(v) + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    // Next-port: lowest-indexed port that strictly decreases distance.
+    for (std::uint32_t here = 0; here < n; ++here) {
+      if (here == dest || dist(here) == kUnreachable) continue;
+      for (std::uint32_t p = 0; p < ports_[here].size(); ++p) {
+        const auto u = static_cast<std::uint32_t>(ports_[here][p].node);
+        if (dist(u) + 1 == dist(here)) {
+          next_port_[static_cast<std::size_t>(here) * n + dest] = p;
+          break;
+        }
+      }
+    }
+  }
+
+  // Every pair must be connected in a sane topology.
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(distance_.size());
+       ++i) {
+    if (distance_[i] == kUnreachable) {
+      throw std::logic_error("disconnected topology");
+    }
+  }
+}
+
+namespace {
+// Port index on `here` whose neighbor is `next`.
+std::uint32_t port_to(const Topology& t, NodeId here, NodeId next) {
+  for (std::uint32_t p = 0; p < t.port_count(here); ++p) {
+    if (t.neighbor(here, p).node == next) return p;
+  }
+  throw std::logic_error("dimension-order routing picked a non-neighbor");
+}
+}  // namespace
+
+std::uint32_t Topology::route_dimension_order(NodeId here, NodeId dest) const {
+  const auto n = node_count();
+  switch (kind_) {
+    case TopologyKind::kRing: {
+      const auto h = static_cast<std::uint32_t>(here);
+      const auto d = static_cast<std::uint32_t>(dest);
+      const std::uint32_t fwd = (d + n - h) % n;
+      const std::uint32_t bwd = (h + n - d) % n;
+      const std::uint32_t next =
+          fwd <= bwd ? (h + 1) % n : (h + n - 1) % n;
+      return port_to(*this, here, static_cast<NodeId>(next));
+    }
+    case TopologyKind::kMesh2D:
+    case TopologyKind::kTorus2D: {
+      const auto h = static_cast<std::uint32_t>(here);
+      const auto d = static_cast<std::uint32_t>(dest);
+      const std::uint32_t hx = h % width_;
+      const std::uint32_t hy = h / width_;
+      const std::uint32_t dx = d % width_;
+      const std::uint32_t dy = d / width_;
+      std::uint32_t nx = hx;
+      std::uint32_t ny = hy;
+      if (hx != dx) {
+        // Route X first.
+        if (kind_ == TopologyKind::kMesh2D) {
+          nx = hx < dx ? hx + 1 : hx - 1;
+        } else {
+          const std::uint32_t fwd = (dx + width_ - hx) % width_;
+          const std::uint32_t bwd = (hx + width_ - dx) % width_;
+          nx = fwd <= bwd ? (hx + 1) % width_ : (hx + width_ - 1) % width_;
+        }
+      } else {
+        if (kind_ == TopologyKind::kMesh2D) {
+          ny = hy < dy ? hy + 1 : hy - 1;
+        } else {
+          const std::uint32_t fwd = (dy + height_ - hy) % height_;
+          const std::uint32_t bwd = (hy + height_ - dy) % height_;
+          ny = fwd <= bwd ? (hy + 1) % height_ : (hy + height_ - 1) % height_;
+        }
+      }
+      return port_to(*this, here, static_cast<NodeId>(ny * width_ + nx));
+    }
+    case TopologyKind::kHypercube: {
+      const std::uint32_t diff = static_cast<std::uint32_t>(here) ^
+                                 static_cast<std::uint32_t>(dest);
+      // e-cube: resolve the lowest differing dimension first; port k is
+      // dimension k by construction.
+      std::uint32_t k = 0;
+      while (((diff >> k) & 1u) == 0) ++k;
+      return k;
+    }
+    case TopologyKind::kStar: {
+      if (here == 0) return port_to(*this, here, dest);
+      return 0;  // spoke's only port leads to the hub
+    }
+    case TopologyKind::kFullyConnected:
+      return port_to(*this, here, dest);
+  }
+  throw std::logic_error("unknown topology kind");
+}
+
+std::vector<std::uint32_t> Topology::path(machine::RoutingAlgorithm algo,
+                                          NodeId src, NodeId dst) const {
+  std::vector<std::uint32_t> out;
+  NodeId here = src;
+  const std::uint32_t limit = 4 * node_count() + 8;
+  while (here != dst) {
+    if (out.size() > limit) {
+      throw std::logic_error("routing livelock detected");
+    }
+    const std::uint32_t p = route(algo, here, dst);
+    out.push_back(p);
+    here = neighbor(here, p).node;
+  }
+  return out;
+}
+
+std::uint32_t Topology::diameter() const {
+  std::uint32_t d = 0;
+  for (std::uint32_t x : distance_) d = std::max(d, x);
+  return d;
+}
+
+bool Topology::is_wrap_edge(NodeId u, NodeId v) const {
+  const auto n = node_count();
+  switch (kind_) {
+    case TopologyKind::kRing: {
+      const auto a = static_cast<std::uint32_t>(u);
+      const auto b = static_cast<std::uint32_t>(v);
+      return n > 2 && ((a == n - 1 && b == 0) || (a == 0 && b == n - 1));
+    }
+    case TopologyKind::kTorus2D: {
+      const auto a = static_cast<std::uint32_t>(u);
+      const auto b = static_cast<std::uint32_t>(v);
+      const std::uint32_t ax = a % width_;
+      const std::uint32_t ay = a / width_;
+      const std::uint32_t bx = b % width_;
+      const std::uint32_t by = b / width_;
+      if (ay == by && width_ > 2 &&
+          ((ax == width_ - 1 && bx == 0) || (ax == 0 && bx == width_ - 1))) {
+        return true;
+      }
+      if (ax == bx && height_ > 2 &&
+          ((ay == height_ - 1 && by == 0) ||
+           (ay == 0 && by == height_ - 1))) {
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+int Topology::edge_dimension(NodeId u, NodeId v) const {
+  if (kind_ != TopologyKind::kMesh2D && kind_ != TopologyKind::kTorus2D) {
+    return 0;
+  }
+  const auto a = static_cast<std::uint32_t>(u);
+  const auto b = static_cast<std::uint32_t>(v);
+  return (a / width_) == (b / width_) ? 0 : 1;
+}
+
+std::uint32_t Topology::link_count() const {
+  std::uint32_t total = 0;
+  for (const auto& p : ports_) {
+    total += static_cast<std::uint32_t>(p.size());
+  }
+  return total;  // each bidirectional pair counts as two unidirectional links
+}
+
+}  // namespace merm::network

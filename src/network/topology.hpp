@@ -1,0 +1,109 @@
+// Physical interconnect topologies.
+//
+// "The nodes are connected in a topology reflecting the physical
+// interconnect of the multicomputer" (Section 4.2).  A Topology is a static
+// port-level graph: node u's output port p connects to node v's input port
+// q.  Routing support covers the two configurable strategies of the router
+// model: arithmetic dimension-order routing (XY on mesh/torus, e-cube on
+// hypercube, shortest direction on ring) and table-based shortest-path
+// routing computed by BFS with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "trace/operation.hpp"
+
+namespace merm::network {
+
+using trace::NodeId;
+
+class Topology {
+ public:
+  /// Builds the port graph for the given parameters.  Throws on invalid
+  /// dimensions (e.g. non-power-of-two hypercube).
+  static Topology make(const machine::TopologyParams& params);
+
+  machine::TopologyKind kind() const { return kind_; }
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(ports_.size());
+  }
+
+  struct PortTarget {
+    NodeId node = trace::kNoNode;
+    std::uint32_t port = 0;
+  };
+
+  /// Number of ports (links) on `node`.
+  std::uint32_t port_count(NodeId node) const {
+    return static_cast<std::uint32_t>(ports_[static_cast<std::size_t>(node)].size());
+  }
+
+  /// The (node, input-port) reached through `node`'s output port `port`.
+  PortTarget neighbor(NodeId node, std::uint32_t port) const {
+    return ports_[static_cast<std::size_t>(node)][port];
+  }
+
+  /// Next output port from `here` towards `dest` under dimension-order
+  /// routing.  Precondition: here != dest.
+  std::uint32_t route_dimension_order(NodeId here, NodeId dest) const;
+
+  /// Next output port under BFS shortest-path routing (lowest-port
+  /// tie-break).  Precondition: here != dest.
+  std::uint32_t route_shortest_path(NodeId here, NodeId dest) const {
+    return next_port_[static_cast<std::size_t>(here) * node_count() +
+                      static_cast<std::size_t>(dest)];
+  }
+
+  std::uint32_t route(machine::RoutingAlgorithm algo, NodeId here,
+                      NodeId dest) const {
+    return algo == machine::RoutingAlgorithm::kDimensionOrder
+               ? route_dimension_order(here, dest)
+               : route_shortest_path(here, dest);
+  }
+
+  /// Full path (sequence of output ports) from src to dst; empty when
+  /// src == dst.  Throws if the routing function fails to converge (a
+  /// routing bug: surfaced loudly rather than hanging the simulation).
+  std::vector<std::uint32_t> path(machine::RoutingAlgorithm algo, NodeId src,
+                                  NodeId dst) const;
+
+  /// Hop distance under shortest-path routing.
+  std::uint32_t hop_distance(NodeId a, NodeId b) const {
+    return distance_[static_cast<std::size_t>(a) * node_count() +
+                     static_cast<std::size_t>(b)];
+  }
+
+  /// Network diameter (max shortest-path distance).
+  std::uint32_t diameter() const;
+
+  /// Total number of unidirectional links.
+  std::uint32_t link_count() const;
+
+  /// True when the edge u -> v is a wrap-around ("dateline") edge of a ring
+  /// or torus dimension.  Wormhole packets switch virtual channel when
+  /// crossing a dateline to break cyclic channel dependencies.
+  bool is_wrap_edge(NodeId u, NodeId v) const;
+
+  /// Movement axis of the edge u -> v: 0 for X (or the ring), 1 for Y.
+  /// Used to reset the dateline VC when dimension-order routing switches
+  /// dimensions.  Returns 0 for non-grid topologies.
+  int edge_dimension(NodeId u, NodeId v) const;
+
+ private:
+  Topology() = default;
+
+  void add_bidirectional(NodeId a, NodeId b);
+  void compute_tables();
+
+  machine::TopologyKind kind_ = machine::TopologyKind::kMesh2D;
+  std::uint32_t width_ = 0;   ///< mesh/torus only
+  std::uint32_t height_ = 0;  ///< mesh/torus only
+  std::vector<std::vector<PortTarget>> ports_;
+  std::vector<std::uint32_t> next_port_;  ///< [here * n + dest]
+  std::vector<std::uint32_t> distance_;   ///< [a * n + b]
+};
+
+}  // namespace merm::network

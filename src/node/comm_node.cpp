@@ -1,0 +1,235 @@
+#include "node/comm_node.hpp"
+
+#include <stdexcept>
+
+#include "sim/logging.hpp"
+
+namespace merm::node {
+
+namespace {
+const sim::Log& comm_log() {
+  static const sim::Log log("comm");
+  return log;
+}
+}  // namespace
+
+using trace::OpCode;
+using trace::Operation;
+
+CommNode::CommNode(sim::Simulator& sim, NodeId id, network::Network& net,
+                   const machine::NicParams& nic)
+    : sim_(sim), id_(id), net_(net), nic_(nic) {}
+
+sim::Tick CommNode::copy_time(std::uint64_t bytes) const {
+  const double seconds = static_cast<double>(bytes) / nic_.copy_bytes_per_s;
+  return static_cast<sim::Tick>(
+      seconds * static_cast<double>(sim::kTicksPerSecond) + 0.5);
+}
+
+sim::Task<> CommNode::issue(const Operation& op) {
+  switch (op.code) {
+    case OpCode::kSend:
+      co_await op_send(op.peer, op.value, op.tag);
+      break;
+    case OpCode::kASend:
+      co_await op_asend(op.peer, op.value, op.tag);
+      break;
+    case OpCode::kRecv:
+      co_await op_recv(op.peer, op.tag);
+      break;
+    case OpCode::kARecv:
+      co_await op_arecv(op.peer, op.tag);
+      break;
+    case OpCode::kCompute:
+      co_await op_compute(op.value);
+      break;
+    default:
+      throw std::logic_error(
+          "CommNode::issue given computational operation: " +
+          trace::to_string(op));
+  }
+}
+
+sim::Process CommNode::transmission(Message msg) {
+  co_await net_.transmit(msg.src, msg.dst, msg.bytes);
+  peer(msg.dst).deliver(msg);
+}
+
+sim::Process CommNode::ack_return(NodeId to, sim::Event* ack_event) {
+  // Zero-payload acknowledgement packet back to the sync sender.
+  co_await net_.transmit(id_, to, 0);
+  ack_event->trigger();
+}
+
+sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
+                              std::int32_t tag) {
+  sends.add();
+  bytes_sent.add(bytes);
+  comm_log().debug(sim_.now(), "node ", id_, " send(", bytes, ", ", dst,
+                   ", tag=", tag, ")");
+  co_await sim_.delay(nic_.send_setup + copy_time(bytes));
+
+  sim::Event acked;
+  Message msg{id_, dst, bytes, tag, /*needs_ack=*/true, &acked};
+  const sim::Tick blocked_from = sim_.now();
+  if (dst == id_) {
+    deliver(msg);
+  } else {
+    sim_.spawn(transmission(msg));
+  }
+  co_await acked;
+  send_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+}
+
+sim::Task<> CommNode::op_asend(NodeId dst, std::uint64_t bytes,
+                               std::int32_t tag) {
+  asends.add();
+  bytes_sent.add(bytes);
+  co_await sim_.delay(nic_.send_setup + copy_time(bytes));
+  Message msg{id_, dst, bytes, tag, /*needs_ack=*/false, nullptr};
+  if (dst == id_) {
+    deliver(msg);
+  } else {
+    sim_.spawn(transmission(msg));
+  }
+}
+
+sim::Task<> CommNode::op_recv(NodeId src, std::int32_t tag) {
+  recvs.add();
+  co_await sim_.delay(nic_.recv_setup);
+
+  // Already arrived?
+  for (auto it = arrived_.begin(); it != arrived_.end(); ++it) {
+    if ((src == trace::kNoNode || src == it->src) && tag == it->tag) {
+      const Message msg = *it;
+      arrived_.erase(it);
+      co_await sim_.delay(copy_time(msg.bytes));
+      consume(msg);
+      co_return;
+    }
+  }
+
+  // Block until delivery.
+  PendingRecv pr;
+  pr.src = src;
+  pr.tag = tag;
+  pending_.push_back(&pr);
+  const sim::Tick blocked_from = sim_.now();
+  co_await pr.ready;
+  recv_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+  co_await sim_.delay(copy_time(pr.matched.bytes));
+  consume(pr.matched);
+}
+
+sim::Task<CommNode::RecvInfo> CommNode::op_recv_filtered(RecvFilter filter) {
+  recvs.add();
+  co_await sim_.delay(nic_.recv_setup);
+
+  for (auto it = arrived_.begin(); it != arrived_.end(); ++it) {
+    if (filter(it->src, it->tag)) {
+      const Message msg = *it;
+      arrived_.erase(it);
+      co_await sim_.delay(copy_time(msg.bytes));
+      consume(msg);
+      co_return RecvInfo{msg.src, msg.tag, msg.bytes};
+    }
+  }
+
+  PendingRecv pr;
+  pr.filter = std::move(filter);
+  pending_.push_back(&pr);
+  const sim::Tick blocked_from = sim_.now();
+  co_await pr.ready;
+  recv_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+  co_await sim_.delay(copy_time(pr.matched.bytes));
+  consume(pr.matched);
+  co_return RecvInfo{pr.matched.src, pr.matched.tag, pr.matched.bytes};
+}
+
+sim::Task<> CommNode::op_arecv(NodeId src, std::int32_t tag) {
+  arecvs.add();
+  co_await sim_.delay(nic_.recv_setup);
+
+  for (auto it = arrived_.begin(); it != arrived_.end(); ++it) {
+    if ((src == trace::kNoNode || src == it->src) && tag == it->tag) {
+      const Message msg = *it;
+      arrived_.erase(it);
+      co_await sim_.delay(copy_time(msg.bytes));
+      consume(msg);
+      co_return;
+    }
+  }
+
+  // Post a passive receive: consumption happens on arrival, the processor
+  // does not block.
+  auto pr = std::make_unique<PendingRecv>();
+  pr->src = src;
+  pr->tag = tag;
+  pr->passive = true;
+  passive_.push_back(std::move(pr));
+}
+
+sim::Task<> CommNode::op_compute(sim::Tick duration) {
+  compute_ops.add();
+  compute_ticks_ += duration;
+  co_await sim_.delay(duration);
+}
+
+void CommNode::deliver(const Message& msg) {
+  comm_log().trace(sim_.now(), "node ", id_, " delivery from ", msg.src,
+                   " tag=", msg.tag, " bytes=", msg.bytes);
+  // Match active (blocking) receives first, in posting order.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (matches(**it, msg)) {
+      PendingRecv* pr = *it;
+      pending_.erase(it);
+      pr->matched = msg;
+      pr->ready.trigger();
+      return;  // consume() runs in the receiver after its copy delay
+    }
+  }
+  // Then passive (arecv) posts.
+  for (auto it = passive_.begin(); it != passive_.end(); ++it) {
+    if (matches(**it, msg)) {
+      passive_.erase(it);
+      consume(msg);
+      return;
+    }
+  }
+  arrived_.push_back(msg);
+}
+
+void CommNode::consume(const Message& msg) {
+  if (!msg.needs_ack) return;
+  if (msg.src == id_) {
+    msg.ack_event->trigger();
+  } else {
+    sim_.spawn(ack_return(msg.src, msg.ack_event));
+  }
+}
+
+sim::Process CommNode::run(trace::OperationSource& source) {
+  while (auto op = source.next()) {
+    if (trace::is_global_event(op->code)) {
+      source.global_event_issued(sim_.now());
+      co_await issue(*op);
+      source.global_event_done(sim_.now());
+    } else {
+      co_await issue(*op);
+    }
+  }
+}
+
+void CommNode::register_stats(stats::StatRegistry& reg,
+                              const std::string& prefix) {
+  reg.register_counter(prefix + ".sends", &sends);
+  reg.register_counter(prefix + ".asends", &asends);
+  reg.register_counter(prefix + ".recvs", &recvs);
+  reg.register_counter(prefix + ".arecvs", &arecvs);
+  reg.register_counter(prefix + ".bytes_sent", &bytes_sent);
+  reg.register_counter(prefix + ".compute_ops", &compute_ops);
+  reg.register_accumulator(prefix + ".send_block_ticks", &send_block_ticks);
+  reg.register_accumulator(prefix + ".recv_block_ticks", &recv_block_ticks);
+}
+
+}  // namespace merm::node

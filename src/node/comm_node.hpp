@@ -1,0 +1,148 @@
+// The communication side of a MIMD node (Fig. 3b): the abstract processor
+// plus its router interface.
+//
+// A CommNode executes the communication operation set (send/recv/asend/
+// arecv/compute).  It implements message-passing with (source, tag)
+// matching:
+//
+//  - send  (synchronous): the sender pays NIC setup + copy, the message
+//    travels the network, and the sender completes only after a matching
+//    recv consumed the message and a zero-payload acknowledgement returned —
+//    blocking rendezvous semantics.
+//  - asend (asynchronous): the sender pays setup + copy and continues; the
+//    message is buffered at the destination until received.
+//  - recv  (synchronous): blocks until a matching message has fully arrived,
+//    then pays setup + copy.
+//  - arecv (asynchronous): posts the receive and continues; an already
+//    arrived message is consumed immediately (with copy cost), otherwise
+//    consumption happens on arrival without blocking the processor.
+//  - compute(duration): task-level computation, a pure delay.
+//
+// `source` may be trace::kNoNode to match a message from any sender.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "network/network.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::node {
+
+using trace::NodeId;
+
+class CommNode {
+ public:
+  CommNode(sim::Simulator& sim, NodeId id, network::Network& net,
+           const machine::NicParams& nic);
+
+  /// Wires this node to its peers; must be called before any operation.
+  void set_fabric(std::vector<std::unique_ptr<CommNode>>* peers) {
+    peers_ = peers;
+  }
+
+  NodeId id() const { return id_; }
+
+  /// Dispatches one communication-model operation (Table 1, lower half).
+  sim::Task<> issue(const trace::Operation& op);
+
+  sim::Task<> op_send(NodeId dst, std::uint64_t bytes, std::int32_t tag);
+  sim::Task<> op_asend(NodeId dst, std::uint64_t bytes, std::int32_t tag);
+  sim::Task<> op_recv(NodeId src, std::int32_t tag);
+  sim::Task<> op_arecv(NodeId src, std::int32_t tag);
+  sim::Task<> op_compute(sim::Tick duration);
+
+  /// Metadata of a received message (runtime-level receives).
+  struct RecvInfo {
+    NodeId src = trace::kNoNode;
+    std::int32_t tag = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Receives the first message whose (source, tag) satisfies `filter` —
+  /// the runtime-system receive used by services layered over message
+  /// passing (e.g. the virtual shared memory protocol servers).  Charges
+  /// the same NIC costs as op_recv and returns the matched metadata.
+  using RecvFilter = std::function<bool(NodeId src, std::int32_t tag)>;
+  sim::Task<RecvInfo> op_recv_filtered(RecvFilter filter);
+
+  /// Runs an entire task-level trace on this node (fast-prototyping mode).
+  sim::Process run(trace::OperationSource& source);
+
+  /// Messages buffered here awaiting a matching receive.
+  std::size_t unclaimed_messages() const { return arrived_.size(); }
+  /// Receives posted and not yet matched.
+  std::size_t pending_receives() const { return pending_.size(); }
+
+  // -- statistics --
+  stats::Counter sends;
+  stats::Counter asends;
+  stats::Counter recvs;
+  stats::Counter arecvs;
+  stats::Counter bytes_sent;
+  stats::Accumulator send_block_ticks;  ///< sync-send wait for ack
+  stats::Accumulator recv_block_ticks;  ///< recv wait for arrival
+  stats::Counter compute_ops;
+  sim::Tick compute_ticks() const { return compute_ticks_; }
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  struct Message {
+    NodeId src = trace::kNoNode;
+    NodeId dst = trace::kNoNode;
+    std::uint64_t bytes = 0;
+    std::int32_t tag = 0;
+    bool needs_ack = false;
+    sim::Event* ack_event = nullptr;  ///< sender-side completion (sync send)
+  };
+
+  struct PendingRecv {
+    NodeId src = trace::kNoNode;  ///< kNoNode = any
+    std::int32_t tag = 0;
+    RecvFilter filter;       ///< when set, overrides (src, tag) matching
+    bool passive = false;    ///< posted by arecv: consume without blocking
+    sim::Event ready;        ///< triggered on match (active receives)
+    Message matched;
+  };
+
+  friend class MachineFabricAccess;
+
+  CommNode& peer(NodeId n) { return *(*peers_)[static_cast<std::size_t>(n)]; }
+
+  sim::Tick copy_time(std::uint64_t bytes) const;
+
+  /// Network-side delivery of a fully arrived message.
+  void deliver(const Message& msg);
+  /// A matching receive consumed `msg`: acknowledge sync senders.
+  void consume(const Message& msg);
+
+  bool matches(const PendingRecv& pr, const Message& m) const {
+    if (pr.filter) return pr.filter(m.src, m.tag);
+    return (pr.src == trace::kNoNode || pr.src == m.src) && pr.tag == m.tag;
+  }
+
+  sim::Process transmission(Message msg);
+  sim::Process ack_return(NodeId to, sim::Event* ack_event);
+
+  sim::Simulator& sim_;
+  NodeId id_;
+  network::Network& net_;
+  machine::NicParams nic_;
+  std::vector<std::unique_ptr<CommNode>>* peers_ = nullptr;
+
+  std::deque<Message> arrived_;
+  std::deque<PendingRecv*> pending_;          ///< active (blocking) receives
+  std::deque<std::unique_ptr<PendingRecv>> passive_;  ///< arecv posts
+  sim::Tick compute_ticks_ = 0;
+};
+
+}  // namespace merm::node

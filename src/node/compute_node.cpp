@@ -1,0 +1,65 @@
+#include "node/compute_node.hpp"
+
+#include <stdexcept>
+
+namespace merm::node {
+
+ComputeNode::ComputeNode(sim::Simulator& sim,
+                         const machine::NodeParams& params, NodeId id)
+    : sim_(sim),
+      id_(id),
+      memory_(std::make_unique<memory::MemoryHierarchy>(sim, params)) {
+  for (std::uint32_t c = 0; c < params.cpu_count; ++c) {
+    cpus_.push_back(
+        std::make_unique<cpu::Cpu>(sim, params.cpu, *memory_, c));
+  }
+}
+
+sim::Process ComputeNode::run(std::uint32_t cpu_index,
+                              trace::OperationSource& source, CommNode* comm,
+                              TaskRecorder* recorder,
+                              SharedMemoryService* shm) {
+  cpu::Cpu& cpu = *cpus_[cpu_index];
+  if (recorder != nullptr) recorder->start(sim_.now());
+
+  while (auto op = source.next()) {
+    if (trace::is_computational(op->code)) {
+      if (shm != nullptr && trace::is_memory_access(op->code) &&
+          shm->is_shared(op->value)) {
+        co_await shm->ensure(op->value, op->code == trace::OpCode::kStore);
+      }
+      co_await cpu.execute(*op);
+    } else if (op->code == trace::OpCode::kCompute) {
+      // Task-level computation embedded in an instruction-level trace.
+      co_await sim_.delay(op->value);
+    } else {
+      // Communication: forward to the communication model.
+      if (comm == nullptr) {
+        throw std::logic_error(
+            "communication operation on a node without a CommNode: " +
+            trace::to_string(*op));
+      }
+      if (recorder != nullptr) recorder->mark_communication(sim_.now(), *op);
+      source.global_event_issued(sim_.now());
+      co_await comm->issue(*op);
+      source.global_event_done(sim_.now());
+      if (recorder != nullptr) recorder->resume(sim_.now());
+    }
+  }
+  if (recorder != nullptr) recorder->finish(sim_.now());
+}
+
+std::size_t ComputeNode::footprint_bytes() const {
+  return sizeof(ComputeNode) + memory_->footprint_bytes() +
+         cpus_.size() * sizeof(cpu::Cpu);
+}
+
+void ComputeNode::register_stats(stats::StatRegistry& reg,
+                                 const std::string& prefix) {
+  memory_->register_stats(reg, prefix + ".mem");
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    cpus_[c]->register_stats(reg, prefix + ".cpu" + std::to_string(c));
+  }
+}
+
+}  // namespace merm::node

@@ -1,0 +1,107 @@
+// The single-node computational model (Fig. 3a): CPUs + cache hierarchy +
+// bus + DRAM, executing operation-level traces.
+//
+// Communication operations are not simulated here; they are forwarded to the
+// node's CommNode (Fig. 2's hybrid composition).  A TaskRecorder can observe
+// the run and derive the task-level workload — the computational tasks the
+// paper describes as "measuring the simulated time between two consecutive
+// communication operations".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "machine/params.hpp"
+#include "memory/hierarchy.hpp"
+#include "node/comm_node.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::node {
+
+/// Observes a detailed run and emits the equivalent task-level trace:
+/// compute(duration) entries between the communication operations.
+class TaskRecorder {
+ public:
+  /// Called when the node starts executing (records the time origin).
+  void start(sim::Tick now) { last_mark_ = now; }
+
+  /// Called just before a communication operation is issued.
+  void mark_communication(sim::Tick now, const trace::Operation& op) {
+    if (now > last_mark_) {
+      ops_.push_back(trace::Operation::compute(now - last_mark_));
+    }
+    ops_.push_back(op);
+  }
+
+  /// Called after the communication completed (compute time restarts here:
+  /// blocking time is the communication model's business, not a task).
+  void resume(sim::Tick now) { last_mark_ = now; }
+
+  /// Called at end of trace.
+  void finish(sim::Tick now) {
+    if (now > last_mark_) {
+      ops_.push_back(trace::Operation::compute(now - last_mark_));
+    }
+  }
+
+  const std::vector<trace::Operation>& task_trace() const { return ops_; }
+
+ private:
+  sim::Tick last_mark_ = 0;
+  std::vector<trace::Operation> ops_;
+};
+
+/// Interface to a shared-memory runtime service (e.g. the virtual shared
+/// memory layer): the node model consults it for loads/stores to shared
+/// addresses before performing the local memory access.  This realizes the
+/// paper's Section 5.1 outlook — "use a virtual shared memory to hide all
+/// explicit communication" — while keeping traces pure load/store.
+class SharedMemoryService {
+ public:
+  virtual ~SharedMemoryService() = default;
+  /// True when `addr` lies in the shared region this service manages.
+  virtual bool is_shared(std::uint64_t addr) const = 0;
+  /// Completes (in simulated time) once the access may proceed locally —
+  /// this is where page faults, fetches and invalidations happen.
+  virtual sim::Task<> ensure(std::uint64_t addr, bool is_write) = 0;
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(sim::Simulator& sim, const machine::NodeParams& params,
+              NodeId id);
+
+  NodeId id() const { return id_; }
+  std::uint32_t cpu_count() const {
+    return static_cast<std::uint32_t>(cpus_.size());
+  }
+  cpu::Cpu& cpu(std::uint32_t i) { return *cpus_[i]; }
+  memory::MemoryHierarchy& memory() { return *memory_; }
+
+  /// Runs an operation-level trace on CPU `cpu_index`.  Communication
+  /// operations are forwarded to `comm` (may be null for pure single-node
+  /// studies, in which case encountering one is an error).  When `shm` is
+  /// set, loads/stores to its shared region first go through
+  /// SharedMemoryService::ensure.
+  sim::Process run(std::uint32_t cpu_index, trace::OperationSource& source,
+                   CommNode* comm, TaskRecorder* recorder = nullptr,
+                   SharedMemoryService* shm = nullptr);
+
+  /// Simulator memory consumed by this node's model state.
+  std::size_t footprint_bytes() const;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  sim::Simulator& sim_;
+  NodeId id_;
+  std::unique_ptr<memory::MemoryHierarchy> memory_;
+  std::vector<std::unique_ptr<cpu::Cpu>> cpus_;
+};
+
+}  // namespace merm::node

@@ -1,0 +1,116 @@
+#include "node/machine.hpp"
+
+#include <stdexcept>
+
+namespace merm::node {
+
+Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
+    : sim_(sim), params_(params) {
+  network_ = std::make_unique<network::Network>(
+      sim_, params_.topology, params_.router, params_.link);
+  const std::uint32_t n = network_->node_count();
+  comm_nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    comm_nodes_.push_back(std::make_unique<CommNode>(
+        sim_, static_cast<NodeId>(i), *network_, params_.nic));
+  }
+  for (auto& cn : comm_nodes_) {
+    cn->set_fabric(&comm_nodes_);
+  }
+  compute_nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    compute_nodes_.push_back(std::make_unique<ComputeNode>(
+        sim_, params_.node, static_cast<NodeId>(i)));
+  }
+}
+
+std::vector<sim::ProcessHandle> Machine::launch_detailed(
+    trace::Workload& workload, std::vector<TaskRecorder>* recorders) {
+  const std::uint32_t cpus = cpus_per_node();
+  if (workload.node_count() != node_count() * cpus) {
+    throw std::invalid_argument(
+        "detailed workload needs node_count*cpus_per_node sources (got " +
+        std::to_string(workload.node_count()) + ", want " +
+        std::to_string(node_count() * cpus) + ")");
+  }
+  if (recorders != nullptr) {
+    recorders->clear();
+    recorders->resize(workload.node_count());
+  }
+  std::vector<sim::ProcessHandle> handles;
+  handles.reserve(workload.node_count());
+  for (std::uint32_t n = 0; n < node_count(); ++n) {
+    for (std::uint32_t c = 0; c < cpus; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(n) * cpus + c;
+      TaskRecorder* rec =
+          recorders != nullptr ? &(*recorders)[idx] : nullptr;
+      handles.push_back(sim_.spawn(
+          compute_nodes_[n]->run(c, *workload.sources[idx],
+                                 comm_nodes_[n].get(), rec),
+          "node" + std::to_string(n) + ".cpu" + std::to_string(c)));
+    }
+  }
+  return handles;
+}
+
+std::vector<sim::ProcessHandle> Machine::launch_task_level(
+    trace::Workload& workload) {
+  if (workload.node_count() != node_count()) {
+    throw std::invalid_argument(
+        "task-level workload needs one source per node (got " +
+        std::to_string(workload.node_count()) + ", want " +
+        std::to_string(node_count()) + ")");
+  }
+  std::vector<sim::ProcessHandle> handles;
+  handles.reserve(node_count());
+  for (std::uint32_t n = 0; n < node_count(); ++n) {
+    handles.push_back(
+        sim_.spawn(comm_nodes_[n]->run(*workload.sources[n]),
+                   "node" + std::to_string(n) + ".comm"));
+  }
+  return handles;
+}
+
+bool Machine::all_finished(const std::vector<sim::ProcessHandle>& handles) {
+  for (const auto& h : handles) {
+    if (!h.finished()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Machine::total_ops_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& n : compute_nodes_) {
+    for (std::uint32_t c = 0; c < n->cpu_count(); ++c) {
+      total += const_cast<ComputeNode&>(*n).cpu(c).ops_executed.value();
+    }
+  }
+  for (const auto& cn : comm_nodes_) {
+    total += cn->sends.value() + cn->asends.value() + cn->recvs.value() +
+             cn->arecvs.value() + cn->compute_ops.value();
+  }
+  return total;
+}
+
+std::uint64_t Machine::total_messages() const {
+  return network_->messages.value();
+}
+
+std::size_t Machine::footprint_bytes() const {
+  std::size_t total = sizeof(Machine) + network_->footprint_bytes();
+  for (const auto& n : compute_nodes_) total += n->footprint_bytes();
+  total += comm_nodes_.size() * sizeof(CommNode);
+  return total;
+}
+
+void Machine::register_stats(stats::StatRegistry& reg,
+                             const std::string& prefix) {
+  network_->register_stats(reg, prefix + ".net");
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    const std::string node_prefix = prefix + ".node" + std::to_string(i);
+    compute_nodes_[i]->register_stats(reg, node_prefix);
+    comm_nodes_[i]->register_stats(reg, node_prefix + ".comm");
+  }
+}
+
+}  // namespace merm::node

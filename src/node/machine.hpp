@@ -1,0 +1,81 @@
+// Multicomputer assembly (Sections 4.2-4.3).
+//
+// A Machine instantiates the multi-node communication model (network +
+// one CommNode per node) and, for detailed simulation, replicates the
+// single-node computational model on every node and wires it to its
+// CommNode — the hybrid model of Fig. 2.
+//
+// The same assembly covers the paper's other configurations:
+//  - shared-memory multiprocessor: topology 1x1 with node.cpu_count > 1 —
+//    only the computational model is exercised (Section 4.3);
+//  - hybrid SMP clusters: node.cpu_count > 1 with a real topology — CPUs of
+//    a node share the cache hierarchy, clusters communicate by messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "network/network.hpp"
+#include "node/comm_node.hpp"
+#include "node/compute_node.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::node {
+
+/// The two abstraction levels of the workbench.
+enum class SimulationLevel {
+  kDetailed,   ///< operation-level: computational + communication models
+  kTaskLevel,  ///< task-level: communication model only (fast prototyping)
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, const machine::MachineParams& params);
+
+  const machine::MachineParams& params() const { return params_; }
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(comm_nodes_.size());
+  }
+  std::uint32_t cpus_per_node() const { return params_.node.cpu_count; }
+
+  ComputeNode& compute_node(std::uint32_t i) { return *compute_nodes_[i]; }
+  CommNode& comm_node(std::uint32_t i) { return *comm_nodes_[i]; }
+  network::Network& network() { return *network_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Launches a detailed (operation-level) workload: one source per CPU,
+  /// indexed source[node * cpus_per_node + cpu].  Optional recorders (one
+  /// per source) derive the task-level traces during the run.
+  std::vector<sim::ProcessHandle> launch_detailed(
+      trace::Workload& workload,
+      std::vector<TaskRecorder>* recorders = nullptr);
+
+  /// Launches a task-level workload: one source per node, driving the
+  /// communication model directly.
+  std::vector<sim::ProcessHandle> launch_task_level(trace::Workload& workload);
+
+  /// True when every handle's process has finished.  Used by tests to catch
+  /// deadlocked workloads (e.g. mismatched send/recv).
+  static bool all_finished(const std::vector<sim::ProcessHandle>& handles);
+
+  // -- aggregates --
+  std::uint64_t total_ops_executed() const;
+  std::uint64_t total_messages() const;
+  /// Simulator memory estimate (model state only; Section 6's footprint).
+  std::size_t footprint_bytes() const;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  sim::Simulator& sim_;
+  machine::MachineParams params_;
+  std::unique_ptr<network::Network> network_;
+  std::vector<std::unique_ptr<CommNode>> comm_nodes_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+};
+
+}  // namespace merm::node

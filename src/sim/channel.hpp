@@ -1,0 +1,167 @@
+// Pearl-style message channels between simulation processes.
+//
+// A Channel with capacity 0 is a rendezvous: send() completes only when a
+// receiver takes the value (synchronous message passing).  A positive
+// capacity gives a bounded mailbox (asynchronous message passing); senders
+// block only when the mailbox is full.  kUnbounded never blocks senders.
+//
+// All hand-offs are scheduled through the simulator's event queue at the
+// current simulated time, so channel communication preserves the kernel's
+// deterministic (time, priority, FIFO) ordering.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/coro.hpp"
+
+namespace merm::sim {
+
+inline constexpr std::size_t kUnbounded =
+    std::numeric_limits<std::size_t>::max();
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Number of buffered values (excluding values held by blocked senders).
+  std::size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Number of processes blocked in send()/receive().
+  std::size_t blocked_senders() const { return senders_.size(); }
+  std::size_t blocked_receivers() const { return receivers_.size(); }
+
+  struct SendAwaiter {
+    Channel& chan;
+    T value;
+    bool await_ready() {
+      if (!chan.receivers_.empty()) {
+        // Direct hand-off to the longest-waiting receiver.
+        RecvAwaiter* r = chan.receivers_.front();
+        chan.receivers_.pop_front();
+        r->slot.emplace(std::move(value));
+        detail::schedule_resume(*r->sim, r->handle, 0, 0);
+        return true;
+      }
+      if (chan.buffer_.size() < chan.capacity_) {
+        chan.buffer_.push_back(std::move(value));
+        return true;
+      }
+      return false;
+    }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>);
+      sim = h.promise().sim;
+      handle = h;
+      chan.senders_.push_back(this);
+    }
+    void await_resume() const noexcept {}
+
+    Simulator* sim = nullptr;
+    std::coroutine_handle<> handle = {};
+  };
+
+  struct RecvAwaiter {
+    Channel& chan;
+    std::optional<T> slot = {};
+
+    bool await_ready() {
+      if (!chan.buffer_.empty()) {
+        slot.emplace(std::move(chan.buffer_.front()));
+        chan.buffer_.pop_front();
+        chan.admit_blocked_sender();
+        return true;
+      }
+      if (!chan.senders_.empty()) {
+        // Rendezvous (capacity 0): take directly from a blocked sender.
+        SendAwaiter* s = chan.senders_.front();
+        chan.senders_.pop_front();
+        slot.emplace(std::move(s->value));
+        detail::schedule_resume(*s->sim, s->handle, 0, 0);
+        return true;
+      }
+      return false;
+    }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>);
+      sim = h.promise().sim;
+      handle = h;
+      chan.receivers_.push_back(this);
+    }
+    T await_resume() { return std::move(*slot); }
+
+    Simulator* sim = nullptr;
+    std::coroutine_handle<> handle = {};
+  };
+
+  /// Sends a value; suspends until the channel can accept it.
+  SendAwaiter send(T value) { return SendAwaiter{*this, std::move(value)}; }
+
+  /// Receives a value; suspends until one is available.
+  RecvAwaiter receive() { return RecvAwaiter{*this}; }
+
+  /// Non-blocking send: fails if it would suspend.  Only valid for buffered
+  /// channels or when a receiver is already waiting.
+  bool try_send(T value) {
+    if (!receivers_.empty()) {
+      RecvAwaiter* r = receivers_.front();
+      receivers_.pop_front();
+      r->slot.emplace(std::move(value));
+      detail::schedule_resume(*r->sim, r->handle, 0, 0);
+      return true;
+    }
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    if (!buffer_.empty()) {
+      std::optional<T> v{std::move(buffer_.front())};
+      buffer_.pop_front();
+      admit_blocked_sender();
+      return v;
+    }
+    if (!senders_.empty()) {
+      SendAwaiter* s = senders_.front();
+      senders_.pop_front();
+      std::optional<T> v{std::move(s->value)};
+      detail::schedule_resume(*s->sim, s->handle, 0, 0);
+      return v;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // After a buffered slot frees up, move the longest-blocked sender's value
+  // into the buffer and release the sender.
+  void admit_blocked_sender() {
+    if (senders_.empty() || buffer_.size() >= capacity_) return;
+    SendAwaiter* s = senders_.front();
+    senders_.pop_front();
+    buffer_.push_back(std::move(s->value));
+    detail::schedule_resume(*s->sim, s->handle, 0, 0);
+  }
+
+  std::size_t capacity_;
+  std::deque<T> buffer_;
+  std::deque<SendAwaiter*> senders_;
+  std::deque<RecvAwaiter*> receivers_;
+};
+
+}  // namespace merm::sim

@@ -1,0 +1,275 @@
+// Coroutine machinery of the Mermaid kernel: the structural replacement for
+// the Pearl simulation language's process objects.
+//
+// A Pearl model is a set of objects, each running its own behaviour in
+// virtual time and exchanging synchronous/asynchronous messages.  Here a
+// model component is an object owning one or more sim::Process coroutines;
+// components exchange messages over sim::Channel and wait on sim::Event.
+//
+//   sim::Process producer(sim::Simulator& sim, sim::Channel<int>& out) {
+//     for (int i = 0; i < 8; ++i) {
+//       co_await sim::Delay{10 * sim::kTicksPerNanosecond};
+//       co_await out.send(i);
+//     }
+//   }
+//
+// Processes are spawned on a Simulator; sub-behaviour can be factored into
+// sim::Task<T> coroutines which are awaited like ordinary calls but may
+// themselves wait in virtual time.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace merm::sim {
+
+class Simulator;
+
+namespace detail {
+// Defined in simulator.cpp; indirection keeps this header free of the
+// Simulator definition.
+void schedule_resume(Simulator& sim, std::coroutine_handle<> h, Tick delay,
+                     int priority);
+void report_error(Simulator& sim, std::exception_ptr e);
+Tick current_time(const Simulator& sim);
+}  // namespace detail
+
+/// Common promise state: which simulator the coroutine runs on and, for
+/// sub-tasks, who to resume on completion.
+struct PromiseBase {
+  Simulator* sim = nullptr;
+  std::coroutine_handle<> continuation;
+};
+
+/// Suspends the awaiting coroutine for a fixed amount of simulated time.
+struct Delay {
+  Tick amount = 0;
+  int priority = 0;
+
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> h) const {
+    static_assert(std::is_base_of_v<PromiseBase, Promise>,
+                  "Delay may only be awaited inside sim coroutines");
+    detail::schedule_resume(*h.promise().sim, h, amount, priority);
+  }
+
+  void await_resume() const noexcept {}
+};
+
+/// One-shot (or manually re-armed) condition in simulated time.
+///
+/// Waiters suspended on an Event are released together when trigger() fires;
+/// their resumptions are scheduled at the current simulated time in FIFO
+/// order.  Awaiting an already-triggered event does not suspend.
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  /// Fires the event, releasing all current waiters.
+  void trigger() {
+    triggered_ = true;
+    release_all();
+  }
+
+  /// Re-arms a triggered event so it can be waited on and fired again.
+  void reset() { triggered_ = false; }
+
+  struct Awaiter {
+    Event& event;
+
+    bool await_ready() const noexcept { return event.triggered_; }
+
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>);
+      event.waiters_.push_back({h.promise().sim, h});
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter operator co_await() { return Awaiter{*this}; }
+  Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  struct Waiter {
+    Simulator* sim;
+    std::coroutine_handle<> handle;
+  };
+
+  void release_all() {
+    // Waiters registered while releasing (a released coroutine may re-wait
+    // after reset()) must not be released in the same trigger.
+    std::vector<Waiter> pending;
+    pending.swap(waiters_);
+    for (const Waiter& w : pending) {
+      detail::schedule_resume(*w.sim, w.handle, 0, 0);
+    }
+  }
+
+  std::vector<Waiter> waiters_;
+  bool triggered_ = false;
+};
+
+/// A top-level simulation process.  Fire-and-forget: spawn it on a Simulator
+/// which takes ownership of the coroutine frame.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type : PromiseBase {
+    Event done;
+
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().done.trigger();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() {
+      // Processes have no awaiting parent: route the error to the simulator,
+      // which surfaces it from run().
+      detail::report_error(*sim, std::current_exception());
+    }
+  };
+
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  /// Internal: used by Simulator::spawn.
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Stable reference to a spawned process, valid until the owning Simulator
+/// collects finished processes or is destroyed.
+struct ProcessHandle {
+  Event* done = nullptr;
+
+  bool finished() const { return done != nullptr && done->triggered(); }
+  Event::Awaiter join() { return done->wait(); }
+};
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseStorage {
+  std::optional<T> value;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct TaskPromiseStorage<void> {
+  void return_void() noexcept {}
+  void take() {}
+};
+
+}  // namespace detail
+
+/// A sub-coroutine awaited from a Process (or another Task).  Starts
+/// eagerly-on-await, completes by symmetric transfer back to the awaiter, and
+/// propagates exceptions through await_resume.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : PromiseBase, detail::TaskPromiseStorage<T> {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        return h.promise().continuation;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> parent) {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>);
+      child.promise().sim = parent.promise().sim;
+      child.promise().continuation = parent;
+      return child;  // symmetric transfer: start the child immediately
+    }
+
+    T await_resume() {
+      if (child.promise().exception) {
+        std::rethrow_exception(child.promise().exception);
+      }
+      return child.promise().take();
+    }
+  };
+
+  Awaiter operator co_await() { return Awaiter{handle_}; }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace merm::sim

@@ -1,0 +1,57 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace merm::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger()
+    : sink_([](const std::string& line) {
+        std::fputs(line.c_str(), stderr);
+        std::fputc('\n', stderr);
+      }) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::function<void(const std::string&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel level, Tick time, const std::string& component,
+                   const std::string& message) {
+  std::string line;
+  line.reserve(message.size() + component.size() + 32);
+  line += '[';
+  line += format_time(time);
+  line += "] ";
+  line += level_name(level);
+  line += ' ';
+  line += component;
+  line += ": ";
+  line += message;
+  sink_(line);
+}
+
+}  // namespace merm::sim

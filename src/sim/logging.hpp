@@ -1,0 +1,81 @@
+// Minimal leveled logging for simulation components.
+//
+// Logging is off by default; tests and the run-time "visualization" path of
+// the workbench raise the level per component.  Messages carry the current
+// simulated time so post-mortem logs double as an event trace.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace merm::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global logging configuration.  Not thread-safe by design: the kernel is
+/// single-threaded; the threaded trace generator logs only through its
+/// simulator-side handshake.
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Redirects output (default: stderr).  The sink receives fully formatted
+  /// lines without trailing newline.
+  void set_sink(std::function<void(const std::string&)> sink);
+
+  void write(LogLevel level, Tick time, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kOff;
+  std::function<void(const std::string&)> sink_;
+};
+
+/// Per-component logging front end; cheap to copy.
+class Log {
+ public:
+  Log() = default;
+  explicit Log(std::string component) : component_(std::move(component)) {}
+
+  bool enabled(LogLevel level) const {
+    return level <= Logger::instance().level();
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, Tick time, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << args);
+    Logger::instance().write(level, time, component_, os.str());
+  }
+
+  template <typename... Args>
+  void info(Tick time, const Args&... args) const {
+    log(LogLevel::kInfo, time, args...);
+  }
+  template <typename... Args>
+  void debug(Tick time, const Args&... args) const {
+    log(LogLevel::kDebug, time, args...);
+  }
+  template <typename... Args>
+  void trace(Tick time, const Args&... args) const {
+    log(LogLevel::kTrace, time, args...);
+  }
+  template <typename... Args>
+  void warn(Tick time, const Args&... args) const {
+    log(LogLevel::kWarn, time, args...);
+  }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace merm::sim

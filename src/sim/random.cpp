@@ -1,0 +1,59 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace merm::sim {
+
+DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (weights.empty() || total <= 0.0) {
+    throw std::invalid_argument("DiscreteDistribution needs positive weights");
+  }
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution needs n > 0");
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s) / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+}  // namespace merm::sim

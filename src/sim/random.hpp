@@ -1,0 +1,155 @@
+// Deterministic pseudo-random number generation for the workbench.
+//
+// All stochastic behaviour (the stochastic trace generator, synthetic traffic
+// patterns, randomized tests) flows from Rng so that a simulation with a
+// given seed is bit-identical across runs and platforms.  We implement
+// xoshiro256** rather than rely on std::mt19937 + std:: distributions because
+// the standard distributions are not required to produce identical sequences
+// across library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace merm::sim {
+
+/// xoshiro256** seeded through splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo required
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p) {
+    if (p >= 1.0) return 0;
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Samples indices in proportion to a fixed weight vector.
+///
+/// Used by the stochastic trace generator to draw operation kinds from an
+/// application's operation-mix description.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+  explicit DiscreteDistribution(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const { return cumulative_.size(); }
+  bool empty() const { return cumulative_.empty(); }
+
+  /// Draws a category index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;  // normalized, increasing, back() == 1.0
+};
+
+/// Zipf-like distribution over [0, n): rank r has weight 1/(r+1)^s.
+///
+/// Models skewed destination popularity in synthetic traffic.
+class ZipfDistribution {
+ public:
+  ZipfDistribution() = default;
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace merm::sim

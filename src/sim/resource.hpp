@@ -1,0 +1,55 @@
+// FIFO-granted exclusive resource: the arbitration primitive shared by the
+// bus model, network link virtual channels and the DSM's per-page
+// transaction queues.
+//
+// acquire() returns immediately when free, otherwise suspends the caller
+// until every earlier requester has released — strict FIFO grant order, the
+// deterministic arbitration policy the models build on.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/coro.hpp"
+
+namespace merm::sim {
+
+class FifoResource {
+ public:
+  FifoResource() = default;
+  FifoResource(const FifoResource&) = delete;
+  FifoResource& operator=(const FifoResource&) = delete;
+  FifoResource(FifoResource&&) = delete;
+
+  bool busy() const { return busy_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// Suspends until this caller holds the resource.
+  Task<> acquire() {
+    if (!busy_) {
+      busy_ = true;
+      co_return;
+    }
+    Event granted;
+    waiters_.push_back(&granted);
+    co_await granted;
+    // Ownership was handed over by release(); busy_ stayed true.
+  }
+
+  /// Hands the resource to the longest-waiting requester, or frees it.
+  void release() {
+    if (!waiters_.empty()) {
+      Event* next = waiters_.front();
+      waiters_.pop_front();
+      next->trigger();
+    } else {
+      busy_ = false;
+    }
+  }
+
+ private:
+  bool busy_ = false;
+  std::deque<Event*> waiters_;
+};
+
+}  // namespace merm::sim

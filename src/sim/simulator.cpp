@@ -1,0 +1,113 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace merm::sim {
+
+namespace detail {
+
+void schedule_resume(Simulator& sim, std::coroutine_handle<> h, Tick delay,
+                     int priority) {
+  sim.schedule_resume(h, delay, priority);
+}
+
+void report_error(Simulator& sim, std::exception_ptr e) { sim.set_error(e); }
+
+Tick current_time(const Simulator& sim) { return sim.now(); }
+
+}  // namespace detail
+
+Simulator::~Simulator() {
+  for (OwnedProcess& p : processes_) {
+    p.handle.destroy();
+  }
+}
+
+ProcessHandle Simulator::spawn(Process p, std::string name) {
+  auto handle = p.release();
+  handle.promise().sim = this;
+  processes_.push_back(OwnedProcess{handle, std::move(name)});
+  push(now_, 0, handle, nullptr);
+  return ProcessHandle{&handle.promise().done};
+}
+
+void Simulator::schedule_at(Tick when, std::function<void()> fn,
+                            int priority) {
+  push(std::max(when, now_), priority, nullptr, std::move(fn));
+}
+
+void Simulator::schedule_in(Tick delay, std::function<void()> fn,
+                            int priority) {
+  push(now_ + delay, priority, nullptr, std::move(fn));
+}
+
+void Simulator::schedule_resume(std::coroutine_handle<> h, Tick delay,
+                                int priority) {
+  push(now_ + delay, priority, h, nullptr);
+}
+
+void Simulator::push(Tick when, int priority, std::coroutine_handle<> h,
+                     std::function<void()> fn) {
+  queue_.push(Ev{when, priority, next_seq_++, h, std::move(fn)});
+}
+
+Simulator::RunResult Simulator::run(Tick until, std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t processed_this_run = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) {
+      now_ = std::max(now_, until);
+      return RunResult::kTimeLimit;
+    }
+    if (processed_this_run >= max_events) return RunResult::kEventLimit;
+
+    Ev ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.coro) {
+      ev.coro.resume();
+    } else {
+      ev.fn();
+    }
+    ++events_processed_;
+    ++processed_this_run;
+
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    if (stop_requested_) return RunResult::kStopped;
+  }
+  return RunResult::kIdle;
+}
+
+std::size_t Simulator::live_processes() const {
+  std::size_t n = 0;
+  for (const OwnedProcess& p : processes_) {
+    if (!p.handle.promise().done.triggered()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Simulator::live_process_names() const {
+  std::vector<std::string> names;
+  for (const OwnedProcess& p : processes_) {
+    if (!p.handle.promise().done.triggered()) names.push_back(p.name);
+  }
+  return names;
+}
+
+void Simulator::collect_finished() {
+  auto it = std::remove_if(processes_.begin(), processes_.end(),
+                           [](const OwnedProcess& p) {
+                             if (p.handle.promise().done.triggered()) {
+                               p.handle.destroy();
+                               return true;
+                             }
+                             return false;
+                           });
+  processes_.erase(it, processes_.end());
+}
+
+}  // namespace merm::sim

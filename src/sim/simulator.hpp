@@ -1,0 +1,118 @@
+// The discrete-event simulator: a deterministic event queue plus ownership
+// of all spawned processes.
+//
+// Events are totally ordered by (time, priority, insertion sequence), so two
+// runs with the same inputs and seeds produce bit-identical behaviour — the
+// property the physical-time-interleaved trace generation of the workbench
+// relies on (see tests/sim/determinism_test.cpp).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/types.hpp"
+
+namespace merm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Takes ownership of a process coroutine and schedules its first step at
+  /// the current time.  The returned handle stays valid until
+  /// collect_finished() or simulator destruction.
+  ProcessHandle spawn(Process p, std::string name = {});
+
+  /// Schedules a plain callback.
+  void schedule_at(Tick when, std::function<void()> fn, int priority = 0);
+  void schedule_in(Tick delay, std::function<void()> fn, int priority = 0);
+
+  /// Schedules the resumption of a suspended coroutine.
+  void schedule_resume(std::coroutine_handle<> h, Tick delay, int priority);
+
+  /// Result of a run() call.
+  enum class RunResult {
+    kIdle,        ///< event queue drained
+    kTimeLimit,   ///< reached the `until` bound
+    kEventLimit,  ///< processed `max_events`
+    kStopped,     ///< stop() was called
+  };
+
+  /// Runs until the queue drains, time passes `until`, `max_events` events
+  /// have been processed, or stop() is called.  Rethrows the first process
+  /// exception.
+  RunResult run(Tick until = kTickMax,
+                std::uint64_t max_events = std::uint64_t(-1));
+
+  /// Requests run() to return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Total events processed since construction.
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of spawned processes that have not yet finished.
+  std::size_t live_processes() const;
+
+  /// Names of live processes (diagnosing deadlocks in tests).
+  std::vector<std::string> live_process_names() const;
+
+  /// Releases coroutine frames of finished processes.  Invalidates
+  /// ProcessHandles of the collected processes.
+  void collect_finished();
+
+  /// Sugar: co_await sim.delay(t).
+  Delay delay(Tick t, int priority = 0) const { return Delay{t, priority}; }
+
+  /// Internal: records a process failure; run() rethrows it.
+  void set_error(std::exception_ptr e) {
+    if (!error_) error_ = e;
+    stop_requested_ = true;
+  }
+
+ private:
+  struct OwnedProcess {
+    std::coroutine_handle<Process::promise_type> handle;
+    std::string name;
+  };
+
+  struct Ev {
+    Tick time;
+    std::int32_t priority;
+    std::uint64_t seq;
+    std::coroutine_handle<> coro;       // resumed if non-null
+    std::function<void()> fn;           // otherwise invoked
+  };
+
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Tick when, int priority, std::coroutine_handle<> h,
+            std::function<void()> fn);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::exception_ptr error_;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  std::vector<OwnedProcess> processes_;
+};
+
+}  // namespace merm::sim

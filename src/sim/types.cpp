@@ -1,0 +1,48 @@
+#include "sim/types.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace merm::sim {
+
+std::string format_time(Tick t) {
+  struct Unit {
+    Tick scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 4> units{{{kTicksPerSecond, "s"},
+                                              {kTicksPerSecond / 1000, "ms"},
+                                              {kTicksPerMicrosecond, "us"},
+                                              {kTicksPerNanosecond, "ns"}}};
+  for (const Unit& u : units) {
+    if (t >= u.scale) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.2f %s",
+                    static_cast<double>(t) / static_cast<double>(u.scale),
+                    u.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(t) + " ps";
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> suffix{"B", "KiB", "MiB", "GiB",
+                                                     "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t i = 0;
+  while (value >= 1024.0 && i + 1 < suffix.size()) {
+    value /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix[i]);
+  }
+  return buf;
+}
+
+}  // namespace merm::sim

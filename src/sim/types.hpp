@@ -1,0 +1,69 @@
+// Core time types for the Mermaid discrete-event kernel.
+//
+// Simulated time is a 64-bit count of picoseconds.  Components that own a
+// clock (CPUs, buses, routers, links) convert between their cycle domain and
+// ticks through a Clock object, so machines mixing a 20 MHz transputer
+// network with a 66 MHz processor are expressed naturally.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace merm::sim {
+
+/// Simulated time in picoseconds.
+using Tick = std::uint64_t;
+
+/// One simulated second, in ticks.
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+inline constexpr Tick kTicksPerMicrosecond = 1'000'000ULL;
+inline constexpr Tick kTicksPerNanosecond = 1'000ULL;
+
+/// Sentinel for "no deadline".
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/// A cycle count in some component's clock domain.
+using Cycles = std::uint64_t;
+
+/// Converts between a component's cycle domain and global ticks.
+///
+/// The conversion rounds the tick period to whole picoseconds; at the clock
+/// rates the workbench models (tens of MHz to a few GHz) the rounding error
+/// is below one part in a thousand and, crucially, deterministic.
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(double frequency_hz)
+      : frequency_hz_(frequency_hz),
+        period_ticks_(static_cast<Tick>(
+            static_cast<double>(kTicksPerSecond) / frequency_hz + 0.5)) {}
+
+  double frequency_hz() const { return frequency_hz_; }
+
+  /// Duration of one cycle in ticks (>= 1 for any frequency <= 1 THz).
+  Tick period() const { return period_ticks_; }
+
+  /// Duration of `n` cycles in ticks.
+  Tick to_ticks(Cycles n) const { return n * period_ticks_; }
+
+  /// Number of whole cycles elapsed after `t` ticks (floor).
+  Cycles to_cycles(Tick t) const { return t / period_ticks_; }
+
+  /// Number of cycles needed to cover `t` ticks (ceiling).
+  Cycles to_cycles_ceil(Tick t) const {
+    return (t + period_ticks_ - 1) / period_ticks_;
+  }
+
+ private:
+  double frequency_hz_ = 1e9;
+  Tick period_ticks_ = kTicksPerSecond / 1'000'000'000ULL;
+};
+
+/// Pretty-prints a tick count as a human-readable duration ("3.20 us").
+std::string format_time(Tick t);
+
+/// Pretty-prints a byte count ("1.5 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace merm::sim

@@ -1,0 +1,166 @@
+#include "stats/stats.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace merm::stats {
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
+  const std::uint64_t total = acc_.count();
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target) return (1ULL << (i + 1)) - 1;
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+void Log2Histogram::print(std::ostream& os, const std::string& label) const {
+  os << label << ": n=" << acc_.count() << " mean=" << acc_.mean()
+     << " min=" << acc_.min() << " max=" << acc_.max() << "\n";
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) peak = std::max(peak, counts_[i]);
+  if (peak == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar =
+        static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                         static_cast<double>(peak));
+    os << "  [" << std::setw(20) << (1ULL << i) << ") " << std::setw(10)
+       << counts_[i] << ' ' << std::string(static_cast<std::size_t>(bar), '#')
+       << "\n";
+  }
+}
+
+void TimeSeries::write_csv(std::ostream& os, const std::string& header) const {
+  os << "time_ps," << header << "\n";
+  for (const Point& p : points_) {
+    os << p.time << ',' << p.value << "\n";
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::counter_values() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::uint64_t StatRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Accumulator* StatRegistry::accumulator(const std::string& name) const {
+  const auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? nullptr : it->second;
+}
+
+void StatRegistry::print_report(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << std::left << std::setw(48) << name << ' ' << c->value() << "\n";
+  }
+  for (const auto& [name, a] : accumulators_) {
+    os << std::left << std::setw(48) << name << " mean=" << a->mean()
+       << " min=" << a->min() << " max=" << a->max() << " sd=" << a->stddev()
+       << " n=" << a->count() << "\n";
+  }
+}
+
+void StatRegistry::write_csv(std::ostream& os) const {
+  os << "metric,kind,value,mean,min,max,stddev,count\n";
+  for (const auto& [name, c] : counters_) {
+    os << name << ",counter," << c->value() << ",,,,,\n";
+  }
+  for (const auto& [name, a] : accumulators_) {
+    os << name << ",accumulator,," << a->mean() << ',' << a->min() << ','
+       << a->max() << ',' << a->stddev() << ',' << a->count() << "\n";
+  }
+}
+
+CounterSampler::CounterSampler(const StatRegistry& registry,
+                               std::vector<std::string> counter_names)
+    : registry_(registry), names_(std::move(counter_names)) {}
+
+void CounterSampler::sample(sim::Tick t) {
+  Row row;
+  row.time = t;
+  row.values.reserve(names_.size());
+  for (const std::string& name : names_) {
+    row.values.push_back(registry_.counter(name));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CounterSampler::write_csv(std::ostream& os) const {
+  os << "time_ps";
+  for (const std::string& name : names_) os << ',' << name;
+  os << "\n";
+  for (const Row& row : rows_) {
+    os << row.time;
+    for (const std::uint64_t v : row.values) os << ',' << v;
+    os << "\n";
+  }
+}
+
+void CounterSampler::write_csv_deltas(std::ostream& os) const {
+  os << "time_ps";
+  for (const std::string& name : names_) os << ',' << name;
+  os << "\n";
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    os << rows_[i].time;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      os << ',' << (rows_[i].values[c] - rows_[i - 1].values[c]);
+    }
+    os << "\n";
+  }
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell
+         << " | ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t w : widths) {
+    os << std::string(w + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace merm::stats

@@ -1,0 +1,186 @@
+// Statistics primitives for the analysis/visualization layer (Fig. 1).
+//
+// Model components register named metrics in a StatRegistry; the workbench
+// prints them post-mortem or samples them at run time (the "run-time
+// visualization" path of the paper, here a periodic text/CSV reporter).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace merm::stats {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming mean/min/max/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram for long-tailed values (latencies,
+/// message sizes).  Bucket i counts values in [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x) {
+    acc_.add(static_cast<double>(x));
+    std::size_t bucket = 0;
+    while ((1ULL << (bucket + 1)) <= x && bucket + 1 < kBuckets) ++bucket;
+    if (x == 0) bucket = 0;
+    counts_[bucket] += 1;
+  }
+
+  const Accumulator& summary() const { return acc_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  static constexpr std::size_t bucket_count() { return kBuckets; }
+
+  /// Approximate quantile from bucket boundaries (upper bound of the bucket
+  /// containing quantile q).
+  std::uint64_t quantile_upper_bound(double q) const;
+
+  void print(std::ostream& os, const std::string& label) const;
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t counts_[kBuckets] = {};
+  Accumulator acc_;
+};
+
+/// A (time, value) series with bounded memory: sampled on demand.
+class TimeSeries {
+ public:
+  void record(sim::Tick t, double value) { points_.push_back({t, value}); }
+  struct Point {
+    sim::Tick time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  void write_csv(std::ostream& os, const std::string& header) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Hierarchical metric registry: "node0.cpu.ops", "net.link.0-1.flits".
+///
+/// Components keep their own Counter/Accumulator members and additionally
+/// register them here so generic tooling (reports, CSV, run-time sampler)
+/// can enumerate everything.
+class StatRegistry {
+ public:
+  void register_counter(const std::string& name, const Counter* c) {
+    counters_[name] = c;
+  }
+  void register_accumulator(const std::string& name, const Accumulator* a) {
+    accumulators_[name] = a;
+  }
+
+  /// Snapshot of all counter values (sorted by name).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
+  std::uint64_t counter(const std::string& name) const;
+  const Accumulator* accumulator(const std::string& name) const;
+
+  /// Human-readable report of every metric.
+  void print_report(std::ostream& os) const;
+  /// Machine-readable CSV (name,count / name,mean,min,max,stddev,count).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, const Accumulator*> accumulators_;
+};
+
+/// Periodic multi-counter snapshots: the run-time visualization feed.
+///
+/// Attach to a StatRegistry, pick counters by name, call sample() on a
+/// schedule (e.g. from the Workbench progress hook); write_csv() yields a
+/// tidy time-series table (one column per counter) ready for plotting.
+class CounterSampler {
+ public:
+  CounterSampler(const StatRegistry& registry,
+                 std::vector<std::string> counter_names);
+
+  /// Records one row at simulated time `t`.
+  void sample(sim::Tick t);
+
+  std::size_t samples() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return names_; }
+
+  /// CSV: time_ps,<counter...>.
+  void write_csv(std::ostream& os) const;
+
+  /// Per-interval deltas instead of cumulative values (rates).
+  void write_csv_deltas(std::ostream& os) const;
+
+ private:
+  const StatRegistry& registry_;
+  std::vector<std::string> names_;
+  struct Row {
+    sim::Tick time;
+    std::vector<std::uint64_t> values;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Fixed-width text table builder used by benches to print paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace merm::stats

@@ -1,0 +1,88 @@
+#include "trace/operation.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace merm::trace {
+
+namespace {
+constexpr std::array<const char*, kOpCodeCount> kOpNames = {
+    "load",   "store", "loadc", "add",  "sub",   "mul",
+    "div",    "ifetch", "branch", "call", "ret",  "send",
+    "recv",   "asend", "arecv", "compute"};
+
+constexpr std::array<const char*, kDataTypeCount> kTypeNames = {
+    "i8", "i16", "i32", "i64", "f32", "f64"};
+}  // namespace
+
+const char* to_string(OpCode c) {
+  return kOpNames[static_cast<std::size_t>(c)];
+}
+
+const char* to_string(DataType t) {
+  return kTypeNames[static_cast<std::size_t>(t)];
+}
+
+std::optional<OpCode> opcode_from_string(const std::string& s) {
+  for (int i = 0; i < kOpCodeCount; ++i) {
+    if (s == kOpNames[static_cast<std::size_t>(i)]) {
+      return static_cast<OpCode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DataType> datatype_from_string(const std::string& s) {
+  for (int i = 0; i < kDataTypeCount; ++i) {
+    if (s == kTypeNames[static_cast<std::size_t>(i)]) {
+      return static_cast<DataType>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const Operation& op) {
+  char buf[96];
+  switch (op.code) {
+    case OpCode::kLoad:
+    case OpCode::kStore:
+      std::snprintf(buf, sizeof(buf), "%s(%s, 0x%llx)", to_string(op.code),
+                    to_string(op.type),
+                    static_cast<unsigned long long>(op.value));
+      break;
+    case OpCode::kLoadConst:
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+      std::snprintf(buf, sizeof(buf), "%s(%s)", to_string(op.code),
+                    to_string(op.type));
+      break;
+    case OpCode::kIFetch:
+    case OpCode::kBranch:
+    case OpCode::kCall:
+    case OpCode::kRet:
+      std::snprintf(buf, sizeof(buf), "%s(0x%llx)", to_string(op.code),
+                    static_cast<unsigned long long>(op.value));
+      break;
+    case OpCode::kSend:
+    case OpCode::kASend:
+      std::snprintf(buf, sizeof(buf), "%s(%llu, %d, tag=%d)",
+                    to_string(op.code),
+                    static_cast<unsigned long long>(op.value), op.peer,
+                    op.tag);
+      break;
+    case OpCode::kRecv:
+    case OpCode::kARecv:
+      std::snprintf(buf, sizeof(buf), "%s(%d, tag=%d)", to_string(op.code),
+                    op.peer, op.tag);
+      break;
+    case OpCode::kCompute:
+      std::snprintf(buf, sizeof(buf), "compute(%llu)",
+                    static_cast<unsigned long long>(op.value));
+      break;
+  }
+  return buf;
+}
+
+}  // namespace merm::trace

@@ -1,0 +1,187 @@
+// The abstract machine instructions ("operations") of the workbench —
+// Table 1 of the paper.
+//
+// Operations are the currency between the application level and the
+// architecture level.  They abstract from any concrete instruction set: a
+// load-store register machine with memory transfers, register arithmetic and
+// instruction fetching, plus message-passing communication and task-level
+// computation.  Because memory *values* are never modelled, loops and
+// branches are resolved by the trace generator; the simulator sees each loop
+// iteration as individually traced operations with recurring ifetch
+// addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace merm::trace {
+
+/// Operation kinds (Table 1).
+enum class OpCode : std::uint8_t {
+  // -- computational: memory transfers --
+  kLoad,       ///< load(mem-type, address): memory -> register
+  kStore,      ///< store(mem-type, address): register -> memory
+  kLoadConst,  ///< load([f]constant): immediate -> register (no memory access)
+  // -- computational: register arithmetic --
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // -- computational: instruction fetching --
+  kIFetch,  ///< ifetch(address)
+  kBranch,  ///< branch(address): ifetch with a potential pipeline break
+  kCall,    ///< call(address)
+  kRet,     ///< ret(address)
+  // -- communication: message passing --
+  kSend,   ///< send(message-size, destination): synchronous (blocking)
+  kRecv,   ///< recv(source): synchronous (blocking)
+  kASend,  ///< asend(message-size, destination): asynchronous
+  kARecv,  ///< arecv(source): asynchronous (posts a receive)
+  // -- communication: task-level computation --
+  kCompute,  ///< compute(duration)
+};
+
+inline constexpr int kOpCodeCount = static_cast<int>(OpCode::kCompute) + 1;
+
+/// Operand/memory types.  The mem-type of a load/store and the operand type
+/// of arithmetic operations.
+enum class DataType : std::uint8_t {
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat,   ///< single-precision FP
+  kDouble,  ///< double-precision FP
+};
+
+inline constexpr int kDataTypeCount = static_cast<int>(DataType::kDouble) + 1;
+
+/// Size in bytes of a DataType.
+constexpr std::uint32_t size_of(DataType t) {
+  switch (t) {
+    case DataType::kInt8:
+      return 1;
+    case DataType::kInt16:
+      return 2;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat:
+      return 4;
+    case DataType::kDouble:
+      return 8;
+  }
+  return 4;
+}
+
+constexpr bool is_floating(DataType t) {
+  return t == DataType::kFloat || t == DataType::kDouble;
+}
+
+/// Node identifier within a multicomputer (dense, 0-based).
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// A single trace event.  Kept POD-small: detailed simulations consume
+/// hundreds of millions of these.
+struct Operation {
+  OpCode code = OpCode::kCompute;
+  DataType type = DataType::kInt32;
+  /// Address for memory/ifetch operations, message size in bytes for
+  /// send/asend, duration in ticks for compute.
+  std::uint64_t value = 0;
+  /// Destination (send/asend) or source (recv/arecv) node; kNoNode otherwise.
+  NodeId peer = kNoNode;
+  /// Message tag for matching asynchronous receives; 0 for untagged.
+  std::int32_t tag = 0;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+
+  // -- convenience constructors mirroring Table 1 --
+  static Operation load(DataType t, std::uint64_t address) {
+    return {OpCode::kLoad, t, address, kNoNode, 0};
+  }
+  static Operation store(DataType t, std::uint64_t address) {
+    return {OpCode::kStore, t, address, kNoNode, 0};
+  }
+  static Operation load_const(DataType t) {
+    return {OpCode::kLoadConst, t, 0, kNoNode, 0};
+  }
+  static Operation add(DataType t) { return {OpCode::kAdd, t, 0, kNoNode, 0}; }
+  static Operation sub(DataType t) { return {OpCode::kSub, t, 0, kNoNode, 0}; }
+  static Operation mul(DataType t) { return {OpCode::kMul, t, 0, kNoNode, 0}; }
+  static Operation div(DataType t) { return {OpCode::kDiv, t, 0, kNoNode, 0}; }
+  static Operation ifetch(std::uint64_t address) {
+    return {OpCode::kIFetch, DataType::kInt32, address, kNoNode, 0};
+  }
+  static Operation branch(std::uint64_t address) {
+    return {OpCode::kBranch, DataType::kInt32, address, kNoNode, 0};
+  }
+  static Operation call(std::uint64_t address) {
+    return {OpCode::kCall, DataType::kInt32, address, kNoNode, 0};
+  }
+  static Operation ret(std::uint64_t address) {
+    return {OpCode::kRet, DataType::kInt32, address, kNoNode, 0};
+  }
+  static Operation send(std::uint64_t bytes, NodeId dest, std::int32_t tag = 0) {
+    return {OpCode::kSend, DataType::kInt8, bytes, dest, tag};
+  }
+  static Operation recv(NodeId source, std::int32_t tag = 0) {
+    return {OpCode::kRecv, DataType::kInt8, 0, source, tag};
+  }
+  static Operation asend(std::uint64_t bytes, NodeId dest,
+                         std::int32_t tag = 0) {
+    return {OpCode::kASend, DataType::kInt8, bytes, dest, tag};
+  }
+  static Operation arecv(NodeId source, std::int32_t tag = 0) {
+    return {OpCode::kARecv, DataType::kInt8, 0, source, tag};
+  }
+  static Operation compute(sim::Tick duration) {
+    return {OpCode::kCompute, DataType::kInt8, duration, kNoNode, 0};
+  }
+};
+
+/// Classification helpers.
+constexpr bool is_memory_access(OpCode c) {
+  return c == OpCode::kLoad || c == OpCode::kStore;
+}
+constexpr bool is_arithmetic(OpCode c) {
+  return c == OpCode::kAdd || c == OpCode::kSub || c == OpCode::kMul ||
+         c == OpCode::kDiv;
+}
+constexpr bool is_instruction_fetch(OpCode c) {
+  return c == OpCode::kIFetch || c == OpCode::kBranch || c == OpCode::kCall ||
+         c == OpCode::kRet;
+}
+/// Computational operations: handled by the single-node computational model.
+constexpr bool is_computational(OpCode c) {
+  return is_memory_access(c) || c == OpCode::kLoadConst || is_arithmetic(c) ||
+         is_instruction_fetch(c);
+}
+/// Communication operations: forwarded to the multi-node communication model.
+constexpr bool is_communication(OpCode c) {
+  return c == OpCode::kSend || c == OpCode::kRecv || c == OpCode::kASend ||
+         c == OpCode::kARecv;
+}
+/// Global events: operations that may affect more than one processor and
+/// therefore require physical-time-interleaved trace generation.
+constexpr bool is_global_event(OpCode c) { return is_communication(c); }
+
+/// Blocking communication (the issuing processor stalls until completion).
+constexpr bool is_blocking(OpCode c) {
+  return c == OpCode::kSend || c == OpCode::kRecv;
+}
+
+const char* to_string(OpCode c);
+const char* to_string(DataType t);
+std::optional<OpCode> opcode_from_string(const std::string& s);
+std::optional<DataType> datatype_from_string(const std::string& s);
+
+/// Renders an operation in the paper's notation, e.g. "load(double, 0x1f00)".
+std::string to_string(const Operation& op);
+
+}  // namespace merm::trace

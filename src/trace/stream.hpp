@@ -1,0 +1,97 @@
+// Operation streams: the interface between trace generators (application
+// level) and architecture models (architecture level).
+//
+// An OperationSource produces one simulated processor's trace on demand.
+// The feedback arrows of Fig. 1 — the architecture simulator controlling the
+// executing application — appear here as global_event_issued()/
+// global_event_done() callbacks: a source that runs real application code
+// keeps that code suspended between the two, which is exactly the
+// physical-time interleaving of Section 3.1.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace merm::trace {
+
+/// Pull-interface to one processor's operation trace.
+class OperationSource {
+ public:
+  virtual ~OperationSource() = default;
+
+  /// Next operation, or nullopt at end of trace.  After a global event is
+  /// returned, the consumer must complete the
+  /// global_event_issued()/global_event_done() protocol before pulling again.
+  virtual std::optional<Operation> next() = 0;
+
+  /// Notifies the source that the consumer has begun simulating the global
+  /// event it just returned (at simulated time `t`).
+  virtual void global_event_issued(sim::Tick t) { (void)t; }
+
+  /// Notifies the source that the global event completed at simulated time
+  /// `t`.  Sources backed by live application code resume that code here.
+  virtual void global_event_done(sim::Tick t) { (void)t; }
+};
+
+/// A fixed, pre-recorded trace.  This is classic trace-driven simulation —
+/// valid only when the trace has no timing-dependent control flow; the
+/// interleaving tests use it as the "naive" baseline.
+class VectorSource final : public OperationSource {
+ public:
+  VectorSource() = default;
+  explicit VectorSource(std::vector<Operation> ops) : ops_(std::move(ops)) {}
+
+  void push(const Operation& op) { ops_.push_back(op); }
+
+  std::optional<Operation> next() override {
+    if (pos_ >= ops_.size()) return std::nullopt;
+    return ops_[pos_++];
+  }
+
+  void rewind() { pos_ = 0; }
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<Operation> ops_;
+  std::size_t pos_ = 0;
+};
+
+/// Decorator that records every operation flowing through it (for trace
+/// files and post-mortem analysis).
+class RecordingSource final : public OperationSource {
+ public:
+  explicit RecordingSource(std::unique_ptr<OperationSource> inner)
+      : inner_(std::move(inner)) {}
+
+  std::optional<Operation> next() override {
+    auto op = inner_->next();
+    if (op) recorded_.push_back(*op);
+    return op;
+  }
+  void global_event_issued(sim::Tick t) override {
+    inner_->global_event_issued(t);
+  }
+  void global_event_done(sim::Tick t) override {
+    inner_->global_event_done(t);
+  }
+
+  const std::vector<Operation>& recorded() const { return recorded_; }
+
+ private:
+  std::unique_ptr<OperationSource> inner_;
+  std::vector<Operation> recorded_;
+};
+
+/// A multiprocessor workload: one operation source per node.
+struct Workload {
+  std::vector<std::unique_ptr<OperationSource>> sources;
+
+  std::size_t node_count() const { return sources.size(); }
+};
+
+}  // namespace merm::trace

@@ -1,0 +1,378 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace merm::trace {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::stoull(s, nullptr, 0);  // accepts 0x... and decimal
+}
+
+[[noreturn]] void malformed(const std::string& line) {
+  throw std::runtime_error("malformed trace line: '" + line + "'");
+}
+
+}  // namespace
+
+std::string to_text_line(const Operation& op) {
+  std::ostringstream os;
+  os << to_string(op.code);
+  switch (op.code) {
+    case OpCode::kLoad:
+    case OpCode::kStore:
+      os << ' ' << to_string(op.type) << " 0x" << std::hex << op.value;
+      break;
+    case OpCode::kLoadConst:
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv:
+      os << ' ' << to_string(op.type);
+      break;
+    case OpCode::kIFetch:
+    case OpCode::kBranch:
+    case OpCode::kCall:
+    case OpCode::kRet:
+      os << " 0x" << std::hex << op.value;
+      break;
+    case OpCode::kSend:
+    case OpCode::kASend:
+      os << ' ' << op.value << ' ' << op.peer << ' ' << op.tag;
+      break;
+    case OpCode::kRecv:
+    case OpCode::kARecv:
+      os << ' ' << op.peer << ' ' << op.tag;
+      break;
+    case OpCode::kCompute:
+      os << ' ' << op.value;
+      break;
+  }
+  return os.str();
+}
+
+std::optional<Operation> from_text_line(const std::string& line) {
+  const auto toks = split_ws(line);
+  if (toks.empty() || toks[0][0] == '#') return std::nullopt;
+
+  const auto code = opcode_from_string(toks[0]);
+  if (!code) malformed(line);
+
+  Operation op;
+  op.code = *code;
+  switch (*code) {
+    case OpCode::kLoad:
+    case OpCode::kStore: {
+      if (toks.size() != 3) malformed(line);
+      const auto t = datatype_from_string(toks[1]);
+      if (!t) malformed(line);
+      op.type = *t;
+      op.value = parse_u64(toks[2]);
+      break;
+    }
+    case OpCode::kLoadConst:
+    case OpCode::kAdd:
+    case OpCode::kSub:
+    case OpCode::kMul:
+    case OpCode::kDiv: {
+      if (toks.size() != 2) malformed(line);
+      const auto t = datatype_from_string(toks[1]);
+      if (!t) malformed(line);
+      op.type = *t;
+      break;
+    }
+    case OpCode::kIFetch:
+    case OpCode::kBranch:
+    case OpCode::kCall:
+    case OpCode::kRet:
+      if (toks.size() != 2) malformed(line);
+      op.value = parse_u64(toks[1]);
+      break;
+    case OpCode::kSend:
+    case OpCode::kASend:
+      if (toks.size() != 4) malformed(line);
+      op.type = DataType::kInt8;  // comm ops carry no data type
+      op.value = parse_u64(toks[1]);
+      op.peer = static_cast<NodeId>(std::stol(toks[2]));
+      op.tag = static_cast<std::int32_t>(std::stol(toks[3]));
+      break;
+    case OpCode::kRecv:
+    case OpCode::kARecv:
+      if (toks.size() != 3) malformed(line);
+      op.type = DataType::kInt8;
+      op.peer = static_cast<NodeId>(std::stol(toks[1]));
+      op.tag = static_cast<std::int32_t>(std::stol(toks[2]));
+      break;
+    case OpCode::kCompute:
+      if (toks.size() != 2) malformed(line);
+      op.type = DataType::kInt8;
+      op.value = parse_u64(toks[1]);
+      break;
+  }
+  return op;
+}
+
+void write_text(std::ostream& os, const std::vector<Operation>& ops) {
+  for (const Operation& op : ops) {
+    os << to_text_line(op) << '\n';
+  }
+}
+
+std::vector<Operation> read_text(std::istream& is) {
+  std::vector<Operation> ops;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto op = from_text_line(line)) ops.push_back(*op);
+  }
+  return ops;
+}
+
+void write_text_multi(std::ostream& os,
+                      const std::vector<std::vector<Operation>>& per_node) {
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    os << "@node " << n << '\n';
+    write_text(os, per_node[n]);
+  }
+}
+
+std::vector<std::vector<Operation>> read_text_multi(std::istream& is) {
+  std::vector<std::vector<Operation>> per_node;
+  std::string line;
+  std::vector<Operation>* current = nullptr;
+  while (std::getline(is, line)) {
+    if (line.rfind("@node", 0) == 0) {
+      per_node.emplace_back();
+      current = &per_node.back();
+      continue;
+    }
+    auto op = from_text_line(line);
+    if (!op) continue;
+    if (current == nullptr) {
+      throw std::runtime_error("trace line before any @node header");
+    }
+    current->push_back(*op);
+  }
+  return per_node;
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'E', 'R', 'M', 'T', 'R', 'C', '1'};
+
+struct BinRecord {
+  std::uint8_t code;
+  std::uint8_t type;
+  std::int16_t reserved;
+  std::int32_t peer;
+  std::uint64_t value;
+  std::int32_t tag;
+  std::int32_t pad;
+};
+static_assert(sizeof(BinRecord) == 24);
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("truncated binary trace");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os,
+                  const std::vector<std::vector<Operation>>& per_node) {
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(per_node.size()));
+  for (const auto& ops : per_node) {
+    put<std::uint64_t>(os, ops.size());
+    for (const Operation& op : ops) {
+      BinRecord r{};
+      r.code = static_cast<std::uint8_t>(op.code);
+      r.type = static_cast<std::uint8_t>(op.type);
+      r.peer = op.peer;
+      r.value = op.value;
+      r.tag = op.tag;
+      put(os, r);
+    }
+  }
+}
+
+std::vector<std::vector<Operation>> read_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad binary trace header");
+  }
+  const auto nodes = get<std::uint32_t>(is);
+  std::vector<std::vector<Operation>> per_node(nodes);
+  for (auto& ops : per_node) {
+    const auto count = get<std::uint64_t>(is);
+    ops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto r = get<BinRecord>(is);
+      if (r.code >= kOpCodeCount || r.type >= kDataTypeCount) {
+        throw std::runtime_error("corrupt binary trace record");
+      }
+      Operation op;
+      op.code = static_cast<OpCode>(r.code);
+      op.type = static_cast<DataType>(r.type);
+      op.peer = r.peer;
+      op.value = r.value;
+      op.tag = r.tag;
+      ops.push_back(op);
+    }
+  }
+  return per_node;
+}
+
+namespace {
+
+constexpr char kMagic2[8] = {'M', 'E', 'R', 'M', 'T', 'R', 'C', '2'};
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    const char byte = static_cast<char>((v & 0x7f) | 0x80);
+    os.put(byte);
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::istream::traits_type::eof()) {
+      throw std::runtime_error("truncated compressed trace");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw std::runtime_error("varint overflow");
+  }
+  return v;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+void write_compressed(std::ostream& os,
+                      const std::vector<std::vector<Operation>>& per_node) {
+  os.write(kMagic2, sizeof(kMagic2));
+  put_varint(os, per_node.size());
+  for (const auto& ops : per_node) {
+    put_varint(os, ops.size());
+    // Separate delta chains: instruction fetches walk code, data accesses
+    // walk arrays — keeping them apart makes both deltas tiny.
+    std::uint64_t last_code_addr = 0;
+    std::uint64_t last_data_addr = 0;
+    for (const Operation& op : ops) {
+      os.put(static_cast<char>(static_cast<unsigned>(op.code) |
+                               (static_cast<unsigned>(op.type) << 4)));
+      if (is_memory_access(op.code)) {
+        put_varint(os, zigzag(static_cast<std::int64_t>(op.value) -
+                              static_cast<std::int64_t>(last_data_addr)));
+        last_data_addr = op.value;
+      } else if (is_instruction_fetch(op.code)) {
+        put_varint(os, zigzag(static_cast<std::int64_t>(op.value) -
+                              static_cast<std::int64_t>(last_code_addr)));
+        last_code_addr = op.value;
+      } else if (op.code == OpCode::kSend || op.code == OpCode::kASend) {
+        put_varint(os, op.value);
+        put_varint(os, zigzag(op.peer));
+        put_varint(os, zigzag(op.tag));
+      } else if (op.code == OpCode::kRecv || op.code == OpCode::kARecv) {
+        put_varint(os, zigzag(op.peer));
+        put_varint(os, zigzag(op.tag));
+      } else if (op.code == OpCode::kCompute) {
+        put_varint(os, op.value);
+      }
+      // Arithmetic and load-const: the tag byte is the whole record.
+    }
+  }
+}
+
+std::vector<std::vector<Operation>> read_compressed(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic2, sizeof(kMagic2)) != 0) {
+    throw std::runtime_error("bad compressed trace header");
+  }
+  const std::uint64_t nodes = get_varint(is);
+  std::vector<std::vector<Operation>> per_node(nodes);
+  for (auto& ops : per_node) {
+    const std::uint64_t count = get_varint(is);
+    ops.reserve(count);
+    std::uint64_t last_code_addr = 0;
+    std::uint64_t last_data_addr = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const int tag_byte = is.get();
+      if (tag_byte == std::istream::traits_type::eof()) {
+        throw std::runtime_error("truncated compressed trace");
+      }
+      const unsigned code_bits = static_cast<unsigned>(tag_byte) & 0x0f;
+      const unsigned type_bits = (static_cast<unsigned>(tag_byte) >> 4) & 0x07;
+      if (code_bits >= kOpCodeCount || type_bits >= kDataTypeCount) {
+        throw std::runtime_error("corrupt compressed trace record");
+      }
+      Operation op;
+      op.code = static_cast<OpCode>(code_bits);
+      op.type = static_cast<DataType>(type_bits);
+      if (is_memory_access(op.code)) {
+        last_data_addr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(last_data_addr) +
+            unzigzag(get_varint(is)));
+        op.value = last_data_addr;
+      } else if (is_instruction_fetch(op.code)) {
+        last_code_addr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(last_code_addr) +
+            unzigzag(get_varint(is)));
+        op.value = last_code_addr;
+      } else if (op.code == OpCode::kSend || op.code == OpCode::kASend) {
+        op.value = get_varint(is);
+        op.peer = static_cast<NodeId>(unzigzag(get_varint(is)));
+        op.tag = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+      } else if (op.code == OpCode::kRecv || op.code == OpCode::kARecv) {
+        op.peer = static_cast<NodeId>(unzigzag(get_varint(is)));
+        op.tag = static_cast<std::int32_t>(unzigzag(get_varint(is)));
+      } else if (op.code == OpCode::kCompute) {
+        op.value = get_varint(is);
+      }
+      if (is_communication(op.code) || op.code == OpCode::kCompute) {
+        op.type = DataType::kInt8;
+      }
+      ops.push_back(op);
+    }
+  }
+  return per_node;
+}
+
+}  // namespace merm::trace

@@ -1,0 +1,51 @@
+// Trace (de)serialization: a line-oriented text format for inspection and a
+// compact binary format for bulk storage.  Multi-node trace files carry one
+// section per node.
+//
+// Text format, one operation per line:
+//   load i32 0x1f00
+//   send 1024 3 7         (size, dest, tag)
+//   compute 250000
+#pragma once
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace merm::trace {
+
+/// Writes one operation as a text line (without newline).
+std::string to_text_line(const Operation& op);
+
+/// Parses a text line; returns nullopt for blank lines/comments ('#').
+/// Throws std::runtime_error on malformed input.
+std::optional<Operation> from_text_line(const std::string& line);
+
+/// Text round-trip for a single node's trace.
+void write_text(std::ostream& os, const std::vector<Operation>& ops);
+std::vector<Operation> read_text(std::istream& is);
+
+/// Multi-node text traces: "@node <id>" headers separate per-node sections.
+void write_text_multi(std::ostream& os,
+                      const std::vector<std::vector<Operation>>& per_node);
+std::vector<std::vector<Operation>> read_text_multi(std::istream& is);
+
+/// Binary round-trip (little-endian, fixed-width records, versioned header).
+void write_binary(std::ostream& os,
+                  const std::vector<std::vector<Operation>>& per_node);
+std::vector<std::vector<Operation>> read_binary(std::istream& is);
+
+/// Compressed binary format: delta-encoded addresses with variable-length
+/// integers.  Operation traces are highly regular (sequential ifetch and
+/// data streams), so this typically shrinks detailed traces by 3-5x —
+/// relevant because trace storage, not the simulator, dominates memory
+/// (paper Section 6).
+void write_compressed(std::ostream& os,
+                      const std::vector<std::vector<Operation>>& per_node);
+std::vector<std::vector<Operation>> read_compressed(std::istream& is);
+
+}  // namespace merm::trace

@@ -1,0 +1,341 @@
+#include "vsm/vsm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/logging.hpp"
+
+namespace merm::vsm {
+
+namespace {
+const sim::Log& vsm_log() {
+  static const sim::Log log("vsm");
+  return log;
+}
+
+constexpr std::int32_t kVsmBit = 1 << 30;
+constexpr int kTypeShift = 26;
+constexpr std::int32_t kTypeMask = 0x7;
+constexpr std::int32_t kPageMask = (1 << kTypeShift) - 1;
+}  // namespace
+
+// ---------------------------------------------------------------- VsmAgent
+
+VsmAgent::VsmAgent(VsmSystem& system, NodeId id, node::CommNode& comm)
+    : system_(system), id_(id), comm_(comm) {}
+
+std::int32_t VsmAgent::make_tag(MsgType type, std::uint64_t page) {
+  if (page > static_cast<std::uint64_t>(kPageMask)) {
+    throw std::out_of_range("VSM page index exceeds tag encoding");
+  }
+  return kVsmBit | (static_cast<std::int32_t>(type) << kTypeShift) |
+         static_cast<std::int32_t>(page);
+}
+
+VsmAgent::MsgType VsmAgent::tag_type(std::int32_t tag) {
+  return static_cast<MsgType>((tag >> kTypeShift) & kTypeMask);
+}
+
+std::uint64_t VsmAgent::tag_page(std::int32_t tag) {
+  return static_cast<std::uint64_t>(tag & kPageMask);
+}
+
+bool VsmAgent::is_vsm_tag(std::int32_t tag) { return (tag & kVsmBit) != 0; }
+
+bool VsmAgent::is_shared(std::uint64_t addr) const {
+  const VsmParams& p = system_.params();
+  return addr >= p.shared_base && addr < p.shared_base + p.shared_size;
+}
+
+std::uint64_t VsmAgent::page_of(std::uint64_t addr) const {
+  return (addr - system_.params().shared_base) / system_.params().page_bytes;
+}
+
+NodeId VsmAgent::home_of(std::uint64_t page) const {
+  return static_cast<NodeId>(page % system_.node_count());
+}
+
+PageMode VsmAgent::mode_of(std::uint64_t addr) const {
+  const auto it = page_table_.find(page_of(addr));
+  return it == page_table_.end() ? PageMode::kInvalid : it->second;
+}
+
+sim::Task<> VsmAgent::ensure(std::uint64_t addr, bool is_write) {
+  shared_accesses.add();
+  const std::uint64_t page = page_of(addr);
+  const auto it = page_table_.find(page);
+  const PageMode mode =
+      it == page_table_.end() ? PageMode::kInvalid : it->second;
+  const bool satisfied =
+      is_write ? mode == PageMode::kWrite : mode != PageMode::kInvalid;
+  if (satisfied) co_return;  // hit: no cost beyond the normal access
+
+  (is_write ? write_faults : read_faults).add();
+  sim::Simulator& sim = system_.simulator();
+  vsm_log().debug(sim.now(), "node ", id_, (is_write ? " write" : " read"),
+                  " fault on page ", page, " (home ", home_of(page), ")");
+  const sim::Tick start = sim.now();
+  co_await sim.delay(system_.params().fault_overhead);
+
+  const NodeId home = home_of(page);
+  if (home == id_) {
+    co_await handle_fault(id_, page, is_write);
+  } else {
+    const MsgType req = is_write ? MsgType::kWriteReq : MsgType::kReadReq;
+    co_await comm_.op_asend(home, system_.params().control_bytes,
+                            make_tag(req, page));
+    co_await comm_.op_recv(home, make_tag(MsgType::kGrant, page));
+  }
+  page_table_[page] = is_write ? PageMode::kWrite : PageMode::kRead;
+  if (home != id_) {
+    // Acknowledge the grant so the home can admit the next transaction for
+    // this page (closing the grant-in-flight race).
+    co_await comm_.op_asend(home, system_.params().control_bytes,
+                            make_tag(MsgType::kInvAck, page));
+  }
+  fault_latency_ticks.add(static_cast<double>(sim.now() - start));
+}
+
+sim::Task<> VsmAgent::handle_fault(NodeId requester, std::uint64_t page,
+                                   bool is_write) {
+  sim::Simulator& sim = system_.simulator();
+  auto& queue = page_queues_[page];
+  if (!queue) queue = std::make_unique<sim::FifoResource>();
+  co_await queue->acquire();
+  co_await sim.delay(system_.params().directory_lookup);
+
+  DirEntry& dir = directory_[page];
+  const std::uint64_t ctrl = system_.params().control_bytes;
+  const std::uint64_t page_bytes = system_.params().page_bytes;
+
+  // Register the transaction before the first send: acknowledgements can
+  // arrive while later sends are still in flight.
+  Txn txn;
+  pending_txns_[page] = &txn;
+
+  bool requester_had_copy = false;
+  if (is_write) {
+    for (const NodeId reader : dir.copyset) {
+      if (reader == requester) {
+        requester_had_copy = true;
+        continue;
+      }
+      if (reader == id_) {
+        // The home itself holds a read copy: invalidate locally.
+        page_table_[page] = PageMode::kInvalid;
+        invalidations_received.add();
+        continue;
+      }
+      ++txn.pending;
+      co_await comm_.op_asend(reader, ctrl,
+                              make_tag(MsgType::kInvalidate, page));
+    }
+    if (dir.dirty && dir.owner != requester) {
+      if (dir.owner == id_) {
+        page_table_[page] = PageMode::kInvalid;
+        invalidations_received.add();
+      } else {
+        ++txn.pending;
+        co_await comm_.op_asend(dir.owner, ctrl,
+                                make_tag(MsgType::kFetchWrite, page));
+      }
+    }
+  } else {
+    if (dir.dirty && dir.owner != requester) {
+      if (dir.owner == id_) {
+        page_table_[page] = PageMode::kRead;
+      } else {
+        ++txn.pending;
+        co_await comm_.op_asend(dir.owner, ctrl,
+                                make_tag(MsgType::kFetchRead, page));
+      }
+    }
+  }
+
+  txn.sealed = true;
+  if (txn.pending > 0) {
+    co_await txn.done;
+  }
+  pending_txns_.erase(page);
+
+  // Update the directory before granting.
+  if (is_write) {
+    dir.copyset.clear();
+    dir.dirty = true;
+    dir.owner = requester;
+  } else {
+    if (dir.dirty) {
+      // The previous owner downgraded to a reader.
+      if (dir.owner != requester) dir.copyset.push_back(dir.owner);
+      dir.dirty = false;
+      dir.owner = trace::kNoNode;
+    }
+    if (std::find(dir.copyset.begin(), dir.copyset.end(), requester) ==
+        dir.copyset.end()) {
+      dir.copyset.push_back(requester);
+    }
+  }
+
+  if (requester != id_) {
+    const bool data_needed = !(is_write && requester_had_copy);
+    // Hold the page closed until the requester confirmed installation.
+    Txn grant_txn;
+    grant_txn.pending = 1;
+    grant_txn.sealed = true;
+    pending_txns_[page] = &grant_txn;
+    co_await comm_.op_asend(requester, data_needed ? page_bytes : ctrl,
+                            make_tag(MsgType::kGrant, page));
+    co_await grant_txn.done;
+    pending_txns_.erase(page);
+  }
+
+  page_queues_[page]->release();
+}
+
+sim::Process VsmAgent::spawn_fault_handler(NodeId requester,
+                                           std::uint64_t page, bool is_write) {
+  co_await handle_fault(requester, page, is_write);
+}
+
+sim::Process VsmAgent::server() {
+  const std::uint64_t ctrl = system_.params().control_bytes;
+  const std::uint64_t page_bytes = system_.params().page_bytes;
+  for (;;) {
+    const node::CommNode::RecvInfo info =
+        co_await comm_.op_recv_filtered([](NodeId, std::int32_t tag) {
+          return is_vsm_tag(tag) && tag_type(tag) != MsgType::kGrant;
+        });
+    const MsgType type = tag_type(info.tag);
+    const std::uint64_t page = tag_page(info.tag);
+    switch (type) {
+      case MsgType::kReadReq:
+      case MsgType::kWriteReq:
+        system_.simulator().spawn(
+            spawn_fault_handler(info.src, page, type == MsgType::kWriteReq));
+        break;
+      case MsgType::kInvalidate:
+        invalidations_received.add();
+        page_table_[page] = PageMode::kInvalid;
+        co_await comm_.op_asend(info.src, ctrl,
+                                make_tag(MsgType::kInvAck, page));
+        break;
+      case MsgType::kFetchRead:
+        page_table_[page] = PageMode::kRead;
+        co_await comm_.op_asend(info.src, page_bytes,
+                                make_tag(MsgType::kWriteback, page));
+        break;
+      case MsgType::kFetchWrite:
+        page_table_[page] = PageMode::kInvalid;
+        invalidations_received.add();
+        co_await comm_.op_asend(info.src, page_bytes,
+                                make_tag(MsgType::kWriteback, page));
+        break;
+      case MsgType::kInvAck:
+      case MsgType::kWriteback: {
+        const auto it = pending_txns_.find(page);
+        if (it == pending_txns_.end()) {
+          throw std::logic_error("VSM ack with no pending transaction");
+        }
+        Txn& txn = *it->second;
+        --txn.pending;
+        if (txn.sealed && txn.pending == 0) {
+          txn.done.trigger();
+        }
+        break;
+      }
+      case MsgType::kGrant:
+        throw std::logic_error("grant reached the VSM server");
+    }
+  }
+}
+
+void VsmAgent::register_stats(stats::StatRegistry& reg,
+                              const std::string& prefix) {
+  reg.register_counter(prefix + ".read_faults", &read_faults);
+  reg.register_counter(prefix + ".write_faults", &write_faults);
+  reg.register_counter(prefix + ".shared_accesses", &shared_accesses);
+  reg.register_counter(prefix + ".invalidations", &invalidations_received);
+  reg.register_accumulator(prefix + ".fault_latency_ticks",
+                           &fault_latency_ticks);
+}
+
+// --------------------------------------------------------------- VsmSystem
+
+VsmSystem::VsmSystem(node::Machine& machine, VsmParams params)
+    : machine_(machine), params_(params) {
+  const std::uint32_t n = machine_.node_count();
+  agents_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    agents_.push_back(std::make_unique<VsmAgent>(
+        *this, static_cast<NodeId>(i), machine_.comm_node(i)));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    machine_.simulator().spawn(agents_[i]->server(),
+                               "vsm.server." + std::to_string(i));
+  }
+}
+
+std::vector<sim::ProcessHandle> VsmSystem::launch_detailed(
+    trace::Workload& workload) {
+  const std::uint32_t cpus = machine_.cpus_per_node();
+  if (workload.node_count() != machine_.node_count() * cpus) {
+    throw std::invalid_argument(
+        "VSM detailed workload needs node_count*cpus_per_node sources");
+  }
+  std::vector<sim::ProcessHandle> handles;
+  handles.reserve(workload.node_count());
+  for (std::uint32_t n = 0; n < machine_.node_count(); ++n) {
+    for (std::uint32_t c = 0; c < cpus; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(n) * cpus + c;
+      handles.push_back(machine_.simulator().spawn(
+          machine_.compute_node(n).run(c, *workload.sources[idx],
+                                       &machine_.comm_node(n),
+                                       /*recorder=*/nullptr, agents_[n].get()),
+          "vsm.node" + std::to_string(n) + ".cpu" + std::to_string(c)));
+    }
+  }
+  return handles;
+}
+
+std::uint64_t VsmSystem::total_faults() const {
+  std::uint64_t total = 0;
+  for (const auto& a : agents_) {
+    total += a->read_faults.value() + a->write_faults.value();
+  }
+  return total;
+}
+
+std::uint64_t VsmSystem::total_invalidations() const {
+  std::uint64_t total = 0;
+  for (const auto& a : agents_) {
+    total += a->invalidations_received.value();
+  }
+  return total;
+}
+
+void VsmSystem::register_stats(stats::StatRegistry& reg,
+                               const std::string& prefix) {
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    agents_[i]->register_stats(reg,
+                               prefix + ".node" + std::to_string(i));
+  }
+}
+
+std::uint32_t VsmSystem::single_writer_violations() const {
+  // Collect every page any agent has a table entry for.
+  std::uint32_t violations = 0;
+  std::unordered_map<std::uint64_t, std::pair<int, int>> holders;  // w, r
+  for (const auto& a : agents_) {
+    for (const auto& [page, mode] : a->page_table_) {
+      if (mode == PageMode::kWrite) holders[page].first += 1;
+      if (mode == PageMode::kRead) holders[page].second += 1;
+    }
+  }
+  for (const auto& [page, wr] : holders) {
+    const auto [writers, readers] = wr;
+    if (writers > 1 || (writers == 1 && readers > 0)) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace merm::vsm

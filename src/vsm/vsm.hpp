@@ -1,0 +1,182 @@
+// Virtual shared memory over the message-passing multicomputer.
+//
+// Section 5.1 of the paper notes that communication annotations still expose
+// the physical topology and announces: "we will use a virtual shared memory
+// in the future to hide all explicit communication".  This module implements
+// that outlook as a home-based, page-granular DSM in the style of Li &
+// Hudak's IVY, layered entirely on the communication model: every protocol
+// action is ordinary tagged message passing through the node's CommNode, so
+// DSM traffic experiences the same NIC costs, routing, switching and
+// contention as application messages.
+//
+// Protocol (single-writer / multiple-reader, sequential consistency):
+//  - every page has a home node (page index mod nodes) holding its
+//    directory entry {dirty owner | reader copyset};
+//  - a read fault sends kReadReq to the home; the home (fetching a dirty
+//    owner's copy first if needed) replies with a page-carrying kGrant;
+//  - a write fault sends kWriteReq; the home invalidates all readers
+//    (kInvalidate / kInvAck), fetches a dirty owner's copy (kFetchWrite /
+//    kWriteback), then grants exclusive ownership;
+//  - homes serialize transactions per page; requesters block only on their
+//    own grant; holder-side handlers never block — so the protocol is
+//    deadlock-free by construction.
+//
+// Because the workbench is tags-only, "page contents" are timing fiction:
+// what is modelled is exactly the message traffic, fault software overhead
+// and directory latency a real implementation would incur.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "node/compute_node.hpp"
+#include "node/machine.hpp"
+#include "sim/coro.hpp"
+#include "sim/resource.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::vsm {
+
+using trace::NodeId;
+
+struct VsmParams {
+  std::uint64_t page_bytes = 4096;
+  /// Base of the shared region; must match the AddressLayout used by the
+  /// trace generator (gen::AddressLayout::shared_base).
+  std::uint64_t shared_base = 0x4000'0000'0000ULL;
+  std::uint64_t shared_size = 1ULL << 32;
+  /// Size of protocol control messages (requests, invalidations, acks).
+  std::uint64_t control_bytes = 32;
+  /// Software cost of entering the fault handler.
+  sim::Tick fault_overhead = 5 * sim::kTicksPerMicrosecond;
+  /// Directory lookup/update cost at the home node.
+  sim::Tick directory_lookup = sim::kTicksPerMicrosecond;
+};
+
+/// Access mode a node holds a page in.
+enum class PageMode : std::uint8_t { kInvalid, kRead, kWrite };
+
+class VsmSystem;
+
+/// Per-node DSM agent: the page table, the fault path (ensure) and the
+/// protocol server.
+class VsmAgent final : public node::SharedMemoryService {
+ public:
+  VsmAgent(VsmSystem& system, NodeId id, node::CommNode& comm);
+
+  NodeId id() const { return id_; }
+
+  // SharedMemoryService:
+  bool is_shared(std::uint64_t addr) const override;
+  sim::Task<> ensure(std::uint64_t addr, bool is_write) override;
+
+  /// Current local mode of the page containing `addr`.
+  PageMode mode_of(std::uint64_t addr) const;
+
+  // -- statistics --
+  stats::Counter read_faults;
+  stats::Counter write_faults;
+  stats::Counter shared_accesses;     ///< ensure() calls (incl. hits)
+  stats::Counter invalidations_received;
+  stats::Accumulator fault_latency_ticks;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  friend class VsmSystem;
+
+  // Protocol message types, encoded in the tag.
+  enum class MsgType : std::uint8_t {
+    kReadReq = 0,
+    kWriteReq,
+    kGrant,
+    kFetchRead,
+    kFetchWrite,
+    kWriteback,
+    kInvalidate,
+    kInvAck,
+  };
+
+  static std::int32_t make_tag(MsgType type, std::uint64_t page);
+  static MsgType tag_type(std::int32_t tag);
+  static std::uint64_t tag_page(std::int32_t tag);
+  static bool is_vsm_tag(std::int32_t tag);
+
+  /// Directory entry at the home node.
+  struct DirEntry {
+    bool dirty = false;
+    NodeId owner = trace::kNoNode;   ///< valid when dirty
+    std::vector<NodeId> copyset;     ///< readers when clean
+  };
+
+  /// In-flight home transaction awaiting remote acknowledgements.  The
+  /// handler registers it *before* sending (acks may race the later sends),
+  /// increments `pending` per message, and seals it when all messages are
+  /// out; the server completes it when sealed and fully acknowledged.
+  struct Txn {
+    int pending = 0;
+    bool sealed = false;
+    sim::Event done;
+  };
+
+  std::uint64_t page_of(std::uint64_t addr) const;
+  NodeId home_of(std::uint64_t page) const;
+
+  /// The home-side fault service; runs at this agent (the home).
+  /// `requester` may be this node (local fault at home).
+  sim::Task<> handle_fault(NodeId requester, std::uint64_t page,
+                           bool is_write);
+
+  sim::Process server();
+  sim::Process spawn_fault_handler(NodeId requester, std::uint64_t page,
+                                   bool is_write);
+
+  VsmSystem& system_;
+  NodeId id_;
+  node::CommNode& comm_;
+
+  std::unordered_map<std::uint64_t, PageMode> page_table_;
+  std::unordered_map<std::uint64_t, DirEntry> directory_;
+  /// Per-page transaction serialization at the home.
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::FifoResource>>
+      page_queues_;
+  std::unordered_map<std::uint64_t, Txn*> pending_txns_;
+};
+
+/// The machine-wide DSM: one agent per node plus launch helpers.
+class VsmSystem {
+ public:
+  VsmSystem(node::Machine& machine, VsmParams params = {});
+
+  const VsmParams& params() const { return params_; }
+  node::Machine& machine() { return machine_; }
+  sim::Simulator& simulator() { return machine_.simulator(); }
+  std::uint32_t node_count() const { return machine_.node_count(); }
+  VsmAgent& agent(NodeId n) { return *agents_[static_cast<std::size_t>(n)]; }
+
+  /// Launches a detailed workload whose shared-region loads/stores go
+  /// through the DSM (one source per CPU, as Machine::launch_detailed).
+  std::vector<sim::ProcessHandle> launch_detailed(trace::Workload& workload);
+
+  // -- aggregates --
+  std::uint64_t total_faults() const;
+  std::uint64_t total_invalidations() const;
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+  /// Consistency check for tests: every page is held by at most one writer,
+  /// and a writer excludes readers (across all nodes).  Returns the number
+  /// of violating pages.
+  std::uint32_t single_writer_violations() const;
+
+ private:
+  friend class VsmAgent;
+
+  node::Machine& machine_;
+  VsmParams params_;
+  std::vector<std::unique_ptr<VsmAgent>> agents_;
+};
+
+}  // namespace merm::vsm

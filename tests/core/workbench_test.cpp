@@ -1,0 +1,181 @@
+// Workbench front-end tests: run results, slowdown accounting, progress
+// sampling, and the architecture-comparison driver.
+#include "core/workbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/apps.hpp"
+#include "gen/stochastic.hpp"
+#include "gen/vsm_apps.hpp"
+
+namespace merm::core {
+namespace {
+
+TEST(WorkbenchTest, DetailedRunReportsCompleteResult) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{4, 512});
+      });
+  const RunResult r = wb.run_detailed(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.machine_name, "t805");
+  EXPECT_EQ(r.level, node::SimulationLevel::kDetailed);
+  EXPECT_GT(r.simulated_time, 0u);
+  EXPECT_GT(r.simulated_cpu_cycles, 0u);
+  EXPECT_GT(r.events_processed, 0u);
+  EXPECT_EQ(r.messages, 2u * 4u + 2u * 4u);  // data + acks
+  EXPECT_GT(r.footprint_bytes, 0u);
+  EXPECT_EQ(r.processors, 2u);
+  EXPECT_GE(r.host_seconds, 0.0);
+}
+
+TEST(WorkbenchTest, TaskLevelRunUsesCommModel) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  gen::StochasticDescription d;
+  d.rounds = 2;
+  d.comm.pattern = gen::CommPattern::kRing;
+  auto w = gen::make_stochastic_task_workload(d, 4);
+  const RunResult r = wb.run_task_level(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.level, node::SimulationLevel::kTaskLevel);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_EQ(r.processors, 4u);
+}
+
+TEST(WorkbenchTest, TimeBoundedRunReportsIncomplete) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::matmul_spmd(a, s, n, gen::MatmulParams{16});
+      });
+  const RunResult r = wb.run_detailed(w, /*until=*/sim::kTicksPerMicrosecond);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.simulated_time, sim::kTicksPerMicrosecond);
+}
+
+TEST(WorkbenchTest, SlowdownMetricIsFiniteAndPositive) {
+  Workbench wb(machine::presets::powerpc601_node());
+  auto w = gen::make_offline_workload(
+      1, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::compute_kernel(a, s, n, gen::ComputeKernelParams{2048, 4, 1});
+      });
+  const RunResult r = wb.run_detailed(w);
+  ASSERT_TRUE(r.completed);
+  const double slowdown = r.slowdown_per_processor(143e6);  // paper's host
+  EXPECT_GT(slowdown, 0.0);
+  EXPECT_LT(slowdown, 1e9);
+  EXPECT_GT(r.cycles_per_host_second(), 0.0);
+}
+
+TEST(WorkbenchTest, HostFrequencyEstimateIsPlausible) {
+  const double hz = host_frequency_hz();
+  EXPECT_GT(hz, 100e6);   // faster than 100 MHz
+  EXPECT_LT(hz, 100e9);   // slower than 100 GHz
+  EXPECT_DOUBLE_EQ(hz, host_frequency_hz());  // cached
+}
+
+TEST(WorkbenchTest, ProgressSamplerRecordsSeries) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.enable_progress(100 * sim::kTicksPerMicrosecond);
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{8, 4096});
+      });
+  const RunResult r = wb.run_detailed(w);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(wb.progress_series().points().size(), 2u);
+  // Samples are monotone in time and events.
+  const auto& pts = wb.progress_series().points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].time, pts[i - 1].time);
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+  }
+}
+
+TEST(WorkbenchTest, ProgressEchoWritesLines) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  std::ostringstream echo;
+  wb.enable_progress(500 * sim::kTicksPerMicrosecond, &echo);
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{8, 4096});
+      });
+  wb.run_detailed(w);
+  EXPECT_NE(echo.str().find("[progress]"), std::string::npos);
+}
+
+TEST(WorkbenchTest, RegisterAllStatsExposesModelMetrics) {
+  Workbench wb(machine::presets::generic_risc(2, 1));
+  wb.register_all_stats();
+  EXPECT_GT(wb.stats().counter_values().size(), 5u);
+}
+
+TEST(WorkbenchTest, ResultPrintIsHumanReadable) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{2, 64});
+      });
+  const RunResult r = wb.run_detailed(w);
+  std::ostringstream os;
+  r.print(os);
+  EXPECT_NE(os.str().find("t805"), std::string::npos);
+  EXPECT_NE(os.str().find("slowdown"), std::string::npos);
+}
+
+TEST(WorkbenchTest, AttachedSamplerRecordsDuringRun) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.register_all_stats();
+  stats::CounterSampler sampler(wb.stats(), {"t805.net.messages"});
+  wb.enable_progress(100 * sim::kTicksPerMicrosecond);
+  wb.attach_sampler(&sampler);
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{8, 4096});
+      });
+  const RunResult r = wb.run_detailed(w);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(sampler.samples(), 2u);
+}
+
+TEST(WorkbenchTest, RunDetailedSharedRoutesThroughVsm) {
+  machine::MachineParams arch = machine::presets::generic_risc(4, 1);
+  arch.topology.kind = machine::TopologyKind::kRing;
+  arch.topology.dims = {4, 1};
+  Workbench wb(arch);
+  auto w = gen::make_offline_workload(
+      4, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::vsm_stencil_spmd(a, s, n, gen::VsmStencilParams{32, 2});
+      });
+  const RunResult r = wb.run_detailed_shared(w);
+  EXPECT_TRUE(r.completed);
+  ASSERT_NE(wb.vsm(), nullptr);
+  EXPECT_GT(wb.vsm()->total_faults(), 0u);
+  EXPECT_EQ(wb.vsm()->single_writer_violations(), 0u);
+}
+
+TEST(WorkbenchTest, CompareRunsTwoArchitectures) {
+  // Architecture X vs Y (Fig. 1): same stencil on a store-and-forward T805
+  // mesh and on a wormhole generic-RISC torus.  The modern machine must be
+  // dramatically faster in simulated time.
+  const auto workload_for = [](const machine::MachineParams& params) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::stencil_spmd(a, s, n, gen::StencilParams{16, 2});
+        });
+  };
+  const auto cmp = Workbench::compare(machine::presets::t805_multicomputer(2, 2),
+                                      machine::presets::generic_risc(2, 2),
+                                      workload_for);
+  ASSERT_TRUE(cmp.x.completed);
+  ASSERT_TRUE(cmp.y.completed);
+  EXPECT_LT(cmp.y.simulated_time, cmp.x.simulated_time);
+  EXPECT_LT(cmp.speedup_x_over_y(), 0.5);  // y at least 2x faster
+}
+
+}  // namespace
+}  // namespace merm::core

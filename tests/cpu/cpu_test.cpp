@@ -1,0 +1,145 @@
+// CPU model tests: per-operation timing against the cost table, memory
+// coupling, stats, and misuse detection.
+#include "cpu/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace merm::cpu {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+using trace::Operation;
+
+constexpr sim::Tick kNs = sim::kTicksPerNanosecond;
+
+struct Rig {
+  sim::Simulator sim;
+  machine::NodeParams node;
+  std::unique_ptr<memory::MemoryHierarchy> mem;
+  std::unique_ptr<Cpu> cpu;
+
+  explicit Rig(bool with_cache = true) {
+    node.cpu_count = 1;
+    node.cpu.frequency_hz = 100e6;  // 10 ns / cycle
+    if (with_cache) {
+      node.memory.levels = {machine::CacheLevelParams{
+          1024, 32, 2, 1, machine::WritePolicy::kWriteBack, true}};
+    } else {
+      node.memory.levels.clear();
+    }
+    node.memory.bus_frequency_hz = 100e6;
+    node.memory.bus_width_bytes = 8;
+    node.memory.bus_arbitration_cycles = 1;
+    node.memory.dram_access_cycles = 5;
+    mem = std::make_unique<memory::MemoryHierarchy>(sim, node);
+    cpu = std::make_unique<Cpu>(sim, node.cpu, *mem, 0);
+  }
+
+  sim::Tick execute(const Operation& op) {
+    sim::Tick latency = 0;
+    sim.spawn([](sim::Simulator& s, Cpu& c, Operation o,
+                 sim::Tick* out) -> sim::Process {
+      const sim::Tick start = s.now();
+      co_await c.execute(o);
+      *out = s.now() - start;
+    }(sim, *cpu, op, &latency));
+    sim.run();
+    return latency;
+  }
+};
+
+TEST(CpuTest, ArithmeticChargesCostTableCycles) {
+  Rig rig;
+  // Default table: add = 1 cycle, div(i32) = 16 cycles.
+  EXPECT_EQ(rig.execute(Operation::add(DataType::kInt32)), 10 * kNs);
+  EXPECT_EQ(rig.execute(Operation::div(DataType::kInt32)), 160 * kNs);
+  EXPECT_EQ(rig.execute(Operation::mul(DataType::kDouble)), 60 * kNs);
+  EXPECT_EQ(rig.cpu->arith_ops.value(), 3u);
+}
+
+TEST(CpuTest, LoadChargesIssuePlusMemory) {
+  Rig rig;
+  // issue 1 cycle (10 ns) + L1 lookup (10) + DRAM (1+5+4 = 100 ns).
+  EXPECT_EQ(rig.execute(Operation::load(DataType::kInt32, 0x100)), 120 * kNs);
+  // Warm: issue (10) + hit (10).
+  EXPECT_EQ(rig.execute(Operation::load(DataType::kInt32, 0x104)), 20 * kNs);
+  EXPECT_EQ(rig.cpu->memory_ops.value(), 2u);
+}
+
+TEST(CpuTest, IFetchGoesThroughMemory) {
+  Rig rig;
+  EXPECT_EQ(rig.execute(Operation::ifetch(0x1000)), 120 * kNs);
+  EXPECT_EQ(rig.execute(Operation::ifetch(0x1004)), 20 * kNs);
+  EXPECT_EQ(rig.cpu->fetch_ops.value(), 2u);
+}
+
+TEST(CpuTest, BranchCallRetCostsDiffer) {
+  Rig rig;
+  rig.execute(Operation::ifetch(0x1000));  // warm the line
+  // branch=2, call=3, ret=3 cycles issue + 1 cycle hit.
+  EXPECT_EQ(rig.execute(Operation::branch(0x1004)), 30 * kNs);
+  EXPECT_EQ(rig.execute(Operation::call(0x1008)), 40 * kNs);
+  EXPECT_EQ(rig.execute(Operation::ret(0x100c)), 40 * kNs);
+}
+
+TEST(CpuTest, LoadConstTouchesNoMemory) {
+  Rig rig;
+  const auto accesses_before = rig.mem->accesses.value();
+  EXPECT_EQ(rig.execute(Operation::load_const(DataType::kDouble)), 10 * kNs);
+  EXPECT_EQ(rig.mem->accesses.value(), accesses_before);
+}
+
+TEST(CpuTest, BusyTicksAndIssueCyclesAccumulate) {
+  Rig rig;
+  rig.execute(Operation::add(DataType::kInt32));
+  rig.execute(Operation::div(DataType::kInt32));
+  EXPECT_EQ(rig.cpu->busy_ticks(), 170 * kNs);
+  EXPECT_EQ(rig.cpu->busy_cycles(), 17u);
+  EXPECT_EQ(rig.cpu->issue_cycles.value(), 17u);
+  EXPECT_EQ(rig.cpu->ops_executed.value(), 2u);
+}
+
+TEST(CpuTest, RejectsCommunicationOperations) {
+  Rig rig;
+  EXPECT_THROW(rig.execute(Operation::send(64, 1)), std::logic_error);
+  EXPECT_THROW(rig.execute(Operation::recv(1)), std::logic_error);
+  EXPECT_THROW(rig.execute(Operation::compute(100)), std::logic_error);
+}
+
+TEST(CpuTest, CachelessMachineMemoryOps) {
+  Rig rig(/*with_cache=*/false);
+  // issue (10) + bus+dram (1+5+1 beats = 70 ns) = 80 ns every time.
+  EXPECT_EQ(rig.execute(Operation::load(DataType::kInt32, 0x100)), 80 * kNs);
+  EXPECT_EQ(rig.execute(Operation::load(DataType::kInt32, 0x100)), 80 * kNs);
+}
+
+// Parameterized: issue cost honored for every computational opcode.
+class CpuCostTest
+    : public ::testing::TestWithParam<std::tuple<OpCode, DataType>> {};
+
+TEST_P(CpuCostTest, IssueCyclesMatchCostTable) {
+  const auto [code, type] = GetParam();
+  Rig rig;
+  Operation op{code, type, 0x40, trace::kNoNode, 0};
+  rig.execute(op);
+  EXPECT_EQ(rig.cpu->issue_cycles.value(),
+            rig.node.cpu.cost(code, type));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllComputational, CpuCostTest,
+    ::testing::Combine(::testing::Values(OpCode::kLoad, OpCode::kStore,
+                                         OpCode::kLoadConst, OpCode::kAdd,
+                                         OpCode::kSub, OpCode::kMul,
+                                         OpCode::kDiv, OpCode::kIFetch,
+                                         OpCode::kBranch, OpCode::kCall,
+                                         OpCode::kRet),
+                       ::testing::Values(DataType::kInt32, DataType::kInt64,
+                                         DataType::kFloat,
+                                         DataType::kDouble)));
+
+}  // namespace
+}  // namespace merm::cpu

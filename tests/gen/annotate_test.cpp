@@ -1,0 +1,163 @@
+// Annotation translator tests: the "generic compiler" behaviour of
+// Section 5.1.
+#include "gen/annotate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::gen {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+using trace::Operation;
+
+struct Rig {
+  VarTable vars;
+  VectorSink sink;
+  Annotator a{vars, sink};
+
+  const std::vector<Operation>& ops() const { return sink.ops(); }
+};
+
+TEST(AnnotateTest, LoadOfMemoryVariableEmitsFetchPlusLoad) {
+  Rig r;
+  const VarId x = r.vars.declare_global("x", DataType::kDouble);
+  r.a.load(x);
+  ASSERT_EQ(r.ops().size(), 2u);
+  EXPECT_EQ(r.ops()[0].code, OpCode::kIFetch);
+  EXPECT_EQ(r.ops()[1], Operation::load(DataType::kDouble, r.vars[x].address));
+}
+
+TEST(AnnotateTest, RegisterVariableEmitsNothing) {
+  Rig r;
+  const VarId i = r.vars.declare_local("i", DataType::kInt32);
+  r.vars.promote_to_register(i);
+  r.a.load(i);
+  r.a.store(i);
+  EXPECT_TRUE(r.ops().empty());
+}
+
+TEST(AnnotateTest, ArrayIndexingUsesElementAddresses) {
+  Rig r;
+  const VarId arr = r.vars.declare_global("arr", DataType::kDouble, 10);
+  r.a.load(arr, 0);
+  r.a.load(arr, 7);
+  EXPECT_EQ(r.ops()[1].value, r.vars[arr].address);
+  EXPECT_EQ(r.ops()[3].value, r.vars[arr].address + 56);
+}
+
+TEST(AnnotateTest, ProgramCounterAdvancesPerInstruction) {
+  Rig r;
+  const VarId x = r.vars.declare_global("x", DataType::kInt32);
+  const std::uint64_t start = r.a.here();
+  r.a.load(x);
+  r.a.arith(OpCode::kAdd, DataType::kInt32);
+  r.a.store(x);
+  EXPECT_EQ(r.a.here(), start + 3 * 4);
+  // ifetch addresses are sequential.
+  EXPECT_EQ(r.ops()[0].value, start);
+  EXPECT_EQ(r.ops()[2].value, start + 4);
+  EXPECT_EQ(r.ops()[4].value, start + 8);
+}
+
+TEST(AnnotateTest, BranchResetsPcForLoopBodies) {
+  Rig r;
+  const VarId x = r.vars.declare_global("x", DataType::kInt32);
+  const std::uint64_t head = r.a.here();
+  r.a.load(x);
+  r.a.branch(head);
+  r.a.load(x);  // second "iteration" refetches the same address
+  EXPECT_EQ(r.ops()[0].value, r.ops()[3].value);
+  EXPECT_EQ(r.ops()[2].code, OpCode::kBranch);
+  EXPECT_EQ(r.ops()[2].value, head);
+}
+
+TEST(AnnotateTest, BinopExpandsToLoadLoadOpStore) {
+  Rig r;
+  const VarId c = r.vars.declare_global("c", DataType::kDouble);
+  const VarId x = r.vars.declare_global("x", DataType::kDouble);
+  const VarId y = r.vars.declare_global("y", DataType::kDouble);
+  r.a.binop(OpCode::kMul, c, x, y);
+  // ifetch+load, ifetch+load, ifetch+mul, ifetch+store = 8 ops.
+  ASSERT_EQ(r.ops().size(), 8u);
+  EXPECT_EQ(r.ops()[1].code, OpCode::kLoad);
+  EXPECT_EQ(r.ops()[3].code, OpCode::kLoad);
+  EXPECT_EQ(r.ops()[5].code, OpCode::kMul);
+  EXPECT_EQ(r.ops()[5].type, DataType::kDouble);
+  EXPECT_EQ(r.ops()[7].code, OpCode::kStore);
+}
+
+TEST(AnnotateTest, FusedMultiplyAddSkipsStore) {
+  Rig r;
+  const VarId x = r.vars.declare_global("x", DataType::kDouble);
+  const VarId y = r.vars.declare_global("y", DataType::kDouble);
+  r.a.fused_multiply_add(x, y, DataType::kDouble);
+  ASSERT_EQ(r.ops().size(), 8u);  // 2 loads + mul + add, each fetched
+  EXPECT_EQ(r.ops()[7].code, OpCode::kAdd);
+  for (const auto& op : r.ops()) {
+    EXPECT_NE(op.code, OpCode::kStore);
+  }
+}
+
+TEST(AnnotateTest, CallAndRetManageReturnAddresses) {
+  Rig r;
+  const FuncId f = r.a.declare_function("f");
+  const FuncId g = r.a.declare_function("g");
+  EXPECT_NE(f, g);
+  const std::uint64_t call_site = r.a.here();
+  r.a.call(f);
+  EXPECT_EQ(r.a.here(), f);
+  r.a.call(g);
+  EXPECT_EQ(r.a.here(), g);
+  r.a.ret();  // back into f
+  EXPECT_EQ(r.a.here(), f);
+  r.a.ret();  // back to main
+  EXPECT_EQ(r.a.here(), call_site);
+  EXPECT_THROW(r.a.ret(), std::logic_error);
+
+  ASSERT_EQ(r.ops().size(), 4u);
+  EXPECT_EQ(r.ops()[0], Operation::call(f));
+  EXPECT_EQ(r.ops()[3].code, OpCode::kRet);
+  EXPECT_EQ(r.ops()[3].value, call_site);
+}
+
+TEST(AnnotateTest, CommunicationAnnotationsPassThrough) {
+  Rig r;
+  r.a.send(1024, 3, 5);
+  r.a.recv(2, 5);
+  r.a.asend(64, 1);
+  r.a.arecv(trace::kNoNode, 9);
+  r.a.compute(777);
+  ASSERT_EQ(r.ops().size(), 5u);
+  EXPECT_EQ(r.ops()[0], Operation::send(1024, 3, 5));
+  EXPECT_EQ(r.ops()[1], Operation::recv(2, 5));
+  EXPECT_EQ(r.ops()[2], Operation::asend(64, 1, 0));
+  EXPECT_EQ(r.ops()[3], Operation::arecv(trace::kNoNode, 9));
+  EXPECT_EQ(r.ops()[4], Operation::compute(777));
+}
+
+TEST(AnnotateTest, BranchNotTakenEmitsCompareAndFallThrough) {
+  Rig r;
+  const std::uint64_t before = r.a.here();
+  r.a.branch_not_taken();
+  EXPECT_EQ(r.a.here(), before + 8);  // two instructions
+  ASSERT_EQ(r.ops().size(), 3u);      // ifetch, sub, ifetch
+  EXPECT_EQ(r.ops()[1].code, OpCode::kSub);
+}
+
+TEST(AnnotateTest, ArithRejectsNonArithmeticOpcode) {
+  Rig r;
+  EXPECT_THROW(r.a.arith(OpCode::kLoad, DataType::kInt32),
+               std::invalid_argument);
+}
+
+TEST(AnnotateTest, EmittedCounterMatchesSink) {
+  Rig r;
+  const VarId x = r.vars.declare_global("x", DataType::kInt32);
+  r.a.binop(OpCode::kAdd, x, x, x);
+  r.a.compute(1);
+  EXPECT_EQ(r.a.emitted(), r.ops().size());
+}
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,250 @@
+// Annotated application kernel tests: traces are well-formed, SPMD matched,
+// and run to completion on real machines at the detailed level.
+#include "gen/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::gen {
+namespace {
+
+using trace::OpCode;
+using trace::Operation;
+
+// Sends and receives across all node traces must pair up exactly.
+void expect_matched(const std::vector<std::vector<Operation>>& traces) {
+  std::map<std::tuple<int, int, int>, int> sends;
+  int wildcard_recvs = 0;
+  int sends_total = 0;
+  std::map<std::tuple<int, int, int>, int> recvs;
+  for (std::size_t n = 0; n < traces.size(); ++n) {
+    for (const auto& op : traces[n]) {
+      if (op.code == OpCode::kSend || op.code == OpCode::kASend) {
+        sends[{static_cast<int>(n), op.peer, op.tag}] += 1;
+        ++sends_total;
+      } else if (op.code == OpCode::kRecv || op.code == OpCode::kARecv) {
+        if (op.peer == trace::kNoNode) {
+          ++wildcard_recvs;
+        } else {
+          recvs[{op.peer, static_cast<int>(n), op.tag}] += 1;
+        }
+      }
+    }
+  }
+  if (wildcard_recvs == 0) {
+    EXPECT_EQ(sends, recvs);
+  } else {
+    int recvs_total = wildcard_recvs;
+    for (const auto& [key, count] : recvs) recvs_total += count;
+    EXPECT_EQ(sends_total, recvs_total);
+  }
+}
+
+std::uint64_t count_code(const std::vector<Operation>& ops, OpCode c) {
+  std::uint64_t n = 0;
+  for (const auto& op : ops) {
+    if (op.code == c) ++n;
+  }
+  return n;
+}
+
+TEST(AppsTest, MatmulTraceHasExpectedArithmeticVolume) {
+  const auto traces = record_app_traces(
+      4, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        matmul_spmd(a, self, nodes, MatmulParams{16});
+      });
+  ASSERT_EQ(traces.size(), 4u);
+  expect_matched(traces);
+  // Each node computes rows x n x n multiply-adds = 4*16*16 = 1024 muls.
+  for (const auto& ops : traces) {
+    EXPECT_EQ(count_code(ops, OpCode::kMul), 1024u);
+    EXPECT_EQ(count_code(ops, OpCode::kASend), 3u);  // nodes-1 rotations
+    EXPECT_EQ(count_code(ops, OpCode::kRecv), 3u);
+  }
+}
+
+TEST(AppsTest, MatmulRejectsIndivisibleSize) {
+  VarTable vars;
+  VectorSink sink;
+  Annotator a(vars, sink);
+  EXPECT_THROW(matmul_spmd(a, 0, 3, MatmulParams{16}), std::invalid_argument);
+}
+
+TEST(AppsTest, StencilExchangesHalosWithNeighborsOnly) {
+  const auto traces = record_app_traces(
+      4, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        stencil_spmd(a, self, nodes, StencilParams{16, 3});
+      });
+  expect_matched(traces);
+  // Interior nodes talk to two neighbors per iteration; edge nodes to one.
+  EXPECT_EQ(count_code(traces[0], OpCode::kASend), 3u);
+  EXPECT_EQ(count_code(traces[1], OpCode::kASend), 6u);
+  EXPECT_EQ(count_code(traces[3], OpCode::kASend), 3u);
+  // Only immediate neighbors appear as peers.
+  for (const auto& op : traces[1]) {
+    if (trace::is_communication(op.code)) {
+      EXPECT_TRUE(op.peer == 0 || op.peer == 2);
+    }
+  }
+}
+
+TEST(AppsTest, StencilLoopBodiesRefetchSameAddresses) {
+  const auto traces = record_app_traces(
+      2, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        stencil_spmd(a, self, nodes, StencilParams{8, 2});
+      });
+  // Recurring ifetch addresses: with loops, distinct fetch addresses are far
+  // fewer than total fetches.
+  std::map<std::uint64_t, int> fetch_addrs;
+  std::uint64_t fetches = 0;
+  for (const auto& op : traces[0]) {
+    if (op.code == OpCode::kIFetch) {
+      fetch_addrs[op.value] += 1;
+      ++fetches;
+    }
+  }
+  EXPECT_LT(fetch_addrs.size() * 4, fetches);
+}
+
+TEST(AppsTest, AllReduceUsesLogRounds) {
+  const auto traces = record_app_traces(
+      8, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        allreduce_spmd(a, self, nodes, AllReduceParams{64, 1});
+      });
+  expect_matched(traces);
+  for (const auto& ops : traces) {
+    EXPECT_EQ(count_code(ops, OpCode::kASend), 3u);  // log2(8)
+    EXPECT_EQ(count_code(ops, OpCode::kRecv), 3u);
+  }
+}
+
+TEST(AppsTest, AllReduceRejectsNonPowerOfTwo) {
+  VarTable vars;
+  VectorSink sink;
+  Annotator a(vars, sink);
+  EXPECT_THROW(allreduce_spmd(a, 0, 6, AllReduceParams{}),
+               std::invalid_argument);
+}
+
+TEST(AppsTest, PingPongOnlyInvolvesNodesZeroAndOne) {
+  const auto traces = record_app_traces(
+      4, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        pingpong(a, self, nodes, PingPongParams{5, 100});
+      });
+  expect_matched(traces);
+  EXPECT_EQ(count_code(traces[0], OpCode::kSend), 5u);
+  EXPECT_EQ(count_code(traces[1], OpCode::kSend), 5u);
+  EXPECT_TRUE(traces[2].empty());
+  EXPECT_TRUE(traces[3].empty());
+}
+
+TEST(AppsTest, MasterWorkerBalancesTasks) {
+  const auto traces = record_app_traces(
+      3, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        master_worker(a, self, nodes, MasterWorkerParams{7, 32, 64, 16});
+      });
+  expect_matched(traces);
+  EXPECT_EQ(count_code(traces[0], OpCode::kASend), 7u);
+  EXPECT_EQ(count_code(traces[0], OpCode::kRecv), 7u);
+  // 7 tasks over 2 workers: 4 + 3.
+  EXPECT_EQ(count_code(traces[1], OpCode::kRecv), 4u);
+  EXPECT_EQ(count_code(traces[2], OpCode::kRecv), 3u);
+}
+
+TEST(AppsTest, TransposeIsAllToAllPersonalized) {
+  const auto traces = record_app_traces(
+      4, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        transpose_spmd(a, self, nodes, TransposeParams{16});
+      });
+  expect_matched(traces);
+  for (std::size_t n = 0; n < traces.size(); ++n) {
+    // Each node sends exactly one tile to every other node.
+    std::map<trace::NodeId, int> per_peer;
+    for (const auto& op : traces[n]) {
+      if (op.code == OpCode::kASend) {
+        per_peer[op.peer] += 1;
+        // Tile size: (n/nodes)^2 doubles = 4*4*8.
+        EXPECT_EQ(op.value, 128u);
+      }
+    }
+    EXPECT_EQ(per_peer.size(), 3u);
+    for (const auto& [peer, count] : per_peer) {
+      EXPECT_EQ(count, 1);
+      EXPECT_NE(peer, static_cast<trace::NodeId>(n));
+    }
+  }
+}
+
+TEST(AppsTest, ComputeKernelHasNoCommunication) {
+  const auto traces = record_app_traces(
+      1, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        compute_kernel(a, self, nodes, ComputeKernelParams{256, 2, 1});
+      });
+  for (const auto& op : traces[0]) {
+    EXPECT_FALSE(trace::is_communication(op.code));
+  }
+  EXPECT_GT(traces[0].size(), 1000u);
+}
+
+// Every kernel must run to completion on a real multicomputer.
+struct AppCase {
+  const char* name;
+  std::uint32_t nodes;
+  AppFn app;
+};
+
+class AppRunTest : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(AppRunTest, RunsToCompletionOnGenericRisc) {
+  const AppCase& c = GetParam();
+  machine::MachineParams params =
+      machine::presets::generic_risc(c.nodes, 1);
+  params.topology.kind = machine::TopologyKind::kRing;
+  params.topology.dims = {c.nodes, 1};
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_offline_workload(c.nodes, c.app);
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles)) << c.name;
+  EXPECT_GT(sim.now(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, AppRunTest,
+    ::testing::Values(
+        AppCase{"matmul", 4,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  matmul_spmd(a, s, n, MatmulParams{16});
+                }},
+        AppCase{"stencil", 4,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  stencil_spmd(a, s, n, StencilParams{16, 2});
+                }},
+        AppCase{"allreduce", 4,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  allreduce_spmd(a, s, n, AllReduceParams{64, 2});
+                }},
+        AppCase{"pingpong", 2,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  pingpong(a, s, n, PingPongParams{4, 512});
+                }},
+        AppCase{"master_worker", 4,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  master_worker(a, s, n, MasterWorkerParams{9, 64, 128, 32});
+                }},
+        AppCase{"transpose", 4,
+                [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+                  transpose_spmd(a, s, n, TransposeParams{16});
+                }}),
+    [](const ::testing::TestParamInfo<AppCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,163 @@
+// Collective-communication tests: structural matching and machine runs for
+// every (collective, node count) combination.
+#include "gen/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/apps.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::gen {
+namespace {
+
+using trace::OpCode;
+using trace::Operation;
+
+std::vector<std::vector<Operation>> trace_collective(
+    std::uint32_t nodes, const std::function<void(Annotator&, trace::NodeId,
+                                                  std::uint32_t)>& body) {
+  return record_app_traces(nodes, [&](Annotator& a, trace::NodeId s,
+                                      std::uint32_t n) { body(a, s, n); });
+}
+
+void expect_matched(const std::vector<std::vector<Operation>>& traces) {
+  std::map<std::tuple<int, int, int>, int> sends;
+  std::map<std::tuple<int, int, int>, int> recvs;
+  for (std::size_t n = 0; n < traces.size(); ++n) {
+    for (const auto& op : traces[n]) {
+      if (op.code == OpCode::kASend || op.code == OpCode::kSend) {
+        sends[{static_cast<int>(n), op.peer, op.tag}] += 1;
+      } else if (op.code == OpCode::kRecv) {
+        recvs[{op.peer, static_cast<int>(n), op.tag}] += 1;
+      }
+    }
+  }
+  EXPECT_EQ(sends, recvs);
+}
+
+class CollectiveNodesTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CollectiveNodesTest, BarrierMatchesAndRuns) {
+  const std::uint32_t n = GetParam();
+  const auto traces = trace_collective(
+      n, [](Annotator& a, trace::NodeId s, std::uint32_t nn) {
+        barrier(a, s, nn, 100);
+      });
+  expect_matched(traces);
+
+  machine::MachineParams params = machine::presets::generic_risc(n, 1);
+  params.topology.kind = machine::TopologyKind::kRing;
+  params.topology.dims = {n, 1};
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_offline_workload(
+      n, [](Annotator& a, trace::NodeId s, std::uint32_t nn) {
+        barrier(a, s, nn, 100);
+      });
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles)) << n << " nodes";
+}
+
+TEST_P(CollectiveNodesTest, BroadcastMatchesAndRuns) {
+  const std::uint32_t n = GetParam();
+  for (trace::NodeId root = 0;
+       root < static_cast<trace::NodeId>(std::min(n, 3u)); ++root) {
+    const auto traces = trace_collective(
+        n, [root](Annotator& a, trace::NodeId s, std::uint32_t nn) {
+          broadcast(a, s, nn, root, 1024, 200);
+        });
+    expect_matched(traces);
+    // Everyone except the root receives exactly once.
+    for (std::uint32_t node = 0; node < n; ++node) {
+      int recvs = 0;
+      for (const auto& op : traces[node]) {
+        if (op.code == OpCode::kRecv) ++recvs;
+      }
+      EXPECT_EQ(recvs, node == static_cast<std::uint32_t>(root) ? 0 : 1)
+          << "node " << node << " root " << root;
+    }
+  }
+}
+
+TEST_P(CollectiveNodesTest, ReduceMatchesAndRuns) {
+  const std::uint32_t n = GetParam();
+  const auto traces = trace_collective(
+      n, [](Annotator& a, trace::NodeId s, std::uint32_t nn) {
+        reduce(a, s, nn, 0, 8, 300);
+      });
+  expect_matched(traces);
+  // Every non-root sends exactly once; total receives = n - 1.
+  int total_recvs = 0;
+  for (std::uint32_t node = 0; node < n; ++node) {
+    int sends = 0;
+    for (const auto& op : traces[node]) {
+      if (op.code == OpCode::kASend) ++sends;
+      if (op.code == OpCode::kRecv) ++total_recvs;
+    }
+    EXPECT_EQ(sends, node == 0 ? 0 : 1) << "node " << node;
+  }
+  EXPECT_EQ(total_recvs, static_cast<int>(n) - 1);
+
+  machine::MachineParams params = machine::presets::generic_risc(n, 1);
+  params.topology.kind = machine::TopologyKind::kRing;
+  params.topology.dims = {n, 1};
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_offline_workload(
+      n, [](Annotator& a, trace::NodeId s, std::uint32_t nn) {
+        reduce(a, s, nn, 0, 8, 300);
+      });
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, CollectiveNodesTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 13u));
+
+TEST(CollectivesTest, SingleNodeCollectivesAreNoOps) {
+  const auto traces = trace_collective(
+      1, [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+        barrier(a, s, n, 0);
+        broadcast(a, s, n, 0, 64, 10);
+        reduce(a, s, n, 0, 8, 20);
+      });
+  EXPECT_TRUE(traces[0].empty());
+}
+
+TEST(CollectivesTest, BarrierActuallySynchronizes) {
+  // Node 0 computes long before the barrier; node 1 not at all.  After the
+  // barrier both must be past node 0's compute time.
+  constexpr sim::Tick kWork = 500 * sim::kTicksPerMicrosecond;
+  machine::MachineParams params = machine::presets::generic_risc(2, 1);
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  trace::Workload w;
+  w.sources.push_back(std::make_unique<trace::VectorSource>([] {
+    VarTable vars;
+    VectorSink sink;
+    Annotator a(vars, sink);
+    a.compute(kWork);
+    barrier(a, 0, 2, 40);
+    return sink.take();
+  }()));
+  w.sources.push_back(std::make_unique<trace::VectorSource>([] {
+    VarTable vars;
+    VectorSink sink;
+    Annotator a(vars, sink);
+    barrier(a, 1, 2, 40);
+    return sink.take();
+  }()));
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+  EXPECT_GT(sim.now(), kWork);
+}
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,123 @@
+// Direct-execution baseline tests: folding correctness and — the paper's
+// central argument — blindness to cache parameters.
+#include "gen/direct_execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/apps.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::gen {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+using trace::Operation;
+
+TEST(DirectExecutionTest, FoldsComputationalRunsIntoCompute) {
+  DirectExecutionModel m;
+  m.cpu.frequency_hz = 100e6;  // 10 ns / cycle
+  m.assumed_memory_cycles = 2;
+  const std::vector<Operation> ops{
+      Operation::ifetch(0x1000),                  // 1 + 2 = 3 cycles
+      Operation::add(DataType::kInt32),           // 1
+      Operation::load(DataType::kInt32, 0x100),   // 1 + 2 = 3
+      Operation::asend(64, 1, 0),
+      Operation::div(DataType::kInt32),           // 16
+      Operation::recv(1, 0),
+  };
+  const auto folded = estimate_direct_execution(ops, m);
+  ASSERT_EQ(folded.size(), 4u);
+  EXPECT_EQ(folded[0].code, OpCode::kCompute);
+  EXPECT_EQ(folded[0].value, 70u * sim::kTicksPerNanosecond);  // 7 cycles
+  EXPECT_EQ(folded[1].code, OpCode::kASend);
+  EXPECT_EQ(folded[2].code, OpCode::kCompute);
+  EXPECT_EQ(folded[2].value, 160u * sim::kTicksPerNanosecond);
+  EXPECT_EQ(folded[3].code, OpCode::kRecv);
+}
+
+TEST(DirectExecutionTest, ExistingComputeOpsPassThrough) {
+  DirectExecutionModel m;
+  const std::vector<Operation> ops{
+      Operation::compute(999),
+      Operation::add(DataType::kInt32),
+  };
+  const auto folded = estimate_direct_execution(ops, m);
+  ASSERT_EQ(folded.size(), 2u);
+  EXPECT_EQ(folded[0].value, 999u);
+  EXPECT_EQ(folded[1].code, OpCode::kCompute);
+}
+
+TEST(DirectExecutionTest, EmptyTraceFoldsToEmpty) {
+  EXPECT_TRUE(
+      estimate_direct_execution({}, DirectExecutionModel{}).empty());
+}
+
+TEST(DirectExecutionTest, WorkloadRunsOnCommModel) {
+  const auto traces = record_app_traces(
+      4, [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+        stencil_spmd(a, s, n, StencilParams{16, 2});
+      });
+  DirectExecutionModel dem;
+  dem.cpu = machine::presets::t805_multicomputer(2, 2).node.cpu;
+  auto w = make_direct_execution_workload(traces, dem);
+  machine::MachineParams params = machine::presets::t805_multicomputer(2, 2);
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  const auto handles = m.launch_task_level(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+  EXPECT_GT(m.total_messages(), 0u);
+}
+
+// The paper's Section 2 argument, as an executable fact: sweeping the L1
+// size moves the detailed model's execution time but cannot move the
+// direct-execution estimate.
+TEST(DirectExecutionTest, BlindToCacheParameters) {
+  const AppFn app = [](Annotator& a, trace::NodeId s, std::uint32_t n) {
+    compute_kernel(a, s, n, ComputeKernelParams{8192, 2, 1});
+  };
+
+  auto detailed_time = [&](std::uint64_t l1_bytes) {
+    machine::MachineParams params = machine::presets::generic_risc(1, 1);
+    params.topology.dims = {1, 1};
+    params.node.memory.split_l1 = false;
+    params.node.memory.levels = {machine::CacheLevelParams{
+        l1_bytes, 32, 2, 1, machine::WritePolicy::kWriteBack, true}};
+    sim::Simulator sim;
+    node::Machine m(sim, params);
+    auto w = make_offline_workload(1, app);
+    m.launch_detailed(w);
+    sim.run();
+    return sim.now();
+  };
+
+  auto direct_time = [&](std::uint64_t /*l1_bytes: unused — that's the point*/) {
+    DirectExecutionModel dem;
+    dem.cpu = machine::presets::generic_risc(1, 1).node.cpu;
+    machine::MachineParams params = machine::presets::generic_risc(1, 1);
+    params.topology.dims = {1, 1};
+    sim::Simulator sim;
+    node::Machine m(sim, params);
+    auto w = make_direct_execution_workload(record_app_traces(1, app), dem);
+    m.launch_task_level(w);
+    sim.run();
+    return sim.now();
+  };
+
+  // Working set is 2 x 8192 doubles = 128 KiB.
+  const auto detailed_small = detailed_time(4 * 1024);
+  const auto detailed_large = detailed_time(256 * 1024);
+  EXPECT_GT(detailed_small, detailed_large * 12 / 10)
+      << "detailed model must react to cache size";
+
+  const auto direct_small = direct_time(4 * 1024);
+  const auto direct_large = direct_time(256 * 1024);
+  EXPECT_EQ(direct_small, direct_large)
+      << "direct execution cannot react to cache size";
+}
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,275 @@
+// Stochastic generator tests: determinism, the cross-node send/recv matching
+// property (parameterized over every pattern), mix proportions, and machine
+// runs that must terminate.
+#include "gen/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::gen {
+namespace {
+
+using trace::OpCode;
+using trace::Operation;
+
+std::vector<Operation> drain(trace::OperationSource& src) {
+  std::vector<Operation> out;
+  while (auto op = src.next()) out.push_back(*op);
+  return out;
+}
+
+StochasticDescription small_desc() {
+  StochasticDescription d;
+  d.instructions_per_round = 200;
+  d.rounds = 3;
+  d.seed = 99;
+  return d;
+}
+
+TEST(StochasticTest, SameSeedSameTrace) {
+  StochasticSource a(small_desc(), 1, 4);
+  StochasticSource b(small_desc(), 1, 4);
+  EXPECT_EQ(drain(a), drain(b));
+}
+
+TEST(StochasticTest, DifferentNodesDifferentComputation) {
+  StochasticSource a(small_desc(), 0, 4);
+  StochasticSource b(small_desc(), 1, 4);
+  EXPECT_NE(drain(a), drain(b));
+}
+
+TEST(StochasticTest, TraceEndsAfterConfiguredRounds) {
+  StochasticSource src(small_desc(), 0, 1);
+  const auto ops = drain(src);
+  EXPECT_FALSE(ops.empty());
+  EXPECT_EQ(src.next(), std::nullopt);
+  std::uint64_t instructions = 0;
+  for (const auto& op : ops) {
+    if (op.code == OpCode::kIFetch) ++instructions;
+  }
+  // Roughly rounds * instructions_per_round fetches (branches add a few).
+  EXPECT_GE(instructions, 3u * 200u);
+}
+
+TEST(StochasticTest, MixProportionsRoughlyHonored) {
+  StochasticDescription d = small_desc();
+  d.instructions_per_round = 20000;
+  d.rounds = 1;
+  d.comm.pattern = CommPattern::kNone;
+  d.mix = OperationMix{};
+  StochasticSource src(d, 0, 1);
+  std::map<OpCode, int> histogram;
+  for (const auto& op : drain(src)) histogram[op.code] += 1;
+  const double total = 20000;
+  EXPECT_NEAR(histogram[OpCode::kLoad] / total, 0.25, 0.02);
+  EXPECT_NEAR(histogram[OpCode::kStore] / total, 0.10, 0.02);
+  EXPECT_NEAR(histogram[OpCode::kAdd] / total, 0.30, 0.02);
+  EXPECT_NEAR(histogram[OpCode::kDiv] / total, 0.05, 0.01);
+  // Branch fraction applies on top of instructions.
+  EXPECT_NEAR(histogram[OpCode::kBranch] / total, 0.10, 0.02);
+}
+
+TEST(StochasticTest, AddressesStayInWorkingSets) {
+  StochasticDescription d = small_desc();
+  d.memory.data_working_set = 4096;
+  d.memory.code_working_set = 1024;
+  d.comm.pattern = CommPattern::kNone;
+  StochasticSource src(d, 0, 1);
+  for (const auto& op : drain(src)) {
+    if (trace::is_memory_access(op.code)) {
+      EXPECT_GE(op.value, 0x100000u);
+      EXPECT_LT(op.value, 0x100000u + 4096 + 8);
+    } else if (trace::is_instruction_fetch(op.code)) {
+      EXPECT_GE(op.value, 0x1000u);
+      EXPECT_LT(op.value, 0x1000u + 1024u);
+    }
+  }
+}
+
+TEST(StochasticTest, TaskLevelEmitsComputeAndComm) {
+  StochasticDescription d = small_desc();
+  d.task_level = true;
+  d.comm.pattern = CommPattern::kRing;
+  StochasticSource src(d, 0, 4);
+  const auto ops = drain(src);
+  int computes = 0;
+  int comms = 0;
+  for (const auto& op : ops) {
+    if (op.code == OpCode::kCompute) {
+      ++computes;
+      EXPECT_GT(op.value, 0u);
+    } else {
+      EXPECT_TRUE(trace::is_communication(op.code));
+      ++comms;
+    }
+  }
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(comms, 3 * 2);  // asend + recv per round
+}
+
+// The matching property: across all nodes, sends to j with tag t equal
+// recvs at j expecting tag t, for every pattern and node count.
+struct MatchCase {
+  CommPattern pattern;
+  std::uint32_t nodes;
+  bool synchronous;
+};
+
+class StochasticMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(StochasticMatchTest, EverySendHasAMatchingRecv) {
+  const MatchCase c = GetParam();
+  StochasticDescription d = small_desc();
+  d.comm.pattern = c.pattern;
+  d.comm.synchronous = c.synchronous;
+  d.comm.exponential_sizes = true;
+
+  for (std::uint32_t round = 0; round < d.rounds; ++round) {
+    // (source, dest, tag) -> count, from both directions.
+    std::map<std::tuple<int, int, int>, int> sends;
+    std::map<std::tuple<int, int, int>, int> recvs;
+    for (std::uint32_t n = 0; n < c.nodes; ++n) {
+      const auto ops = StochasticSource::comm_schedule(
+          d, static_cast<trace::NodeId>(n), c.nodes, round);
+      for (const auto& op : ops) {
+        if (op.code == OpCode::kSend || op.code == OpCode::kASend) {
+          sends[{static_cast<int>(n), op.peer, op.tag}] += 1;
+        } else if (op.code == OpCode::kRecv) {
+          recvs[{op.peer, static_cast<int>(n), op.tag}] += 1;
+        }
+      }
+    }
+    EXPECT_EQ(sends, recvs) << "pattern mismatch in round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, StochasticMatchTest,
+    ::testing::Values(MatchCase{CommPattern::kRing, 4, false},
+                      MatchCase{CommPattern::kRing, 7, true},
+                      MatchCase{CommPattern::kShift, 8, false},
+                      MatchCase{CommPattern::kAllToAll, 5, false},
+                      MatchCase{CommPattern::kGather, 6, false},
+                      MatchCase{CommPattern::kRandomPerm, 8, false},
+                      MatchCase{CommPattern::kRandomPerm, 3, false},
+                      MatchCase{CommPattern::kNone, 4, false}));
+
+// End-to-end: stochastic workloads must run to completion on a real machine
+// (no deadlock) at both abstraction levels.
+class StochasticRunTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(StochasticRunTest, WorkloadRunsToCompletionTaskLevel) {
+  const MatchCase c = GetParam();
+  StochasticDescription d = small_desc();
+  d.task_level = true;
+  d.comm.pattern = c.pattern;
+  d.comm.synchronous = c.synchronous;
+  machine::MachineParams params =
+      machine::presets::generic_risc(c.nodes, 1);
+  params.topology.kind = machine::TopologyKind::kRing;
+  params.topology.dims = {c.nodes, 1};
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_stochastic_task_workload(d, c.nodes);
+  const auto handles = m.launch_task_level(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles))
+      << "deadlocked stochastic workload";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, StochasticRunTest,
+    ::testing::Values(MatchCase{CommPattern::kRing, 4, false},
+                      MatchCase{CommPattern::kRing, 4, true},
+                      MatchCase{CommPattern::kRing, 5, true},
+                      MatchCase{CommPattern::kAllToAll, 4, false},
+                      MatchCase{CommPattern::kGather, 5, false},
+                      MatchCase{CommPattern::kRandomPerm, 8, false}));
+
+TEST(StochasticTest, DetailedWorkloadRunsOnMulticomputer) {
+  StochasticDescription d = small_desc();
+  d.instructions_per_round = 100;
+  d.comm.pattern = CommPattern::kRing;
+  machine::MachineParams params = machine::presets::t805_multicomputer(2, 2);
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_stochastic_workload(d, 4);
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+  EXPECT_GT(m.total_messages(), 0u);
+}
+
+TEST(StochasticTest, PhasesAlternateBehaviour) {
+  StochasticDescription d = small_desc();
+  d.rounds = 2;
+  // Phase 0: pure FP arithmetic, ring comm.  Phase 1: pure loads, gather.
+  StochasticPhase fp;
+  fp.instructions = 500;
+  fp.mix = OperationMix{0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0};
+  fp.comm.pattern = CommPattern::kRing;
+  StochasticPhase mem;
+  mem.instructions = 300;
+  mem.mix = OperationMix{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  mem.comm.pattern = CommPattern::kGather;
+  d.phases = {fp, mem};
+
+  StochasticSource src(d, 1, 4);
+  const auto ops = drain(src);
+  // Segment structure: adds before the first comm op, loads after.
+  std::uint64_t adds = 0;
+  std::uint64_t loads = 0;
+  for (const auto& op : ops) {
+    if (op.code == OpCode::kAdd) ++adds;
+    if (op.code == OpCode::kLoad) ++loads;
+  }
+  EXPECT_EQ(adds, 2u * 500u);
+  EXPECT_EQ(loads, 2u * 300u);
+  // Both comm patterns appear (ring: asend+recv; gather from node 1: asend
+  // then recv of the scatter).
+  std::uint64_t asends = 0;
+  for (const auto& op : ops) {
+    if (op.code == OpCode::kASend) ++asends;
+  }
+  EXPECT_EQ(asends, 2u * 2u);  // one per phase per round
+}
+
+TEST(StochasticTest, PhasedWorkloadStillMatchesAcrossNodes) {
+  StochasticDescription d = small_desc();
+  d.rounds = 2;
+  StochasticPhase a;
+  a.comm.pattern = CommPattern::kRing;
+  StochasticPhase b;
+  b.comm.pattern = CommPattern::kAllToAll;
+  d.phases = {a, b};
+
+  machine::MachineParams params = machine::presets::generic_risc(2, 2);
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_stochastic_task_workload(d, 4);
+  const auto handles = m.launch_task_level(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+}
+
+TEST(StochasticTest, MultiCpuWorkloadOnlyCpu0Communicates) {
+  StochasticDescription d = small_desc();
+  d.comm.pattern = CommPattern::kRing;
+  auto w = make_stochastic_workload(d, 2, /*cpus_per_node=*/2);
+  ASSERT_EQ(w.node_count(), 4u);
+  // Sources 1 and 3 (cpu 1 of each node) must contain no communication.
+  for (std::size_t idx : {1u, 3u}) {
+    auto& src = *w.sources[idx];
+    while (auto op = src.next()) {
+      EXPECT_FALSE(trace::is_communication(op->code));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace merm::gen

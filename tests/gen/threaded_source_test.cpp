@@ -1,0 +1,222 @@
+// Physical-time interleaving tests (Sections 2, 3.1).
+//
+// The crucial properties: (1) a threaded application suspends at every
+// global event until the simulator resumes it, (2) for timing-independent
+// programs the threaded trace equals the offline trace, and (3) for
+// timing-*dependent* programs the generated trace differs across
+// architectures — the whole reason naive trace-driven simulation is invalid
+// for multiprocessors.
+#include "gen/threaded_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "gen/apps.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::gen {
+namespace {
+
+using trace::OpCode;
+using trace::Operation;
+
+TEST(ThreadedSourceTest, DrainsLocalOperations) {
+  ThreadedSource src([](AppContext& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      ctx.emit(Operation::add(trace::DataType::kInt32));
+    }
+  });
+  int count = 0;
+  while (auto op = src.next()) {
+    EXPECT_EQ(op->code, OpCode::kAdd);
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(src.next(), std::nullopt);
+}
+
+TEST(ThreadedSourceTest, GlobalEventSuspendsUntilDone) {
+  ThreadedSource src([](AppContext& ctx) {
+    ctx.emit(Operation::asend(64, 1, 0));
+    // This line must not run before global_event_done:
+    ctx.emit(Operation::compute(static_cast<sim::Tick>(ctx.now())));
+  });
+  auto op = src.next();
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->code, OpCode::kASend);
+  // The app is now suspended; pulling again without completing the global
+  // event is a protocol violation and must fail loudly.
+  EXPECT_THROW(src.next(), std::logic_error);
+  src.global_event_done(123456);
+  auto op2 = src.next();
+  ASSERT_TRUE(op2.has_value());
+  EXPECT_EQ(op2->code, OpCode::kCompute);
+  // The app observed the simulated completion time via the feedback path.
+  EXPECT_EQ(op2->value, 123456u);
+}
+
+TEST(ThreadedSourceTest, AppExceptionSurfacesFromNext) {
+  ThreadedSource src([](AppContext& ctx) {
+    ctx.emit(Operation::compute(1));
+    throw std::runtime_error("app exploded");
+  });
+  // Drain until the error arrives.
+  try {
+    while (src.next()) {
+    }
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "app exploded");
+  }
+}
+
+TEST(ThreadedSourceTest, DestructionUnblocksRunningApp) {
+  // App emits forever; destroying the source must not hang.
+  auto src = std::make_unique<ThreadedSource>(
+      [](AppContext& ctx) {
+        for (;;) {
+          ctx.emit(Operation::add(trace::DataType::kInt32));
+        }
+      },
+      /*queue_capacity=*/16);
+  for (int i = 0; i < 5; ++i) src->next();
+  src.reset();  // joins the thread; test passes if it returns
+  SUCCEED();
+}
+
+TEST(ThreadedSourceTest, DestructionUnblocksAppWaitingOnGlobalEvent) {
+  auto src = std::make_unique<ThreadedSource>([](AppContext& ctx) {
+    ctx.emit(Operation::recv(0, 0));
+    ctx.emit(Operation::compute(1));
+  });
+  src->next();  // app now suspended at the recv
+  src.reset();
+  SUCCEED();
+}
+
+TEST(ThreadedSourceTest, BoundedQueueThrottlesRunahead) {
+  // With capacity 4, the app cannot run arbitrarily far ahead.
+  std::atomic<int> emitted{0};
+  ThreadedSource src(
+      [&emitted](AppContext& ctx) {
+        for (int i = 0; i < 100; ++i) {
+          ctx.emit(Operation::add(trace::DataType::kInt32));
+          emitted.fetch_add(1);
+        }
+      },
+      /*queue_capacity=*/4);
+  // Give the app thread a chance to run ahead as far as it can.
+  auto first = src.next();
+  ASSERT_TRUE(first.has_value());
+  for (int spin = 0; spin < 1000 && emitted.load() < 5; ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_LE(emitted.load(), 6);  // capacity + in-flight slack
+  while (src.next()) {
+  }
+  EXPECT_EQ(emitted.load(), 100);
+}
+
+TEST(ThreadedSourceTest, ThreadedTraceEqualsOfflineForDeterministicApp) {
+  const AppFn app = [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+    stencil_spmd(a, self, nodes, StencilParams{16, 2});
+  };
+  const auto offline = record_app_traces(4, app);
+
+  // Pull each threaded source to exhaustion, acknowledging global events.
+  auto threaded = make_threaded_workload(4, app);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    std::vector<Operation> ops;
+    auto& src = *threaded.sources[n];
+    while (auto op = src.next()) {
+      ops.push_back(*op);
+      if (trace::is_global_event(op->code)) {
+        src.global_event_done(static_cast<sim::Tick>(ops.size()));
+      }
+    }
+    EXPECT_EQ(ops, offline[n]) << "node " << n;
+  }
+}
+
+TEST(ThreadedSourceTest, ThreadedWorkloadRunsOnMachine) {
+  // End-to-end: real threads driving the detailed model, with the simulator
+  // controlling thread resumption (the paper's actual configuration).
+  machine::MachineParams params = machine::presets::t805_multicomputer(2, 1);
+  sim::Simulator sim;
+  node::Machine m(sim, params);
+  auto w = make_threaded_workload(
+      2, [](Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        pingpong(a, self, nodes, PingPongParams{4, 256});
+      });
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles));
+  EXPECT_EQ(m.total_messages(), 2u * 8u);  // 8 sync messages + 8 acks
+}
+
+// A timing-dependent application: it performs extra work only when the
+// observed round-trip of its exchange exceeds a deadline.  On a slow network
+// the trace therefore contains more operations than on a fast one — the
+// physical-time interleaving captures architecture-dependent control flow.
+// It needs AppContext::now(), so it is built directly on ThreadedSource.
+trace::Workload make_adaptive_workload(sim::Tick deadline) {
+  trace::Workload w;
+  for (trace::NodeId self = 0; self < 2; ++self) {
+    w.sources.push_back(std::make_unique<ThreadedSource>(
+        [self, deadline](AppContext& ctx) {
+          VarTable vars;
+          Annotator a(vars, ctx);
+          const VarId x = vars.declare_global("x", trace::DataType::kDouble);
+          const trace::NodeId peer = 1 - self;
+          for (int round = 0; round < 4; ++round) {
+            const sim::Tick before = ctx.now();
+            if (self == 0) {
+              a.send(512, peer, round);
+              a.recv(peer, round);
+            } else {
+              a.recv(peer, round);
+              a.send(512, peer, round);
+            }
+            const sim::Tick elapsed = ctx.now() - before;
+            if (elapsed > deadline) {
+              // Architecture-dependent branch: catch-up work.
+              for (int i = 0; i < 50; ++i) {
+                a.binop(trace::OpCode::kAdd, x, x, x);
+              }
+            }
+          }
+        }));
+  }
+  return w;
+}
+
+TEST(ThreadedSourceTest, TimingDependentControlFlowDiffersAcrossMachines) {
+  // Fast network: the exchange beats the deadline, no catch-up work.
+  // Slow network (T805 store-and-forward): deadline blown, extra work traced.
+  const sim::Tick deadline = 200 * sim::kTicksPerMicrosecond;
+
+  auto run_ops = [&](const machine::MachineParams& params) {
+    sim::Simulator sim;
+    node::Machine m(sim, params);
+    auto w = make_adaptive_workload(deadline);
+    const auto handles = m.launch_detailed(w);
+    sim.run();
+    EXPECT_TRUE(node::Machine::all_finished(handles));
+    return m.compute_node(0).cpu(0).ops_executed.value() +
+           m.compute_node(1).cpu(0).ops_executed.value();
+  };
+
+  machine::MachineParams fast = machine::presets::generic_risc(2, 1);
+  machine::MachineParams slow = machine::presets::t805_multicomputer(2, 1);
+  const auto ops_fast = run_ops(fast);
+  const auto ops_slow = run_ops(slow);
+  EXPECT_GT(ops_slow, ops_fast)
+      << "slow machine should trigger the catch-up branch";
+}
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,109 @@
+// Variable descriptor table tests (Section 5.1).
+#include "gen/vartable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::gen {
+namespace {
+
+using trace::DataType;
+
+TEST(VarTableTest, GlobalsGetDistinctDataSegmentAddresses) {
+  VarTable t;
+  const VarId a = t.declare_global("a", DataType::kDouble);
+  const VarId b = t.declare_global("b", DataType::kInt32);
+  EXPECT_EQ(t[a].address, t.layout().data_base);
+  EXPECT_EQ(t[b].address, t.layout().data_base + 8);
+  EXPECT_EQ(t[a].storage, StorageClass::kGlobal);
+  EXPECT_FALSE(t[a].in_register);
+}
+
+TEST(VarTableTest, ArraysReserveElementsTimesSize) {
+  VarTable t;
+  const VarId arr = t.declare_global("arr", DataType::kDouble, 100);
+  const VarId next = t.declare_global("next", DataType::kInt8);
+  EXPECT_EQ(t[next].address, t[arr].address + 800);
+  EXPECT_EQ(t[arr].element_address(3), t[arr].address + 24);
+}
+
+TEST(VarTableTest, AddressesAreElementAligned) {
+  VarTable t;
+  t.declare_global("c", DataType::kInt8);
+  const VarId d = t.declare_global("d", DataType::kDouble);
+  EXPECT_EQ(t[d].address % 8, 0u);
+}
+
+TEST(VarTableTest, LocalsGrowDownwardFromStackBase) {
+  VarTable t;
+  const VarId x = t.declare_local("x", DataType::kInt32);
+  const VarId y = t.declare_local("y", DataType::kDouble, 4);
+  EXPECT_LT(t[x].address, t.layout().stack_base);
+  EXPECT_LT(t[y].address, t[x].address);
+  EXPECT_EQ(t[y].address % 8, 0u);
+  EXPECT_EQ(t[x].storage, StorageClass::kLocal);
+}
+
+TEST(VarTableTest, FirstArgumentsAreRegisterAllocated) {
+  VarTable t;
+  t.push_frame();
+  for (std::uint32_t i = 0; i < VarTable::kRegisterArgs; ++i) {
+    const VarId v =
+        t.declare_argument("arg" + std::to_string(i), DataType::kInt32);
+    EXPECT_TRUE(t[v].in_register) << i;
+  }
+  const VarId spilled = t.declare_argument("spilled", DataType::kInt32);
+  EXPECT_FALSE(t[spilled].in_register);
+  EXPECT_LT(t[spilled].address, t.layout().stack_base);
+}
+
+TEST(VarTableTest, FramesReclaimStackAndVars) {
+  VarTable t;
+  const VarId outer = t.declare_local("outer", DataType::kInt32);
+  const std::size_t before = t.size();
+  t.push_frame();
+  const VarId inner = t.declare_local("inner", DataType::kDouble, 16);
+  EXPECT_LT(t[inner].address, t[outer].address);
+  EXPECT_EQ(t.frame_depth(), 2u);
+  const std::uint64_t inner_addr = t[inner].address;
+  t.pop_frame();
+  EXPECT_EQ(t.size(), before);
+  EXPECT_EQ(t.frame_depth(), 1u);
+  // New locals reuse the reclaimed stack space.
+  const VarId again = t.declare_local("again", DataType::kDouble, 16);
+  EXPECT_EQ(t[again].address, inner_addr);
+  EXPECT_LT(t[again].address, t[outer].address);
+}
+
+TEST(VarTableTest, PopOutermostFrameThrows) {
+  VarTable t;
+  EXPECT_THROW(t.pop_frame(), std::logic_error);
+}
+
+TEST(VarTableTest, PromoteToRegister) {
+  VarTable t;
+  const VarId i = t.declare_local("i", DataType::kInt32);
+  t.promote_to_register(i);
+  EXPECT_TRUE(t[i].in_register);
+  const VarId arr = t.declare_local("arr", DataType::kInt32, 8);
+  EXPECT_THROW(t.promote_to_register(arr), std::invalid_argument);
+}
+
+TEST(VarTableTest, ZeroElementsRejected) {
+  VarTable t;
+  EXPECT_THROW(t.declare_global("z", DataType::kInt32, 0),
+               std::invalid_argument);
+  EXPECT_THROW(t.declare_local("z", DataType::kInt32, 0),
+               std::invalid_argument);
+}
+
+TEST(VarTableTest, RegionsAreDisjoint) {
+  VarTable t;
+  const VarId g = t.declare_global("g", DataType::kInt64, 1000);
+  const VarId l = t.declare_local("l", DataType::kInt64, 1000);
+  // Globals sit far below locals; code below globals.
+  EXPECT_LT(t.layout().code_base, t[g].address);
+  EXPECT_LT(t[g].address + 8000, t[l].address);
+}
+
+}  // namespace
+}  // namespace merm::gen

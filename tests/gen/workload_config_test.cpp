@@ -1,0 +1,157 @@
+// Workload description file tests: round trips, overrides, errors, and
+// behavioural equivalence of a parsed description with its source.
+#include "gen/workload_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::gen {
+namespace {
+
+StochasticDescription sample_desc() {
+  StochasticDescription d;
+  d.instructions_per_round = 12345;
+  d.rounds = 7;
+  d.seed = 99;
+  d.task_level = true;
+  d.mean_task_ticks = 250 * sim::kTicksPerMicrosecond;
+  d.mix.load = 0.4;
+  d.mix.div = 0.11;
+  d.mix.fp_fraction = 0.55;
+  d.memory.data_working_set = 1 << 20;
+  d.memory.spatial_locality = 0.9;
+  d.comm.pattern = CommPattern::kGather;
+  d.comm.message_bytes = 777;
+  d.comm.exponential_sizes = true;
+  d.comm.synchronous = true;
+  return d;
+}
+
+TEST(WorkloadConfigTest, RoundTripPreservesEverything) {
+  const StochasticDescription d = sample_desc();
+  const StochasticDescription back =
+      parse_workload_string(write_workload_string(d));
+  EXPECT_EQ(back.instructions_per_round, d.instructions_per_round);
+  EXPECT_EQ(back.rounds, d.rounds);
+  EXPECT_EQ(back.seed, d.seed);
+  EXPECT_EQ(back.task_level, d.task_level);
+  EXPECT_EQ(back.mean_task_ticks, d.mean_task_ticks);
+  EXPECT_DOUBLE_EQ(back.mix.load, d.mix.load);
+  EXPECT_DOUBLE_EQ(back.mix.div, d.mix.div);
+  EXPECT_DOUBLE_EQ(back.mix.fp_fraction, d.mix.fp_fraction);
+  EXPECT_EQ(back.memory.data_working_set, d.memory.data_working_set);
+  EXPECT_DOUBLE_EQ(back.memory.spatial_locality, d.memory.spatial_locality);
+  EXPECT_EQ(back.comm.pattern, d.comm.pattern);
+  EXPECT_EQ(back.comm.message_bytes, d.comm.message_bytes);
+  EXPECT_EQ(back.comm.exponential_sizes, d.comm.exponential_sizes);
+  EXPECT_EQ(back.comm.synchronous, d.comm.synchronous);
+}
+
+TEST(WorkloadConfigTest, ParsedDescriptionGeneratesIdenticalTraces) {
+  const StochasticDescription d = sample_desc();
+  const StochasticDescription parsed =
+      parse_workload_string(write_workload_string(d));
+  StochasticSource a(d, 1, 4);
+  StochasticSource b(parsed, 1, 4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto opa = a.next();
+    const auto opb = b.next();
+    ASSERT_EQ(opa.has_value(), opb.has_value());
+    if (!opa) break;
+    ASSERT_EQ(*opa, *opb) << "diverged at op " << i;
+  }
+}
+
+TEST(WorkloadConfigTest, OverridesOnTopOfBase) {
+  StochasticDescription base;
+  base.rounds = 10;
+  base.comm.pattern = CommPattern::kRing;
+  std::istringstream is("rounds = 3\n[comm]\npattern = all_to_all\n");
+  const StochasticDescription d = parse_workload(is, base);
+  EXPECT_EQ(d.rounds, 3u);
+  EXPECT_EQ(d.comm.pattern, CommPattern::kAllToAll);
+  EXPECT_EQ(d.instructions_per_round, base.instructions_per_round);
+}
+
+TEST(WorkloadConfigTest, AllPatternsRoundTrip) {
+  for (const CommPattern p :
+       {CommPattern::kNone, CommPattern::kRing, CommPattern::kShift,
+        CommPattern::kAllToAll, CommPattern::kGather,
+        CommPattern::kRandomPerm}) {
+    StochasticDescription d;
+    d.comm.pattern = p;
+    EXPECT_EQ(parse_workload_string(write_workload_string(d)).comm.pattern, p)
+        << to_string(p);
+  }
+}
+
+TEST(WorkloadConfigTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_workload_string("rounds = 2\nbogus = 1\n");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(WorkloadConfigTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_workload_string("[comm]\npattern = telepathy\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("rounds banana\n"), std::runtime_error);
+  EXPECT_THROW(parse_workload_string("[mystery]\nx = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("rounds = not_a_number\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_workload_string("[comm\npattern = ring\n"),
+               std::runtime_error);
+}
+
+TEST(WorkloadConfigTest, PhasesParseAndRoundTrip) {
+  const StochasticDescription d = parse_workload_string(
+      "rounds = 3\n"
+      "instructions_per_round = 1000\n"
+      "[comm]\n"
+      "pattern = ring\n"
+      "[phase.0]\n"
+      "instructions = 800\n"
+      "fp_fraction = 0.9\n"
+      "pattern = ring\n"
+      "[phase.1]\n"
+      "instructions = 200\n"
+      "data_working_set = 1048576\n"
+      "pattern = gather\n");
+  ASSERT_EQ(d.phases.size(), 2u);
+  EXPECT_EQ(d.phases[0].instructions, 800u);
+  EXPECT_DOUBLE_EQ(d.phases[0].mix.fp_fraction, 0.9);
+  EXPECT_EQ(d.phases[0].comm.pattern, CommPattern::kRing);
+  EXPECT_EQ(d.phases[1].instructions, 200u);
+  EXPECT_EQ(d.phases[1].memory.data_working_set, 1u << 20);
+  EXPECT_EQ(d.phases[1].comm.pattern, CommPattern::kGather);
+  // Phase 1 inherited unset fields from the top level.
+  EXPECT_DOUBLE_EQ(d.phases[1].mix.load, OperationMix{}.load);
+
+  const StochasticDescription back =
+      parse_workload_string(write_workload_string(d));
+  ASSERT_EQ(back.phases.size(), 2u);
+  EXPECT_EQ(back.phases[0].instructions, 800u);
+  EXPECT_EQ(back.phases[1].comm.pattern, CommPattern::kGather);
+
+  // And the parsed phased description generates identical traces.
+  StochasticSource sa(d, 0, 4);
+  StochasticSource sb(back, 0, 4);
+  for (int i = 0; i < 3000; ++i) {
+    const auto oa = sa.next();
+    const auto ob = sb.next();
+    ASSERT_EQ(oa.has_value(), ob.has_value());
+    if (!oa) break;
+    ASSERT_EQ(*oa, *ob);
+  }
+}
+
+TEST(WorkloadConfigTest, CommentsIgnored) {
+  const StochasticDescription d = parse_workload_string(
+      "; full-line comment\nrounds = 4  # trailing\n");
+  EXPECT_EQ(d.rounds, 4u);
+}
+
+}  // namespace
+}  // namespace merm::gen

@@ -1,0 +1,202 @@
+// End-to-end integration tests reproducing the paper's structural claims:
+// Fig. 1 (both generators -> architecture models -> analysis), Fig. 2 (the
+// hybrid model), Fig. 4 (the full workload-modelling matrix), and Section
+// 3.1 (trace validity under physical-time interleaving).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "gen/direct_execution.hpp"
+#include "gen/stochastic.hpp"
+#include "gen/threaded_source.hpp"
+#include "machine/config.hpp"
+#include "trace/trace_io.hpp"
+
+namespace merm {
+namespace {
+
+// Fig. 4 matrix, quadrant 1: reality-based, instruction level.
+TEST(EnvironmentTest, RealityBasedInstructionLevel) {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  auto w = gen::make_offline_workload(
+      4, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::matmul_spmd(a, s, n, gen::MatmulParams{16});
+      });
+  const auto r = wb.run_detailed(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.operations, 1000u);
+}
+
+// Quadrant 2: stochastic, instruction level.
+TEST(EnvironmentTest, StochasticInstructionLevel) {
+  core::Workbench wb(machine::presets::generic_risc(2, 2));
+  gen::StochasticDescription d;
+  d.instructions_per_round = 500;
+  d.rounds = 2;
+  d.comm.pattern = gen::CommPattern::kRing;
+  auto w = gen::make_stochastic_workload(d, 4);
+  const auto r = wb.run_detailed(w);
+  EXPECT_TRUE(r.completed);
+}
+
+// Quadrant 3: reality-based, task level (via the hybrid model's recorder).
+TEST(EnvironmentTest, RealityBasedTaskLevel) {
+  core::Workbench detailed(machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::stencil_spmd(a, s, n, gen::StencilParams{16, 2});
+      });
+  std::vector<node::TaskRecorder> recorders;
+  const auto r1 = detailed.run_detailed(w, sim::kTickMax, &recorders);
+  ASSERT_TRUE(r1.completed);
+
+  core::Workbench task(machine::presets::t805_multicomputer(2, 1));
+  trace::Workload tasks;
+  for (const auto& rec : recorders) {
+    tasks.sources.push_back(
+        std::make_unique<trace::VectorSource>(rec.task_trace()));
+  }
+  const auto r2 = task.run_task_level(tasks);
+  ASSERT_TRUE(r2.completed);
+  // The derived task-level model reproduces the detailed execution time.
+  const double err = std::abs(static_cast<double>(r2.simulated_time) -
+                              static_cast<double>(r1.simulated_time)) /
+                     static_cast<double>(r1.simulated_time);
+  EXPECT_LT(err, 0.05) << "task-level " << r2.simulated_time << " vs detailed "
+                       << r1.simulated_time;
+  // And it needs far fewer kernel events (that's the speedup mechanism).
+  EXPECT_LT(r2.events_processed, r1.events_processed / 10);
+}
+
+// Quadrant 4: stochastic, task level.
+TEST(EnvironmentTest, StochasticTaskLevel) {
+  core::Workbench wb(machine::presets::t805_multicomputer(4, 4));
+  gen::StochasticDescription d;
+  d.rounds = 3;
+  d.comm.pattern = gen::CommPattern::kRandomPerm;
+  auto w = gen::make_stochastic_task_workload(d, 16);
+  const auto r = wb.run_task_level(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.messages, 0u);
+}
+
+// Fig. 1 round trip including the analysis layer: run, register stats,
+// export CSV, write traces to disk formats.
+TEST(EnvironmentTest, FullEnvironmentRoundTrip) {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.register_all_stats();
+  const auto traces = gen::record_app_traces(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::allreduce_spmd(a, s, n, gen::AllReduceParams{32, 1});
+      });
+  // Traces survive a binary round trip and then drive the simulation.
+  std::stringstream buf;
+  trace::write_binary(buf, traces);
+  const auto loaded = trace::read_binary(buf);
+  trace::Workload w;
+  for (const auto& ops : loaded) {
+    w.sources.push_back(std::make_unique<trace::VectorSource>(ops));
+  }
+  const auto r = wb.run_detailed(w);
+  ASSERT_TRUE(r.completed);
+
+  std::ostringstream csv;
+  wb.stats().write_csv(csv);
+  EXPECT_NE(csv.str().find("t805.net.messages,counter,"), std::string::npos);
+  std::ostringstream report;
+  wb.stats().print_report(report);
+  EXPECT_FALSE(report.str().empty());
+}
+
+// Section 3.1's validity claim, end to end: with physical-time interleaving,
+// a threaded (live) generator and an offline recording of the same
+// deterministic program produce identical simulated executions.
+TEST(EnvironmentTest, ThreadedAndOfflineRunsAgreeExactly) {
+  const gen::AppFn app = [](gen::Annotator& a, trace::NodeId s,
+                            std::uint32_t n) {
+    gen::matmul_spmd(a, s, n, gen::MatmulParams{8});
+  };
+  core::Workbench wb1(machine::presets::t805_multicomputer(2, 1));
+  auto offline = gen::make_offline_workload(2, app);
+  const auto r_offline = wb1.run_detailed(offline);
+
+  core::Workbench wb2(machine::presets::t805_multicomputer(2, 1));
+  auto threaded = gen::make_threaded_workload(2, app);
+  const auto r_threaded = wb2.run_detailed(threaded);
+
+  ASSERT_TRUE(r_offline.completed);
+  ASSERT_TRUE(r_threaded.completed);
+  EXPECT_EQ(r_offline.simulated_time, r_threaded.simulated_time);
+  EXPECT_EQ(r_offline.messages, r_threaded.messages);
+  EXPECT_EQ(r_offline.operations, r_threaded.operations);
+}
+
+// A machine built from a config file behaves identically to its preset.
+TEST(EnvironmentTest, ConfigFileMachineMatchesPreset) {
+  const auto preset = machine::presets::t805_multicomputer(2, 1);
+  const auto from_config =
+      machine::parse_config_string(machine::write_config_string(preset));
+
+  const gen::AppFn app = [](gen::Annotator& a, trace::NodeId s,
+                            std::uint32_t n) {
+    gen::stencil_spmd(a, s, n, gen::StencilParams{16, 2});
+  };
+  core::Workbench wb1(preset);
+  auto w1 = gen::make_offline_workload(2, app);
+  core::Workbench wb2(from_config);
+  auto w2 = gen::make_offline_workload(2, app);
+  EXPECT_EQ(wb1.run_detailed(w1).simulated_time,
+            wb2.run_detailed(w2).simulated_time);
+}
+
+// Determinism across the whole stack: identical runs are bit-identical.
+TEST(EnvironmentTest, WholeStackDeterminism) {
+  auto run_once = [] {
+    core::Workbench wb(machine::presets::generic_risc(2, 2));
+    gen::StochasticDescription d;
+    d.instructions_per_round = 300;
+    d.rounds = 2;
+    d.seed = 7;
+    d.comm.pattern = gen::CommPattern::kAllToAll;
+    auto w = gen::make_stochastic_workload(d, 4);
+    const auto r = wb.run_detailed(w);
+    return std::make_tuple(r.simulated_time, r.events_processed, r.operations,
+                           r.messages);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// The direct-execution comparator plugged into the full environment: it runs
+// much faster (fewer events) but is blind to node-architecture detail.
+TEST(EnvironmentTest, DirectExecutionTradesAccuracyForSpeed) {
+  const gen::AppFn app = [](gen::Annotator& a, trace::NodeId s,
+                            std::uint32_t n) {
+    gen::stencil_spmd(a, s, n, gen::StencilParams{32, 3});
+  };
+  core::Workbench detailed(machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(2, app);
+  const auto r_detailed = detailed.run_detailed(w);
+
+  gen::DirectExecutionModel dem;
+  dem.cpu = machine::presets::t805_multicomputer(2, 1).node.cpu;
+  dem.assumed_memory_cycles = 3;  // T805 external memory estimate
+  core::Workbench direct(machine::presets::t805_multicomputer(2, 1));
+  auto wd = gen::make_direct_execution_workload(
+      gen::record_app_traces(2, app), dem);
+  const auto r_direct = direct.run_task_level(wd);
+
+  ASSERT_TRUE(r_detailed.completed);
+  ASSERT_TRUE(r_direct.completed);
+  // Vastly fewer simulator events (the direct-execution speed advantage).
+  EXPECT_LT(r_direct.events_processed, r_detailed.events_processed / 20);
+  // And with a well-chosen static estimate, similar predicted time.
+  const double rel = static_cast<double>(r_direct.simulated_time) /
+                     static_cast<double>(r_detailed.simulated_time);
+  EXPECT_GT(rel, 0.5);
+  EXPECT_LT(rel, 2.0);
+}
+
+}  // namespace
+}  // namespace merm

@@ -1,0 +1,186 @@
+// Model validation against closed-form expectations (the role the paper
+// delegates to its companion tech report's validation chapter): end-to-end
+// simulated timings must match hand-derived formulas built from the same
+// machine parameters.
+#include <gtest/gtest.h>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "gen/collectives.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm {
+namespace {
+
+// A machine with round, hand-checkable numbers.
+machine::MachineParams calibration_machine() {
+  machine::MachineParams m;
+  m.name = "calibration";
+  m.node.cpu_count = 1;
+  m.node.cpu = machine::CpuParams{};
+  m.node.cpu.frequency_hz = 100e6;  // 10 ns/cycle
+  m.node.memory.levels.clear();     // cacheless: fixed memory cost
+  m.node.memory.bus_frequency_hz = 100e6;
+  m.node.memory.bus_width_bytes = 8;
+  m.node.memory.bus_arbitration_cycles = 1;
+  m.node.memory.dram_access_cycles = 3;  // mem access: (1+3+1)*10 = 50 ns
+  m.topology.kind = machine::TopologyKind::kRing;
+  m.topology.dims = {2, 1};
+  m.router.switching = machine::Switching::kStoreAndForward;
+  m.router.frequency_hz = 100e6;
+  m.router.routing_decision_cycles = 1;  // 10 ns
+  m.router.header_bytes = 8;
+  m.router.flit_bytes = 4;
+  m.router.max_packet_bytes = 4096;
+  m.link.bandwidth_bytes_per_s = 100e6;  // 10 ns/byte
+  m.link.propagation_delay = 0;
+  m.link.virtual_channels = 2;
+  m.nic.send_setup = 1000 * sim::kTicksPerNanosecond;
+  m.nic.recv_setup = 1000 * sim::kTicksPerNanosecond;
+  m.nic.copy_bytes_per_s = 1e9;  // 1 ns/byte
+  return m;
+}
+
+constexpr sim::Tick kNs = sim::kTicksPerNanosecond;
+
+TEST(ValidationTest, PureComputationMatchesCostTable) {
+  // compute_kernel(elements=N, passes=P, stride=1) per inner iteration:
+  //   load X[i]  : ifetch + load
+  //   load Y[i]  : ifetch + load
+  //   mul f64    : ifetch + mul(6)
+  //   add f64    : ifetch + add(3)
+  //   store Y[i] : ifetch + store
+  //   loop upkeep: add i32 (reg) w/ ifetch, then branch(2) or
+  //                branch_not_taken (ifetch+sub+ifetch) on exit.
+  // With the default table: ifetch=1, load/store=1, each ifetch and each
+  // load/store also pays the cacheless memory cost of 5 bus cycles (50 ns).
+  machine::MachineParams m = calibration_machine();
+  m.topology.dims = {1, 1};
+  core::Workbench wb(m);
+  constexpr std::uint64_t kN = 512;
+  auto w = gen::make_offline_workload(
+      1, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::compute_kernel(a, s, n, gen::ComputeKernelParams{kN, 1, 1});
+      });
+  const auto r = wb.run_detailed(w);
+  ASSERT_TRUE(r.completed);
+
+  // Issue cycles per iteration: fetches 6x1, load 2x1, mul 6, add 3,
+  // store 1, loop add 1 = 19; the taken branch adds branch(2).
+  // Memory accesses per iteration: 6 ifetches + 3 data + the branch's
+  // target fetch = 10 x 50 ns.
+  // Last iteration: branch_not_taken (ifetch+sub+ifetch: 3 cycles, 2
+  // accesses) replaces the branch (2 cycles, 1 access).
+  const std::uint64_t per_iter_issue = 19 + 2;          // cycles
+  const std::uint64_t per_iter_mem = 10;                // accesses
+  const std::uint64_t body_cycles = kN * per_iter_issue // all iterations
+                                    - 2 + 3;            // swap branch -> exit
+  const std::uint64_t mem_accesses = kN * per_iter_mem  // all iterations
+                                     - 1 + 2;           // swap branch -> exit
+  const sim::Tick expected =
+      body_cycles * 10 * kNs + mem_accesses * 50 * kNs;
+  EXPECT_EQ(r.simulated_time, expected);
+}
+
+TEST(ValidationTest, AsyncMessageDeliveryMatchesFormula) {
+  // One asend(1024) from node 0, matching posted recv at node 1.
+  // Receiver posts first (recv_setup burns at t=0..1000 ns), then blocks.
+  // Sender timeline: send_setup (1000) + copy (1024 ns) -> asend returns.
+  // Network (SAF, 1 hop): routing (10) + (1024+8 header) x 10 ns = 10330.
+  // Receiver after arrival: copy (1024 ns).
+  machine::MachineParams m = calibration_machine();
+  sim::Simulator sim;
+  node::Machine machine(sim, m);
+  sim::Tick recv_done = 0;
+  sim.spawn([](node::Machine& mm) -> sim::Process {
+    co_await mm.comm_node(0).op_asend(1, 1024, 7);
+  }(machine));
+  sim.spawn([](sim::Simulator& s, node::Machine& mm, sim::Tick* out)
+                -> sim::Process {
+    co_await mm.comm_node(1).op_recv(0, 7);
+    *out = s.now();
+  }(sim, machine, &recv_done));
+  sim.run();
+  const sim::Tick inject = (1000 + 1024) * kNs;      // sender software
+  const sim::Tick network = (10 + 10320) * kNs;      // SAF single hop
+  const sim::Tick drain = 1024 * kNs;                // receiver copy
+  EXPECT_EQ(recv_done, inject + network + drain);
+}
+
+TEST(ValidationTest, SyncPingPongRoundTrip) {
+  // Sync send completes after a zero-payload ack returns.  Ack network
+  // time: routing (10) + header-only packet (8 bytes x 10 = 80) = 90 ns.
+  machine::MachineParams m = calibration_machine();
+  sim::Simulator sim;
+  node::Machine machine(sim, m);
+  sim::Tick send_done = 0;
+  sim.spawn([](sim::Simulator& s, node::Machine& mm, sim::Tick* out)
+                -> sim::Process {
+    co_await mm.comm_node(0).op_send(1, 256, 1);
+    *out = s.now();
+  }(sim, machine, &send_done));
+  sim.spawn([](node::Machine& mm) -> sim::Process {
+    co_await mm.comm_node(1).op_recv(0, 1);
+  }(machine));
+  sim.run();
+  const sim::Tick inject = (1000 + 256) * kNs;
+  const sim::Tick data_net = (10 + (256 + 8) * 10) * kNs;
+  // Receiver posted recv at t=1000 (its setup ran concurrently), so the
+  // message waits for no one; then the receiver copies (256 ns), consumes,
+  // and the ack travels back (90 ns).
+  const sim::Tick recv_copy = 256 * kNs;
+  const sim::Tick ack_net = (10 + 8 * 10) * kNs;
+  EXPECT_EQ(send_done, inject + data_net + recv_copy + ack_net);
+}
+
+TEST(ValidationTest, EffectiveBandwidthApproachesLinkRate) {
+  // A very large transfer amortizes all fixed costs: effective rate of the
+  // network leg must come within 5% of the 100 MB/s link (packetized SAF,
+  // single hop: per 4096-byte packet overhead is routing + header only).
+  machine::MachineParams m = calibration_machine();
+  sim::Simulator sim;
+  node::Machine machine(sim, m);
+  constexpr std::uint64_t kBytes = 4 << 20;
+  sim::Tick done = 0;
+  sim.spawn([](sim::Simulator& s, node::Machine& mm, sim::Tick* out)
+                -> sim::Process {
+    const sim::Tick start = s.now();
+    co_await mm.network().transmit(0, 1, kBytes);
+    *out = s.now() - start;
+  }(sim, machine, &done));
+  sim.run();
+  const double seconds =
+      static_cast<double>(done) / static_cast<double>(sim::kTicksPerSecond);
+  const double rate = static_cast<double>(kBytes) / seconds;
+  EXPECT_GT(rate, 0.95 * 100e6);
+  EXPECT_LE(rate, 100e6);
+}
+
+TEST(ValidationTest, BarrierCostIsLogRounds) {
+  // Dissemination barrier on an 8-ring: 3 rounds; each round's exchange is
+  // bounded below by one message leg; the whole barrier must cost at least
+  // 3 legs and complete.
+  machine::MachineParams m = calibration_machine();
+  m.topology.dims = {8, 1};
+  sim::Simulator sim;
+  node::Machine machine(sim, m);
+  auto w = gen::make_offline_workload(
+      8, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::barrier(a, s, n, 10);
+      });
+  const auto handles = machine.launch_detailed(w);
+  sim.run();
+  ASSERT_TRUE(node::Machine::all_finished(handles));
+  // 8 nodes x 3 rounds of (asend + recv).
+  std::uint64_t sends = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    sends += machine.comm_node(i).asends.value();
+  }
+  EXPECT_EQ(sends, 24u);
+  const sim::Tick one_leg = (1000 + 4) * kNs + (10 + 120) * kNs + 4 * kNs;
+  EXPECT_GE(sim.now(), 3 * one_leg / 2);  // at least ~3 pipelined legs
+}
+
+}  // namespace
+}  // namespace merm

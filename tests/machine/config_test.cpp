@@ -1,0 +1,116 @@
+// Config parser tests: round trips, overrides, and error reporting.
+#include "machine/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace merm::machine {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+
+TEST(ConfigTest, RoundTripsEveryPreset) {
+  for (const MachineParams& preset :
+       {presets::powerpc601_node(), presets::t805_multicomputer(4, 4),
+        presets::generic_risc(2, 4), presets::ipsc860_hypercube(8)}) {
+    const std::string text = write_config_string(preset);
+    const MachineParams back = parse_config_string(text);
+    EXPECT_EQ(back.name, preset.name);
+    EXPECT_EQ(back.node.cpu_count, preset.node.cpu_count);
+    EXPECT_DOUBLE_EQ(back.node.cpu.frequency_hz,
+                     preset.node.cpu.frequency_hz);
+    EXPECT_EQ(back.node.cpu.cost_table, preset.node.cpu.cost_table);
+    ASSERT_EQ(back.node.memory.levels.size(), preset.node.memory.levels.size());
+    for (std::size_t i = 0; i < preset.node.memory.levels.size(); ++i) {
+      EXPECT_EQ(back.node.memory.levels[i].size_bytes,
+                preset.node.memory.levels[i].size_bytes);
+      EXPECT_EQ(back.node.memory.levels[i].associativity,
+                preset.node.memory.levels[i].associativity);
+      EXPECT_EQ(back.node.memory.levels[i].write_policy,
+                preset.node.memory.levels[i].write_policy);
+    }
+    EXPECT_EQ(back.topology.kind, preset.topology.kind);
+    EXPECT_EQ(back.topology.dims, preset.topology.dims);
+    EXPECT_EQ(back.router.switching, preset.router.switching);
+    EXPECT_EQ(back.router.max_packet_bytes, preset.router.max_packet_bytes);
+    EXPECT_DOUBLE_EQ(back.link.bandwidth_bytes_per_s,
+                     preset.link.bandwidth_bytes_per_s);
+    EXPECT_EQ(back.link.propagation_delay, preset.link.propagation_delay);
+    EXPECT_EQ(back.nic.send_setup, preset.nic.send_setup);
+  }
+}
+
+TEST(ConfigTest, OverridesOnTopOfBase) {
+  const MachineParams base = presets::generic_risc(4, 4);
+  const MachineParams m = parse_config_string(
+      "name = tweaked\n"
+      "[cache.0]\n"
+      "size_bytes = 65536\n"
+      "[router]\n"
+      "switching = store_and_forward\n",
+      base);
+  EXPECT_EQ(m.name, "tweaked");
+  EXPECT_EQ(m.node.memory.levels[0].size_bytes, 65536u);
+  EXPECT_EQ(m.router.switching, Switching::kStoreAndForward);
+  // Untouched fields keep base values.
+  EXPECT_EQ(m.topology.kind, base.topology.kind);
+  EXPECT_EQ(m.node.memory.levels[1].size_bytes,
+            base.node.memory.levels[1].size_bytes);
+}
+
+TEST(ConfigTest, CostKeysApplyPerTypeAndAllTypes) {
+  const MachineParams m = parse_config_string(
+      "[cpu]\n"
+      "cost.mul = 7\n"
+      "cost.div.f64 = 40\n");
+  EXPECT_EQ(m.node.cpu.cost(OpCode::kMul, DataType::kInt32), 7u);
+  EXPECT_EQ(m.node.cpu.cost(OpCode::kMul, DataType::kDouble), 7u);
+  EXPECT_EQ(m.node.cpu.cost(OpCode::kDiv, DataType::kDouble), 40u);
+}
+
+TEST(ConfigTest, CacheSectionGrowsLevels) {
+  const MachineParams m = parse_config_string(
+      "[cache.0]\nsize_bytes = 8192\n"
+      "[cache.1]\nsize_bytes = 131072\nhit_cycles = 9\n");
+  ASSERT_EQ(m.node.memory.levels.size(), 2u);
+  EXPECT_EQ(m.node.memory.levels[1].hit_cycles, 9u);
+}
+
+TEST(ConfigTest, CommentsAndWhitespaceIgnored) {
+  const MachineParams m = parse_config_string(
+      "; leading comment\n"
+      "name = spacey   # trailing comment\n"
+      "\n"
+      "  [node]  \n"
+      "  cpu_count = 2  ; two cpus\n");
+  EXPECT_EQ(m.name, "spacey");
+  EXPECT_EQ(m.node.cpu_count, 2u);
+}
+
+TEST(ConfigTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_config_string("name = x\n[cpu]\nbogus_key = 3\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ConfigTest, RejectsUnknownSectionsKeysAndValues) {
+  EXPECT_THROW(parse_config_string("[warp_drive]\nx = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[topology]\nkind = moebius\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[router]\nswitching = psychic\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[node]\ncpu_count = banana\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("keyword_without_equals\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[cpu\nx = 1\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace merm::machine

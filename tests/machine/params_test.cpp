@@ -1,0 +1,99 @@
+// Machine parameter and preset tests.
+#include "machine/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::machine {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+
+TEST(CpuParamsTest, DefaultsAreSaneAndComplete) {
+  CpuParams cpu;
+  for (int c = 0; c < trace::kOpCodeCount; ++c) {
+    const auto code = static_cast<OpCode>(c);
+    if (!trace::is_computational(code)) continue;
+    for (int t = 0; t < trace::kDataTypeCount; ++t) {
+      EXPECT_GE(cpu.cost(code, static_cast<DataType>(t)), 1u)
+          << trace::to_string(code);
+    }
+  }
+  // Divide slower than multiply slower than add.
+  EXPECT_GT(cpu.cost(OpCode::kDiv, DataType::kInt32),
+            cpu.cost(OpCode::kMul, DataType::kInt32));
+  EXPECT_GT(cpu.cost(OpCode::kMul, DataType::kInt32),
+            cpu.cost(OpCode::kAdd, DataType::kInt32));
+}
+
+TEST(CpuParamsTest, SetCostAffectsOneEntry) {
+  CpuParams cpu;
+  cpu.set_cost(OpCode::kMul, DataType::kFloat, 99);
+  EXPECT_EQ(cpu.cost(OpCode::kMul, DataType::kFloat), 99u);
+  EXPECT_NE(cpu.cost(OpCode::kMul, DataType::kInt32), 99u);
+}
+
+TEST(CacheLevelParamsTest, SetComputation) {
+  CacheLevelParams c;
+  c.size_bytes = 32 * 1024;
+  c.line_bytes = 64;
+  c.associativity = 8;
+  EXPECT_EQ(c.sets(), 64u);
+  c.associativity = 0;  // fully associative
+  EXPECT_EQ(c.sets(), 1u);
+}
+
+TEST(TopologyParamsTest, NodeCounts) {
+  TopologyParams t;
+  t.kind = TopologyKind::kMesh2D;
+  t.dims = {4, 3};
+  EXPECT_EQ(t.node_count(), 12u);
+  t.kind = TopologyKind::kHypercube;
+  t.dims = {16, 1};
+  EXPECT_EQ(t.node_count(), 16u);
+  t.kind = TopologyKind::kRing;
+  t.dims = {5, 99};
+  EXPECT_EQ(t.node_count(), 5u);
+}
+
+TEST(PresetsTest, PowerPc601MatchesPaperConfiguration) {
+  const MachineParams m = presets::powerpc601_node();
+  EXPECT_EQ(m.node_count(), 1u);
+  EXPECT_EQ(m.node.cpu_count, 1u);
+  EXPECT_DOUBLE_EQ(m.node.cpu.frequency_hz, 66e6);
+  // "two levels of cache" (Section 6).
+  ASSERT_EQ(m.node.memory.levels.size(), 2u);
+  EXPECT_EQ(m.node.memory.levels[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(m.node.memory.levels[0].associativity, 8u);
+  EXPECT_EQ(m.node.memory.levels[1].size_bytes, 256u * 1024);
+}
+
+TEST(PresetsTest, T805IsACachelessMeshMulticomputer) {
+  const MachineParams m = presets::t805_multicomputer(4, 4);
+  EXPECT_EQ(m.node_count(), 16u);
+  EXPECT_TRUE(m.node.memory.levels.empty());
+  EXPECT_DOUBLE_EQ(m.node.cpu.frequency_hz, 20e6);
+  EXPECT_EQ(m.topology.kind, TopologyKind::kMesh2D);
+  EXPECT_EQ(m.router.switching, Switching::kStoreAndForward);
+}
+
+TEST(PresetsTest, Ipsc860IsACutThroughHypercube) {
+  const MachineParams m = presets::ipsc860_hypercube(8);
+  EXPECT_EQ(m.node_count(), 8u);
+  EXPECT_EQ(m.topology.kind, TopologyKind::kHypercube);
+  EXPECT_EQ(m.router.switching, Switching::kVirtualCutThrough);
+  ASSERT_EQ(m.node.memory.levels.size(), 1u);
+  EXPECT_EQ(m.node.memory.levels[0].size_bytes, 8u * 1024);
+  EXPECT_DOUBLE_EQ(m.node.cpu.frequency_hz, 40e6);
+}
+
+TEST(PresetsTest, GenericRiscHasSplitL1Torus) {
+  const MachineParams m = presets::generic_risc(2, 2);
+  EXPECT_TRUE(m.node.memory.split_l1);
+  EXPECT_EQ(m.topology.kind, TopologyKind::kTorus2D);
+  EXPECT_EQ(m.router.switching, Switching::kWormhole);
+  EXPECT_EQ(m.node_count(), 4u);
+}
+
+}  // namespace
+}  // namespace merm::machine

@@ -1,0 +1,195 @@
+// Tags-only cache model unit tests: geometry, LRU, state transitions,
+// evictions, and a parameterized sweep over geometries.
+#include "memory/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::memory {
+namespace {
+
+machine::CacheLevelParams small_cache() {
+  machine::CacheLevelParams p;
+  p.size_bytes = 256;  // 4 sets x 2 ways x 32B lines
+  p.line_bytes = 32;
+  p.associativity = 2;
+  return p;
+}
+
+TEST(CacheTest, StartsEmpty) {
+  Cache c(small_cache(), "l1");
+  EXPECT_EQ(c.resident_lines(), 0u);
+  EXPECT_EQ(c.probe(0x100), LineState::kInvalid);
+  EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(CacheTest, FillThenProbeHits) {
+  Cache c(small_cache(), "l1");
+  const auto ev = c.fill(0x100, LineState::kExclusive);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_EQ(c.probe(0x100), LineState::kExclusive);
+  // Any address within the same 32-byte line hits.
+  EXPECT_EQ(c.probe(0x11f), LineState::kExclusive);
+  EXPECT_EQ(c.probe(0x120), LineState::kInvalid);
+}
+
+TEST(CacheTest, LineBaseMasksOffset) {
+  Cache c(small_cache(), "l1");
+  EXPECT_EQ(c.line_base(0x137), 0x120u);
+  EXPECT_EQ(c.line_base(0x120), 0x120u);
+}
+
+TEST(CacheTest, TouchUpdatesLruAndWriteSetsModified) {
+  Cache c(small_cache(), "l1");
+  c.fill(0x100, LineState::kExclusive);
+  EXPECT_TRUE(c.touch(0x100, /*is_write=*/false));
+  EXPECT_EQ(c.probe(0x100), LineState::kExclusive);
+  EXPECT_TRUE(c.touch(0x100, /*is_write=*/true));
+  EXPECT_EQ(c.probe(0x100), LineState::kModified);
+  EXPECT_FALSE(c.touch(0x9999000, false));
+}
+
+TEST(CacheTest, LruEvictionPicksLeastRecentlyUsed) {
+  Cache c(small_cache(), "l1");
+  // Two lines mapping to the same set (set stride = 4 sets * 32 B = 128 B).
+  c.fill(0x000, LineState::kExclusive);
+  c.fill(0x080, LineState::kExclusive);  // same set 0, way 2
+  c.touch(0x000, false);                 // make 0x000 most recent
+  const auto ev = c.fill(0x100, LineState::kExclusive);  // set 0 again
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 0x080u);  // LRU victim
+  EXPECT_FALSE(ev.dirty);
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x080));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback) {
+  Cache c(small_cache(), "l1");
+  c.fill(0x000, LineState::kModified);
+  c.fill(0x080, LineState::kExclusive);
+  c.touch(0x080, false);
+  const auto ev = c.fill(0x100, LineState::kExclusive);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.addr, 0x000u);
+  EXPECT_EQ(c.writebacks.value(), 1u);
+  EXPECT_EQ(c.evictions.value(), 2u - 1u);  // one eviction so far
+}
+
+TEST(CacheTest, InvalidateAndDowngrade) {
+  Cache c(small_cache(), "l1");
+  c.fill(0x100, LineState::kModified);
+  EXPECT_EQ(c.downgrade(0x100), LineState::kModified);
+  EXPECT_EQ(c.probe(0x100), LineState::kShared);
+  EXPECT_EQ(c.downgrade(0x100), LineState::kShared);  // no-op on Shared
+  EXPECT_EQ(c.invalidate(0x100), LineState::kShared);
+  EXPECT_EQ(c.probe(0x100), LineState::kInvalid);
+  EXPECT_EQ(c.invalidate(0x100), LineState::kInvalid);
+  EXPECT_EQ(c.invalidations.value(), 1u);
+  EXPECT_EQ(c.downgrades.value(), 1u);
+}
+
+TEST(CacheTest, SetStateReturnsPrevious) {
+  Cache c(small_cache(), "l1");
+  c.fill(0x100, LineState::kExclusive);
+  EXPECT_EQ(c.set_state(0x100, LineState::kShared), LineState::kExclusive);
+  EXPECT_EQ(c.probe(0x100), LineState::kShared);
+  EXPECT_EQ(c.set_state(0x999000, LineState::kShared), LineState::kInvalid);
+}
+
+TEST(CacheTest, VictimAddressReconstruction) {
+  Cache c(small_cache(), "l1");
+  // Fill every line of set 2 and overflow it; the reported victim address
+  // must be the exact line base originally inserted.
+  const std::uint64_t a = 2 * 32;           // set 2
+  const std::uint64_t b = a + 128;          // same set, next tag
+  const std::uint64_t d = a + 256;          // same set, third tag
+  c.fill(a, LineState::kExclusive);
+  c.fill(b, LineState::kExclusive);
+  const auto ev = c.fill(d, LineState::kExclusive);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, a);
+}
+
+TEST(CacheTest, HitRate) {
+  Cache c(small_cache(), "l1");
+  c.hits.add(3);
+  c.misses.add(1);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.75);
+}
+
+TEST(CacheTest, FullyAssociativeUsesOneSet) {
+  machine::CacheLevelParams p = small_cache();
+  p.associativity = 0;
+  Cache c(p, "fa");
+  // 8 lines; addresses with any alignment coexist until the 9th.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    c.fill(i * 0x1000, LineState::kExclusive);
+  }
+  EXPECT_EQ(c.resident_lines(), 8u);
+  const auto ev = c.fill(8 * 0x1000, LineState::kExclusive);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 0u);  // first-inserted is LRU
+}
+
+TEST(CacheTest, RejectsBadGeometry) {
+  machine::CacheLevelParams p = small_cache();
+  p.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(Cache(p, "bad"), std::invalid_argument);
+  p = small_cache();
+  p.size_bytes = 300;  // not divisible
+  EXPECT_THROW(Cache(p, "bad"), std::invalid_argument);
+}
+
+TEST(CacheTest, FootprintScalesWithLineCount) {
+  machine::CacheLevelParams small = small_cache();
+  machine::CacheLevelParams big = small_cache();
+  big.size_bytes = 64 * 1024;
+  Cache cs(small, "s");
+  Cache cb(big, "b");
+  EXPECT_GT(cb.footprint_bytes(), cs.footprint_bytes());
+  // Tags-only: footprint far below the modelled capacity.
+  EXPECT_LT(cb.footprint_bytes(), big.size_bytes);
+}
+
+// Parameterized sweep: for any geometry, filling exactly `lines` distinct
+// line addresses with a line-stride access pattern causes no evictions, and
+// one more line in a full set evicts exactly one.
+struct Geometry {
+  std::uint64_t size;
+  std::uint32_t line;
+  std::uint32_t ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryTest, CapacityHoldsExactlyAllLines) {
+  const Geometry g = GetParam();
+  machine::CacheLevelParams p;
+  p.size_bytes = g.size;
+  p.line_bytes = g.line;
+  p.associativity = g.ways;
+  Cache c(p, "sweep");
+  const std::uint64_t lines = g.size / g.line;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    const auto ev = c.fill(i * g.line, LineState::kExclusive);
+    EXPECT_FALSE(ev.valid) << "premature eviction at line " << i;
+  }
+  EXPECT_EQ(c.resident_lines(), lines);
+  // Everything still resident (sequential fill is conflict-free).
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.contains(i * g.line));
+  }
+  const auto ev = c.fill(lines * g.line, LineState::kExclusive);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(c.resident_lines(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(Geometry{256, 32, 1}, Geometry{256, 32, 2},
+                      Geometry{1024, 32, 4}, Geometry{4096, 64, 8},
+                      Geometry{4096, 64, 0}, Geometry{8192, 128, 2},
+                      Geometry{32768, 64, 8}, Geometry{512, 16, 4}));
+
+}  // namespace
+}  // namespace merm::memory

@@ -1,0 +1,144 @@
+// Directory vs snoopy coherence: both maintain the MESI invariant; their
+// cost structures differ in the documented directions (directory pays a
+// lookup everywhere and per-sharer invalidations; snooping broadcasts).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memory/hierarchy.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::memory {
+namespace {
+
+constexpr sim::Tick kNs = sim::kTicksPerNanosecond;
+
+machine::NodeParams node_with(machine::CoherenceKind kind,
+                              std::uint32_t cpus) {
+  machine::NodeParams p;
+  p.cpu_count = cpus;
+  p.cpu.frequency_hz = 100e6;
+  p.memory.levels = {machine::CacheLevelParams{
+      1024, 32, 2, 1, machine::WritePolicy::kWriteBack, true}};
+  p.memory.bus_frequency_hz = 100e6;
+  p.memory.bus_width_bytes = 8;
+  p.memory.bus_arbitration_cycles = 1;
+  p.memory.dram_access_cycles = 5;
+  p.memory.coherence = kind;
+  p.memory.directory_lookup_cycles = 4;
+  return p;
+}
+
+sim::Tick timed_access(sim::Simulator& sim, MemoryHierarchy& mem,
+                       std::uint32_t cpu, AccessType type,
+                       std::uint64_t addr) {
+  sim::Tick latency = 0;
+  sim.spawn([](sim::Simulator& s, MemoryHierarchy& m, std::uint32_t c,
+               AccessType t, std::uint64_t a, sim::Tick* out) -> sim::Process {
+    const sim::Tick start = s.now();
+    co_await m.access(c, t, a);
+    *out = s.now() - start;
+  }(sim, mem, cpu, type, addr, &latency));
+  sim.run();
+  return latency;
+}
+
+TEST(CoherenceKindTest, DirectoryUpgradeCostScalesWithSharers) {
+  // 4 CPUs all read a line; CPU 0 then writes it.
+  auto upgrade_cost = [](machine::CoherenceKind kind) {
+    sim::Simulator sim;
+    MemoryHierarchy mem(sim, node_with(kind, 4));
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      timed_access(sim, mem, c, AccessType::kLoad, 0x1000);
+    }
+    return timed_access(sim, mem, 0, AccessType::kStore, 0x1000);
+  };
+  const sim::Tick snoopy = upgrade_cost(machine::CoherenceKind::kSnoopy);
+  const sim::Tick directory = upgrade_cost(machine::CoherenceKind::kDirectory);
+  // Snoopy: hit (10) + one broadcast (10) = 20 ns.
+  EXPECT_EQ(snoopy, 20 * kNs);
+  // Directory: hit + lookup txn (1 arb + 4 dir = 50) + 3 invalidations.
+  EXPECT_GT(directory, snoopy + 2 * 10 * kNs);
+}
+
+TEST(CoherenceKindTest, DirectoryPaysLookupOnUnsharedMiss) {
+  auto cold_miss = [](machine::CoherenceKind kind) {
+    sim::Simulator sim;
+    MemoryHierarchy mem(sim, node_with(kind, 2));
+    return timed_access(sim, mem, 0, AccessType::kLoad, 0x2000);
+  };
+  EXPECT_GT(cold_miss(machine::CoherenceKind::kDirectory),
+            cold_miss(machine::CoherenceKind::kSnoopy));
+}
+
+TEST(CoherenceKindTest, UniprocessorUnaffectedByKind) {
+  auto run = [](machine::CoherenceKind kind) {
+    sim::Simulator sim;
+    MemoryHierarchy mem(sim, node_with(kind, 1));
+    sim::Tick total = 0;
+    total += timed_access(sim, mem, 0, AccessType::kLoad, 0x100);
+    total += timed_access(sim, mem, 0, AccessType::kStore, 0x100);
+    total += timed_access(sim, mem, 0, AccessType::kLoad, 0x2000);
+    return total;
+  };
+  EXPECT_EQ(run(machine::CoherenceKind::kSnoopy),
+            run(machine::CoherenceKind::kDirectory));
+}
+
+class CoherenceKindInvariantTest
+    : public ::testing::TestWithParam<std::tuple<machine::CoherenceKind, int>> {
+};
+
+TEST_P(CoherenceKindInvariantTest, MesiInvariantHolds) {
+  const auto [kind, seed] = GetParam();
+  constexpr std::uint32_t kCpus = 3;
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, node_with(kind, kCpus));
+  std::set<std::uint64_t> lines_used;
+  sim::Rng rng(static_cast<std::uint64_t>(seed));
+
+  for (std::uint32_t c = 0; c < kCpus; ++c) {
+    sim.spawn([](sim::Simulator& s, MemoryHierarchy& m, std::uint32_t cpu,
+                 std::uint64_t sd, std::set<std::uint64_t>* used)
+                  -> sim::Process {
+      sim::Rng local(sd);
+      for (int i = 0; i < 250; ++i) {
+        const std::uint64_t addr = local.next_below(12) * 32;
+        used->insert(addr);
+        co_await m.access(cpu,
+                          local.chance(0.4) ? AccessType::kStore
+                                            : AccessType::kLoad,
+                          addr);
+        co_await s.delay(local.next_below(40) * kNs);
+      }
+    }(sim, mem, c, rng.next(), &lines_used));
+  }
+  sim.run();
+
+  for (const std::uint64_t line : lines_used) {
+    int exclusive_like = 0;
+    int shared = 0;
+    for (std::uint32_t c = 0; c < kCpus; ++c) {
+      const LineState st = mem.l1(c, AccessType::kLoad)->probe(line);
+      if (st == LineState::kModified || st == LineState::kExclusive) {
+        ++exclusive_like;
+      } else if (st == LineState::kShared) {
+        ++shared;
+      }
+    }
+    EXPECT_LE(exclusive_like, 1);
+    if (exclusive_like == 1) {
+      EXPECT_EQ(shared, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, CoherenceKindInvariantTest,
+    ::testing::Combine(::testing::Values(machine::CoherenceKind::kSnoopy,
+                                         machine::CoherenceKind::kDirectory),
+                       ::testing::Range(1, 5)));
+
+}  // namespace
+}  // namespace merm::memory

@@ -1,0 +1,275 @@
+// Memory hierarchy tests: exact access timing, multi-level walks, write
+// policies, snoopy MESI coherence, and randomized coherence invariants.
+#include "memory/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::memory {
+namespace {
+
+constexpr sim::Tick kNs = sim::kTicksPerNanosecond;
+
+// 100 MHz CPU (10 ns/cycle), tiny L1 (256 B / 32 B lines / 2-way / 1-cycle),
+// 100 MHz 8-byte bus with 1 arbitration cycle, DRAM 5 cycles.
+machine::NodeParams one_level_node(std::uint32_t cpus = 1) {
+  machine::NodeParams p;
+  p.cpu_count = cpus;
+  p.cpu.frequency_hz = 100e6;
+  p.memory.levels = {machine::CacheLevelParams{
+      256, 32, 2, 1, machine::WritePolicy::kWriteBack, true}};
+  p.memory.bus_frequency_hz = 100e6;
+  p.memory.bus_width_bytes = 8;
+  p.memory.bus_arbitration_cycles = 1;
+  p.memory.dram_access_cycles = 5;
+  p.memory.dram_beat_cycles = 1;
+  return p;
+}
+
+sim::Process access_once(sim::Simulator& sim, MemoryHierarchy& mem,
+                         std::uint32_t cpu, AccessType type,
+                         std::uint64_t addr, sim::Tick* latency) {
+  const sim::Tick start = sim.now();
+  co_await mem.access(cpu, type, addr);
+  *latency = sim.now() - start;
+}
+
+sim::Tick timed_access(sim::Simulator& sim, MemoryHierarchy& mem,
+                       std::uint32_t cpu, AccessType type,
+                       std::uint64_t addr) {
+  sim::Tick latency = 0;
+  sim.spawn(access_once(sim, mem, cpu, type, addr, &latency));
+  sim.run();
+  return latency;
+}
+
+TEST(HierarchyTest, ColdLoadMissGoesToDram) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node());
+  // L1 lookup (10 ns) + bus txn: (1 arb + 5 dram + 4 beats) * 10 ns = 100 ns.
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x1000), 110 * kNs);
+  EXPECT_EQ(mem.dram_accesses.value(), 1u);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->misses.value(), 1u);
+}
+
+TEST(HierarchyTest, WarmLoadHitsInOneCycle) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node());
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x1004), 10 * kNs);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->hits.value(), 1u);
+}
+
+TEST(HierarchyTest, StoreHitMarksLineModified) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node());
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kStore, 0x1000), 10 * kNs);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000),
+            LineState::kModified);
+}
+
+TEST(HierarchyTest, DirtyEvictionPaysWritebackOnBus) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node());
+  // Set stride = 4 sets * 32 B = 128 B; fill both ways of set 0 dirty.
+  timed_access(sim, mem, 0, AccessType::kStore, 0x000);
+  timed_access(sim, mem, 0, AccessType::kStore, 0x080);
+  // Third line in set 0 evicts a dirty victim: miss (110 ns) + writeback
+  // bus txn (1 arb + 4 beats = 50 ns).
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x100), 160 * kNs);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->writebacks.value(), 1u);
+}
+
+TEST(HierarchyTest, CachelessNodeAlwaysPaysBusAndDram) {
+  machine::NodeParams p = one_level_node();
+  p.memory.levels.clear();
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, p);
+  // (1 arb + 5 dram + 1 beat) * 10 ns = 70 ns, every time.
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x1000), 70 * kNs);
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x1000), 70 * kNs);
+  EXPECT_EQ(mem.dram_accesses.value(), 2u);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad), nullptr);
+}
+
+TEST(HierarchyTest, TwoLevelWalkHitsInL2) {
+  machine::NodeParams p = one_level_node();
+  p.memory.levels.push_back(machine::CacheLevelParams{
+      4096, 32, 4, 4, machine::WritePolicy::kWriteBack, true});
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, p);
+  // Cold: L1 (10) + L2 lookup (40) + dram (100) = 150 ns.
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x000), 150 * kNs);
+  // Evict 0x000 from tiny L1 via set-0 conflicts; it stays in L2.
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x080);
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x100);
+  ASSERT_FALSE(mem.l1(0, AccessType::kLoad)->contains(0x000));
+  ASSERT_TRUE(mem.shared_level(1)->contains(0x000));
+  // L2 hit: L1 lookup (10) + L2 (40) = 50 ns, no DRAM.
+  const auto dram_before = mem.dram_accesses.value();
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kLoad, 0x000), 50 * kNs);
+  EXPECT_EQ(mem.dram_accesses.value(), dram_before);
+}
+
+TEST(HierarchyTest, SplitL1SeparatesCodeAndData) {
+  machine::NodeParams p = one_level_node();
+  p.memory.split_l1 = true;
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, p);
+  timed_access(sim, mem, 0, AccessType::kIFetch, 0x1000);
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x2000);
+  EXPECT_TRUE(mem.l1(0, AccessType::kIFetch)->contains(0x1000));
+  EXPECT_FALSE(mem.l1(0, AccessType::kIFetch)->contains(0x2000));
+  EXPECT_TRUE(mem.l1(0, AccessType::kLoad)->contains(0x2000));
+  EXPECT_NE(mem.l1(0, AccessType::kIFetch), mem.l1(0, AccessType::kLoad));
+}
+
+TEST(HierarchyTest, WriteThroughStorePropagatesToBus) {
+  machine::NodeParams p = one_level_node();
+  p.memory.levels[0].write_policy = machine::WritePolicy::kWriteThrough;
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, p);
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  const auto bus_before = mem.bus().transactions.value();
+  // Store hit: L1 (10 ns) + word write on bus (1 arb + 1 beat = 20 ns).
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kStore, 0x1000), 30 * kNs);
+  EXPECT_EQ(mem.bus().transactions.value(), bus_before + 1);
+  // Line stays clean.
+  EXPECT_NE(mem.l1(0, AccessType::kLoad)->probe(0x1000),
+            LineState::kModified);
+}
+
+// -- coherence (two CPUs, snoopy MESI over the node bus) --
+
+TEST(CoherenceTest, ReadSharingDowngradesToShared) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(2));
+  ASSERT_TRUE(mem.coherent());
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000),
+            LineState::kExclusive);
+  timed_access(sim, mem, 1, AccessType::kLoad, 0x1000);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000), LineState::kShared);
+  EXPECT_EQ(mem.l1(1, AccessType::kLoad)->probe(0x1000), LineState::kShared);
+}
+
+TEST(CoherenceTest, PeerSupplyAvoidsDram) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(2));
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  const auto dram_before = mem.dram_accesses.value();
+  // Cache-to-cache: L1 lookup (10) + line transfer (1 arb + 4 beats = 50).
+  EXPECT_EQ(timed_access(sim, mem, 1, AccessType::kLoad, 0x1000), 60 * kNs);
+  EXPECT_EQ(mem.dram_accesses.value(), dram_before);
+}
+
+TEST(CoherenceTest, WriteToSharedInvalidatesPeers) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(2));
+  timed_access(sim, mem, 0, AccessType::kLoad, 0x1000);
+  timed_access(sim, mem, 1, AccessType::kLoad, 0x1000);
+  // Upgrade: L1 hit (10) + invalidate broadcast (1 arb cycle = 10 ns).
+  EXPECT_EQ(timed_access(sim, mem, 0, AccessType::kStore, 0x1000), 20 * kNs);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000),
+            LineState::kModified);
+  EXPECT_EQ(mem.l1(1, AccessType::kLoad)->probe(0x1000),
+            LineState::kInvalid);
+}
+
+TEST(CoherenceTest, ReadOfDirtyPeerLineFlushes) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(2));
+  timed_access(sim, mem, 0, AccessType::kStore, 0x1000);  // cpu0 holds M
+  timed_access(sim, mem, 1, AccessType::kLoad, 0x1000);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000), LineState::kShared);
+  EXPECT_EQ(mem.l1(1, AccessType::kLoad)->probe(0x1000), LineState::kShared);
+}
+
+TEST(CoherenceTest, WriteMissStealsOwnership) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(2));
+  timed_access(sim, mem, 0, AccessType::kStore, 0x1000);  // cpu0: M
+  timed_access(sim, mem, 1, AccessType::kStore, 0x1000);  // cpu1 takes over
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->probe(0x1000),
+            LineState::kInvalid);
+  EXPECT_EQ(mem.l1(1, AccessType::kLoad)->probe(0x1000),
+            LineState::kModified);
+}
+
+TEST(CoherenceTest, UniprocessorNodeIsNotCoherent) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(1));
+  EXPECT_FALSE(mem.coherent());
+}
+
+TEST(CoherenceTest, ForceCoherenceFlag) {
+  machine::NodeParams p = one_level_node(1);
+  p.force_coherence = true;
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, p);
+  EXPECT_TRUE(mem.coherent());
+}
+
+// Property: after any interleaving of accesses from multiple CPUs, the MESI
+// invariant holds per line — at most one M/E copy, and an M/E copy excludes
+// any other copies.
+class CoherenceInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherenceInvariantTest, MesiInvariantHoldsUnderRandomTraffic) {
+  const int seed = GetParam();
+  constexpr std::uint32_t kCpus = 3;
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, one_level_node(kCpus));
+  sim::Rng rng(static_cast<std::uint64_t>(seed));
+  std::set<std::uint64_t> lines_used;
+
+  auto worker = [&](std::uint32_t cpu) -> sim::Process {
+    sim::Rng local(rng.next());
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t addr = local.next_below(16) * 32;  // 16 hot lines
+      const auto type = local.chance(0.35) ? AccessType::kStore
+                                           : AccessType::kLoad;
+      lines_used.insert(addr);
+      co_await mem.access(cpu, type, addr);
+      co_await sim.delay(local.next_below(50) * kNs);
+    }
+  };
+  for (std::uint32_t c = 0; c < kCpus; ++c) sim.spawn(worker(c));
+  sim.run();
+
+  for (const std::uint64_t line : lines_used) {
+    int modified = 0;
+    int exclusive = 0;
+    int shared = 0;
+    for (std::uint32_t c = 0; c < kCpus; ++c) {
+      switch (mem.l1(c, AccessType::kLoad)->probe(line)) {
+        case LineState::kModified:
+          ++modified;
+          break;
+        case LineState::kExclusive:
+          ++exclusive;
+          break;
+        case LineState::kShared:
+          ++shared;
+          break;
+        case LineState::kInvalid:
+          break;
+      }
+    }
+    EXPECT_LE(modified + exclusive, 1) << "line 0x" << std::hex << line;
+    if (modified + exclusive == 1) {
+      EXPECT_EQ(shared, 0) << "line 0x" << std::hex << line;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceInvariantTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace merm::memory

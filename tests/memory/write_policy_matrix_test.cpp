@@ -1,0 +1,105 @@
+// Parameterized matrix over the cache write policies x allocation choices:
+// every combination must preserve basic soundness (warm hits, monotone
+// traffic relations) with the documented policy-specific behaviours.
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::memory {
+namespace {
+
+constexpr sim::Tick kNs = sim::kTicksPerNanosecond;
+
+struct PolicyCase {
+  machine::WritePolicy policy;
+  bool allocate_on_write_miss;
+};
+
+machine::NodeParams node_with(const PolicyCase& c) {
+  machine::NodeParams p;
+  p.cpu_count = 1;
+  p.cpu.frequency_hz = 100e6;
+  p.memory.levels = {machine::CacheLevelParams{
+      1024, 32, 2, 1, c.policy, c.allocate_on_write_miss}};
+  p.memory.bus_frequency_hz = 100e6;
+  p.memory.bus_width_bytes = 8;
+  p.memory.bus_arbitration_cycles = 1;
+  p.memory.dram_access_cycles = 5;
+  return p;
+}
+
+sim::Tick timed_access(sim::Simulator& sim, MemoryHierarchy& mem,
+                       AccessType type, std::uint64_t addr) {
+  sim::Tick latency = 0;
+  sim.spawn([](sim::Simulator& s, MemoryHierarchy& m, AccessType t,
+               std::uint64_t a, sim::Tick* out) -> sim::Process {
+    const sim::Tick start = s.now();
+    co_await m.access(0, t, a);
+    *out = s.now() - start;
+  }(sim, mem, type, addr, &latency));
+  sim.run();
+  return latency;
+}
+
+class WritePolicyMatrixTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(WritePolicyMatrixTest, WarmReadsAlwaysHitInOneCycle) {
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, node_with(GetParam()));
+  timed_access(sim, mem, AccessType::kLoad, 0x100);
+  EXPECT_EQ(timed_access(sim, mem, AccessType::kLoad, 0x104), 10 * kNs);
+}
+
+TEST_P(WritePolicyMatrixTest, WriteMissAllocationMatchesPolicy) {
+  const PolicyCase c = GetParam();
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, node_with(c));
+  timed_access(sim, mem, AccessType::kStore, 0x200);
+  EXPECT_EQ(mem.l1(0, AccessType::kLoad)->contains(0x200),
+            c.allocate_on_write_miss);
+}
+
+TEST_P(WritePolicyMatrixTest, LineStateReflectsPolicy) {
+  const PolicyCase c = GetParam();
+  sim::Simulator sim;
+  MemoryHierarchy mem(sim, node_with(c));
+  timed_access(sim, mem, AccessType::kLoad, 0x300);
+  timed_access(sim, mem, AccessType::kStore, 0x300);
+  const LineState st = mem.l1(0, AccessType::kLoad)->probe(0x300);
+  if (c.policy == machine::WritePolicy::kWriteBack) {
+    EXPECT_EQ(st, LineState::kModified);
+  } else {
+    // Write-through lines are never dirty.
+    EXPECT_NE(st, LineState::kModified);
+  }
+}
+
+TEST_P(WritePolicyMatrixTest, WriteTrafficOrdering) {
+  // For the same store stream: write-through issues at least as many bus
+  // transactions as write-back.
+  const PolicyCase c = GetParam();
+  auto traffic = [&](machine::WritePolicy policy) {
+    PolicyCase cc = c;
+    cc.policy = policy;
+    sim::Simulator sim;
+    MemoryHierarchy mem(sim, node_with(cc));
+    for (int i = 0; i < 32; ++i) {
+      timed_access(sim, mem, AccessType::kLoad, 0x400 + 8 * static_cast<std::uint64_t>(i % 8));
+      timed_access(sim, mem, AccessType::kStore, 0x400 + 8 * static_cast<std::uint64_t>(i % 8));
+    }
+    return mem.bus().transactions.value();
+  };
+  EXPECT_GE(traffic(machine::WritePolicy::kWriteThrough),
+            traffic(machine::WritePolicy::kWriteBack));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, WritePolicyMatrixTest,
+    ::testing::Values(PolicyCase{machine::WritePolicy::kWriteBack, true},
+                      PolicyCase{machine::WritePolicy::kWriteBack, false},
+                      PolicyCase{machine::WritePolicy::kWriteThrough, true},
+                      PolicyCase{machine::WritePolicy::kWriteThrough, false}));
+
+}  // namespace
+}  // namespace merm::memory

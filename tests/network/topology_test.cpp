@@ -1,0 +1,197 @@
+// Topology tests: structural invariants across all kinds (parameterized),
+// plus kind-specific routing checks.
+#include "network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::network {
+namespace {
+
+using machine::RoutingAlgorithm;
+using machine::TopologyKind;
+using machine::TopologyParams;
+
+TopologyParams make_params(TopologyKind kind, std::uint32_t a,
+                           std::uint32_t b = 1) {
+  TopologyParams p;
+  p.kind = kind;
+  p.dims = {a, b};
+  return p;
+}
+
+class TopologyKindTest : public ::testing::TestWithParam<TopologyParams> {};
+
+TEST_P(TopologyKindTest, PortWiringIsSymmetric) {
+  const Topology t = Topology::make(GetParam());
+  for (NodeId u = 0; u < static_cast<NodeId>(t.node_count()); ++u) {
+    for (std::uint32_t p = 0; p < t.port_count(u); ++p) {
+      const auto [v, q] = t.neighbor(u, p);
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, static_cast<NodeId>(t.node_count()));
+      const auto back = t.neighbor(v, q);
+      EXPECT_EQ(back.node, u) << "u=" << u << " p=" << p;
+      EXPECT_EQ(back.port, p) << "u=" << u << " p=" << p;
+    }
+  }
+}
+
+TEST_P(TopologyKindTest, DistancesAreAMetric) {
+  const Topology t = Topology::make(GetParam());
+  const auto n = static_cast<NodeId>(t.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_EQ(t.hop_distance(a, a), 0u);
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(t.hop_distance(a, b), t.hop_distance(b, a));
+      if (a != b) {
+        EXPECT_GE(t.hop_distance(a, b), 1u);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyKindTest, ShortestPathRoutingReachesEveryDest) {
+  const Topology t = Topology::make(GetParam());
+  const auto n = static_cast<NodeId>(t.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto path = t.path(RoutingAlgorithm::kShortestPath, a, b);
+      EXPECT_EQ(path.size(), t.hop_distance(a, b));
+    }
+  }
+}
+
+TEST_P(TopologyKindTest, DimensionOrderRoutingReachesEveryDest) {
+  const Topology t = Topology::make(GetParam());
+  const auto n = static_cast<NodeId>(t.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto path = t.path(RoutingAlgorithm::kDimensionOrder, a, b);
+      // Dimension-order is minimal on all our topologies.
+      EXPECT_EQ(path.size(), t.hop_distance(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TopologyKindTest,
+    ::testing::Values(
+        make_params(TopologyKind::kRing, 2), make_params(TopologyKind::kRing, 5),
+        make_params(TopologyKind::kRing, 8),
+        make_params(TopologyKind::kMesh2D, 1, 4),
+        make_params(TopologyKind::kMesh2D, 4, 4),
+        make_params(TopologyKind::kMesh2D, 5, 3),
+        make_params(TopologyKind::kTorus2D, 4, 4),
+        make_params(TopologyKind::kTorus2D, 2, 2),
+        make_params(TopologyKind::kTorus2D, 5, 4),
+        make_params(TopologyKind::kHypercube, 1),
+        make_params(TopologyKind::kHypercube, 2),
+        make_params(TopologyKind::kHypercube, 8),
+        make_params(TopologyKind::kHypercube, 16),
+        make_params(TopologyKind::kStar, 6),
+        make_params(TopologyKind::kFullyConnected, 5)));
+
+TEST(TopologyTest, MeshDiameterAndDegree) {
+  const Topology t = Topology::make(make_params(TopologyKind::kMesh2D, 4, 4));
+  EXPECT_EQ(t.node_count(), 16u);
+  EXPECT_EQ(t.diameter(), 6u);  // corner to corner
+  EXPECT_EQ(t.port_count(0), 2u);   // corner
+  EXPECT_EQ(t.port_count(5), 4u);   // interior
+}
+
+TEST(TopologyTest, TorusWrapsShrinkDiameter) {
+  const Topology mesh = Topology::make(make_params(TopologyKind::kMesh2D, 4, 4));
+  const Topology torus =
+      Topology::make(make_params(TopologyKind::kTorus2D, 4, 4));
+  EXPECT_EQ(torus.diameter(), 4u);
+  EXPECT_LT(torus.diameter(), mesh.diameter());
+}
+
+TEST(TopologyTest, HypercubeDiameterIsLogN) {
+  const Topology t = Topology::make(make_params(TopologyKind::kHypercube, 16));
+  EXPECT_EQ(t.diameter(), 4u);
+  EXPECT_EQ(t.port_count(0), 4u);
+}
+
+TEST(TopologyTest, HypercubeEcubeFixesLowestBitFirst) {
+  const Topology t = Topology::make(make_params(TopologyKind::kHypercube, 8));
+  // From 0 to 6 (binary 110): fix bit 1 then bit 2.
+  const auto path = t.path(RoutingAlgorithm::kDimensionOrder, 0, 6);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 1u);
+  EXPECT_EQ(path[1], 2u);
+}
+
+TEST(TopologyTest, MeshXyRoutesXFirst) {
+  const Topology t = Topology::make(make_params(TopologyKind::kMesh2D, 4, 4));
+  // From (0,0)=0 to (2,2)=10: two X hops then two Y hops.
+  NodeId here = 0;
+  std::vector<NodeId> visited{here};
+  for (std::uint32_t port : t.path(RoutingAlgorithm::kDimensionOrder, 0, 10)) {
+    here = t.neighbor(here, port).node;
+    visited.push_back(here);
+  }
+  EXPECT_EQ(visited, (std::vector<NodeId>{0, 1, 2, 6, 10}));
+}
+
+TEST(TopologyTest, RingPicksShorterDirection) {
+  const Topology t = Topology::make(make_params(TopologyKind::kRing, 8));
+  EXPECT_EQ(t.hop_distance(0, 3), 3u);
+  EXPECT_EQ(t.hop_distance(0, 6), 2u);  // around the back
+  NodeId here = 0;
+  const auto path = t.path(RoutingAlgorithm::kDimensionOrder, 0, 6);
+  ASSERT_EQ(path.size(), 2u);
+  here = t.neighbor(here, path[0]).node;
+  EXPECT_EQ(here, 7);  // went backwards
+}
+
+TEST(TopologyTest, StarRoutesThroughHub) {
+  const Topology t = Topology::make(make_params(TopologyKind::kStar, 5));
+  EXPECT_EQ(t.hop_distance(1, 2), 2u);
+  EXPECT_EQ(t.hop_distance(0, 3), 1u);
+  const auto path = t.path(RoutingAlgorithm::kDimensionOrder, 1, 4);
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(TopologyTest, FullyConnectedIsDiameterOne) {
+  const Topology t =
+      Topology::make(make_params(TopologyKind::kFullyConnected, 6));
+  EXPECT_EQ(t.diameter(), 1u);
+  EXPECT_EQ(t.port_count(0), 5u);
+}
+
+TEST(TopologyTest, LinkCounts) {
+  const Topology mesh = Topology::make(make_params(TopologyKind::kMesh2D, 3, 3));
+  // 2*(2*3) horizontal + 2*(2*3) vertical = 24 unidirectional links.
+  EXPECT_EQ(mesh.link_count(), 24u);
+  const Topology full =
+      Topology::make(make_params(TopologyKind::kFullyConnected, 4));
+  EXPECT_EQ(full.link_count(), 12u);
+}
+
+TEST(TopologyTest, RejectsInvalidConfigurations) {
+  EXPECT_THROW(Topology::make(make_params(TopologyKind::kHypercube, 6)),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::make(make_params(TopologyKind::kMesh2D, 0, 4)),
+               std::invalid_argument);
+  TopologyParams zero;
+  zero.kind = TopologyKind::kRing;
+  zero.dims = {0, 1};
+  EXPECT_THROW(Topology::make(zero), std::invalid_argument);
+}
+
+TEST(TopologyTest, SingleNodeTopologiesWork) {
+  for (auto kind : {TopologyKind::kMesh2D, TopologyKind::kRing,
+                    TopologyKind::kHypercube, TopologyKind::kStar,
+                    TopologyKind::kFullyConnected}) {
+    const Topology t = Topology::make(make_params(kind, 1, 1));
+    EXPECT_EQ(t.node_count(), 1u) << static_cast<int>(kind);
+    EXPECT_EQ(t.port_count(0), 0u);
+    EXPECT_EQ(t.diameter(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace merm::network

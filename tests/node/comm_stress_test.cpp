@@ -1,0 +1,107 @@
+// Message-layer stress: a randomized storm of tagged messages between all
+// node pairs must be delivered exactly once to a matching receive, with no
+// blocked processes left and conservation of message counts — a golden-model
+// check of CommNode matching plus the network beneath it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::node {
+namespace {
+
+struct Plan {
+  // For each (src, dst, tag): how many messages.
+  std::map<std::tuple<int, int, int>, int> count;
+};
+
+class CommStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommStressTest, RandomStormFullyDrains) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  constexpr std::uint32_t kNodes = 4;
+  sim::Rng rng(seed);
+
+  // Build a random, matched plan.
+  Plan plan;
+  const int messages = 120;
+  for (int m = 0; m < messages; ++m) {
+    const int src = static_cast<int>(rng.next_below(kNodes));
+    int dst = static_cast<int>(rng.next_below(kNodes));
+    if (dst == src) dst = (dst + 1) % kNodes;
+    const int tag = static_cast<int>(rng.next_below(5));
+    plan.count[{src, dst, tag}] += 1;
+  }
+
+  machine::MachineParams params = machine::presets::generic_risc(2, 2);
+  sim::Simulator sim;
+  Machine machine(sim, params);
+
+  // Each node: one sender process (its share of the plan, shuffled) and one
+  // receiver process (all receives directed at it, shuffled).
+  std::vector<sim::ProcessHandle> handles;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    std::vector<std::pair<int, int>> sends;   // (dst, tag)
+    std::vector<std::pair<int, int>> recvs;   // (src, tag)
+    for (const auto& [key, cnt] : plan.count) {
+      const auto [src, dst, tag] = key;
+      for (int i = 0; i < cnt; ++i) {
+        if (src == static_cast<int>(n)) sends.emplace_back(dst, tag);
+        if (dst == static_cast<int>(n)) recvs.emplace_back(src, tag);
+      }
+    }
+    auto shuffle = [&rng](auto& v) {
+      for (std::size_t i = v.size(); i > 1; --i) {
+        std::swap(v[i - 1], v[rng.next_below(i)]);
+      }
+    };
+    shuffle(sends);
+    shuffle(recvs);
+
+    handles.push_back(sim.spawn(
+        [](sim::Simulator& s, Machine& m, std::uint32_t self,
+           std::vector<std::pair<int, int>> list,
+           std::uint64_t sd) -> sim::Process {
+          sim::Rng local(sd);
+          for (const auto& [dst, tag] : list) {
+            co_await s.delay(local.next_below(50) *
+                             sim::kTicksPerMicrosecond);
+            co_await m.comm_node(self).op_asend(
+                dst, 64 + local.next_below(4096), tag);
+          }
+        }(sim, machine, n, sends, rng.next()),
+        "sender" + std::to_string(n)));
+    handles.push_back(sim.spawn(
+        [](sim::Simulator& s, Machine& m, std::uint32_t self,
+           std::vector<std::pair<int, int>> list,
+           std::uint64_t sd) -> sim::Process {
+          sim::Rng local(sd);
+          for (const auto& [src, tag] : list) {
+            co_await s.delay(local.next_below(20) *
+                             sim::kTicksPerMicrosecond);
+            co_await m.comm_node(self).op_recv(src, tag);
+          }
+        }(sim, machine, n, recvs, rng.next()),
+        "receiver" + std::to_string(n)));
+  }
+
+  sim.run();
+  EXPECT_TRUE(Machine::all_finished(handles)) << "storm did not drain";
+  EXPECT_EQ(sim.live_processes(), 0u);
+  // Conservation: every planned message travelled the network exactly once.
+  EXPECT_EQ(machine.network().messages.value(),
+            static_cast<std::uint64_t>(messages));
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(machine.comm_node(n).unclaimed_messages(), 0u) << "node " << n;
+    EXPECT_EQ(machine.comm_node(n).pending_receives(), 0u) << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommStressTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace merm::node

@@ -1,0 +1,234 @@
+// Machine assembly and hybrid-model tests: detailed runs, the task recorder
+// (Fig. 2's computational-task derivation), shared-memory configuration, and
+// footprint accounting.
+#include "node/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/params.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::node {
+namespace {
+
+using trace::DataType;
+using trace::OpCode;
+using trace::Operation;
+
+constexpr sim::Tick kUs = sim::kTicksPerMicrosecond;
+
+std::vector<Operation> small_compute_block(int loads) {
+  std::vector<Operation> ops;
+  for (int i = 0; i < loads; ++i) {
+    ops.push_back(Operation::ifetch(0x1000 + 4 * static_cast<std::uint64_t>(i)));
+    ops.push_back(
+        Operation::load(DataType::kDouble, 0x100000 + 8 * static_cast<std::uint64_t>(i)));
+    ops.push_back(Operation::add(DataType::kDouble));
+  }
+  return ops;
+}
+
+TEST(MachineTest, DetailedRunExecutesComputationalOps) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::powerpc601_node());
+  trace::Workload w;
+  w.sources.push_back(
+      std::make_unique<trace::VectorSource>(small_compute_block(100)));
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(Machine::all_finished(handles));
+  EXPECT_EQ(m.compute_node(0).cpu(0).ops_executed.value(), 300u);
+  EXPECT_GT(sim.now(), 0u);
+  EXPECT_EQ(m.total_ops_executed(), 300u);
+}
+
+TEST(MachineTest, DetailedRunRejectsWrongSourceCount) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::t805_multicomputer(2, 2));
+  trace::Workload w;  // empty: wrong
+  EXPECT_THROW(m.launch_detailed(w), std::invalid_argument);
+}
+
+TEST(MachineTest, TaskLevelRunRejectsWrongSourceCount) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::t805_multicomputer(2, 2));
+  trace::Workload w;
+  w.sources.push_back(std::make_unique<trace::VectorSource>());
+  EXPECT_THROW(m.launch_task_level(w), std::invalid_argument);
+}
+
+TEST(MachineTest, DetailedCommunicationFlowsThroughNetwork) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::t805_multicomputer(2, 1));
+  trace::Workload w;
+  std::vector<Operation> n0 = small_compute_block(10);
+  n0.push_back(Operation::asend(256, 1, 0));
+  std::vector<Operation> n1 = small_compute_block(10);
+  n1.push_back(Operation::recv(0, 0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n1));
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(Machine::all_finished(handles));
+  EXPECT_EQ(m.total_messages(), 1u);
+  EXPECT_EQ(m.comm_node(0).asends.value(), 1u);
+  EXPECT_EQ(m.comm_node(1).recvs.value(), 1u);
+}
+
+TEST(MachineTest, TaskRecorderDerivesTaskLevelTrace) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::t805_multicomputer(2, 1));
+  trace::Workload w;
+  std::vector<Operation> n0 = small_compute_block(20);
+  n0.push_back(Operation::asend(256, 1, 0));
+  auto more = small_compute_block(5);
+  n0.insert(n0.end(), more.begin(), more.end());
+  std::vector<Operation> n1{Operation::recv(0, 0)};
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n1));
+
+  std::vector<TaskRecorder> recorders;
+  m.launch_detailed(w, &recorders);
+  sim.run();
+
+  ASSERT_EQ(recorders.size(), 2u);
+  const auto& tasks0 = recorders[0].task_trace();
+  // compute, asend, compute.
+  ASSERT_EQ(tasks0.size(), 3u);
+  EXPECT_EQ(tasks0[0].code, OpCode::kCompute);
+  EXPECT_EQ(tasks0[1].code, OpCode::kASend);
+  EXPECT_EQ(tasks0[2].code, OpCode::kCompute);
+  EXPECT_GT(tasks0[0].value, 0u);
+  // The derived compute durations reflect measured simulated time: 20 loads
+  // take about 4x as long as 5 loads.
+  const double ratio = static_cast<double>(tasks0[0].value) /
+                       static_cast<double>(tasks0[2].value);
+  EXPECT_NEAR(ratio, 4.0, 1.5);
+
+  // Node 1: only the recv (blocking time is not a task).
+  const auto& tasks1 = recorders[1].task_trace();
+  ASSERT_EQ(tasks1.size(), 1u);
+  EXPECT_EQ(tasks1[0].code, OpCode::kRecv);
+}
+
+TEST(MachineTest, DerivedTaskTraceReplaysOnCommModel) {
+  // The hybrid-model contract (Fig. 2): a task-level trace derived from a
+  // detailed run must replay with the same communication structure.
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::t805_multicomputer(2, 1));
+  trace::Workload w;
+  std::vector<Operation> n0 = small_compute_block(20);
+  n0.push_back(Operation::asend(256, 1, 0));
+  std::vector<Operation> n1 = small_compute_block(40);
+  n1.push_back(Operation::recv(0, 0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(n1));
+  std::vector<TaskRecorder> recorders;
+  m.launch_detailed(w, &recorders);
+  sim.run();
+  const sim::Tick detailed_time = sim.now();
+
+  sim::Simulator sim2;
+  Machine m2(sim2, machine::presets::t805_multicomputer(2, 1));
+  trace::Workload tasks;
+  for (const auto& rec : recorders) {
+    tasks.sources.push_back(
+        std::make_unique<trace::VectorSource>(rec.task_trace()));
+  }
+  const auto handles = m2.launch_task_level(tasks);
+  sim2.run();
+  EXPECT_TRUE(Machine::all_finished(handles));
+  EXPECT_EQ(m2.total_messages(), 1u);
+  // Task-level replay reproduces the detailed timing closely (same machine).
+  const double err =
+      std::abs(static_cast<double>(sim2.now()) -
+               static_cast<double>(detailed_time)) /
+      static_cast<double>(detailed_time);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(MachineTest, SharedMemoryConfigurationMultipleCpusOneNode) {
+  // Section 4.3: shared-memory multiprocessor = single node, several CPUs on
+  // a common hierarchy, computational model only.
+  machine::MachineParams params = machine::presets::powerpc601_node();
+  params.node.cpu_count = 4;
+  sim::Simulator sim;
+  Machine m(sim, params);
+  EXPECT_EQ(m.node_count(), 1u);
+  EXPECT_EQ(m.cpus_per_node(), 4u);
+  EXPECT_TRUE(m.compute_node(0).memory().coherent());
+
+  trace::Workload w;
+  for (int c = 0; c < 4; ++c) {
+    w.sources.push_back(
+        std::make_unique<trace::VectorSource>(small_compute_block(50)));
+  }
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(Machine::all_finished(handles));
+  // All four CPUs ran; shared addresses mean snoop traffic occurred.
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.compute_node(0).cpu(c).ops_executed.value(), 150u);
+  }
+}
+
+TEST(MachineTest, HybridClustersCpusShareNodeCommNode) {
+  // Section 4.3: clusters of SMP nodes in a message-passing network.
+  machine::MachineParams params = machine::presets::generic_risc(2, 1);
+  params.node.cpu_count = 2;
+  sim::Simulator sim;
+  Machine m(sim, params);
+  trace::Workload w;
+  // node0.cpu0 sends, node1.cpu1 receives; other CPUs compute.
+  std::vector<Operation> send_trace = small_compute_block(5);
+  send_trace.push_back(Operation::asend(128, 1, 0));
+  std::vector<Operation> recv_trace = small_compute_block(5);
+  recv_trace.push_back(Operation::recv(0, 0));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(send_trace));
+  w.sources.push_back(
+      std::make_unique<trace::VectorSource>(small_compute_block(5)));
+  w.sources.push_back(
+      std::make_unique<trace::VectorSource>(small_compute_block(5)));
+  w.sources.push_back(std::make_unique<trace::VectorSource>(recv_trace));
+  const auto handles = m.launch_detailed(w);
+  sim.run();
+  EXPECT_TRUE(Machine::all_finished(handles));
+  EXPECT_EQ(m.total_messages(), 1u);
+}
+
+TEST(MachineTest, FootprintGrowsWithNodesAndCaches) {
+  sim::Simulator sim_small;
+  Machine small(sim_small, machine::presets::t805_multicomputer(2, 1));
+  sim::Simulator sim_big;
+  Machine big(sim_big, machine::presets::t805_multicomputer(4, 4));
+  EXPECT_GT(big.footprint_bytes(), small.footprint_bytes());
+
+  sim::Simulator sim_cached;
+  Machine cached(sim_cached, machine::presets::generic_risc(2, 1));
+  sim::Simulator sim_cacheless;
+  machine::MachineParams p = machine::presets::generic_risc(2, 1);
+  p.node.memory.levels.clear();
+  Machine cacheless(sim_cacheless, p);
+  EXPECT_GT(cached.footprint_bytes(), cacheless.footprint_bytes());
+}
+
+TEST(MachineTest, StatsRegistryCoversNodesAndNetwork) {
+  sim::Simulator sim;
+  Machine m(sim, machine::presets::generic_risc(2, 2));
+  stats::StatRegistry reg;
+  m.register_stats(reg, "m");
+  const auto counters = reg.counter_values();
+  EXPECT_GT(counters.size(), 10u);
+  bool has_net = false;
+  bool has_node = false;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("m.net.", 0) == 0) has_net = true;
+    if (name.rfind("m.node0.", 0) == 0) has_node = true;
+  }
+  EXPECT_TRUE(has_net);
+  EXPECT_TRUE(has_node);
+}
+
+}  // namespace
+}  // namespace merm::node

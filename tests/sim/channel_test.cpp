@@ -1,0 +1,232 @@
+// Channel semantics tests: rendezvous, buffering, blocking accounting,
+// FIFO fairness, and try_* operations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::sim {
+namespace {
+
+TEST(ChannelTest, RendezvousTransfersValue) {
+  Simulator sim;
+  Channel<int> ch;  // capacity 0
+  int received = -1;
+  Tick recv_time = 0;
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Process {
+    co_await s.delay(50);
+    co_await c.send(42);
+  }(sim, ch));
+  sim.spawn([](Simulator& s, Channel<int>& c, int& out, Tick& t) -> Process {
+    out = co_await c.receive();
+    t = s.now();
+  }(sim, ch, received, recv_time));
+  sim.run();
+  EXPECT_EQ(received, 42);
+  EXPECT_EQ(recv_time, 50u);  // receiver blocked until sender arrived
+}
+
+TEST(ChannelTest, RendezvousBlocksSenderUntilReceiver) {
+  Simulator sim;
+  Channel<int> ch;
+  Tick send_done = 0;
+  sim.spawn([](Simulator& s, Channel<int>& c, Tick& t) -> Process {
+    co_await c.send(1);
+    t = s.now();
+  }(sim, ch, send_done));
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Process {
+    co_await s.delay(70);
+    (void)co_await c.receive();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(send_done, 70u);
+}
+
+TEST(ChannelTest, BufferedSendDoesNotBlockUntilFull) {
+  Simulator sim;
+  Channel<int> ch(2);
+  std::vector<Tick> send_times;
+  sim.spawn([](Simulator& s, Channel<int>& c, std::vector<Tick>& t) -> Process {
+    for (int i = 0; i < 3; ++i) {
+      co_await c.send(i);
+      t.push_back(s.now());
+    }
+  }(sim, ch, send_times));
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Process {
+    co_await s.delay(100);
+    for (int i = 0; i < 3; ++i) (void)co_await c.receive();
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(send_times.size(), 3u);
+  EXPECT_EQ(send_times[0], 0u);    // buffered
+  EXPECT_EQ(send_times[1], 0u);    // buffered
+  EXPECT_EQ(send_times[2], 100u);  // blocked until first receive freed a slot
+}
+
+TEST(ChannelTest, ValuesArriveInFifoOrder) {
+  Simulator sim;
+  Channel<int> ch(kUnbounded);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c) -> Process {
+    for (int i = 0; i < 8; ++i) co_await c.send(i);
+  }(ch));
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Process {
+    for (int i = 0; i < 8; ++i) out.push_back(co_await c.receive());
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ChannelTest, MultipleReceiversServedFifo) {
+  Simulator sim;
+  Channel<int> ch;
+  std::vector<std::pair<int, int>> got;  // (receiver id, value)
+  for (int id = 0; id < 3; ++id) {
+    sim.spawn([](Channel<int>& c, std::vector<std::pair<int, int>>& out,
+                 int rid) -> Process {
+      const int v = co_await c.receive();
+      out.emplace_back(rid, v);
+    }(ch, got, id));
+  }
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Process {
+    co_await s.delay(10);
+    for (int i = 0; i < 3; ++i) co_await c.send(i);
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  // Longest-waiting receiver gets the first value.
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(got[2], (std::pair<int, int>{2, 2}));
+}
+
+TEST(ChannelTest, BlockedCountsAreVisible) {
+  Simulator sim;
+  Channel<int> ch;  // rendezvous
+  sim.spawn([](Channel<int>& c) -> Process { co_await c.send(9); }(ch));
+  sim.run();
+  EXPECT_EQ(ch.blocked_senders(), 1u);
+  EXPECT_EQ(ch.blocked_receivers(), 0u);
+  sim.spawn([](Channel<int>& c) -> Process { (void)co_await c.receive(); }(ch));
+  sim.run();
+  EXPECT_EQ(ch.blocked_senders(), 0u);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(ChannelTest, TrySendFailsWhenFullAndNoReceiver) {
+  Simulator sim;
+  Channel<int> ch(1);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_FALSE(ch.try_send(2));
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(ChannelTest, TrySendDeliversToWaitingReceiver) {
+  Simulator sim;
+  Channel<int> ch;  // capacity 0
+  int got = -1;
+  sim.spawn([](Channel<int>& c, int& out) -> Process {
+    out = co_await c.receive();
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(ch.blocked_receivers(), 1u);
+  EXPECT_TRUE(ch.try_send(7));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(ChannelTest, TryReceiveFromBufferAndFromBlockedSender) {
+  Simulator sim;
+  Channel<std::string> buffered(4);
+  EXPECT_EQ(buffered.try_receive(), std::nullopt);
+  ASSERT_TRUE(buffered.try_send("a"));
+  const auto v = buffered.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "a");
+
+  Channel<std::string> rendezvous;
+  sim.spawn([](Channel<std::string>& c) -> Process {
+    co_await c.send("from-sender");
+  }(rendezvous));
+  sim.run();
+  const auto w = rendezvous.try_receive();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, "from-sender");
+  sim.run();  // lets the released sender finish
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(ChannelTest, TryReceiveReleasingSenderRefillsBuffer) {
+  Simulator sim;
+  Channel<int> ch(1);
+  sim.spawn([](Channel<int>& c) -> Process {
+    co_await c.send(1);  // buffered
+    co_await c.send(2);  // blocks
+  }(ch));
+  sim.run();
+  EXPECT_EQ(ch.size(), 1u);
+  EXPECT_EQ(ch.blocked_senders(), 1u);
+  const auto v = ch.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  sim.run();  // sender resumes, its value lands in the buffer
+  EXPECT_EQ(ch.size(), 1u);
+  const auto w = ch.try_receive();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 2);
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  Simulator sim;
+  Channel<std::unique_ptr<int>> ch(1);
+  int got = 0;
+  sim.spawn([](Channel<std::unique_ptr<int>>& c) -> Process {
+    co_await c.send(std::make_unique<int>(31));
+  }(ch));
+  sim.spawn([](Channel<std::unique_ptr<int>>& c, int& out) -> Process {
+    auto p = co_await c.receive();
+    out = *p;
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, 31);
+}
+
+// Ping-pong across two rendezvous channels: the classic two-process
+// synchronization structure used by the node models.
+Process pinger(Simulator& sim, Channel<int>& out, Channel<int>& in,
+               std::vector<Tick>& times, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await sim.delay(10);
+    co_await out.send(i);
+    (void)co_await in.receive();
+    times.push_back(sim.now());
+  }
+}
+
+Process ponger(Simulator& sim, Channel<int>& in, Channel<int>& out,
+               int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int v = co_await in.receive();
+    co_await sim.delay(5);
+    co_await out.send(v);
+  }
+}
+
+TEST(ChannelTest, PingPongRoundTripTiming) {
+  Simulator sim;
+  Channel<int> ab;
+  Channel<int> ba;
+  std::vector<Tick> times;
+  sim.spawn(pinger(sim, ab, ba, times, 3));
+  sim.spawn(ponger(sim, ab, ba, 3));
+  sim.run();
+  // Each round: 10 (think) + 5 (pong delay) = 15.
+  EXPECT_EQ(times, (std::vector<Tick>{15, 30, 45}));
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace merm::sim

@@ -1,0 +1,234 @@
+// Tests for the coroutine process machinery: delays, events, tasks, joins,
+// and exception propagation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace merm::sim {
+namespace {
+
+Process ticker(Simulator& sim, std::vector<Tick>& out, Tick step, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay{step};
+    out.push_back(sim.now());
+  }
+}
+
+TEST(CoroTest, DelayAdvancesSimulatedTime) {
+  Simulator sim;
+  std::vector<Tick> times;
+  sim.spawn(ticker(sim, times, 10, 3));
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Tick>{10, 20, 30}));
+}
+
+TEST(CoroTest, ProcessesInterleaveByTime) {
+  Simulator sim;
+  std::vector<Tick> a;
+  std::vector<Tick> b;
+  sim.spawn(ticker(sim, a, 10, 3));  // 10 20 30
+  sim.spawn(ticker(sim, b, 7, 3));   // 7 14 21
+  sim.run();
+  EXPECT_EQ(a, (std::vector<Tick>{10, 20, 30}));
+  EXPECT_EQ(b, (std::vector<Tick>{7, 14, 21}));
+}
+
+TEST(CoroTest, SpawnStartsAtCurrentTime) {
+  Simulator sim;
+  Tick started = kTickMax;
+  sim.schedule_at(42, [&] {
+    sim.spawn([](Simulator& s, Tick& out) -> Process {
+      out = s.now();
+      co_return;
+    }(sim, started));
+  });
+  sim.run();
+  EXPECT_EQ(started, 42u);
+}
+
+TEST(CoroTest, JoinWaitsForCompletion) {
+  Simulator sim;
+  std::vector<Tick> dummy;
+  ProcessHandle worker = sim.spawn(ticker(sim, dummy, 5, 4));  // ends at 20
+  Tick joined_at = 0;
+  sim.spawn([](Simulator& s, ProcessHandle w, Tick& out) -> Process {
+    co_await w.join();
+    out = s.now();
+  }(sim, worker, joined_at));
+  sim.run();
+  EXPECT_EQ(joined_at, 20u);
+  EXPECT_TRUE(worker.finished());
+}
+
+TEST(CoroTest, JoinOnFinishedProcessDoesNotBlock) {
+  Simulator sim;
+  std::vector<Tick> dummy;
+  ProcessHandle worker = sim.spawn(ticker(sim, dummy, 1, 1));
+  sim.run();
+  ASSERT_TRUE(worker.finished());
+  Tick joined_at = kTickMax;
+  sim.spawn([](Simulator& s, ProcessHandle w, Tick& out) -> Process {
+    co_await w.join();
+    out = s.now();
+  }(sim, worker, joined_at));
+  sim.run();
+  EXPECT_EQ(joined_at, 1u);
+}
+
+TEST(CoroTest, EventReleasesAllWaiters) {
+  Simulator sim;
+  Event ev;
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Event& e, std::vector<int>& w, int id) -> Process {
+      co_await e;
+      w.push_back(id);
+    }(ev, woke, i));
+  }
+  sim.schedule_at(100, [&] { ev.trigger(); });
+  sim.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));  // FIFO release
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(CoroTest, TriggeredEventDoesNotSuspend) {
+  Simulator sim;
+  Event ev;
+  ev.trigger();
+  bool ran = false;
+  sim.spawn([](Event& e, bool& r) -> Process {
+    co_await e;
+    r = true;
+  }(ev, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CoroTest, EventResetReArms) {
+  Simulator sim;
+  Event ev;
+  int wakeups = 0;
+  sim.spawn([](Event& e, int& n) -> Process {
+    co_await e;
+    ++n;
+    e.reset();
+    co_await e;
+    ++n;
+  }(ev, wakeups));
+  sim.schedule_at(10, [&] { ev.trigger(); });
+  sim.schedule_at(20, [&] { ev.trigger(); });
+  sim.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+Task<int> doubler(int x) { co_return x * 2; }
+
+Task<int> delayed_sum(Simulator&, int a, int b) {
+  co_await Delay{100};
+  const int da = co_await doubler(a);
+  const int db = co_await doubler(b);
+  co_return da + db;
+}
+
+TEST(CoroTest, TaskReturnsValueThroughNestedAwaits) {
+  Simulator sim;
+  int result = 0;
+  Tick finished = 0;
+  sim.spawn([](Simulator& s, int& r, Tick& f) -> Process {
+    r = co_await delayed_sum(s, 3, 4);
+    f = s.now();
+  }(sim, result, finished));
+  sim.run();
+  EXPECT_EQ(result, 14);
+  EXPECT_EQ(finished, 100u);
+}
+
+Task<> failing_task() {
+  co_await Delay{5};
+  throw std::runtime_error("task boom");
+}
+
+TEST(CoroTest, TaskExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn([](bool& c) -> Process {
+    try {
+      co_await failing_task();
+    } catch (const std::runtime_error& e) {
+      c = std::string(e.what()) == "task boom";
+    }
+  }(caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Process failing_process() {
+  co_await Delay{10};
+  throw std::logic_error("process boom");
+}
+
+TEST(CoroTest, ProcessExceptionSurfacesFromRun) {
+  Simulator sim;
+  sim.spawn(failing_process());
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(CoroTest, LiveProcessAccounting) {
+  Simulator sim;
+  std::vector<Tick> dummy;
+  sim.spawn(ticker(sim, dummy, 10, 2), "short");
+  Event never;
+  sim.spawn([](Event& e) -> Process { co_await e; }(never), "blocked");
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 1u);
+  const auto names = sim.live_process_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "blocked");
+  sim.collect_finished();
+  EXPECT_EQ(sim.live_processes(), 1u);
+}
+
+TEST(CoroTest, CollectFinishedFreesOnlyDoneProcesses) {
+  Simulator sim;
+  std::vector<Tick> dummy;
+  for (int i = 0; i < 5; ++i) sim.spawn(ticker(sim, dummy, 1, 1));
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 0u);
+  sim.collect_finished();  // must not crash / double free
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+// A process that spawns another process mid-run.
+Process parent(Simulator& sim, std::vector<Tick>& out) {
+  co_await Delay{10};
+  sim.spawn(ticker(sim, out, 5, 2));  // 15, 20
+  co_await Delay{100};
+}
+
+TEST(CoroTest, ProcessCanSpawnProcesses) {
+  Simulator sim;
+  std::vector<Tick> out;
+  sim.spawn(parent(sim, out));
+  sim.run();
+  EXPECT_EQ(out, (std::vector<Tick>{15, 20}));
+}
+
+TEST(CoroTest, DelayPriorityOrdersSimultaneousResumes) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](std::vector<int>& o, int prio, int id) -> Process {
+    co_await Delay{10, prio};
+    o.push_back(id);
+  };
+  sim.spawn(proc(order, 5, 0));
+  sim.spawn(proc(order, -5, 1));
+  sim.spawn(proc(order, 0, 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace merm::sim

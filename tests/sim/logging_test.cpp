@@ -1,0 +1,105 @@
+// Logging facility tests: levels, sinks, formatting, and integration with
+// the models (comm layer logs at debug level).
+#include "sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/apps.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::sim {
+namespace {
+
+// RAII guard: restores global logger state after each test.
+struct LoggerGuard {
+  LoggerGuard() { Logger::instance().set_level(LogLevel::kOff); }
+  ~LoggerGuard() {
+    Logger::instance().set_level(LogLevel::kOff);
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_sink([](const std::string&) {});
+  }
+};
+
+TEST(LoggingTest, OffByDefaultAndCheap) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](const std::string& l) { lines.push_back(l); });
+  Log log("test");
+  log.info(100, "should not appear");
+  EXPECT_TRUE(lines.empty());
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+}
+
+TEST(LoggingTest, LevelsFilterInOrder) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](const std::string& l) { lines.push_back(l); });
+  Logger::instance().set_level(LogLevel::kInfo);
+  Log log("component");
+  log.warn(1, "warn msg");
+  log.info(2, "info msg");
+  log.debug(3, "debug msg");   // filtered
+  log.trace(4, "trace msg");   // filtered
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("warn component: warn msg"), std::string::npos);
+  EXPECT_NE(lines[1].find("info component: info msg"), std::string::npos);
+}
+
+TEST(LoggingTest, LinesCarrySimulatedTime) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](const std::string& l) { lines.push_back(l); });
+  Logger::instance().set_level(LogLevel::kInfo);
+  Log log("t");
+  log.info(3 * kTicksPerMicrosecond, "tick");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[3.00 us]"), std::string::npos);
+}
+
+TEST(LoggingTest, VariadicArgumentsConcatenate) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](const std::string& l) { lines.push_back(l); });
+  Logger::instance().set_level(LogLevel::kDebug);
+  Log log("x");
+  log.debug(0, "a=", 42, " b=", 3.5, " c=", "str");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("a=42 b=3.5 c=str"), std::string::npos);
+}
+
+TEST(LoggingTest, CommLayerLogsAtDebugLevel) {
+  LoggerGuard guard;
+  std::vector<std::string> lines;
+  Logger::instance().set_sink(
+      [&lines](const std::string& l) { lines.push_back(l); });
+  Logger::instance().set_level(LogLevel::kDebug);
+
+  sim::Simulator sim;
+  node::Machine m(sim, machine::presets::t805_multicomputer(2, 1));
+  auto w = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::pingpong(a, s, n, gen::PingPongParams{2, 64});
+      });
+  m.launch_detailed(w);
+  sim.run();
+
+  bool saw_send = false;
+  for (const std::string& line : lines) {
+    if (line.find("comm:") != std::string::npos &&
+        line.find("send(") != std::string::npos) {
+      saw_send = true;
+    }
+  }
+  EXPECT_TRUE(saw_send);
+}
+
+}  // namespace
+}  // namespace merm::sim

@@ -1,0 +1,158 @@
+// Determinism and statistical sanity of the kernel's PRNG and distributions.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace merm::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(77);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRealMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(40.0);
+  EXPECT_NEAR(sum / kN, 40.0, 1.0);
+}
+
+TEST(RngTest, NormalMeanAndSpread) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(DiscreteDistributionTest, ProportionsFollowWeights) {
+  Rng rng(23);
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  DiscreteDistribution dist(weights);
+  std::array<int, 3> hits{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits[dist.sample(rng)] += 1;
+  }
+  EXPECT_NEAR(hits[0] / double(kN), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / double(kN), 0.2, 0.01);
+  EXPECT_NEAR(hits[2] / double(kN), 0.7, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  Rng rng(29);
+  const std::array<double, 3> weights{1.0, 0.0, 1.0};
+  DiscreteDistribution dist(weights);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(dist.sample(rng), 1u);
+  }
+}
+
+TEST(DiscreteDistributionTest, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteDistribution(std::array<double, 2>{1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution(std::array<double, 2>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution(std::span<const double>{}),
+               std::invalid_argument);
+}
+
+TEST(ZipfDistributionTest, LowRanksDominate) {
+  Rng rng(31);
+  ZipfDistribution dist(64, 1.0);
+  std::vector<int> hits(64, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const auto idx = dist.sample(rng);
+    ASSERT_LT(idx, 64u);
+    hits[idx] += 1;
+  }
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[0], kN / 10);
+}
+
+TEST(ZipfDistributionTest, RejectsEmpty) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace merm::sim

@@ -1,0 +1,136 @@
+// Unit tests for the event-queue core of the kernel: ordering, run bounds,
+// stop, and callback scheduling.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace merm::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, RunsCallbacksInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, PriorityBreaksTimeTies) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); }, /*priority=*/1);
+  sim.schedule_at(5, [&] { order.push_back(0); }, /*priority=*/-1);
+  sim.schedule_at(5, [&] { order.push_back(2); }, /*priority=*/2);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, ScheduleInIsRelativeToNow) {
+  Simulator sim;
+  Tick seen = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastClampsToNow) {
+  Simulator sim;
+  Tick seen = kTickMax;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimulatorTest, TimeLimitStopsBeforeLaterEvents) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.schedule_at(10, [] {});
+  sim.schedule_at(1000, [&] { late_ran = true; });
+  EXPECT_EQ(sim.run(/*until=*/100), Simulator::RunResult::kTimeLimit);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), 100u);
+  // Resuming runs the remaining event.
+  EXPECT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  EXPECT_TRUE(late_ran);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(SimulatorTest, TimeLimitInPastDoesNotRewindClock) {
+  Simulator sim;
+  sim.schedule_at(500, [] {});
+  sim.schedule_at(700, [] {});
+  sim.run(/*until=*/600);
+  EXPECT_EQ(sim.now(), 600u);
+  sim.run(/*until=*/100);  // earlier than now: no-op
+  EXPECT_EQ(sim.now(), 600u);
+}
+
+TEST(SimulatorTest, EventLimit) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(static_cast<Tick>(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run(kTickMax, 4), Simulator::RunResult::kEventLimit);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(static_cast<Tick>(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  EXPECT_EQ(sim.run(), Simulator::RunResult::kStopped);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_at(static_cast<Tick>(i), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorTest, EmptyRunIsIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+}  // namespace
+}  // namespace merm::sim

@@ -1,0 +1,156 @@
+// Statistics layer tests.
+#include "stats/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace merm::stats {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AccumulatorTest, SummaryStatistics) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, EmptyIsZeroed) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Log2HistogramTest, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(10), 1u); // 1024
+  EXPECT_EQ(h.summary().count(), 5u);
+}
+
+TEST(Log2HistogramTest, QuantileUpperBound) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);    // bucket [8,16)
+  for (int i = 0; i < 10; ++i) h.add(5000);  // bucket [4096,8192)
+  EXPECT_LE(h.quantile_upper_bound(0.5), 15u);
+  EXPECT_GE(h.quantile_upper_bound(0.99), 4096u);
+}
+
+TEST(TimeSeriesTest, RecordsAndWritesCsv) {
+  TimeSeries ts;
+  ts.record(100, 1.5);
+  ts.record(200, 2.5);
+  std::ostringstream os;
+  ts.write_csv(os, "value");
+  EXPECT_EQ(os.str(), "time_ps,value\n100,1.5\n200,2.5\n");
+}
+
+TEST(StatRegistryTest, LooksUpRegisteredMetrics) {
+  StatRegistry reg;
+  Counter c;
+  c.add(42);
+  Accumulator a;
+  a.add(3.0);
+  reg.register_counter("x.count", &c);
+  reg.register_accumulator("x.lat", &a);
+  EXPECT_EQ(reg.counter("x.count"), 42u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  ASSERT_NE(reg.accumulator("x.lat"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.accumulator("x.lat")->mean(), 3.0);
+  EXPECT_EQ(reg.accumulator("nope"), nullptr);
+}
+
+TEST(StatRegistryTest, SnapshotSortedByName) {
+  StatRegistry reg;
+  Counter a;
+  Counter b;
+  reg.register_counter("z.second", &b);
+  reg.register_counter("a.first", &a);
+  const auto values = reg.counter_values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "a.first");
+  EXPECT_EQ(values[1].first, "z.second");
+}
+
+TEST(StatRegistryTest, CsvHasHeaderAndRows) {
+  StatRegistry reg;
+  Counter c;
+  c.add(7);
+  reg.register_counter("hits", &c);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metric,kind"), std::string::npos);
+  EXPECT_NE(out.find("hits,counter,7"), std::string::npos);
+}
+
+TEST(CounterSamplerTest, SamplesAndWritesCsv) {
+  StatRegistry reg;
+  Counter a;
+  Counter b;
+  reg.register_counter("net.msgs", &a);
+  reg.register_counter("cpu.ops", &b);
+  CounterSampler sampler(reg, {"net.msgs", "cpu.ops", "missing"});
+  a.add(5);
+  b.add(100);
+  sampler.sample(1000);
+  a.add(5);
+  b.add(50);
+  sampler.sample(2000);
+  EXPECT_EQ(sampler.samples(), 2u);
+
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "time_ps,net.msgs,cpu.ops,missing\n"
+            "1000,5,100,0\n"
+            "2000,10,150,0\n");
+
+  std::ostringstream deltas;
+  sampler.write_csv_deltas(deltas);
+  EXPECT_EQ(deltas.str(),
+            "time_ps,net.msgs,cpu.ops,missing\n"
+            "2000,5,50,0\n");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 23456 |"), std::string::npos);
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(1000.0, 0), "1000");
+}
+
+}  // namespace
+}  // namespace merm::stats

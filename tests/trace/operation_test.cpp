@@ -1,0 +1,106 @@
+// Operation set tests: Table 1 coverage, classification, and naming.
+#include "trace/operation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::trace {
+namespace {
+
+TEST(OperationTest, Table1ConstructorsProduceExpectedCodes) {
+  EXPECT_EQ(Operation::load(DataType::kInt32, 0x100).code, OpCode::kLoad);
+  EXPECT_EQ(Operation::store(DataType::kDouble, 0x200).code, OpCode::kStore);
+  EXPECT_EQ(Operation::load_const(DataType::kFloat).code, OpCode::kLoadConst);
+  EXPECT_EQ(Operation::add(DataType::kInt32).code, OpCode::kAdd);
+  EXPECT_EQ(Operation::sub(DataType::kInt32).code, OpCode::kSub);
+  EXPECT_EQ(Operation::mul(DataType::kDouble).code, OpCode::kMul);
+  EXPECT_EQ(Operation::div(DataType::kDouble).code, OpCode::kDiv);
+  EXPECT_EQ(Operation::ifetch(0x1000).code, OpCode::kIFetch);
+  EXPECT_EQ(Operation::branch(0x1004).code, OpCode::kBranch);
+  EXPECT_EQ(Operation::call(0x2000).code, OpCode::kCall);
+  EXPECT_EQ(Operation::ret(0x1008).code, OpCode::kRet);
+  EXPECT_EQ(Operation::send(64, 3).code, OpCode::kSend);
+  EXPECT_EQ(Operation::recv(2).code, OpCode::kRecv);
+  EXPECT_EQ(Operation::asend(64, 1).code, OpCode::kASend);
+  EXPECT_EQ(Operation::arecv(0).code, OpCode::kARecv);
+  EXPECT_EQ(Operation::compute(1000).code, OpCode::kCompute);
+}
+
+TEST(OperationTest, FieldsCarryOperands) {
+  const Operation send = Operation::send(4096, 7, 42);
+  EXPECT_EQ(send.value, 4096u);
+  EXPECT_EQ(send.peer, 7);
+  EXPECT_EQ(send.tag, 42);
+
+  const Operation load = Operation::load(DataType::kDouble, 0xdead0);
+  EXPECT_EQ(load.type, DataType::kDouble);
+  EXPECT_EQ(load.value, 0xdead0u);
+  EXPECT_EQ(load.peer, kNoNode);
+}
+
+TEST(OperationTest, ClassificationPartitionsTheOpcodeSpace) {
+  for (int i = 0; i < kOpCodeCount; ++i) {
+    const auto c = static_cast<OpCode>(i);
+    const int classes = (is_computational(c) ? 1 : 0) +
+                        (is_communication(c) ? 1 : 0) +
+                        (c == OpCode::kCompute ? 1 : 0);
+    EXPECT_EQ(classes, 1) << "opcode " << to_string(c);
+  }
+}
+
+TEST(OperationTest, ComputationalSubcategories) {
+  EXPECT_TRUE(is_memory_access(OpCode::kLoad));
+  EXPECT_TRUE(is_memory_access(OpCode::kStore));
+  EXPECT_FALSE(is_memory_access(OpCode::kLoadConst));
+  EXPECT_TRUE(is_arithmetic(OpCode::kDiv));
+  EXPECT_FALSE(is_arithmetic(OpCode::kLoad));
+  EXPECT_TRUE(is_instruction_fetch(OpCode::kBranch));
+  EXPECT_TRUE(is_instruction_fetch(OpCode::kCall));
+  EXPECT_TRUE(is_instruction_fetch(OpCode::kRet));
+  EXPECT_FALSE(is_instruction_fetch(OpCode::kAdd));
+}
+
+TEST(OperationTest, GlobalEventsAreExactlyCommunication) {
+  for (int i = 0; i < kOpCodeCount; ++i) {
+    const auto c = static_cast<OpCode>(i);
+    EXPECT_EQ(is_global_event(c), is_communication(c));
+  }
+  EXPECT_TRUE(is_blocking(OpCode::kSend));
+  EXPECT_TRUE(is_blocking(OpCode::kRecv));
+  EXPECT_FALSE(is_blocking(OpCode::kASend));
+  EXPECT_FALSE(is_blocking(OpCode::kARecv));
+}
+
+TEST(OperationTest, DataTypeSizes) {
+  EXPECT_EQ(size_of(DataType::kInt8), 1u);
+  EXPECT_EQ(size_of(DataType::kInt16), 2u);
+  EXPECT_EQ(size_of(DataType::kInt32), 4u);
+  EXPECT_EQ(size_of(DataType::kInt64), 8u);
+  EXPECT_EQ(size_of(DataType::kFloat), 4u);
+  EXPECT_EQ(size_of(DataType::kDouble), 8u);
+  EXPECT_TRUE(is_floating(DataType::kFloat));
+  EXPECT_FALSE(is_floating(DataType::kInt64));
+}
+
+TEST(OperationTest, NamesRoundTrip) {
+  for (int i = 0; i < kOpCodeCount; ++i) {
+    const auto c = static_cast<OpCode>(i);
+    EXPECT_EQ(opcode_from_string(to_string(c)), c);
+  }
+  for (int i = 0; i < kDataTypeCount; ++i) {
+    const auto t = static_cast<DataType>(i);
+    EXPECT_EQ(datatype_from_string(to_string(t)), t);
+  }
+  EXPECT_EQ(opcode_from_string("bogus"), std::nullopt);
+  EXPECT_EQ(datatype_from_string("f128"), std::nullopt);
+}
+
+TEST(OperationTest, ToStringUsesPaperNotation) {
+  EXPECT_EQ(to_string(Operation::load(DataType::kInt32, 0x1f00)),
+            "load(i32, 0x1f00)");
+  EXPECT_EQ(to_string(Operation::mul(DataType::kDouble)), "mul(f64)");
+  EXPECT_EQ(to_string(Operation::send(1024, 3, 7)), "send(1024, 3, tag=7)");
+  EXPECT_EQ(to_string(Operation::compute(250)), "compute(250)");
+}
+
+}  // namespace
+}  // namespace merm::trace

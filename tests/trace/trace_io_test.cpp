@@ -1,0 +1,178 @@
+// Trace serialization tests: text and binary round trips, malformed input.
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/stream.hpp"
+
+namespace merm::trace {
+namespace {
+
+std::vector<Operation> sample_ops() {
+  return {
+      Operation::ifetch(0x1000),
+      Operation::load(DataType::kDouble, 0x100010),
+      Operation::store(DataType::kInt32, 0x100020),
+      Operation::load_const(DataType::kFloat),
+      Operation::add(DataType::kDouble),
+      Operation::sub(DataType::kInt32),
+      Operation::mul(DataType::kInt64),
+      Operation::div(DataType::kDouble),
+      Operation::branch(0x1040),
+      Operation::call(0x2000),
+      Operation::ret(0x1044),
+      Operation::send(1024, 3, 5),
+      Operation::recv(2, 5),
+      Operation::asend(64, 0, 9),
+      Operation::arecv(kNoNode, 9),
+      Operation::compute(1'000'000),
+  };
+}
+
+TEST(TraceIoTest, TextRoundTripPreservesEveryOperation) {
+  const auto ops = sample_ops();
+  std::stringstream ss;
+  write_text(ss, ops);
+  const auto back = read_text(ss);
+  EXPECT_EQ(back, ops);
+}
+
+TEST(TraceIoTest, TextLinesRoundTripIndividually) {
+  for (const Operation& op : sample_ops()) {
+    const std::string line = to_text_line(op);
+    const auto back = from_text_line(line);
+    ASSERT_TRUE(back.has_value()) << line;
+    EXPECT_EQ(*back, op) << line;
+  }
+}
+
+TEST(TraceIoTest, BlankLinesAndCommentsSkipped) {
+  EXPECT_EQ(from_text_line(""), std::nullopt);
+  EXPECT_EQ(from_text_line("   "), std::nullopt);
+  EXPECT_EQ(from_text_line("# a comment"), std::nullopt);
+}
+
+TEST(TraceIoTest, MalformedLinesThrow) {
+  EXPECT_THROW(from_text_line("frobnicate 1 2"), std::runtime_error);
+  EXPECT_THROW(from_text_line("load i32"), std::runtime_error);       // missing addr
+  EXPECT_THROW(from_text_line("load f128 0x10"), std::runtime_error); // bad type
+  EXPECT_THROW(from_text_line("send 12"), std::runtime_error);        // missing dest
+  EXPECT_THROW(from_text_line("compute"), std::runtime_error);
+}
+
+TEST(TraceIoTest, MultiNodeTextRoundTrip) {
+  std::vector<std::vector<Operation>> per_node{
+      sample_ops(),
+      {Operation::compute(5), Operation::send(1, 0, 0)},
+      {},
+  };
+  std::stringstream ss;
+  write_text_multi(ss, per_node);
+  const auto back = read_text_multi(ss);
+  EXPECT_EQ(back, per_node);
+}
+
+TEST(TraceIoTest, MultiNodeTextRejectsHeaderlessOps) {
+  std::stringstream ss("compute 5\n");
+  EXPECT_THROW(read_text_multi(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  std::vector<std::vector<Operation>> per_node{sample_ops(), {}, sample_ops()};
+  std::stringstream ss;
+  write_binary(ss, per_node);
+  const auto back = read_binary(ss);
+  EXPECT_EQ(back, per_node);
+}
+
+TEST(TraceIoTest, BinaryRejectsBadMagic) {
+  std::stringstream ss("NOTATRACE_______________");
+  EXPECT_THROW(read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, BinaryRejectsTruncation) {
+  std::vector<std::vector<Operation>> per_node{sample_ops()};
+  std::stringstream ss;
+  write_binary(ss, per_node);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(TraceIoTest, CompressedRoundTrip) {
+  std::vector<std::vector<Operation>> per_node{sample_ops(), {},
+                                               sample_ops()};
+  std::stringstream ss;
+  write_compressed(ss, per_node);
+  EXPECT_EQ(read_compressed(ss), per_node);
+}
+
+TEST(TraceIoTest, CompressedBeatsFixedWidthOnRealTraces) {
+  // A realistic trace: long sequential runs of ifetch/load/store.
+  std::vector<Operation> ops;
+  for (int i = 0; i < 5000; ++i) {
+    ops.push_back(Operation::ifetch(0x1000 + 4 * static_cast<std::uint64_t>(i % 64)));
+    ops.push_back(Operation::load(DataType::kDouble,
+                                  0x100000 + 8 * static_cast<std::uint64_t>(i)));
+    ops.push_back(Operation::add(DataType::kDouble));
+  }
+  std::vector<std::vector<Operation>> per_node{ops};
+  std::stringstream fixed;
+  write_binary(fixed, per_node);
+  std::stringstream packed;
+  write_compressed(packed, per_node);
+  EXPECT_EQ(read_compressed(packed), per_node);
+  const auto fixed_size = fixed.str().size();
+  const auto packed_size = packed.str().size();
+  EXPECT_LT(packed_size * 3, fixed_size)
+      << "compressed " << packed_size << " vs fixed " << fixed_size;
+}
+
+TEST(TraceIoTest, CompressedRejectsBadHeaderAndTruncation) {
+  std::stringstream bad("WRONGMAGICxxxxxxxxxxx");
+  EXPECT_THROW(read_compressed(bad), std::runtime_error);
+  std::vector<std::vector<Operation>> per_node{sample_ops()};
+  std::stringstream ss;
+  write_compressed(ss, per_node);
+  std::string data = ss.str();
+  data.resize(data.size() - 4);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_compressed(truncated), std::runtime_error);
+}
+
+TEST(TraceIoTest, CompressedHandlesLargeDeltasAndNegativePeers) {
+  std::vector<Operation> ops{
+      Operation::load(DataType::kInt8, 0xffff'ffff'ffffULL),
+      Operation::load(DataType::kInt8, 0x10),  // huge negative delta
+      Operation::recv(kNoNode, -5),            // negative peer and tag
+      Operation::compute(std::uint64_t(1) << 60),
+  };
+  std::vector<std::vector<Operation>> per_node{ops};
+  std::stringstream ss;
+  write_compressed(ss, per_node);
+  EXPECT_EQ(read_compressed(ss), per_node);
+}
+
+TEST(StreamTest, VectorSourceDrainsInOrder) {
+  VectorSource src(sample_ops());
+  std::vector<Operation> out;
+  while (auto op = src.next()) out.push_back(*op);
+  EXPECT_EQ(out, sample_ops());
+  EXPECT_EQ(src.next(), std::nullopt);  // stays exhausted
+  src.rewind();
+  EXPECT_EQ(src.next(), sample_ops().front());
+}
+
+TEST(StreamTest, RecordingSourceCapturesPassthrough) {
+  auto inner = std::make_unique<VectorSource>(sample_ops());
+  RecordingSource rec(std::move(inner));
+  while (rec.next()) {
+  }
+  EXPECT_EQ(rec.recorded(), sample_ops());
+}
+
+}  // namespace
+}  // namespace merm::trace

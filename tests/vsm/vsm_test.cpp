@@ -1,0 +1,322 @@
+// Virtual shared memory tests: fault behaviour, coherence protocol
+// invariants, false sharing, and end-to-end DSM application runs.
+#include "vsm/vsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/apps.hpp"
+#include "gen/vsm_apps.hpp"
+#include "machine/params.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::vsm {
+namespace {
+
+using trace::DataType;
+using trace::Operation;
+
+machine::MachineParams test_machine(std::uint32_t nodes) {
+  machine::MachineParams m = machine::presets::generic_risc(nodes, 1);
+  m.topology.kind = machine::TopologyKind::kRing;
+  m.topology.dims = {nodes, 1};
+  return m;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  node::Machine machine;
+  VsmSystem vsm;
+
+  explicit Rig(std::uint32_t nodes, VsmParams params = {})
+      : machine(sim, test_machine(nodes)), vsm(machine, params) {}
+
+  std::uint64_t shared_addr(std::uint64_t offset = 0) const {
+    return vsm.params().shared_base + offset;
+  }
+};
+
+// Drives one node's agent directly (runtime-level tests).
+sim::Process touch(Rig& rig, trace::NodeId node, std::uint64_t addr,
+                   bool write, sim::Tick* done_at = nullptr) {
+  co_await rig.vsm.agent(node).ensure(addr, write);
+  if (done_at != nullptr) *done_at = rig.sim.now();
+}
+
+TEST(VsmTest, SharedRangeDetection) {
+  Rig rig(2);
+  EXPECT_FALSE(rig.vsm.agent(0).is_shared(0x1000));
+  EXPECT_TRUE(rig.vsm.agent(0).is_shared(rig.shared_addr()));
+  EXPECT_TRUE(rig.vsm.agent(0).is_shared(rig.shared_addr(12345)));
+}
+
+TEST(VsmTest, SharedBaseMatchesGeneratorLayout) {
+  // The trace generator and the DSM must agree on the shared region.
+  EXPECT_EQ(gen::AddressLayout{}.shared_base, VsmParams{}.shared_base);
+}
+
+TEST(VsmTest, FirstReadFaultsThenHits) {
+  Rig rig(4);
+  const std::uint64_t addr = rig.shared_addr(5 * 4096);  // homed at node 1
+  sim::Tick first = 0;
+  sim::Tick second = 0;
+  rig.sim.spawn([](Rig& r, std::uint64_t a, sim::Tick* t1,
+                   sim::Tick* t2) -> sim::Process {
+    const sim::Tick s0 = r.sim.now();
+    co_await r.vsm.agent(0).ensure(a, false);
+    *t1 = r.sim.now() - s0;
+    const sim::Tick s1 = r.sim.now();
+    co_await r.vsm.agent(0).ensure(a + 8, false);  // same page
+    *t2 = r.sim.now() - s1;
+  }(rig, addr, &first, &second));
+  rig.sim.run();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(second, 0u);  // hit: free at the DSM level
+  EXPECT_EQ(rig.vsm.agent(0).read_faults.value(), 1u);
+  EXPECT_EQ(rig.vsm.agent(0).mode_of(addr), PageMode::kRead);
+}
+
+TEST(VsmTest, HomeLocalFaultAvoidsNetwork) {
+  Rig rig(4);
+  // Page 0 is homed at node 0; a fault by node 0 needs no messages.
+  const auto messages_before = rig.machine.network().messages.value();
+  rig.sim.spawn(touch(rig, 0, rig.shared_addr(0), false));
+  rig.sim.run();
+  EXPECT_EQ(rig.machine.network().messages.value(), messages_before);
+  EXPECT_EQ(rig.vsm.agent(0).read_faults.value(), 1u);
+}
+
+TEST(VsmTest, RemoteFaultMovesPageTraffic) {
+  Rig rig(4);
+  // Page 1 homed at node 1; node 3 reads it: request + grant messages.
+  rig.sim.spawn(touch(rig, 3, rig.shared_addr(4096), false));
+  rig.sim.run();
+  EXPECT_GE(rig.machine.network().messages.value(), 2u);
+  // The grant carried a page: delivered bytes >= page size.
+  EXPECT_GE(rig.machine.network().bytes_delivered.value(),
+            rig.vsm.params().page_bytes);
+}
+
+TEST(VsmTest, WriteFaultInvalidatesReaders) {
+  Rig rig(4);
+  const std::uint64_t addr = rig.shared_addr(2 * 4096);
+  // Nodes 0 and 3 read the page, then node 1 writes it.
+  rig.sim.spawn(touch(rig, 0, addr, false));
+  rig.sim.spawn(touch(rig, 3, addr, false));
+  rig.sim.run();
+  EXPECT_EQ(rig.vsm.agent(0).mode_of(addr), PageMode::kRead);
+  EXPECT_EQ(rig.vsm.agent(3).mode_of(addr), PageMode::kRead);
+
+  rig.sim.spawn(touch(rig, 1, addr, true));
+  rig.sim.run();
+  EXPECT_EQ(rig.vsm.agent(1).mode_of(addr), PageMode::kWrite);
+  EXPECT_EQ(rig.vsm.agent(0).mode_of(addr), PageMode::kInvalid);
+  EXPECT_EQ(rig.vsm.agent(3).mode_of(addr), PageMode::kInvalid);
+  EXPECT_EQ(rig.vsm.total_invalidations(), 2u);
+  EXPECT_EQ(rig.vsm.single_writer_violations(), 0u);
+}
+
+TEST(VsmTest, ReadOfDirtyPageDowngradesWriter) {
+  Rig rig(4);
+  const std::uint64_t addr = rig.shared_addr(3 * 4096);
+  rig.sim.spawn(touch(rig, 2, addr, true));
+  rig.sim.run();
+  ASSERT_EQ(rig.vsm.agent(2).mode_of(addr), PageMode::kWrite);
+
+  rig.sim.spawn(touch(rig, 0, addr, false));
+  rig.sim.run();
+  EXPECT_EQ(rig.vsm.agent(2).mode_of(addr), PageMode::kRead);
+  EXPECT_EQ(rig.vsm.agent(0).mode_of(addr), PageMode::kRead);
+  EXPECT_EQ(rig.vsm.single_writer_violations(), 0u);
+}
+
+TEST(VsmTest, WriteUpgradeFromReadCopy) {
+  Rig rig(2);
+  const std::uint64_t addr = rig.shared_addr(7 * 4096);
+  rig.sim.spawn(touch(rig, 0, addr, false));
+  rig.sim.run();
+  rig.sim.spawn(touch(rig, 0, addr, true));
+  rig.sim.run();
+  EXPECT_EQ(rig.vsm.agent(0).mode_of(addr), PageMode::kWrite);
+  EXPECT_EQ(rig.vsm.agent(0).write_faults.value(), 1u);
+}
+
+TEST(VsmTest, WriteOwnershipMigrates) {
+  Rig rig(4);
+  const std::uint64_t addr = rig.shared_addr(9 * 4096);
+  for (trace::NodeId writer : {2, 3, 1, 2}) {
+    rig.sim.spawn(touch(rig, writer, addr, true));
+    rig.sim.run();
+    EXPECT_EQ(rig.vsm.agent(writer).mode_of(addr), PageMode::kWrite);
+    EXPECT_EQ(rig.vsm.single_writer_violations(), 0u);
+  }
+}
+
+// Property: under concurrent random access from every node, the
+// single-writer/multiple-reader invariant holds at every quiescent point.
+class VsmStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VsmStressTest, SingleWriterInvariantUnderConcurrency) {
+  Rig rig(4);
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (trace::NodeId node = 0; node < 4; ++node) {
+    rig.sim.spawn([](Rig& r, trace::NodeId self,
+                     std::uint64_t seed) -> sim::Process {
+      sim::Rng local(seed);
+      for (int i = 0; i < 60; ++i) {
+        const std::uint64_t addr =
+            r.shared_addr(local.next_below(6) * 4096 + local.next_below(512));
+        co_await r.vsm.agent(self).ensure(addr, local.chance(0.4));
+        co_await r.sim.delay(local.next_below(20) * sim::kTicksPerMicrosecond);
+      }
+    }(rig, node, rng.next()));
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.vsm.single_writer_violations(), 0u);
+  EXPECT_GT(rig.vsm.total_faults(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VsmStressTest, ::testing::Range(1, 7));
+
+TEST(VsmTest, FalseSharingCausesFaultPingPong) {
+  // Two nodes repeatedly write adjacent words.  In one page: every write
+  // faults (ping-pong).  Page-aligned: only the first write faults.
+  auto run = [](bool padded) {
+    Rig rig(2);
+    const std::uint64_t a0 = rig.shared_addr(0);
+    const std::uint64_t a1 = padded ? rig.shared_addr(4096) : a0 + 8;
+    for (trace::NodeId node = 0; node < 2; ++node) {
+      rig.sim.spawn([](Rig& r, trace::NodeId self, std::uint64_t addr)
+                        -> sim::Process {
+        for (int i = 0; i < 10; ++i) {
+          co_await r.vsm.agent(self).ensure(addr, true);
+          co_await r.sim.delay(50 * sim::kTicksPerMicrosecond);
+        }
+      }(rig, node, node == 0 ? a0 : a1));
+    }
+    rig.sim.run();
+    return rig.vsm.total_faults();
+  };
+  const auto faults_shared_page = run(false);
+  const auto faults_padded = run(true);
+  EXPECT_GT(faults_shared_page, 4 * faults_padded);
+  EXPECT_EQ(faults_padded, 2u);  // one cold fault per node
+}
+
+TEST(VsmTest, PageSizeTradesFaultsForBytes) {
+  // Bigger pages: fewer faults (spatial prefetch), more bytes moved per
+  // fault.
+  auto run = [](std::uint64_t page_bytes) {
+    VsmParams p;
+    p.page_bytes = page_bytes;
+    Rig rig(2, p);
+    rig.sim.spawn([](Rig& r) -> sim::Process {
+      for (std::uint64_t off = 0; off < 64 * 1024; off += 64) {
+        co_await r.vsm.agent(1).ensure(r.shared_addr(off), false);
+      }
+    }(rig));
+    rig.sim.run();
+    return std::make_pair(rig.vsm.total_faults(),
+                          rig.machine.network().bytes_delivered.value());
+  };
+  const auto [faults_small, bytes_small] = run(1024);
+  const auto [faults_large, bytes_large] = run(16 * 1024);
+  EXPECT_GT(faults_small, faults_large * 8);
+  EXPECT_GT(bytes_large, 0u);
+}
+
+// -- end-to-end: DSM applications on the detailed machine --
+
+struct VsmAppCase {
+  const char* name;
+  std::uint32_t nodes;
+  gen::AppFn app;
+};
+
+class VsmAppTest : public ::testing::TestWithParam<VsmAppCase> {};
+
+TEST_P(VsmAppTest, RunsToCompletionWithCoherentOutcome) {
+  const VsmAppCase& c = GetParam();
+  Rig rig(c.nodes);
+  auto workload = gen::make_offline_workload(c.nodes, c.app);
+  const auto handles = rig.vsm.launch_detailed(workload);
+  rig.sim.run();
+  EXPECT_TRUE(node::Machine::all_finished(handles)) << c.name;
+  EXPECT_GT(rig.vsm.total_faults(), 0u) << c.name;
+  EXPECT_EQ(rig.vsm.single_writer_violations(), 0u) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, VsmAppTest,
+    ::testing::Values(
+        VsmAppCase{"vsm_stencil", 4,
+                   [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+                     gen::vsm_stencil_spmd(a, s, n,
+                                           gen::VsmStencilParams{32, 2});
+                   }},
+        VsmAppCase{"vsm_reduction_padded", 4,
+                   [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+                     gen::vsm_reduction_spmd(
+                         a, s, n, gen::VsmReductionParams{64, 2, true});
+                   }},
+        VsmAppCase{"vsm_reduction_packed", 4,
+                   [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+                     gen::vsm_reduction_spmd(
+                         a, s, n, gen::VsmReductionParams{64, 2, false});
+                   }},
+        VsmAppCase{"vsm_broadcast", 4,
+                   [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+                     gen::vsm_broadcast_spmd(
+                         a, s, n, gen::VsmBroadcastParams{256, 2});
+                   }}),
+    [](const ::testing::TestParamInfo<VsmAppCase>& info) {
+      return info.param.name;
+    });
+
+TEST(VsmTest, StencilDsmVsExplicitMessages) {
+  // The same numerical work, programmed two ways: explicit halo messages vs
+  // shared-memory accesses.  Both must complete; the DSM version moves
+  // whole pages, so it ships at least as many bytes.
+  constexpr std::uint32_t kNodes = 4;
+  Rig dsm(kNodes);
+  auto w1 = gen::make_offline_workload(
+      kNodes, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::vsm_stencil_spmd(a, s, n, gen::VsmStencilParams{32, 2});
+      });
+  const auto h1 = dsm.vsm.launch_detailed(w1);
+  dsm.sim.run();
+  ASSERT_TRUE(node::Machine::all_finished(h1));
+  const auto dsm_bytes = dsm.machine.network().bytes_delivered.value();
+
+  sim::Simulator sim2;
+  node::Machine m2(sim2, test_machine(kNodes));
+  auto w2 = gen::make_offline_workload(
+      kNodes, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+        gen::stencil_spmd(a, s, n, gen::StencilParams{32, 2});
+      });
+  const auto h2 = m2.launch_detailed(w2);
+  sim2.run();
+  ASSERT_TRUE(node::Machine::all_finished(h2));
+  const auto msg_bytes = m2.network().bytes_delivered.value();
+
+  EXPECT_GT(dsm_bytes, msg_bytes);
+}
+
+TEST(VsmTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Rig rig(4);
+    auto w = gen::make_offline_workload(
+        4, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::vsm_stencil_spmd(a, s, n, gen::VsmStencilParams{32, 2});
+        });
+    rig.vsm.launch_detailed(w);
+    rig.sim.run();
+    return std::make_tuple(rig.sim.now(), rig.vsm.total_faults(),
+                           rig.machine.network().messages.value());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace merm::vsm
