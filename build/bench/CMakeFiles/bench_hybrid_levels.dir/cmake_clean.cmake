@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_levels.dir/bench_hybrid_levels.cpp.o"
+  "CMakeFiles/bench_hybrid_levels.dir/bench_hybrid_levels.cpp.o.d"
+  "bench_hybrid_levels"
+  "bench_hybrid_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

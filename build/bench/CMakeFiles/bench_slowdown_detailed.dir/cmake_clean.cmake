@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slowdown_detailed.dir/bench_slowdown_detailed.cpp.o"
+  "CMakeFiles/bench_slowdown_detailed.dir/bench_slowdown_detailed.cpp.o.d"
+  "bench_slowdown_detailed"
+  "bench_slowdown_detailed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowdown_detailed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slowdown_tasklevel.dir/bench_slowdown_tasklevel.cpp.o"
+  "CMakeFiles/bench_slowdown_tasklevel.dir/bench_slowdown_tasklevel.cpp.o.d"
+  "bench_slowdown_tasklevel"
+  "bench_slowdown_tasklevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowdown_tasklevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vsm.dir/bench_vsm.cpp.o"
+  "CMakeFiles/bench_vsm.dir/bench_vsm.cpp.o.d"
+  "bench_vsm"
+  "bench_vsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

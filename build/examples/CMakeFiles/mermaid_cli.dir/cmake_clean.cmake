@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mermaid_cli.dir/mermaid_cli.cpp.o"
+  "CMakeFiles/mermaid_cli.dir/mermaid_cli.cpp.o.d"
+  "mermaid_cli"
+  "mermaid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mermaid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

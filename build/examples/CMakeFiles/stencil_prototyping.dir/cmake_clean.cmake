@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_prototyping.dir/stencil_prototyping.cpp.o"
+  "CMakeFiles/stencil_prototyping.dir/stencil_prototyping.cpp.o.d"
+  "stencil_prototyping"
+  "stencil_prototyping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_prototyping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_core.dir/host.cpp.o"
+  "CMakeFiles/merm_core.dir/host.cpp.o.d"
+  "CMakeFiles/merm_core.dir/workbench.cpp.o"
+  "CMakeFiles/merm_core.dir/workbench.cpp.o.d"
+  "libmerm_core.a"
+  "libmerm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

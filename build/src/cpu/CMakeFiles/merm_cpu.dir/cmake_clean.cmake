@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/merm_cpu.dir/cpu.cpp.o.d"
+  "libmerm_cpu.a"
+  "libmerm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/annotate.cpp" "src/gen/CMakeFiles/merm_gen.dir/annotate.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/annotate.cpp.o.d"
+  "/root/repo/src/gen/apps.cpp" "src/gen/CMakeFiles/merm_gen.dir/apps.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/apps.cpp.o.d"
+  "/root/repo/src/gen/collectives.cpp" "src/gen/CMakeFiles/merm_gen.dir/collectives.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/collectives.cpp.o.d"
+  "/root/repo/src/gen/direct_execution.cpp" "src/gen/CMakeFiles/merm_gen.dir/direct_execution.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/direct_execution.cpp.o.d"
+  "/root/repo/src/gen/stochastic.cpp" "src/gen/CMakeFiles/merm_gen.dir/stochastic.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/stochastic.cpp.o.d"
+  "/root/repo/src/gen/threaded_source.cpp" "src/gen/CMakeFiles/merm_gen.dir/threaded_source.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/threaded_source.cpp.o.d"
+  "/root/repo/src/gen/vartable.cpp" "src/gen/CMakeFiles/merm_gen.dir/vartable.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/vartable.cpp.o.d"
+  "/root/repo/src/gen/vsm_apps.cpp" "src/gen/CMakeFiles/merm_gen.dir/vsm_apps.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/vsm_apps.cpp.o.d"
+  "/root/repo/src/gen/workload_config.cpp" "src/gen/CMakeFiles/merm_gen.dir/workload_config.cpp.o" "gcc" "src/gen/CMakeFiles/merm_gen.dir/workload_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/merm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/merm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_gen.dir/annotate.cpp.o"
+  "CMakeFiles/merm_gen.dir/annotate.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/apps.cpp.o"
+  "CMakeFiles/merm_gen.dir/apps.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/collectives.cpp.o"
+  "CMakeFiles/merm_gen.dir/collectives.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/direct_execution.cpp.o"
+  "CMakeFiles/merm_gen.dir/direct_execution.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/stochastic.cpp.o"
+  "CMakeFiles/merm_gen.dir/stochastic.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/threaded_source.cpp.o"
+  "CMakeFiles/merm_gen.dir/threaded_source.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/vartable.cpp.o"
+  "CMakeFiles/merm_gen.dir/vartable.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/vsm_apps.cpp.o"
+  "CMakeFiles/merm_gen.dir/vsm_apps.cpp.o.d"
+  "CMakeFiles/merm_gen.dir/workload_config.cpp.o"
+  "CMakeFiles/merm_gen.dir/workload_config.cpp.o.d"
+  "libmerm_gen.a"
+  "libmerm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/merm_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/merm_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/params.cpp" "src/machine/CMakeFiles/merm_machine.dir/params.cpp.o" "gcc" "src/machine/CMakeFiles/merm_machine.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/merm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_machine.dir/config.cpp.o"
+  "CMakeFiles/merm_machine.dir/config.cpp.o.d"
+  "CMakeFiles/merm_machine.dir/params.cpp.o"
+  "CMakeFiles/merm_machine.dir/params.cpp.o.d"
+  "libmerm_machine.a"
+  "libmerm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

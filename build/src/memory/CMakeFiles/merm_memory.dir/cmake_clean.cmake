@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_memory.dir/bus.cpp.o"
+  "CMakeFiles/merm_memory.dir/bus.cpp.o.d"
+  "CMakeFiles/merm_memory.dir/cache.cpp.o"
+  "CMakeFiles/merm_memory.dir/cache.cpp.o.d"
+  "CMakeFiles/merm_memory.dir/hierarchy.cpp.o"
+  "CMakeFiles/merm_memory.dir/hierarchy.cpp.o.d"
+  "libmerm_memory.a"
+  "libmerm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

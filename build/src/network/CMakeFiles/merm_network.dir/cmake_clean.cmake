@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_network.dir/network.cpp.o"
+  "CMakeFiles/merm_network.dir/network.cpp.o.d"
+  "CMakeFiles/merm_network.dir/topology.cpp.o"
+  "CMakeFiles/merm_network.dir/topology.cpp.o.d"
+  "libmerm_network.a"
+  "libmerm_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_node.dir/comm_node.cpp.o"
+  "CMakeFiles/merm_node.dir/comm_node.cpp.o.d"
+  "CMakeFiles/merm_node.dir/compute_node.cpp.o"
+  "CMakeFiles/merm_node.dir/compute_node.cpp.o.d"
+  "CMakeFiles/merm_node.dir/machine.cpp.o"
+  "CMakeFiles/merm_node.dir/machine.cpp.o.d"
+  "libmerm_node.a"
+  "libmerm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_sim.dir/logging.cpp.o"
+  "CMakeFiles/merm_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/merm_sim.dir/random.cpp.o"
+  "CMakeFiles/merm_sim.dir/random.cpp.o.d"
+  "CMakeFiles/merm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/merm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/merm_sim.dir/types.cpp.o"
+  "CMakeFiles/merm_sim.dir/types.cpp.o.d"
+  "libmerm_sim.a"
+  "libmerm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

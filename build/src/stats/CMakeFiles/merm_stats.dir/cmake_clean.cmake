@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_stats.dir/stats.cpp.o"
+  "CMakeFiles/merm_stats.dir/stats.cpp.o.d"
+  "libmerm_stats.a"
+  "libmerm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_trace.dir/operation.cpp.o"
+  "CMakeFiles/merm_trace.dir/operation.cpp.o.d"
+  "CMakeFiles/merm_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/merm_trace.dir/trace_io.cpp.o.d"
+  "libmerm_trace.a"
+  "libmerm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

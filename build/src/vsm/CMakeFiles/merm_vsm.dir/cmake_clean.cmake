@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merm_vsm.dir/vsm.cpp.o"
+  "CMakeFiles/merm_vsm.dir/vsm.cpp.o.d"
+  "libmerm_vsm.a"
+  "libmerm_vsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merm_vsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

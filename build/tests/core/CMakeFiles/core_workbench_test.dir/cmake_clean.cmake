@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_workbench_test.dir/workbench_test.cpp.o"
+  "CMakeFiles/core_workbench_test.dir/workbench_test.cpp.o.d"
+  "core_workbench_test"
+  "core_workbench_test.pdb"
+  "core_workbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_workbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_annotate_test.dir/annotate_test.cpp.o"
+  "CMakeFiles/gen_annotate_test.dir/annotate_test.cpp.o.d"
+  "gen_annotate_test"
+  "gen_annotate_test.pdb"
+  "gen_annotate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_annotate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

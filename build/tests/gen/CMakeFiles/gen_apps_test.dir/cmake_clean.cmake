@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_apps_test.dir/apps_test.cpp.o"
+  "CMakeFiles/gen_apps_test.dir/apps_test.cpp.o.d"
+  "gen_apps_test"
+  "gen_apps_test.pdb"
+  "gen_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

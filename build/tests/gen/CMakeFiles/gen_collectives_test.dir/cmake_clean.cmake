@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_collectives_test.dir/collectives_test.cpp.o"
+  "CMakeFiles/gen_collectives_test.dir/collectives_test.cpp.o.d"
+  "gen_collectives_test"
+  "gen_collectives_test.pdb"
+  "gen_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

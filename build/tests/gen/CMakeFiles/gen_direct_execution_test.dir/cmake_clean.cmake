@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_direct_execution_test.dir/direct_execution_test.cpp.o"
+  "CMakeFiles/gen_direct_execution_test.dir/direct_execution_test.cpp.o.d"
+  "gen_direct_execution_test"
+  "gen_direct_execution_test.pdb"
+  "gen_direct_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_direct_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

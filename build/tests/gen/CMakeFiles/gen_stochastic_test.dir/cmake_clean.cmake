@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_stochastic_test.dir/stochastic_test.cpp.o"
+  "CMakeFiles/gen_stochastic_test.dir/stochastic_test.cpp.o.d"
+  "gen_stochastic_test"
+  "gen_stochastic_test.pdb"
+  "gen_stochastic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_stochastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_threaded_source_test.dir/threaded_source_test.cpp.o"
+  "CMakeFiles/gen_threaded_source_test.dir/threaded_source_test.cpp.o.d"
+  "gen_threaded_source_test"
+  "gen_threaded_source_test.pdb"
+  "gen_threaded_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_threaded_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_vartable_test.dir/vartable_test.cpp.o"
+  "CMakeFiles/gen_vartable_test.dir/vartable_test.cpp.o.d"
+  "gen_vartable_test"
+  "gen_vartable_test.pdb"
+  "gen_vartable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_vartable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_workload_config_test.dir/workload_config_test.cpp.o"
+  "CMakeFiles/gen_workload_config_test.dir/workload_config_test.cpp.o.d"
+  "gen_workload_config_test"
+  "gen_workload_config_test.pdb"
+  "gen_workload_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_workload_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gen
+# Build directory: /root/repo/build/tests/gen
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gen/gen_vartable_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_annotate_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_stochastic_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_threaded_source_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_direct_execution_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_workload_config_test[1]_include.cmake")

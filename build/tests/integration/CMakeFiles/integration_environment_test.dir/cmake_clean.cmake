@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_environment_test.dir/environment_test.cpp.o"
+  "CMakeFiles/integration_environment_test.dir/environment_test.cpp.o.d"
+  "integration_environment_test"
+  "integration_environment_test.pdb"
+  "integration_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_validation_test.dir/validation_test.cpp.o"
+  "CMakeFiles/integration_validation_test.dir/validation_test.cpp.o.d"
+  "integration_validation_test"
+  "integration_validation_test.pdb"
+  "integration_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

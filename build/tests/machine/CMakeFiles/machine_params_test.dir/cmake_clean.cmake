@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_params_test.dir/params_test.cpp.o"
+  "CMakeFiles/machine_params_test.dir/params_test.cpp.o.d"
+  "machine_params_test"
+  "machine_params_test.pdb"
+  "machine_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

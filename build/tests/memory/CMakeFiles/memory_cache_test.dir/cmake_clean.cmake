@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_cache_test.dir/cache_test.cpp.o"
+  "CMakeFiles/memory_cache_test.dir/cache_test.cpp.o.d"
+  "memory_cache_test"
+  "memory_cache_test.pdb"
+  "memory_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_coherence_kind_test.dir/coherence_kind_test.cpp.o"
+  "CMakeFiles/memory_coherence_kind_test.dir/coherence_kind_test.cpp.o.d"
+  "memory_coherence_kind_test"
+  "memory_coherence_kind_test.pdb"
+  "memory_coherence_kind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_coherence_kind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memory_coherence_kind_test.
+# This may be replaced when dependencies are built.

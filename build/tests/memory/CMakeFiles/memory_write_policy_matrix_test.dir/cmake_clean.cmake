@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_write_policy_matrix_test.dir/write_policy_matrix_test.cpp.o"
+  "CMakeFiles/memory_write_policy_matrix_test.dir/write_policy_matrix_test.cpp.o.d"
+  "memory_write_policy_matrix_test"
+  "memory_write_policy_matrix_test.pdb"
+  "memory_write_policy_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_write_policy_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

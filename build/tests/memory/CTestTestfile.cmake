@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/memory
+# Build directory: /root/repo/build/tests/memory
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/memory/memory_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/memory/memory_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/memory/memory_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/memory/memory_coherence_kind_test[1]_include.cmake")
+include("/root/repo/build/tests/memory/memory_write_policy_matrix_test[1]_include.cmake")

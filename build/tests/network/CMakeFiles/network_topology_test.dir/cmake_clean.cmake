@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_topology_test.dir/topology_test.cpp.o"
+  "CMakeFiles/network_topology_test.dir/topology_test.cpp.o.d"
+  "network_topology_test"
+  "network_topology_test.pdb"
+  "network_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

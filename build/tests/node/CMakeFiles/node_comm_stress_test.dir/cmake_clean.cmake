@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_comm_stress_test.dir/comm_stress_test.cpp.o"
+  "CMakeFiles/node_comm_stress_test.dir/comm_stress_test.cpp.o.d"
+  "node_comm_stress_test"
+  "node_comm_stress_test.pdb"
+  "node_comm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_comm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

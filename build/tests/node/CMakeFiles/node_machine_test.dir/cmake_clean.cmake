@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_machine_test.dir/machine_test.cpp.o"
+  "CMakeFiles/node_machine_test.dir/machine_test.cpp.o.d"
+  "node_machine_test"
+  "node_machine_test.pdb"
+  "node_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

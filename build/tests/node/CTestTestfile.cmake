@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/node
+# Build directory: /root/repo/build/tests/node
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/node/node_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/node/node_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/node/node_comm_stress_test[1]_include.cmake")

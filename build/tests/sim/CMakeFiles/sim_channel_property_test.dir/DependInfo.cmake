@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/channel_property_test.cpp" "tests/sim/CMakeFiles/sim_channel_property_test.dir/channel_property_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_channel_property_test.dir/channel_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/merm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/merm_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/merm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/merm_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/merm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/merm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/merm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/merm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/merm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/merm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/merm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_coro_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_channel_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_logging_test[1]_include.cmake")

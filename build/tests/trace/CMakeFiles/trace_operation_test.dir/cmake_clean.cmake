@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_operation_test.dir/operation_test.cpp.o"
+  "CMakeFiles/trace_operation_test.dir/operation_test.cpp.o.d"
+  "trace_operation_test"
+  "trace_operation_test.pdb"
+  "trace_operation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_operation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

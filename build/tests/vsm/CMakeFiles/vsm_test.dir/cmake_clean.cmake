@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsm_test.dir/vsm_test.cpp.o"
+  "CMakeFiles/vsm_test.dir/vsm_test.cpp.o.d"
+  "vsm_test"
+  "vsm_test.pdb"
+  "vsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
