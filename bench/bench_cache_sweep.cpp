@@ -1,12 +1,15 @@
 // E-F3 (single-node template, Fig. 3a) — cache-hierarchy parameterization
-// sweeps on the PowerPC 601 node model.
+// sweeps on the PowerPC 601 node model, run as parallel campaigns on the
+// sweep engine (each candidate hierarchy on its own host thread).
 //
 // Shapes to hold: hit rate knees at the working-set size; associativity
 // matters most for conflict-heavy strides; write-through raises bus traffic
 // versus write-back; a second level rescues a small L1.
 #include <iostream>
+#include <vector>
 
 #include "core/workbench.hpp"
+#include "explore/sweep.hpp"
 #include "gen/apps.hpp"
 #include "machine/config.hpp"
 #include "stats/stats.hpp"
@@ -15,23 +18,43 @@ using namespace merm;
 
 namespace {
 
+unsigned g_threads = 0;  // 0 = auto; set from --threads
+
 struct Outcome {
   double l1_hit_rate;
   std::uint64_t bus_transactions;
   sim::Tick time;
 };
 
-Outcome run(const machine::MachineParams& arch, std::uint32_t stride) {
-  core::Workbench wb(arch);
-  auto w = gen::make_offline_workload(
-      1, [stride](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
-        gen::compute_kernel(a, s, n,
-                            gen::ComputeKernelParams{8192, 4, stride});
-      });
-  const auto r = wb.run_detailed(w);
-  auto& mem = wb.machine().compute_node(0).memory();
-  return Outcome{mem.l1(0, memory::AccessType::kLoad)->hit_rate(),
-                 mem.bus().transactions.value(), r.simulated_time};
+/// Runs every architecture under the same strided kernel concurrently;
+/// outcomes come back in grid order.
+std::vector<Outcome> run_all(std::vector<machine::MachineParams> archs,
+                             std::uint32_t stride) {
+  explore::Sweep sweep;
+  sweep.workload = [stride](const machine::MachineParams&, std::uint64_t) {
+    return gen::make_offline_workload(
+        1, [stride](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::compute_kernel(a, s, n,
+                              gen::ComputeKernelParams{8192, 4, stride});
+        });
+  };
+  sweep.probe = [](core::Workbench& wb, const core::RunResult&) {
+    auto& mem = wb.machine().compute_node(0).memory();
+    return std::vector<std::pair<std::string, double>>{
+        {"l1_hit_rate", mem.l1(0, memory::AccessType::kLoad)->hit_rate()},
+        {"bus_txns", static_cast<double>(mem.bus().transactions.value())}};
+  };
+  for (machine::MachineParams& arch : archs) sweep.add(std::move(arch));
+
+  const explore::SweepResult result =
+      explore::SweepEngine({.threads = g_threads}).run(sweep);
+  std::vector<Outcome> outcomes;
+  for (const explore::PointResult& p : result.points) {
+    outcomes.push_back(Outcome{p.metrics[0].second,
+                               static_cast<std::uint64_t>(p.metrics[1].second),
+                               p.run.simulated_time});
+  }
+  return outcomes;
 }
 
 machine::MachineParams with_l1(std::uint64_t size, std::uint32_t assoc,
@@ -47,20 +70,26 @@ machine::MachineParams with_l1(std::uint64_t size, std::uint32_t assoc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_threads = explore::threads_from_args(argc, argv);
   std::cout << "# E-F3: single-node cache parameterization sweeps "
                "(ppc601 model)\n\n";
 
   std::cout << "## L1 size sweep (sequential 128 KiB working set)\n";
   {
+    const std::vector<std::uint64_t> sizes = {4 * 1024, 16 * 1024, 64 * 1024,
+                                              256 * 1024};
+    std::vector<machine::MachineParams> archs;
+    for (std::uint64_t size : sizes) {
+      archs.push_back(with_l1(size, 8, machine::WritePolicy::kWriteBack));
+    }
+    const std::vector<Outcome> outcomes = run_all(std::move(archs), 1);
     stats::Table t({"L1", "hit rate", "bus txns", "sim time"});
-    for (std::uint64_t size :
-         {4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024}) {
-      const Outcome o =
-          run(with_l1(size, 8, machine::WritePolicy::kWriteBack), 1);
-      t.add_row({sim::format_bytes(size), stats::Table::fmt(o.l1_hit_rate, 4),
-                 std::to_string(o.bus_transactions),
-                 sim::format_time(o.time)});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      t.add_row({sim::format_bytes(sizes[i]),
+                 stats::Table::fmt(outcomes[i].l1_hit_rate, 4),
+                 std::to_string(outcomes[i].bus_transactions),
+                 sim::format_time(outcomes[i].time)});
     }
     t.print(std::cout);
   }
@@ -68,13 +97,18 @@ int main() {
   std::cout << "\n## associativity sweep (stride chosen to conflict, 8 KiB "
                "L1)\n";
   {
+    const std::vector<std::uint32_t> ways = {1u, 2u, 4u, 8u};
+    std::vector<machine::MachineParams> archs;
+    for (std::uint32_t w : ways) {
+      archs.push_back(with_l1(8 * 1024, w, machine::WritePolicy::kWriteBack));
+    }
+    // Stride of 16 elements x 8 B = 128 B: hammers a subset of sets.
+    const std::vector<Outcome> outcomes = run_all(std::move(archs), 16);
     stats::Table t({"ways", "hit rate", "sim time"});
-    for (std::uint32_t ways : {1u, 2u, 4u, 8u}) {
-      // Stride of 16 elements x 8 B = 128 B: hammers a subset of sets.
-      const Outcome o = run(
-          with_l1(8 * 1024, ways, machine::WritePolicy::kWriteBack), 16);
-      t.add_row({std::to_string(ways), stats::Table::fmt(o.l1_hit_rate, 4),
-                 sim::format_time(o.time)});
+    for (std::size_t i = 0; i < ways.size(); ++i) {
+      t.add_row({std::to_string(ways[i]),
+                 stats::Table::fmt(outcomes[i].l1_hit_rate, 4),
+                 sim::format_time(outcomes[i].time)});
     }
     t.print(std::cout);
   }
@@ -82,11 +116,13 @@ int main() {
   std::cout << "\n## write policy (32 KiB L1, no L2: writes must reach the "
                "bus)\n";
   {
+    const std::vector<Outcome> outcomes = run_all(
+        {with_l1(32 * 1024, 8, machine::WritePolicy::kWriteBack, false),
+         with_l1(32 * 1024, 8, machine::WritePolicy::kWriteThrough, false)},
+        1);
+    const Outcome& wb_o = outcomes[0];
+    const Outcome& wt_o = outcomes[1];
     stats::Table t({"policy", "bus txns", "sim time"});
-    const Outcome wb_o = run(
-        with_l1(32 * 1024, 8, machine::WritePolicy::kWriteBack, false), 1);
-    const Outcome wt_o = run(
-        with_l1(32 * 1024, 8, machine::WritePolicy::kWriteThrough, false), 1);
     t.add_row({"write_back", std::to_string(wb_o.bus_transactions),
                sim::format_time(wb_o.time)});
     t.add_row({"write_through", std::to_string(wt_o.bus_transactions),
@@ -99,11 +135,13 @@ int main() {
 
   std::cout << "\n## does an L2 rescue a small L1? (8 KiB L1)\n";
   {
+    const std::vector<Outcome> outcomes = run_all(
+        {with_l1(8 * 1024, 8, machine::WritePolicy::kWriteBack, false),
+         with_l1(8 * 1024, 8, machine::WritePolicy::kWriteBack, true)},
+        1);
+    const Outcome& no_l2 = outcomes[0];
+    const Outcome& with_l2 = outcomes[1];
     stats::Table t({"hierarchy", "sim time"});
-    const Outcome no_l2 = run(
-        with_l1(8 * 1024, 8, machine::WritePolicy::kWriteBack, false), 1);
-    const Outcome with_l2 =
-        run(with_l1(8 * 1024, 8, machine::WritePolicy::kWriteBack, true), 1);
     t.add_row({"L1 only", sim::format_time(no_l2.time)});
     t.add_row({"L1 + 256 KiB L2", sim::format_time(with_l2.time)});
     t.print(std::cout);

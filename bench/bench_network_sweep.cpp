@@ -1,5 +1,8 @@
 // E-A3 — router parameterization (Section 4.2): switching strategy,
-// topology and message-size sweeps under controlled traffic.
+// topology and message-size sweeps under controlled traffic.  Each probe
+// builds its own Simulator + Network, so the rows of every table are
+// independent jobs: the sweep engine's generic fan-out runs them
+// concurrently with results in row order.
 //
 // Shapes to hold:
 //  - zero-load: wormhole/VCT latency ~flat in hop count's serialization
@@ -7,8 +10,11 @@
 //  - crossover: SAF is competitive for short messages / few hops only;
 //  - under load: wormhole saturates earlier than VCT on long paths (path
 //    holding), all switching strategies converge on low-diameter topologies.
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "explore/sweep.hpp"
 #include "machine/config.hpp"
 #include "network/network.hpp"
 #include "sim/random.hpp"
@@ -18,6 +24,8 @@
 using namespace merm;
 
 namespace {
+
+unsigned g_threads = 0;  // 0 = auto; set from --threads
 
 machine::RouterParams base_router(machine::Switching sw) {
   machine::RouterParams r;
@@ -62,30 +70,40 @@ sim::Tick one_message_latency(machine::TopologyKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_threads = explore::threads_from_args(argc, argv);
+  explore::SweepEngine engine({.threads = g_threads});
   std::cout << "# E-A3: switching / topology / message-size sweeps\n\n";
 
   // 1. Zero-load latency vs hop count (ring walk), 1 KiB messages.
   std::cout << "## zero-load latency vs hops (ring of 16, 1 KiB message)\n";
   {
+    struct Row {
+      sim::Tick saf, vct, wh;
+    };
+    const std::vector<std::uint32_t> hop_counts = {1u, 2u, 4u, 8u};
+    std::vector<std::function<Row()>> jobs;
+    for (const std::uint32_t hops : hop_counts) {
+      jobs.push_back([hops] {
+        const auto probe = [hops](machine::Switching sw) {
+          return one_message_latency(machine::TopologyKind::kRing, {16, 1},
+                                     sw, 0, static_cast<trace::NodeId>(hops),
+                                     1024);
+        };
+        return Row{probe(machine::Switching::kStoreAndForward),
+                   probe(machine::Switching::kVirtualCutThrough),
+                   probe(machine::Switching::kWormhole)};
+      });
+    }
+    const std::vector<Row> rows = engine.run_jobs(jobs);
+
     stats::Table t({"hops", "store&fwd", "virtual cut-through", "wormhole",
                     "SAF/WH ratio"});
-    for (std::uint32_t hops : {1u, 2u, 4u, 8u}) {
-      const auto saf =
-          one_message_latency(machine::TopologyKind::kRing, {16, 1},
-                              machine::Switching::kStoreAndForward, 0,
-                              static_cast<trace::NodeId>(hops), 1024);
-      const auto vct =
-          one_message_latency(machine::TopologyKind::kRing, {16, 1},
-                              machine::Switching::kVirtualCutThrough, 0,
-                              static_cast<trace::NodeId>(hops), 1024);
-      const auto wh = one_message_latency(
-          machine::TopologyKind::kRing, {16, 1}, machine::Switching::kWormhole,
-          0, static_cast<trace::NodeId>(hops), 1024);
-      t.add_row({std::to_string(hops), sim::format_time(saf),
-                 sim::format_time(vct), sim::format_time(wh),
-                 stats::Table::fmt(static_cast<double>(saf) /
-                                       static_cast<double>(wh),
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.add_row({std::to_string(hop_counts[i]), sim::format_time(rows[i].saf),
+                 sim::format_time(rows[i].vct), sim::format_time(rows[i].wh),
+                 stats::Table::fmt(static_cast<double>(rows[i].saf) /
+                                       static_cast<double>(rows[i].wh),
                                    2)});
     }
     t.print(std::cout);
@@ -96,19 +114,29 @@ int main() {
   // 2. Latency vs message size at fixed distance (4 hops).
   std::cout << "## latency vs message size (4 hops)\n";
   {
+    struct Row {
+      sim::Tick saf, wh;
+    };
+    const std::vector<std::uint64_t> sizes = {64u, 256u, 1024u, 4096u, 16384u};
+    std::vector<std::function<Row()>> jobs;
+    for (const std::uint64_t bytes : sizes) {
+      jobs.push_back([bytes] {
+        return Row{
+            one_message_latency(machine::TopologyKind::kRing, {16, 1},
+                                machine::Switching::kStoreAndForward, 0, 4,
+                                bytes),
+            one_message_latency(machine::TopologyKind::kRing, {16, 1},
+                                machine::Switching::kWormhole, 0, 4, bytes)};
+      });
+    }
+    const std::vector<Row> rows = engine.run_jobs(jobs);
+
     stats::Table t({"bytes", "store&fwd", "wormhole", "ratio"});
-    for (std::uint64_t bytes : {64u, 256u, 1024u, 4096u, 16384u}) {
-      const auto saf =
-          one_message_latency(machine::TopologyKind::kRing, {16, 1},
-                              machine::Switching::kStoreAndForward, 0, 4,
-                              bytes);
-      const auto wh =
-          one_message_latency(machine::TopologyKind::kRing, {16, 1},
-                              machine::Switching::kWormhole, 0, 4, bytes);
-      t.add_row({std::to_string(bytes), sim::format_time(saf),
-                 sim::format_time(wh),
-                 stats::Table::fmt(static_cast<double>(saf) /
-                                       static_cast<double>(wh),
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.add_row({std::to_string(sizes[i]), sim::format_time(rows[i].saf),
+                 sim::format_time(rows[i].wh),
+                 stats::Table::fmt(static_cast<double>(rows[i].saf) /
+                                       static_cast<double>(rows[i].wh),
                                    2)});
     }
     t.print(std::cout);
@@ -121,47 +149,67 @@ int main() {
   std::cout << "## topology sweep (16 nodes, wormhole, 200 random 1 KiB "
                "messages)\n";
   {
-    stats::Table t({"topology", "diameter", "mean latency", "p99-ish",
-                    "mean link util"});
     struct Case {
       machine::TopologyKind kind;
       std::array<std::uint32_t, 2> dims;
     };
-    for (const Case& c :
-         {Case{machine::TopologyKind::kRing, {16, 1}},
-          Case{machine::TopologyKind::kMesh2D, {4, 4}},
-          Case{machine::TopologyKind::kTorus2D, {4, 4}},
-          Case{machine::TopologyKind::kHypercube, {16, 1}},
-          Case{machine::TopologyKind::kStar, {16, 1}},
-          Case{machine::TopologyKind::kFullyConnected, {16, 1}}}) {
-      sim::Simulator sim;
-      machine::TopologyParams topo;
-      topo.kind = c.kind;
-      topo.dims = c.dims;
-      network::Network net(sim, topo, base_router(machine::Switching::kWormhole),
-                           base_link());
-      sim::Rng rng(7);
-      for (int i = 0; i < 200; ++i) {
-        const auto src = static_cast<trace::NodeId>(rng.next_below(16));
-        auto dst = static_cast<trace::NodeId>(rng.next_below(16));
-        if (dst == src) dst = static_cast<trace::NodeId>((dst + 1) % 16);
-        const sim::Tick start = rng.next_below(200) * sim::kTicksPerMicrosecond;
-        sim.schedule_at(start, [&net, &sim, src, dst] {
-          sim.spawn([](network::Network& n, trace::NodeId a,
-                       trace::NodeId b) -> sim::Process {
-            co_await n.transmit(a, b, 1024);
-          }(net, src, dst));
-        });
-      }
-      sim.run();
-      t.add_row(
-          {machine::to_string(c.kind),
-           std::to_string(net.topology().diameter()),
-           sim::format_time(
-               static_cast<sim::Tick>(net.message_latency_ticks.mean())),
-           sim::format_time(net.latency_histogram.quantile_upper_bound(0.99) *
-                            sim::kTicksPerNanosecond),
-           stats::Table::fmt(net.mean_link_utilization(sim.now()), 4)});
+    const std::vector<Case> cases = {
+        {machine::TopologyKind::kRing, {16, 1}},
+        {machine::TopologyKind::kMesh2D, {4, 4}},
+        {machine::TopologyKind::kTorus2D, {4, 4}},
+        {machine::TopologyKind::kHypercube, {16, 1}},
+        {machine::TopologyKind::kStar, {16, 1}},
+        {machine::TopologyKind::kFullyConnected, {16, 1}}};
+
+    struct Row {
+      std::uint32_t diameter;
+      sim::Tick mean_latency;
+      sim::Tick p99;
+      double link_util;
+    };
+    std::vector<std::function<Row()>> jobs;
+    for (const Case& c : cases) {
+      jobs.push_back([c] {
+        sim::Simulator sim;
+        machine::TopologyParams topo;
+        topo.kind = c.kind;
+        topo.dims = c.dims;
+        network::Network net(sim, topo,
+                             base_router(machine::Switching::kWormhole),
+                             base_link());
+        sim::Rng rng(7);
+        for (int i = 0; i < 200; ++i) {
+          const auto src = static_cast<trace::NodeId>(rng.next_below(16));
+          auto dst = static_cast<trace::NodeId>(rng.next_below(16));
+          if (dst == src) dst = static_cast<trace::NodeId>((dst + 1) % 16);
+          const sim::Tick start =
+              rng.next_below(200) * sim::kTicksPerMicrosecond;
+          sim.schedule_at(start, [&net, &sim, src, dst] {
+            sim.spawn([](network::Network& n, trace::NodeId a,
+                         trace::NodeId b) -> sim::Process {
+              co_await n.transmit(a, b, 1024);
+            }(net, src, dst));
+          });
+        }
+        sim.run();
+        return Row{
+            net.topology().diameter(),
+            static_cast<sim::Tick>(net.message_latency_ticks.mean()),
+            net.latency_histogram.quantile_upper_bound(0.99) *
+                sim::kTicksPerNanosecond,
+            net.mean_link_utilization(sim.now())};
+      });
+    }
+    const std::vector<Row> rows = engine.run_jobs(jobs);
+
+    stats::Table t({"topology", "diameter", "mean latency", "p99-ish",
+                    "mean link util"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.add_row({machine::to_string(cases[i].kind),
+                 std::to_string(rows[i].diameter),
+                 sim::format_time(rows[i].mean_latency),
+                 sim::format_time(rows[i].p99),
+                 stats::Table::fmt(rows[i].link_util, 4)});
     }
     t.print(std::cout);
     std::cout << "shape: latency tracks diameter; the star's hub and the "

@@ -1,42 +1,36 @@
 // Architecture X vs Architecture Y (Fig. 1): the comparison driver the
-// workbench exists for.
+// workbench exists for — now an experiment *campaign* on the parallel sweep
+// engine: every candidate architecture simulates concurrently on its own
+// host thread, with per-point results guaranteed bit-identical to running
+// the grid serially.
 //
 // Question a designer might ask in 1997: for a ring-rotation parallel
 // matrix multiply, how much does upgrading a transputer mesh to a
 // wormhole-routed RISC torus buy, and where does the time go?
 //
-//   $ ./examples/design_space
+//   $ ./examples/design_space [--threads=N]
 #include <iostream>
 
 #include "core/workbench.hpp"
+#include "explore/sweep.hpp"
 #include "gen/apps.hpp"
 #include "stats/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace merm;
 
   const gen::AppFn app = [](gen::Annotator& a, trace::NodeId self,
                             std::uint32_t nodes) {
     gen::matmul_spmd(a, self, nodes, gen::MatmulParams{32});
   };
-  const auto workload_for = [&](const machine::MachineParams& params) {
+
+  explore::Sweep sweep;
+  sweep.workload = [&](const machine::MachineParams& params, std::uint64_t) {
     return gen::make_offline_workload(params.node_count(), app);
   };
-
-  stats::Table table({"architecture", "nodes", "sim time", "messages",
-                      "net mean latency", "cpu busy frac"});
-
-  for (const machine::MachineParams& arch :
-       {machine::presets::t805_multicomputer(2, 2),
-        machine::presets::ipsc860_hypercube(4),
-        machine::presets::generic_risc(2, 2)}) {
-    core::Workbench wb(arch);
-    auto w = workload_for(arch);
-    const core::RunResult r = wb.run_detailed(w);
-    if (!r.completed) {
-      std::cerr << "workload did not complete on " << arch.name << "\n";
-      return 1;
-    }
+  // Post-run probes run on the worker thread while the model is alive, so
+  // the table can keep the columns the serial loop used to compute inline.
+  sweep.probe = [](core::Workbench& wb, const core::RunResult& r) {
     double busy = 0.0;
     for (std::uint32_t n = 0; n < wb.machine().node_count(); ++n) {
       busy += static_cast<double>(
@@ -44,16 +38,42 @@ int main() {
               static_cast<double>(r.simulated_time);
     }
     busy /= wb.machine().node_count();
-    table.add_row(
-        {arch.name, std::to_string(arch.node_count()),
-         sim::format_time(r.simulated_time), std::to_string(r.messages),
-         sim::format_time(static_cast<sim::Tick>(
-             wb.machine().network().message_latency_ticks.mean())),
-         stats::Table::fmt(busy, 3)});
+    return std::vector<std::pair<std::string, double>>{
+        {"net mean latency (us)",
+         wb.machine().network().message_latency_ticks.mean() /
+             static_cast<double>(sim::kTicksPerMicrosecond)},
+        {"cpu busy frac", busy}};
+  };
+  sweep.add(machine::presets::t805_multicomputer(2, 2));
+  sweep.add(machine::presets::ipsc860_hypercube(4));
+  sweep.add(machine::presets::generic_risc(2, 2));
+
+  explore::SweepEngine engine(
+      {.threads = explore::threads_from_args(argc, argv),
+       .progress = &std::cerr});
+  explore::SweepResult result;
+  try {
+    engine.run_into(sweep, result);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep failed: " << e.what() << "\n";
+    return 1;
   }
-  table.print(std::cout);
+  for (const explore::PointResult& p : result.points) {
+    if (!p.run.completed) {
+      std::cerr << "workload did not complete on " << p.label << "\n";
+      return 1;
+    }
+  }
+
+  result.to_table().print(std::cout);
+  std::cout << "(" << result.points.size() << " architectures on "
+            << result.threads << " thread(s), "
+            << stats::Table::fmt(result.host_seconds, 3) << " s wall)\n";
 
   // The one-call comparison API gives the headline number directly.
+  const auto workload_for = [&](const machine::MachineParams& params) {
+    return gen::make_offline_workload(params.node_count(), app);
+  };
   const auto cmp =
       core::Workbench::compare(machine::presets::t805_multicomputer(2, 2),
                                machine::presets::generic_risc(2, 2),

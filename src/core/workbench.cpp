@@ -1,6 +1,7 @@
 #include "core/workbench.hpp"
 
 #include <iomanip>
+#include <stdexcept>
 
 namespace merm::core {
 
@@ -23,7 +24,20 @@ void RunResult::print(std::ostream& os) const {
 
 Workbench::Workbench(machine::MachineParams params)
     : params_(std::move(params)),
-      machine_(std::make_unique<node::Machine>(sim_, params_)) {}
+      sim_(std::make_unique<sim::Simulator>()),
+      machine_(std::make_unique<node::Machine>(*sim_, params_)) {}
+
+void Workbench::audit_run_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  if (run_thread_ == std::thread::id{}) {
+    run_thread_ = self;
+  } else if (run_thread_ != self) {
+    throw std::logic_error(
+        "Workbench '" + params_.name +
+        "' ran on two threads: simulator/StatRegistry/TimeSeries state is "
+        "unsynchronized and must stay confined to one job");
+  }
+}
 
 void Workbench::register_all_stats() {
   machine_->register_stats(registry_, params_.name);
@@ -40,24 +54,25 @@ void Workbench::arm_progress(const std::vector<sim::ProcessHandle>& handles) {
   // cannot keep an otherwise idle simulation alive.
   auto sample = std::make_shared<std::function<void()>>();
   *sample = [this, handles, sample] {
-    progress_.record(sim_.now(),
-                     static_cast<double>(sim_.events_processed()));
-    if (sampler_ != nullptr) sampler_->sample(sim_.now());
+    progress_.record(sim_->now(),
+                     static_cast<double>(sim_->events_processed()));
+    if (sampler_ != nullptr) sampler_->sample(sim_->now());
     if (progress_echo_ != nullptr) {
-      *progress_echo_ << "[progress] t=" << sim::format_time(sim_.now())
-                      << " events=" << sim_.events_processed()
+      *progress_echo_ << "[progress] t=" << sim::format_time(sim_->now())
+                      << " events=" << sim_->events_processed()
                       << " messages=" << machine_->total_messages() << "\n";
     }
     if (!node::Machine::all_finished(handles)) {
-      sim_.schedule_in(progress_interval_, *sample);
+      sim_->schedule_in(progress_interval_, *sample);
     }
   };
-  sim_.schedule_in(progress_interval_, *sample);
+  sim_->schedule_in(progress_interval_, *sample);
 }
 
 RunResult Workbench::run_impl(trace::Workload& workload,
                               node::SimulationLevel level, sim::Tick until,
                               std::vector<node::TaskRecorder>* recorders) {
+  audit_run_thread();
   std::vector<sim::ProcessHandle> handles =
       level == node::SimulationLevel::kDetailed
           ? machine_->launch_detailed(workload, recorders)
@@ -74,6 +89,7 @@ vsm::VsmSystem& Workbench::enable_vsm(vsm::VsmParams params) {
 
 RunResult Workbench::run_detailed_shared(trace::Workload& workload,
                                          sim::Tick until) {
+  audit_run_thread();
   enable_vsm();
   std::vector<sim::ProcessHandle> handles = vsm_->launch_detailed(workload);
   return finish_run(handles, node::SimulationLevel::kDetailed, until,
@@ -86,17 +102,17 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
   arm_progress(handles);
 
   HostTimer timer;
-  sim_.run(until);
+  sim_->run(until);
   const double host_seconds = timer.elapsed_seconds();
 
   RunResult r;
   r.machine_name = params_.name;
   r.level = level;
   r.completed = node::Machine::all_finished(handles);
-  r.simulated_time = sim_.now();
+  r.simulated_time = sim_->now();
   r.simulated_cpu_cycles =
-      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(sim_.now());
-  r.events_processed = sim_.events_processed();
+      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(sim_->now());
+  r.events_processed = sim_->events_processed();
   r.operations = machine_->total_ops_executed() - ops_before;
   r.messages = machine_->total_messages();
   r.host_seconds = host_seconds;

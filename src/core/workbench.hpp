@@ -18,6 +18,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/host.hpp"
@@ -67,7 +68,14 @@ class Workbench {
  public:
   explicit Workbench(machine::MachineParams params);
 
-  sim::Simulator& simulator() { return sim_; }
+  /// Movable: the simulator and machine live behind stable pointers, so a
+  /// Workbench can be built on one thread and handed to a worker (the sweep
+  /// engine's job model).  Move *assignment* is deleted — it would tear down
+  /// a live simulator under the machine that references it.
+  Workbench(Workbench&&) noexcept = default;
+  Workbench& operator=(Workbench&&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
   node::Machine& machine() { return *machine_; }
   const machine::MachineParams& params() const { return params_; }
   stats::StatRegistry& stats() { return registry_; }
@@ -131,12 +139,19 @@ class Workbench {
                      std::vector<node::TaskRecorder>* recorders);
   void arm_progress(const std::vector<sim::ProcessHandle>& handles);
 
+  /// Pins the workbench to the first thread that runs it and throws
+  /// std::logic_error if a later run arrives on a different thread: the
+  /// simulator, StatRegistry and progress TimeSeries are unsynchronized, so
+  /// their state must never cross jobs.  Construct-here, run-there (after a
+  /// move) is fine; run-here-and-there is not.
+  void audit_run_thread();
+
   RunResult finish_run(const std::vector<sim::ProcessHandle>& handles,
                        node::SimulationLevel level, sim::Tick until,
                        std::uint64_t ops_before);
 
   machine::MachineParams params_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<node::Machine> machine_;
   std::unique_ptr<vsm::VsmSystem> vsm_;
   stats::StatRegistry registry_;
@@ -144,6 +159,7 @@ class Workbench {
   stats::CounterSampler* sampler_ = nullptr;
   sim::Tick progress_interval_ = 0;
   std::ostream* progress_echo_ = nullptr;
+  std::thread::id run_thread_{};  ///< id of the thread that ran first
 };
 
 }  // namespace merm::core

@@ -1,0 +1,368 @@
+#include "explore/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/host.hpp"
+
+namespace merm::explore {
+
+std::uint64_t point_seed(std::uint64_t base, std::size_t index) {
+  // splitmix64 finalizer over (base, index): well-distributed seeds even for
+  // consecutive indices or base seeds.
+  std::uint64_t z =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ExperimentPoint& Sweep::add(machine::MachineParams params, std::string label) {
+  ExperimentPoint p;
+  p.label = label.empty() ? params.name : std::move(label);
+  p.params = std::move(params);
+  p.level = level;
+  points.push_back(std::move(p));
+  return points.back();
+}
+
+const char* to_string(PointResult::Status s) {
+  switch (s) {
+    case PointResult::Status::kPending:
+      return "pending";
+    case PointResult::Status::kDone:
+      return "done";
+    case PointResult::Status::kFailed:
+      return "failed";
+    case PointResult::Status::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+std::size_t SweepResult::completed() const {
+  std::size_t n = 0;
+  for (const PointResult& p : points) n += p.done() ? 1 : 0;
+  return n;
+}
+
+std::size_t SweepResult::failed() const {
+  std::size_t n = 0;
+  for (const PointResult& p : points) {
+    n += p.status == PointResult::Status::kFailed ? 1 : 0;
+  }
+  return n;
+}
+
+namespace {
+
+/// Metric column names in order of first appearance across the grid.
+std::vector<std::string> metric_columns(const std::vector<PointResult>& pts) {
+  std::vector<std::string> cols;
+  for (const PointResult& p : pts) {
+    for (const auto& [name, value] : p.metrics) {
+      (void)value;
+      if (std::find(cols.begin(), cols.end(), name) == cols.end()) {
+        cols.push_back(name);
+      }
+    }
+  }
+  return cols;
+}
+
+const double* find_metric(const PointResult& p, const std::string& name) {
+  for (const auto& [n, v] : p.metrics) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+/// Integral metrics print as integers, everything else with 4 decimals.
+std::string format_metric(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return stats::Table::fmt(v, 4);
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+stats::Table SweepResult::to_table() const {
+  const std::vector<std::string> metrics = metric_columns(points);
+  std::vector<std::string> headers = {"point",    "level", "nodes",
+                                      "sim time", "ops",   "messages"};
+  for (const std::string& m : metrics) headers.push_back(m);
+  stats::Table table(std::move(headers));
+
+  for (const PointResult& p : points) {
+    std::vector<std::string> row;
+    row.push_back(p.label);
+    if (p.done()) {
+      row.push_back(p.run.level == node::SimulationLevel::kDetailed
+                        ? "detailed"
+                        : "task-level");
+      row.push_back(std::to_string(p.run.processors));
+      row.push_back(sim::format_time(p.run.simulated_time));
+      row.push_back(std::to_string(p.run.operations));
+      row.push_back(std::to_string(p.run.messages));
+    } else {
+      row.push_back(to_string(p.status));
+      for (int i = 0; i < 4; ++i) row.push_back("-");
+    }
+    for (const std::string& m : metrics) {
+      const double* v = find_metric(p, m);
+      row.push_back(v != nullptr ? format_metric(*v) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void SweepResult::write_csv(std::ostream& os) const {
+  const std::vector<std::string> metrics = metric_columns(points);
+  os << "index,label,status,seed,level,processors,completed,"
+        "simulated_time_ps,simulated_cpu_cycles,operations,messages,"
+        "events,host_seconds,footprint_bytes";
+  for (const std::string& m : metrics) os << ',' << m;
+  os << '\n';
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    os << i << ',' << p.label << ',' << to_string(p.status) << ',' << p.seed;
+    if (p.done()) {
+      os << ','
+         << (p.run.level == node::SimulationLevel::kDetailed ? "detailed"
+                                                             : "task-level")
+         << ',' << p.run.processors << ',' << (p.run.completed ? 1 : 0) << ','
+         << p.run.simulated_time << ',' << p.run.simulated_cpu_cycles << ','
+         << p.run.operations << ',' << p.run.messages << ','
+         << p.run.events_processed << ',' << p.run.host_seconds << ','
+         << p.run.footprint_bytes;
+    } else {
+      os << ",,,,,,,,,,";
+    }
+    for (const std::string& m : metrics) {
+      os << ',';
+      if (const double* v = find_metric(p, m)) os << *v;
+    }
+    os << '\n';
+  }
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    os << "  {\"index\": " << i << ", \"label\": ";
+    write_json_string(os, p.label);
+    os << ", \"status\": \"" << to_string(p.status) << "\", \"seed\": "
+       << p.seed;
+    if (p.done()) {
+      os << ", \"level\": \""
+         << (p.run.level == node::SimulationLevel::kDetailed ? "detailed"
+                                                             : "task-level")
+         << "\", \"processors\": " << p.run.processors
+         << ", \"completed\": " << (p.run.completed ? "true" : "false")
+         << ", \"simulated_time_ps\": " << p.run.simulated_time
+         << ", \"simulated_cpu_cycles\": " << p.run.simulated_cpu_cycles
+         << ", \"operations\": " << p.run.operations
+         << ", \"messages\": " << p.run.messages
+         << ", \"events\": " << p.run.events_processed
+         << ", \"host_seconds\": " << p.run.host_seconds
+         << ", \"footprint_bytes\": " << p.run.footprint_bytes;
+    }
+    if (!p.error.empty()) {
+      os << ", \"error\": ";
+      write_json_string(os, p.error);
+    }
+    if (!p.metrics.empty()) {
+      os << ", \"metrics\": {";
+      for (std::size_t m = 0; m < p.metrics.size(); ++m) {
+        if (m != 0) os << ", ";
+        write_json_string(os, p.metrics[m].first);
+        os << ": " << p.metrics[m].second;
+      }
+      os << '}';
+    }
+    os << '}' << (i + 1 < points.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+unsigned SweepEngine::resolved_threads(std::size_t jobs) const {
+  unsigned n = opts_.threads != 0 ? opts_.threads
+                                  : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (jobs < n) n = static_cast<unsigned>(jobs);
+  return n == 0 ? 1 : n;
+}
+
+void SweepEngine::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const unsigned threads = resolved_threads(count);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancel{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (cancel.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        cancel.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
+  const std::size_t count = sweep.points.size();
+  out = SweepResult{};
+  out.points.resize(count);
+  out.threads = resolved_threads(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ExperimentPoint& p = sweep.points[i];
+    out.points[i].label = p.label.empty() ? p.params.name : p.label;
+    out.points[i].seed =
+        p.seed != 0 ? p.seed : point_seed(sweep.base_seed, i);
+  }
+
+  stats::SharedAccumulator host_times;
+  std::mutex progress_mutex;
+  std::atomic<std::size_t> finished{0};
+  core::HostTimer timer;
+
+  const auto body = [&](std::size_t i) {
+    const ExperimentPoint& point = sweep.points[i];
+    PointResult& pr = out.points[i];
+    try {
+      const WorkloadFactory& factory =
+          point.workload ? point.workload : sweep.workload;
+      if (!factory) {
+        throw std::invalid_argument("sweep point '" + pr.label +
+                                    "' has no workload factory");
+      }
+      core::Workbench wb(point.params);
+      trace::Workload workload = factory(point.params, pr.seed);
+      pr.run = point.level == node::SimulationLevel::kDetailed
+                   ? wb.run_detailed(workload)
+                   : wb.run_task_level(workload);
+      if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
+      pr.status = PointResult::Status::kDone;
+    } catch (const std::exception& e) {
+      pr.status = PointResult::Status::kFailed;
+      pr.error = e.what();
+      throw;
+    } catch (...) {
+      pr.status = PointResult::Status::kFailed;
+      pr.error = "unknown exception";
+      throw;
+    }
+    host_times.add(pr.run.host_seconds);
+    const std::size_t done = finished.fetch_add(1) + 1;
+    if (opts_.progress != nullptr) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      *opts_.progress << "[sweep] " << done << "/" << count << " " << pr.label
+                      << " sim=" << sim::format_time(pr.run.simulated_time)
+                      << " host=" << stats::Table::fmt(pr.run.host_seconds, 3)
+                      << "s\n";
+    }
+  };
+
+  const auto finalize = [&] {
+    for (PointResult& pr : out.points) {
+      if (pr.status == PointResult::Status::kPending) {
+        pr.status = PointResult::Status::kSkipped;
+      }
+    }
+    out.point_host_seconds = host_times.snapshot();
+    out.host_seconds = timer.elapsed_seconds();
+  };
+
+  try {
+    for_each(count, body);
+  } catch (...) {
+    finalize();
+    throw;
+  }
+  finalize();
+}
+
+SweepResult SweepEngine::run(const Sweep& sweep) {
+  SweepResult out;
+  run_into(sweep, out);
+  return out;
+}
+
+unsigned threads_from_args(int argc, char** argv, unsigned fallback) {
+  const auto parse = [fallback](const std::string& v) -> unsigned {
+    try {
+      const unsigned long n = std::stoul(v);
+      return n > 0 && n < 10'000 ? static_cast<unsigned>(n) : fallback;
+    } catch (...) {
+      return fallback;
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) return parse(arg.substr(10));
+    if (arg == "--threads" && i + 1 < argc) return parse(argv[i + 1]);
+    if (arg.rfind("-j", 0) == 0 && arg.size() > 2) return parse(arg.substr(2));
+  }
+  return fallback;
+}
+
+}  // namespace merm::explore

@@ -1,0 +1,178 @@
+// Parallel design-space exploration (the "Architecture X / Architecture Y"
+// campaign driver of Fig. 1, scaled out).
+//
+// A Sweep is a grid of experiment points — machine parameterizations times a
+// workload factory times an abstraction level.  The SweepEngine executes the
+// grid on a fixed-size pool of host threads; every point gets a fresh,
+// thread-confined Workbench and a seed derived deterministically from the
+// point's *index*, so results are bit-identical to running the same grid
+// serially, in any order, on any thread count (see tests/explore/).
+//
+//   explore::Sweep sweep;
+//   sweep.workload = [](const machine::MachineParams& p, std::uint64_t) {
+//     return gen::make_offline_workload(p.node_count(), my_app);
+//   };
+//   sweep.add(machine::presets::t805_multicomputer(2, 2));
+//   sweep.add(machine::presets::generic_risc(2, 2));
+//   explore::SweepEngine engine({.threads = 4});
+//   explore::SweepResult result = engine.run(sweep);
+//   result.to_table().print(std::cout);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "machine/params.hpp"
+#include "node/machine.hpp"
+#include "stats/stats.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::explore {
+
+/// Builds the workload for one experiment point.  Called on the worker
+/// thread that runs the point; `seed` is the point's deterministic seed, for
+/// factories with stochastic content.  Must not touch state shared with
+/// other points.
+using WorkloadFactory = std::function<trace::Workload(
+    const machine::MachineParams& params, std::uint64_t seed)>;
+
+/// Extracts named metrics from the workbench right after its run, while the
+/// model state is still alive (hit rates, link utilization, busy fractions).
+/// Runs on the worker thread; must only touch the passed workbench.
+using MetricProbe = std::function<std::vector<std::pair<std::string, double>>(
+    core::Workbench& wb, const core::RunResult& r)>;
+
+/// One point of the design-space grid.
+struct ExperimentPoint {
+  std::string label;  ///< row label; Sweep::add defaults it to params.name
+  machine::MachineParams params;
+  node::SimulationLevel level = node::SimulationLevel::kDetailed;
+  std::uint64_t seed = 0;        ///< 0 = derive from base_seed and index
+  WorkloadFactory workload;      ///< overrides Sweep::workload when set
+};
+
+/// Deterministic per-point seed: splitmix64 finalization of (base, index).
+/// A function of grid position only — never of execution order, thread id,
+/// or wall clock — which is what keeps parallel sweeps bit-identical to
+/// serial ones.
+std::uint64_t point_seed(std::uint64_t base, std::size_t index);
+
+/// A grid of experiment points sharing a workload factory and defaults.
+struct Sweep {
+  WorkloadFactory workload;      ///< default factory for every point
+  node::SimulationLevel level = node::SimulationLevel::kDetailed;
+  std::uint64_t base_seed = 0x6d65726dULL;  // "merm"
+  MetricProbe probe;             ///< optional post-run metric extraction
+
+  std::vector<ExperimentPoint> points;
+
+  /// Appends a point using the sweep-wide level and factory.
+  ExperimentPoint& add(machine::MachineParams params, std::string label = {});
+
+  std::size_t size() const { return points.size(); }
+};
+
+/// Outcome of one experiment point.
+struct PointResult {
+  enum class Status {
+    kPending,  ///< not yet executed
+    kDone,     ///< ran to the workbench's notion of completion
+    kFailed,   ///< the job threw; `error` holds what()
+    kSkipped,  ///< cancelled because an earlier point failed
+  };
+
+  Status status = Status::kPending;
+  std::string label;
+  std::uint64_t seed = 0;
+  core::RunResult run;  ///< valid only when status == kDone
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string error;
+
+  bool done() const { return status == Status::kDone; }
+};
+
+const char* to_string(PointResult::Status s);
+
+/// All point results, in grid order regardless of completion order.
+struct SweepResult {
+  std::vector<PointResult> points;
+  double host_seconds = 0.0;  ///< wall clock for the whole sweep
+  unsigned threads = 1;       ///< pool size actually used
+
+  /// Distribution of per-point host times (collected thread-safely).
+  stats::Accumulator point_host_seconds;
+
+  std::size_t completed() const;
+  std::size_t failed() const;
+
+  /// Paper-style summary table: one row per point, the headline RunResult
+  /// columns plus every probed metric.
+  stats::Table to_table() const;
+
+  /// One row per point; metric columns are the union over all points.
+  void write_csv(std::ostream& os) const;
+
+  /// Array of objects, one per point.
+  void write_json(std::ostream& os) const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().  The pool is
+  /// additionally clamped to the number of points.
+  unsigned threads = 0;
+  /// If set, one line per finished point ("[sweep] 3/12 ...").
+  std::ostream* progress = nullptr;
+};
+
+/// Executes experiment grids on a thread pool.
+///
+/// Error handling mirrors Simulator::set_error: the first job that throws is
+/// captured via std::exception_ptr, remaining *unstarted* jobs are cancelled
+/// cooperatively (in-flight ones finish), and the first error is rethrown to
+/// the caller once the pool has drained.
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions opts = {}) : opts_(opts) {}
+
+  /// Runs every point of the sweep.  Rethrows the first point's exception.
+  SweepResult run(const Sweep& sweep);
+
+  /// As run(), but fills `out` in place so completed point results survive
+  /// when an exception propagates (out.points[i].status tells which).
+  void run_into(const Sweep& sweep, SweepResult& out);
+
+  /// Generic deterministic fan-out: body(i) once for each i in [0, count),
+  /// claimed in index order from the pool.  body must confine its effects to
+  /// its own index.  First exception cancels unclaimed indices and is
+  /// rethrown after the pool drains.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& body);
+
+  /// Runs value-returning jobs, preserving index order in the output.
+  template <typename T>
+  std::vector<T> run_jobs(const std::vector<std::function<T()>>& jobs) {
+    std::vector<T> out(jobs.size());
+    for_each(jobs.size(), [&](std::size_t i) { out[i] = jobs[i](); });
+    return out;
+  }
+
+  /// Pool size that a grid of `jobs` points would use.
+  unsigned resolved_threads(std::size_t jobs) const;
+
+  const SweepOptions& options() const { return opts_; }
+
+ private:
+  SweepOptions opts_;
+};
+
+/// Parses a `--threads=N` / `--threads N` / `-jN` flag from a driver's argv;
+/// returns `fallback` (default 0 = auto) when absent or malformed.
+unsigned threads_from_args(int argc, char** argv, unsigned fallback = 0);
+
+}  // namespace merm::explore

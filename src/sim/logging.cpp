@@ -36,6 +36,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(std::function<void(const std::string&)> sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_ = std::move(sink);
 }
 
@@ -51,6 +52,7 @@ void Logger::write(LogLevel level, Tick time, const std::string& component,
   line += component;
   line += ": ";
   line += message;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_(line);
 }
 

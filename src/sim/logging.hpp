@@ -5,7 +5,9 @@
 // simulated time so post-mortem logs double as an event trace.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,15 +17,18 @@ namespace merm::sim {
 
 enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
-/// Global logging configuration.  Not thread-safe by design: the kernel is
-/// single-threaded; the threaded trace generator logs only through its
-/// simulator-side handshake.
+/// Global logging configuration.  Each simulation kernel is single-threaded,
+/// but the sweep engine runs many kernels on worker threads concurrently, so
+/// the shared level is atomic and the sink is serialized: lines from
+/// concurrent runs interleave whole, never mid-line.
 class Logger {
  public:
   static Logger& instance();
 
-  LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   /// Redirects output (default: stderr).  The sink receives fully formatted
   /// lines without trailing newline.
@@ -35,7 +40,8 @@ class Logger {
  private:
   Logger();
 
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex sink_mutex_;
   std::function<void(const std::string&)> sink_;
 };
 

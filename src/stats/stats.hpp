@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -42,6 +43,27 @@ class Accumulator {
     sum_ += x;
   }
 
+  /// Folds another accumulator in (Chan et al. pairwise combination), as if
+  /// every sample of `other` had been add()ed here.  Order-insensitive up to
+  /// floating-point rounding; lets worker threads accumulate privately and
+  /// combine once at the end.
+  void merge(const Accumulator& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+  }
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ ? mean_ : 0.0; }
@@ -61,6 +83,32 @@ class Accumulator {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mutex-guarded Accumulator for collection across threads (the sweep
+/// engine's result aggregation).  Counters and accumulators inside a model
+/// stay single-threaded — one simulation never crosses threads — but the
+/// layer that gathers results *from* concurrent simulations goes through
+/// this.
+class SharedAccumulator {
+ public:
+  void add(double x) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    acc_.add(x);
+  }
+  void merge(const Accumulator& other) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    acc_.merge(other);
+  }
+  /// Consistent copy for reading; take once, then query freely.
+  Accumulator snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return acc_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Accumulator acc_;
 };
 
 /// Power-of-two bucketed histogram for long-tailed values (latencies,

@@ -1,0 +1,185 @@
+// Failure paths and edge cases of the sweep engine: first exception wins and
+// propagates, unstarted jobs are cancelled, completed results survive, and
+// the empty/single-point grids behave.  Also covers the Workbench side of
+// the contract: movability and the cross-thread run audit.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/apps.hpp"
+
+namespace merm::explore {
+namespace {
+
+WorkloadFactory pingpong_factory() {
+  return [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{2, 256});
+        });
+  };
+}
+
+Sweep cheap_grid(std::size_t points) {
+  Sweep sweep;
+  sweep.workload = pingpong_factory();
+  for (std::size_t i = 0; i < points; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 1),
+              "pt-" + std::to_string(i));
+  }
+  return sweep;
+}
+
+TEST(SweepFailureTest, FirstErrorPropagatesAndCancelsPendingJobs) {
+  Sweep sweep = cheap_grid(8);
+  sweep.points[3].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    throw std::runtime_error("boom at 3");
+  };
+
+  // One thread makes the claim order deterministic: 0..2 complete, 3 fails,
+  // 4..7 are never claimed.
+  SweepEngine engine({.threads = 1});
+  SweepResult result;
+  EXPECT_THROW(
+      {
+        try {
+          engine.run_into(sweep, result);
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom at 3");
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  ASSERT_EQ(result.points.size(), 8u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.points[i].status, PointResult::Status::kDone) << i;
+    EXPECT_TRUE(result.points[i].run.completed) << i;
+    EXPECT_GT(result.points[i].run.simulated_time, 0u) << i;
+  }
+  EXPECT_EQ(result.points[3].status, PointResult::Status::kFailed);
+  EXPECT_EQ(result.points[3].error, "boom at 3");
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(result.points[i].status, PointResult::Status::kSkipped) << i;
+  }
+  EXPECT_EQ(result.completed(), 3u);
+  EXPECT_EQ(result.failed(), 1u);
+}
+
+TEST(SweepFailureTest, ParallelFailureLeavesNoPointPending) {
+  Sweep sweep = cheap_grid(8);
+  sweep.points[2].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    throw std::runtime_error("parallel boom");
+  };
+
+  SweepEngine engine({.threads = 4});
+  SweepResult result;
+  EXPECT_THROW(engine.run_into(sweep, result), std::runtime_error);
+
+  ASSERT_EQ(result.points.size(), 8u);
+  EXPECT_GE(result.failed(), 1u);
+  EXPECT_EQ(result.points[2].status, PointResult::Status::kFailed);
+  for (const PointResult& p : result.points) {
+    EXPECT_NE(p.status, PointResult::Status::kPending) << p.label;
+    if (p.done()) {
+      EXPECT_TRUE(p.run.completed) << p.label;
+    }
+  }
+}
+
+TEST(SweepFailureTest, MissingWorkloadFactoryIsAnError) {
+  Sweep sweep;
+  sweep.add(machine::presets::t805_multicomputer(2, 1));
+  SweepEngine engine({.threads = 1});
+  SweepResult result;
+  EXPECT_THROW(engine.run_into(sweep, result), std::invalid_argument);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].status, PointResult::Status::kFailed);
+}
+
+TEST(SweepFailureTest, EmptyGridIsANoOp) {
+  Sweep sweep;
+  sweep.workload = pingpong_factory();
+  SweepEngine engine({.threads = 4});
+  const SweepResult result = engine.run(sweep);
+  EXPECT_TRUE(result.points.empty());
+  EXPECT_EQ(result.completed(), 0u);
+  EXPECT_EQ(result.point_host_seconds.count(), 0u);
+  EXPECT_GE(result.host_seconds, 0.0);
+}
+
+TEST(SweepFailureTest, SinglePointMatchesDirectWorkbenchRun) {
+  Sweep sweep = cheap_grid(1);
+  const SweepResult result = SweepEngine({.threads = 4}).run(sweep);
+  ASSERT_EQ(result.points.size(), 1u);
+  ASSERT_TRUE(result.points[0].done());
+
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  auto w = pingpong_factory()(wb.params(), result.points[0].seed);
+  const core::RunResult direct = wb.run_detailed(w);
+  EXPECT_EQ(result.points[0].run.simulated_time, direct.simulated_time);
+  EXPECT_EQ(result.points[0].run.operations, direct.operations);
+  EXPECT_EQ(result.points[0].run.messages, direct.messages);
+}
+
+TEST(SweepFailureTest, ForEachRethrowsForPlainJobs) {
+  // One thread: claims are strictly 0, 1, ... so the cancellation point is
+  // exact — 0 ran, 1 threw, 2..5 never claimed.
+  SweepEngine engine({.threads = 1});
+  std::vector<int> touched(6, 0);
+  EXPECT_THROW(engine.for_each(6,
+                               [&](std::size_t i) {
+                                 if (i == 1) throw std::logic_error("job 1");
+                                 touched[i] = 1;
+                               }),
+               std::logic_error);
+  EXPECT_EQ(touched, (std::vector<int>{1, 0, 0, 0, 0, 0}));
+}
+
+TEST(WorkbenchConfinementTest, SecondRunOnAnotherThreadThrows) {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  auto first = pingpong_factory()(wb.params(), 1);
+  EXPECT_TRUE(wb.run_detailed(first).completed);
+
+  bool audited = false;
+  std::thread other([&] {
+    auto second = pingpong_factory()(wb.params(), 2);
+    try {
+      wb.run_detailed(second);
+    } catch (const std::logic_error&) {
+      audited = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(audited) << "cross-thread reuse of a Workbench must throw";
+}
+
+TEST(WorkbenchConfinementTest, MovedWorkbenchRunsOnWorkerThread) {
+  // Construct on this thread, move into a worker, run there: the engine's
+  // job model.  The confinement pin follows the first *run*, not the
+  // constructor.
+  std::optional<core::Workbench> slot;
+  slot.emplace(machine::presets::t805_multicomputer(2, 1));
+  core::Workbench moved = std::move(*slot);
+
+  core::RunResult r;
+  std::thread worker([&] {
+    auto w = pingpong_factory()(moved.params(), 3);
+    r = moved.run_detailed(w);
+  });
+  worker.join();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.simulated_time, 0u);
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -1,0 +1,77 @@
+// The acceptance experiment for the engine: a 12-point sweep on >= 4
+// threads must beat the serial loop it replaced by >= 2x wall-clock while
+// staying bit-identical per point.  The wall-clock assertion needs real
+// parallel hardware, so it skips below 4 cores (the determinism half runs
+// everywhere via sweep_determinism_test).
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/host.hpp"
+#include "gen/apps.hpp"
+
+namespace merm::explore {
+namespace {
+
+/// 12 architectures under a matmul heavy enough that per-point host time
+/// dwarfs thread-pool overhead.
+Sweep heavy_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::matmul_spmd(a, self, nodes, gen::MatmulParams{48});
+        });
+  };
+  for (int i = 0; i < 6; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 2),
+              "t805-" + std::to_string(i));
+    sweep.add(machine::presets::generic_risc(2, 2),
+              "risc-" + std::to_string(i));
+  }
+  return sweep;
+}
+
+TEST(SweepSpeedupTest, FourThreadsAtLeastTwiceAsFastAsSerial) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 host cores, have "
+                 << std::thread::hardware_concurrency();
+  }
+
+  const Sweep sweep = heavy_grid();
+  ASSERT_EQ(sweep.size(), 12u);
+
+  core::HostTimer serial_timer;
+  const SweepResult serial = SweepEngine({.threads = 1}).run(sweep);
+  const double serial_seconds = serial_timer.elapsed_seconds();
+
+  core::HostTimer parallel_timer;
+  const SweepResult parallel = SweepEngine({.threads = 4}).run(sweep);
+  const double parallel_seconds = parallel_timer.elapsed_seconds();
+
+  ASSERT_EQ(serial.completed(), 12u);
+  ASSERT_EQ(parallel.completed(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(parallel.points[i].run.simulated_time,
+              serial.points[i].run.simulated_time)
+        << i;
+    EXPECT_EQ(parallel.points[i].run.operations,
+              serial.points[i].run.operations)
+        << i;
+    EXPECT_EQ(parallel.points[i].run.messages, serial.points[i].run.messages)
+        << i;
+  }
+
+  EXPECT_GE(serial_seconds / parallel_seconds, 2.0)
+      << "serial " << serial_seconds << " s vs parallel " << parallel_seconds
+      << " s";
+}
+
+}  // namespace
+}  // namespace merm::explore

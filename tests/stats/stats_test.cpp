@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace merm::stats {
 namespace {
@@ -27,6 +29,64 @@ TEST(AccumulatorTest, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(a.max(), 9.0);
   EXPECT_NEAR(a.stddev(), 2.138, 1e-3);  // sample stddev
   EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesSequentialAccumulation) {
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Accumulator whole;
+  for (double x : samples) whole.add(x);
+
+  // Split across three "threads", merge in a different order than add order.
+  Accumulator parts[3];
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    parts[i % 3].add(samples[i]);
+  }
+  Accumulator merged;
+  merged.merge(parts[2]);
+  merged.merge(parts[0]);
+  merged.merge(parts[1]);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmptySides) {
+  Accumulator a;
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+  Accumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(SharedAccumulatorTest, CollectsAcrossThreads) {
+  SharedAccumulator shared;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&shared, t] {
+      for (int i = 0; i < 250; ++i) {
+        shared.add(static_cast<double>(t * 250 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const Accumulator snap = shared.snapshot();
+  EXPECT_EQ(snap.count(), 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum(), 999.0 * 1000.0 / 2.0);
+  EXPECT_DOUBLE_EQ(snap.min(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 999.0);
 }
 
 TEST(AccumulatorTest, EmptyIsZeroed) {
