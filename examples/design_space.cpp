@@ -8,16 +8,32 @@
 // matrix multiply, how much does upgrading a transputer mesh to a
 // wormhole-routed RISC torus buy, and where does the time go?
 //
-//   $ ./examples/design_space [--threads=N]
+//   $ ./examples/design_space [--threads=N] [--faults=<spec>]
+//
+// With --faults (e.g. --faults=link=0-1@100,drop=0.01,seed=7) every candidate
+// runs in degraded mode: the sweep keeps going past faulted points and
+// reports them as failure rows instead of aborting the campaign.
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/workbench.hpp"
 #include "explore/sweep.hpp"
+#include "fault/fault.hpp"
 #include "gen/apps.hpp"
 #include "stats/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace merm;
+
+  std::string faults_spec;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      faults_spec = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults_spec = argv[++i];
+    }
+  }
 
   const gen::AppFn app = [](gen::Annotator& a, trace::NodeId self,
                             std::uint32_t nodes) {
@@ -48,9 +64,17 @@ int main(int argc, char** argv) {
   sweep.add(machine::presets::ipsc860_hypercube(4));
   sweep.add(machine::presets::generic_risc(2, 2));
 
+  if (!faults_spec.empty()) {
+    const machine::FaultParams faults = fault::parse_spec(faults_spec);
+    for (explore::ExperimentPoint& p : sweep.points) p.params.fault = faults;
+  }
+
   explore::SweepEngine engine(
       {.threads = explore::threads_from_args(argc, argv),
-       .progress = &std::cerr});
+       .progress = &std::cerr,
+       // Degraded-mode campaigns record faulted points as failure rows and
+       // keep simulating the rest of the grid.
+       .keep_going = !faults_spec.empty()});
   explore::SweepResult result;
   try {
     engine.run_into(sweep, result);
@@ -59,7 +83,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const explore::PointResult& p : result.points) {
-    if (!p.run.completed) {
+    if (p.status == explore::PointResult::Status::kFailed) {
+      std::cerr << p.label << " FAILED: " << p.error << "\n";
+    } else if (!p.run.completed) {
       std::cerr << "workload did not complete on " << p.label << "\n";
       return 1;
     }

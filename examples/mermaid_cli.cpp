@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/workbench.hpp"
+#include "fault/fault.hpp"
 #include "gen/workload_config.hpp"
 #include "machine/config.hpp"
 
@@ -29,9 +30,11 @@ int usage() {
       << "  mermaid_cli describe-workload             # print defaults\n"
       << "  mermaid_cli run --machine <machine> --workload <file>\n"
       << "              [--level detailed|task] [--stats <csv>]\n"
-      << "              [--progress <us>]\n"
+      << "              [--progress <us>] [--faults <spec|file>]\n"
       << "\n<machine> is a config file path or "
-      << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n";
+      << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
+      << "--faults takes a config file (overlaid on the machine) or an\n"
+      << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n";
   return 2;
 }
 
@@ -60,9 +63,17 @@ machine::MachineParams resolve_machine(const std::string& spec) {
     }
     throw std::runtime_error("unknown preset '" + name + "'");
   }
-  std::ifstream in(spec);
-  if (!in) throw std::runtime_error("cannot open machine config " + spec);
-  return machine::parse_config(in);
+  return machine::parse_config_file(spec);
+}
+
+// `spec` is either a config file (overlaid on top of `params`, so a file
+// holding just a [fault] stanza works) or an inline fault::parse_spec string.
+void apply_faults(machine::MachineParams& params, const std::string& spec) {
+  if (std::ifstream probe(spec); probe) {
+    params = machine::parse_config_file(spec, params);
+  } else {
+    params.fault = fault::parse_spec(spec);
+  }
 }
 
 int cmd_presets() {
@@ -91,17 +102,14 @@ struct RunArgs {
   std::string workload;
   std::string level = "detailed";
   std::string stats_out;
+  std::string faults;
   std::uint64_t progress_us = 0;
 };
 
 int cmd_run(const RunArgs& args) {
-  const machine::MachineParams params = resolve_machine(args.machine);
-  std::ifstream wl(args.workload);
-  if (!wl) {
-    std::cerr << "cannot open workload " << args.workload << "\n";
-    return 1;
-  }
-  gen::StochasticDescription desc = gen::parse_workload(wl);
+  machine::MachineParams params = resolve_machine(args.machine);
+  if (!args.faults.empty()) apply_faults(params, args.faults);
+  gen::StochasticDescription desc = gen::parse_workload_file(args.workload);
 
   core::Workbench wb(params);
   wb.register_all_stats();
@@ -155,6 +163,8 @@ int main(int argc, char** argv) {
           run.level = value;
         } else if (key == "--stats") {
           run.stats_out = value;
+        } else if (key == "--faults") {
+          run.faults = value;
         } else if (key == "--progress") {
           run.progress_us = std::stoull(value);
         } else {

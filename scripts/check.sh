@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification gate: the tier-1 suite on a plain build, then the
+# threaded suites (sweep engine + fault determinism) again under TSan.
+#
+#   scripts/check.sh            # both stages
+#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only (fast local iteration)
+#
+# Build trees: build/ (plain) and build-tsan/ (MERM_SANITIZE=thread).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== tier-1: configure + build (build/) ==="
+cmake -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== tier-1: full test suite ==="
+ctest --test-dir build --output-on-failure
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "=== tsan: configure + build (build-tsan/) ==="
+  cmake -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMERM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "=== tsan: threaded suites (ctest -L tsan) ==="
+  ctest --test-dir build-tsan -L tsan --output-on-failure
+fi
+
+echo "=== check.sh: all green ==="

@@ -10,6 +10,9 @@ void RunResult::print(std::ostream& os) const {
      << (level == node::SimulationLevel::kDetailed ? "detailed" : "task-level")
      << ") ==\n";
   os << "  completed:        " << (completed ? "yes" : "NO (blocked)") << "\n";
+  if (!hang_diagnostic.empty()) {
+    os << "  " << hang_diagnostic << "\n";
+  }
   os << "  simulated time:   " << sim::format_time(simulated_time) << " ("
      << simulated_cpu_cycles << " cpu cycles)\n";
   os << "  operations:       " << operations << "\n";
@@ -96,22 +99,50 @@ RunResult Workbench::run_detailed_shared(trace::Workload& workload,
                     machine_->total_ops_executed());
 }
 
+namespace {
+
+/// Records the tick at which the last workload process finished.  Only used
+/// for fault-injected runs, where scripted repair events can keep the event
+/// queue alive long after the application is done and sim.now() at drain
+/// would overstate the time-to-completion.
+sim::Process watch_completion(std::vector<sim::ProcessHandle> handles,
+                              sim::Simulator& sim,
+                              std::shared_ptr<sim::Tick> done_at) {
+  for (sim::ProcessHandle& h : handles) co_await h.join();
+  *done_at = sim.now();
+}
+
+}  // namespace
+
 RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
                                 node::SimulationLevel level, sim::Tick until,
                                 std::uint64_t ops_before) {
   arm_progress(handles);
 
+  auto workload_done_at = std::make_shared<sim::Tick>(sim::kTickMax);
+  if (params_.fault.enabled && !handles.empty()) {
+    sim_->spawn(watch_completion(handles, *sim_, workload_done_at));
+  }
+
   HostTimer timer;
-  sim_->run(until);
+  const sim::Simulator::RunResult sim_result = sim_->run(until);
   const double host_seconds = timer.elapsed_seconds();
 
   RunResult r;
   r.machine_name = params_.name;
   r.level = level;
   r.completed = node::Machine::all_finished(handles);
-  r.simulated_time = sim_->now();
+  if (!r.completed && sim_result == sim::Simulator::RunResult::kIdle) {
+    // The queue drained with work still blocked: a genuine hang, not a
+    // time/event-limit cutoff.  Capture who is stuck on what.
+    r.hang_diagnostic = sim_->hang_diagnostic();
+    if (throw_on_hang_) throw HangError(r.hang_diagnostic);
+  }
+  r.simulated_time = r.completed && *workload_done_at != sim::kTickMax
+                         ? *workload_done_at
+                         : sim_->now();
   r.simulated_cpu_cycles =
-      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(sim_->now());
+      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(r.simulated_time);
   r.events_processed = sim_->events_processed();
   r.operations = machine_->total_ops_executed() - ops_before;
   r.messages = machine_->total_messages();

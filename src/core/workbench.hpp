@@ -36,6 +36,10 @@ struct RunResult {
   std::string machine_name;
   node::SimulationLevel level = node::SimulationLevel::kDetailed;
   bool completed = false;      ///< every workload process finished
+  /// When the run hung (event queue drained with processes still blocked):
+  /// the simulator's multi-line description of who is blocked on what —
+  /// empty for completed or time/event-limited runs.
+  std::string hang_diagnostic;
   sim::Tick simulated_time = 0;
   std::uint64_t simulated_cpu_cycles = 0;  ///< simulated_time in CPU cycles
   std::uint64_t events_processed = 0;
@@ -64,6 +68,23 @@ struct RunResult {
   void print(std::ostream& os) const;
 };
 
+/// Structured error surfaced when a run hangs and the workbench was asked to
+/// throw on hangs (see Workbench::set_throw_on_hang): carries the simulator's
+/// per-node blocked-operation diagnostic.
+class HangError : public std::runtime_error {
+ public:
+  explicit HangError(std::string diagnostic)
+      : std::runtime_error(diagnostic.empty()
+                               ? std::string("simulation hang")
+                               : diagnostic),
+        diagnostic_(std::move(diagnostic)) {}
+
+  const std::string& diagnostic() const { return diagnostic_; }
+
+ private:
+  std::string diagnostic_;
+};
+
 class Workbench {
  public:
   explicit Workbench(machine::MachineParams params);
@@ -82,6 +103,13 @@ class Workbench {
 
   /// Registers all model metrics in stats() under the machine name.
   void register_all_stats();
+
+  /// When enabled, a run whose event queue drains with blocked processes
+  /// raises HangError (with the full diagnostic) instead of returning a
+  /// RunResult with completed=false.  Off by default for compatibility;
+  /// the sweep engine turns it on for fault-injected points.
+  void set_throw_on_hang(bool enabled) { throw_on_hang_ = enabled; }
+  bool throw_on_hang() const { return throw_on_hang_; }
 
   /// Enables run-time progress sampling: every `interval` of simulated time
   /// a sample (time, events, messages) is appended to progress_series() and,
@@ -159,6 +187,7 @@ class Workbench {
   stats::CounterSampler* sampler_ = nullptr;
   sim::Tick progress_interval_ = 0;
   std::ostream* progress_echo_ = nullptr;
+  bool throw_on_hang_ = false;
   std::thread::id run_thread_{};  ///< id of the thread that ran first
 };
 

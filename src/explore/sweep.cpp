@@ -296,6 +296,10 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
                                     "' has no workload factory");
       }
       core::Workbench wb(point.params);
+      // A fault-injected point that deadlocks (e.g. a partition nobody can
+      // route around) must surface as a failure row, not a silent
+      // completed=false result.
+      wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
       trace::Workload workload = factory(point.params, pr.seed);
       pr.run = point.level == node::SimulationLevel::kDetailed
                    ? wb.run_detailed(workload)
@@ -305,11 +309,20 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
     } catch (const std::exception& e) {
       pr.status = PointResult::Status::kFailed;
       pr.error = e.what();
-      throw;
+      if (!opts_.keep_going) throw;
     } catch (...) {
       pr.status = PointResult::Status::kFailed;
       pr.error = "unknown exception";
-      throw;
+      if (!opts_.keep_going) throw;
+    }
+    if (pr.status == PointResult::Status::kFailed) {
+      const std::size_t done = finished.fetch_add(1) + 1;
+      if (opts_.progress != nullptr) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        *opts_.progress << "[sweep] " << done << "/" << count << " "
+                        << pr.label << " FAILED: " << pr.error << "\n";
+      }
+      return;  // keep_going: the failure row is the result
     }
     host_times.add(pr.run.host_seconds);
     const std::size_t done = finished.fetch_add(1) + 1;

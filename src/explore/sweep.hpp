@@ -69,6 +69,11 @@ struct Sweep {
   node::SimulationLevel level = node::SimulationLevel::kDetailed;
   std::uint64_t base_seed = 0x6d65726dULL;  // "merm"
   MetricProbe probe;             ///< optional post-run metric extraction
+  /// Treat a hung run (event queue drained, processes blocked) as a point
+  /// failure carrying the hang diagnostic, rather than a "done" point with
+  /// completed=false.  Implied for points whose params.fault is enabled —
+  /// degraded-mode sweeps must not silently report a hung point as a result.
+  bool fail_on_hang = false;
 
   std::vector<ExperimentPoint> points;
 
@@ -128,6 +133,11 @@ struct SweepOptions {
   unsigned threads = 0;
   /// If set, one line per finished point ("[sweep] 3/12 ...").
   std::ostream* progress = nullptr;
+  /// When true, a point that throws (a hang, RetryExhaustedError, a bad
+  /// config...) is recorded as a per-point failure row and the rest of the
+  /// grid keeps running; run()/run_into() then return normally.  When false
+  /// (default) the first failure cancels unstarted points and is rethrown.
+  bool keep_going = false;
 };
 
 /// Executes experiment grids on a thread pool.

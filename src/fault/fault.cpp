@@ -1,0 +1,328 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <deque>
+#include <stdexcept>
+
+namespace merm::fault {
+
+namespace {
+bool valid_node(trace::NodeId id, std::uint32_t n) {
+  return id >= 0 && static_cast<std::uint32_t>(id) < n;
+}
+}  // namespace
+
+FaultPlan::FaultPlan(const machine::FaultParams& params,
+                     const network::Topology& topology)
+    : params_(params), topo_(topology), rng_(params.seed) {
+  const std::uint32_t n = topo_.node_count();
+  link_down_.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    link_down_[v].assign(topo_.port_count(static_cast<NodeId>(v)), 0);
+  }
+  node_down_.assign(n, 0);
+
+  // Validate the script eagerly: a typo'd node id should fail at build time,
+  // not silently schedule a no-op.
+  for (const machine::LinkFaultEvent& e : params_.link_events) {
+    if (!valid_node(e.a, n) || !valid_node(e.b, n)) {
+      throw std::invalid_argument("fault plan: link event references node " +
+                                  std::to_string(std::max(e.a, e.b)) +
+                                  " outside topology of " + std::to_string(n) +
+                                  " nodes");
+    }
+    port_towards(e.a, e.b);  // throws when not adjacent
+    port_towards(e.b, e.a);
+    if (e.up_at <= e.down_at && e.up_at != sim::kTickMax) {
+      throw std::invalid_argument(
+          "fault plan: link repair must come after failure");
+    }
+  }
+  for (const machine::NodeFaultEvent& e : params_.node_events) {
+    if (!valid_node(e.node, n)) {
+      throw std::invalid_argument("fault plan: node event references node " +
+                                  std::to_string(e.node) +
+                                  " outside topology of " + std::to_string(n) +
+                                  " nodes");
+    }
+    if (e.up_at <= e.down_at && e.up_at != sim::kTickMax) {
+      throw std::invalid_argument(
+          "fault plan: node repair must come after crash");
+    }
+  }
+}
+
+void FaultPlan::arm(sim::Simulator& sim) {
+  // Priority -1: a fault transition at time T applies before any regular
+  // model event at T, so "kill the link at 100us" means exactly that.
+  for (const machine::LinkFaultEvent& e : params_.link_events) {
+    sim.schedule_at(
+        e.down_at,
+        [this, e] {
+          set_link_state(e.a, e.b, true);
+          links_failed.add();
+          recompute_tables();
+        },
+        -1);
+    if (e.up_at != sim::kTickMax) {
+      sim.schedule_at(
+          e.up_at,
+          [this, e] {
+            set_link_state(e.a, e.b, false);
+            links_repaired.add();
+            recompute_tables();
+          },
+          -1);
+    }
+  }
+  for (const machine::NodeFaultEvent& e : params_.node_events) {
+    sim.schedule_at(
+        e.down_at,
+        [this, e] {
+          set_node_state(e.node, true);
+          nodes_failed.add();
+          recompute_tables();
+        },
+        -1);
+    if (e.up_at != sim::kTickMax) {
+      sim.schedule_at(
+          e.up_at,
+          [this, e] {
+            set_node_state(e.node, false);
+            nodes_repaired.add();
+            recompute_tables();
+          },
+          -1);
+    }
+  }
+}
+
+bool FaultPlan::reachable(NodeId src, NodeId dst) const {
+  if (src == dst) return node_usable(src);
+  if (down_elements_ == 0) return true;  // live graph == full graph
+  return distance(src, dst) != kUnreachable;
+}
+
+std::uint32_t FaultPlan::next_port(NodeId here, NodeId dst) const {
+  return next_port_[static_cast<std::size_t>(here) * topo_.node_count() +
+                    static_cast<std::size_t>(dst)];
+}
+
+std::uint32_t FaultPlan::distance(NodeId src, NodeId dst) const {
+  if (down_elements_ == 0) return topo_.hop_distance(src, dst);
+  return distance_[static_cast<std::size_t>(src) * topo_.node_count() +
+                   static_cast<std::size_t>(dst)];
+}
+
+bool FaultPlan::draw_drop() {
+  // Short-circuit keeps the RNG untouched when the probability is zero, so
+  // adding scripted-only faults never perturbs stochastic workloads.
+  if (params_.drop_probability <= 0.0) return false;
+  const bool hit = rng_.chance(params_.drop_probability);
+  if (hit) drops_drawn.add();
+  return hit;
+}
+
+bool FaultPlan::draw_corrupt() {
+  if (params_.corrupt_probability <= 0.0) return false;
+  const bool hit = rng_.chance(params_.corrupt_probability);
+  if (hit) corruptions_drawn.add();
+  return hit;
+}
+
+void FaultPlan::register_stats(stats::StatRegistry& reg,
+                               const std::string& prefix) {
+  reg.register_counter(prefix + ".links_failed", &links_failed);
+  reg.register_counter(prefix + ".links_repaired", &links_repaired);
+  reg.register_counter(prefix + ".nodes_failed", &nodes_failed);
+  reg.register_counter(prefix + ".nodes_repaired", &nodes_repaired);
+  reg.register_counter(prefix + ".drops_drawn", &drops_drawn);
+  reg.register_counter(prefix + ".corruptions_drawn", &corruptions_drawn);
+}
+
+std::uint32_t FaultPlan::port_towards(NodeId from, NodeId to) const {
+  for (std::uint32_t p = 0; p < topo_.port_count(from); ++p) {
+    if (topo_.neighbor(from, p).node == to) return p;
+  }
+  throw std::invalid_argument("fault plan: nodes " + std::to_string(from) +
+                              " and " + std::to_string(to) +
+                              " are not adjacent in the topology");
+}
+
+void FaultPlan::adjust(std::uint32_t& counter, bool down) {
+  if (down) {
+    if (counter++ == 0) ++down_elements_;
+  } else {
+    if (--counter == 0) --down_elements_;
+  }
+}
+
+void FaultPlan::set_link_state(NodeId a, NodeId b, bool down) {
+  adjust(link_down_[static_cast<std::size_t>(a)][port_towards(a, b)], down);
+  adjust(link_down_[static_cast<std::size_t>(b)][port_towards(b, a)], down);
+}
+
+void FaultPlan::set_node_state(NodeId node, bool down) {
+  adjust(node_down_[static_cast<std::size_t>(node)], down);
+}
+
+void FaultPlan::recompute_tables() {
+  const std::uint32_t n = topo_.node_count();
+  next_port_.assign(static_cast<std::size_t>(n) * n, network::kNoPort);
+  distance_.assign(static_cast<std::size_t>(n) * n, kUnreachable);
+  if (down_elements_ == 0) return;  // callers fall back to the full tables
+
+  // One BFS per destination over the live subgraph, mirroring
+  // Topology::compute_tables (same lowest-port tie-break, so a degraded
+  // table with nothing actually on the route matches the fault-free path).
+  for (std::uint32_t dest = 0; dest < n; ++dest) {
+    if (node_down_[dest] != 0) continue;
+    auto dist = [&](std::uint32_t v) -> std::uint32_t& {
+      return distance_[static_cast<std::size_t>(v) * n + dest];
+    };
+    dist(dest) = 0;
+    std::deque<std::uint32_t> frontier{dest};
+    while (!frontier.empty()) {
+      const std::uint32_t v = frontier.front();
+      frontier.pop_front();
+      // BFS runs dest -> source, so an edge u -> v is usable for routing
+      // when u's outgoing link towards v is alive.
+      for (std::uint32_t p = 0; p < topo_.port_count(static_cast<NodeId>(v));
+           ++p) {
+        const auto u =
+            static_cast<std::uint32_t>(topo_.neighbor(static_cast<NodeId>(v), p).node);
+        if (node_down_[u] != 0) continue;
+        const std::uint32_t back =
+            port_towards(static_cast<NodeId>(u), static_cast<NodeId>(v));
+        if (link_down_[u][back] != 0) continue;
+        if (dist(u) == kUnreachable) {
+          dist(u) = dist(v) + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    for (std::uint32_t here = 0; here < n; ++here) {
+      if (here == dest || dist(here) == kUnreachable) continue;
+      for (std::uint32_t p = 0; p < topo_.port_count(static_cast<NodeId>(here));
+           ++p) {
+        if (link_down_[here][p] != 0) continue;
+        const auto u = static_cast<std::uint32_t>(
+            topo_.neighbor(static_cast<NodeId>(here), p).node);
+        if (node_down_[u] != 0) continue;
+        if (dist(u) != kUnreachable && dist(u) + 1 == dist(here)) {
+          next_port_[static_cast<std::size_t>(here) * n + dest] = p;
+          break;
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& token, const char* why) {
+  throw std::invalid_argument("fault spec: bad token '" + token + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) spec_fail(token, "expected an integer");
+  return value;
+}
+
+double parse_prob(const std::string& token, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    spec_fail(token, "expected a probability");
+  }
+  if (used != text.size() || value < 0.0 || value > 1.0) {
+    spec_fail(token, "probability must be in [0, 1]");
+  }
+  return value;
+}
+
+/// Parses "A-B@D[:U]" / "N@D[:U]" time windows (microseconds).
+void parse_window(const std::string& token, const std::string& text,
+                  sim::Tick& down_at, sim::Tick& up_at) {
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) spec_fail(token, "missing @DOWN_us");
+  const std::string window = text.substr(at + 1);
+  const std::size_t colon = window.find(':');
+  down_at = parse_u64(token, window.substr(0, colon)) *
+            sim::kTicksPerMicrosecond;
+  up_at = sim::kTickMax;
+  if (colon != std::string::npos) {
+    up_at = parse_u64(token, window.substr(colon + 1)) *
+            sim::kTicksPerMicrosecond;
+    if (up_at <= down_at) spec_fail(token, "repair time must follow failure");
+  }
+}
+
+}  // namespace
+
+machine::FaultParams parse_spec(const std::string& spec) {
+  machine::FaultParams params;
+  params.enabled = true;
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) spec_fail(token, "expected key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "drop") {
+      params.drop_probability = parse_prob(token, value);
+    } else if (key == "corrupt") {
+      params.corrupt_probability = parse_prob(token, value);
+    } else if (key == "seed") {
+      params.seed = parse_u64(token, value);
+    } else if (key == "timeout_us") {
+      params.ack_timeout = parse_u64(token, value) * sim::kTicksPerMicrosecond;
+    } else if (key == "retries") {
+      params.max_retries = static_cast<std::uint32_t>(parse_u64(token, value));
+    } else if (key == "backoff_us") {
+      params.retry_backoff =
+          parse_u64(token, value) * sim::kTicksPerMicrosecond;
+    } else if (key == "link") {
+      const std::size_t dash = value.find('-');
+      const std::size_t at = value.find('@');
+      if (dash == std::string::npos || at == std::string::npos || dash > at) {
+        spec_fail(token, "expected link=A-B@DOWN_us[:UP_us]");
+      }
+      machine::LinkFaultEvent e;
+      e.a = static_cast<NodeId>(parse_u64(token, value.substr(0, dash)));
+      e.b = static_cast<NodeId>(
+          parse_u64(token, value.substr(dash + 1, at - dash - 1)));
+      parse_window(token, value, e.down_at, e.up_at);
+      params.link_events.push_back(e);
+    } else if (key == "node") {
+      const std::size_t at = value.find('@');
+      if (at == std::string::npos) {
+        spec_fail(token, "expected node=N@DOWN_us[:UP_us]");
+      }
+      machine::NodeFaultEvent e;
+      e.node = static_cast<NodeId>(parse_u64(token, value.substr(0, at)));
+      parse_window(token, value, e.down_at, e.up_at);
+      params.node_events.push_back(e);
+    } else {
+      spec_fail(token, "unknown key");
+    }
+  }
+  return params;
+}
+
+}  // namespace merm::fault

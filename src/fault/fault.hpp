@@ -1,0 +1,125 @@
+// The fault-injection subsystem: deterministic, seed-driven degraded-mode
+// evaluation for the workbench.
+//
+// A FaultPlan is compiled from machine::FaultParams against a concrete
+// Topology and installed into the Network as its FaultInjector.  It owns
+// three kinds of faults:
+//
+//  - scripted link outages (both directions of a bidirectional pair),
+//  - scripted whole-node crashes (the node neither sources, sinks, nor
+//    forwards traffic), and
+//  - per-message Bernoulli drop/corruption draws from a dedicated Rng.
+//
+// Scripted transitions are armed as simulator events, so all fault state
+// changes — and therefore every RNG draw order — happen inside the
+// deterministic event loop: a given (FaultParams, workload) pair replays
+// bit-identically across repeated runs and across SweepEngine thread counts.
+//
+// While any element is down the plan maintains a fault-aware shortest-path
+// routing table (BFS over the live subgraph, lowest-port tie-break, exactly
+// mirroring Topology::compute_tables); the Network walks it instead of the
+// arithmetic route, which is how messages detour around dead links.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "network/fault_hooks.hpp"
+#include "network/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+
+namespace merm::fault {
+
+using trace::NodeId;
+
+class FaultPlan : public network::FaultInjector {
+ public:
+  /// Compiles `params` against the topology.  Throws std::invalid_argument
+  /// when a scripted event references a node or link that does not exist.
+  FaultPlan(const machine::FaultParams& params,
+            const network::Topology& topology);
+
+  /// Schedules every scripted down/up transition on `sim`.  Call once,
+  /// before the run starts.  Transitions fire at priority -1 so a fault at
+  /// time T affects everything else happening at T.
+  void arm(sim::Simulator& sim);
+
+  const machine::FaultParams& params() const { return params_; }
+
+  // -- FaultInjector --
+  bool link_usable(NodeId from, std::uint32_t port) const override {
+    return link_down_[static_cast<std::size_t>(from)][port] == 0;
+  }
+  bool node_usable(NodeId node) const override {
+    return node_down_[static_cast<std::size_t>(node)] == 0;
+  }
+  bool degraded() const override { return down_elements_ > 0; }
+  bool reachable(NodeId src, NodeId dst) const override;
+  std::uint32_t next_port(NodeId here, NodeId dst) const override;
+  bool draw_drop() override;
+  bool draw_corrupt() override;
+
+  /// Fault-aware hop distance (kUnreachable when partitioned).  Exposed for
+  /// tests and diagnostics.
+  std::uint32_t distance(NodeId src, NodeId dst) const;
+  static constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+
+  // -- statistics --
+  stats::Counter links_failed;
+  stats::Counter links_repaired;
+  stats::Counter nodes_failed;
+  stats::Counter nodes_repaired;
+  stats::Counter drops_drawn;
+  stats::Counter corruptions_drawn;
+
+  void register_stats(stats::StatRegistry& reg, const std::string& prefix);
+
+ private:
+  /// Output port on `from` whose link reaches `to`; throws if not adjacent.
+  std::uint32_t port_towards(NodeId from, NodeId to) const;
+
+  /// Marks/unmarks both unidirectional links of the pair.  Down states nest
+  /// (counters), so overlapping scripted outages compose correctly.
+  void set_link_state(NodeId a, NodeId b, bool down);
+  void set_node_state(NodeId node, bool down);
+  void adjust(std::uint32_t& counter, bool down);
+
+  /// Rebuilds the fault-aware tables over the live subgraph.
+  void recompute_tables();
+
+  machine::FaultParams params_;
+  const network::Topology& topo_;
+  sim::Rng rng_;
+
+  std::vector<std::vector<std::uint32_t>> link_down_;  ///< [node][port] depth
+  std::vector<std::uint32_t> node_down_;               ///< [node] depth
+  std::uint32_t down_elements_ = 0;
+
+  std::vector<std::uint32_t> next_port_;  ///< [here * n + dest], kNoPort
+  std::vector<std::uint32_t> distance_;   ///< [src * n + dest], kUnreachable
+};
+
+/// Parses a compact command-line fault spec into FaultParams (with
+/// enabled=true).  Comma-separated tokens:
+///
+///   drop=P            per-message drop probability in [0, 1]
+///   corrupt=P         per-message corruption probability in [0, 1]
+///   seed=N            RNG seed for the probabilistic draws
+///   timeout_us=N      sync-send ack timeout, microseconds
+///   retries=N         max retransmissions before giving up
+///   backoff_us=N      async-send retry backoff, microseconds
+///   link=A-B@D[:U]    link A<->B down at D us, repaired at U us (never
+///                     repaired when :U is omitted)
+///   node=N@D[:U]      node N crashes at D us, recovers at U us
+///
+/// Example: "link=0-1@100:500,drop=0.01,retries=6,seed=7"
+/// Throws std::invalid_argument on malformed input.
+machine::FaultParams parse_spec(const std::string& spec);
+
+}  // namespace merm::fault

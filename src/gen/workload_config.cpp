@@ -1,6 +1,7 @@
 #include "gen/workload_config.hpp"
 
 #include <cctype>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,9 +17,15 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+// Internal parse failure carrying the line number; the public entry points
+// attach their source context (file path or the legacy stream wording).
+struct ParseError {
+  int line;
+  std::string msg;
+};
+
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("workload config line " + std::to_string(line) +
-                           ": " + msg);
+  throw ParseError{line, msg};
 }
 
 double parse_double(const std::string& v, int line) {
@@ -79,12 +86,10 @@ const char* to_string(CommPattern p) {
   return "?";
 }
 
-StochasticDescription parse_workload(std::istream& is) {
-  return parse_workload(is, StochasticDescription{});
-}
+namespace {
 
-StochasticDescription parse_workload(std::istream& is,
-                                     const StochasticDescription& base) {
+StochasticDescription parse_impl(std::istream& is,
+                                 const StochasticDescription& base) {
   StochasticDescription d = base;
   std::string section;
   std::string raw;
@@ -232,9 +237,43 @@ StochasticDescription parse_workload(std::istream& is,
   return d;
 }
 
+}  // namespace
+
+StochasticDescription parse_workload(std::istream& is) {
+  return parse_workload(is, StochasticDescription{});
+}
+
+StochasticDescription parse_workload(std::istream& is,
+                                     const StochasticDescription& base) {
+  try {
+    return parse_impl(is, base);
+  } catch (const ParseError& e) {
+    throw std::runtime_error("workload config line " + std::to_string(e.line) +
+                             ": " + e.msg);
+  }
+}
+
 StochasticDescription parse_workload_string(const std::string& text) {
   std::istringstream is(text);
   return parse_workload(is);
+}
+
+StochasticDescription parse_workload_file(const std::string& path) {
+  return parse_workload_file(path, StochasticDescription{});
+}
+
+StochasticDescription parse_workload_file(const std::string& path,
+                                          const StochasticDescription& base) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("workload config: cannot open '" + path + "'");
+  }
+  try {
+    return parse_impl(is, base);
+  } catch (const ParseError& e) {
+    throw std::runtime_error(path + ":" + std::to_string(e.line) + ": " +
+                             e.msg);
+  }
 }
 
 void write_workload(std::ostream& os, const StochasticDescription& d) {

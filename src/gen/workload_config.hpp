@@ -40,6 +40,13 @@ StochasticDescription parse_workload(std::istream& is,
                                      const StochasticDescription& base);
 StochasticDescription parse_workload_string(const std::string& text);
 
+/// As parse_workload, reading from a file.  Errors are reported
+/// compiler-style as "path:line: message"; a missing or unreadable file
+/// throws with the path in the message.
+StochasticDescription parse_workload_file(const std::string& path);
+StochasticDescription parse_workload_file(const std::string& path,
+                                          const StochasticDescription& base);
+
 /// Writes a complete description that parse_workload round-trips.
 void write_workload(std::ostream& os, const StochasticDescription& desc);
 std::string write_workload_string(const StochasticDescription& desc);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -18,9 +19,16 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+// Internal parse failure carrying the line number; the public entry points
+// format it with whatever source context they have (a file path gives the
+// compiler-style "path:line:", a bare stream keeps the legacy wording).
+struct ParseError {
+  int line;
+  std::string msg;
+};
+
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("machine config line " + std::to_string(line) +
-                           ": " + msg);
+  throw ParseError{line, msg};
 }
 
 double parse_double(const std::string& v, int line) {
@@ -49,6 +57,24 @@ bool parse_bool(const std::string& v, int line) {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
   fail(line, "bad boolean '" + v + "'");
+}
+
+double parse_probability(const std::string& v, int line) {
+  const double p = parse_double(v, line);
+  if (p < 0.0 || p > 1.0) {
+    fail(line, "probability '" + v + "' not in [0, 1]");
+  }
+  return p;
+}
+
+sim::Tick parse_microseconds(const std::string& v, int line) {
+  return parse_u64(v, line) * sim::kTicksPerMicrosecond;
+}
+
+trace::NodeId parse_node_id(const std::string& v, int line) {
+  const std::uint64_t u = parse_u64(v, line);
+  if (u > 0x7fffffffULL) fail(line, "node id '" + v + "' out of range");
+  return static_cast<trace::NodeId>(u);
 }
 
 TopologyKind parse_topology(const std::string& v, int line) {
@@ -102,13 +128,7 @@ void apply_cost_key(CpuParams& cpu, const std::string& key,
   }
 }
 
-}  // namespace
-
-MachineParams parse_config(std::istream& is) {
-  return parse_config(is, MachineParams{});
-}
-
-MachineParams parse_config(std::istream& is, const MachineParams& base) {
+MachineParams parse_impl(std::istream& is, const MachineParams& base) {
   MachineParams m = base;
   std::string section;
   std::string raw;
@@ -129,6 +149,18 @@ MachineParams parse_config(std::istream& is, const MachineParams& base) {
             static_cast<std::size_t>(parse_u64(section.substr(6), line_no));
         if (m.node.memory.levels.size() <= idx) {
           m.node.memory.levels.resize(idx + 1);
+        }
+      } else if (section.rfind("fault.link.", 0) == 0) {
+        const std::size_t idx =
+            static_cast<std::size_t>(parse_u64(section.substr(11), line_no));
+        if (m.fault.link_events.size() <= idx) {
+          m.fault.link_events.resize(idx + 1);
+        }
+      } else if (section.rfind("fault.node.", 0) == 0) {
+        const std::size_t idx =
+            static_cast<std::size_t>(parse_u64(section.substr(11), line_no));
+        if (m.fault.node_events.size() <= idx) {
+          m.fault.node_events.resize(idx + 1);
         }
       }
       continue;
@@ -269,11 +301,73 @@ MachineParams parse_config(std::istream& is, const MachineParams& base) {
       } else {
         fail(line_no, "unknown [nic] key '" + key + "'");
       }
+    } else if (section == "fault") {
+      FaultParams& f = m.fault;
+      if (key == "enabled") {
+        f.enabled = parse_bool(value, line_no);
+      } else if (key == "seed") {
+        f.seed = parse_u64(value, line_no);
+      } else if (key == "drop_probability") {
+        f.drop_probability = parse_probability(value, line_no);
+      } else if (key == "corrupt_probability") {
+        f.corrupt_probability = parse_probability(value, line_no);
+      } else if (key == "ack_timeout_us") {
+        f.ack_timeout = parse_microseconds(value, line_no);
+      } else if (key == "max_retries") {
+        f.max_retries = static_cast<std::uint32_t>(parse_u64(value, line_no));
+      } else if (key == "retry_backoff_us") {
+        f.retry_backoff = parse_microseconds(value, line_no);
+      } else {
+        fail(line_no, "unknown [fault] key '" + key + "'");
+      }
+    } else if (section.rfind("fault.link.", 0) == 0) {
+      const std::size_t idx =
+          static_cast<std::size_t>(parse_u64(section.substr(11), line_no));
+      LinkFaultEvent& e = m.fault.link_events[idx];
+      if (key == "from") {
+        e.a = parse_node_id(value, line_no);
+      } else if (key == "to") {
+        e.b = parse_node_id(value, line_no);
+      } else if (key == "down_at_us") {
+        e.down_at = parse_microseconds(value, line_no);
+      } else if (key == "up_at_us") {
+        e.up_at = parse_microseconds(value, line_no);
+      } else {
+        fail(line_no, "unknown [fault.link] key '" + key + "'");
+      }
+    } else if (section.rfind("fault.node.", 0) == 0) {
+      const std::size_t idx =
+          static_cast<std::size_t>(parse_u64(section.substr(11), line_no));
+      NodeFaultEvent& e = m.fault.node_events[idx];
+      if (key == "node") {
+        e.node = parse_node_id(value, line_no);
+      } else if (key == "down_at_us") {
+        e.down_at = parse_microseconds(value, line_no);
+      } else if (key == "up_at_us") {
+        e.up_at = parse_microseconds(value, line_no);
+      } else {
+        fail(line_no, "unknown [fault.node] key '" + key + "'");
+      }
     } else {
       fail(line_no, "unknown section '" + section + "'");
     }
   }
   return m;
+}
+
+}  // namespace
+
+MachineParams parse_config(std::istream& is) {
+  return parse_config(is, MachineParams{});
+}
+
+MachineParams parse_config(std::istream& is, const MachineParams& base) {
+  try {
+    return parse_impl(is, base);
+  } catch (const ParseError& e) {
+    throw std::runtime_error("machine config line " + std::to_string(e.line) +
+                             ": " + e.msg);
+  }
 }
 
 MachineParams parse_config_string(const std::string& text) {
@@ -285,6 +379,24 @@ MachineParams parse_config_string(const std::string& text,
                                   const MachineParams& base) {
   std::istringstream is(text);
   return parse_config(is, base);
+}
+
+MachineParams parse_config_file(const std::string& path) {
+  return parse_config_file(path, MachineParams{});
+}
+
+MachineParams parse_config_file(const std::string& path,
+                                const MachineParams& base) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("machine config: cannot open '" + path + "'");
+  }
+  try {
+    return parse_impl(is, base);
+  } catch (const ParseError& e) {
+    throw std::runtime_error(path + ":" + std::to_string(e.line) + ": " +
+                             e.msg);
+  }
 }
 
 const char* to_string(TopologyKind k) {
@@ -412,7 +524,38 @@ void write_config(std::ostream& os, const MachineParams& m) {
      << "\n";
   os << "recv_setup_ns = " << m.nic.recv_setup / sim::kTicksPerNanosecond
      << "\n";
-  os << "copy_bytes_per_s = " << m.nic.copy_bytes_per_s << "\n";
+  os << "copy_bytes_per_s = " << m.nic.copy_bytes_per_s << "\n\n";
+
+  const FaultParams& f = m.fault;
+  os << "[fault]\n";
+  os << "enabled = " << (f.enabled ? "true" : "false") << "\n";
+  os << "seed = " << f.seed << "\n";
+  os << "drop_probability = " << f.drop_probability << "\n";
+  os << "corrupt_probability = " << f.corrupt_probability << "\n";
+  os << "ack_timeout_us = " << f.ack_timeout / sim::kTicksPerMicrosecond
+     << "\n";
+  os << "max_retries = " << f.max_retries << "\n";
+  os << "retry_backoff_us = " << f.retry_backoff / sim::kTicksPerMicrosecond
+     << "\n";
+  for (std::size_t i = 0; i < f.link_events.size(); ++i) {
+    const LinkFaultEvent& e = f.link_events[i];
+    os << "\n[fault.link." << i << "]\n";
+    os << "from = " << e.a << "\n";
+    os << "to = " << e.b << "\n";
+    os << "down_at_us = " << e.down_at / sim::kTicksPerMicrosecond << "\n";
+    if (e.up_at != sim::kTickMax) {
+      os << "up_at_us = " << e.up_at / sim::kTicksPerMicrosecond << "\n";
+    }
+  }
+  for (std::size_t i = 0; i < f.node_events.size(); ++i) {
+    const NodeFaultEvent& e = f.node_events[i];
+    os << "\n[fault.node." << i << "]\n";
+    os << "node = " << e.node << "\n";
+    os << "down_at_us = " << e.down_at / sim::kTicksPerMicrosecond << "\n";
+    if (e.up_at != sim::kTickMax) {
+      os << "up_at_us = " << e.up_at / sim::kTicksPerMicrosecond << "\n";
+    }
+  }
 }
 
 std::string write_config_string(const MachineParams& params) {

@@ -24,6 +24,17 @@
 //   kind = mesh2d
 //   dims = 4 4
 //   [router] / [link] / [nic] ...
+//   [fault]
+//   enabled = true
+//   drop_probability = 0.01
+//   [fault.link.0]            ; scripted outage of the 2<->3 link
+//   from = 2
+//   to = 3
+//   down_at_us = 100
+//   up_at_us = 500            ; omit for a permanent failure
+//   [fault.node.0]            ; whole-node crash window
+//   node = 5
+//   down_at_us = 200
 //
 // Unknown keys are an error (catches typos in sweep scripts).
 #pragma once
@@ -44,6 +55,13 @@ MachineParams parse_config(std::istream& is, const MachineParams& base);
 MachineParams parse_config_string(const std::string& text);
 MachineParams parse_config_string(const std::string& text,
                                   const MachineParams& base);
+
+/// As parse_config, reading from a file.  Errors are reported
+/// compiler-style as "path:line: message"; a missing or unreadable file
+/// throws with the path in the message.
+MachineParams parse_config_file(const std::string& path);
+MachineParams parse_config_file(const std::string& path,
+                                const MachineParams& base);
 
 /// Writes a complete config that parse_config round-trips.
 void write_config(std::ostream& os, const MachineParams& params);

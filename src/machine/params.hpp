@@ -161,6 +161,56 @@ struct NicParams {
   double copy_bytes_per_s = 40e6;  ///< memory copy bandwidth at the NIC
 };
 
+/// A scripted link outage: both unidirectional links between `a` and `b` go
+/// down at `down_at` and come back at `up_at` (kTickMax = never repaired).
+struct LinkFaultEvent {
+  trace::NodeId a = 0;
+  trace::NodeId b = 0;
+  sim::Tick down_at = 0;
+  sim::Tick up_at = sim::kTickMax;
+};
+
+/// A scripted whole-node crash: every link incident to `node` goes down at
+/// `down_at`; messages to/from/through the node fail until `up_at`.
+struct NodeFaultEvent {
+  trace::NodeId node = 0;
+  sim::Tick down_at = 0;
+  sim::Tick up_at = sim::kTickMax;
+};
+
+/// Degraded-mode evaluation knobs (the fault-injection subsystem's
+/// configuration surface; see src/fault/).  All stochastic behaviour is
+/// seed-driven, so a FaultPlan built from these parameters replays
+/// bit-identically across runs and sweep thread counts.
+struct FaultParams {
+  bool enabled = false;
+  std::uint64_t seed = 0x6661756c74ULL;  // "fault"
+
+  /// Per-data-message probabilities, drawn once per message at the network
+  /// boundary.  Control traffic (acknowledgements) is exempt.
+  double drop_probability = 0.0;     ///< message silently lost in transit
+  double corrupt_probability = 0.0;  ///< delivered but discarded by the NIC
+
+  /// Fault tolerance at the NIC: a synchronous send that has not been
+  /// acknowledged within ack_timeout retransmits; the timeout doubles with
+  /// every attempt (exponential backoff).  Asynchronous sends, whose loss the
+  /// NIC observes directly, wait retry_backoff (doubling) between attempts.
+  /// After max_retries retransmissions a sync send raises a structured error;
+  /// an async send counts a send_failure and gives up.
+  sim::Tick ack_timeout = 200 * sim::kTicksPerMicrosecond;
+  std::uint32_t max_retries = 4;
+  sim::Tick retry_backoff = 50 * sim::kTicksPerMicrosecond;
+
+  std::vector<LinkFaultEvent> link_events;
+  std::vector<NodeFaultEvent> node_events;
+
+  /// True when any fault source is actually configured.
+  bool any_faults() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           !link_events.empty() || !node_events.empty();
+  }
+};
+
 /// Everything needed to instantiate a multicomputer model.
 struct MachineParams {
   std::string name = "generic";
@@ -169,6 +219,7 @@ struct MachineParams {
   RouterParams router;
   LinkParams link;
   NicParams nic;
+  FaultParams fault;
 
   std::uint32_t node_count() const { return topology.node_count(); }
 };

@@ -1,0 +1,57 @@
+// Fault-injection hook interface for the network layer.
+//
+// The network must not depend on the fault subsystem (merm_fault links
+// against merm_network, not the other way around), so the injection points
+// are expressed as this abstract interface.  `fault::FaultPlan` implements
+// it; `Network::set_fault_injector` installs it.  A null injector means a
+// perfect interconnect — the seed behaviour, bit-identical to before the
+// fault subsystem existed (no RNG draws, no table walks).
+//
+// All queries are answered from state that only mutates inside the
+// simulator's event loop, so results are deterministic per seed regardless
+// of how many host threads a sweep uses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "trace/operation.hpp"
+
+namespace merm::network {
+
+/// Sentinel port meaning "no usable route" in degraded routing tables.
+inline constexpr std::uint32_t kNoPort =
+    std::numeric_limits<std::uint32_t>::max();
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Is the unidirectional link out of `from` through `port` alive?
+  virtual bool link_usable(trace::NodeId from, std::uint32_t port) const = 0;
+
+  /// Is the node itself alive (can source, sink, or forward traffic)?
+  virtual bool node_usable(trace::NodeId node) const = 0;
+
+  /// True while any link or node is currently down.  When false the network
+  /// routes arithmetically exactly as in the fault-free case.
+  virtual bool degraded() const = 0;
+
+  /// Can `dst` currently be reached from `src` over live links/nodes?
+  virtual bool reachable(trace::NodeId src, trace::NodeId dst) const = 0;
+
+  /// Fault-aware shortest-path routing table: the output port to take from
+  /// `here` towards `dst`, avoiding dead elements.  kNoPort if unreachable.
+  virtual std::uint32_t next_port(trace::NodeId here,
+                                  trace::NodeId dst) const = 0;
+
+  /// One Bernoulli draw per data message: silently lose it in transit?
+  /// Non-const: advances the plan's deterministic RNG.
+  virtual bool draw_drop() = 0;
+
+  /// One Bernoulli draw per delivered data message: arrived corrupted (the
+  /// NIC discards it, forcing the sender's retry path)?
+  virtual bool draw_corrupt() = 0;
+};
+
+}  // namespace merm::network

@@ -72,88 +72,152 @@ sim::Tick Network::zero_load_packet_latency(std::uint64_t payload_bytes,
   return 0;
 }
 
-sim::Task<> Network::transmit(NodeId src, NodeId dst, std::uint64_t bytes) {
+bool Network::plan_route(NodeId src, NodeId dst, std::vector<Hop>& hops,
+                         bool& rerouted) const {
+  std::vector<std::uint32_t> route;
+  if (fault_ != nullptr && fault_->degraded()) {
+    // Arithmetic routing degrades to table routing: walk the injector's
+    // fault-aware shortest-path table around dead links/nodes.
+    NodeId here = src;
+    const std::size_t limit = 4 * topology_.node_count() + 8;
+    while (here != dst) {
+      const std::uint32_t port = fault_->next_port(here, dst);
+      if (port == kNoPort || route.size() >= limit) return false;
+      route.push_back(port);
+      here = topology_.neighbor(here, port).node;
+    }
+    rerouted = route != topology_.path(router_.routing, src, dst);
+  } else {
+    route = topology_.path(router_.routing, src, dst);
+  }
+
+  // Dateline virtual-channel selection: a packet starts each dimension on
+  // VC 0 and moves to VC 1 when it crosses a wrap-around edge, breaking the
+  // cyclic channel dependencies of rings and tori under wormhole switching.
+  hops.clear();
+  hops.reserve(route.size());
+  NodeId here = src;
+  std::uint32_t vc = 0;
+  int prev_dim = -1;
+  for (std::uint32_t port : route) {
+    Link& link = *links_[static_cast<std::size_t>(here)][port];
+    const NodeId next = topology_.neighbor(here, port).node;
+    const int dim = topology_.edge_dimension(here, next);
+    if (dim != prev_dim) {
+      vc = 0;
+      prev_dim = dim;
+    }
+    if (topology_.is_wrap_edge(here, next)) {
+      vc = std::min(vc + 1, link.vc_count() - 1);
+    }
+    hops.push_back(Hop{&link, vc, here, port, next});
+    here = next;
+  }
+  return true;
+}
+
+sim::Task<TransmitOutcome> Network::transmit(NodeId src, NodeId dst,
+                                             std::uint64_t bytes,
+                                             bool control) {
   messages.add();
-  bytes_delivered.add(bytes);
-  if (src == dst) co_return;
+  if (src == dst) {
+    bytes_delivered.add(bytes);
+    co_return TransmitOutcome{};
+  }
+
+  TransmitOutcome out;
+  std::vector<Hop> hops;
+  if (fault_ != nullptr) {
+    if (!fault_->node_usable(src) || !fault_->node_usable(dst) ||
+        !fault_->reachable(src, dst)) {
+      messages_unreachable.add();
+      out.delivered = false;
+      co_return out;
+    }
+    if (!control && fault_->draw_drop()) {
+      // Lost in transit: the sender notices only via ack timeout.
+      messages_dropped.add();
+      out.delivered = false;
+      co_return out;
+    }
+  }
+  if (!plan_route(src, dst, hops, out.rerouted)) {
+    messages_unreachable.add();
+    out.delivered = false;
+    co_return out;
+  }
+  if (out.rerouted) messages_rerouted.add();
 
   const sim::Tick start = sim_.now();
   const std::uint32_t n_packets = packet_count(bytes);
   const std::uint64_t full_payload = router_.max_packet_bytes;
 
-  std::uint32_t remaining = n_packets;
-  sim::Event all_done;
+  MessageState st;
+  st.remaining = n_packets;
   std::uint64_t left = bytes;
   for (std::uint32_t i = 0; i < n_packets; ++i) {
     const std::uint64_t payload = std::min<std::uint64_t>(left, full_payload);
     left -= payload;
-    sim_.spawn(packet_process(src, dst, payload, &remaining, &all_done));
+    sim_.spawn(packet_process(hops, payload, &st));
   }
-  co_await all_done;
+  co_await st.done;
 
+  if (st.lost > 0) {
+    // A link or node died under the message mid-flight.
+    messages_dropped.add();
+    out.delivered = false;
+    co_return out;
+  }
+  bytes_delivered.add(bytes);
+  if (fault_ != nullptr && !control && fault_->draw_corrupt()) {
+    messages_corrupted.add();
+    out.corrupted = true;
+    out.delivered = false;
+    co_return out;
+  }
   message_latency_ticks.add(static_cast<double>(sim_.now() - start));
-  message_hops.add(static_cast<double>(topology_.hop_distance(src, dst)));
+  message_hops.add(static_cast<double>(hops.size()));
   latency_histogram.add((sim_.now() - start) / sim::kTicksPerNanosecond);
+  co_return out;
 }
 
-sim::Process Network::packet_process(NodeId src, NodeId dst,
+sim::Process Network::packet_process(const std::vector<Hop>& hops,
                                      std::uint64_t payload_bytes,
-                                     std::uint32_t* remaining,
-                                     sim::Event* all_done) {
+                                     MessageState* st) {
   packets.add();
   const std::uint64_t pkt_bytes = payload_bytes + router_.header_bytes;
-  const auto route = topology_.path(router_.routing, src, dst);
   const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
   const sim::Tick t_prop = link_params_.propagation_delay;
-
-  // Per-hop links along the route, with dateline virtual-channel selection:
-  // a packet starts each dimension on VC 0 and moves to VC 1 when it crosses
-  // a wrap-around edge, breaking the cyclic channel dependencies of rings
-  // and tori under wormhole switching.
-  std::vector<Link*> hop_links;
-  std::vector<std::uint32_t> hop_vcs;
-  hop_links.reserve(route.size());
-  hop_vcs.reserve(route.size());
-  {
-    NodeId here = src;
-    std::uint32_t vc = 0;
-    int prev_dim = -1;
-    for (std::uint32_t port : route) {
-      Link& link = link_at(here, port);
-      const NodeId next = topology_.neighbor(here, port).node;
-      const int dim = topology_.edge_dimension(here, next);
-      if (dim != prev_dim) {
-        vc = 0;
-        prev_dim = dim;
-      }
-      if (topology_.is_wrap_edge(here, next)) {
-        vc = std::min(vc + 1, link.vc_count() - 1);
-      }
-      hop_links.push_back(&link);
-      hop_vcs.push_back(vc);
-      here = next;
-    }
-  }
+  bool lost = false;
 
   switch (router_.switching) {
     case Switching::kStoreAndForward: {
       // One link held at a time: VC 0 suffices (no hold-and-wait chains).
-      for (Link* link : hop_links) {
-        co_await link->acquire(0);
-        const sim::Tick hold = t_r + link->serialization(pkt_bytes) + t_prop;
+      for (const Hop& h : hops) {
+        if (!hop_usable(h)) {
+          lost = true;
+          break;
+        }
+        co_await h.link->acquire(0);
+        if (!hop_usable(h)) {  // died while the packet queued for the link
+          h.link->release(0);
+          lost = true;
+          break;
+        }
+        const sim::Tick hold = t_r + h.link->serialization(pkt_bytes) + t_prop;
         co_await sim_.delay(hold);
-        link->add_busy(hold);
-        link->packets.add();
-        link->bytes.add(pkt_bytes);
-        link->release(0);
+        h.link->add_busy(hold);
+        h.link->packets.add();
+        h.link->bytes.add(pkt_bytes);
+        h.link->release(0);
       }
       break;
     }
     case Switching::kWormhole:
     case Switching::kVirtualCutThrough: {
       const sim::Tick t_flit =
-          hop_links.front()->serialization(router_.flit_bytes);
-      const sim::Tick t_full = hop_links.front()->serialization(pkt_bytes);
+          hops.front().link->serialization(router_.flit_bytes);
+      const sim::Tick t_full = hops.front().link->serialization(pkt_bytes);
       // Body = packet minus the header flit already accounted per hop.
       const sim::Tick t_body = t_full > t_flit ? t_full - t_flit : 0;
       const bool cut_through_buffers =
@@ -163,13 +227,22 @@ sim::Process Network::packet_process(NodeId src, NodeId dst,
               pkt_bytes;
 
       std::vector<std::pair<Link*, std::uint32_t>> held;
-      held.reserve(hop_links.size());
+      held.reserve(hops.size());
       std::vector<sim::Tick> header_passed;
-      header_passed.reserve(hop_links.size());
-      for (std::size_t h = 0; h < hop_links.size(); ++h) {
-        Link* link = hop_links[h];
-        const std::uint32_t vc = hop_vcs[h];
+      header_passed.reserve(hops.size());
+      for (const Hop& h : hops) {
+        if (!hop_usable(h)) {
+          lost = true;
+          break;
+        }
+        Link* link = h.link;
+        const std::uint32_t vc = h.vc;
         co_await link->acquire(vc);
+        if (!hop_usable(h)) {
+          link->release(vc);
+          lost = true;
+          break;
+        }
         co_await sim_.delay(t_r + t_flit + t_prop);
         header_passed.push_back(sim_.now());
         link->packets.add();
@@ -183,11 +256,14 @@ sim::Process Network::packet_process(NodeId src, NodeId dst,
           held.emplace_back(link, vc);
         }
       }
-      // Body streams behind the header to the destination.
-      co_await sim_.delay(t_body);
+      if (!lost) {
+        // Body streams behind the header to the destination.
+        co_await sim_.delay(t_body);
+      }
       for (std::size_t i = 0; i < held.size(); ++i) {
         // held[i] was acquired at hop i; it has been occupied since its
-        // header passed until the tail drained at the destination.
+        // header passed until the tail drained at the destination (or the
+        // worm was torn down by a fault).
         held[i].first->add_busy(sim_.now() - header_passed[i] + t_flit);
         held[i].first->release(held[i].second);
       }
@@ -195,8 +271,12 @@ sim::Process Network::packet_process(NodeId src, NodeId dst,
     }
   }
 
-  if (--*remaining == 0) {
-    all_done->trigger();
+  if (lost) {
+    packets_dropped.add();
+    ++st->lost;
+  }
+  if (--st->remaining == 0) {
+    st->done.trigger();
   }
 }
 
@@ -223,6 +303,13 @@ void Network::register_stats(stats::StatRegistry& reg,
   reg.register_counter(prefix + ".bytes", &bytes_delivered);
   reg.register_accumulator(prefix + ".latency_ticks", &message_latency_ticks);
   reg.register_accumulator(prefix + ".hops", &message_hops);
+  if (fault_ != nullptr) {
+    reg.register_counter(prefix + ".dropped", &messages_dropped);
+    reg.register_counter(prefix + ".unreachable", &messages_unreachable);
+    reg.register_counter(prefix + ".corrupted", &messages_corrupted);
+    reg.register_counter(prefix + ".rerouted", &messages_rerouted);
+    reg.register_counter(prefix + ".packets_dropped", &packets_dropped);
+  }
 }
 
 std::size_t Network::footprint_bytes() const {

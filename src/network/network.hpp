@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "machine/params.hpp"
+#include "network/fault_hooks.hpp"
 #include "network/topology.hpp"
 #include "sim/coro.hpp"
 #include "sim/resource.hpp"
@@ -33,6 +34,14 @@
 #include "stats/stats.hpp"
 
 namespace merm::network {
+
+/// What happened to one transmit() call.  With no fault injector installed
+/// every message is `delivered` and the other flags stay false.
+struct TransmitOutcome {
+  bool delivered = true;  ///< last packet ejected intact at dst
+  bool rerouted = false;  ///< took a degraded-mode path around dead elements
+  bool corrupted = false; ///< arrived but unusable (delivered stays false)
+};
 
 /// One unidirectional link: bandwidth + propagation delay, multiplexed into
 /// `virtual_channels` independently-arbitrated virtual channels.  Each VC is
@@ -75,10 +84,19 @@ class Network {
   std::uint32_t node_count() const { return topology_.node_count(); }
 
   /// Simulates the delivery of a `bytes`-byte message; completes, in
-  /// simulated time, when the last packet has been ejected at `dst`.
+  /// simulated time, when the last packet has been ejected at `dst` (or the
+  /// message has been lost to an injected fault — see the outcome).
   /// src == dst completes immediately (local delivery is the node's
-  /// business).
-  sim::Task<> transmit(NodeId src, NodeId dst, std::uint64_t bytes);
+  /// business).  `control` marks protocol traffic (acknowledgements) that is
+  /// exempt from probabilistic drop/corruption, though never from dead links.
+  sim::Task<TransmitOutcome> transmit(NodeId src, NodeId dst,
+                                      std::uint64_t bytes,
+                                      bool control = false);
+
+  /// Installs (or clears, with nullptr) the fault-injection hooks.  The
+  /// injector must outlive the network or be cleared before it dies.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
 
   /// Packets a message of `bytes` splits into.
   std::uint32_t packet_count(std::uint64_t bytes) const;
@@ -100,6 +118,13 @@ class Network {
   stats::Accumulator message_hops;
   stats::Log2Histogram latency_histogram;  ///< in nanoseconds
 
+  // -- fault statistics (stay zero without an injector) --
+  stats::Counter messages_dropped;      ///< lost to drop draws or dead hops
+  stats::Counter messages_unreachable;  ///< no live route existed at send time
+  stats::Counter messages_corrupted;    ///< delivered but discarded
+  stats::Counter messages_rerouted;     ///< detoured around dead elements
+  stats::Counter packets_dropped;       ///< individual packets lost on hops
+
   /// Mean link utilization at time `now`.
   double mean_link_utilization(sim::Tick now) const;
 
@@ -109,9 +134,38 @@ class Network {
   std::size_t footprint_bytes() const;
 
  private:
-  sim::Process packet_process(NodeId src, NodeId dst,
-                              std::uint64_t payload_bytes,
-                              std::uint32_t* remaining, sim::Event* all_done);
+  /// One step of a planned route, with the dateline VC pre-selected.
+  struct Hop {
+    Link* link;
+    std::uint32_t vc;
+    NodeId from;
+    std::uint32_t port;
+    NodeId to;
+  };
+
+  /// Shared between a message's packets and its transmit() frame.
+  struct MessageState {
+    std::uint32_t remaining = 0;
+    std::uint32_t lost = 0;
+    sim::Event done;
+  };
+
+  /// Plans the whole route src -> dst once per message (all its packets
+  /// follow it).  In degraded mode this walks the injector's fault-aware
+  /// table instead of the arithmetic route; returns false when no live path
+  /// exists.  Sets `rerouted` when the degraded path differs from the
+  /// fault-free one.
+  bool plan_route(NodeId src, NodeId dst, std::vector<Hop>& hops,
+                  bool& rerouted) const;
+
+  /// Is this hop's link and downstream node currently alive?
+  bool hop_usable(const Hop& h) const {
+    return fault_ == nullptr ||
+           (fault_->link_usable(h.from, h.port) && fault_->node_usable(h.to));
+  }
+
+  sim::Process packet_process(const std::vector<Hop>& hops,
+                              std::uint64_t payload_bytes, MessageState* st);
 
   sim::Simulator& sim_;
   machine::RouterParams router_;
@@ -119,6 +173,7 @@ class Network {
   sim::Clock router_clock_;
   Topology topology_;
   std::vector<std::vector<std::unique_ptr<Link>>> links_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace merm::network

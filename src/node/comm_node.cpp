@@ -51,14 +51,64 @@ sim::Task<> CommNode::issue(const Operation& op) {
 }
 
 sim::Process CommNode::transmission(Message msg) {
-  co_await net_.transmit(msg.src, msg.dst, msg.bytes);
+  const network::TransmitOutcome out =
+      co_await net_.transmit(msg.src, msg.dst, msg.bytes);
+  if (out.rerouted) reroutes.add();
+  if (!out.delivered) {
+    // Lost to an injected fault.  Sync senders recover via ack timeout;
+    // plain (non-fault-mode) transmissions never take this branch.
+    msg_drops.add();
+    co_return;
+  }
   peer(msg.dst).deliver(msg);
 }
 
-sim::Process CommNode::ack_return(NodeId to, sim::Event* ack_event) {
-  // Zero-payload acknowledgement packet back to the sync sender.
-  co_await net_.transmit(id_, to, 0);
-  ack_event->trigger();
+sim::Process CommNode::reliable_transmission(Message msg) {
+  // Async-send transport under faults: the NIC observes link-level delivery
+  // and retries with exponential backoff; exhaustion is a counted failure,
+  // not an error (asend has no completion the sender could observe).
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const network::TransmitOutcome out =
+        co_await net_.transmit(msg.src, msg.dst, msg.bytes);
+    if (out.rerouted) reroutes.add();
+    if (out.delivered) {
+      peer(msg.dst).deliver(msg);
+      co_return;
+    }
+    msg_drops.add();
+    if (attempt >= fault_->max_retries) {
+      send_failures.add();
+      comm_log().debug(sim_.now(), "node ", id_, " asend to ", msg.dst,
+                       " tag=", msg.tag, " abandoned after ", attempt + 1,
+                       " attempts");
+      co_return;
+    }
+    retries.add();
+    co_await sim_.delay(backoff(fault_->retry_backoff, attempt));
+  }
+}
+
+sim::Process CommNode::ack_return(NodeId to, std::shared_ptr<AckControl> ctl) {
+  // Zero-payload acknowledgement packet back to the sync sender.  Control
+  // traffic: exempt from probabilistic drops but not from dead links, so in
+  // fault mode the ack itself retries (bounded — if the reverse path stays
+  // dead the sender's own retransmit/exhaustion machinery takes over).
+  const std::uint32_t max_attempts =
+      fault_ != nullptr ? fault_->max_retries + 1 : 1;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const network::TransmitOutcome out =
+        co_await net_.transmit(id_, to, 0, /*control=*/true);
+    if (out.delivered) {
+      ctl->acked = true;
+      ctl->wake.trigger();
+      co_return;
+    }
+    msg_drops.add();
+    if (attempt + 1 < max_attempts) {
+      retries.add();
+      co_await sim_.delay(backoff(fault_->retry_backoff, attempt));
+    }
+  }
 }
 
 sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
@@ -69,15 +119,47 @@ sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
                    ", tag=", tag, ")");
   co_await sim_.delay(nic_.send_setup + copy_time(bytes));
 
-  sim::Event acked;
-  Message msg{id_, dst, bytes, tag, /*needs_ack=*/true, &acked};
+  auto ctl = std::make_shared<AckControl>();
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.bytes = bytes;
+  msg.tag = tag;
+  msg.ack = ctl;
+
   const sim::Tick blocked_from = sim_.now();
-  if (dst == id_) {
-    deliver(msg);
+  BlockedOp blocked{dst, tag, bytes, blocked_from};
+  blocked_sends_.push_back(&blocked);
+  BlockedScope scope{&blocked_sends_, &blocked};
+
+  if (dst == id_ || fault_ == nullptr) {
+    if (dst == id_) {
+      deliver(msg);
+    } else {
+      sim_.spawn(transmission(msg));
+    }
+    co_await ctl->wake;
   } else {
-    sim_.spawn(transmission(msg));
+    // Rendezvous under faults: retransmit on ack timeout, doubling the
+    // timeout each attempt; the receiver suppresses duplicate copies by
+    // sequence number (re-acking consumed ones, in case the ack was lost).
+    msg.seq = next_seq();
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      blocked.attempts = attempt + 1;
+      ctl->wake.reset();
+      sim_.spawn(transmission(msg));
+      sim_.schedule_in(backoff(fault_->ack_timeout, attempt), [ctl] {
+        if (!ctl->acked) ctl->wake.trigger();
+      });
+      co_await ctl->wake;
+      if (ctl->acked) break;
+      timeouts.add();
+      if (attempt >= fault_->max_retries) {
+        throw RetryExhaustedError(id_, dst, tag, attempt + 1);
+      }
+      retries.add();
+    }
   }
-  co_await acked;
   send_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
 }
 
@@ -86,11 +168,17 @@ sim::Task<> CommNode::op_asend(NodeId dst, std::uint64_t bytes,
   asends.add();
   bytes_sent.add(bytes);
   co_await sim_.delay(nic_.send_setup + copy_time(bytes));
-  Message msg{id_, dst, bytes, tag, /*needs_ack=*/false, nullptr};
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.bytes = bytes;
+  msg.tag = tag;
   if (dst == id_) {
     deliver(msg);
-  } else {
+  } else if (fault_ == nullptr) {
     sim_.spawn(transmission(msg));
+  } else {
+    sim_.spawn(reliable_transmission(msg));
   }
 }
 
@@ -113,6 +201,7 @@ sim::Task<> CommNode::op_recv(NodeId src, std::int32_t tag) {
   PendingRecv pr;
   pr.src = src;
   pr.tag = tag;
+  pr.since = sim_.now();
   pending_.push_back(&pr);
   const sim::Tick blocked_from = sim_.now();
   co_await pr.ready;
@@ -137,6 +226,7 @@ sim::Task<CommNode::RecvInfo> CommNode::op_recv_filtered(RecvFilter filter) {
 
   PendingRecv pr;
   pr.filter = std::move(filter);
+  pr.since = sim_.now();
   pending_.push_back(&pr);
   const sim::Tick blocked_from = sim_.now();
   co_await pr.ready;
@@ -178,6 +268,22 @@ sim::Task<> CommNode::op_compute(sim::Tick duration) {
 void CommNode::deliver(const Message& msg) {
   comm_log().trace(sim_.now(), "node ", id_, " delivery from ", msg.src,
                    " tag=", msg.tag, " bytes=", msg.bytes);
+  // Duplicate suppression: a retransmitted copy of a message we already
+  // have (or consumed) must not match a second receive.
+  if (msg.seq != 0) {
+    const auto [it, fresh] = seq_state_.try_emplace(msg.seq, std::uint8_t{1});
+    if (!fresh) {
+      duplicates.add();
+      if (it->second == 2) {
+        // The original was consumed, so its ack was sent and evidently lost
+        // (or is slow): re-ack rather than strand the sender.  A duplicate
+        // of a merely-delivered message stays silent — the pending
+        // consume() owns the acknowledgement.
+        acknowledge(msg);
+      }
+      return;
+    }
+  }
   // Match active (blocking) receives first, in posting order.
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (matches(**it, msg)) {
@@ -200,11 +306,16 @@ void CommNode::deliver(const Message& msg) {
 }
 
 void CommNode::consume(const Message& msg) {
-  if (!msg.needs_ack) return;
+  if (msg.seq != 0) seq_state_[msg.seq] = 2;
+  if (msg.ack != nullptr) acknowledge(msg);
+}
+
+void CommNode::acknowledge(const Message& msg) {
   if (msg.src == id_) {
-    msg.ack_event->trigger();
+    msg.ack->acked = true;
+    msg.ack->wake.trigger();
   } else {
-    sim_.spawn(ack_return(msg.src, msg.ack_event));
+    sim_.spawn(ack_return(msg.src, msg.ack));
   }
 }
 
@@ -220,6 +331,38 @@ sim::Process CommNode::run(trace::OperationSource& source) {
   }
 }
 
+std::vector<std::string> CommNode::describe_blocked() const {
+  const auto us = [](sim::Tick t) {
+    return std::to_string(t / sim::kTicksPerMicrosecond) + "us";
+  };
+  std::vector<std::string> out;
+  for (const BlockedOp* b : blocked_sends_) {
+    std::string line = "node " + std::to_string(id_) + ": send to " +
+                       std::to_string(b->peer) + " tag=" +
+                       std::to_string(b->tag) + " (" +
+                       std::to_string(b->bytes) + " bytes) blocked since " +
+                       us(b->since);
+    if (b->attempts > 1) {
+      line += ", " + std::to_string(b->attempts - 1) + " retransmit(s)";
+    }
+    out.push_back(std::move(line));
+  }
+  for (const PendingRecv* pr : pending_) {
+    std::string line = "node " + std::to_string(id_) + ": ";
+    if (pr->filter) {
+      line += "filtered recv";
+    } else {
+      line += "recv from " + (pr->src == trace::kNoNode
+                                  ? std::string("<any>")
+                                  : std::to_string(pr->src)) +
+              " tag=" + std::to_string(pr->tag);
+    }
+    line += " blocked since " + us(pr->since);
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
 void CommNode::register_stats(stats::StatRegistry& reg,
                               const std::string& prefix) {
   reg.register_counter(prefix + ".sends", &sends);
@@ -230,6 +373,14 @@ void CommNode::register_stats(stats::StatRegistry& reg,
   reg.register_counter(prefix + ".compute_ops", &compute_ops);
   reg.register_accumulator(prefix + ".send_block_ticks", &send_block_ticks);
   reg.register_accumulator(prefix + ".recv_block_ticks", &recv_block_ticks);
+  if (fault_ != nullptr) {
+    reg.register_counter(prefix + ".retries", &retries);
+    reg.register_counter(prefix + ".timeouts", &timeouts);
+    reg.register_counter(prefix + ".msg_drops", &msg_drops);
+    reg.register_counter(prefix + ".reroutes", &reroutes);
+    reg.register_counter(prefix + ".duplicates", &duplicates);
+    reg.register_counter(prefix + ".send_failures", &send_failures);
+  }
 }
 
 }  // namespace merm::node

@@ -25,7 +25,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "machine/params.hpp"
@@ -39,6 +41,34 @@ namespace merm::node {
 
 using trace::NodeId;
 
+/// A synchronous send exhausted its retransmission budget (fault mode only):
+/// the destination stayed unreachable through every backoff window.
+class RetryExhaustedError : public std::runtime_error {
+ public:
+  RetryExhaustedError(NodeId node, NodeId peer, std::int32_t tag,
+                      std::uint32_t attempts)
+      : std::runtime_error("node " + std::to_string(node) + ": send to " +
+                           std::to_string(peer) + " tag=" +
+                           std::to_string(tag) + " gave up after " +
+                           std::to_string(attempts) +
+                           " attempts (injected faults exhausted retries)"),
+        node_(node),
+        peer_(peer),
+        tag_(tag),
+        attempts_(attempts) {}
+
+  NodeId node() const { return node_; }
+  NodeId peer() const { return peer_; }
+  std::int32_t tag() const { return tag_; }
+  std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  NodeId node_;
+  NodeId peer_;
+  std::int32_t tag_;
+  std::uint32_t attempts_;
+};
+
 class CommNode {
  public:
   CommNode(sim::Simulator& sim, NodeId id, network::Network& net,
@@ -47,6 +77,14 @@ class CommNode {
   /// Wires this node to its peers; must be called before any operation.
   void set_fabric(std::vector<std::unique_ptr<CommNode>>* peers) {
     peers_ = peers;
+  }
+
+  /// Enables the NIC's fault-tolerance machinery (ack timeout + bounded
+  /// retransmission with exponential backoff, duplicate suppression).  Pass
+  /// the machine's FaultParams, or nullptr / a disabled struct for the
+  /// perfect-interconnect behaviour.  `params` must outlive the node.
+  void set_fault(const machine::FaultParams* params) {
+    fault_ = (params != nullptr && params->enabled) ? params : nullptr;
   }
 
   NodeId id() const { return id_; }
@@ -82,6 +120,12 @@ class CommNode {
   /// Receives posted and not yet matched.
   std::size_t pending_receives() const { return pending_.size(); }
 
+  /// Human-readable lines for every operation currently blocked on this node
+  /// — sync sends awaiting their ack and active receives awaiting a match,
+  /// each with peer, tag, and blocked-since time.  Feeds the simulator's
+  /// hang diagnostic.
+  std::vector<std::string> describe_blocked() const;
+
   // -- statistics --
   stats::Counter sends;
   stats::Counter asends;
@@ -93,16 +137,32 @@ class CommNode {
   stats::Counter compute_ops;
   sim::Tick compute_ticks() const { return compute_ticks_; }
 
+  // -- fault-tolerance statistics (stay zero without fault mode) --
+  stats::Counter retries;        ///< retransmissions (sync + async + ack)
+  stats::Counter timeouts;       ///< ack timeouts that fired unacked
+  stats::Counter msg_drops;      ///< transmissions the network lost
+  stats::Counter reroutes;       ///< transmissions that detoured
+  stats::Counter duplicates;     ///< retransmit copies suppressed on receive
+  stats::Counter send_failures;  ///< asends abandoned after max retries
+
   void register_stats(stats::StatRegistry& reg, const std::string& prefix);
 
  private:
+  /// Shared sender-side completion state for one sync send.  Heap-allocated
+  /// (unlike the stack Event it replaces) because timeout callbacks and
+  /// retransmit copies may outlive one iteration of the sender's retry loop.
+  struct AckControl {
+    sim::Event wake;    ///< triggered by the ack or by an ack timeout
+    bool acked = false; ///< distinguishes the two wake reasons
+  };
+
   struct Message {
     NodeId src = trace::kNoNode;
     NodeId dst = trace::kNoNode;
     std::uint64_t bytes = 0;
     std::int32_t tag = 0;
-    bool needs_ack = false;
-    sim::Event* ack_event = nullptr;  ///< sender-side completion (sync send)
+    std::uint64_t seq = 0;  ///< nonzero = dedup-tracked (fault-mode sync send)
+    std::shared_ptr<AckControl> ack;  ///< null for async sends
   };
 
   struct PendingRecv {
@@ -112,6 +172,24 @@ class CommNode {
     bool passive = false;    ///< posted by arecv: consume without blocking
     sim::Event ready;        ///< triggered on match (active receives)
     Message matched;
+    sim::Tick since = 0;     ///< when the receive blocked (diagnostics)
+  };
+
+  /// One sender-side operation currently blocked awaiting the network; lives
+  /// on the operation's coroutine frame, registered in blocked_sends_.
+  struct BlockedOp {
+    NodeId peer = trace::kNoNode;
+    std::int32_t tag = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick since = 0;
+    std::uint32_t attempts = 1;
+  };
+
+  /// Unregisters a BlockedOp when its frame dies (normally or by exception).
+  struct BlockedScope {
+    std::vector<const BlockedOp*>* list;
+    const BlockedOp* op;
+    ~BlockedScope() { std::erase(*list, op); }
   };
 
   friend class MachineFabricAccess;
@@ -131,17 +209,37 @@ class CommNode {
   }
 
   sim::Process transmission(Message msg);
-  sim::Process ack_return(NodeId to, sim::Event* ack_event);
+  /// Async-send transport with the NIC's bounded-retry loop (fault mode).
+  sim::Process reliable_transmission(Message msg);
+  sim::Process ack_return(NodeId to, std::shared_ptr<AckControl> ctl);
+  /// Acknowledges a consumed sync send (local trigger or ack packet).
+  void acknowledge(const Message& msg);
+
+  /// Exponential backoff: base doubled per attempt (shift-capped).
+  static sim::Tick backoff(sim::Tick base, std::uint32_t attempt) {
+    return base << (attempt < 16 ? attempt : 16);
+  }
+
+  /// Globally unique per-sender message sequence number (0 reserved).
+  std::uint64_t next_seq() {
+    return (static_cast<std::uint64_t>(id_ + 1) << 40) | ++seq_counter_;
+  }
 
   sim::Simulator& sim_;
   NodeId id_;
   network::Network& net_;
   machine::NicParams nic_;
   std::vector<std::unique_ptr<CommNode>>* peers_ = nullptr;
+  const machine::FaultParams* fault_ = nullptr;
 
   std::deque<Message> arrived_;
   std::deque<PendingRecv*> pending_;          ///< active (blocking) receives
   std::deque<std::unique_ptr<PendingRecv>> passive_;  ///< arecv posts
+  std::vector<const BlockedOp*> blocked_sends_;
+  /// Receiver-side dedup for retransmitted sync sends: seq -> 1 (delivered)
+  /// or 2 (consumed; duplicates re-ack in case the original ack was lost).
+  std::unordered_map<std::uint64_t, std::uint8_t> seq_state_;
+  std::uint64_t seq_counter_ = 0;
   sim::Tick compute_ticks_ = 0;
 };
 

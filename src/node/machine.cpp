@@ -8,6 +8,12 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
     : sim_(sim), params_(params) {
   network_ = std::make_unique<network::Network>(
       sim_, params_.topology, params_.router, params_.link);
+  if (params_.fault.enabled) {
+    fault_plan_ =
+        std::make_unique<fault::FaultPlan>(params_.fault, network_->topology());
+    network_->set_fault_injector(fault_plan_.get());
+    fault_plan_->arm(sim_);
+  }
   const std::uint32_t n = network_->node_count();
   comm_nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -16,12 +22,23 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
   }
   for (auto& cn : comm_nodes_) {
     cn->set_fabric(&comm_nodes_);
+    cn->set_fault(&params_.fault);
   }
   compute_nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     compute_nodes_.push_back(std::make_unique<ComputeNode>(
         sim_, params_.node, static_cast<NodeId>(i)));
   }
+  // When the event queue drains with work still blocked, the hang diagnostic
+  // names each blocked communication operation.  The machine must outlive
+  // any hang_diagnostic() call (Workbench pairs the two lifetimes).
+  sim_.add_hang_reporter([this](std::vector<std::string>& lines) {
+    for (const auto& cn : comm_nodes_) {
+      for (std::string& line : cn->describe_blocked()) {
+        lines.push_back(std::move(line));
+      }
+    }
+  });
 }
 
 std::vector<sim::ProcessHandle> Machine::launch_detailed(
@@ -106,6 +123,9 @@ std::size_t Machine::footprint_bytes() const {
 void Machine::register_stats(stats::StatRegistry& reg,
                              const std::string& prefix) {
   network_->register_stats(reg, prefix + ".net");
+  if (fault_plan_ != nullptr) {
+    fault_plan_->register_stats(reg, prefix + ".fault");
+  }
   for (std::uint32_t i = 0; i < node_count(); ++i) {
     const std::string node_prefix = prefix + ".node" + std::to_string(i);
     compute_nodes_[i]->register_stats(reg, node_prefix);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "machine/params.hpp"
 #include "network/network.hpp"
 #include "node/comm_node.hpp"
@@ -46,6 +47,8 @@ class Machine {
   CommNode& comm_node(std::uint32_t i) { return *comm_nodes_[i]; }
   network::Network& network() { return *network_; }
   sim::Simulator& simulator() { return sim_; }
+  /// The armed fault plan, or nullptr when params.fault is disabled.
+  fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   /// Launches a detailed (operation-level) workload: one source per CPU,
   /// indexed source[node * cpus_per_node + cpu].  Optional recorders (one
@@ -74,6 +77,9 @@ class Machine {
   sim::Simulator& sim_;
   machine::MachineParams params_;
   std::unique_ptr<network::Network> network_;
+  /// Declared after network_ so it is destroyed first (the network holds a
+  /// raw FaultInjector pointer into it).
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   std::vector<std::unique_ptr<CommNode>> comm_nodes_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
 };

@@ -98,6 +98,28 @@ std::vector<std::string> Simulator::live_process_names() const {
   return names;
 }
 
+std::string Simulator::hang_diagnostic() const {
+  const std::size_t live = live_processes();
+  if (live == 0) return {};
+
+  std::string out = "simulation hang: event queue drained with " +
+                    std::to_string(live) + " process(es) still blocked";
+  std::vector<std::string> lines;
+  for (const HangReporter& reporter : hang_reporters_) {
+    reporter(lines);
+  }
+  if (lines.empty()) {
+    // No component-level detail registered: fall back to process names.
+    for (const std::string& name : live_process_names()) {
+      lines.push_back(name.empty() ? std::string("<unnamed process>") : name);
+    }
+  }
+  for (const std::string& line : lines) {
+    out += "\n  " + line;
+  }
+  return out;
+}
+
 void Simulator::collect_finished() {
   auto it = std::remove_if(processes_.begin(), processes_.end(),
                            [](const OwnedProcess& p) {

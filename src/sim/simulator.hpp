@@ -68,6 +68,19 @@ class Simulator {
   /// Names of live processes (diagnosing deadlocks in tests).
   std::vector<std::string> live_process_names() const;
 
+  /// Model components register reporters that append one line per blocked
+  /// operation (node, operation, peer/tag) to the hang diagnostic.
+  using HangReporter = std::function<void(std::vector<std::string>&)>;
+  void add_hang_reporter(HangReporter reporter) {
+    hang_reporters_.push_back(std::move(reporter));
+  }
+
+  /// Describes why the simulation cannot make progress: the event queue has
+  /// drained while coroutines are still suspended (a deadlocked rendezvous,
+  /// a recv nobody sends to, a partitioned network...).  Empty string when
+  /// no process is blocked.  Meaningful after run() returned kIdle.
+  std::string hang_diagnostic() const;
+
   /// Releases coroutine frames of finished processes.  Invalidates
   /// ProcessHandles of the collected processes.
   void collect_finished();
@@ -113,6 +126,7 @@ class Simulator {
   std::exception_ptr error_;
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
   std::vector<OwnedProcess> processes_;
+  std::vector<HangReporter> hang_reporters_;
 };
 
 }  // namespace merm::sim

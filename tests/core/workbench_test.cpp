@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "gen/apps.hpp"
 #include "gen/stochastic.hpp"
 #include "gen/vsm_apps.hpp"
+#include "trace/stream.hpp"
 
 namespace merm::core {
 namespace {
@@ -175,6 +177,43 @@ TEST(WorkbenchTest, CompareRunsTwoArchitectures) {
   ASSERT_TRUE(cmp.y.completed);
   EXPECT_LT(cmp.y.simulated_time, cmp.x.simulated_time);
   EXPECT_LT(cmp.speedup_x_over_y(), 0.5);  // y at least 2x faster
+}
+
+/// Node 1 waits on a tag node 0 never sends: the classic silent hang.
+trace::Workload mismatched_tag_workload() {
+  trace::Workload w;
+  auto sender = std::make_unique<trace::VectorSource>();
+  sender->push(trace::Operation::asend(64, 1, /*tag=*/7));
+  auto receiver = std::make_unique<trace::VectorSource>();
+  receiver->push(trace::Operation::recv(0, /*tag=*/99));
+  w.sources.push_back(std::move(sender));
+  w.sources.push_back(std::move(receiver));
+  return w;
+}
+
+TEST(WorkbenchTest, HungRunReportsDiagnosticInsteadOfCompleting) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  trace::Workload w = mismatched_tag_workload();
+  const RunResult r = wb.run_detailed(w);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.hang_diagnostic.find("simulation hang"), std::string::npos)
+      << r.hang_diagnostic;
+  EXPECT_NE(r.hang_diagnostic.find("recv from 0 tag=99"), std::string::npos)
+      << r.hang_diagnostic;
+}
+
+TEST(WorkbenchTest, ThrowOnHangRaisesHangErrorWithTheDiagnostic) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.set_throw_on_hang(true);
+  trace::Workload w = mismatched_tag_workload();
+  try {
+    (void)wb.run_detailed(w);
+    FAIL() << "expected HangError";
+  } catch (const HangError& e) {
+    EXPECT_NE(std::string(e.what()).find("recv from 0 tag=99"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

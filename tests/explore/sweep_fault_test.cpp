@@ -1,0 +1,213 @@
+// Degraded-mode sweeps: fault-injected grids must stay bit-identical across
+// serial execution and every engine thread count (the FaultPlan RNG and all
+// scripted transitions live inside each point's own event loop), and a point
+// whose faults make it hang must surface as a per-point failure row carrying
+// the hang diagnostic instead of silently finishing or killing the grid.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gen/apps.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::explore {
+namespace {
+
+constexpr sim::Tick kUs = sim::kTicksPerMicrosecond;
+
+/// (simulated_time, operations, messages, nic retries) per point — retries
+/// make fault-path divergence visible even when timing happens to agree.
+using Fingerprint =
+    std::vector<std::tuple<sim::Tick, std::uint64_t, std::uint64_t, double>>;
+
+MetricProbe retry_probe() {
+  return [](core::Workbench& wb, const core::RunResult&) {
+    double retries = 0.0;
+    double reroutes = 0.0;
+    for (std::uint32_t n = 0; n < wb.machine().node_count(); ++n) {
+      retries += static_cast<double>(wb.machine().comm_node(n).retries.value());
+      reroutes +=
+          static_cast<double>(wb.machine().comm_node(n).reroutes.value());
+    }
+    return std::vector<std::pair<std::string, double>>{{"retries", retries},
+                                                       {"reroutes", reroutes}};
+  };
+}
+
+/// Six fault-injected points: scripted outages, random loss, and both mixed.
+Sweep build_faulty_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::stencil_spmd(a, self, nodes, gen::StencilParams{16, 2});
+        });
+  };
+  sweep.probe = retry_probe();
+
+  const auto with_faults = [](machine::MachineParams m,
+                              double drop) {
+    m.fault.enabled = true;
+    m.fault.seed = 99;
+    m.fault.drop_probability = drop;
+    m.fault.ack_timeout = 500 * kUs;
+    m.fault.max_retries = 12;
+    return m;
+  };
+
+  sweep.add(with_faults(machine::presets::t805_multicomputer(2, 2), 0.0),
+            "t805-clean");
+  machine::MachineParams outage =
+      with_faults(machine::presets::t805_multicomputer(2, 2), 0.0);
+  outage.fault.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 0, .up_at = 50000 * kUs});
+  sweep.add(outage, "t805-outage");
+  sweep.add(with_faults(machine::presets::t805_multicomputer(2, 2), 0.2),
+            "t805-lossy");
+  sweep.add(with_faults(machine::presets::generic_risc(2, 2), 0.2),
+            "risc-lossy");
+  machine::MachineParams mixed =
+      with_faults(machine::presets::generic_risc(2, 2), 0.2);
+  mixed.fault.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 100 * kUs, .up_at = 80000 * kUs});
+  sweep.add(mixed, "risc-mixed");
+  sweep.add(with_faults(machine::presets::ipsc860_hypercube(4), 0.02),
+            "ipsc860-lossy");
+  return sweep;
+}
+
+double metric(const PointResult& p, const std::string& name) {
+  for (const auto& [key, value] : p.metrics) {
+    if (key == name) return value;
+  }
+  return -1.0;
+}
+
+Fingerprint fingerprint(const SweepResult& result) {
+  Fingerprint fp;
+  for (const PointResult& p : result.points) {
+    EXPECT_TRUE(p.done()) << p.label << ": " << p.error;
+    EXPECT_TRUE(p.run.completed) << p.label;
+    fp.emplace_back(p.run.simulated_time, p.run.operations, p.run.messages,
+                    metric(p, "retries"));
+  }
+  return fp;
+}
+
+TEST(SweepFaultTest, FaultedGridIsBitIdenticalAcrossThreadCounts) {
+  const Sweep sweep = build_faulty_grid();
+
+  // Serial reference: plain Workbench loop, no engine.
+  Fingerprint reference;
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const ExperimentPoint& point = sweep.points[i];
+    core::Workbench wb(point.params);
+    trace::Workload w =
+        sweep.workload(point.params, point_seed(sweep.base_seed, i));
+    const core::RunResult r = wb.run_detailed(w);
+    EXPECT_TRUE(r.completed) << point.label;
+    double retries = 0.0;
+    for (std::uint32_t n = 0; n < wb.machine().node_count(); ++n) {
+      retries += static_cast<double>(wb.machine().comm_node(n).retries.value());
+    }
+    reference.emplace_back(r.simulated_time, r.operations, r.messages,
+                           retries);
+  }
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    SweepEngine engine({.threads = threads});
+    const SweepResult result = engine.run(sweep);
+    EXPECT_EQ(fingerprint(result), reference)
+        << "faulted grid diverged on " << threads << " thread(s)";
+  }
+}
+
+TEST(SweepFaultTest, RepeatedFaultedRunsAreIdentical) {
+  const Sweep sweep = build_faulty_grid();
+  SweepEngine engine({.threads = 4});
+  const Fingerprint first = fingerprint(engine.run(sweep));
+  const Fingerprint second = fingerprint(engine.run(sweep));
+  EXPECT_EQ(first, second);
+}
+
+TEST(SweepFaultTest, ScriptedOutageActuallyPerturbsThePoint) {
+  const Sweep sweep = build_faulty_grid();
+  const SweepResult result = SweepEngine({.threads = 2}).run(sweep);
+  // The outage point rerouted traffic; the lossy points retransmitted.
+  EXPECT_GT(metric(result.points[1], "reroutes"), 0.0);
+  EXPECT_GT(metric(result.points[2], "retries"), 0.0);
+  // And the clean fault-enabled point matches nothing-injected behaviour:
+  // zero retries, zero reroutes.
+  EXPECT_EQ(metric(result.points[0], "retries"), 0.0);
+  EXPECT_EQ(metric(result.points[0], "reroutes"), 0.0);
+}
+
+TEST(SweepFaultTest, HungFaultedPointBecomesFailureRowUnderKeepGoing) {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{2, 256});
+        });
+  };
+  sweep.add(machine::presets::t805_multicomputer(2, 1), "healthy");
+  // Node 1 never comes back and sync sends run out of retries quickly, so
+  // the pingpong can never complete on this point.
+  machine::MachineParams doomed = machine::presets::t805_multicomputer(2, 1);
+  doomed.fault.enabled = true;
+  doomed.fault.max_retries = 1;
+  doomed.fault.ack_timeout = 100 * kUs;
+  doomed.fault.node_events.push_back({.node = 1, .down_at = 0});
+  sweep.add(doomed, "doomed");
+
+  SweepEngine engine({.threads = 2, .keep_going = true});
+  const SweepResult result = engine.run(sweep);  // must not throw
+
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].status, PointResult::Status::kDone);
+  EXPECT_TRUE(result.points[0].run.completed);
+  EXPECT_EQ(result.points[1].status, PointResult::Status::kFailed);
+  EXPECT_FALSE(result.points[1].error.empty());
+  EXPECT_EQ(result.completed(), 1u);
+  EXPECT_EQ(result.failed(), 1u);
+}
+
+TEST(SweepFaultTest, HangingFaultedPointCarriesTheDiagnostic) {
+  // A workload whose receive tags never match hangs rather than errors; a
+  // fault-enabled point treats that hang as a failure (fail_on_hang implied)
+  // and the row's error carries the simulator's blocked-operation report.
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    trace::Workload w;
+    auto sender = std::make_unique<trace::VectorSource>();
+    sender->push(trace::Operation::asend(64, 1, /*tag=*/7));
+    auto receiver = std::make_unique<trace::VectorSource>();
+    receiver->push(trace::Operation::recv(0, /*tag=*/99));
+    w.sources.push_back(std::move(sender));
+    w.sources.push_back(std::move(receiver));
+    (void)params;
+    return w;
+  };
+  machine::MachineParams m = machine::presets::t805_multicomputer(2, 1);
+  m.fault.enabled = true;  // implies fail_on_hang for this point
+  sweep.add(m, "mismatched-tags");
+
+  SweepEngine engine({.threads = 1, .keep_going = true});
+  const SweepResult result = engine.run(sweep);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].status, PointResult::Status::kFailed);
+  EXPECT_NE(result.points[0].error.find("recv from 0 tag=99"),
+            std::string::npos)
+      << result.points[0].error;
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -1,0 +1,162 @@
+// FaultPlan tests: script validation, scripted transitions inside the event
+// loop, fault-aware routing tables, seeded draws, and the CLI spec parser.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::fault {
+namespace {
+
+constexpr sim::Tick kUs = sim::kTicksPerMicrosecond;
+
+network::Topology mesh(std::uint32_t w, std::uint32_t h) {
+  machine::TopologyParams t;
+  t.kind = machine::TopologyKind::kMesh2D;
+  t.dims = {w, h};
+  return network::Topology::make(t);
+}
+
+TEST(FaultPlanTest, RejectsInvalidScripts) {
+  const network::Topology topo = mesh(2, 2);
+
+  machine::FaultParams bad_node;
+  bad_node.node_events.push_back({.node = 4, .down_at = 0});
+  EXPECT_THROW(FaultPlan(bad_node, topo), std::invalid_argument);
+
+  machine::FaultParams not_adjacent;
+  not_adjacent.link_events.push_back({.a = 0, .b = 3, .down_at = 0});
+  EXPECT_THROW(FaultPlan(not_adjacent, topo), std::invalid_argument);
+
+  machine::FaultParams inverted;
+  inverted.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 100 * kUs, .up_at = 50 * kUs});
+  EXPECT_THROW(FaultPlan(inverted, topo), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ScriptedLinkOutageTogglesAndReroutes) {
+  const network::Topology topo = mesh(2, 2);
+  machine::FaultParams params;
+  params.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 100 * kUs, .up_at = 200 * kUs});
+
+  sim::Simulator sim;
+  FaultPlan plan(params, topo);
+  plan.arm(sim);
+
+  EXPECT_FALSE(plan.degraded());
+  EXPECT_EQ(plan.distance(0, 1), 1u);
+
+  sim.run(150 * kUs);
+  EXPECT_TRUE(plan.degraded());
+  EXPECT_EQ(plan.links_failed.value(), 1u);
+  // Still reachable, but the detour 0 -> 2 -> 3 -> 1 is 3 hops.
+  EXPECT_TRUE(plan.reachable(0, 1));
+  EXPECT_EQ(plan.distance(0, 1), 3u);
+  const std::uint32_t port = plan.next_port(0, 1);
+  ASSERT_NE(port, network::kNoPort);
+  EXPECT_EQ(topo.neighbor(0, port).node, 2);
+
+  sim.run(250 * kUs);
+  EXPECT_FALSE(plan.degraded());
+  EXPECT_EQ(plan.links_repaired.value(), 1u);
+  EXPECT_EQ(plan.distance(0, 1), 1u);
+}
+
+TEST(FaultPlanTest, NodeCrashPartitionsItsTraffic) {
+  const network::Topology topo = mesh(2, 2);
+  machine::FaultParams params;
+  params.node_events.push_back({.node = 3, .down_at = 10 * kUs});
+
+  sim::Simulator sim;
+  FaultPlan plan(params, topo);
+  plan.arm(sim);
+  sim.run();
+
+  EXPECT_TRUE(plan.degraded());
+  EXPECT_EQ(plan.nodes_failed.value(), 1u);
+  EXPECT_FALSE(plan.node_usable(3));
+  EXPECT_FALSE(plan.reachable(0, 3));
+  EXPECT_FALSE(plan.reachable(3, 0));
+  EXPECT_EQ(plan.distance(0, 3), FaultPlan::kUnreachable);
+  // The surviving corner still routes (around, not through, the dead node).
+  EXPECT_TRUE(plan.reachable(0, 1));
+  EXPECT_TRUE(plan.reachable(1, 2));
+  EXPECT_EQ(plan.distance(1, 2), 2u);
+}
+
+TEST(FaultPlanTest, DrawsAreSeedDeterministic) {
+  const network::Topology topo = mesh(2, 2);
+  machine::FaultParams params;
+  params.drop_probability = 0.3;
+  params.seed = 42;
+
+  FaultPlan a(params, topo);
+  FaultPlan b(params, topo);
+  std::vector<bool> seq_a;
+  std::vector<bool> seq_b;
+  for (int i = 0; i < 200; ++i) {
+    seq_a.push_back(a.draw_drop());
+    seq_b.push_back(b.draw_drop());
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(a.drops_drawn.value(), b.drops_drawn.value());
+  EXPECT_GT(a.drops_drawn.value(), 0u);
+
+  params.seed = 43;
+  FaultPlan c(params, topo);
+  std::vector<bool> seq_c;
+  for (int i = 0; i < 200; ++i) seq_c.push_back(c.draw_drop());
+  EXPECT_NE(seq_a, seq_c);
+}
+
+TEST(FaultPlanTest, ZeroProbabilityNeverTouchesTheRng) {
+  const network::Topology topo = mesh(2, 2);
+  machine::FaultParams params;  // both probabilities 0
+  FaultPlan plan(params, topo);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(plan.draw_drop());
+    EXPECT_FALSE(plan.draw_corrupt());
+  }
+  EXPECT_EQ(plan.drops_drawn.value(), 0u);
+  EXPECT_EQ(plan.corruptions_drawn.value(), 0u);
+}
+
+TEST(FaultSpecTest, ParsesTheFullGrammar) {
+  const machine::FaultParams p = parse_spec(
+      "link=0-1@100:500,node=3@10,drop=0.25,corrupt=0.5,seed=9,"
+      "timeout_us=100,retries=7,backoff_us=20");
+  EXPECT_TRUE(p.enabled);
+  EXPECT_DOUBLE_EQ(p.drop_probability, 0.25);
+  EXPECT_DOUBLE_EQ(p.corrupt_probability, 0.5);
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_EQ(p.ack_timeout, 100 * kUs);
+  EXPECT_EQ(p.max_retries, 7u);
+  EXPECT_EQ(p.retry_backoff, 20 * kUs);
+  ASSERT_EQ(p.link_events.size(), 1u);
+  EXPECT_EQ(p.link_events[0].a, 0);
+  EXPECT_EQ(p.link_events[0].b, 1);
+  EXPECT_EQ(p.link_events[0].down_at, 100 * kUs);
+  EXPECT_EQ(p.link_events[0].up_at, 500 * kUs);
+  ASSERT_EQ(p.node_events.size(), 1u);
+  EXPECT_EQ(p.node_events[0].node, 3);
+  EXPECT_EQ(p.node_events[0].up_at, sim::kTickMax);  // never repaired
+}
+
+TEST(FaultSpecTest, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_spec("drop=2"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("drop=banana"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("warp=1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("link=0-1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("link=01@5"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("node=3"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("link=0-1@500:100"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("retries"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace merm::fault

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 namespace merm::gen {
 namespace {
 
@@ -151,6 +154,42 @@ TEST(WorkloadConfigTest, CommentsIgnored) {
   const StochasticDescription d = parse_workload_string(
       "; full-line comment\nrounds = 4  # trailing\n");
   EXPECT_EQ(d.rounds, 4u);
+}
+
+TEST(WorkloadConfigTest, FileLoaderReportsPathAndLine) {
+  const std::string path = "workload_config_test_tmp.wl";
+  {
+    std::ofstream out(path);
+    out << "rounds = 2\n"
+        << "bogus = 1\n";
+  }
+  try {
+    (void)parse_workload_file(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":2:"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+
+  try {
+    (void)parse_workload_file("no_such_file.wl");
+    FAIL() << "expected a missing-file error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(WorkloadConfigTest, FileLoaderParsesAValidFile) {
+  const std::string path = "workload_config_test_ok.wl";
+  {
+    std::ofstream out(path);
+    write_workload(out, sample_desc());
+  }
+  const StochasticDescription d = parse_workload_file(path);
+  EXPECT_EQ(d.rounds, 7u);
+  EXPECT_EQ(d.comm.pattern, CommPattern::kGather);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace merm::machine {
@@ -110,6 +112,95 @@ TEST(ConfigTest, RejectsUnknownSectionsKeysAndValues) {
   EXPECT_THROW(parse_config_string("keyword_without_equals\n"),
                std::runtime_error);
   EXPECT_THROW(parse_config_string("[cpu\nx = 1\n"), std::runtime_error);
+}
+
+TEST(ConfigTest, ParsesFaultSections) {
+  const MachineParams m = parse_config_string(
+      "[fault]\n"
+      "enabled = true\n"
+      "seed = 7\n"
+      "drop_probability = 0.25\n"
+      "ack_timeout_us = 100\n"
+      "max_retries = 3\n"
+      "[fault.link.0]\n"
+      "from = 1\n"
+      "to = 2\n"
+      "down_at_us = 50\n"
+      "up_at_us = 500\n"
+      "[fault.node.0]\n"
+      "node = 3\n"
+      "down_at_us = 10\n");
+  EXPECT_TRUE(m.fault.enabled);
+  EXPECT_EQ(m.fault.seed, 7u);
+  EXPECT_DOUBLE_EQ(m.fault.drop_probability, 0.25);
+  EXPECT_EQ(m.fault.ack_timeout, 100 * sim::kTicksPerMicrosecond);
+  EXPECT_EQ(m.fault.max_retries, 3u);
+  ASSERT_EQ(m.fault.link_events.size(), 1u);
+  EXPECT_EQ(m.fault.link_events[0].a, 1);
+  EXPECT_EQ(m.fault.link_events[0].b, 2);
+  EXPECT_EQ(m.fault.link_events[0].down_at, 50 * sim::kTicksPerMicrosecond);
+  EXPECT_EQ(m.fault.link_events[0].up_at, 500 * sim::kTicksPerMicrosecond);
+  ASSERT_EQ(m.fault.node_events.size(), 1u);
+  EXPECT_EQ(m.fault.node_events[0].node, 3);
+  EXPECT_EQ(m.fault.node_events[0].up_at, sim::kTickMax);  // never repaired
+}
+
+TEST(ConfigTest, FaultParamsSurviveARoundTrip) {
+  MachineParams m = presets::t805_multicomputer(2, 2);
+  m.fault.enabled = true;
+  m.fault.seed = 99;
+  m.fault.drop_probability = 0.125;
+  m.fault.corrupt_probability = 0.5;
+  m.fault.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 1000, .up_at = 2000});
+  m.fault.node_events.push_back({.node = 2, .down_at = 3000});
+
+  std::ostringstream out;
+  write_config(out, m);
+  const MachineParams back = parse_config_string(out.str());
+  EXPECT_TRUE(back.fault.enabled);
+  EXPECT_EQ(back.fault.seed, 99u);
+  EXPECT_DOUBLE_EQ(back.fault.drop_probability, 0.125);
+  EXPECT_DOUBLE_EQ(back.fault.corrupt_probability, 0.5);
+  ASSERT_EQ(back.fault.link_events.size(), 1u);
+  ASSERT_EQ(back.fault.node_events.size(), 1u);
+  EXPECT_EQ(back.fault.node_events[0].up_at, sim::kTickMax);
+}
+
+TEST(ConfigTest, RejectsBadFaultValues) {
+  EXPECT_THROW(parse_config_string("[fault]\ndrop_probability = 1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[fault]\ndrop_probability = -0.1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[fault]\nwarp_field = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config_string("[fault.link.0]\nwormhole = 1\n"),
+               std::runtime_error);
+}
+
+TEST(ConfigTest, FileLoaderReportsPathAndLine) {
+  const std::string path = "config_test_tmp.cfg";
+  {
+    std::ofstream out(path);
+    out << "[node]\n"
+        << "cpu_count = 2\n"
+        << "flux_capacitor = 1\n";
+  }
+  try {
+    (void)parse_config_file(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3:"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+
+  try {
+    (void)parse_config_file("no_such_file.cfg");
+    FAIL() << "expected a missing-file error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
 }  // namespace
