@@ -67,13 +67,15 @@ void BM_ChannelRendezvous(benchmark::State& state) {
 BENCHMARK(BM_ChannelRendezvous)->Arg(1 << 14);
 
 // The detailed model's inner loop: cost per simulated operation, with a
-// warm and a thrashing cache.
-void BM_OperationExecution(benchmark::State& state) {
-  const bool thrash = state.range(0) != 0;
+// warm and a thrashing cache, using the production dispatch of
+// ComputeNode::run (local time cursor + frame-free fast path on a
+// single-CPU node).
+void RunOperationExecution(benchmark::State& state, bool thrash) {
   machine::NodeParams node = machine::presets::powerpc601_node().node;
   sim::Simulator sim;
   memory::MemoryHierarchy mem(sim, node);
   cpu::Cpu cpu(sim, node.cpu, mem, 0);
+  mem.cursor(0).set_enabled(sim.fast_paths());
   std::vector<trace::Operation> ops;
   const std::uint64_t span = thrash ? (8u << 20) : (8u << 10);
   for (int i = 0; i < 4096; ++i) {
@@ -84,20 +86,36 @@ void BM_OperationExecution(benchmark::State& state) {
     ops.push_back(trace::Operation::add(trace::DataType::kDouble));
   }
   for (auto _ : state) {
-    sim.spawn([](cpu::Cpu& c,
+    sim.spawn([](cpu::Cpu& c, memory::MemoryHierarchy& m,
                  const std::vector<trace::Operation>& trace_ops)
                   -> sim::Process {
       for (const auto& op : trace_ops) {
-        co_await c.execute(op);
+        if (!c.try_execute_fast(op)) co_await c.execute(op);
       }
-    }(cpu, ops));
+      co_await m.cursor(0).flush();
+    }(cpu, mem, ops));
     sim.run();
+    sim.collect_finished();
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(ops.size()));
   state.SetLabel(thrash ? "thrashing" : "cache-resident");
 }
+
+void BM_OperationExecution(benchmark::State& state) {
+  RunOperationExecution(state, state.range(0) != 0);
+}
 BENCHMARK(BM_OperationExecution)->Arg(0)->Arg(1);
+
+// The same loop under the reference scheduler (MERM_REFERENCE_SCHED
+// semantics: no cursor, no zero-delay inlining) — the A/B that keeps the
+// fast path honest and the legacy cost visible.
+void BM_OperationExecutionReference(benchmark::State& state) {
+  sim::set_reference_scheduler_override(1);
+  RunOperationExecution(state, state.range(0) != 0);
+  sim::set_reference_scheduler_override(-1);
+}
+BENCHMARK(BM_OperationExecutionReference)->Arg(0)->Arg(1);
 
 // Trace generation rates: stochastic vs annotated (offline).
 void BM_StochasticGeneration(benchmark::State& state) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Scheduler benchmark gate: builds Release, runs the kernel microbenchmarks
+# and the detailed-mode slowdown table, and distills both into a single
+# BENCH_scheduler.json (simulated operations/sec for the detailed-model
+# inner loop — fast path vs reference scheduler —, kernel events/sec, and
+# the wall seconds of every slowdown workload).
+#
+#   scripts/bench.sh            # full run, writes BENCH_scheduler.json
+#   scripts/bench.sh --smoke    # short run (check.sh), writes under build-release/
+#
+# Exits non-zero if bench_slowdown_detailed's shape check fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+MIN_TIME=0.5
+OUT=BENCH_scheduler.json
+if [[ "${1:-}" == "--smoke" ]]; then
+  MIN_TIME=0.05
+  OUT=build-release/BENCH_scheduler_smoke.json
+fi
+
+echo "=== bench: configure + build (build-release/) ==="
+cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" \
+  --target bench_kernel_micro bench_slowdown_detailed >/dev/null
+
+echo "=== bench: kernel microbenchmarks (min_time=${MIN_TIME}s) ==="
+./build-release/bench/bench_kernel_micro \
+  --benchmark_min_time="${MIN_TIME}" --benchmark_format=json \
+  > build-release/bench_kernel_micro.json
+
+echo "=== bench: detailed-mode slowdown table ==="
+./build-release/bench/bench_slowdown_detailed \
+  | tee build-release/bench_slowdown_detailed.txt
+
+python3 - "$OUT" "$MIN_TIME" <<'PY'
+import json, re, sys
+
+out_path = sys.argv[1]
+min_time = float(sys.argv[2])
+with open("build-release/bench_kernel_micro.json") as f:
+    micro = json.load(f)
+
+rate = {}
+for b in micro["benchmarks"]:
+    if "items_per_second" in b:
+        rate[b["name"]] = b["items_per_second"]
+
+rows = []
+row_re = re.compile(
+    r"^\|\s*(?P<machine>[^|]+?)\s*\|\s*(?P<workload>[^|]+?)\s*\|"
+    r"\s*(?P<procs>\d+)\s*\|\s*(?P<cycles>\d+)\s*\|"
+    r"\s*(?P<host>[0-9.]+)\s*\|\s*(?P<slowdown>[0-9.]+)\s*\|")
+with open("build-release/bench_slowdown_detailed.txt") as f:
+    for line in f:
+        m = row_re.match(line)
+        if m:
+            rows.append({
+                "machine": m["machine"],
+                "workload": m["workload"],
+                "processors": int(m["procs"]),
+                "sim_cycles": int(m["cycles"]),
+                "wall_seconds": float(m["host"]),
+                "slowdown_per_processor": float(m["slowdown"]),
+            })
+
+report = {
+    "generated_by": "scripts/bench.sh",
+    "build_type": "Release",
+    "benchmark_min_time_s": min_time,
+    "simulated_ops_per_sec": {
+        "detailed_cache_resident": rate.get("BM_OperationExecution/0"),
+        "detailed_thrashing": rate.get("BM_OperationExecution/1"),
+        "reference_cache_resident":
+            rate.get("BM_OperationExecutionReference/0"),
+        "reference_thrashing": rate.get("BM_OperationExecutionReference/1"),
+    },
+    "events_per_sec": {
+        "queue_4096": rate.get("BM_EventQueueThroughput/4096"),
+        "queue_65536": rate.get("BM_EventQueueThroughput/65536"),
+        "process_switching": rate.get("BM_ProcessSwitching/16384"),
+        "channel_rendezvous": rate.get("BM_ChannelRendezvous/16384"),
+    },
+    "slowdown_detailed": {
+        "rows": rows,
+        "total_wall_seconds": round(sum(r["wall_seconds"] for r in rows), 3),
+    },
+}
+fast = report["simulated_ops_per_sec"]["detailed_cache_resident"]
+ref = report["simulated_ops_per_sec"]["reference_cache_resident"]
+if fast and ref:
+    report["fast_over_reference"] = round(fast / ref, 2)
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+if fast and ref:
+    print(f"detailed inner loop: {fast/1e6:.1f}M ops/s fast "
+          f"vs {ref/1e6:.1f}M ops/s reference ({fast/ref:.1f}x)")
+PY
+
+echo "=== bench.sh: done ==="

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full verification gate: the tier-1 suite on a plain build, then the
+# Full verification gate: the tier-1 suite on a plain build, the same suite
+# on an optimized Release build (the configuration the scheduler fast paths
+# are benchmarked in), a smoke pass of the scheduler benchmarks, then the
 # threaded suites (sweep engine + fault determinism) again under TSan.
 #
-#   scripts/check.sh            # both stages
-#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only (fast local iteration)
+#   scripts/check.sh               # all stages
+#   SKIP_TSAN=1 scripts/check.sh      # skip the TSan stage
+#   SKIP_RELEASE=1 scripts/check.sh   # skip the Release + bench stage
 #
-# Build trees: build/ (plain) and build-tsan/ (MERM_SANITIZE=thread).
+# Build trees: build/ (plain), build-release/ (Release, shared with
+# scripts/bench.sh) and build-tsan/ (MERM_SANITIZE=thread).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +21,18 @@ cmake --build build -j "$JOBS"
 
 echo "=== tier-1: full test suite ==="
 ctest --test-dir build --output-on-failure
+
+if [[ "${SKIP_RELEASE:-0}" != "1" ]]; then
+  echo "=== release: configure + build (build-release/) ==="
+  cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j "$JOBS"
+
+  echo "=== release: full test suite ==="
+  ctest --test-dir build-release --output-on-failure
+
+  echo "=== release: scheduler bench smoke ==="
+  scripts/bench.sh --smoke
+fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "=== tsan: configure + build (build-tsan/) ==="

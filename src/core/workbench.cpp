@@ -151,6 +151,13 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
   r.processors = level == node::SimulationLevel::kDetailed
                      ? machine_->node_count() * machine_->cpus_per_node()
                      : machine_->node_count();
+  if (r.completed && progress_interval_ == 0) {
+    // Release the finished workload's coroutine frames so multi-phase runs
+    // don't accumulate them.  Skipped while a progress sampler is armed:
+    // its pending self-reschedule captured the ProcessHandles that
+    // collection would invalidate.
+    sim_->collect_finished();
+  }
   return r;
 }
 

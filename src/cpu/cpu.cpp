@@ -19,12 +19,19 @@ sim::Task<> Cpu::execute(const trace::Operation& op) {
     throw std::logic_error("Cpu::execute given non-computational operation: " +
                            trace::to_string(op));
   }
-  const sim::Tick start = sim_.now();
+  // Effective time includes any locally deferred ticks (cursor mode), so
+  // busy accounting is identical whether delays suspend or accumulate.
+  sim::TimeCursor& cursor = memory_.cursor(index_);
+  const sim::Tick start = sim_.now() + cursor.pending();
   ops_executed.add();
 
   const sim::Cycles cost = params_.cost(op.code, op.type);
   issue_cycles.add(cost);
-  co_await sim_.delay(clock_.to_ticks(cost));
+  if (cursor.enabled()) {
+    cursor.advance(clock_.to_ticks(cost));
+  } else {
+    co_await sim_.delay(clock_.to_ticks(cost));
+  }
 
   if (trace::is_memory_access(op.code)) {
     memory_ops.add();
@@ -40,7 +47,41 @@ sim::Task<> Cpu::execute(const trace::Operation& op) {
     arith_ops.add();
   }
 
-  busy_ticks_ += sim_.now() - start;
+  busy_ticks_ += sim_.now() + cursor.pending() - start;
+}
+
+bool Cpu::try_execute_fast(const trace::Operation& op) {
+  sim::TimeCursor& cursor = memory_.cursor(index_);
+  if (!cursor.enabled() || !trace::is_computational(op.code)) return false;
+
+  const sim::Tick before = cursor.pending();
+  const sim::Cycles cost = params_.cost(op.code, op.type);
+  const sim::Tick issue_ticks = clock_.to_ticks(cost);
+
+  if (trace::is_memory_access(op.code)) {
+    if (!memory_.try_access_fast(index_,
+                                 op.code == OpCode::kLoad
+                                     ? memory::AccessType::kLoad
+                                     : memory::AccessType::kStore,
+                                 op.value, issue_ticks)) {
+      return false;
+    }
+    memory_ops.add();
+  } else if (trace::is_instruction_fetch(op.code)) {
+    if (!memory_.try_access_fast(index_, memory::AccessType::kIFetch,
+                                 op.value, issue_ticks)) {
+      return false;
+    }
+    fetch_ops.add();
+  } else {
+    cursor.advance(issue_ticks);
+    arith_ops.add();
+  }
+
+  ops_executed.add();
+  issue_cycles.add(cost);
+  busy_ticks_ += cursor.pending() - before;
+  return true;
 }
 
 void Cpu::register_stats(stats::StatRegistry& reg, const std::string& prefix) {

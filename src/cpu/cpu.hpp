@@ -30,6 +30,14 @@ class Cpu {
   /// routes those to the communication model instead.
   sim::Task<> execute(const trace::Operation& op);
 
+  /// Non-suspending, frame-free variant for the hot loop: when the memory
+  /// hierarchy's cursor for this CPU is enabled and the operation needs no
+  /// globally visible action (pure issue cost, L1 hit, or an uncontended
+  /// cacheless bus access), the whole operation is charged onto the local
+  /// cursor.  Returns false — with nothing charged or counted — when the
+  /// general execute() path must run instead.
+  bool try_execute_fast(const trace::Operation& op);
+
   std::uint32_t index() const { return index_; }
   const sim::Clock& clock() const { return clock_; }
 

@@ -304,6 +304,10 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
       pr.run = point.level == node::SimulationLevel::kDetailed
                    ? wb.run_detailed(workload)
                    : wb.run_task_level(workload);
+      // Drop the point's finished coroutine frames before probing; a large
+      // grid otherwise carries every completed workload's frames to the end
+      // of the sweep.
+      wb.simulator().collect_finished();
       if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
       pr.status = PointResult::Status::kDone;
     } catch (const std::exception& e) {

@@ -15,6 +15,20 @@ sim::Tick Bus::occupancy(std::uint64_t bytes,
   return clock_.to_ticks(arbitration_cycles_ + extra_cycles + beats);
 }
 
+bool Bus::try_transaction_fast(std::uint64_t bytes, sim::Cycles extra_cycles,
+                               sim::TimeCursor& cursor) {
+  if (!cursor.enabled() || !uncontended()) return false;
+  // Uncontended grant: the general path would have acquired immediately and
+  // recorded a zero queue wait, so mirror its statistics exactly.
+  queue_wait_ticks.add(0.0);
+  const sim::Tick hold = occupancy(bytes, extra_cycles);
+  cursor.advance(hold);
+  busy_ticks_ += hold;
+  transactions.add();
+  bytes_transferred.add(bytes);
+  return true;
+}
+
 sim::Task<> Bus::transaction(std::uint64_t bytes, sim::Cycles extra_cycles) {
   const sim::Tick requested = sim_.now();
   co_await grant_.acquire();

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/coro.hpp"
+#include "sim/cursor.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
@@ -27,6 +28,18 @@ class Bus {
   ///   arbitration + extra_cycles + ceil(bytes / width) beats.
   /// Suspends while earlier transactions drain (FIFO order).
   sim::Task<> transaction(std::uint64_t bytes, sim::Cycles extra_cycles = 0);
+
+  /// Cursor variant: when the caller defers time locally and the bus is
+  /// idle with nobody queued — always the case for the sole client of a
+  /// single-CPU node — the transaction completes on the cursor without
+  /// suspending, recording the identical statistics (zero queue wait, same
+  /// occupancy).  Returns false when the general path must run.
+  bool try_transaction_fast(std::uint64_t bytes, sim::Cycles extra_cycles,
+                            sim::TimeCursor& cursor);
+
+  /// True when a transaction would be granted immediately (bus idle, empty
+  /// queue) — the precondition of try_transaction_fast.
+  bool uncontended() const { return !grant_.busy() && grant_.waiters() == 0; }
 
   /// Ticks a transaction would occupy the bus, excluding queueing.
   sim::Tick occupancy(std::uint64_t bytes, sim::Cycles extra_cycles) const;

@@ -32,6 +32,12 @@ class Cache {
   const std::string& name() const { return name_; }
   const machine::CacheLevelParams& params() const { return params_; }
 
+  /// Next level toward memory (nullptr when this is the last level before
+  /// DRAM).  Wired once by MemoryHierarchy at construction so dirty-victim
+  /// writebacks need no per-eviction level search.
+  Cache* below() const { return below_; }
+  void set_below(Cache* below) { below_ = below; }
+
   /// Address of the first byte of the line containing `addr`.
   std::uint64_t line_base(std::uint64_t addr) const {
     return addr & ~static_cast<std::uint64_t>(params_.line_bytes - 1);
@@ -111,6 +117,7 @@ class Cache {
 
   machine::CacheLevelParams params_;
   std::string name_;
+  Cache* below_ = nullptr;
   std::uint64_t sets_;
   std::uint32_t ways_;
   std::uint64_t lru_clock_ = 0;

@@ -14,6 +14,7 @@ MemoryHierarchy::MemoryHierarchy(sim::Simulator& sim,
       cpu_count_(params.cpu_count),
       coherent_(params.cpu_count > 1 || params.force_coherence),
       level_count_(params.memory.levels.size()),
+      cursors_(params.cpu_count),
       bus_(sim, params.memory.bus_frequency_hz, params.memory.bus_width_bytes,
            params.memory.bus_arbitration_cycles) {
   if (cpu_count_ == 0) throw std::invalid_argument("node needs >= 1 CPU");
@@ -31,6 +32,14 @@ MemoryHierarchy::MemoryHierarchy(sim::Simulator& sim,
     for (std::size_t lvl = 1; lvl < level_count_; ++lvl) {
       shared_.push_back(std::make_unique<Cache>(
           mem.levels[lvl], "l" + std::to_string(lvl + 1)));
+    }
+    // Wire each cache to the level below it: L1s feed the first shared
+    // level, shared levels chain, the last level writes back to memory.
+    Cache* first_shared = shared_.empty() ? nullptr : shared_[0].get();
+    for (auto& c : dcaches_) c->set_below(first_shared);
+    for (auto& c : icaches_) c->set_below(first_shared);
+    for (std::size_t i = 0; i + 1 < shared_.size(); ++i) {
+      shared_[i]->set_below(shared_[i + 1].get());
     }
   }
 }
@@ -81,55 +90,91 @@ MemoryHierarchy::SnoopResult MemoryHierarchy::snoop(std::uint32_t requester,
   return result;
 }
 
+bool MemoryHierarchy::try_access_fast(std::uint32_t cpu, AccessType type,
+                                      std::uint64_t addr,
+                                      sim::Tick issue_ticks) {
+  sim::TimeCursor& cur = cursors_[cpu];
+  if (!cur.enabled()) return false;
+  const bool is_write = type == AccessType::kStore;
+
+  if (level_count_ == 0) {
+    // Cacheless node: one uncontended bus + DRAM beat per access.
+    if (!bus_.uncontended()) return false;
+    accesses.add();
+    dram_accesses.add();
+    cur.advance(issue_ticks);
+    const sim::Tick before = cur.pending();
+    (void)bus_.try_transaction_fast(bus_.width_bytes(),
+                                    params_.memory.dram_access_cycles, cur);
+    access_latency_ticks.add(static_cast<double>(cur.pending() - before));
+    return true;
+  }
+
+  Cache& first = *l1(cpu, type);
+  const LineState st = first.probe(addr);
+  if (st == LineState::kInvalid) return false;
+  const bool write_back =
+      first.params().write_policy == WritePolicy::kWriteBack;
+  if (is_write &&
+      (!write_back || (coherent_ && st == LineState::kShared))) {
+    // Write-through propagation or a MESI upgrade: bus traffic, general
+    // path.
+    return false;
+  }
+
+  // Pure L1 hit: identical counters, LRU update and latency to access().
+  accesses.add();
+  cur.advance(issue_ticks);
+  first.hits.add();
+  first.touch(addr, is_write && write_back);
+  const sim::Tick lookup = cpu_clock_.to_ticks(first.params().hit_cycles);
+  cur.advance(lookup);
+  access_latency_ticks.add(static_cast<double>(lookup));
+  return true;
+}
+
 sim::Task<> MemoryHierarchy::fill_with_writeback(Cache& cache,
                                                  std::uint64_t addr,
-                                                 LineState state) {
+                                                 LineState state,
+                                                 sim::TimeCursor& cursor) {
   const Cache::Eviction ev = cache.fill(cache.line_base(addr), state);
   if (!ev.valid || !ev.dirty) co_return;
   // Dirty victim: push into the next level down, or to memory over the bus.
-  // Identify the level below `cache`: L1 -> shared_[0]; shared_[i] ->
-  // shared_[i+1]; last level -> memory.
-  Cache* below = nullptr;
-  bool is_l1 = true;
-  std::size_t idx = 0;
-  for (std::size_t i = 0; i < shared_.size(); ++i) {
-    if (shared_[i].get() == &cache) {
-      is_l1 = false;
-      idx = i;
-      break;
-    }
-  }
-  if (is_l1) {
-    below = shared_.empty() ? nullptr : shared_[0].get();
-  } else {
-    below = idx + 1 < shared_.size() ? shared_[idx + 1].get() : nullptr;
-  }
-
-  if (below != nullptr) {
+  if (Cache* below = cache.below()) {
     if (below->probe(ev.addr) != LineState::kInvalid) {
       below->touch(ev.addr, /*is_write=*/true);  // mark dirty below
     } else {
       // Non-inclusive: victim absent below; absorb it (may cascade).
-      co_await fill_with_writeback(*below, ev.addr, LineState::kModified);
+      co_await fill_with_writeback(*below, ev.addr, LineState::kModified,
+                                   cursor);
     }
   } else {
-    co_await bus_.transaction(cache.params().line_bytes);
+    if (!bus_.try_transaction_fast(cache.params().line_bytes, 0, cursor)) {
+      co_await cursor.flush();
+      co_await bus_.transaction(cache.params().line_bytes);
+    }
   }
 }
 
 sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
                                     std::uint64_t addr) {
   accesses.add();
-  const sim::Tick start = sim_.now();
+  sim::TimeCursor& cur = cursors_[cpu];
+  const sim::Tick start = sim_.now() + cur.pending();
   const bool is_write = type == AccessType::kStore;
 
   if (level_count_ == 0) {
     // Cacheless node (e.g. T805): every access is a bus + memory access of
     // one bus beat.
     dram_accesses.add();
-    co_await bus_.transaction(bus_.width_bytes(),
-                              params_.memory.dram_access_cycles);
-    access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+    if (!bus_.try_transaction_fast(bus_.width_bytes(),
+                                   params_.memory.dram_access_cycles, cur)) {
+      co_await cur.flush();
+      co_await bus_.transaction(bus_.width_bytes(),
+                                params_.memory.dram_access_cycles);
+    }
+    access_latency_ticks.add(
+        static_cast<double>(sim_.now() + cur.pending() - start));
     co_return;
   }
 
@@ -138,7 +183,12 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
   const LineState st = first.probe(addr);
 
   // L1 lookup cost is paid hit or miss.
-  co_await sim_.delay(cpu_clock_.to_ticks(first.params().hit_cycles));
+  const sim::Tick l1_ticks = cpu_clock_.to_ticks(first.params().hit_cycles);
+  if (cur.enabled()) {
+    cur.advance(l1_ticks);
+  } else {
+    co_await sim_.delay(l1_ticks);
+  }
 
   if (st != LineState::kInvalid) {
     first.hits.add();
@@ -149,16 +199,28 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
       if (!write_back_l1) {
         // Write-through: propagate the word downwards; line stays clean.
         if (Cache* l2 = shared_.empty() ? nullptr : shared_[0].get()) {
-          co_await sim_.delay(cpu_clock_.to_ticks(l2->params().hit_cycles));
+          const sim::Tick l2_ticks =
+              cpu_clock_.to_ticks(l2->params().hit_cycles);
+          if (cur.enabled()) {
+            cur.advance(l2_ticks);
+          } else {
+            co_await sim_.delay(l2_ticks);
+          }
           if (l2->probe(addr) != LineState::kInvalid) {
             l2->touch(addr, l2->params().write_policy ==
                                 WritePolicy::kWriteBack);
           }
           if (l2->params().write_policy == WritePolicy::kWriteThrough) {
-            co_await bus_.transaction(bus_.width_bytes());
+            if (!bus_.try_transaction_fast(bus_.width_bytes(), 0, cur)) {
+              co_await cur.flush();
+              co_await bus_.transaction(bus_.width_bytes());
+            }
           }
         } else {
-          co_await bus_.transaction(bus_.width_bytes());
+          if (!bus_.try_transaction_fast(bus_.width_bytes(), 0, cur)) {
+            co_await cur.flush();
+            co_await bus_.transaction(bus_.width_bytes());
+          }
         }
         if (coherent_) {
           const SnoopResult sr = snoop(cpu, type, line, /*for_write=*/true);
@@ -169,7 +231,10 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
             // write-through bus transaction above doubles as the broadcast
             // under snooping).
             for (int i = 0; i < sr.holders; ++i) {
-              co_await bus_.transaction(0);
+              if (!bus_.try_transaction_fast(0, 0, cur)) {
+                co_await cur.flush();
+                co_await bus_.transaction(0);
+              }
             }
           }
         }
@@ -177,21 +242,32 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
         // MESI upgrade: invalidate the other copies before writing.
         if (params_.memory.coherence == machine::CoherenceKind::kSnoopy) {
           // One broadcast transaction; all snoopers react for free.
-          co_await bus_.transaction(0);
+          if (!bus_.try_transaction_fast(0, 0, cur)) {
+            co_await cur.flush();
+            co_await bus_.transaction(0);
+          }
           snoop(cpu, type, line, /*for_write=*/true);
         } else {
           // Directory: consult the sharer list, then invalidate each holder
           // point to point.
           const SnoopResult sr = snoop(cpu, type, line, /*for_write=*/true);
-          co_await bus_.transaction(0,
-                                    params_.memory.directory_lookup_cycles);
+          if (!bus_.try_transaction_fast(
+                  0, params_.memory.directory_lookup_cycles, cur)) {
+            co_await cur.flush();
+            co_await bus_.transaction(0,
+                                      params_.memory.directory_lookup_cycles);
+          }
           for (int i = 0; i < sr.holders; ++i) {
-            co_await bus_.transaction(0);
+            if (!bus_.try_transaction_fast(0, 0, cur)) {
+              co_await cur.flush();
+              co_await bus_.transaction(0);
+            }
           }
         }
       }
     }
-    access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+    access_latency_ticks.add(
+        static_cast<double>(sim_.now() + cur.pending() - start));
     co_return;
   }
 
@@ -209,18 +285,28 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
       peer_had_copy = true;
       // Cache-to-cache supply over the bus; a dirty owner flushes the line;
       // the directory variant additionally pays its lookup.
-      co_await bus_.transaction(first.params().line_bytes,
-                                (sr.was_dirty ? 1 : 0) + dir_extra);
+      const sim::Cycles supply_extra = (sr.was_dirty ? 1 : 0) + dir_extra;
+      if (!bus_.try_transaction_fast(first.params().line_bytes, supply_extra,
+                                     cur)) {
+        co_await cur.flush();
+        co_await bus_.transaction(first.params().line_bytes, supply_extra);
+      }
       if (directory && is_write && sr.holders > 1) {
         // Extra clean sharers beyond the supplier: point-to-point
         // invalidations (snooping handled them within the broadcast).
         for (int i = 1; i < sr.holders; ++i) {
-          co_await bus_.transaction(0);
+          if (!bus_.try_transaction_fast(0, 0, cur)) {
+            co_await cur.flush();
+            co_await bus_.transaction(0);
+          }
         }
       }
     } else if (directory) {
       // Even an unshared miss consults the directory on its way to memory.
-      co_await bus_.transaction(0, dir_extra);
+      if (!bus_.try_transaction_fast(0, dir_extra, cur)) {
+        co_await cur.flush();
+        co_await bus_.transaction(0, dir_extra);
+      }
     }
   }
 
@@ -230,7 +316,13 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
     std::size_t found_level = 0;
     for (std::size_t i = 0; i < shared_.size(); ++i) {
       Cache& level = *shared_[i];
-      co_await sim_.delay(cpu_clock_.to_ticks(level.params().hit_cycles));
+      const sim::Tick lvl_ticks =
+          cpu_clock_.to_ticks(level.params().hit_cycles);
+      if (cur.enabled()) {
+        cur.advance(lvl_ticks);
+      } else {
+        co_await sim_.delay(lvl_ticks);
+      }
       if (level.probe(addr) != LineState::kInvalid) {
         level.hits.add();
         level.touch(addr, false);
@@ -248,16 +340,23 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
       const std::uint32_t fetch_bytes =
           shared_.empty() ? first.params().line_bytes
                           : shared_.back()->params().line_bytes;
-      co_await bus_.transaction(fetch_bytes,
-                                params_.memory.dram_access_cycles);
+      if (!bus_.try_transaction_fast(fetch_bytes,
+                                     params_.memory.dram_access_cycles,
+                                     cur)) {
+        co_await cur.flush();
+        co_await bus_.transaction(fetch_bytes,
+                                  params_.memory.dram_access_cycles);
+      }
       // Allocate in every shared level walked (outermost first).
       for (std::size_t i = shared_.size(); i-- > 0;) {
-        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive);
+        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive,
+                                     cur);
       }
     } else {
       // Allocate in the levels above the hit.
       for (std::size_t i = found_level; i-- > 0;) {
-        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive);
+        co_await fill_with_writeback(*shared_[i], addr, LineState::kExclusive,
+                                     cur);
       }
     }
   }
@@ -285,19 +384,26 @@ sim::Task<> MemoryHierarchy::access(std::uint32_t cpu, AccessType type,
       fill_state = (coherent_ && peer_had_copy) ? LineState::kShared
                                                 : LineState::kExclusive;
     }
-    co_await fill_with_writeback(first, addr, fill_state);
+    co_await fill_with_writeback(first, addr, fill_state, cur);
   }
   if (is_write && !allocate) {
     // No-allocate write miss: the word goes straight to the level below.
-    co_await bus_.transaction(bus_.width_bytes());
+    if (!bus_.try_transaction_fast(bus_.width_bytes(), 0, cur)) {
+      co_await cur.flush();
+      co_await bus_.transaction(bus_.width_bytes());
+    }
   }
   if (is_write && first.params().write_policy == WritePolicy::kWriteThrough &&
       allocate) {
     // Write-through write miss with allocation still propagates the word.
-    co_await bus_.transaction(bus_.width_bytes());
+    if (!bus_.try_transaction_fast(bus_.width_bytes(), 0, cur)) {
+      co_await cur.flush();
+      co_await bus_.transaction(bus_.width_bytes());
+    }
   }
 
-  access_latency_ticks.add(static_cast<double>(sim_.now() - start));
+  access_latency_ticks.add(
+      static_cast<double>(sim_.now() + cur.pending() - start));
 }
 
 void MemoryHierarchy::register_stats(stats::StatRegistry& reg,

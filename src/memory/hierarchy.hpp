@@ -25,6 +25,7 @@
 #include "memory/bus.hpp"
 #include "memory/cache.hpp"
 #include "sim/coro.hpp"
+#include "sim/cursor.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
 
@@ -38,7 +39,24 @@ class MemoryHierarchy {
 
   /// Simulates one access by CPU `cpu`; completes (in simulated time) when
   /// the access would retire.  Does not include the CPU's issue cost.
+  /// Cursor-aware: when cursor(cpu) is enabled, hit latencies and
+  /// uncontended bus holds advance the local cursor, and the cursor is
+  /// flushed before any bus transaction that must queue.
   sim::Task<> access(std::uint32_t cpu, AccessType type, std::uint64_t addr);
+
+  /// Non-suspending variant covering the hot cases — a pure L1 hit needing
+  /// no bus traffic, or (on cacheless nodes) an uncontended bus + DRAM
+  /// access.  Charges `issue_ticks` of CPU issue cost plus the access
+  /// latency onto cursor(cpu) and records the same statistics access()
+  /// would.  Returns false (charging nothing) when the general path is
+  /// needed: cursor disabled, miss, coherence action, or write-through
+  /// traffic.
+  bool try_access_fast(std::uint32_t cpu, AccessType type, std::uint64_t addr,
+                       sim::Tick issue_ticks);
+
+  /// Per-CPU local time cursor (two-tier time accounting; enabled by the
+  /// node's run loop only when deferral is observationally safe).
+  sim::TimeCursor& cursor(std::uint32_t cpu) { return cursors_[cpu]; }
 
   std::uint32_t cpu_count() const { return cpu_count_; }
   bool coherent() const { return coherent_; }
@@ -74,9 +92,10 @@ class MemoryHierarchy {
   SnoopResult snoop(std::uint32_t requester, AccessType type,
                     std::uint64_t line_addr, bool for_write);
 
-  /// Fills `cache` and charges any dirty-victim writeback on the bus.
+  /// Fills `cache` and charges any dirty-victim writeback on the bus (or
+  /// the caller's cursor when deferral is active).
   sim::Task<> fill_with_writeback(Cache& cache, std::uint64_t addr,
-                                  LineState state);
+                                  LineState state, sim::TimeCursor& cursor);
 
   sim::Simulator& sim_;
   machine::NodeParams params_;
@@ -90,6 +109,8 @@ class MemoryHierarchy {
   std::vector<std::unique_ptr<Cache>> dcaches_;  // or unified
   std::vector<std::unique_ptr<Cache>> icaches_;  // only when split_l1
   std::vector<std::unique_ptr<Cache>> shared_;   // levels 1..n-1
+
+  std::vector<sim::TimeCursor> cursors_;  // one per CPU, default disabled
 
   Bus bus_;
 };

@@ -20,18 +20,36 @@ sim::Process ComputeNode::run(std::uint32_t cpu_index,
                               TaskRecorder* recorder,
                               SharedMemoryService* shm) {
   cpu::Cpu& cpu = *cpus_[cpu_index];
+  // Two-tier time accounting (DESIGN.md): on a single-CPU node this process
+  // is the sole client of the node's caches and bus, so pure compute and
+  // hit-latency time may accumulate on a local cursor and is realized as
+  // one Delay at each synchronization point below.  Multi-CPU nodes
+  // interleave through coherence snoops and bus arbitration, and DSM runs
+  // consult globally shared page state on every access, so both stay
+  // event-by-event on the global queue.
+  sim::TimeCursor& cursor = memory_->cursor(cpu_index);
+  cursor.set_enabled(sim_.fast_paths() && memory_->cpu_count() == 1 &&
+                     shm == nullptr);
   if (recorder != nullptr) recorder->start(sim_.now());
 
   while (auto op = source.next()) {
     if (trace::is_computational(op->code)) {
       if (shm != nullptr && trace::is_memory_access(op->code) &&
           shm->is_shared(op->value)) {
+        // DSM interaction: globally visible, a synchronization point.
+        co_await cursor.flush();
         co_await shm->ensure(op->value, op->code == trace::OpCode::kStore);
+        co_await cpu.execute(*op);
+      } else if (!cpu.try_execute_fast(*op)) {
+        co_await cpu.execute(*op);
       }
-      co_await cpu.execute(*op);
     } else if (op->code == trace::OpCode::kCompute) {
       // Task-level computation embedded in an instruction-level trace.
-      co_await sim_.delay(op->value);
+      if (cursor.enabled()) {
+        cursor.advance(op->value);
+      } else {
+        co_await sim_.delay(op->value);
+      }
     } else {
       // Communication: forward to the communication model.
       if (comm == nullptr) {
@@ -39,6 +57,9 @@ sim::Process ComputeNode::run(std::uint32_t cpu_index,
             "communication operation on a node without a CommNode: " +
             trace::to_string(*op));
       }
+      // Trace interleaving boundary: realize local time before the source
+      // observes it and the communication becomes globally visible.
+      co_await cursor.flush();
       if (recorder != nullptr) recorder->mark_communication(sim_.now(), *op);
       source.global_event_issued(sim_.now());
       co_await comm->issue(*op);
@@ -46,6 +67,8 @@ sim::Process ComputeNode::run(std::uint32_t cpu_index,
       if (recorder != nullptr) recorder->resume(sim_.now());
     }
   }
+  co_await cursor.flush();
+  cursor.set_enabled(false);
   if (recorder != nullptr) recorder->finish(sim_.now());
 }
 

@@ -48,11 +48,20 @@ struct PromiseBase {
 };
 
 /// Suspends the awaiting coroutine for a fixed amount of simulated time.
+///
+/// `inline_zero` is set by Simulator::delay() when the fast-path scheduler
+/// is active (and by TimeCursor::flush(), whose empty flush corresponds to
+/// no suspension at all in the reference schedule): a zero-tick
+/// default-priority delay then completes without suspending.  Brace-
+/// initialized Delays keep the conservative always-suspend behaviour.
 struct Delay {
   Tick amount = 0;
   int priority = 0;
+  bool inline_zero = false;
 
-  bool await_ready() const noexcept { return false; }
+  bool await_ready() const noexcept {
+    return inline_zero && amount == 0 && priority == 0;
+  }
 
   template <typename Promise>
   void await_suspend(std::coroutine_handle<Promise> h) const {

@@ -1,0 +1,49 @@
+// Local time cursor: the per-process tick accumulator behind the
+// workbench's two-tier time accounting (DESIGN.md, "Two-tier time
+// accounting").
+//
+// A process whose progress cannot be observed by any other process between
+// two synchronization points — e.g. the compute process of a single-CPU
+// node walking its private caches and uncontended bus — advances this local
+// cursor instead of suspending on the global event queue.  flush() converts
+// the accumulated ticks into a single real Delay at the next
+// synchronization point (communication, DSM, trace interleaving boundary),
+// which is exactly where the paper's physical-time interleaving requires a
+// globally ordered timestamp.  The effective current time of a deferring
+// process is sim.now() + pending().
+#pragma once
+
+#include "sim/coro.hpp"
+#include "sim/types.hpp"
+
+namespace merm::sim {
+
+class TimeCursor {
+ public:
+  bool enabled() const { return enabled_; }
+
+  /// Toggled by the owner of the deferral scope (ComputeNode::run enables
+  /// it for single-CPU nodes).  Must only be toggled with nothing pending.
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Ticks accumulated since the last flush.
+  Tick pending() const { return pending_; }
+
+  /// Defers `t` ticks of local progress.
+  void advance(Tick t) { pending_ += t; }
+
+  /// Converts the accumulated time into one awaitable Delay.  An empty
+  /// flush completes inline: the reference schedule had no suspension
+  /// there either, so awaiting one would invent an event.
+  Delay flush() {
+    const Tick t = pending_;
+    pending_ = 0;
+    return Delay{t, 0, /*inline_zero=*/true};
+  }
+
+ private:
+  Tick pending_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace merm::sim

@@ -7,8 +7,10 @@
 // deterministic arbitration policy the models build on.
 #pragma once
 
+#include <coroutine>
 #include <cstddef>
 #include <deque>
+#include <type_traits>
 
 #include "sim/coro.hpp"
 
@@ -24,32 +26,53 @@ class FifoResource {
   bool busy() const { return busy_; }
   std::size_t waiters() const { return waiters_.size(); }
 
-  /// Suspends until this caller holds the resource.
-  Task<> acquire() {
-    if (!busy_) {
-      busy_ = true;
-      co_return;
+  /// Plain awaiter, no coroutine frame: a free resource is taken inside
+  /// await_ready; a busy one parks the caller's handle in the FIFO, to be
+  /// rescheduled by release() with ownership already transferred.
+  struct AcquireAwaiter {
+    FifoResource& res;
+
+    bool await_ready() const noexcept {
+      if (res.busy_) return false;
+      res.busy_ = true;
+      return true;
     }
-    Event granted;
-    waiters_.push_back(&granted);
-    co_await granted;
-    // Ownership was handed over by release(); busy_ stayed true.
-  }
+
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) const {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>,
+                    "FifoResource may only be awaited in sim coroutines");
+      res.waiters_.push_back({h.promise().sim, h});
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspends until this caller holds the resource.
+  AcquireAwaiter acquire() { return AcquireAwaiter{*this}; }
 
   /// Hands the resource to the longest-waiting requester, or frees it.
   void release() {
     if (!waiters_.empty()) {
-      Event* next = waiters_.front();
+      const Waiter next = waiters_.front();
       waiters_.pop_front();
-      next->trigger();
+      // busy_ stays true: ownership passes directly to the waiter, whose
+      // resumption lands on the queue exactly where the old Event-based
+      // hand-off scheduled it.
+      detail::schedule_resume(*next.sim, next.handle, 0, 0);
     } else {
       busy_ = false;
     }
   }
 
  private:
+  struct Waiter {
+    Simulator* sim;
+    std::coroutine_handle<> handle;
+  };
+
   bool busy_ = false;
-  std::deque<Event*> waiters_;
+  std::deque<Waiter> waiters_;
 };
 
 }  // namespace merm::sim

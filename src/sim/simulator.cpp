@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
 namespace merm::sim {
@@ -18,6 +20,25 @@ Tick current_time(const Simulator& sim) { return sim.now(); }
 
 }  // namespace detail
 
+namespace {
+// -1 = follow MERM_REFERENCE_SCHED; 0/1 = forced.  Atomic so sweep worker
+// threads constructing Simulators may read it concurrently.
+std::atomic<int> g_reference_override{-1};
+}  // namespace
+
+void set_reference_scheduler_override(int mode) {
+  g_reference_override.store(mode, std::memory_order_relaxed);
+}
+
+bool reference_scheduler_enabled() {
+  const int forced = g_reference_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  const char* env = std::getenv("MERM_REFERENCE_SCHED");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+Simulator::Simulator() : fast_paths_(!reference_scheduler_enabled()) {}
+
 Simulator::~Simulator() {
   for (OwnedProcess& p : processes_) {
     p.handle.destroy();
@@ -28,47 +49,123 @@ ProcessHandle Simulator::spawn(Process p, std::string name) {
   auto handle = p.release();
   handle.promise().sim = this;
   processes_.push_back(OwnedProcess{handle, std::move(name)});
-  push(now_, 0, handle, nullptr);
+  push(now_, 0, handle, kNoSlot);
   return ProcessHandle{&handle.promise().done};
 }
 
 void Simulator::schedule_at(Tick when, std::function<void()> fn,
                             int priority) {
-  push(std::max(when, now_), priority, nullptr, std::move(fn));
+  push(std::max(when, now_), priority, nullptr, make_slot(std::move(fn)));
 }
 
 void Simulator::schedule_in(Tick delay, std::function<void()> fn,
                             int priority) {
-  push(now_ + delay, priority, nullptr, std::move(fn));
+  push(now_ + delay, priority, nullptr, make_slot(std::move(fn)));
 }
 
 void Simulator::schedule_resume(std::coroutine_handle<> h, Tick delay,
                                 int priority) {
-  push(now_ + delay, priority, h, nullptr);
+  push(now_ + delay, priority, h, kNoSlot);
+}
+
+std::uint32_t Simulator::make_slot(std::function<void()> fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[s] = std::move(fn);
+    return s;
+  }
+  slots_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
 void Simulator::push(Tick when, int priority, std::coroutine_handle<> h,
-                     std::function<void()> fn) {
-  queue_.push(Ev{when, priority, next_seq_++, h, std::move(fn)});
+                     std::uint32_t slot) {
+  const Ev ev{when, next_seq_++, h, priority, slot};
+  // An event keyed exactly (now, 0) sorts after everything already queued
+  // with that key (smaller seq) and before any later key, so a plain FIFO
+  // holds it in correct total order; run() arbitrates lane vs heap per pop.
+  if (fast_paths_ && when == now_ && priority == 0) {
+    lane_.push_back(ev);
+  } else {
+    heap_push(ev);
+  }
+}
+
+void Simulator::heap_push(const Ev& ev) {
+  heap_.push_back(ev);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+Simulator::Ev Simulator::heap_pop() {
+  const Ev top = heap_.front();
+  const Ev last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (later(heap_[best], heap_[c])) best = c;
+      }
+      if (!later(last, heap_[best])) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 Simulator::RunResult Simulator::run(Tick until, std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t processed_this_run = 0;
-  while (!queue_.empty()) {
-    if (queue_.top().time > until) {
-      now_ = std::max(now_, until);
-      return RunResult::kTimeLimit;
+  for (;;) {
+    const bool lane_has = lane_head_ < lane_.size();
+    if (!lane_has && heap_.empty()) return RunResult::kIdle;
+    bool from_lane = lane_has;
+    if (lane_has && !heap_.empty() &&
+        later(lane_[lane_head_], heap_.front())) {
+      from_lane = false;
+    }
+    {
+      const Ev& next = from_lane ? lane_[lane_head_] : heap_.front();
+      if (next.time > until) {
+        now_ = std::max(now_, until);
+        return RunResult::kTimeLimit;
+      }
     }
     if (processed_this_run >= max_events) return RunResult::kEventLimit;
 
-    Ev ev = queue_.top();
-    queue_.pop();
+    Ev ev;
+    if (from_lane) {
+      ev = lane_[lane_head_++];
+      if (lane_head_ == lane_.size()) {
+        lane_.clear();
+        lane_head_ = 0;
+      }
+    } else {
+      ev = heap_pop();
+    }
     now_ = ev.time;
     if (ev.coro) {
       ev.coro.resume();
     } else {
-      ev.fn();
+      // Move the body out first: the invocation may recycle the slot.
+      std::function<void()> fn = std::move(slots_[ev.slot]);
+      slots_[ev.slot] = nullptr;
+      free_slots_.push_back(ev.slot);
+      fn();
     }
     ++events_processed_;
     ++processed_this_run;
@@ -79,7 +176,6 @@ Simulator::RunResult Simulator::run(Tick until, std::uint64_t max_events) {
     }
     if (stop_requested_) return RunResult::kStopped;
   }
-  return RunResult::kIdle;
 }
 
 std::size_t Simulator::live_processes() const {

@@ -5,13 +5,24 @@
 // runs with the same inputs and seeds produce bit-identical behaviour — the
 // property the physical-time-interleaved trace generation of the workbench
 // relies on (see tests/sim/determinism_test.cpp).
+//
+// Queue layout: events are 32-byte PODs in a 4-ary implicit heap (shallower
+// sifts and better cache-line locality than the binary std::priority_queue
+// of fat elements it replaces).  Callback payloads do not live in the
+// event: an event either resumes a coroutine handle or names a pooled
+// std::function slot, so the common (coroutine) case never touches a
+// std::function.  A same-tick FIFO lane short-circuits the heap for
+// priority-0 events scheduled at now() — the dominant case of handing
+// control between components within one instant.  Neither changes the event
+// order: lane entries all carry (now, 0, ascending seq), and every pop
+// compares the lane head against the heap top under the same comparator, so
+// the dispatch sequence is identical to a single global heap.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -20,15 +31,31 @@
 
 namespace merm::sim {
 
+/// True when the process runs with the reference (pre-fast-path) scheduler
+/// semantics: no zero-delay inlining, no same-tick lane, no local time
+/// cursors.  Controlled by the MERM_REFERENCE_SCHED environment variable or
+/// the programmatic override below; sampled at Simulator construction.
+bool reference_scheduler_enabled();
+
+/// Programmatic override for in-process A/B comparisons (see
+/// tests/core/timing_invariance_test.cpp): 1 = reference, 0 = fast,
+/// -1 = defer to the environment.
+void set_reference_scheduler_override(int mode);
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
 
   /// Current simulated time.
   Tick now() const { return now_; }
+
+  /// False when this simulator was constructed in reference-scheduler mode.
+  /// Model code keys its fast paths (zero-delay inlining, time cursors) off
+  /// this so one process can run both schedules side by side.
+  bool fast_paths() const { return fast_paths_; }
 
   /// Takes ownership of a process coroutine and schedules its first step at
   /// the current time.  The returned handle stays valid until
@@ -65,6 +92,10 @@ class Simulator {
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const;
 
+  /// Number of process frames currently owned (live or awaiting
+  /// collect_finished()) — the quantity the footprint regression watches.
+  std::size_t owned_processes() const { return processes_.size(); }
+
   /// Names of live processes (diagnosing deadlocks in tests).
   std::vector<std::string> live_process_names() const;
 
@@ -85,8 +116,11 @@ class Simulator {
   /// ProcessHandles of the collected processes.
   void collect_finished();
 
-  /// Sugar: co_await sim.delay(t).
-  Delay delay(Tick t, int priority = 0) const { return Delay{t, priority}; }
+  /// Sugar: co_await sim.delay(t).  Under the fast-path scheduler a
+  /// zero-tick default-priority delay completes inline without suspending.
+  Delay delay(Tick t, int priority = 0) const {
+    return Delay{t, priority, fast_paths_};
+  }
 
   /// Internal: records a process failure; run() rethrows it.
   void set_error(std::exception_ptr e) {
@@ -100,31 +134,42 @@ class Simulator {
     std::string name;
   };
 
+  /// One scheduled event.  POD: the callback body (when any) lives in the
+  /// slot pool, keyed by `slot`.
   struct Ev {
     Tick time;
-    std::int32_t priority;
     std::uint64_t seq;
-    std::coroutine_handle<> coro;       // resumed if non-null
-    std::function<void()> fn;           // otherwise invoked
+    std::coroutine_handle<> coro;  // resumed if non-null
+    std::int32_t priority;
+    std::uint32_t slot;            // slots_ index when coro is null
   };
 
-  struct EvLater {
-    bool operator()(const Ev& a, const Ev& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// True when `a` dispatches after `b` under the global total order.
+  static bool later(const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
 
   void push(Tick when, int priority, std::coroutine_handle<> h,
-            std::function<void()> fn);
+            std::uint32_t slot);
+  std::uint32_t make_slot(std::function<void()> fn);
+  void heap_push(const Ev& ev);
+  Ev heap_pop();
 
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
+  bool fast_paths_ = true;
   std::exception_ptr error_;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  std::vector<Ev> heap_;   // 4-ary implicit min-heap under later()
+  std::vector<Ev> lane_;   // FIFO of (now, priority 0) events
+  std::size_t lane_head_ = 0;
+  std::vector<std::function<void()>> slots_;  // pooled callback bodies
+  std::vector<std::uint32_t> free_slots_;
   std::vector<OwnedProcess> processes_;
   std::vector<HangReporter> hang_reporters_;
 };

@@ -1,0 +1,182 @@
+// Timing-invariance suite for the two-tier scheduler (DESIGN.md, "Two-tier
+// time accounting"): every workload is run twice, once under the reference
+// scheduler (MERM_REFERENCE_SCHED semantics: no local time cursors, no
+// zero-delay inlining, no same-tick fast lane) and once with the fast paths
+// on, and the simulated end times plus every registered statistic must be
+// bit-identical.  Host-side quantities (kernel event counts, wall time) are
+// deliberately excluded — making them differ is the whole point of the
+// optimization.
+//
+// Also holds the coroutine-frame footprint regressions for
+// Simulator::collect_finished(): multi-phase Workbench runs and repeated
+// simulator spawns must not accumulate finished frames.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "gen/stochastic.hpp"
+#include "machine/params.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm {
+namespace {
+
+/// Everything a run is required to reproduce exactly, independent of how the
+/// kernel schedules it: simulated outcome plus the full stat tables
+/// (counter values and the CSV export, whose doubles are bit-identical when
+/// accumulation order is preserved).
+struct Fingerprint {
+  bool completed = false;
+  sim::Tick simulated_time = 0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t messages = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::string csv;
+};
+
+/// Scoped scheduler-mode override; Simulator reads the mode at construction,
+/// so the Workbench must be built inside the scope.
+class SchedulerMode {
+ public:
+  explicit SchedulerMode(int mode) {
+    sim::set_reference_scheduler_override(mode);
+  }
+  ~SchedulerMode() { sim::set_reference_scheduler_override(-1); }
+  SchedulerMode(const SchedulerMode&) = delete;
+  SchedulerMode& operator=(const SchedulerMode&) = delete;
+};
+
+using WorkloadFn = std::function<trace::Workload()>;
+
+Fingerprint run_fingerprint(int mode, const machine::MachineParams& arch,
+                            const WorkloadFn& make_workload) {
+  SchedulerMode scope(mode);
+  core::Workbench wb(arch);
+  EXPECT_EQ(wb.simulator().fast_paths(), mode == 0);
+  wb.register_all_stats();
+  trace::Workload w = make_workload();
+  const core::RunResult r = wb.run_detailed(w);
+  Fingerprint f;
+  f.completed = r.completed;
+  f.simulated_time = r.simulated_time;
+  f.cpu_cycles = r.simulated_cpu_cycles;
+  f.operations = r.operations;
+  f.messages = r.messages;
+  f.counters = wb.stats().counter_values();
+  std::ostringstream csv;
+  wb.stats().write_csv(csv);
+  f.csv = csv.str();
+  return f;
+}
+
+void expect_invariant(const machine::MachineParams& arch,
+                      const WorkloadFn& make_workload) {
+  const Fingerprint ref = run_fingerprint(1, arch, make_workload);
+  const Fingerprint fast = run_fingerprint(0, arch, make_workload);
+  EXPECT_TRUE(ref.completed);
+  EXPECT_EQ(fast.completed, ref.completed);
+  EXPECT_EQ(fast.simulated_time, ref.simulated_time);
+  EXPECT_EQ(fast.cpu_cycles, ref.cpu_cycles);
+  EXPECT_EQ(fast.operations, ref.operations);
+  EXPECT_EQ(fast.messages, ref.messages);
+  EXPECT_EQ(fast.counters, ref.counters);
+  EXPECT_EQ(fast.csv, ref.csv);
+}
+
+// Message-passing multicomputer: cursors active on every (single-CPU) node,
+// flushed at each communication boundary.
+TEST(TimingInvarianceTest, T805Matmul) {
+  expect_invariant(machine::presets::t805_multicomputer(2, 2), [] {
+    return gen::make_offline_workload(
+        4, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::matmul_spmd(a, s, n, gen::MatmulParams{16});
+        });
+  });
+}
+
+// Cached single node: exercises the hit fast path, the miss walk (cursor
+// flush -> bus transaction), and write-back traffic on two cache levels.
+TEST(TimingInvarianceTest, PowerPc601ComputeKernel) {
+  expect_invariant(machine::presets::powerpc601_node(), [] {
+    return gen::make_offline_workload(
+        1, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::compute_kernel(a, s, n, gen::ComputeKernelParams{4096, 4, 1});
+        });
+  });
+}
+
+// Stochastic all-to-all traffic on the generic RISC mesh: dense same-tick
+// contention at routers and FifoResources.
+TEST(TimingInvarianceTest, StochasticAllToAll) {
+  expect_invariant(machine::presets::generic_risc(2, 2), [] {
+    gen::StochasticDescription d;
+    d.instructions_per_round = 300;
+    d.rounds = 2;
+    d.seed = 7;
+    d.comm.pattern = gen::CommPattern::kAllToAll;
+    return gen::make_stochastic_workload(d, 4);
+  });
+}
+
+// Multi-CPU shared-memory node: cursors stay disabled (coherence snoops make
+// every CPU an observer of its peers), so this pins down the queue/lane
+// overhaul itself — heap layout, pooled callbacks, FifoResource awaiter.
+TEST(TimingInvarianceTest, MultiCpuCoherentNode) {
+  machine::MachineParams arch = machine::presets::powerpc601_node();
+  arch.node.cpu_count = 4;
+  expect_invariant(arch, [] {
+    gen::StochasticDescription d;
+    d.instructions_per_round = 2000;
+    d.rounds = 2;
+    d.seed = 3;
+    d.comm.pattern = gen::CommPattern::kNone;
+    d.memory.data_working_set = 8 * 1024;
+    d.mix.store = 0.2;
+    return gen::make_stochastic_workload(d, 1, 4);
+  });
+}
+
+// Footprint regression: a multi-phase Workbench must not accumulate finished
+// coroutine frames from completed phases (finish_run collects them).
+TEST(TimingInvarianceTest, MultiPhaseRunsCollectFinishedFrames) {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  for (int phase = 0; phase < 4; ++phase) {
+    auto w = gen::make_offline_workload(
+        2, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::stencil_spmd(a, s, n, gen::StencilParams{8, 2});
+        });
+    const auto r = wb.run_detailed(w);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(wb.simulator().owned_processes(), 0u)
+        << "finished frames retained after phase " << phase;
+  }
+}
+
+// Same property at the simulator level: collect_finished() frees exactly the
+// finished processes and leaves live ones alone.
+TEST(TimingInvarianceTest, CollectFinishedKeepsLiveProcesses) {
+  sim::Simulator sim;
+  sim.spawn([](sim::Simulator& s) -> sim::Process {
+    co_await s.delay(10);
+  }(sim));
+  sim.spawn([](sim::Simulator& s) -> sim::Process {
+    co_await s.delay(1000);
+  }(sim));
+  sim.run(100);
+  EXPECT_EQ(sim.owned_processes(), 2u);
+  sim.collect_finished();
+  EXPECT_EQ(sim.owned_processes(), 1u);  // the t=1000 process is still live
+  sim.run();
+  sim.collect_finished();
+  EXPECT_EQ(sim.owned_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace merm

@@ -1,0 +1,104 @@
+// Scheduler invariance at the sweep level: a fault-injected 4x4 grid must
+// produce bit-identical simulated times, operation/message counts, and NIC
+// retry totals whether the kernel runs the fast-path scheduler (local time
+// cursors, same-tick lane, zero-delay inlining) or the reference scheduler
+// (MERM_REFERENCE_SCHED semantics), and whether the engine runs the points
+// serially or on worker threads.  The mode flag is a process-wide atomic
+// read at Simulator construction, so it is safe to flip around threaded
+// engine runs; this file carries the "tsan" label for exactly that reason.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gen/apps.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::explore {
+namespace {
+
+constexpr sim::Tick kUs = sim::kTicksPerMicrosecond;
+
+/// (simulated_time, operations, messages, nic retries) per point.  Kernel
+/// event counts and host seconds are excluded: the fast path exists to
+/// change them.
+using Fingerprint =
+    std::vector<std::tuple<sim::Tick, std::uint64_t, std::uint64_t, double>>;
+
+/// Fault-injected 4x4 mesh points: clean, scripted outage, random loss.
+Sweep build_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::stencil_spmd(a, self, nodes, gen::StencilParams{16, 2});
+        });
+  };
+  sweep.probe = [](core::Workbench& wb, const core::RunResult&) {
+    double retries = 0.0;
+    for (std::uint32_t n = 0; n < wb.machine().node_count(); ++n) {
+      retries += static_cast<double>(wb.machine().comm_node(n).retries.value());
+    }
+    return std::vector<std::pair<std::string, double>>{{"retries", retries}};
+  };
+
+  const auto with_faults = [](machine::MachineParams m, double drop) {
+    m.fault.enabled = true;
+    m.fault.seed = 99;
+    m.fault.drop_probability = drop;
+    m.fault.ack_timeout = 500 * kUs;
+    m.fault.max_retries = 12;
+    return m;
+  };
+  sweep.add(with_faults(machine::presets::t805_multicomputer(4, 4), 0.0),
+            "4x4-clean");
+  machine::MachineParams outage =
+      with_faults(machine::presets::t805_multicomputer(4, 4), 0.0);
+  outage.fault.link_events.push_back(
+      {.a = 0, .b = 1, .down_at = 0, .up_at = 50000 * kUs});
+  sweep.add(outage, "4x4-outage");
+  sweep.add(with_faults(machine::presets::t805_multicomputer(4, 4), 0.1),
+            "4x4-lossy");
+  return sweep;
+}
+
+double metric(const PointResult& p, const std::string& name) {
+  for (const auto& [key, value] : p.metrics) {
+    if (key == name) return value;
+  }
+  return -1.0;
+}
+
+Fingerprint fingerprint(const SweepResult& result) {
+  Fingerprint fp;
+  for (const PointResult& p : result.points) {
+    EXPECT_TRUE(p.done()) << p.label << ": " << p.error;
+    EXPECT_TRUE(p.run.completed) << p.label;
+    fp.emplace_back(p.run.simulated_time, p.run.operations, p.run.messages,
+                    metric(p, "retries"));
+  }
+  return fp;
+}
+
+TEST(SweepSchedInvarianceTest, FaultedGridAgreesAcrossSchedulersAndThreads) {
+  const Sweep sweep = build_grid();
+
+  sim::set_reference_scheduler_override(1);
+  const Fingerprint reference = fingerprint(SweepEngine({.threads = 1}).run(sweep));
+
+  sim::set_reference_scheduler_override(0);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const Fingerprint fast = fingerprint(SweepEngine({.threads = threads}).run(sweep));
+    EXPECT_EQ(fast, reference)
+        << "fast scheduler diverged from reference on " << threads
+        << " thread(s)";
+  }
+  sim::set_reference_scheduler_override(-1);
+}
+
+}  // namespace
+}  // namespace merm::explore
