@@ -8,6 +8,7 @@
 #include "gen/apps.hpp"
 #include "gen/stochastic.hpp"
 #include "memory/hierarchy.hpp"
+#include "obs/trace.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -70,12 +71,17 @@ BENCHMARK(BM_ChannelRendezvous)->Arg(1 << 14);
 // warm and a thrashing cache, using the production dispatch of
 // ComputeNode::run (local time cursor + frame-free fast path on a
 // single-CPU node).
-void RunOperationExecution(benchmark::State& state, bool thrash) {
+void RunOperationExecution(benchmark::State& state, bool thrash,
+                           obs::TraceSink* sink = nullptr) {
   machine::NodeParams node = machine::presets::powerpc601_node().node;
   sim::Simulator sim;
   memory::MemoryHierarchy mem(sim, node);
   cpu::Cpu cpu(sim, node.cpu, mem, 0);
   mem.cursor(0).set_enabled(sim.fast_paths());
+  if (sink != nullptr) {
+    cpu.attach_trace(sink, sink->add_track("bench.cpu0"));
+    mem.bus().attach_trace(sink, sink->add_track("bench.bus"));
+  }
   std::vector<trace::Operation> ops;
   const std::uint64_t span = thrash ? (8u << 20) : (8u << 10);
   for (int i = 0; i < 4096; ++i) {
@@ -116,6 +122,16 @@ void BM_OperationExecutionReference(benchmark::State& state) {
   sim::set_reference_scheduler_override(-1);
 }
 BENCHMARK(BM_OperationExecutionReference)->Arg(0)->Arg(1);
+
+// The same loop with a TraceSink attached: what tracing costs when it is ON
+// (the rings wrap in steady state, so the overwrite path is included).  The
+// ≤2% obs-disabled claim is checked separately against BM_OperationExecution
+// by scripts/check.sh.
+void BM_OperationExecutionTraced(benchmark::State& state) {
+  obs::TraceSink sink;
+  RunOperationExecution(state, state.range(0) != 0, &sink);
+}
+BENCHMARK(BM_OperationExecutionTraced)->Arg(0)->Arg(1);
 
 // Trace generation rates: stochastic vs annotated (offline).
 void BM_StochasticGeneration(benchmark::State& state) {

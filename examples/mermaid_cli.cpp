@@ -17,6 +17,8 @@
 #include "fault/fault.hpp"
 #include "gen/workload_config.hpp"
 #include "machine/config.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace {
 
@@ -31,10 +33,14 @@ int usage() {
       << "  mermaid_cli run --machine <machine> --workload <file>\n"
       << "              [--level detailed|task] [--stats <csv>]\n"
       << "              [--progress <us>] [--faults <spec|file>]\n"
+      << "              [--trace-out <file>]\n"
       << "\n<machine> is a config file path or "
       << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
       << "--faults takes a config file (overlaid on the machine) or an\n"
-      << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n";
+      << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n"
+      << "--trace-out records an execution trace: a .json path gets Chrome\n"
+      << "trace-event JSON (load it in Perfetto / chrome://tracing), any\n"
+      << "other suffix gets the compact binary form (see trace_tool)\n";
   return 2;
 }
 
@@ -103,8 +109,14 @@ struct RunArgs {
   std::string level = "detailed";
   std::string stats_out;
   std::string faults;
+  std::string trace_out;
   std::uint64_t progress_us = 0;
 };
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 int cmd_run(const RunArgs& args) {
   machine::MachineParams params = resolve_machine(args.machine);
@@ -117,6 +129,7 @@ int cmd_run(const RunArgs& args) {
     wb.enable_progress(args.progress_us * sim::kTicksPerMicrosecond,
                        &std::cerr);
   }
+  if (!args.trace_out.empty()) wb.enable_tracing();
 
   core::RunResult result;
   if (args.level == "task") {
@@ -137,6 +150,25 @@ int cmd_run(const RunArgs& args) {
     wb.stats().write_csv(out);
     std::cout << "stats written to " << args.stats_out << "\n";
   }
+  if (!args.trace_out.empty() && result.trace != nullptr) {
+    std::ofstream out(args.trace_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot open " << args.trace_out << "\n";
+      return 1;
+    }
+    if (ends_with(args.trace_out, ".json")) {
+      obs::write_chrome_trace(out, *result.trace, &wb.host_profiler());
+    } else {
+      obs::write_binary_trace(out, *result.trace);
+    }
+    std::uint64_t dropped = 0;
+    for (const auto& t : result.trace->tracks) dropped += t.dropped;
+    std::cout << "trace written to " << args.trace_out << " ("
+              << result.trace->events.size() << " events, "
+              << result.trace->tracks.size() << " tracks";
+    if (dropped > 0) std::cout << ", " << dropped << " dropped";
+    std::cout << ")\n";
+  }
   return result.completed ? 0 : 3;
 }
 
@@ -152,9 +184,19 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "run") {
       RunArgs run;
-      for (std::size_t i = 1; i + 1 < args.size(); i += 2) {
-        const std::string& key = args[i];
-        const std::string& value = args[i + 1];
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key = args[i];
+        std::string value;
+        // Accept both `--flag value` and `--flag=value`.
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+          value = args[++i];
+        } else {
+          std::cerr << "flag " << key << " needs a value\n";
+          return usage();
+        }
         if (key == "--machine") {
           run.machine = value;
         } else if (key == "--workload") {
@@ -165,6 +207,8 @@ int main(int argc, char** argv) {
           run.stats_out = value;
         } else if (key == "--faults") {
           run.faults = value;
+        } else if (key == "--trace-out") {
+          run.trace_out = value;
         } else if (key == "--progress") {
           run.progress_us = std::stoull(value);
         } else {

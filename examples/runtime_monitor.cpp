@@ -10,6 +10,7 @@
 
 #include "core/workbench.hpp"
 #include "gen/apps.hpp"
+#include "obs/sampler.hpp"
 #include "stats/stats.hpp"
 
 int main() {
@@ -20,7 +21,7 @@ int main() {
 
   // Sample the counters a designer watches live: message and byte flow,
   // plus one node's memory traffic as a proxy for compute progress.
-  stats::CounterSampler sampler(
+  obs::CounterSampler sampler(
       wb.stats(), {"t805.net.messages", "t805.net.packets", "t805.net.bytes",
                    "t805.node0.mem.accesses", "t805.node0.comm.recvs"});
   wb.enable_progress(200 * sim::kTicksPerMicrosecond, &std::cout);
@@ -37,13 +38,16 @@ int main() {
   {
     std::ofstream csv("runtime_counters.csv");
     sampler.write_csv(csv);
+    std::ofstream deltas("runtime_deltas.csv");
+    sampler.write_csv_deltas(deltas);
     std::ofstream rates("runtime_rates.csv");
-    sampler.write_csv_deltas(rates);
+    sampler.write_csv_rates(rates);
     std::ofstream all("final_stats.csv");
     wb.stats().write_csv(all);
   }
-  std::cout << "\nwrote runtime_counters.csv (cumulative), runtime_rates.csv "
-               "(per-interval)\nand final_stats.csv ("
+  std::cout << "\nwrote runtime_counters.csv (cumulative), runtime_deltas.csv "
+               "(per-interval), runtime_rates.csv (per-second),\n"
+               "and final_stats.csv ("
             << wb.stats().counter_values().size()
             << " metrics) — gnuplot/pandas-ready.\n";
 

@@ -5,6 +5,12 @@
 //   $ ./examples/trace_tool stats out.trc            # per-node summaries
 //   $ ./examples/trace_tool dump out.trc | head      # text form
 //   $ ./examples/trace_tool convert out.trc out.txt  # binary -> text
+//
+// It also handles the observability layer's execution timelines (the .mobt
+// files mermaid_cli writes with --trace-out):
+//
+//   $ ./examples/trace_tool chrome run.mobt run.json # -> Perfetto-loadable
+//   $ ./examples/trace_tool timeline run.mobt        # per-track summary
 #include <array>
 #include <fstream>
 #include <iostream>
@@ -12,6 +18,8 @@
 #include <string>
 
 #include "gen/apps.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/chrome_trace.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -25,7 +33,11 @@ int usage() {
             << "  trace_tool dump <file>\n"
             << "  trace_tool convert <binary-in> <text-out>\n"
             << "  trace_tool compress <binary-in> <packed-out>\n"
-            << "  trace_tool decompress <packed-in> <binary-out>\n";
+            << "  trace_tool decompress <packed-in> <binary-out>\n"
+            << "  trace_tool chrome <timeline-in> <json-out>   # -> Perfetto\n"
+            << "  trace_tool timeline <timeline-in>            # summarize\n"
+            << "\n<timeline-in> is an execution timeline written by\n"
+            << "'mermaid_cli run --trace-out=<file>' (compact binary form)\n";
   return 2;
 }
 
@@ -115,6 +127,51 @@ int cmd_compress(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+obs::TraceData load_timeline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return obs::read_binary_trace(in);
+}
+
+int cmd_chrome(const std::string& in_path, const std::string& out_path) {
+  const obs::TraceData data = load_timeline(in_path);
+  std::ofstream out(out_path, std::ios::binary);
+  obs::write_chrome_trace(out, data);
+  std::cout << "converted " << in_path << " -> " << out_path << " ("
+            << data.events.size()
+            << " events; open it at https://ui.perfetto.dev)\n";
+  return 0;
+}
+
+int cmd_timeline(const std::string& path) {
+  const obs::TraceData data = load_timeline(path);
+  std::cout << "sealed at " << data.sealed_at << " ps"
+            << (data.hung ? " (run HUNG; open spans are the blockers)" : "")
+            << ", " << data.tracks.size() << " tracks, " << data.events.size()
+            << " events\n";
+  // Per-track event counts by kind, plus any unterminated spans.
+  for (std::size_t t = 0; t < data.tracks.size(); ++t) {
+    std::map<obs::SpanKind, std::uint64_t> by_kind;
+    std::uint64_t open = 0;
+    for (const auto& ev : data.events) {
+      if (ev.track != t) continue;
+      by_kind[ev.kind] += 1;
+      if ((ev.flags & obs::kFlagOpen) != 0) open += 1;
+    }
+    if (by_kind.empty()) continue;
+    std::cout << "  " << data.tracks[t].name << ":";
+    for (const auto& [kind, count] : by_kind) {
+      std::cout << " " << obs::to_string(kind) << "=" << count;
+    }
+    if (open > 0) std::cout << " open=" << open;
+    if (data.tracks[t].dropped > 0) {
+      std::cout << " dropped=" << data.tracks[t].dropped;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_decompress(const std::string& in_path, const std::string& out_path) {
   std::ifstream in(in_path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + in_path);
@@ -143,6 +200,12 @@ int main(int argc, char** argv) {
     }
     if (args.size() == 3 && args[0] == "decompress") {
       return cmd_decompress(args[1], args[2]);
+    }
+    if (args.size() == 3 && args[0] == "chrome") {
+      return cmd_chrome(args[1], args[2]);
+    }
+    if (args.size() == 2 && args[0] == "timeline") {
+      return cmd_timeline(args[1]);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

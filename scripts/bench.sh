@@ -16,9 +16,11 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 MIN_TIME=0.5
 OUT=BENCH_scheduler.json
+OUT_OBS=BENCH_obs.json
 if [[ "${1:-}" == "--smoke" ]]; then
   MIN_TIME=0.05
   OUT=build-release/BENCH_scheduler_smoke.json
+  OUT_OBS=build-release/BENCH_obs_smoke.json
 fi
 
 echo "=== bench: configure + build (build-release/) ==="
@@ -35,11 +37,12 @@ echo "=== bench: detailed-mode slowdown table ==="
 ./build-release/bench/bench_slowdown_detailed \
   | tee build-release/bench_slowdown_detailed.txt
 
-python3 - "$OUT" "$MIN_TIME" <<'PY'
+python3 - "$OUT" "$MIN_TIME" "$OUT_OBS" <<'PY'
 import json, re, sys
 
 out_path = sys.argv[1]
 min_time = float(sys.argv[2])
+obs_path = sys.argv[3]
 with open("build-release/bench_kernel_micro.json") as f:
     micro = json.load(f)
 
@@ -100,6 +103,41 @@ print(f"wrote {out_path}")
 if fast and ref:
     print(f"detailed inner loop: {fast/1e6:.1f}M ops/s fast "
           f"vs {ref/1e6:.1f}M ops/s reference ({fast/ref:.1f}x)")
+
+# The observability series: the detailed inner loop with a TraceSink
+# attached vs detached.  The detached figure equals BM_OperationExecution
+# by construction (hooks are branch-on-null); the attached one prices
+# recording itself, wrap included.
+obs = {
+    "generated_by": "scripts/bench.sh",
+    "series": "obs",
+    "build_type": "Release",
+    "benchmark_min_time_s": min_time,
+    "simulated_ops_per_sec": {
+        "detailed_cache_resident_untraced":
+            rate.get("BM_OperationExecution/0"),
+        "detailed_cache_resident_traced":
+            rate.get("BM_OperationExecutionTraced/0"),
+        "detailed_thrashing_untraced": rate.get("BM_OperationExecution/1"),
+        "detailed_thrashing_traced":
+            rate.get("BM_OperationExecutionTraced/1"),
+    },
+}
+pairs = obs["simulated_ops_per_sec"]
+overhead = {}
+for key in ("cache_resident", "thrashing"):
+    off = pairs.get(f"detailed_{key}_untraced")
+    on = pairs.get(f"detailed_{key}_traced")
+    if off and on:
+        overhead[key] = round(off / on, 3)
+if overhead:
+    obs["traced_slowdown"] = overhead
+with open(obs_path, "w") as f:
+    json.dump(obs, f, indent=2)
+    f.write("\n")
+print(f"wrote {obs_path}")
+for key, x in overhead.items():
+    print(f"tracing ON costs {key}: {x:.2f}x")
 PY
 
 echo "=== bench.sh: done ==="

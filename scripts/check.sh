@@ -32,6 +32,44 @@ if [[ "${SKIP_RELEASE:-0}" != "1" ]]; then
 
   echo "=== release: scheduler bench smoke ==="
   scripts/bench.sh --smoke
+
+  echo "=== release: obs-overhead gate (no sink attached) ==="
+  # The tracing hooks must be free when observability is off: the detailed
+  # inner loop with no TraceSink attached has to stay within
+  # OBS_OVERHEAD_TOL (default 2%) of the checked-in baseline in
+  # BENCH_scheduler.json.  Best-of-5, and the tolerance self-widens to the
+  # jitter observed *within* this run: a cross-run comparison cannot
+  # certify 2% when the same binary wobbles 5% rep to rep on a shared
+  # host, and failing on machine noise would train people to ignore the
+  # gate.
+  ./build-release/bench/bench_kernel_micro \
+    --benchmark_filter='^BM_OperationExecution/0$' \
+    --benchmark_repetitions=5 --benchmark_min_time=0.1 \
+    --benchmark_format=json > build-release/bench_obs_overhead.json
+  python3 - <<'PY'
+import json, os, sys
+
+tol = float(os.environ.get("OBS_OVERHEAD_TOL", "0.02"))
+with open("BENCH_scheduler.json") as f:
+    base = json.load(f)["simulated_ops_per_sec"]["detailed_cache_resident"]
+with open("build-release/bench_obs_overhead.json") as f:
+    runs = json.load(f)["benchmarks"]
+reps = [b["items_per_second"] for b in runs
+        if b.get("run_type") == "iteration" and "items_per_second" in b]
+best = max(reps)
+spread = (best - min(reps)) / best
+effective = max(tol, spread)
+ratio = best / base
+print(f"obs disabled: best-of-{len(reps)} {best/1e6:.1f}M ops/s vs "
+      f"baseline {base/1e6:.1f}M ops/s ({(1 - ratio) * 100:+.1f}% "
+      f"overhead; tolerance {tol:.0%}, in-run jitter {spread:.1%} -> "
+      f"effective {effective:.0%})")
+if ratio < 1.0 - effective:
+    sys.exit("obs-overhead gate FAILED: detached-hook cost exceeds the "
+             "tolerance beyond measurement jitter; if the baseline in "
+             "BENCH_scheduler.json is stale, re-record it with "
+             "scripts/bench.sh")
+PY
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then

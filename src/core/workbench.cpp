@@ -21,6 +21,7 @@ void RunResult::print(std::ostream& os) const {
   os << "  host time:        " << std::fixed << std::setprecision(3)
      << host_seconds << " s\n";
   os << "  footprint:        " << sim::format_bytes(footprint_bytes) << "\n";
+  os << "  peak queue depth: " << peak_queue_depth << "\n";
   os << "  slowdown/proc:    " << std::setprecision(1)
      << slowdown_per_processor() << " (" << processors << " processors)\n";
 }
@@ -44,6 +45,14 @@ void Workbench::audit_run_thread() {
 
 void Workbench::register_all_stats() {
   machine_->register_stats(registry_, params_.name);
+}
+
+obs::TraceSink& Workbench::enable_tracing(std::size_t ring_capacity) {
+  if (!sink_) {
+    sink_ = std::make_unique<obs::TraceSink>(ring_capacity);
+    machine_->attach_trace(*sink_);
+  }
+  return *sink_;
 }
 
 void Workbench::enable_progress(sim::Tick interval, std::ostream* echo) {
@@ -76,10 +85,13 @@ RunResult Workbench::run_impl(trace::Workload& workload,
                               node::SimulationLevel level, sim::Tick until,
                               std::vector<node::TaskRecorder>* recorders) {
   audit_run_thread();
-  std::vector<sim::ProcessHandle> handles =
-      level == node::SimulationLevel::kDetailed
-          ? machine_->launch_detailed(workload, recorders)
-          : machine_->launch_task_level(workload);
+  std::vector<sim::ProcessHandle> handles;
+  {
+    const obs::HostProfiler::Scope scope(profiler_, "launch");
+    handles = level == node::SimulationLevel::kDetailed
+                  ? machine_->launch_detailed(workload, recorders)
+                  : machine_->launch_task_level(workload);
+  }
   return finish_run(handles, level, until, machine_->total_ops_executed());
 }
 
@@ -125,14 +137,23 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
   }
 
   HostTimer timer;
-  const sim::Simulator::RunResult sim_result = sim_->run(until);
+  sim::Simulator::RunResult sim_result;
+  {
+    const obs::HostProfiler::Scope scope(profiler_, "run");
+    sim_result = sim_->run(until);
+  }
   const double host_seconds = timer.elapsed_seconds();
 
   RunResult r;
   r.machine_name = params_.name;
   r.level = level;
   r.completed = node::Machine::all_finished(handles);
-  if (!r.completed && sim_result == sim::Simulator::RunResult::kIdle) {
+  const bool hung =
+      !r.completed && sim_result == sim::Simulator::RunResult::kIdle;
+  // Seal before any hang throw so blocked operations export as open spans
+  // even when the caller handles the run as a HangError.
+  if (sink_) sink_->seal(sim_->now(), hung);
+  if (hung) {
     // The queue drained with work still blocked: a genuine hang, not a
     // time/event-limit cutoff.  Capture who is stuck on what.
     r.hang_diagnostic = sim_->hang_diagnostic();
@@ -148,6 +169,10 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
   r.messages = machine_->total_messages();
   r.host_seconds = host_seconds;
   r.footprint_bytes = machine_->footprint_bytes();
+  r.peak_queue_depth = sim_->peak_queue_depth();
+  if (sink_) {
+    r.trace = std::make_shared<const obs::TraceData>(sink_->to_data());
+  }
   r.processors = level == node::SimulationLevel::kDetailed
                      ? machine_->node_count() * machine_->cpus_per_node()
                      : machine_->node_count();

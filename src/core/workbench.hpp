@@ -24,6 +24,8 @@
 #include "core/host.hpp"
 #include "machine/params.hpp"
 #include "node/machine.hpp"
+#include "obs/host_profiler.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
 #include "trace/stream.hpp"
@@ -48,6 +50,12 @@ struct RunResult {
   double host_seconds = 0.0;
   std::size_t footprint_bytes = 0;
   std::uint32_t processors = 1;  ///< simulated processors (nodes * cpus)
+  /// High-water mark of the kernel event queue over the run (simulation-cost
+  /// metric alongside footprint/slowdown).
+  std::size_t peak_queue_depth = 0;
+  /// Sealed trace snapshot when tracing was enabled (Workbench::
+  /// enable_tracing), null otherwise.  Shared so RunResult stays copyable.
+  std::shared_ptr<const obs::TraceData> trace;
 
   /// Host cycles spent per simulated CPU cycle, per simulated processor —
   /// the paper's slowdown metric.
@@ -120,7 +128,19 @@ class Workbench {
   /// Attaches a counter sampler to the progress schedule (requires
   /// enable_progress); it is sampled once per interval during runs — the
   /// run-time visualization feed of Fig. 1.
-  void attach_sampler(stats::CounterSampler* sampler) { sampler_ = sampler; }
+  void attach_sampler(obs::CounterSampler* sampler) { sampler_ = sampler; }
+
+  /// Creates the trace sink (idempotent) and attaches it to every model
+  /// component; subsequent runs record spans/instants into per-process
+  /// tracks and finish with RunResult::trace set.  With tracing never
+  /// enabled, every hook is a single branch-on-null.
+  obs::TraceSink& enable_tracing(
+      std::size_t ring_capacity = obs::TraceSink::kDefaultRingCapacity);
+  obs::TraceSink* trace_sink() { return sink_.get(); }
+
+  /// Host-side phase timer: launch/run phases are recorded per run.  Host
+  /// times are nondeterministic and never feed back into simulated results.
+  obs::HostProfiler& host_profiler() { return profiler_; }
 
   /// Runs a detailed (operation-level) workload to completion (or `until`).
   RunResult run_detailed(trace::Workload& workload,
@@ -184,7 +204,9 @@ class Workbench {
   std::unique_ptr<vsm::VsmSystem> vsm_;
   stats::StatRegistry registry_;
   stats::TimeSeries progress_;
-  stats::CounterSampler* sampler_ = nullptr;
+  std::unique_ptr<obs::TraceSink> sink_;
+  obs::HostProfiler profiler_;
+  obs::CounterSampler* sampler_ = nullptr;
   sim::Tick progress_interval_ = 0;
   std::ostream* progress_echo_ = nullptr;
   bool throw_on_hang_ = false;

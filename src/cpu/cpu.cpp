@@ -35,14 +35,30 @@ sim::Task<> Cpu::execute(const trace::Operation& op) {
 
   if (trace::is_memory_access(op.code)) {
     memory_ops.add();
+    const sim::Tick walk_begin = sim_.now() + cursor.pending();
     co_await memory_.access(index_,
                             op.code == OpCode::kLoad
                                 ? memory::AccessType::kLoad
                                 : memory::AccessType::kStore,
                             op.value);
+    if (trace_ != nullptr) {
+      const sim::Tick walk_end = sim_.now() + cursor.pending();
+      if (walk_end > walk_begin) {
+        trace_->span(trace_track_, obs::SpanKind::kMissWalk, walk_begin,
+                     walk_end, static_cast<std::int64_t>(op.value));
+      }
+    }
   } else if (trace::is_instruction_fetch(op.code)) {
     fetch_ops.add();
+    const sim::Tick walk_begin = sim_.now() + cursor.pending();
     co_await memory_.access(index_, memory::AccessType::kIFetch, op.value);
+    if (trace_ != nullptr) {
+      const sim::Tick walk_end = sim_.now() + cursor.pending();
+      if (walk_end > walk_begin) {
+        trace_->span(trace_track_, obs::SpanKind::kMissWalk, walk_begin,
+                     walk_end, static_cast<std::int64_t>(op.value));
+      }
+    }
   } else {
     arith_ops.add();
   }

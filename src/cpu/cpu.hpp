@@ -13,6 +13,7 @@
 
 #include "machine/params.hpp"
 #include "memory/hierarchy.hpp"
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
@@ -41,6 +42,15 @@ class Cpu {
   std::uint32_t index() const { return index_; }
   const sim::Clock& clock() const { return clock_; }
 
+  /// Observability hook: slow-path memory walks (execute() only runs one
+  /// when the fast path declined — a miss, coherence action or write-through)
+  /// record kMissWalk spans on `track`.  The hot loop (try_execute_fast) is
+  /// deliberately unhooked.
+  void attach_trace(obs::TraceSink* sink, obs::TrackId track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+
   /// Busy time so far (ticks the CPU spent executing operations).
   sim::Tick busy_ticks() const { return busy_ticks_; }
   /// Busy time expressed in this CPU's cycles.
@@ -62,6 +72,8 @@ class Cpu {
   memory::MemoryHierarchy& memory_;
   std::uint32_t index_;
   sim::Tick busy_ticks_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_ = obs::kNoTrack;
 };
 
 }  // namespace merm::cpu

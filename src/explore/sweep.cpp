@@ -300,6 +300,7 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
       // route around) must surface as a failure row, not a silent
       // completed=false result.
       wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
+      if (sweep.configure) sweep.configure(wb, point, i);
       trace::Workload workload = factory(point.params, pr.seed);
       pr.run = point.level == node::SimulationLevel::kDetailed
                    ? wb.run_detailed(workload)
@@ -309,6 +310,22 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
       // of the sweep.
       wb.simulator().collect_finished();
       if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
+      if (opts_.host_metrics) {
+        const obs::HostProfiler& prof = wb.host_profiler();
+        pr.metrics.emplace_back("host.launch_s",
+                                prof.total_seconds("launch"));
+        pr.metrics.emplace_back("host.run_s", prof.total_seconds("run"));
+        pr.metrics.emplace_back(
+            "host.events_per_s",
+            pr.run.host_seconds > 0.0
+                ? static_cast<double>(pr.run.events_processed) /
+                      pr.run.host_seconds
+                : 0.0);
+        pr.metrics.emplace_back(
+            "host.peak_queue",
+            static_cast<double>(pr.run.peak_queue_depth));
+      }
+      if (sweep.inspect) sweep.inspect(wb, pr.run, i);
       pr.status = PointResult::Status::kDone;
     } catch (const std::exception& e) {
       pr.status = PointResult::Status::kFailed;

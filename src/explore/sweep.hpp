@@ -57,6 +57,17 @@ struct ExperimentPoint {
   WorkloadFactory workload;      ///< overrides Sweep::workload when set
 };
 
+/// Prepares a point's fresh workbench before its run (enable tracing, attach
+/// samplers, tweak progress).  Runs on the worker thread; must only touch
+/// the passed workbench.
+using PointConfigure = std::function<void(
+    core::Workbench& wb, const ExperimentPoint& point, std::size_t index)>;
+
+/// Examines a point's workbench after its run and probe, while the model is
+/// still alive — e.g. exporting the point's trace to a per-point file.
+using PointInspect = std::function<void(
+    core::Workbench& wb, const core::RunResult& r, std::size_t index)>;
+
 /// Deterministic per-point seed: splitmix64 finalization of (base, index).
 /// A function of grid position only — never of execution order, thread id,
 /// or wall clock — which is what keeps parallel sweeps bit-identical to
@@ -69,6 +80,8 @@ struct Sweep {
   node::SimulationLevel level = node::SimulationLevel::kDetailed;
   std::uint64_t base_seed = 0x6d65726dULL;  // "merm"
   MetricProbe probe;             ///< optional post-run metric extraction
+  PointConfigure configure;      ///< optional pre-run workbench setup
+  PointInspect inspect;          ///< optional post-run workbench inspection
   /// Treat a hung run (event queue drained, processes blocked) as a point
   /// failure carrying the hang diagnostic, rather than a "done" point with
   /// completed=false.  Implied for points whose params.fault is enabled —
@@ -138,6 +151,12 @@ struct SweepOptions {
   /// grid keeps running; run()/run_into() then return normally.  When false
   /// (default) the first failure cancels unstarted points and is rethrown.
   bool keep_going = false;
+  /// When true, each done point gains host-cost metric columns
+  /// (host.launch_s, host.run_s, host.events_per_s, host.peak_queue) from
+  /// the workbench's profiler.  Off by default: host times are
+  /// nondeterministic, and the default output must stay byte-identical
+  /// between serial and threaded sweeps.
+  bool host_metrics = false;
 };
 
 /// Executes experiment grids on a thread pool.

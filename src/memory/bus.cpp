@@ -21,6 +21,7 @@ bool Bus::try_transaction_fast(std::uint64_t bytes, sim::Cycles extra_cycles,
   // Uncontended grant: the general path would have acquired immediately and
   // recorded a zero queue wait, so mirror its statistics exactly.
   queue_wait_ticks.add(0.0);
+  queue_wait_ns.add(0);
   const sim::Tick hold = occupancy(bytes, extra_cycles);
   cursor.advance(hold);
   busy_ticks_ += hold;
@@ -32,7 +33,13 @@ bool Bus::try_transaction_fast(std::uint64_t bytes, sim::Cycles extra_cycles,
 sim::Task<> Bus::transaction(std::uint64_t bytes, sim::Cycles extra_cycles) {
   const sim::Tick requested = sim_.now();
   co_await grant_.acquire();
-  queue_wait_ticks.add(static_cast<double>(sim_.now() - requested));
+  const sim::Tick wait = sim_.now() - requested;
+  queue_wait_ticks.add(static_cast<double>(wait));
+  queue_wait_ns.add(wait / sim::kTicksPerNanosecond);
+  if (trace_ != nullptr && wait > 0) {
+    trace_->span(trace_track_, obs::SpanKind::kBusWait, requested, sim_.now(),
+                 static_cast<std::int64_t>(bytes));
+  }
 
   const sim::Tick hold = occupancy(bytes, extra_cycles);
   co_await sim_.delay(hold);
@@ -46,6 +53,7 @@ void Bus::register_stats(stats::StatRegistry& reg, const std::string& prefix) {
   reg.register_counter(prefix + ".transactions", &transactions);
   reg.register_counter(prefix + ".bytes", &bytes_transferred);
   reg.register_accumulator(prefix + ".queue_wait_ticks", &queue_wait_ticks);
+  reg.register_histogram(prefix + ".queue_wait_ns", &queue_wait_ns);
 }
 
 }  // namespace merm::memory

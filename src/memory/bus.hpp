@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/cursor.hpp"
 #include "sim/resource.hpp"
@@ -47,10 +48,18 @@ class Bus {
   const sim::Clock& clock() const { return clock_; }
   std::uint32_t width_bytes() const { return width_; }
 
+  /// Observability hook: contended grants record kBusWait spans on `track`.
+  /// With no sink attached the hook is one branch-on-null.
+  void attach_trace(obs::TraceSink* sink, obs::TrackId track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+
   // -- statistics --
   stats::Counter transactions;
   stats::Counter bytes_transferred;
   stats::Accumulator queue_wait_ticks;  ///< time spent waiting for grant
+  stats::Log2Histogram queue_wait_ns;   ///< grant-wait distribution (ns)
   sim::Tick busy_ticks() const { return busy_ticks_; }
   /// Fraction of time the bus was occupied up to `now`.
   double utilization(sim::Tick now) const {
@@ -68,6 +77,8 @@ class Bus {
   sim::Cycles arbitration_cycles_;
   sim::FifoResource grant_;
   sim::Tick busy_ticks_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_ = obs::kNoTrack;
 };
 
 }  // namespace merm::memory

@@ -132,21 +132,39 @@ sim::Task<TransmitOutcome> Network::transmit(NodeId src, NodeId dst,
         !fault_->reachable(src, dst)) {
       messages_unreachable.add();
       out.delivered = false;
+      if (trace_ != nullptr) {
+        trace_->instant(trace_tracks_[src], obs::SpanKind::kDrop, sim_.now(),
+                        static_cast<std::int64_t>(bytes), dst);
+      }
       co_return out;
     }
     if (!control && fault_->draw_drop()) {
       // Lost in transit: the sender notices only via ack timeout.
       messages_dropped.add();
       out.delivered = false;
+      if (trace_ != nullptr) {
+        trace_->instant(trace_tracks_[src], obs::SpanKind::kDrop, sim_.now(),
+                        static_cast<std::int64_t>(bytes), dst);
+      }
       co_return out;
     }
   }
   if (!plan_route(src, dst, hops, out.rerouted)) {
     messages_unreachable.add();
     out.delivered = false;
+    if (trace_ != nullptr) {
+      trace_->instant(trace_tracks_[src], obs::SpanKind::kDrop, sim_.now(),
+                      static_cast<std::int64_t>(bytes), dst);
+    }
     co_return out;
   }
-  if (out.rerouted) messages_rerouted.add();
+  if (out.rerouted) {
+    messages_rerouted.add();
+    if (trace_ != nullptr) {
+      trace_->instant(trace_tracks_[src], obs::SpanKind::kReroute, sim_.now(),
+                      static_cast<std::int64_t>(bytes), dst);
+    }
+  }
 
   const sim::Tick start = sim_.now();
   const std::uint32_t n_packets = packet_count(bytes);
@@ -166,6 +184,12 @@ sim::Task<TransmitOutcome> Network::transmit(NodeId src, NodeId dst,
     // A link or node died under the message mid-flight.
     messages_dropped.add();
     out.delivered = false;
+    if (trace_ != nullptr) {
+      trace_->span(trace_tracks_[src], obs::SpanKind::kLinkTransit, start,
+                   sim_.now(), static_cast<std::int64_t>(bytes), dst, 0);
+      trace_->instant(trace_tracks_[src], obs::SpanKind::kDrop, sim_.now(),
+                      static_cast<std::int64_t>(bytes), dst);
+    }
     co_return out;
   }
   bytes_delivered.add(bytes);
@@ -173,11 +197,21 @@ sim::Task<TransmitOutcome> Network::transmit(NodeId src, NodeId dst,
     messages_corrupted.add();
     out.corrupted = true;
     out.delivered = false;
+    if (trace_ != nullptr) {
+      trace_->span(trace_tracks_[src], obs::SpanKind::kLinkTransit, start,
+                   sim_.now(), static_cast<std::int64_t>(bytes), dst, 0);
+      trace_->instant(trace_tracks_[src], obs::SpanKind::kDrop, sim_.now(),
+                      static_cast<std::int64_t>(bytes), dst);
+    }
     co_return out;
   }
   message_latency_ticks.add(static_cast<double>(sim_.now() - start));
   message_hops.add(static_cast<double>(hops.size()));
   latency_histogram.add((sim_.now() - start) / sim::kTicksPerNanosecond);
+  if (trace_ != nullptr) {
+    trace_->span(trace_tracks_[src], obs::SpanKind::kLinkTransit, start,
+                 sim_.now(), static_cast<std::int64_t>(bytes), dst, 1);
+  }
   co_return out;
 }
 
@@ -303,6 +337,7 @@ void Network::register_stats(stats::StatRegistry& reg,
   reg.register_counter(prefix + ".bytes", &bytes_delivered);
   reg.register_accumulator(prefix + ".latency_ticks", &message_latency_ticks);
   reg.register_accumulator(prefix + ".hops", &message_hops);
+  reg.register_histogram(prefix + ".latency_ns", &latency_histogram);
   if (fault_ != nullptr) {
     reg.register_counter(prefix + ".dropped", &messages_dropped);
     reg.register_counter(prefix + ".unreachable", &messages_unreachable);

@@ -28,6 +28,7 @@
 #include "machine/params.hpp"
 #include "network/fault_hooks.hpp"
 #include "network/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -125,6 +126,14 @@ class Network {
   stats::Counter messages_rerouted;     ///< detoured around dead elements
   stats::Counter packets_dropped;       ///< individual packets lost on hops
 
+  /// Observability hook: each transmit records a kLinkTransit span (plus
+  /// kReroute/kDrop instants) on the per-source-node track
+  /// `tracks[src]`.  With no sink attached every hook is a branch-on-null.
+  void attach_trace(obs::TraceSink* sink, std::vector<obs::TrackId> tracks) {
+    trace_ = sink;
+    trace_tracks_ = std::move(tracks);
+  }
+
   /// Mean link utilization at time `now`.
   double mean_link_utilization(sim::Tick now) const;
 
@@ -174,6 +183,8 @@ class Network {
   Topology topology_;
   std::vector<std::vector<std::unique_ptr<Link>>> links_;
   FaultInjector* fault_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<obs::TrackId> trace_tracks_;  ///< one per source node
 };
 
 }  // namespace merm::network

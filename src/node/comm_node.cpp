@@ -84,6 +84,10 @@ sim::Process CommNode::reliable_transmission(Message msg) {
       co_return;
     }
     retries.add();
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, obs::SpanKind::kNicRetry, sim_.now(),
+                      attempt + 1, msg.dst, msg.tag);
+    }
     co_await sim_.delay(backoff(fault_->retry_backoff, attempt));
   }
 }
@@ -106,6 +110,10 @@ sim::Process CommNode::ack_return(NodeId to, std::shared_ptr<AckControl> ctl) {
     msg_drops.add();
     if (attempt + 1 < max_attempts) {
       retries.add();
+      if (trace_ != nullptr) {
+        trace_->instant(trace_track_, obs::SpanKind::kNicRetry, sim_.now(),
+                        attempt + 1, to, 0);
+      }
       co_await sim_.delay(backoff(fault_->retry_backoff, attempt));
     }
   }
@@ -131,6 +139,11 @@ sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
   BlockedOp blocked{dst, tag, bytes, blocked_from};
   blocked_sends_.push_back(&blocked);
   BlockedScope scope{&blocked_sends_, &blocked};
+  const obs::SpanToken span =
+      trace_ != nullptr
+          ? trace_->open(trace_track_, obs::SpanKind::kSendBlock, blocked_from,
+                         static_cast<std::int64_t>(bytes), dst, tag)
+          : obs::kNoSpan;
 
   if (dst == id_ || fault_ == nullptr) {
     if (dst == id_) {
@@ -158,9 +171,15 @@ sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
         throw RetryExhaustedError(id_, dst, tag, attempt + 1);
       }
       retries.add();
+      if (trace_ != nullptr) {
+        trace_->instant(trace_track_, obs::SpanKind::kNicRetry, sim_.now(),
+                        attempt + 1, dst, tag);
+      }
     }
   }
   send_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+  send_attempts.add(blocked.attempts);
+  if (span != obs::kNoSpan) trace_->close(span, sim_.now());
 }
 
 sim::Task<> CommNode::op_asend(NodeId dst, std::uint64_t bytes,
@@ -204,8 +223,14 @@ sim::Task<> CommNode::op_recv(NodeId src, std::int32_t tag) {
   pr.since = sim_.now();
   pending_.push_back(&pr);
   const sim::Tick blocked_from = sim_.now();
+  const obs::SpanToken span =
+      trace_ != nullptr
+          ? trace_->open(trace_track_, obs::SpanKind::kRecvBlock, blocked_from,
+                         0, src == trace::kNoNode ? -1 : src, tag)
+          : obs::kNoSpan;
   co_await pr.ready;
   recv_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+  if (span != obs::kNoSpan) trace_->close(span, sim_.now());
   co_await sim_.delay(copy_time(pr.matched.bytes));
   consume(pr.matched);
 }
@@ -229,8 +254,14 @@ sim::Task<CommNode::RecvInfo> CommNode::op_recv_filtered(RecvFilter filter) {
   pr.since = sim_.now();
   pending_.push_back(&pr);
   const sim::Tick blocked_from = sim_.now();
+  const obs::SpanToken span =
+      trace_ != nullptr
+          ? trace_->open(trace_track_, obs::SpanKind::kRecvBlock, blocked_from,
+                         0, -1, 0)
+          : obs::kNoSpan;
   co_await pr.ready;
   recv_block_ticks.add(static_cast<double>(sim_.now() - blocked_from));
+  if (span != obs::kNoSpan) trace_->close(span, sim_.now());
   co_await sim_.delay(copy_time(pr.matched.bytes));
   consume(pr.matched);
   co_return RecvInfo{pr.matched.src, pr.matched.tag, pr.matched.bytes};
@@ -262,7 +293,11 @@ sim::Task<> CommNode::op_arecv(NodeId src, std::int32_t tag) {
 sim::Task<> CommNode::op_compute(sim::Tick duration) {
   compute_ops.add();
   compute_ticks_ += duration;
+  const sim::Tick begin = sim_.now();
   co_await sim_.delay(duration);
+  if (trace_ != nullptr && duration > 0) {
+    trace_->span(trace_track_, obs::SpanKind::kCompute, begin, sim_.now());
+  }
 }
 
 void CommNode::deliver(const Message& msg) {
@@ -303,6 +338,7 @@ void CommNode::deliver(const Message& msg) {
     }
   }
   arrived_.push_back(msg);
+  arrived_depth.add(arrived_.size());
 }
 
 void CommNode::consume(const Message& msg) {
@@ -373,7 +409,9 @@ void CommNode::register_stats(stats::StatRegistry& reg,
   reg.register_counter(prefix + ".compute_ops", &compute_ops);
   reg.register_accumulator(prefix + ".send_block_ticks", &send_block_ticks);
   reg.register_accumulator(prefix + ".recv_block_ticks", &recv_block_ticks);
+  reg.register_histogram(prefix + ".arrived_depth", &arrived_depth);
   if (fault_ != nullptr) {
+    reg.register_histogram(prefix + ".send_attempts", &send_attempts);
     reg.register_counter(prefix + ".retries", &retries);
     reg.register_counter(prefix + ".timeouts", &timeouts);
     reg.register_counter(prefix + ".msg_drops", &msg_drops);

@@ -32,6 +32,7 @@
 
 #include "machine/params.hpp"
 #include "network/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
@@ -89,6 +90,15 @@ class CommNode {
 
   NodeId id() const { return id_; }
 
+  /// Observability hook: blocking sends/recvs record open kSendBlock /
+  /// kRecvBlock spans on `track` (left open at seal time when the run hangs
+  /// — the hang diagnostic, visualized), retransmissions record kNicRetry
+  /// instants.  Branch-on-null with no sink attached.
+  void attach_trace(obs::TraceSink* sink, obs::TrackId track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+
   /// Dispatches one communication-model operation (Table 1, lower half).
   sim::Task<> issue(const trace::Operation& op);
 
@@ -135,6 +145,10 @@ class CommNode {
   stats::Accumulator send_block_ticks;  ///< sync-send wait for ack
   stats::Accumulator recv_block_ticks;  ///< recv wait for arrival
   stats::Counter compute_ops;
+  /// Unclaimed-message backlog observed as deliveries queue up.
+  stats::Log2Histogram arrived_depth;
+  /// Transmission attempts per completed sync send (1 = first try).
+  stats::Log2Histogram send_attempts;
   sim::Tick compute_ticks() const { return compute_ticks_; }
 
   // -- fault-tolerance statistics (stay zero without fault mode) --
@@ -241,6 +255,8 @@ class CommNode {
   std::unordered_map<std::uint64_t, std::uint8_t> seq_state_;
   std::uint64_t seq_counter_ = 0;
   sim::Tick compute_ticks_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_ = obs::kNoTrack;
 };
 
 }  // namespace merm::node

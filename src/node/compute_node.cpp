@@ -15,11 +15,22 @@ ComputeNode::ComputeNode(sim::Simulator& sim,
   }
 }
 
+void ComputeNode::attach_trace(obs::TraceSink* sink,
+                               std::vector<obs::TrackId> cpu_tracks) {
+  trace_ = sink;
+  cpu_tracks_ = std::move(cpu_tracks);
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    cpus_[c]->attach_trace(sink, cpu_tracks_[c]);
+  }
+}
+
 sim::Process ComputeNode::run(std::uint32_t cpu_index,
                               trace::OperationSource& source, CommNode* comm,
                               TaskRecorder* recorder,
                               SharedMemoryService* shm) {
   cpu::Cpu& cpu = *cpus_[cpu_index];
+  const obs::TrackId track =
+      trace_ != nullptr ? cpu_tracks_[cpu_index] : obs::kNoTrack;
   // Two-tier time accounting (DESIGN.md): on a single-CPU node this process
   // is the sole client of the node's caches and bus, so pure compute and
   // hit-latency time may accumulate on a local cursor and is realized as
@@ -31,6 +42,10 @@ sim::Process ComputeNode::run(std::uint32_t cpu_index,
   cursor.set_enabled(sim_.fast_paths() && memory_->cpu_count() == 1 &&
                      shm == nullptr);
   if (recorder != nullptr) recorder->start(sim_.now());
+  // Compute segments span between communication boundaries — the same
+  // TimeCursor flush points the TaskRecorder marks, so in cursor mode no
+  // extra flushes are introduced and deferred time stays deferred.
+  sim::Tick segment_start = sim_.now();
 
   while (auto op = source.next()) {
     if (trace::is_computational(op->code)) {
@@ -61,15 +76,23 @@ sim::Process ComputeNode::run(std::uint32_t cpu_index,
       // observes it and the communication becomes globally visible.
       co_await cursor.flush();
       if (recorder != nullptr) recorder->mark_communication(sim_.now(), *op);
+      if (trace_ != nullptr && sim_.now() > segment_start) {
+        trace_->span(track, obs::SpanKind::kCompute, segment_start,
+                     sim_.now());
+      }
       source.global_event_issued(sim_.now());
       co_await comm->issue(*op);
       source.global_event_done(sim_.now());
       if (recorder != nullptr) recorder->resume(sim_.now());
+      segment_start = sim_.now();
     }
   }
   co_await cursor.flush();
   cursor.set_enabled(false);
   if (recorder != nullptr) recorder->finish(sim_.now());
+  if (trace_ != nullptr && sim_.now() > segment_start) {
+    trace_->span(track, obs::SpanKind::kCompute, segment_start, sim_.now());
+  }
 }
 
 std::size_t ComputeNode::footprint_bytes() const {

@@ -17,6 +17,7 @@
 #include "machine/params.hpp"
 #include "memory/hierarchy.hpp"
 #include "node/comm_node.hpp"
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/simulator.hpp"
 #include "trace/stream.hpp"
@@ -92,6 +93,12 @@ class ComputeNode {
                    CommNode* comm, TaskRecorder* recorder = nullptr,
                    SharedMemoryService* shm = nullptr);
 
+  /// Observability hook: each CPU's run loop records kCompute segment spans
+  /// (between communication boundaries, i.e. at TimeCursor flush points) on
+  /// cpu_tracks[c], and the CPU itself records kMissWalk spans there.
+  void attach_trace(obs::TraceSink* sink,
+                    std::vector<obs::TrackId> cpu_tracks);
+
   /// Simulator memory consumed by this node's model state.
   std::size_t footprint_bytes() const;
 
@@ -102,6 +109,8 @@ class ComputeNode {
   NodeId id_;
   std::unique_ptr<memory::MemoryHierarchy> memory_;
   std::vector<std::unique_ptr<cpu::Cpu>> cpus_;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<obs::TrackId> cpu_tracks_;
 };
 
 }  // namespace merm::node

@@ -41,6 +41,25 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
   });
 }
 
+void Machine::attach_trace(obs::TraceSink& sink) {
+  std::vector<obs::TrackId> net_tracks;
+  net_tracks.reserve(node_count());
+  for (std::uint32_t n = 0; n < node_count(); ++n) {
+    const std::string base = "node" + std::to_string(n);
+    std::vector<obs::TrackId> cpu_tracks;
+    cpu_tracks.reserve(cpus_per_node());
+    for (std::uint32_t c = 0; c < cpus_per_node(); ++c) {
+      cpu_tracks.push_back(sink.add_track(base + ".cpu" + std::to_string(c)));
+    }
+    compute_nodes_[n]->attach_trace(&sink, std::move(cpu_tracks));
+    comm_nodes_[n]->attach_trace(&sink, sink.add_track(base + ".comm"));
+    net_tracks.push_back(sink.add_track(base + ".net"));
+    compute_nodes_[n]->memory().bus().attach_trace(
+        &sink, sink.add_track(base + ".bus"));
+  }
+  network_->attach_trace(&sink, std::move(net_tracks));
+}
+
 std::vector<sim::ProcessHandle> Machine::launch_detailed(
     trace::Workload& workload, std::vector<TaskRecorder>* recorders) {
   const std::uint32_t cpus = cpus_per_node();

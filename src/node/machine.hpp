@@ -65,6 +65,11 @@ class Machine {
   /// deadlocked workloads (e.g. mismatched send/recv).
   static bool all_finished(const std::vector<sim::ProcessHandle>& handles);
 
+  /// Creates one trace track per model process in a deterministic order
+  /// (per node: cpu0..N, comm, net, bus) and distributes the sink to every
+  /// component.  Call once, before any run that should be traced.
+  void attach_trace(obs::TraceSink& sink);
+
   // -- aggregates --
   std::uint64_t total_ops_executed() const;
   std::uint64_t total_messages() const;

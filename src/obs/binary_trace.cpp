@@ -1,0 +1,113 @@
+#include "obs/binary_trace.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace merm::obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'O', 'B', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+template <typename T>
+void put_le(std::ostream& os, T v) {
+  unsigned char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(
+        static_cast<std::uint64_t>(v) >> (8 * i) & 0xff);
+  }
+  put_bytes(os, buf, sizeof(T));
+}
+
+void get_bytes(std::istream& is, void* p, std::size_t n) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    throw std::runtime_error("truncated MOBT trace");
+  }
+}
+
+template <typename T>
+T get_le(std::istream& is) {
+  unsigned char buf[sizeof(T)];
+  get_bytes(is, buf, sizeof(T));
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+void write_binary_trace(std::ostream& os, const TraceData& data) {
+  put_bytes(os, kMagic, sizeof(kMagic));
+  put_le<std::uint32_t>(os, kVersion);
+  put_le<std::uint32_t>(os, data.hung ? 1 : 0);
+  put_le<std::uint64_t>(os, data.sealed_at);
+  put_le<std::uint32_t>(os, static_cast<std::uint32_t>(data.tracks.size()));
+  for (const TraceData::Track& t : data.tracks) {
+    put_le<std::uint32_t>(os, static_cast<std::uint32_t>(t.name.size()));
+    put_bytes(os, t.name.data(), t.name.size());
+    put_le<std::uint64_t>(os, t.dropped);
+  }
+  put_le<std::uint64_t>(os, data.events.size());
+  for (const TraceEvent& ev : data.events) {
+    put_le<std::uint64_t>(os, ev.begin);
+    put_le<std::uint64_t>(os, ev.end);
+    put_le<std::uint64_t>(os, static_cast<std::uint64_t>(ev.a));
+    put_le<std::uint32_t>(os, static_cast<std::uint32_t>(ev.b));
+    put_le<std::uint32_t>(os, static_cast<std::uint32_t>(ev.c));
+    put_le<std::uint16_t>(os, ev.track);
+    put_le<std::uint8_t>(os, static_cast<std::uint8_t>(ev.kind));
+    put_le<std::uint8_t>(os, ev.flags);
+  }
+}
+
+TraceData read_binary_trace(std::istream& is) {
+  char magic[4];
+  get_bytes(is, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a MOBT trace (bad magic)");
+  }
+  const auto version = get_le<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported MOBT version " +
+                             std::to_string(version));
+  }
+  TraceData data;
+  data.hung = get_le<std::uint32_t>(is) != 0;
+  data.sealed_at = get_le<std::uint64_t>(is);
+  const auto n_tracks = get_le<std::uint32_t>(is);
+  data.tracks.resize(n_tracks);
+  for (TraceData::Track& t : data.tracks) {
+    const auto len = get_le<std::uint32_t>(is);
+    if (len > (1u << 20)) throw std::runtime_error("corrupt MOBT track name");
+    t.name.resize(len);
+    get_bytes(is, t.name.data(), len);
+    t.dropped = get_le<std::uint64_t>(is);
+  }
+  const auto n_events = get_le<std::uint64_t>(is);
+  if (n_events > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("corrupt MOBT event count");
+  }
+  data.events.resize(static_cast<std::size_t>(n_events));
+  for (TraceEvent& ev : data.events) {
+    ev.begin = get_le<std::uint64_t>(is);
+    ev.end = get_le<std::uint64_t>(is);
+    ev.a = static_cast<std::int64_t>(get_le<std::uint64_t>(is));
+    ev.b = static_cast<std::int32_t>(get_le<std::uint32_t>(is));
+    ev.c = static_cast<std::int32_t>(get_le<std::uint32_t>(is));
+    ev.track = get_le<std::uint16_t>(is);
+    ev.kind = static_cast<SpanKind>(get_le<std::uint8_t>(is));
+    ev.flags = get_le<std::uint8_t>(is);
+  }
+  return data;
+}
+
+}  // namespace merm::obs

@@ -1,0 +1,25 @@
+// Compact binary trace format ("MOBT"): the post-mortem interchange form.
+//
+// Fixed little-endian layout, 36 bytes per event — a 4x4 detailed run with
+// full rings serializes in a few MB where the Chrome JSON would be tens.
+// trace_tool converts MOBT files to Chrome JSON offline, so production runs
+// can record cheaply and visualize later.  write/read round-trip exactly
+// (byte-identical re-serialization), which is also what the sweep
+// determinism test hashes.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace merm::obs {
+
+/// Serializes `data`; byte-deterministic for identical traces.
+void write_binary_trace(std::ostream& os, const TraceData& data);
+
+/// Parses a MOBT stream.  Throws std::runtime_error on bad magic, version,
+/// or truncation.
+TraceData read_binary_trace(std::istream& is);
+
+}  // namespace merm::obs

@@ -1,0 +1,134 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace merm::obs {
+
+namespace {
+
+/// Kind-specific names for TraceEvent::{a,b,c}; nullptr = omit the field.
+struct ArgNames {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+ArgNames arg_names(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute:
+      return {nullptr, nullptr, nullptr};
+    case SpanKind::kMissWalk:
+      return {"addr", nullptr, nullptr};
+    case SpanKind::kBusWait:
+      return {"bytes", nullptr, nullptr};
+    case SpanKind::kLinkTransit:
+      return {"bytes", "dst", "delivered"};
+    case SpanKind::kSendBlock:
+      return {"bytes", "peer", "tag"};
+    case SpanKind::kRecvBlock:
+      return {nullptr, "peer", "tag"};
+    case SpanKind::kNicRetry:
+      return {"attempt", "peer", "tag"};
+    case SpanKind::kReroute:
+      return {"bytes", "dst", nullptr};
+    case SpanKind::kDrop:
+      return {"bytes", "dst", nullptr};
+  }
+  return {nullptr, nullptr, nullptr};
+}
+
+/// Ticks (picoseconds) as a microsecond decimal: exact, no floating point,
+/// so identical runs serialize to identical bytes.
+void put_us(std::ostream& os, sim::Tick ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, ps / 1'000'000,
+                ps % 1'000'000);
+  os << buf;
+}
+
+void put_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void put_args(std::ostream& os, const TraceEvent& ev, bool hung) {
+  const ArgNames names = arg_names(ev.kind);
+  bool any = false;
+  const auto field = [&](const char* name, std::int64_t v) {
+    if (name == nullptr) return;
+    os << (any ? ", " : "") << '"' << name << "\": " << v;
+    any = true;
+  };
+  os << ", \"args\": {";
+  field(names.a, ev.a);
+  field(names.b, ev.b);
+  field(names.c, ev.c);
+  if ((ev.flags & kFlagOpen) != 0) {
+    os << (any ? ", " : "") << "\"unterminated\": 1";
+    any = true;
+    if (hung) os << ", \"hang\": 1";
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceData& data,
+                        const HostProfiler* host) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"simulated\"}}";
+  for (std::size_t t = 0; t < data.tracks.size(); ++t) {
+    os << ",\n{\"ph\": \"M\", \"pid\": 0, \"tid\": " << t
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    put_json_string(os, data.tracks[t].name);
+    os << "}}";
+    os << ",\n{\"ph\": \"M\", \"pid\": 0, \"tid\": " << t
+       << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
+       << t << "}}";
+  }
+
+  for (const TraceEvent& ev : data.events) {
+    const bool instant = (ev.flags & kFlagInstant) != 0;
+    const bool open = (ev.flags & kFlagOpen) != 0;
+    os << ",\n{\"ph\": \"" << (instant ? 'i' : 'X')
+       << "\", \"pid\": 0, \"tid\": " << ev.track << ", \"ts\": ";
+    put_us(os, ev.begin);
+    if (instant) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": ";
+      put_us(os, ev.end - ev.begin);
+    }
+    os << ", \"name\": \"" << to_string(ev.kind) << "\", \"cat\": \"sim"
+       << (open ? (data.hung ? ",hang" : ",open") : "") << '"';
+    put_args(os, ev, data.hung);
+    os << '}';
+  }
+
+  if (host != nullptr) {
+    os << ",\n{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+          "\"args\": {\"name\": \"host\"}}";
+    os << ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+          "\"name\": \"thread_name\", \"args\": {\"name\": \"phases\"}}";
+    for (const HostProfiler::Phase& p : host->phases()) {
+      char ts[40];
+      char dur[40];
+      std::snprintf(ts, sizeof(ts), "%.3f", p.begin_s * 1e6);
+      std::snprintf(dur, sizeof(dur), "%.3f", p.dur_s * 1e6);
+      os << ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": 0, \"ts\": " << ts
+         << ", \"dur\": " << dur << ", \"name\": ";
+      put_json_string(os, p.name);
+      os << ", \"cat\": \"host\", \"args\": {\"depth\": " << p.depth << "}}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace merm::obs

@@ -1,0 +1,27 @@
+// Chrome trace-event JSON exporter: the output loads directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: one "simulated" process (pid 0) with a thread per trace track,
+// timestamps in microseconds of *simulated* time (ticks are picoseconds, so
+// the conversion is exact — emitted with integer math, which keeps the JSON
+// byte-deterministic for golden-file tests); optionally one "host" process
+// (pid 1) rendering a HostProfiler's wall-clock phases beside it.
+//
+// Spans that were still open at seal time export with the `hang` category
+// when the run deadlocked — the blocked sends/recvs of the hang diagnostic,
+// visible as bars running off the end of the timeline.
+#pragma once
+
+#include <ostream>
+
+#include "obs/host_profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace merm::obs {
+
+/// Writes `data` as Chrome trace-event JSON.  `host` adds the host-time
+/// process; pass nullptr for a fully deterministic export.
+void write_chrome_trace(std::ostream& os, const TraceData& data,
+                        const HostProfiler* host = nullptr);
+
+}  // namespace merm::obs

@@ -1,0 +1,35 @@
+#include "obs/host_profiler.hpp"
+
+namespace merm::obs {
+
+void HostProfiler::begin(std::string name) {
+  Phase p;
+  p.name = std::move(name);
+  p.begin_s = elapsed_seconds();
+  p.depth = static_cast<int>(stack_.size());
+  stack_.push_back(phases_.size());
+  phases_.push_back(std::move(p));
+}
+
+void HostProfiler::end() {
+  if (stack_.empty()) return;  // unbalanced end(): ignore rather than throw
+  Phase& p = phases_[stack_.back()];
+  stack_.pop_back();
+  p.dur_s = elapsed_seconds() - p.begin_s;
+}
+
+double HostProfiler::total_seconds(const std::string& name) const {
+  double total = 0.0;
+  for (const Phase& p : phases_) {
+    if (p.name == name) total += p.dur_s;
+  }
+  return total;
+}
+
+void HostProfiler::reset() {
+  phases_.clear();
+  stack_.clear();
+  origin_ = Clock::now();
+}
+
+}  // namespace merm::obs

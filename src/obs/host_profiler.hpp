@@ -1,0 +1,68 @@
+// Host-side phase profiler: where does the *wall clock* go — workload
+// generation, launch, the event loop, export?  Complements the simulated-
+// time TraceSink; the Chrome exporter renders these phases as a second
+// process ("host") so simulated and host time sit side by side in Perfetto.
+//
+// Host times are inherently nondeterministic, so nothing here ever feeds
+// back into simulation results; sweep host columns are opt-in
+// (SweepOptions::host_metrics) to keep serial-vs-threaded outputs
+// byte-comparable by default.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace merm::obs {
+
+class HostProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    double begin_s = 0.0;  ///< seconds since profiler construction/reset
+    double dur_s = 0.0;
+    int depth = 0;  ///< nesting level at begin time
+  };
+
+  HostProfiler() : origin_(Clock::now()) {}
+
+  /// Opens a phase; phases nest (stack discipline).
+  void begin(std::string name);
+  /// Closes the innermost open phase.
+  void end();
+
+  /// RAII sugar: profiler.scope("run") times the enclosing block.
+  class Scope {
+   public:
+    Scope(HostProfiler& p, std::string name) : p_(p) {
+      p_.begin(std::move(name));
+    }
+    ~Scope() { p_.end(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    HostProfiler& p_;
+  };
+
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Sum of durations over completed phases with this name.
+  double total_seconds(const std::string& name) const;
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - origin_).count();
+  }
+
+  /// Drops recorded phases and restarts the time origin.
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point origin_;
+  std::vector<Phase> phases_;
+  std::vector<std::size_t> stack_;  ///< indices of open phases
+};
+
+}  // namespace merm::obs

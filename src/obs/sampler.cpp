@@ -1,0 +1,66 @@
+#include "obs/sampler.hpp"
+
+#include <ostream>
+
+#include "stats/stats.hpp"
+
+namespace merm::obs {
+
+CounterSampler::CounterSampler(const stats::StatRegistry& registry,
+                               std::vector<std::string> counter_names)
+    : registry_(registry), names_(std::move(counter_names)) {}
+
+void CounterSampler::sample(sim::Tick t) {
+  Row row;
+  row.time = t;
+  row.values.reserve(names_.size());
+  for (const std::string& name : names_) {
+    row.values.push_back(registry_.counter(name));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CounterSampler::write_csv(std::ostream& os) const {
+  os << "time_ps";
+  for (const std::string& name : names_) os << ',' << name;
+  os << "\n";
+  for (const Row& row : rows_) {
+    os << row.time;
+    for (const std::uint64_t v : row.values) os << ',' << v;
+    os << "\n";
+  }
+}
+
+void CounterSampler::write_csv_deltas(std::ostream& os) const {
+  os << "time_ps";
+  for (const std::string& name : names_) os << ',' << name;
+  os << "\n";
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    os << rows_[i].time;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      os << ',' << (rows_[i].values[c] - rows_[i - 1].values[c]);
+    }
+    os << "\n";
+  }
+}
+
+void CounterSampler::write_csv_rates(std::ostream& os) const {
+  os << "time_ps";
+  for (const std::string& name : names_) os << ',' << name << "_per_s";
+  os << "\n";
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    const sim::Tick dt = rows_[i].time - rows_[i - 1].time;
+    if (dt == 0) continue;  // guard: no interval, no rate
+    const double seconds =
+        static_cast<double>(dt) / static_cast<double>(sim::kTicksPerSecond);
+    os << rows_[i].time;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      const double delta =
+          static_cast<double>(rows_[i].values[c] - rows_[i - 1].values[c]);
+      os << ',' << delta / seconds;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace merm::obs

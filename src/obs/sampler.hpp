@@ -1,0 +1,60 @@
+// Periodic multi-counter snapshots: the run-time visualization feed.
+//
+// Attach to a stats::StatRegistry, pick counters by name, call sample() on
+// a schedule (e.g. from the Workbench progress hook); the CSV writers yield
+// tidy time-series tables (one column per counter) ready for plotting —
+// cumulative values, per-interval deltas, or per-second rates.
+//
+// Moved here from stats:: (the sampler is an observability consumer of the
+// registry, not a statistics primitive); stats::CounterSampler remains as a
+// deprecated alias.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace merm::stats {
+class StatRegistry;
+}  // namespace merm::stats
+
+namespace merm::obs {
+
+class CounterSampler {
+ public:
+  CounterSampler(const stats::StatRegistry& registry,
+                 std::vector<std::string> counter_names);
+
+  /// Records one row at simulated time `t`.
+  void sample(sim::Tick t);
+
+  std::size_t samples() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return names_; }
+
+  /// CSV: time_ps,<counter...> (cumulative values).
+  void write_csv(std::ostream& os) const;
+
+  /// Per-interval deltas instead of cumulative values.
+  void write_csv_deltas(std::ostream& os) const;
+
+  /// Per-interval rates in counts per simulated second.  Rows whose
+  /// interval has zero elapsed time (two samples at the same tick — e.g. a
+  /// manual sample at the end of a run that finished exactly on a progress
+  /// boundary) are skipped: a rate over no time is undefined, not infinite.
+  void write_csv_rates(std::ostream& os) const;
+
+ private:
+  const stats::StatRegistry& registry_;
+  std::vector<std::string> names_;
+  struct Row {
+    sim::Tick time;
+    std::vector<std::uint64_t> values;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace merm::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+namespace merm::obs {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kMissWalk:
+      return "miss-walk";
+    case SpanKind::kBusWait:
+      return "bus-wait";
+    case SpanKind::kLinkTransit:
+      return "link-transit";
+    case SpanKind::kSendBlock:
+      return "send-block";
+    case SpanKind::kRecvBlock:
+      return "recv-block";
+    case SpanKind::kNicRetry:
+      return "nic-retry";
+    case SpanKind::kReroute:
+      return "reroute";
+    case SpanKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+TrackId TraceSink::add_track(std::string name) {
+  Track t;
+  t.name = std::move(name);
+  tracks_.push_back(std::move(t));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void TraceSink::record(const TraceEvent& ev) {
+  Track& t = tracks_[ev.track];
+  ++recorded_;
+  if (t.ring.size() < capacity_) {
+    t.ring.push_back(ev);
+    return;
+  }
+  // Full: overwrite the oldest event, keeping the recent past.
+  t.ring[t.head] = ev;
+  t.head = t.head + 1 == t.ring.size() ? 0 : t.head + 1;
+  ++t.dropped;
+  ++dropped_;
+}
+
+SpanToken TraceSink::open(TrackId track, SpanKind kind, sim::Tick begin,
+                          std::int64_t a, std::int32_t b, std::int32_t c) {
+  SpanToken tok;
+  if (!free_open_.empty()) {
+    tok = free_open_.back();
+    free_open_.pop_back();
+  } else {
+    tok = static_cast<SpanToken>(open_.size());
+    open_.emplace_back();
+  }
+  open_[tok].ev = TraceEvent{begin, begin, a, b, c, track, kind, 0};
+  open_[tok].active = true;
+  ++open_count_;
+  return tok;
+}
+
+void TraceSink::close(SpanToken token, sim::Tick end) {
+  OpenSlot& slot = open_[token];
+  slot.ev.end = end;
+  record(slot.ev);
+  slot.active = false;
+  free_open_.push_back(token);
+  --open_count_;
+}
+
+void TraceSink::annotate(SpanToken token, std::int64_t a, std::int32_t b,
+                         std::int32_t c) {
+  TraceEvent& ev = open_[token].ev;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+}
+
+TraceData TraceSink::to_data() const {
+  TraceData data;
+  data.hung = hung_;
+  data.sealed_at = sealed_at_;
+  data.tracks.reserve(tracks_.size());
+  std::size_t total = 0;
+  for (const Track& t : tracks_) {
+    data.tracks.push_back({t.name, t.dropped});
+    total += t.ring.size();
+  }
+  data.events.reserve(total + open_count_);
+  for (const Track& t : tracks_) {
+    for (std::size_t i = 0; i < t.ring.size(); ++i) {
+      data.events.push_back(t.ring[(t.head + i) % t.ring.size()]);
+    }
+  }
+  // Unterminated spans: blocked operations at drain time (the hang
+  // diagnostic, visualized), or merely in-flight ones at a time/event limit.
+  for (const OpenSlot& slot : open_) {
+    if (!slot.active) continue;
+    TraceEvent ev = slot.ev;
+    ev.end = sealed_at_ > ev.begin ? sealed_at_ : ev.begin;
+    ev.flags |= kFlagOpen;
+    data.events.push_back(ev);
+  }
+  return data;
+}
+
+}  // namespace merm::obs

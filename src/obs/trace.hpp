@@ -1,0 +1,180 @@
+// Timeline tracing for the visualization layer of Fig. 1: typed spans and
+// instants on per-process tracks, recorded in simulated time.
+//
+// A TraceSink owns one bounded ring buffer per track ("node3.cpu0",
+// "node3.comm", "node3.net", "node3.bus", ...).  A simulation is strictly
+// single-threaded, so recording is lock-free by confinement: plain stores,
+// no atomics, no mutex — the rings are private to the simulation thread
+// until the run finishes and the sink is sealed.  When a ring fills, the
+// oldest events are overwritten and counted as dropped (the recent past is
+// what a timeline viewer needs; silent unbounded growth is what it cannot
+// afford).
+//
+// Components emit three shapes:
+//  - span(track, kind, begin, end):  a completed interval, recorded at its
+//    end (completion order within a ring, which Chrome/Perfetto accept);
+//  - instant(track, kind, at):       a point event (a NIC retry, a reroute);
+//  - open(...)/close(token, end):    an interval whose end is unknown at
+//    begin time (a blocked send/recv).  Spans still open when the sink is
+//    sealed export as unterminated-to-seal-time; if the run hung, they are
+//    exactly the blocked operations of Simulator::hang_diagnostic(), tagged
+//    `hang` so a deadlock is visible in the timeline without re-running.
+//
+// Every hook site in the models guards on a raw sink pointer, so with no
+// sink attached tracing compiles down to one branch-on-null per potential
+// record — measured ≤2% on the detailed inner loop (scripts/check.sh).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace merm::obs {
+
+/// Index into the sink's track table.  Tracks are created in a deterministic
+/// order (Machine::attach_trace), so ids are stable across identical runs.
+using TrackId = std::uint16_t;
+inline constexpr TrackId kNoTrack = 0xffff;
+
+/// What a span or instant represents.  Kinds marked (i) are instants.
+enum class SpanKind : std::uint8_t {
+  kCompute,      ///< uninterrupted computation between sync points
+  kMissWalk,     ///< slow-path memory walk (miss/coherence/write-through)
+  kBusWait,      ///< waiting for the node bus grant
+  kLinkTransit,  ///< message in flight src -> dst
+  kSendBlock,    ///< sync send awaiting rendezvous/ack
+  kRecvBlock,    ///< recv awaiting a matching arrival
+  kNicRetry,     ///< (i) retransmission fired
+  kReroute,      ///< (i) message took a degraded-mode detour
+  kDrop,         ///< (i) message lost to an injected fault
+};
+
+const char* to_string(SpanKind k);
+
+/// Event flags.
+inline constexpr std::uint8_t kFlagInstant = 1;  ///< point event, end == begin
+inline constexpr std::uint8_t kFlagOpen = 2;     ///< unterminated at seal time
+
+/// One recorded event: 40 bytes, POD.  `a`/`b`/`c` are kind-specific
+/// payloads (bytes/addr, peer, tag, ... — see chrome_trace.cpp's arg table).
+struct TraceEvent {
+  sim::Tick begin = 0;
+  sim::Tick end = 0;
+  std::int64_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  TrackId track = kNoTrack;
+  SpanKind kind = SpanKind::kCompute;
+  std::uint8_t flags = 0;
+};
+
+/// Sealed, self-contained snapshot of a trace — what the exporters consume
+/// and the binary format round-trips.  Events are ordered track-by-track
+/// (ring order, oldest first), with still-open spans appended last.
+struct TraceData {
+  struct Track {
+    std::string name;
+    std::uint64_t dropped = 0;  ///< events overwritten in this track's ring
+  };
+  bool hung = false;       ///< the run deadlocked (open spans are the blockers)
+  sim::Tick sealed_at = 0;  ///< simulated time at seal; end of open spans
+  std::vector<Track> tracks;
+  std::vector<TraceEvent> events;
+};
+
+/// Handle of an open span; valid until close().
+using SpanToken = std::uint32_t;
+inline constexpr SpanToken kNoSpan = ~SpanToken{0};
+
+class TraceSink {
+ public:
+  /// Per-track ring capacity in events (rings grow lazily up to this).
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 15;
+
+  explicit TraceSink(std::size_t ring_capacity = kDefaultRingCapacity)
+      : capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Adds a track; ids are assigned in call order.
+  TrackId add_track(std::string name);
+  std::size_t track_count() const { return tracks_.size(); }
+  const std::string& track_name(TrackId t) const { return tracks_[t].name; }
+
+  /// Records a completed span [begin, end].
+  void span(TrackId track, SpanKind kind, sim::Tick begin, sim::Tick end,
+            std::int64_t a = 0, std::int32_t b = 0, std::int32_t c = 0) {
+    record(TraceEvent{begin, end, a, b, c, track, kind, 0});
+  }
+
+  /// Records a point event.
+  void instant(TrackId track, SpanKind kind, sim::Tick at, std::int64_t a = 0,
+               std::int32_t b = 0, std::int32_t c = 0) {
+    record(TraceEvent{at, at, a, b, c, track, kind, kFlagInstant});
+  }
+
+  /// Begins a span whose end is not yet known (a blocking operation).  The
+  /// token stays valid until close(); open spans survive ring wrap.
+  SpanToken open(TrackId track, SpanKind kind, sim::Tick begin,
+                 std::int64_t a = 0, std::int32_t b = 0, std::int32_t c = 0);
+  /// Completes an open span, moving it into its track's ring.
+  void close(SpanToken token, sim::Tick end);
+  /// Updates the kind-specific payload of an open span (e.g. the attempt
+  /// count of a retransmitting send) without closing it.
+  void annotate(SpanToken token, std::int64_t a, std::int32_t b,
+                std::int32_t c);
+
+  /// Marks the end of recording at simulated time `now`.  `hung` tags the
+  /// still-open spans as blocked-at-deadlock in the export.  Idempotent per
+  /// run; a later run on the same sink may seal again.
+  void seal(sim::Tick now, bool hung) {
+    sealed_at_ = now;
+    hung_ = hung;
+    sealed_ = true;
+  }
+  bool sealed() const { return sealed_; }
+  sim::Tick sealed_at() const { return sealed_at_; }
+  bool hung() const { return hung_; }
+
+  std::uint64_t events_recorded() const { return recorded_; }
+  std::uint64_t events_dropped() const { return dropped_; }
+  std::size_t open_spans() const { return open_count_; }
+
+  /// Snapshot for export: per-track events in ring order, open spans last
+  /// (ends clamped to sealed_at, flagged kFlagOpen).
+  TraceData to_data() const;
+
+ private:
+  /// One track's bounded ring: grows to `capacity_`, then overwrites the
+  /// oldest event.
+  struct Track {
+    std::string name;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;  ///< oldest event once the ring has wrapped
+    std::uint64_t dropped = 0;
+  };
+
+  struct OpenSlot {
+    TraceEvent ev;
+    bool active = false;
+  };
+
+  void record(const TraceEvent& ev);
+
+  std::size_t capacity_;
+  std::vector<Track> tracks_;
+  std::vector<OpenSlot> open_;
+  std::vector<SpanToken> free_open_;
+  std::size_t open_count_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  sim::Tick sealed_at_ = 0;
+  bool sealed_ = false;
+  bool hung_ = false;
+};
+
+}  // namespace merm::obs

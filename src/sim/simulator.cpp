@@ -90,6 +90,8 @@ void Simulator::push(Tick when, int priority, std::coroutine_handle<> h,
   } else {
     heap_push(ev);
   }
+  const std::size_t depth = heap_.size() + (lane_.size() - lane_head_);
+  if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
 }
 
 void Simulator::heap_push(const Ev& ev) {

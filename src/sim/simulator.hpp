@@ -89,6 +89,14 @@ class Simulator {
   /// Total events processed since construction.
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Events currently queued (heap + same-tick lane) — the queue occupancy
+  /// the host profiler samples.
+  std::size_t queue_depth() const {
+    return heap_.size() + (lane_.size() - lane_head_);
+  }
+  /// High-water mark of queue_depth() over the simulator's lifetime.
+  std::size_t peak_queue_depth() const { return peak_queue_depth_; }
+
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const;
 
@@ -168,6 +176,7 @@ class Simulator {
   std::vector<Ev> heap_;   // 4-ary implicit min-heap under later()
   std::vector<Ev> lane_;   // FIFO of (now, priority 0) events
   std::size_t lane_head_ = 0;
+  std::size_t peak_queue_depth_ = 0;
   std::vector<std::function<void()>> slots_;  // pooled callback bodies
   std::vector<std::uint32_t> free_slots_;
   std::vector<OwnedProcess> processes_;

@@ -62,6 +62,11 @@ const Accumulator* StatRegistry::accumulator(const std::string& name) const {
   return it == accumulators_.end() ? nullptr : it->second;
 }
 
+const Log2Histogram* StatRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second;
+}
+
 void StatRegistry::print_report(std::ostream& os) const {
   for (const auto& [name, c] : counters_) {
     os << std::left << std::setw(48) << name << ' ' << c->value() << "\n";
@@ -71,54 +76,32 @@ void StatRegistry::print_report(std::ostream& os) const {
        << " min=" << a->min() << " max=" << a->max() << " sd=" << a->stddev()
        << " n=" << a->count() << "\n";
   }
+  for (const auto& [name, h] : histograms_) {
+    const Accumulator& s = h->summary();
+    os << std::left << std::setw(48) << name << " p50<=" <<
+        h->quantile_upper_bound(0.50) << " p90<=" <<
+        h->quantile_upper_bound(0.90) << " p99<=" <<
+        h->quantile_upper_bound(0.99) << " mean=" << s.mean()
+       << " max=" << s.max() << " n=" << s.count() << "\n";
+  }
 }
 
 void StatRegistry::write_csv(std::ostream& os) const {
-  os << "metric,kind,value,mean,min,max,stddev,count\n";
+  os << "metric,kind,value,mean,min,max,stddev,count,p50,p90,p99\n";
   for (const auto& [name, c] : counters_) {
-    os << name << ",counter," << c->value() << ",,,,,\n";
+    os << name << ",counter," << c->value() << ",,,,,,,,\n";
   }
   for (const auto& [name, a] : accumulators_) {
     os << name << ",accumulator,," << a->mean() << ',' << a->min() << ','
-       << a->max() << ',' << a->stddev() << ',' << a->count() << "\n";
+       << a->max() << ',' << a->stddev() << ',' << a->count() << ",,,\n";
   }
-}
-
-CounterSampler::CounterSampler(const StatRegistry& registry,
-                               std::vector<std::string> counter_names)
-    : registry_(registry), names_(std::move(counter_names)) {}
-
-void CounterSampler::sample(sim::Tick t) {
-  Row row;
-  row.time = t;
-  row.values.reserve(names_.size());
-  for (const std::string& name : names_) {
-    row.values.push_back(registry_.counter(name));
-  }
-  rows_.push_back(std::move(row));
-}
-
-void CounterSampler::write_csv(std::ostream& os) const {
-  os << "time_ps";
-  for (const std::string& name : names_) os << ',' << name;
-  os << "\n";
-  for (const Row& row : rows_) {
-    os << row.time;
-    for (const std::uint64_t v : row.values) os << ',' << v;
-    os << "\n";
-  }
-}
-
-void CounterSampler::write_csv_deltas(std::ostream& os) const {
-  os << "time_ps";
-  for (const std::string& name : names_) os << ',' << name;
-  os << "\n";
-  for (std::size_t i = 1; i < rows_.size(); ++i) {
-    os << rows_[i].time;
-    for (std::size_t c = 0; c < names_.size(); ++c) {
-      os << ',' << (rows_[i].values[c] - rows_[i - 1].values[c]);
-    }
-    os << "\n";
+  for (const auto& [name, h] : histograms_) {
+    const Accumulator& s = h->summary();
+    os << name << ",histogram,," << s.mean() << ',' << s.min() << ','
+       << s.max() << ',' << s.stddev() << ',' << s.count() << ','
+       << h->quantile_upper_bound(0.50) << ','
+       << h->quantile_upper_bound(0.90) << ','
+       << h->quantile_upper_bound(0.99) << "\n";
   }
 }
 

@@ -167,53 +167,29 @@ class StatRegistry {
   void register_accumulator(const std::string& name, const Accumulator* a) {
     accumulators_[name] = a;
   }
+  /// Distributions report with log-bucketed percentile summaries
+  /// (p50/p90/p99 upper bounds) in print_report/write_csv.
+  void register_histogram(const std::string& name, const Log2Histogram* h) {
+    histograms_[name] = h;
+  }
 
   /// Snapshot of all counter values (sorted by name).
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
 
   std::uint64_t counter(const std::string& name) const;
   const Accumulator* accumulator(const std::string& name) const;
+  const Log2Histogram* histogram(const std::string& name) const;
 
   /// Human-readable report of every metric.
   void print_report(std::ostream& os) const;
-  /// Machine-readable CSV (name,count / name,mean,min,max,stddev,count).
+  /// Machine-readable CSV (name,count / name,mean,min,max,stddev,count;
+  /// histogram rows add p50/p90/p99 columns).
   void write_csv(std::ostream& os) const;
 
  private:
   std::map<std::string, const Counter*> counters_;
   std::map<std::string, const Accumulator*> accumulators_;
-};
-
-/// Periodic multi-counter snapshots: the run-time visualization feed.
-///
-/// Attach to a StatRegistry, pick counters by name, call sample() on a
-/// schedule (e.g. from the Workbench progress hook); write_csv() yields a
-/// tidy time-series table (one column per counter) ready for plotting.
-class CounterSampler {
- public:
-  CounterSampler(const StatRegistry& registry,
-                 std::vector<std::string> counter_names);
-
-  /// Records one row at simulated time `t`.
-  void sample(sim::Tick t);
-
-  std::size_t samples() const { return rows_.size(); }
-  const std::vector<std::string>& columns() const { return names_; }
-
-  /// CSV: time_ps,<counter...>.
-  void write_csv(std::ostream& os) const;
-
-  /// Per-interval deltas instead of cumulative values (rates).
-  void write_csv_deltas(std::ostream& os) const;
-
- private:
-  const StatRegistry& registry_;
-  std::vector<std::string> names_;
-  struct Row {
-    sim::Tick time;
-    std::vector<std::uint64_t> values;
-  };
-  std::vector<Row> rows_;
+  std::map<std::string, const Log2Histogram*> histograms_;
 };
 
 /// Fixed-width text table builder used by benches to print paper-style rows.
@@ -231,4 +207,13 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+}  // namespace merm::stats
+
+// The run-time counter sampler moved to the observability subsystem; this
+// alias keeps existing stats::CounterSampler users building.
+#include "obs/sampler.hpp"
+
+namespace merm::stats {
+using CounterSampler [[deprecated("use obs::CounterSampler")]] =
+    obs::CounterSampler;
 }  // namespace merm::stats

@@ -131,7 +131,7 @@ TEST(WorkbenchTest, ResultPrintIsHumanReadable) {
 TEST(WorkbenchTest, AttachedSamplerRecordsDuringRun) {
   Workbench wb(machine::presets::t805_multicomputer(2, 1));
   wb.register_all_stats();
-  stats::CounterSampler sampler(wb.stats(), {"t805.net.messages"});
+  obs::CounterSampler sampler(wb.stats(), {"t805.net.messages"});
   wb.enable_progress(100 * sim::kTicksPerMicrosecond);
   wb.attach_sampler(&sampler);
   auto w = gen::make_offline_workload(

@@ -1,0 +1,162 @@
+// Exporter tests: MOBT binary round-trip and a golden-file check of the
+// Chrome trace-event JSON for a tiny deterministic 2-node run.
+//
+// Regenerate the golden file after an intentional format change with
+//   MERM_UPDATE_GOLDEN=1 ./tests/obs_exporter_test
+// and review the diff like any other source change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace merm::obs {
+namespace {
+
+TraceData sample_data() {
+  TraceSink sink(4);  // small rings so the round-trip covers wrap + drops
+  const TrackId cpu = sink.add_track("node0.cpu0");
+  const TrackId comm = sink.add_track("node0.comm");
+  sink.span(cpu, SpanKind::kCompute, 0, 500, 0, 0, 0);
+  sink.span(cpu, SpanKind::kMissWalk, 500, 620, 0x1000, 0, 0);
+  for (sim::Tick i = 0; i < 6; ++i) {
+    sink.span(cpu, SpanKind::kCompute, 700 + i * 10, 705 + i * 10);
+  }
+  sink.instant(comm, SpanKind::kNicRetry, 800, 2, 1, 7);
+  sink.instant(comm, SpanKind::kDrop, 820, 64, 1, 0);
+  sink.open(comm, SpanKind::kRecvBlock, 900, 0, -1, 5);
+  sink.seal(1000, true);
+  return sink.to_data();
+}
+
+TEST(BinaryTraceTest, RoundTripsExactly) {
+  const TraceData data = sample_data();
+
+  std::ostringstream first;
+  write_binary_trace(first, data);
+
+  std::istringstream in(first.str());
+  const TraceData back = read_binary_trace(in);
+
+  EXPECT_EQ(back.hung, data.hung);
+  EXPECT_EQ(back.sealed_at, data.sealed_at);
+  ASSERT_EQ(back.tracks.size(), data.tracks.size());
+  for (std::size_t t = 0; t < data.tracks.size(); ++t) {
+    EXPECT_EQ(back.tracks[t].name, data.tracks[t].name);
+    EXPECT_EQ(back.tracks[t].dropped, data.tracks[t].dropped);
+  }
+  ASSERT_EQ(back.events.size(), data.events.size());
+  for (std::size_t i = 0; i < data.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].begin, data.events[i].begin) << i;
+    EXPECT_EQ(back.events[i].end, data.events[i].end) << i;
+    EXPECT_EQ(back.events[i].a, data.events[i].a) << i;
+    EXPECT_EQ(back.events[i].b, data.events[i].b) << i;
+    EXPECT_EQ(back.events[i].c, data.events[i].c) << i;
+    EXPECT_EQ(back.events[i].track, data.events[i].track) << i;
+    EXPECT_EQ(back.events[i].kind, data.events[i].kind) << i;
+    EXPECT_EQ(back.events[i].flags, data.events[i].flags) << i;
+  }
+
+  // Byte-identical re-serialization — what the sweep determinism test hashes.
+  std::ostringstream second;
+  write_binary_trace(second, back);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(BinaryTraceTest, RejectsBadMagicAndTruncation) {
+  std::istringstream bad("NOPE....garbage");
+  EXPECT_THROW(read_binary_trace(bad), std::runtime_error);
+
+  std::ostringstream full;
+  write_binary_trace(full, sample_data());
+  const std::string whole = full.str();
+  std::istringstream truncated(whole.substr(0, whole.size() / 2));
+  EXPECT_THROW(read_binary_trace(truncated), std::runtime_error);
+}
+
+// A 2-node ping-pong, detailed level: small enough that the whole JSON is
+// reviewable, rich enough to exercise spans on every track family.  The
+// export is byte-deterministic (simulated time only, integer formatting),
+// so a straight string comparison is safe.
+std::string tiny_2node_chrome_json() {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.enable_tracing();
+  auto workload = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        gen::pingpong(a, self, nodes, gen::PingPongParams{2, 64});
+      });
+  const core::RunResult r = wb.run_detailed(workload);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NE(r.trace, nullptr);
+  std::ostringstream os;
+  // No host profiler: host times vary run to run and would break the golden.
+  write_chrome_trace(os, *r.trace);
+  return os.str();
+}
+
+TEST(ChromeTraceTest, GoldenTiny2NodeRun) {
+  const std::string got = tiny_2node_chrome_json();
+  const std::string path = std::string(MERM_GOLDEN_DIR) + "/tiny_2node.json";
+
+  if (std::getenv("MERM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with MERM_UPDATE_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "Chrome export changed; if intentional, regenerate with "
+         "MERM_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(ChromeTraceTest, ExportIsReproducible) {
+  EXPECT_EQ(tiny_2node_chrome_json(), tiny_2node_chrome_json());
+}
+
+TEST(ChromeTraceTest, HostTrackIsSecondProcess) {
+  HostProfiler prof;
+  { const HostProfiler::Scope s(prof, "run"); }
+  TraceSink sink;
+  sink.add_track("t");
+  sink.seal(0, false);
+  const TraceData data = sink.to_data();
+
+  std::ostringstream with_host;
+  write_chrome_trace(with_host, data, &prof);
+  EXPECT_NE(with_host.str().find("\"args\": {\"name\": \"host\"}"),
+            std::string::npos)
+      << with_host.str();
+
+  std::ostringstream without;
+  write_chrome_trace(without, data);
+  EXPECT_EQ(without.str().find("host"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OpenSpansCarryHangTag) {
+  TraceSink sink;
+  const TrackId t = sink.add_track("node0.comm");
+  sink.open(t, SpanKind::kRecvBlock, 100, 0, 1, 2);
+  sink.seal(900, true);
+  std::ostringstream os;
+  write_chrome_trace(os, sink.to_data());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cat\": \"sim,hang\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hang\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"unterminated\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merm::obs

@@ -1,0 +1,49 @@
+// HostProfiler: phase stack discipline and aggregation.  Host durations are
+// nondeterministic, so assertions are structural (ordering, nesting, sums),
+// never about absolute time.
+#include "obs/host_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::obs {
+namespace {
+
+TEST(HostProfilerTest, PhasesNestWithDepth) {
+  HostProfiler prof;
+  {
+    const HostProfiler::Scope outer(prof, "run");
+    const HostProfiler::Scope inner(prof, "export");
+  }
+  ASSERT_EQ(prof.phases().size(), 2u);
+  // Stored in begin order; depth reflects nesting at begin time.
+  EXPECT_EQ(prof.phases()[0].name, "run");
+  EXPECT_EQ(prof.phases()[0].depth, 0);
+  EXPECT_EQ(prof.phases()[1].name, "export");
+  EXPECT_EQ(prof.phases()[1].depth, 1);
+  EXPECT_GE(prof.phases()[0].dur_s, prof.phases()[1].dur_s);
+}
+
+TEST(HostProfilerTest, TotalSecondsSumsSameNamedPhases) {
+  HostProfiler prof;
+  for (int i = 0; i < 3; ++i) {
+    const HostProfiler::Scope s(prof, "step");
+  }
+  EXPECT_EQ(prof.phases().size(), 3u);
+  EXPECT_GE(prof.total_seconds("step"), 0.0);
+  EXPECT_EQ(prof.total_seconds("absent"), 0.0);
+  EXPECT_GE(prof.elapsed_seconds(), prof.total_seconds("step"));
+}
+
+TEST(HostProfilerTest, ResetDropsPhasesAndRestartsOrigin) {
+  HostProfiler prof;
+  { const HostProfiler::Scope s(prof, "a"); }
+  prof.reset();
+  EXPECT_TRUE(prof.phases().empty());
+  { const HostProfiler::Scope s(prof, "b"); }
+  ASSERT_EQ(prof.phases().size(), 1u);
+  EXPECT_EQ(prof.phases()[0].name, "b");
+  EXPECT_EQ(prof.phases()[0].depth, 0);
+}
+
+}  // namespace
+}  // namespace merm::obs

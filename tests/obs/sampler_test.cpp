@@ -1,0 +1,85 @@
+// obs::CounterSampler (moved here from stats/): CSV shapes and the
+// zero-elapsed-interval guard in the rates writer.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hpp"
+
+namespace merm::obs {
+namespace {
+
+TEST(CounterSamplerTest, SamplesAndWritesCsv) {
+  stats::StatRegistry reg;
+  stats::Counter a;
+  stats::Counter b;
+  reg.register_counter("net.msgs", &a);
+  reg.register_counter("cpu.ops", &b);
+  CounterSampler sampler(reg, {"net.msgs", "cpu.ops", "missing"});
+  a.add(5);
+  b.add(100);
+  sampler.sample(1000);
+  a.add(5);
+  b.add(50);
+  sampler.sample(2000);
+  EXPECT_EQ(sampler.samples(), 2u);
+
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "time_ps,net.msgs,cpu.ops,missing\n"
+            "1000,5,100,0\n"
+            "2000,10,150,0\n");
+
+  std::ostringstream deltas;
+  sampler.write_csv_deltas(deltas);
+  EXPECT_EQ(deltas.str(),
+            "time_ps,net.msgs,cpu.ops,missing\n"
+            "2000,5,50,0\n");
+}
+
+TEST(CounterSamplerTest, RatesAreInCountsPerSimulatedSecond) {
+  stats::StatRegistry reg;
+  stats::Counter c;
+  reg.register_counter("msgs", &c);
+  CounterSampler sampler(reg, {"msgs"});
+  sampler.sample(0);
+  c.add(5);
+  sampler.sample(sim::kTicksPerSecond);  // 1 simulated second later
+
+  std::ostringstream rates;
+  sampler.write_csv_rates(rates);
+  EXPECT_EQ(rates.str(),
+            "time_ps,msgs_per_s\n" +
+                std::to_string(sim::kTicksPerSecond) + ",5\n");
+}
+
+TEST(CounterSamplerTest, RatesSkipZeroElapsedIntervals) {
+  // A manual end-of-run sample can land on the same tick as the last
+  // periodic one; the rate writer must skip the interval, not divide by
+  // zero (the old stats:: version emitted inf/nan rows).
+  stats::StatRegistry reg;
+  stats::Counter c;
+  reg.register_counter("msgs", &c);
+  CounterSampler sampler(reg, {"msgs"});
+  sampler.sample(1000);
+  c.add(3);
+  sampler.sample(1000);  // duplicate tick: no interval
+  c.add(7);
+  sampler.sample(1000 + sim::kTicksPerSecond);
+
+  std::ostringstream rates;
+  sampler.write_csv_rates(rates);
+  const std::string out = rates.str();
+  std::size_t lines = 0;
+  for (const char ch : out) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u) << out;  // header + the one well-defined interval
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_NE(out.find(",7\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merm::obs

@@ -1,0 +1,98 @@
+// Trace determinism across the sweep engine: the recorded timeline is part
+// of a point's result, so the same grid must serialize to byte-identical
+// MOBT blobs whether the sweep runs serially or on a thread pool.  Carries
+// the "tsan" label with the rest of the explore suite (MERM_SANITIZE=thread
+// race-checks the per-point sink confinement).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hpp"
+#include "gen/apps.hpp"
+#include "obs/binary_trace.hpp"
+
+namespace merm::explore {
+namespace {
+
+Sweep build_traced_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::stencil_spmd(a, self, nodes, gen::StencilParams{16, 2});
+        });
+  };
+  sweep.add(machine::presets::t805_multicomputer(2, 1), "t805-2x1");
+  sweep.add(machine::presets::t805_multicomputer(2, 2), "t805-2x2");
+  sweep.add(machine::presets::generic_risc(2, 2), "risc-2x2");
+  sweep.add(machine::presets::ipsc860_hypercube(4), "ipsc860-4");
+  // Every point records; each worker writes only its own blob slot.
+  sweep.configure = [](core::Workbench& wb, const ExperimentPoint&,
+                       std::size_t) { wb.enable_tracing(); };
+  return sweep;
+}
+
+std::vector<std::string> traced_blobs(const Sweep& base, unsigned threads) {
+  Sweep sweep = base;
+  std::vector<std::string> blobs(sweep.size());
+  sweep.inspect = [&blobs](core::Workbench&, const core::RunResult& r,
+                           std::size_t index) {
+    ASSERT_NE(r.trace, nullptr);
+    std::ostringstream os;
+    obs::write_binary_trace(os, *r.trace);
+    blobs[index] = os.str();
+  };
+  SweepEngine engine({.threads = threads});
+  const SweepResult result = engine.run(sweep);
+  for (const PointResult& p : result.points) {
+    EXPECT_TRUE(p.done()) << p.label << ": " << p.error;
+  }
+  return blobs;
+}
+
+TEST(SweepTraceDeterminismTest, SerialAndThreadedTracesByteIdentical) {
+  const Sweep sweep = build_traced_grid();
+  const std::vector<std::string> serial = traced_blobs(sweep, 1);
+  ASSERT_EQ(serial.size(), 4u);
+  for (const std::string& blob : serial) {
+    EXPECT_FALSE(blob.empty());
+  }
+  for (const unsigned threads : {2u, 4u}) {
+    const std::vector<std::string> parallel = traced_blobs(sweep, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "trace for point " << i << " diverged on " << threads
+          << " thread(s)";
+    }
+  }
+}
+
+TEST(SweepTraceDeterminismTest, HostMetricsStayOptIn) {
+  // Default output must not grow host columns: they are nondeterministic
+  // and would break serial-vs-threaded byte comparisons of the CSV.
+  const Sweep sweep = build_traced_grid();
+  const SweepResult plain = SweepEngine({.threads = 2}).run(sweep);
+  std::ostringstream plain_csv;
+  plain.write_csv(plain_csv);
+  EXPECT_EQ(plain_csv.str().find("host."), std::string::npos);
+
+  const SweepResult with_host =
+      SweepEngine({.threads = 2, .host_metrics = true}).run(sweep);
+  std::ostringstream host_csv;
+  with_host.write_csv(host_csv);
+  for (const char* col : {"host.launch_s", "host.run_s", "host.events_per_s",
+                          "host.peak_queue"}) {
+    EXPECT_NE(host_csv.str().find(col), std::string::npos) << col;
+  }
+  for (const PointResult& p : with_host.points) {
+    ASSERT_TRUE(p.done());
+    EXPECT_GT(p.run.peak_queue_depth, 0u) << p.label;
+  }
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -1,0 +1,159 @@
+// TraceSink unit tests: ring bounds, open-span lifecycle, seal semantics.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace merm::obs {
+namespace {
+
+TEST(TraceSinkTest, TracksAssignedInCallOrder) {
+  TraceSink sink;
+  EXPECT_EQ(sink.add_track("a"), 0);
+  EXPECT_EQ(sink.add_track("b"), 1);
+  EXPECT_EQ(sink.track_count(), 2u);
+  EXPECT_EQ(sink.track_name(1), "b");
+}
+
+TEST(TraceSinkTest, SpansAndInstantsExport) {
+  TraceSink sink;
+  const TrackId t = sink.add_track("node0.cpu0");
+  sink.span(t, SpanKind::kCompute, 100, 200);
+  sink.instant(t, SpanKind::kNicRetry, 150, 2, 1, 7);
+  sink.seal(300, false);
+
+  const TraceData data = sink.to_data();
+  ASSERT_EQ(data.events.size(), 2u);
+  EXPECT_EQ(data.events[0].kind, SpanKind::kCompute);
+  EXPECT_EQ(data.events[0].begin, 100u);
+  EXPECT_EQ(data.events[0].end, 200u);
+  EXPECT_EQ(data.events[0].flags, 0);
+  EXPECT_EQ(data.events[1].kind, SpanKind::kNicRetry);
+  EXPECT_EQ(data.events[1].flags, kFlagInstant);
+  EXPECT_EQ(data.events[1].begin, data.events[1].end);
+  EXPECT_EQ(data.events[1].a, 2);
+  EXPECT_EQ(data.events[1].b, 1);
+  EXPECT_EQ(data.events[1].c, 7);
+  EXPECT_FALSE(data.hung);
+  EXPECT_EQ(data.sealed_at, 300u);
+}
+
+TEST(TraceSinkTest, RingWrapsDroppingOldest) {
+  TraceSink sink(4);
+  const TrackId t = sink.add_track("t");
+  for (sim::Tick i = 0; i < 6; ++i) {
+    sink.span(t, SpanKind::kCompute, i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(sink.events_recorded(), 6u);
+  EXPECT_EQ(sink.events_dropped(), 2u);
+
+  sink.seal(100, false);
+  const TraceData data = sink.to_data();
+  ASSERT_EQ(data.events.size(), 4u);  // the 4 most recent, oldest first
+  EXPECT_EQ(data.events[0].begin, 20u);
+  EXPECT_EQ(data.events[3].begin, 50u);
+  ASSERT_EQ(data.tracks.size(), 1u);
+  EXPECT_EQ(data.tracks[0].dropped, 2u);
+}
+
+TEST(TraceSinkTest, RingsAreIndependentPerTrack) {
+  TraceSink sink(2);
+  const TrackId a = sink.add_track("a");
+  const TrackId b = sink.add_track("b");
+  sink.span(a, SpanKind::kCompute, 1, 2);
+  sink.span(a, SpanKind::kCompute, 3, 4);
+  sink.span(a, SpanKind::kCompute, 5, 6);  // wraps track a only
+  sink.span(b, SpanKind::kBusWait, 7, 8);
+  sink.seal(10, false);
+
+  const TraceData data = sink.to_data();
+  EXPECT_EQ(data.tracks[a].dropped, 1u);
+  EXPECT_EQ(data.tracks[b].dropped, 0u);
+  ASSERT_EQ(data.events.size(), 3u);
+  // Track-by-track order: a's two survivors, then b's event.
+  EXPECT_EQ(data.events[0].begin, 3u);
+  EXPECT_EQ(data.events[1].begin, 5u);
+  EXPECT_EQ(data.events[2].track, b);
+}
+
+TEST(TraceSinkTest, OpenCloseMovesSpanIntoRing) {
+  TraceSink sink;
+  const TrackId t = sink.add_track("t");
+  const SpanToken tok = sink.open(t, SpanKind::kSendBlock, 100, 4096, 3, 9);
+  EXPECT_EQ(sink.open_spans(), 1u);
+  sink.close(tok, 250);
+  EXPECT_EQ(sink.open_spans(), 0u);
+
+  sink.seal(300, false);
+  const TraceData data = sink.to_data();
+  ASSERT_EQ(data.events.size(), 1u);
+  EXPECT_EQ(data.events[0].begin, 100u);
+  EXPECT_EQ(data.events[0].end, 250u);
+  EXPECT_EQ(data.events[0].flags, 0);
+  EXPECT_EQ(data.events[0].a, 4096);
+}
+
+TEST(TraceSinkTest, AnnotateUpdatesOpenPayload) {
+  TraceSink sink;
+  const TrackId t = sink.add_track("t");
+  const SpanToken tok = sink.open(t, SpanKind::kSendBlock, 10, 64, 1, 0);
+  sink.annotate(tok, 64, 1, 3);  // e.g. attempt count climbed to 3
+  sink.close(tok, 20);
+  sink.seal(30, false);
+  EXPECT_EQ(sink.to_data().events[0].c, 3);
+}
+
+TEST(TraceSinkTest, OpenSpanSurvivesRingWrap) {
+  TraceSink sink(2);
+  const TrackId t = sink.add_track("t");
+  const SpanToken tok = sink.open(t, SpanKind::kRecvBlock, 5);
+  for (sim::Tick i = 0; i < 8; ++i) {
+    sink.span(t, SpanKind::kCompute, i, i + 1);  // wrap several times
+  }
+  sink.close(tok, 90);
+  sink.seal(100, false);
+  const TraceData data = sink.to_data();
+  bool found = false;
+  for (const TraceEvent& ev : data.events) {
+    found |= ev.kind == SpanKind::kRecvBlock && ev.begin == 5 && ev.end == 90;
+  }
+  EXPECT_TRUE(found) << "blocked-recv span lost to ring wrap";
+}
+
+TEST(TraceSinkTest, SealExportsOpenSpansAsUnterminated) {
+  // The hang-diagnostic fold: a recv still blocked when the queue drains
+  // exports as an open span ending at seal time, tagged by data.hung.
+  TraceSink sink;
+  const TrackId t = sink.add_track("node1.comm");
+  sink.open(t, SpanKind::kRecvBlock, 400, 0, 0, 5);
+  sink.seal(1000, true);
+
+  const TraceData data = sink.to_data();
+  EXPECT_TRUE(data.hung);
+  ASSERT_EQ(data.events.size(), 1u);
+  EXPECT_EQ(data.events[0].flags & kFlagOpen, kFlagOpen);
+  EXPECT_EQ(data.events[0].begin, 400u);
+  EXPECT_EQ(data.events[0].end, 1000u);  // clamped to sealed_at
+  EXPECT_EQ(data.events[0].c, 5);
+}
+
+TEST(TraceSinkTest, TokensRecycleAfterClose) {
+  TraceSink sink;
+  const TrackId t = sink.add_track("t");
+  const SpanToken first = sink.open(t, SpanKind::kSendBlock, 1);
+  sink.close(first, 2);
+  const SpanToken second = sink.open(t, SpanKind::kSendBlock, 3);
+  EXPECT_EQ(first, second);  // slot reuse keeps the table bounded
+  sink.close(second, 4);
+  sink.seal(5, false);
+  EXPECT_EQ(sink.to_data().events.size(), 2u);
+}
+
+TEST(TraceSinkTest, KindNamesAreStable) {
+  // The exporter and golden files depend on these strings.
+  EXPECT_STREQ(to_string(SpanKind::kCompute), "compute");
+  EXPECT_STREQ(to_string(SpanKind::kNicRetry), "nic-retry");
+  EXPECT_STREQ(to_string(SpanKind::kReroute), "reroute");
+}
+
+}  // namespace
+}  // namespace merm::obs

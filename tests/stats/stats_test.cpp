@@ -167,33 +167,29 @@ TEST(StatRegistryTest, CsvHasHeaderAndRows) {
   EXPECT_NE(out.find("hits,counter,7"), std::string::npos);
 }
 
-TEST(CounterSamplerTest, SamplesAndWritesCsv) {
+// CounterSampler tests moved with the class to tests/obs/sampler_test.cpp.
+
+TEST(StatRegistryTest, HistogramRowsCarryPercentiles) {
   StatRegistry reg;
-  Counter a;
-  Counter b;
-  reg.register_counter("net.msgs", &a);
-  reg.register_counter("cpu.ops", &b);
-  CounterSampler sampler(reg, {"net.msgs", "cpu.ops", "missing"});
-  a.add(5);
-  b.add(100);
-  sampler.sample(1000);
-  a.add(5);
-  b.add(50);
-  sampler.sample(2000);
-  EXPECT_EQ(sampler.samples(), 2u);
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(5000);
+  reg.register_histogram("net.latency", &h);
+  ASSERT_NE(reg.histogram("net.latency"), nullptr);
+  EXPECT_EQ(reg.histogram("nope"), nullptr);
 
-  std::ostringstream csv;
-  sampler.write_csv(csv);
-  EXPECT_EQ(csv.str(),
-            "time_ps,net.msgs,cpu.ops,missing\n"
-            "1000,5,100,0\n"
-            "2000,10,150,0\n");
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("p50,p90,p99"), std::string::npos);
+  EXPECT_NE(out.find("net.latency,histogram,"), std::string::npos);
+  // p50 falls in [8,16) -> upper bound 15; p99 in [4096,8192) -> 8191.
+  EXPECT_NE(out.find(",15,15,8191"), std::string::npos);
 
-  std::ostringstream deltas;
-  sampler.write_csv_deltas(deltas);
-  EXPECT_EQ(deltas.str(),
-            "time_ps,net.msgs,cpu.ops,missing\n"
-            "2000,5,50,0\n");
+  std::ostringstream report;
+  reg.print_report(report);
+  EXPECT_NE(report.str().find("p50<=15"), std::string::npos);
+  EXPECT_NE(report.str().find("p99<=8191"), std::string::npos);
 }
 
 TEST(TableTest, AlignsColumns) {
