@@ -1,0 +1,126 @@
+// Conservative-PDES thread scaling on the 32x32 T805 mesh (1024 nodes,
+// task level).  One Workbench run per sim-thread count; every run must
+// produce bit-identical simulated results (that is the engine's contract,
+// asserted here too), so the only thing allowed to change is wall time.
+//
+// Output: a human table plus one machine-readable line per point
+//   PDES sim_threads=<n> ops_per_sec=<r> speedup=<x> host_seconds=<s>
+// which scripts/bench.sh scrapes into BENCH_pdes.json.
+//
+//   bench_pdes_scaling [--rounds=N] [--threads=1,2,4,8]
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "gen/stochastic.hpp"
+#include "stats/stats.hpp"
+
+using namespace merm;
+
+namespace {
+
+struct Point {
+  unsigned sim_threads = 0;
+  bool pdes_active = false;
+  core::RunResult run;
+  std::string counters;  // canonical stat dump, compared across points
+};
+
+Point run_point(unsigned sim_threads, std::uint32_t rounds) {
+  const auto arch = machine::presets::t805_multicomputer(32, 32);
+  core::Workbench wb(arch);
+  Point p;
+  p.sim_threads = sim_threads;
+  p.pdes_active = wb.enable_pdes(sim_threads).active;
+  wb.register_all_stats();
+
+  gen::StochasticDescription d;
+  d.task_level = true;
+  d.rounds = rounds;
+  d.mean_task_ticks = 200 * sim::kTicksPerMicrosecond;
+  d.comm.pattern = gen::CommPattern::kRandomPerm;
+  d.comm.message_bytes = 4 * 1024;
+  d.seed = 21;
+  auto w = gen::make_stochastic_task_workload(d, arch.node_count());
+  p.run = wb.run_task_level(w);
+
+  std::ostringstream csv;
+  wb.stats().write_csv(csv);
+  p.counters = csv.str();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t rounds = 6;
+  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = static_cast<std::uint32_t>(std::stoul(arg.substr(9)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts.clear();
+      std::istringstream list(arg.substr(10));
+      std::string tok;
+      while (std::getline(list, tok, ',')) {
+        thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
+      }
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--rounds=N] [--threads=a,b,c]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "# PDES thread scaling: 32x32 T805 mesh, task level, "
+            << rounds << " rounds\n\n";
+
+  stats::Table table({"sim threads", "sim time", "host s", "Mops/s",
+                      "speedup"});
+  std::vector<Point> points;
+  double base_seconds = 0.0;
+  bool identical = true;
+  for (const unsigned threads : thread_counts) {
+    Point p = run_point(threads, rounds);
+    if (!p.run.completed) {
+      std::cerr << "workload deadlocked at sim_threads=" << threads << "\n";
+      return 1;
+    }
+    if (!p.pdes_active) {
+      std::cerr << "PDES fell back to serial at sim_threads=" << threads
+                << "\n";
+      return 1;
+    }
+    if (points.empty()) {
+      base_seconds = p.run.host_seconds;
+    } else {
+      const Point& ref = points.front();
+      identical = identical &&
+                  p.run.simulated_time == ref.run.simulated_time &&
+                  p.run.operations == ref.run.operations &&
+                  p.run.messages == ref.run.messages &&
+                  p.counters == ref.counters;
+    }
+    const double ops_per_sec =
+        static_cast<double>(p.run.operations) / p.run.host_seconds;
+    const double speedup = base_seconds / p.run.host_seconds;
+    table.add_row({std::to_string(threads),
+                   sim::format_time(p.run.simulated_time),
+                   stats::Table::fmt(p.run.host_seconds, 4),
+                   stats::Table::fmt(ops_per_sec / 1e6, 3),
+                   stats::Table::fmt(speedup, 2)});
+    std::cout << "PDES sim_threads=" << threads
+              << " ops_per_sec=" << ops_per_sec << " speedup=" << speedup
+              << " host_seconds=" << p.run.host_seconds << "\n";
+    points.push_back(std::move(p));
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\ndeterminism check: stat tables across thread counts "
+            << (identical ? "IDENTICAL" : "DIVERGED") << "\n";
+  return identical ? 0 : 1;
+}

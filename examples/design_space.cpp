@@ -8,7 +8,12 @@
 // matrix multiply, how much does upgrading a transputer mesh to a
 // wormhole-routed RISC torus buy, and where does the time go?
 //
-//   $ ./examples/design_space [--threads=N] [--faults=<spec>]
+//   $ ./examples/design_space [--sweep-threads=N] [--sim-threads=N]
+//                             [--faults=<spec>]
+//
+// --sweep-threads (alias --threads, -jN) runs N experiment points at once;
+// --sim-threads parallelizes each point's own run with conservative PDES
+// (points the PDES path cannot honor fall back to the serial engine).
 //
 // With --faults (e.g. --faults=link=0-1@100,drop=0.01,seed=7) every candidate
 // runs in degraded mode: the sweep keeps going past faulted points and
@@ -69,8 +74,11 @@ int main(int argc, char** argv) {
     for (explore::ExperimentPoint& p : sweep.points) p.params.fault = faults;
   }
 
+  const explore::HostThreads host =
+      explore::host_threads_from_args(argc, argv);
   explore::SweepEngine engine(
-      {.threads = explore::threads_from_args(argc, argv),
+      {.threads = host.sweep_threads,
+       .sim_threads = host.sim_threads,
        .progress = &std::cerr,
        // Degraded-mode campaigns record faulted points as failure rows and
        // keep simulating the rest of the grid.

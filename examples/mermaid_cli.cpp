@@ -33,9 +33,12 @@ int usage() {
       << "  mermaid_cli run --machine <machine> --workload <file>\n"
       << "              [--level detailed|task] [--stats <csv>]\n"
       << "              [--progress <us>] [--faults <spec|file>]\n"
-      << "              [--trace-out <file>]\n"
+      << "              [--trace-out <file>] [--sim-threads <n>]\n"
       << "\n<machine> is a config file path or "
       << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
+      << "--sim-threads parallelizes the single run with conservative PDES\n"
+      << "(results are identical for any n >= 1; incompatible machines fall\n"
+      << "back to the serial engine with a note)\n"
       << "--faults takes a config file (overlaid on the machine) or an\n"
       << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n"
       << "--trace-out records an execution trace: a .json path gets Chrome\n"
@@ -111,6 +114,7 @@ struct RunArgs {
   std::string faults;
   std::string trace_out;
   std::uint64_t progress_us = 0;
+  unsigned sim_threads = 0;
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -124,6 +128,22 @@ int cmd_run(const RunArgs& args) {
   gen::StochasticDescription desc = gen::parse_workload_file(args.workload);
 
   core::Workbench wb(params);
+  // PDES must come first: tracing, stats and progress bind to the machine
+  // enable_pdes replaces.
+  if (args.sim_threads > 0) {
+    if (args.progress_us > 0) {
+      std::cerr << "[pdes] serial fallback: --progress samples global state "
+                   "mid-run\n";
+    } else {
+      const core::Workbench::PdesStatus st = wb.enable_pdes(args.sim_threads);
+      if (st.active) {
+        std::cerr << "[pdes] " << st.workers << " workers over "
+                  << st.partitions << " partitions (" << st.note << ")\n";
+      } else {
+        std::cerr << "[pdes] serial fallback: " << st.note << "\n";
+      }
+    }
+  }
   wb.register_all_stats();
   if (args.progress_us > 0) {
     wb.enable_progress(args.progress_us * sim::kTicksPerMicrosecond,
@@ -211,6 +231,8 @@ int main(int argc, char** argv) {
           run.trace_out = value;
         } else if (key == "--progress") {
           run.progress_us = std::stoull(value);
+        } else if (key == "--sim-threads") {
+          run.sim_threads = static_cast<unsigned>(std::stoul(value));
         } else {
           std::cerr << "unknown flag " << key << "\n";
           return usage();

@@ -17,16 +17,21 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 MIN_TIME=0.5
 OUT=BENCH_scheduler.json
 OUT_OBS=BENCH_obs.json
+OUT_PDES=BENCH_pdes.json
+PDES_ROUNDS=6
 if [[ "${1:-}" == "--smoke" ]]; then
   MIN_TIME=0.05
   OUT=build-release/BENCH_scheduler_smoke.json
   OUT_OBS=build-release/BENCH_obs_smoke.json
+  OUT_PDES=build-release/BENCH_pdes_smoke.json
+  PDES_ROUNDS=2
 fi
 
 echo "=== bench: configure + build (build-release/) ==="
 cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$JOBS" \
-  --target bench_kernel_micro bench_slowdown_detailed >/dev/null
+  --target bench_kernel_micro bench_slowdown_detailed bench_pdes_scaling \
+  >/dev/null
 
 echo "=== bench: kernel microbenchmarks (min_time=${MIN_TIME}s) ==="
 ./build-release/bench/bench_kernel_micro \
@@ -138,6 +143,60 @@ with open(obs_path, "w") as f:
 print(f"wrote {obs_path}")
 for key, x in overhead.items():
     print(f"tracing ON costs {key}: {x:.2f}x")
+PY
+
+echo "=== bench: PDES thread scaling (32x32 T805, task level) ==="
+# The bench itself exits non-zero if the stat tables diverge across thread
+# counts, so this stage doubles as a release-build determinism check.
+./build-release/bench/bench_pdes_scaling --rounds="$PDES_ROUNDS" \
+  | tee build-release/bench_pdes_scaling.txt
+
+python3 - "$OUT_PDES" "$PDES_ROUNDS" <<'PY'
+import json, re, sys
+
+out_path = sys.argv[1]
+rounds = int(sys.argv[2])
+try:
+    with open("/proc/cpuinfo") as f:
+        host_cores = sum(1 for line in f if line.startswith("processor"))
+except OSError:
+    host_cores = 0
+
+points = []
+line_re = re.compile(
+    r"^PDES sim_threads=(?P<threads>\d+) ops_per_sec=(?P<rate>[0-9.eE+-]+)"
+    r" speedup=(?P<speedup>[0-9.eE+-]+) host_seconds=(?P<secs>[0-9.eE+-]+)")
+with open("build-release/bench_pdes_scaling.txt") as f:
+    for line in f:
+        m = line_re.match(line)
+        if m:
+            points.append({
+                "sim_threads": int(m["threads"]),
+                "ops_per_sec": round(float(m["rate"]), 1),
+                "speedup": round(float(m["speedup"]), 3),
+                "host_seconds": round(float(m["secs"]), 4),
+            })
+if not points:
+    sys.exit("no PDES scaling points parsed from bench_pdes_scaling output")
+
+report = {
+    "generated_by": "scripts/bench.sh",
+    "series": "pdes",
+    "build_type": "Release",
+    "workload": "32x32 t805 mesh, stochastic random-perm, task level",
+    "rounds": rounds,
+    # Speedups are only meaningful relative to this: on a host with fewer
+    # cores than sim threads, slowdown at higher thread counts is expected.
+    "host_cores": host_cores,
+    "points": points,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for p in points:
+    print(f"  sim_threads={p['sim_threads']}: "
+          f"{p['ops_per_sec']/1e3:.1f}K ops/s, {p['speedup']:.2f}x")
 PY
 
 echo "=== bench.sh: done ==="

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification gate: the tier-1 suite on a plain build, the same suite
 # on an optimized Release build (the configuration the scheduler fast paths
-# are benchmarked in), a smoke pass of the scheduler benchmarks, then the
-# threaded suites (sweep engine + fault determinism) again under TSan.
+# are benchmarked in), a smoke pass of the scheduler benchmarks, the PDES
+# thread-scaling gate (skipped on hosts with < 4 cores), then the threaded
+# suites (sweep engine, fault determinism, conservative PDES) again under
+# TSan.
 #
 #   scripts/check.sh               # all stages
 #   SKIP_TSAN=1 scripts/check.sh      # skip the TSan stage
@@ -70,6 +72,36 @@ if ratio < 1.0 - effective:
              "BENCH_scheduler.json is stale, re-record it with "
              "scripts/bench.sh")
 PY
+
+  echo "=== release: PDES scaling smoke gate ==="
+  # A 4-worker conservative-PDES run of the 32x32 mesh must be at least
+  # 1.8x faster than the 1-worker run.  Only meaningful with real
+  # parallelism underneath, so the gate SKIPs (does not fail) on small
+  # hosts; determinism itself is still enforced by the bench's own exit
+  # code and by the pdes-labelled tests above.
+  CORES=$(nproc 2>/dev/null || echo 1)
+  if [[ "$CORES" -lt 4 ]]; then
+    echo "SKIP: host has ${CORES} core(s); the >=1.8x @ 4-thread gate needs 4+"
+  else
+    ./build-release/bench/bench_pdes_scaling --rounds=4 --threads=1,4 \
+      | tee build-release/bench_pdes_gate.txt
+    python3 - <<'PY'
+import re, sys
+
+speedup = None
+with open("build-release/bench_pdes_gate.txt") as f:
+    for line in f:
+        m = re.match(r"^PDES sim_threads=4 .*speedup=([0-9.eE+-]+)", line)
+        if m:
+            speedup = float(m.group(1))
+if speedup is None:
+    sys.exit("PDES gate: no 4-thread point in bench_pdes_scaling output")
+print(f"PDES 4-thread speedup: {speedup:.2f}x (gate: >= 1.8x)")
+if speedup < 1.8:
+    sys.exit("PDES scaling gate FAILED: 4 sim threads must be >= 1.8x "
+             "over 1 on a 4+ core host")
+PY
+  fi
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
@@ -80,6 +112,12 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
 
   echo "=== tsan: threaded suites (ctest -L tsan) ==="
   ctest --test-dir build-tsan -L tsan --output-on-failure
+
+  echo "=== tsan: conservative-PDES battery (ctest -L pdes) ==="
+  # Mostly a subset of -L tsan, but kept as its own leg so the PDES suite
+  # can be run (and seen to run) in isolation: worker-count bit-identity,
+  # boundary tortures and the event-queue property tests, all under TSan.
+  ctest --test-dir build-tsan -L pdes --output-on-failure
 fi
 
 echo "=== check.sh: all green ==="

@@ -1,7 +1,9 @@
 #include "core/workbench.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <stdexcept>
+#include <utility>
 
 namespace merm::core {
 
@@ -45,9 +47,94 @@ void Workbench::audit_run_thread() {
 
 void Workbench::register_all_stats() {
   machine_->register_stats(registry_, params_.name);
+  stats_registered_ = true;
+}
+
+Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads) {
+  PdesStatus st;
+  if (engine_) {
+    // Already parallel; report the live configuration.
+    st.active = true;
+    st.workers = engine_->workers();
+    st.partitions = engine_->partition_count();
+    st.lookahead = engine_->lookahead();
+    st.note = "already enabled";
+    return st;
+  }
+  // Everything below binds to the machine this call replaces, so a late
+  // enable_pdes is a programming error, not a fallback case.
+  if (run_thread_ != std::thread::id{}) {
+    throw std::logic_error("enable_pdes: a run already happened");
+  }
+  if (sink_ != nullptr) {
+    throw std::logic_error(
+        "enable_pdes: tracing is already attached to the serial machine; "
+        "call enable_pdes before enable_tracing");
+  }
+  if (vsm_ != nullptr) {
+    throw std::logic_error(
+        "enable_pdes: virtual shared memory is bound to the serial machine");
+  }
+  if (stats_registered_) {
+    throw std::logic_error(
+        "enable_pdes: stats are registered against the serial machine; "
+        "call enable_pdes before register_all_stats");
+  }
+  const std::uint32_t nodes = params_.node_count();
+  if (sim_threads == 0) {
+    st.note = "sim-threads=0 requests the serial engine";
+    return st;
+  }
+  if (nodes < 2) {
+    st.note = "fewer than two nodes: nothing to partition";
+    return st;
+  }
+  if (params_.router.switching != machine::Switching::kStoreAndForward) {
+    st.note =
+        "wormhole switching couples partitions with sub-lookahead "
+        "backpressure; only store-and-forward runs in parallel";
+    return st;
+  }
+  if (progress_interval_ != 0) {
+    st.note = "progress sampling reads global state mid-run; run serially";
+    return st;
+  }
+  const sim::Tick lookahead = machine_->network().min_hop_lookahead();
+  if (lookahead == 0) {
+    st.note = "zero-latency links leave no lookahead window";
+    return st;
+  }
+  engine_ = std::make_unique<sim::pdes::Engine>(nodes, sim_threads, lookahead);
+  machine_ = std::make_unique<node::Machine>(*engine_, params_);
+  if (fault::FaultPlan* plan = machine_->fault_plan()) {
+    engine_->set_barrier_hook([plan](sim::Tick t, sim::Tick until) {
+      return plan->apply_transitions(t, until);
+    });
+  }
+  // The serial simulator is now unreferenced (the PDES machine lives on the
+  // engine's partitions); release it so nothing can run on it by accident.
+  sim_.reset();
+  st.active = true;
+  st.workers = engine_->workers();
+  st.partitions = engine_->partition_count();
+  st.lookahead = lookahead;
+  st.note = "conservative windows, lookahead " + sim::format_time(lookahead);
+  return st;
 }
 
 obs::TraceSink& Workbench::enable_tracing(std::size_t ring_capacity) {
+  if (engine_) {
+    if (pdes_sinks_.empty()) {
+      std::vector<obs::TraceSink*> raw;
+      raw.reserve(engine_->partition_count());
+      for (std::uint32_t p = 0; p < engine_->partition_count(); ++p) {
+        pdes_sinks_.push_back(std::make_unique<obs::TraceSink>(ring_capacity));
+        raw.push_back(pdes_sinks_.back().get());
+      }
+      machine_->attach_trace_pdes(raw);
+    }
+    return *pdes_sinks_.front();
+  }
   if (!sink_) {
     sink_ = std::make_unique<obs::TraceSink>(ring_capacity);
     machine_->attach_trace(*sink_);
@@ -56,6 +143,11 @@ obs::TraceSink& Workbench::enable_tracing(std::size_t ring_capacity) {
 }
 
 void Workbench::enable_progress(sim::Tick interval, std::ostream* echo) {
+  if (engine_ != nullptr && interval != 0) {
+    throw std::logic_error(
+        "enable_progress: progress sampling reads global state mid-run and "
+        "cannot attach to a PDES workbench; enable it before enable_pdes");
+  }
   progress_interval_ = interval;
   progress_echo_ = echo;
 }
@@ -92,10 +184,17 @@ RunResult Workbench::run_impl(trace::Workload& workload,
                   ? machine_->launch_detailed(workload, recorders)
                   : machine_->launch_task_level(workload);
   }
-  return finish_run(handles, level, until, machine_->total_ops_executed());
+  const std::uint64_t ops_before = machine_->total_ops_executed();
+  return engine_ != nullptr ? finish_run_pdes(handles, level, until, ops_before)
+                            : finish_run(handles, level, until, ops_before);
 }
 
 vsm::VsmSystem& Workbench::enable_vsm(vsm::VsmParams params) {
+  if (engine_ != nullptr) {
+    throw std::logic_error(
+        "enable_vsm: the DSM layer routes every shared access through one "
+        "directory and is not partitionable; run serially");
+  }
   if (!vsm_) {
     vsm_ = std::make_unique<vsm::VsmSystem>(*machine_, params);
   }
@@ -122,6 +221,17 @@ sim::Process watch_completion(std::vector<sim::ProcessHandle> handles,
                               std::shared_ptr<sim::Tick> done_at) {
   for (sim::ProcessHandle& h : handles) co_await h.join();
   *done_at = sim.now();
+}
+
+/// Per-partition completion watcher for PDES fault runs.  Each partition
+/// writes its own slot; the coordinator reads them after the final barrier,
+/// so no synchronization beyond the engine's own is needed.
+sim::Process watch_partition(std::vector<sim::ProcessHandle> handles,
+                             sim::Simulator& sim,
+                             std::shared_ptr<std::vector<sim::Tick>> done_at,
+                             std::uint32_t partition) {
+  for (sim::ProcessHandle& h : handles) co_await h.join();
+  (*done_at)[partition] = sim.now();
 }
 
 }  // namespace
@@ -184,6 +294,119 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
     sim_->collect_finished();
   }
   return r;
+}
+
+RunResult Workbench::finish_run_pdes(
+    const std::vector<sim::ProcessHandle>& handles, node::SimulationLevel level,
+    sim::Tick until, std::uint64_t ops_before) {
+  const std::uint32_t parts = engine_->partition_count();
+  // Group the workload handles by owning partition: detailed spawns
+  // cpus_per_node processes on node n, task-level spawns one.
+  const std::uint32_t per_node = level == node::SimulationLevel::kDetailed
+                                     ? machine_->cpus_per_node()
+                                     : 1;
+  auto done_at = std::make_shared<std::vector<sim::Tick>>(parts, sim::kTickMax);
+  bool watched = false;
+  if (params_.fault.enabled && !handles.empty()) {
+    // Scripted repair transitions can outlive the workload; record each
+    // partition's local completion time so simulated_time reports when the
+    // application finished, not when the last repair fired.
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      std::vector<sim::ProcessHandle> local(
+          handles.begin() + p * per_node,
+          handles.begin() + (p + 1) * per_node);
+      engine_->sim(p).spawn(
+          watch_partition(std::move(local), engine_->sim(p), done_at, p));
+    }
+    watched = true;
+  }
+
+  HostTimer timer;
+  sim::pdes::Engine::RunResult sim_result;
+  {
+    const obs::HostProfiler::Scope scope(profiler_, "run");
+    sim_result = engine_->run(until);
+  }
+  const double host_seconds = timer.elapsed_seconds();
+  // Every worker is parked behind the final barrier: from here on the
+  // partitions' state is plainly readable.  Fold the sharded statistics
+  // before anything consults a counter.
+  machine_->fold_pdes_stats();
+
+  RunResult r;
+  r.machine_name = params_.name;
+  r.level = level;
+  r.completed = node::Machine::all_finished(handles);
+  const bool hung =
+      !r.completed && sim_result == sim::pdes::Engine::RunResult::kIdle;
+  const sim::Tick end = engine_->end_time();
+  for (auto& s : pdes_sinks_) s->seal(end, hung);
+  if (hung) {
+    r.hang_diagnostic = engine_->hang_diagnostic();
+    if (throw_on_hang_) throw HangError(r.hang_diagnostic);
+  }
+  sim::Tick workload_end = sim::kTickMax;
+  if (watched && r.completed) {
+    workload_end = 0;
+    for (const sim::Tick t : *done_at) {
+      if (t != sim::kTickMax) workload_end = std::max(workload_end, t);
+    }
+  }
+  r.simulated_time = workload_end != sim::kTickMax ? workload_end : end;
+  r.simulated_cpu_cycles =
+      sim::Clock(params_.node.cpu.frequency_hz).to_cycles(r.simulated_time);
+  r.events_processed = engine_->events_processed();
+  r.operations = machine_->total_ops_executed() - ops_before;
+  r.messages = machine_->total_messages();
+  r.host_seconds = host_seconds;
+  r.footprint_bytes = machine_->footprint_bytes();
+  r.peak_queue_depth = engine_->peak_queue_depth();
+  if (!pdes_sinks_.empty()) r.trace = merge_pdes_traces();
+  r.processors = level == node::SimulationLevel::kDetailed
+                     ? machine_->node_count() * machine_->cpus_per_node()
+                     : machine_->node_count();
+  if (r.completed) engine_->collect_finished();
+  return r;
+}
+
+std::shared_ptr<const obs::TraceData> Workbench::merge_pdes_traces() const {
+  std::vector<obs::TraceData> parts;
+  parts.reserve(pdes_sinks_.size());
+  for (const auto& s : pdes_sinks_) parts.push_back(s->to_data());
+
+  auto merged = std::make_shared<obs::TraceData>();
+  merged->hung = parts.front().hung;
+  merged->sealed_at = parts.front().sealed_at;
+  merged->tracks = parts.front().tracks;  // tables are identical by build
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].events.size();
+    if (p == 0) continue;
+    for (std::size_t t = 0; t < merged->tracks.size(); ++t) {
+      merged->tracks[t].dropped += parts[p].tracks[t].dropped;
+    }
+  }
+  // Preserve the TraceData contract: events track-by-track (per track,
+  // partitions concatenated in order — each partition's slice is already
+  // deterministic, so the concatenation is too), open spans appended last.
+  std::vector<std::vector<obs::TraceEvent>> closed(merged->tracks.size());
+  std::vector<obs::TraceEvent> open;
+  for (const obs::TraceData& part : parts) {
+    for (const obs::TraceEvent& ev : part.events) {
+      if ((ev.flags & obs::kFlagOpen) != 0) {
+        open.push_back(ev);
+      } else {
+        closed[ev.track].push_back(ev);
+      }
+    }
+  }
+  merged->events.reserve(total);
+  for (std::vector<obs::TraceEvent>& track_events : closed) {
+    merged->events.insert(merged->events.end(), track_events.begin(),
+                          track_events.end());
+  }
+  merged->events.insert(merged->events.end(), open.begin(), open.end());
+  return merged;
 }
 
 RunResult Workbench::run_detailed(trace::Workload& workload, sim::Tick until,

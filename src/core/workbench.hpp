@@ -26,6 +26,7 @@
 #include "node/machine.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/trace.hpp"
+#include "sim/pdes.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
 #include "trace/stream.hpp"
@@ -104,10 +105,37 @@ class Workbench {
   Workbench(Workbench&&) noexcept = default;
   Workbench& operator=(Workbench&&) = delete;
 
-  sim::Simulator& simulator() { return *sim_; }
+  /// The driving simulator: partition 0 under PDES, the single serial
+  /// simulator otherwise.
+  sim::Simulator& simulator() {
+    return engine_ != nullptr ? engine_->sim(0) : *sim_;
+  }
   node::Machine& machine() { return *machine_; }
   const machine::MachineParams& params() const { return params_; }
   stats::StatRegistry& stats() { return registry_; }
+
+  /// Outcome of enable_pdes(): either the run is parallelized (`active`) or
+  /// the workbench stays serial and `note` says why.
+  struct PdesStatus {
+    bool active = false;
+    unsigned workers = 0;       ///< host worker threads (clamped)
+    std::uint32_t partitions = 0;  ///< one per node when active
+    sim::Tick lookahead = 0;    ///< window length (min single-hop latency)
+    std::string note;           ///< human-readable fallback reason / summary
+  };
+
+  /// Switches this workbench to conservative parallel simulation with
+  /// `sim_threads` host workers (1 is the serial-equivalent baseline: same
+  /// algorithm, same results, no extra threads).  Must be called before
+  /// tracing, VSM, stat registration or any run — those bind to the machine
+  /// being replaced, so calling late throws std::logic_error.  Machine or
+  /// workbench configurations the PDES path cannot honor (fewer than two
+  /// nodes, wormhole switching, zero lookahead, progress sampling,
+  /// sim_threads == 0) fall back to the serial engine and report why in the
+  /// returned status; results stay valid either way.
+  PdesStatus enable_pdes(unsigned sim_threads);
+  bool pdes_active() const { return engine_ != nullptr; }
+  sim::pdes::Engine* pdes_engine() { return engine_.get(); }
 
   /// Registers all model metrics in stats() under the machine name.
   void register_all_stats();
@@ -136,7 +164,10 @@ class Workbench {
   /// enabled, every hook is a single branch-on-null.
   obs::TraceSink& enable_tracing(
       std::size_t ring_capacity = obs::TraceSink::kDefaultRingCapacity);
-  obs::TraceSink* trace_sink() { return sink_.get(); }
+  obs::TraceSink* trace_sink() {
+    if (sink_) return sink_.get();
+    return pdes_sinks_.empty() ? nullptr : pdes_sinks_.front().get();
+  }
 
   /// Host-side phase timer: launch/run phases are recorded per run.  Host
   /// times are nondeterministic and never feed back into simulated results.
@@ -197,14 +228,28 @@ class Workbench {
   RunResult finish_run(const std::vector<sim::ProcessHandle>& handles,
                        node::SimulationLevel level, sim::Tick until,
                        std::uint64_t ops_before);
+  RunResult finish_run_pdes(const std::vector<sim::ProcessHandle>& handles,
+                            node::SimulationLevel level, sim::Tick until,
+                            std::uint64_t ops_before);
+  /// Concatenates the per-partition sinks' snapshots into one TraceData with
+  /// the shared track table: per track, closed events in partition order;
+  /// open (blocked-at-seal) spans appended last, also in partition order.
+  std::shared_ptr<const obs::TraceData> merge_pdes_traces() const;
 
   machine::MachineParams params_;
   std::unique_ptr<sim::Simulator> sim_;
+  /// Declared before machine_: a PDES machine references the engine's
+  /// partition simulators, so it must be destroyed first.
+  std::unique_ptr<sim::pdes::Engine> engine_;
   std::unique_ptr<node::Machine> machine_;
   std::unique_ptr<vsm::VsmSystem> vsm_;
   stats::StatRegistry registry_;
   stats::TimeSeries progress_;
   std::unique_ptr<obs::TraceSink> sink_;
+  /// One sink per partition under PDES (identical track tables; merged into
+  /// RunResult::trace after the run).  Mutually exclusive with sink_.
+  std::vector<std::unique_ptr<obs::TraceSink>> pdes_sinks_;
+  bool stats_registered_ = false;
   obs::HostProfiler profiler_;
   obs::CounterSampler* sampler_ = nullptr;
   sim::Tick progress_interval_ = 0;

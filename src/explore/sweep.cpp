@@ -300,6 +300,9 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
       // route around) must surface as a failure row, not a silent
       // completed=false result.
       wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
+      // Parallelize inside the point before configure/tracing bind to the
+      // machine; incompatible points simply stay serial.
+      if (opts_.sim_threads != 0) wb.enable_pdes(opts_.sim_threads);
       if (sweep.configure) sweep.configure(wb, point, i);
       trace::Workload workload = factory(point.params, pr.seed);
       pr.run = point.level == node::SimulationLevel::kDetailed
@@ -381,22 +384,56 @@ SweepResult SweepEngine::run(const Sweep& sweep) {
   return out;
 }
 
-unsigned threads_from_args(int argc, char** argv, unsigned fallback) {
-  const auto parse = [fallback](const std::string& v) -> unsigned {
-    try {
-      const unsigned long n = std::stoul(v);
-      return n > 0 && n < 10'000 ? static_cast<unsigned>(n) : fallback;
-    } catch (...) {
-      return fallback;
-    }
-  };
+namespace {
+
+/// Shared flag-value parser for every thread-count option: accepts 1..9999,
+/// anything else (including garbage) leaves `fallback` in place.
+unsigned parse_thread_count(const std::string& v, unsigned fallback) {
+  try {
+    const unsigned long n = std::stoul(v);
+    return n > 0 && n < 10'000 ? static_cast<unsigned>(n) : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+/// Matches `--<name>=V` / `--<name> V`; fills `*out` on a well-formed value.
+bool match_flag(const std::string& name, int argc, char** argv, int i,
+                unsigned* out) {
+  const std::string arg = argv[i];
+  const std::string eq = "--" + name + "=";
+  if (arg.rfind(eq, 0) == 0) {
+    *out = parse_thread_count(arg.substr(eq.size()), *out);
+    return true;
+  }
+  if (arg == "--" + name && i + 1 < argc) {
+    *out = parse_thread_count(argv[i + 1], *out);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HostThreads host_threads_from_args(int argc, char** argv,
+                                   HostThreads fallback) {
+  HostThreads t = fallback;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) return parse(arg.substr(10));
-    if (arg == "--threads" && i + 1 < argc) return parse(argv[i + 1]);
-    if (arg.rfind("-j", 0) == 0 && arg.size() > 2) return parse(arg.substr(2));
+    if (match_flag("sweep-threads", argc, argv, i, &t.sweep_threads)) continue;
+    if (match_flag("sim-threads", argc, argv, i, &t.sim_threads)) continue;
+    // Back-compat: the pre-PDES single axis meant "points in flight".
+    if (match_flag("threads", argc, argv, i, &t.sweep_threads)) continue;
+    if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      t.sweep_threads = parse_thread_count(arg.substr(2), t.sweep_threads);
+    }
   }
-  return fallback;
+  return t;
+}
+
+unsigned threads_from_args(int argc, char** argv, unsigned fallback) {
+  return host_threads_from_args(argc, argv, HostThreads{fallback, 0})
+      .sweep_threads;
 }
 
 }  // namespace merm::explore

@@ -144,6 +144,14 @@ struct SweepOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().  The pool is
   /// additionally clamped to the number of points.
   unsigned threads = 0;
+  /// PDES workers *inside* each point's run (Workbench::enable_pdes); 0
+  /// keeps every point on the serial engine.  Points the PDES path cannot
+  /// honor (wormhole switching, single node, ...) fall back to serial
+  /// automatically.  Note the two engines are separately deterministic:
+  /// results are bit-identical across any sim_threads >= 1, and across any
+  /// `threads`, but the PDES network model is not bit-identical to the
+  /// serial one (see DESIGN.md "Conservative PDES").
+  unsigned sim_threads = 0;
   /// If set, one line per finished point ("[sweep] 3/12 ...").
   std::ostream* progress = nullptr;
   /// When true, a point that throws (a hang, RetryExhaustedError, a bad
@@ -200,8 +208,26 @@ class SweepEngine {
   SweepOptions opts_;
 };
 
+/// The two host-parallelism axes a driver can expose: threads *across*
+/// experiment points (the sweep pool) and threads *inside* one simulation
+/// (conservative PDES).  0 means "engine default" on both axes.
+struct HostThreads {
+  unsigned sweep_threads = 0;  ///< SweepOptions::threads
+  unsigned sim_threads = 0;    ///< SweepOptions::sim_threads / enable_pdes
+};
+
+/// Parses both thread axes from a driver's argv:
+///   --sweep-threads=N | --sweep-threads N   points in flight at once
+///   --sim-threads=N   | --sim-threads N     PDES workers per simulation
+///   --threads=N | --threads N | -jN         back-compat alias for
+///                                           --sweep-threads
+/// Malformed or absent flags leave the fallback value in place.
+HostThreads host_threads_from_args(int argc, char** argv,
+                                   HostThreads fallback = {});
+
 /// Parses a `--threads=N` / `--threads N` / `-jN` flag from a driver's argv;
-/// returns `fallback` (default 0 = auto) when absent or malformed.
+/// returns `fallback` (default 0 = auto) when absent or malformed.  Thin
+/// wrapper over host_threads_from_args for single-axis drivers.
 unsigned threads_from_args(int argc, char** argv, unsigned fallback = 0);
 
 }  // namespace merm::explore

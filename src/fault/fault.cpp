@@ -98,6 +98,100 @@ void FaultPlan::arm(sim::Simulator& sim) {
   }
 }
 
+void FaultPlan::enable_pdes(std::uint32_t node_count) {
+  // Per-node draw streams: splitmix-style spread of the plan seed so node
+  // streams are decorrelated but still pure functions of (seed, node).
+  pdes_draws_.clear();
+  pdes_draws_.reserve(node_count);
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    pdes_draws_.push_back(NodeDraws{
+        sim::Rng(params_.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1))), 0, 0});
+  }
+
+  // Build the transition list in the exact order arm() schedules its events
+  // (per link event: down then up; then node events), stable-sorted by time
+  // — same-time transitions therefore apply in the same order the serial
+  // event queue would have dispatched them.
+  transitions_.clear();
+  next_transition_ = 0;
+  for (const machine::LinkFaultEvent& e : params_.link_events) {
+    transitions_.push_back({e.down_at, [this, e] {
+                              set_link_state(e.a, e.b, true);
+                              links_failed.add();
+                              recompute_tables();
+                            }});
+    if (e.up_at != sim::kTickMax) {
+      transitions_.push_back({e.up_at, [this, e] {
+                                set_link_state(e.a, e.b, false);
+                                links_repaired.add();
+                                recompute_tables();
+                              }});
+    }
+  }
+  for (const machine::NodeFaultEvent& e : params_.node_events) {
+    transitions_.push_back({e.down_at, [this, e] {
+                              set_node_state(e.node, true);
+                              nodes_failed.add();
+                              recompute_tables();
+                            }});
+    if (e.up_at != sim::kTickMax) {
+      transitions_.push_back({e.up_at, [this, e] {
+                                set_node_state(e.node, false);
+                                nodes_repaired.add();
+                                recompute_tables();
+                              }});
+    }
+  }
+  std::stable_sort(transitions_.begin(), transitions_.end(),
+                   [](const Transition& a, const Transition& b) {
+                     return a.at < b.at;
+                   });
+}
+
+sim::Tick FaultPlan::apply_transitions(sim::Tick t, sim::Tick until) {
+  // A transition at exactly t applies before the window starting at t runs,
+  // reproducing arm()'s priority -1 ("the fault precedes the model events of
+  // its tick").  When every queue has drained (t == kTickMax) the remaining
+  // transitions up to `until` still apply, so failure/repair counters match
+  // the serial run even past the last model event.
+  const sim::Tick through = std::min(t, until);
+  while (next_transition_ < transitions_.size() &&
+         transitions_[next_transition_].at <= through) {
+    transitions_[next_transition_].apply();
+    ++next_transition_;
+  }
+  return next_transition_ < transitions_.size()
+             ? transitions_[next_transition_].at
+             : sim::kTickMax;
+}
+
+bool FaultPlan::draw_drop_at(NodeId src) {
+  if (pdes_draws_.empty()) return draw_drop();
+  if (params_.drop_probability <= 0.0) return false;
+  NodeDraws& d = pdes_draws_[static_cast<std::size_t>(src)];
+  const bool hit = d.rng.chance(params_.drop_probability);
+  if (hit) ++d.drops;
+  return hit;
+}
+
+bool FaultPlan::draw_corrupt_at(NodeId dst) {
+  if (pdes_draws_.empty()) return draw_corrupt();
+  if (params_.corrupt_probability <= 0.0) return false;
+  NodeDraws& d = pdes_draws_[static_cast<std::size_t>(dst)];
+  const bool hit = d.rng.chance(params_.corrupt_probability);
+  if (hit) ++d.corruptions;
+  return hit;
+}
+
+void FaultPlan::fold_pdes_draws() {
+  for (NodeDraws& d : pdes_draws_) {
+    drops_drawn.add(d.drops);
+    corruptions_drawn.add(d.corruptions);
+    d.drops = 0;
+    d.corruptions = 0;
+  }
+}
+
 bool FaultPlan::reachable(NodeId src, NodeId dst) const {
   if (src == dst) return node_usable(src);
   if (down_elements_ == 0) return true;  // live graph == full graph

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -48,6 +49,28 @@ class FaultPlan : public network::FaultInjector {
   /// before the run starts.  Transitions fire at priority -1 so a fault at
   /// time T affects everything else happening at T.
   void arm(sim::Simulator& sim);
+
+  // ---- conservative-PDES mode -------------------------------------------
+
+  /// Switches the plan to PDES operation: scripted transitions are *not*
+  /// armed as events but applied by the engine's barrier hook (see
+  /// apply_transitions), and the probabilistic draws move to per-node
+  /// streams so their order is partition-local.  Call instead of arm().
+  void enable_pdes(std::uint32_t node_count);
+
+  /// The engine's BarrierHook body: applies every scripted transition due at
+  /// or before min(t, until) — in the same order arm() would have fired them
+  /// (stable by time) — and returns the time of the next pending transition
+  /// (kTickMax when none), so no window runs past it.  Runs on the
+  /// coordinator between windows; the fault tables it mutates are read-only
+  /// inside windows.
+  sim::Tick apply_transitions(sim::Tick t, sim::Tick until);
+
+  /// Folds the per-node draw tallies into drops_drawn/corruptions_drawn.
+  void fold_pdes_draws();
+
+  bool draw_drop_at(NodeId src) override;
+  bool draw_corrupt_at(NodeId dst) override;
 
   const machine::FaultParams& params() const { return params_; }
 
@@ -103,6 +126,20 @@ class FaultPlan : public network::FaultInjector {
 
   std::vector<std::uint32_t> next_port_;  ///< [here * n + dest], kNoPort
   std::vector<std::uint32_t> distance_;   ///< [src * n + dest], kUnreachable
+
+  // -- PDES state (empty unless enable_pdes() was called) --
+  struct NodeDraws {
+    sim::Rng rng;
+    std::uint64_t drops = 0;
+    std::uint64_t corruptions = 0;
+  };
+  struct Transition {
+    sim::Tick at;
+    std::function<void()> apply;
+  };
+  std::vector<NodeDraws> pdes_draws_;    ///< [node]
+  std::vector<Transition> transitions_;  ///< stable-sorted by time
+  std::size_t next_transition_ = 0;
 };
 
 /// Parses a compact command-line fault spec into FaultParams (with

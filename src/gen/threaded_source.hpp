@@ -71,6 +71,10 @@ class ThreadedSource final : public trace::OperationSource {
   void global_event_issued(sim::Tick t) override;
   void global_event_done(sim::Tick t) override;
 
+  /// The generator thread's handshake assumes a single simulator-side
+  /// consumer thread; pulling from PDES workers would break it.
+  bool pdes_safe() const override { return false; }
+
  private:
   friend class AppContext;
 

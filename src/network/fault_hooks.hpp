@@ -52,6 +52,14 @@ class FaultInjector {
   /// One Bernoulli draw per delivered data message: arrived corrupted (the
   /// NIC discards it, forcing the sender's retry path)?
   virtual bool draw_corrupt() = 0;
+
+  /// PDES variants of the draws: taken from a per-node stream owned by the
+  /// partition that calls them (drop at the source, corruption at the
+  /// destination), so draw order — and therefore every outcome — is
+  /// independent of how cross-node events interleave.  Serial injectors can
+  /// keep the single-stream defaults.
+  virtual bool draw_drop_at(trace::NodeId /*src*/) { return draw_drop(); }
+  virtual bool draw_corrupt_at(trace::NodeId /*dst*/) { return draw_corrupt(); }
 };
 
 }  // namespace merm::network

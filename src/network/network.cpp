@@ -1,6 +1,10 @@
 #include "network/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/pdes.hpp"
 
 namespace merm::network {
 
@@ -311,6 +315,176 @@ sim::Process Network::packet_process(const std::vector<Hop>& hops,
   }
   if (--st->remaining == 0) {
     st->done.trigger();
+  }
+}
+
+void Network::enable_pdes(sim::pdes::Engine& engine) {
+  if (engine.partition_count() != topology_.node_count()) {
+    throw std::invalid_argument(
+        "network: PDES engine must carry one partition per node (" +
+        std::to_string(engine.partition_count()) + " != " +
+        std::to_string(topology_.node_count()) + ")");
+  }
+  pdes_ = &engine;
+  shards_.clear();
+  shards_.resize(topology_.node_count());
+}
+
+sim::Tick Network::min_hop_lookahead() const {
+  Link probe(sim_, link_params_);
+  const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
+  return t_r + probe.serialization(router_.header_bytes) +
+         link_params_.propagation_delay;
+}
+
+Network::PdesVerdict Network::pdes_inject(
+    NodeId src, NodeId dst, std::uint64_t bytes, bool control,
+    std::function<void(bool delivered)> deliver) {
+  NetShard& shard = shards_[static_cast<std::size_t>(src)];
+  shard.messages.add();
+  PdesVerdict verdict;
+  if (src == dst) {
+    // Local delivery never leaves the partition.
+    shard.bytes_delivered.add(bytes);
+    verdict.injected = true;
+    if (deliver) deliver(true);
+    return verdict;
+  }
+
+  sim::Simulator& ssim = pdes_->sim(static_cast<std::uint32_t>(src));
+  obs::TraceSink* sink =
+      pdes_sinks_.empty() ? nullptr
+                          : pdes_sinks_[static_cast<std::size_t>(src)];
+  const auto drop_instant = [&] {
+    if (sink != nullptr) {
+      sink->instant(trace_tracks_[src], obs::SpanKind::kDrop, ssim.now(),
+                    static_cast<std::int64_t>(bytes), dst);
+    }
+  };
+
+  if (fault_ != nullptr) {
+    if (!fault_->node_usable(src) || !fault_->node_usable(dst) ||
+        !fault_->reachable(src, dst)) {
+      shard.messages_unreachable.add();
+      verdict.unreachable = true;
+      drop_instant();
+      return verdict;
+    }
+    if (!control && fault_->draw_drop_at(src)) {
+      // Lost in transit: the sender notices only via ack timeout.
+      shard.messages_dropped.add();
+      verdict.dropped = true;
+      drop_instant();
+      return verdict;
+    }
+  }
+  std::vector<Hop> hops;
+  if (!plan_route(src, dst, hops, verdict.rerouted)) {
+    shard.messages_unreachable.add();
+    verdict.unreachable = true;
+    drop_instant();
+    return verdict;
+  }
+  if (verdict.rerouted) {
+    shard.messages_rerouted.add();
+    if (sink != nullptr) {
+      sink->instant(trace_tracks_[src], obs::SpanKind::kReroute, ssim.now(),
+                    static_cast<std::int64_t>(bytes), dst);
+    }
+  }
+
+  // Zero-load pipeline latency: the head packet crosses every hop, the rest
+  // stream one hold time behind it.  Per-hop link traffic is charged now, on
+  // the source shard; every hold is >= min_hop_lookahead(), so the delivery
+  // time always clears the current window.
+  const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
+  const sim::Tick t_prop = link_params_.propagation_delay;
+  const std::uint32_t n_packets = packet_count(bytes);
+  shard.packets.add(n_packets);
+  std::uint64_t left = bytes;
+  sim::Tick delay = 0;
+  for (std::uint32_t i = 0; i < n_packets; ++i) {
+    const std::uint64_t payload =
+        std::min<std::uint64_t>(left, router_.max_packet_bytes);
+    left -= payload;
+    const std::uint64_t pkt = payload + router_.header_bytes;
+    const sim::Tick hold = t_r + hops.front().link->serialization(pkt) + t_prop;
+    delay += i == 0 ? hold * static_cast<sim::Tick>(hops.size()) : hold;
+    for (const Hop& h : hops) {
+      LinkDelta& d = shard.link_deltas[link_key(h.from, h.port)];
+      d.packets += 1;
+      d.bytes += pkt;
+      d.busy += hold;
+    }
+  }
+
+  verdict.injected = true;
+  ssim.spawn(pdes_transit(src, dst, bytes,
+                          static_cast<std::uint32_t>(hops.size()), control,
+                          ssim.now(), delay, std::move(deliver)));
+  return verdict;
+}
+
+sim::Process Network::pdes_transit(NodeId src, NodeId dst, std::uint64_t bytes,
+                                   std::uint32_t hop_count, bool control,
+                                   sim::Tick start, sim::Tick delay,
+                                   std::function<void(bool)> deliver) {
+  co_await pdes_->teleport(static_cast<std::uint32_t>(dst), delay);
+  // From here on the coroutine runs on dst's partition.
+  NetShard& shard = shards_[static_cast<std::size_t>(dst)];
+  const sim::Tick now = pdes_->sim(static_cast<std::uint32_t>(dst)).now();
+  obs::TraceSink* sink =
+      pdes_sinks_.empty() ? nullptr
+                          : pdes_sinks_[static_cast<std::size_t>(dst)];
+  // Bytes count before the corruption draw, matching the serial order.
+  shard.bytes_delivered.add(bytes);
+  if (fault_ != nullptr && !control && fault_->draw_corrupt_at(dst)) {
+    shard.messages_corrupted.add();
+    if (sink != nullptr) {
+      sink->span(trace_tracks_[src], obs::SpanKind::kLinkTransit, start, now,
+                 static_cast<std::int64_t>(bytes), dst, 0);
+      sink->instant(trace_tracks_[src], obs::SpanKind::kDrop, now,
+                    static_cast<std::int64_t>(bytes), dst);
+    }
+    if (deliver) deliver(false);
+    co_return;
+  }
+  shard.message_latency_ticks.add(static_cast<double>(now - start));
+  shard.message_hops.add(static_cast<double>(hop_count));
+  shard.latency_histogram.add((now - start) / sim::kTicksPerNanosecond);
+  if (sink != nullptr) {
+    sink->span(trace_tracks_[src], obs::SpanKind::kLinkTransit, start, now,
+               static_cast<std::int64_t>(bytes), dst, 1);
+  }
+  if (deliver) deliver(true);
+}
+
+void Network::attach_trace_pdes(std::vector<obs::TraceSink*> sinks,
+                                std::vector<obs::TrackId> tracks) {
+  pdes_sinks_ = std::move(sinks);
+  trace_tracks_ = std::move(tracks);
+}
+
+void Network::fold_pdes_shards() {
+  for (NetShard& s : shards_) {
+    messages.add(s.messages.value());
+    packets.add(s.packets.value());
+    bytes_delivered.add(s.bytes_delivered.value());
+    message_latency_ticks.merge(s.message_latency_ticks);
+    message_hops.merge(s.message_hops);
+    latency_histogram.merge(s.latency_histogram);
+    messages_dropped.add(s.messages_dropped.value());
+    messages_unreachable.add(s.messages_unreachable.value());
+    messages_corrupted.add(s.messages_corrupted.value());
+    messages_rerouted.add(s.messages_rerouted.value());
+    for (const auto& [key, d] : s.link_deltas) {
+      Link& link = link_at(static_cast<NodeId>(key >> 32),
+                           static_cast<std::uint32_t>(key & 0xffffffffu));
+      link.packets.add(d.packets);
+      link.bytes.add(d.bytes);
+      link.add_busy(d.busy);
+    }
+    s = NetShard{};  // fold exactly once
   }
 }
 

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "machine/params.hpp"
@@ -33,6 +35,10 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
+
+namespace merm::sim::pdes {
+class Engine;
+}  // namespace merm::sim::pdes
 
 namespace merm::network {
 
@@ -98,6 +104,54 @@ class Network {
   /// injector must outlive the network or be cleared before it dies.
   void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
   FaultInjector* fault_injector() const { return fault_; }
+
+  // ---- conservative-PDES path -------------------------------------------
+  // One partition per node.  Message traffic goes through pdes_inject()
+  // instead of transmit(): the per-hop contention model is replaced by the
+  // zero-load pipeline latency (packets stream behind the head, no
+  // cross-message queueing — see DESIGN.md for the fidelity trade), which
+  // keeps every link interaction inside a single partition and makes the
+  // minimum hop cost a valid lookahead.
+
+  /// Binds the network to a PDES engine (partition_count() must equal
+  /// node_count()).  Statistics then accrue into per-partition shards; call
+  /// fold_pdes_shards() once after the run.
+  void enable_pdes(sim::pdes::Engine& engine);
+  bool pdes_active() const { return pdes_ != nullptr; }
+
+  /// The model's lookahead: the cheapest possible cross-partition latency —
+  /// one routing decision plus serialization of a bare header plus wire
+  /// propagation.  Zero means this configuration cannot bound a PDES window.
+  sim::Tick min_hop_lookahead() const;
+
+  /// Synchronous outcome of a PDES injection, decided on the source
+  /// partition.  Exactly one of the flags is set.
+  struct PdesVerdict {
+    bool injected = false;     ///< a transit is on its way to dst
+    bool rerouted = false;     ///< (with injected) took a degraded path
+    bool unreachable = false;  ///< no live route existed at send time
+    bool dropped = false;      ///< lost to a drop draw at injection
+  };
+
+  /// Fault-checks, routes, and launches a message from src's partition.
+  /// When the verdict is `injected`, `deliver(delivered)` later runs on
+  /// dst's partition at the arrival time (delivered == false when the
+  /// message arrived corrupted); otherwise the message died at injection
+  /// and the callback is never invoked.
+  PdesVerdict pdes_inject(NodeId src, NodeId dst, std::uint64_t bytes,
+                          bool control,
+                          std::function<void(bool delivered)> deliver);
+
+  /// PDES tracing: one sink per partition, all sharing one track table.
+  /// Source-side instants (drops, reroutes) go to sinks[src]; the transit
+  /// span is written at arrival on sinks[dst] — both on the per-source-node
+  /// track tracks[src].
+  void attach_trace_pdes(std::vector<obs::TraceSink*> sinks,
+                         std::vector<obs::TrackId> tracks);
+
+  /// Folds the per-partition shards into the public counters and the
+  /// per-link counters.  Partition-ordered, so the result is deterministic.
+  void fold_pdes_shards();
 
   /// Packets a message of `bytes` splits into.
   std::uint32_t packet_count(std::uint64_t bytes) const;
@@ -176,6 +230,43 @@ class Network {
   sim::Process packet_process(const std::vector<Hop>& hops,
                               std::uint64_t payload_bytes, MessageState* st);
 
+  /// Per-partition statistics shard for the PDES path.  Each shard is only
+  /// touched by its own partition's worker during a window; folding happens
+  /// single-threaded after the run.  Per-link traffic is kept as integer
+  /// deltas keyed (node << 32) | port — order-insensitive sums, so the fold
+  /// is exact at any worker count.
+  struct LinkDelta {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick busy = 0;
+  };
+  struct NetShard {
+    stats::Counter messages;
+    stats::Counter packets;
+    stats::Counter bytes_delivered;
+    stats::Accumulator message_latency_ticks;
+    stats::Accumulator message_hops;
+    stats::Log2Histogram latency_histogram;
+    stats::Counter messages_dropped;
+    stats::Counter messages_unreachable;
+    stats::Counter messages_corrupted;
+    stats::Counter messages_rerouted;
+    std::unordered_map<std::uint64_t, LinkDelta> link_deltas;
+  };
+
+  static std::uint64_t link_key(NodeId node, std::uint32_t port) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+            << 32) |
+           port;
+  }
+
+  /// The in-flight half of a PDES transmission: teleports to dst's
+  /// partition, then does the arrival-side accounting and delivery there.
+  sim::Process pdes_transit(NodeId src, NodeId dst, std::uint64_t bytes,
+                            std::uint32_t hop_count, bool control,
+                            sim::Tick start, sim::Tick delay,
+                            std::function<void(bool)> deliver);
+
   sim::Simulator& sim_;
   machine::RouterParams router_;
   machine::LinkParams link_params_;
@@ -185,6 +276,10 @@ class Network {
   FaultInjector* fault_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   std::vector<obs::TrackId> trace_tracks_;  ///< one per source node
+
+  sim::pdes::Engine* pdes_ = nullptr;
+  std::vector<NetShard> shards_;             ///< [partition] in PDES mode
+  std::vector<obs::TraceSink*> pdes_sinks_;  ///< [partition] in PDES mode
 };
 
 }  // namespace merm::network

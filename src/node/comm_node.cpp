@@ -92,6 +92,74 @@ sim::Process CommNode::reliable_transmission(Message msg) {
   }
 }
 
+void CommNode::pdes_transmit(const Message& msg) {
+  CommNode* dst_node = &peer(msg.dst);
+  const network::Network::PdesVerdict v = net_.pdes_inject(
+      id_, msg.dst, msg.bytes, /*control=*/false,
+      [dst_node, msg](bool delivered) {
+        if (delivered) {
+          dst_node->deliver(msg);
+        } else {
+          // Corrupted in transit.  The serial model books this drop on the
+          // sender; here the observer is the destination NIC — the per-node
+          // attribution shifts, the total over all nodes does not.
+          dst_node->msg_drops.add();
+        }
+      });
+  if (v.rerouted) reroutes.add();
+  if (v.dropped || v.unreachable) msg_drops.add();
+}
+
+sim::Process CommNode::pdes_reliable_asend(Message msg) {
+  msg.seq = next_seq();
+  auto ctl = std::make_shared<AckControl>();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    ctl->wake.reset();
+    CommNode* dst_node = &peer(msg.dst);
+    const network::Network::PdesVerdict v = net_.pdes_inject(
+        id_, msg.dst, msg.bytes, /*control=*/false,
+        [dst_node, msg, ctl](bool delivered) {
+          if (delivered) {
+            dst_node->pdes_deliver_confirmed(msg, ctl);
+          } else {
+            dst_node->msg_drops.add();
+          }
+        });
+    if (v.rerouted) reroutes.add();
+    if (v.injected) {
+      sim_.schedule_in(backoff(fault_->ack_timeout, attempt), [ctl] {
+        if (!ctl->acked) ctl->wake.trigger();
+      });
+      co_await ctl->wake;
+      if (ctl->acked) co_return;
+    } else {
+      msg_drops.add();
+    }
+    if (attempt >= fault_->max_retries) {
+      send_failures.add();
+      comm_log().debug(sim_.now(), "node ", id_, " asend to ", msg.dst,
+                       " tag=", msg.tag, " abandoned after ", attempt + 1,
+                       " attempts");
+      co_return;
+    }
+    retries.add();
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, obs::SpanKind::kNicRetry, sim_.now(),
+                      attempt + 1, msg.dst, msg.tag);
+    }
+    co_await sim_.delay(backoff(fault_->retry_backoff, attempt));
+  }
+}
+
+void CommNode::pdes_deliver_confirmed(const Message& msg,
+                                      std::shared_ptr<AckControl> ctl) {
+  deliver(msg);
+  net_.pdes_inject(id_, msg.src, 0, /*control=*/true, [ctl](bool) {
+    ctl->acked = true;
+    ctl->wake.trigger();
+  });
+}
+
 sim::Process CommNode::ack_return(NodeId to, std::shared_ptr<AckControl> ctl) {
   // Zero-payload acknowledgement packet back to the sync sender.  Control
   // traffic: exempt from probabilistic drops but not from dead links, so in
@@ -148,6 +216,8 @@ sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
   if (dst == id_ || fault_ == nullptr) {
     if (dst == id_) {
       deliver(msg);
+    } else if (net_.pdes_active()) {
+      pdes_transmit(msg);
     } else {
       sim_.spawn(transmission(msg));
     }
@@ -160,7 +230,11 @@ sim::Task<> CommNode::op_send(NodeId dst, std::uint64_t bytes,
     for (std::uint32_t attempt = 0;; ++attempt) {
       blocked.attempts = attempt + 1;
       ctl->wake.reset();
-      sim_.spawn(transmission(msg));
+      if (net_.pdes_active()) {
+        pdes_transmit(msg);
+      } else {
+        sim_.spawn(transmission(msg));
+      }
       sim_.schedule_in(backoff(fault_->ack_timeout, attempt), [ctl] {
         if (!ctl->acked) ctl->wake.trigger();
       });
@@ -195,7 +269,13 @@ sim::Task<> CommNode::op_asend(NodeId dst, std::uint64_t bytes,
   if (dst == id_) {
     deliver(msg);
   } else if (fault_ == nullptr) {
-    sim_.spawn(transmission(msg));
+    if (net_.pdes_active()) {
+      pdes_transmit(msg);
+    } else {
+      sim_.spawn(transmission(msg));
+    }
+  } else if (net_.pdes_active()) {
+    sim_.spawn(pdes_reliable_asend(msg));
   } else {
     sim_.spawn(reliable_transmission(msg));
   }
@@ -347,9 +427,24 @@ void CommNode::consume(const Message& msg) {
 }
 
 void CommNode::acknowledge(const Message& msg) {
+  // PDES asend copies carry a dedup seq but no ack control: nothing to do.
+  if (msg.ack == nullptr) return;
   if (msg.src == id_) {
     msg.ack->acked = true;
     msg.ack->wake.trigger();
+  } else if (net_.pdes_active()) {
+    // Runs on the receiver's partition; the arrival callback of the
+    // zero-payload control message executes on the *sender's* partition, so
+    // the wake trigger stays partition-local.  A dead reverse path is a
+    // single counted loss — the sender's own retransmit machinery recovers
+    // (a duplicate copy re-acks).
+    auto ctl = msg.ack;
+    const network::Network::PdesVerdict v =
+        net_.pdes_inject(id_, msg.src, 0, /*control=*/true, [ctl](bool) {
+          ctl->acked = true;
+          ctl->wake.trigger();
+        });
+    if (!v.injected) msg_drops.add();
   } else {
     sim_.spawn(ack_return(msg.src, msg.ack));
   }

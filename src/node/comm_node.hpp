@@ -226,6 +226,22 @@ class CommNode {
   /// Async-send transport with the NIC's bounded-retry loop (fault mode).
   sim::Process reliable_transmission(Message msg);
   sim::Process ack_return(NodeId to, std::shared_ptr<AckControl> ctl);
+
+  // -- conservative-PDES transport (used when net_.pdes_active()) --
+  /// Replaces transmission(): source-side outcomes come back synchronously
+  /// in the network verdict; delivery (or the corruption loss) runs on the
+  /// destination's partition via the arrival callback.
+  void pdes_transmit(const Message& msg);
+  /// Replaces reliable_transmission(): the sender cannot observe link-level
+  /// delivery across partitions, so the destination NIC confirms arrival
+  /// with a zero-payload control message and the sender retries on a
+  /// confirm timeout.
+  sim::Process pdes_reliable_asend(Message msg);
+  /// Destination half of pdes_reliable_asend: deliver, then confirm —
+  /// unconditionally, including duplicate copies, so a late confirm can
+  /// never strand the sender's retry loop.
+  void pdes_deliver_confirmed(const Message& msg,
+                              std::shared_ptr<AckControl> ctl);
   /// Acknowledges a consumed sync send (local trigger or ack packet).
   void acknowledge(const Message& msg);
 

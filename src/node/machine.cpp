@@ -2,23 +2,50 @@
 
 #include <stdexcept>
 
+#include "sim/pdes.hpp"
+
 namespace merm::node {
 
 Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
     : sim_(sim), params_(params) {
+  build(nullptr);
+}
+
+Machine::Machine(sim::pdes::Engine& engine,
+                 const machine::MachineParams& params)
+    : sim_(engine.sim(0)), params_(params), pdes_(&engine) {
+  build(&engine);
+}
+
+void Machine::build(sim::pdes::Engine* engine) {
+  // Under PDES the Network object itself is bound to partition 0, but only
+  // for parameter math and stat storage — message traffic goes through
+  // pdes_inject() and never touches that simulator's queue.
   network_ = std::make_unique<network::Network>(
       sim_, params_.topology, params_.router, params_.link);
+  if (engine != nullptr) network_->enable_pdes(*engine);
   if (params_.fault.enabled) {
     fault_plan_ =
         std::make_unique<fault::FaultPlan>(params_.fault, network_->topology());
     network_->set_fault_injector(fault_plan_.get());
-    fault_plan_->arm(sim_);
+    if (engine != nullptr) {
+      // Scripted transitions apply at window barriers (the engine's hook,
+      // wired by the workbench); arming them as events on one partition
+      // could not stop the other partitions' windows.
+      fault_plan_->enable_pdes(network_->node_count());
+    } else {
+      fault_plan_->arm(sim_);
+    }
   }
   const std::uint32_t n = network_->node_count();
+  node_sims_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    node_sims_.push_back(engine != nullptr ? &engine->sim(i) : &sim_);
+  }
   comm_nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     comm_nodes_.push_back(std::make_unique<CommNode>(
-        sim_, static_cast<NodeId>(i), *network_, params_.nic));
+        *node_sims_[i], static_cast<NodeId>(i), *network_, params_.nic));
   }
   for (auto& cn : comm_nodes_) {
     cn->set_fabric(&comm_nodes_);
@@ -27,11 +54,13 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
   compute_nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     compute_nodes_.push_back(std::make_unique<ComputeNode>(
-        sim_, params_.node, static_cast<NodeId>(i)));
+        *node_sims_[i], params_.node, static_cast<NodeId>(i)));
   }
   // When the event queue drains with work still blocked, the hang diagnostic
   // names each blocked communication operation.  The machine must outlive
-  // any hang_diagnostic() call (Workbench pairs the two lifetimes).
+  // any hang_diagnostic() call (Workbench pairs the two lifetimes).  Under
+  // PDES the single reporter lives on partition 0 and walks every node, so
+  // the engine's aggregated diagnostic reads exactly like the serial one.
   sim_.add_hang_reporter([this](std::vector<std::string>& lines) {
     for (const auto& cn : comm_nodes_) {
       for (std::string& line : cn->describe_blocked()) {
@@ -39,6 +68,11 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
       }
     }
   });
+}
+
+void Machine::fold_pdes_stats() {
+  network_->fold_pdes_shards();
+  if (fault_plan_ != nullptr) fault_plan_->fold_pdes_draws();
 }
 
 void Machine::attach_trace(obs::TraceSink& sink) {
@@ -60,6 +94,38 @@ void Machine::attach_trace(obs::TraceSink& sink) {
   network_->attach_trace(&sink, std::move(net_tracks));
 }
 
+void Machine::attach_trace_pdes(const std::vector<obs::TraceSink*>& sinks) {
+  if (sinks.size() != node_count()) {
+    throw std::invalid_argument("attach_trace_pdes needs one sink per node");
+  }
+  // Register every track in every sink, in the exact order attach_trace
+  // uses, so all sinks carry identical track tables and the post-run merge
+  // can concatenate per-track event lists without id translation.
+  const auto add = [&sinks](const std::string& name) {
+    const obs::TrackId id = sinks[0]->add_track(name);
+    for (std::size_t s = 1; s < sinks.size(); ++s) sinks[s]->add_track(name);
+    return id;
+  };
+  std::vector<obs::TrackId> net_tracks;
+  net_tracks.reserve(node_count());
+  for (std::uint32_t n = 0; n < node_count(); ++n) {
+    const std::string base = "node" + std::to_string(n);
+    std::vector<obs::TrackId> cpu_tracks;
+    cpu_tracks.reserve(cpus_per_node());
+    for (std::uint32_t c = 0; c < cpus_per_node(); ++c) {
+      cpu_tracks.push_back(add(base + ".cpu" + std::to_string(c)));
+    }
+    compute_nodes_[n]->attach_trace(sinks[n], std::move(cpu_tracks));
+    comm_nodes_[n]->attach_trace(sinks[n], add(base + ".comm"));
+    net_tracks.push_back(add(base + ".net"));
+    compute_nodes_[n]->memory().bus().attach_trace(sinks[n],
+                                                   add(base + ".bus"));
+  }
+  network_->attach_trace_pdes(
+      std::vector<obs::TraceSink*>(sinks.begin(), sinks.end()),
+      std::move(net_tracks));
+}
+
 std::vector<sim::ProcessHandle> Machine::launch_detailed(
     trace::Workload& workload, std::vector<TaskRecorder>* recorders) {
   const std::uint32_t cpus = cpus_per_node();
@@ -73,6 +139,15 @@ std::vector<sim::ProcessHandle> Machine::launch_detailed(
     recorders->clear();
     recorders->resize(workload.node_count());
   }
+  if (pdes_ != nullptr) {
+    for (const auto& src : workload.sources) {
+      if (!src->pdes_safe()) {
+        throw std::invalid_argument(
+            "workload source is not PDES-safe (execution-driven sources "
+            "synchronize with their own host thread); run serially");
+      }
+    }
+  }
   std::vector<sim::ProcessHandle> handles;
   handles.reserve(workload.node_count());
   for (std::uint32_t n = 0; n < node_count(); ++n) {
@@ -80,7 +155,7 @@ std::vector<sim::ProcessHandle> Machine::launch_detailed(
       const std::size_t idx = static_cast<std::size_t>(n) * cpus + c;
       TaskRecorder* rec =
           recorders != nullptr ? &(*recorders)[idx] : nullptr;
-      handles.push_back(sim_.spawn(
+      handles.push_back(node_sims_[n]->spawn(
           compute_nodes_[n]->run(c, *workload.sources[idx],
                                  comm_nodes_[n].get(), rec),
           "node" + std::to_string(n) + ".cpu" + std::to_string(c)));
@@ -97,12 +172,21 @@ std::vector<sim::ProcessHandle> Machine::launch_task_level(
         std::to_string(workload.node_count()) + ", want " +
         std::to_string(node_count()) + ")");
   }
+  if (pdes_ != nullptr) {
+    for (const auto& src : workload.sources) {
+      if (!src->pdes_safe()) {
+        throw std::invalid_argument(
+            "workload source is not PDES-safe (execution-driven sources "
+            "synchronize with their own host thread); run serially");
+      }
+    }
+  }
   std::vector<sim::ProcessHandle> handles;
   handles.reserve(node_count());
   for (std::uint32_t n = 0; n < node_count(); ++n) {
     handles.push_back(
-        sim_.spawn(comm_nodes_[n]->run(*workload.sources[n]),
-                   "node" + std::to_string(n) + ".comm"));
+        node_sims_[n]->spawn(comm_nodes_[n]->run(*workload.sources[n]),
+                             "node" + std::to_string(n) + ".comm"));
   }
   return handles;
 }

@@ -25,6 +25,10 @@
 #include "sim/simulator.hpp"
 #include "trace/stream.hpp"
 
+namespace merm::sim::pdes {
+class Engine;
+}  // namespace merm::sim::pdes
+
 namespace merm::node {
 
 /// The two abstraction levels of the workbench.
@@ -37,6 +41,13 @@ class Machine {
  public:
   Machine(sim::Simulator& sim, const machine::MachineParams& params);
 
+  /// Conservative-PDES assembly: every node's components live on their own
+  /// partition (engine.sim(node)), the network runs its zero-load PDES path,
+  /// and scripted faults apply at window barriers instead of being armed as
+  /// events.  `engine` must carry exactly one partition per node and must
+  /// outlive the machine.
+  Machine(sim::pdes::Engine& engine, const machine::MachineParams& params);
+
   const machine::MachineParams& params() const { return params_; }
   std::uint32_t node_count() const {
     return static_cast<std::uint32_t>(comm_nodes_.size());
@@ -47,6 +58,11 @@ class Machine {
   CommNode& comm_node(std::uint32_t i) { return *comm_nodes_[i]; }
   network::Network& network() { return *network_; }
   sim::Simulator& simulator() { return sim_; }
+  /// The PDES engine this machine runs on, or nullptr for a serial machine.
+  sim::pdes::Engine* pdes_engine() { return pdes_; }
+  /// The simulator node `i`'s components are spawned on (partition i under
+  /// PDES, the shared serial simulator otherwise).
+  sim::Simulator& node_simulator(std::uint32_t i) { return *node_sims_[i]; }
   /// The armed fault plan, or nullptr when params.fault is disabled.
   fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
@@ -70,6 +86,16 @@ class Machine {
   /// component.  Call once, before any run that should be traced.
   void attach_trace(obs::TraceSink& sink);
 
+  /// PDES tracing: one sink per partition, each given the *identical* track
+  /// table (same names, same ids, same order as attach_trace would build),
+  /// so per-track events merge across partitions without id translation.
+  void attach_trace_pdes(const std::vector<obs::TraceSink*>& sinks);
+
+  /// Folds the network's per-partition stat shards and the fault plan's
+  /// per-node draw tallies into the public counters.  Call once, after a
+  /// PDES run, before reading any statistic.
+  void fold_pdes_stats();
+
   // -- aggregates --
   std::uint64_t total_ops_executed() const;
   std::uint64_t total_messages() const;
@@ -79,8 +105,13 @@ class Machine {
   void register_stats(stats::StatRegistry& reg, const std::string& prefix);
 
  private:
-  sim::Simulator& sim_;
+  /// Shared construction body; `engine` is null for the serial assembly.
+  void build(sim::pdes::Engine* engine);
+
+  sim::Simulator& sim_;  ///< partition 0's simulator under PDES
   machine::MachineParams params_;
+  sim::pdes::Engine* pdes_ = nullptr;
+  std::vector<sim::Simulator*> node_sims_;  ///< [node]; all &sim_ when serial
   std::unique_ptr<network::Network> network_;
   /// Declared after network_ so it is destroyed first (the network holds a
   /// raw FaultInjector pointer into it).

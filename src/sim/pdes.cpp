@@ -1,0 +1,212 @@
+#include "sim/pdes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace merm::sim::pdes {
+
+Engine::Engine(std::uint32_t partitions, unsigned workers, Tick lookahead)
+    : workers_(std::max(1u, std::min(workers, partitions))),
+      lookahead_(lookahead) {
+  if (partitions == 0) {
+    throw std::invalid_argument("pdes: need at least one partition");
+  }
+  if (lookahead == 0) {
+    throw std::invalid_argument(
+        "pdes: zero lookahead cannot bound a window (a zero-latency "
+        "cross-partition interaction would violate causality)");
+  }
+  sims_.reserve(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->set_partition(p);
+  }
+  outbox_.resize(partitions);
+  outbox_seq_.assign(partitions, 0);
+  errors_.resize(partitions);
+  error_times_.assign(partitions, kTickMax);
+  if (workers_ > 1) {
+    gate_ = std::make_unique<std::barrier<>>(
+        static_cast<std::ptrdiff_t>(workers_) + 1);
+    threads_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+Engine::~Engine() {
+  if (!threads_.empty()) {
+    shutdown_ = true;
+    gate_->arrive_and_wait();  // release workers into the shutdown check
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+void Engine::post(std::uint32_t src, std::uint32_t dst, Tick when,
+                  std::coroutine_handle<> h) {
+  outbox_[src].push_back(Mail{when, src, dst, outbox_seq_[src]++, h});
+}
+
+Tick Engine::global_next_event_time() const {
+  Tick t = kTickMax;
+  for (const auto& s : sims_) t = std::min(t, s->next_event_time());
+  return t;
+}
+
+bool Engine::drain_outboxes() {
+  // Gather, order by (delivery time, source partition, source seq), and
+  // inject single-threaded.  The key is a pure function of simulated
+  // content, so destination-side sequence numbers — the final tie-break of
+  // the event order — are identical at every worker count.
+  std::vector<Mail> mail;
+  for (std::vector<Mail>& box : outbox_) {
+    mail.insert(mail.end(), box.begin(), box.end());
+    box.clear();
+  }
+  if (mail.empty()) return false;
+  std::sort(mail.begin(), mail.end(), [](const Mail& a, const Mail& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (const Mail& m : mail) {
+    sims_[m.dst]->inject_resume(m.when, m.handle);
+  }
+  return true;
+}
+
+void Engine::run_partition(std::uint32_t p) {
+  try {
+    sims_[p]->run(window_bound_);
+  } catch (...) {
+    errors_[p] = std::current_exception();
+    error_times_[p] = sims_[p]->now();
+  }
+}
+
+void Engine::worker_main(unsigned worker) {
+  for (;;) {
+    gate_->arrive_and_wait();  // window open: coordinator published bound
+    if (shutdown_) return;
+    for (std::uint32_t p = worker; p < partition_count(); p += workers_) {
+      run_partition(p);
+    }
+    gate_->arrive_and_wait();  // window closed: outboxes ready to merge
+  }
+}
+
+void Engine::rethrow_window_error() {
+  // Several partitions may fail inside one window; surface the earliest (by
+  // simulated time, partition id as the tie-break) — a deterministic choice
+  // because window contents are worker-count-invariant.
+  std::uint32_t pick = partition_count();
+  for (std::uint32_t p = 0; p < partition_count(); ++p) {
+    if (!errors_[p]) continue;
+    if (pick == partition_count() || error_times_[p] < error_times_[pick]) {
+      pick = p;
+    }
+  }
+  if (pick == partition_count()) return;
+  std::exception_ptr e = errors_[pick];
+  for (std::uint32_t p = 0; p < partition_count(); ++p) {
+    errors_[p] = nullptr;
+    error_times_[p] = kTickMax;
+  }
+  std::rethrow_exception(e);
+}
+
+Engine::RunResult Engine::run(Tick until) {
+  for (;;) {
+    drain_outboxes();
+    Tick t = global_next_event_time();
+    // Let the hook apply scripted transitions due up to min(t, until); it
+    // returns the next pending transition so the window stops short of it.
+    const Tick cap = hook_ ? hook_(t, until) : kTickMax;
+    t = global_next_event_time();  // the hook may not add events, but be safe
+    if (t == kTickMax) {
+      end_time_ = 0;
+      for (const auto& s : sims_) {
+        end_time_ = std::max(end_time_, s->last_event_time());
+      }
+      return RunResult::kIdle;
+    }
+    if (t > until) {
+      end_time_ = until;
+      return RunResult::kTimeLimit;
+    }
+    // Window [t, bound]: every teleport posted from time x >= t lands at
+    // x + delay >= t + lookahead > bound, so barrier injections are always
+    // in every partition's future.
+    Tick bound = t >= kTickMax - lookahead_ ? kTickMax - 1 : t + lookahead_ - 1;
+    bound = std::min(bound, until);
+    if (cap != kTickMax && cap > 0) bound = std::min(bound, cap - 1);
+    window_bound_ = bound;
+
+    if (workers_ == 1) {
+      for (std::uint32_t p = 0; p < partition_count(); ++p) run_partition(p);
+    } else {
+      gate_->arrive_and_wait();  // open: workers read window_bound_
+      gate_->arrive_and_wait();  // closed: workers published outboxes/errors
+    }
+    rethrow_window_error();
+  }
+}
+
+std::uint64_t Engine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_processed();
+  return total;
+}
+
+std::size_t Engine::peak_queue_depth() const {
+  std::size_t peak = 0;
+  for (const auto& s : sims_) peak = std::max(peak, s->peak_queue_depth());
+  return peak;
+}
+
+std::size_t Engine::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& s : sims_) n += s->live_processes();
+  return n;
+}
+
+std::size_t Engine::owned_processes() const {
+  std::size_t n = 0;
+  for (const auto& s : sims_) n += s->owned_processes();
+  return n;
+}
+
+void Engine::collect_finished() {
+  for (const auto& s : sims_) s->collect_finished();
+}
+
+std::string Engine::hang_diagnostic() const {
+  const std::size_t live = live_processes();
+  if (live == 0) return {};
+  // Same shape as Simulator::hang_diagnostic(), with partition-order
+  // aggregation; model reporters (registered on partition 0 by the machine)
+  // walk components in node order, so the text matches the serial run's.
+  std::string out = "simulation hang: event queue drained with " +
+                    std::to_string(live) + " process(es) still blocked";
+  std::vector<std::string> lines;
+  for (const auto& s : sims_) {
+    for (std::string& line : s->hang_report_lines()) {
+      lines.push_back(std::move(line));
+    }
+  }
+  if (lines.empty()) {
+    for (const auto& s : sims_) {
+      for (const std::string& name : s->live_process_names()) {
+        lines.push_back(name.empty() ? std::string("<unnamed process>")
+                                     : name);
+      }
+    }
+  }
+  for (const std::string& line : lines) {
+    out += "\n  " + line;
+  }
+  return out;
+}
+
+}  // namespace merm::sim::pdes

@@ -1,0 +1,169 @@
+// Conservative parallel discrete-event simulation (PDES) for a single run.
+//
+// The engine owns one Simulator ("partition") per model node and executes
+// them under window-based bounded-lag synchronization — no null messages:
+//
+//   1. The coordinator computes T = min over partitions of next_event_time().
+//   2. Every partition runs its local events up to T + L - 1, where L is the
+//      model's lookahead: the minimum simulated latency any cross-partition
+//      interaction can have (here, the minimum single-hop link traversal).
+//   3. At the barrier, cross-partition messages posted during the window are
+//      merged and injected.  A message posted at local time t carries a
+//      delivery time >= t + L > window end, so injections never land inside
+//      a window a partition already executed: causality is preserved without
+//      rollback.
+//
+// Cross-partition transfer is a *teleporting coroutine*: awaiting
+// Engine::teleport(dst, delay) retargets the coroutine's promise to the
+// destination partition's simulator and parks the handle in the source
+// partition's outbox, keyed (delivery_time, source_partition, source_seq).
+// The coordinator merges all outboxes in that key order, single-threaded,
+// so injection order — and therefore every downstream tie-break — is a pure
+// function of the simulated content, never of the host thread count.  That
+// is the engine's headline property: results are bit-identical for any
+// worker count, including 1.
+//
+// Worker threads are plain std::threads synchronized by one std::barrier;
+// every piece of cross-thread state (window bound, outboxes, fault tables)
+// is written on one side of a barrier phase and read on the other, which is
+// both the correctness argument and why the engine is ThreadSanitizer-clean.
+#pragma once
+
+#include <barrier>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace merm::sim::pdes {
+
+class Engine {
+ public:
+  /// `partitions` local virtual clocks driven by `workers` host threads
+  /// (clamped to [1, partitions]; 1 runs everything inline on the caller's
+  /// thread).  `lookahead` must be > 0: it is both the window length and the
+  /// minimum teleport delay the model promises.
+  Engine(std::uint32_t partitions, unsigned workers, Tick lookahead);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  std::uint32_t partition_count() const {
+    return static_cast<std::uint32_t>(sims_.size());
+  }
+  unsigned workers() const { return workers_; }
+  Tick lookahead() const { return lookahead_; }
+
+  Simulator& sim(std::uint32_t partition) { return *sims_[partition]; }
+  const Simulator& sim(std::uint32_t partition) const {
+    return *sims_[partition];
+  }
+
+  enum class RunResult {
+    kIdle,       ///< every partition drained and no mail is in flight
+    kTimeLimit,  ///< the global time bound was reached
+  };
+
+  /// The coordinator hook, called between windows with the global minimum
+  /// next-event time T (possibly kTickMax when draining) and the run bound.
+  /// It applies any pending global state transitions (scripted faults) due
+  /// at or before min(T, until) and returns the time of the next pending
+  /// transition (kTickMax when none) so no window runs past it.
+  using BarrierHook = std::function<Tick(Tick t, Tick until)>;
+  void set_barrier_hook(BarrierHook hook) { hook_ = std::move(hook); }
+
+  /// Runs all partitions until every queue drains or time passes `until`.
+  /// Rethrows the earliest process exception (ties broken by partition id).
+  RunResult run(Tick until = kTickMax);
+
+  /// Global end time of the last run: `until` when it hit the time limit,
+  /// otherwise the latest event any partition dispatched.
+  Tick end_time() const { return end_time_; }
+
+  // -- aggregates over all partitions --
+  std::uint64_t events_processed() const;
+  std::size_t peak_queue_depth() const;  ///< max over partitions
+  std::size_t live_processes() const;
+  std::size_t owned_processes() const;
+  void collect_finished();
+
+  /// Aggregated hang diagnostic, formatted exactly like the serial
+  /// simulator's: one headline with the global blocked-process count, then
+  /// every registered reporter's lines (partition order).
+  std::string hang_diagnostic() const;
+
+  /// Moves a suspended coroutine (already retargeted to partition `dst`)
+  /// into the source partition's outbox for delivery at absolute time
+  /// `when`.  Called from whichever worker owns `src`; each worker only
+  /// writes its own partitions' outboxes, so no lock is needed.
+  void post(std::uint32_t src, std::uint32_t dst, Tick when,
+            std::coroutine_handle<> h);
+
+  /// Awaitable that moves the running coroutine to partition `dst`,
+  /// resuming it there `delay` ticks later.  `delay` must be >= lookahead().
+  struct Teleport {
+    Engine& engine;
+    std::uint32_t dst;
+    Tick delay;
+
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) const {
+      static_assert(std::is_base_of_v<PromiseBase, Promise>);
+      Simulator* from = h.promise().sim;
+      const Tick when = from->now() + delay;
+      h.promise().sim = &engine.sim(dst);
+      engine.post(from->partition(), dst, when, h);
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  Teleport teleport(std::uint32_t dst_partition, Tick delay) {
+    return Teleport{*this, dst_partition, delay};
+  }
+
+ private:
+  /// One parked cross-partition transfer.  (when, src, seq) is the
+  /// deterministic merge key; seq counts posts per source partition.
+  struct Mail {
+    Tick when;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+
+  void worker_main(unsigned worker);
+  void run_partition(std::uint32_t p);
+  Tick global_next_event_time() const;
+  bool drain_outboxes();  ///< merge + inject; true when any mail moved
+  void rethrow_window_error();
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::vector<Mail>> outbox_;      ///< [source partition]
+  std::vector<std::uint64_t> outbox_seq_;      ///< [source partition]
+  unsigned workers_;
+  Tick lookahead_;
+  BarrierHook hook_;
+  Tick end_time_ = 0;
+
+  // -- worker pool (absent when workers_ == 1) --
+  std::vector<std::thread> threads_;
+  std::unique_ptr<std::barrier<>> gate_;  ///< workers_ + 1 participants
+  Tick window_bound_ = 0;                 ///< written by coordinator
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< [partition]
+  std::vector<Tick> error_times_;           ///< [partition]
+};
+
+}  // namespace merm::sim::pdes

@@ -68,6 +68,13 @@ void Simulator::schedule_resume(std::coroutine_handle<> h, Tick delay,
   push(now_ + delay, priority, h, kNoSlot);
 }
 
+void Simulator::inject_resume(Tick when, std::coroutine_handle<> h,
+                              int priority) {
+  // Barrier injections arrive strictly after the window the partition just
+  // ran, so they can never be in this partition's past.
+  push(std::max(when, now_), priority, h, kNoSlot);
+}
+
 std::uint32_t Simulator::make_slot(std::function<void()> fn) {
   if (!free_slots_.empty()) {
     const std::uint32_t s = free_slots_.back();
@@ -160,6 +167,7 @@ Simulator::RunResult Simulator::run(Tick until, std::uint64_t max_events) {
       ev = heap_pop();
     }
     now_ = ev.time;
+    last_event_time_ = ev.time;
     if (ev.coro) {
       ev.coro.resume();
     } else {
@@ -196,16 +204,21 @@ std::vector<std::string> Simulator::live_process_names() const {
   return names;
 }
 
+std::vector<std::string> Simulator::hang_report_lines() const {
+  std::vector<std::string> lines;
+  for (const HangReporter& reporter : hang_reporters_) {
+    reporter(lines);
+  }
+  return lines;
+}
+
 std::string Simulator::hang_diagnostic() const {
   const std::size_t live = live_processes();
   if (live == 0) return {};
 
   std::string out = "simulation hang: event queue drained with " +
                     std::to_string(live) + " process(es) still blocked";
-  std::vector<std::string> lines;
-  for (const HangReporter& reporter : hang_reporters_) {
-    reporter(lines);
-  }
+  std::vector<std::string> lines = hang_report_lines();
   if (lines.empty()) {
     // No component-level detail registered: fall back to process names.
     for (const std::string& name : live_process_names()) {

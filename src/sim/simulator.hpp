@@ -86,6 +86,32 @@ class Simulator {
   /// Requests run() to return after the current event.
   void stop() { stop_requested_ = true; }
 
+  /// Timestamp of the earliest queued event, or kTickMax when the queue is
+  /// empty.  The conservative-PDES coordinator polls this between windows to
+  /// compute the global lower bound on virtual time.
+  Tick next_event_time() const {
+    Tick t = kTickMax;
+    if (lane_head_ < lane_.size()) t = lane_[lane_head_].time;
+    if (!heap_.empty() && heap_.front().time < t) t = heap_.front().time;
+    return t;
+  }
+
+  /// Time of the last event actually dispatched.  Unlike now(), this is not
+  /// advanced by a run(until) bound that processed nothing, so it is the
+  /// correct per-partition contribution to a parallel run's end time.
+  Tick last_event_time() const { return last_event_time_; }
+
+  /// Schedules the resumption of a coroutine at an *absolute* time, used by
+  /// the PDES engine to inject cross-partition arrivals at window barriers.
+  /// `when` must be >= now(); events injected at equal (time, priority) keys
+  /// dispatch in injection order (they draw ascending sequence numbers).
+  void inject_resume(Tick when, std::coroutine_handle<> h, int priority = 0);
+
+  /// Partition index when this simulator is one of a PDES engine's local
+  /// clocks; 0 for a standalone (serial) simulator.
+  std::uint32_t partition() const { return partition_; }
+  void set_partition(std::uint32_t p) { partition_ = p; }
+
   /// Total events processed since construction.
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -119,6 +145,10 @@ class Simulator {
   /// a recv nobody sends to, a partitioned network...).  Empty string when
   /// no process is blocked.  Meaningful after run() returned kIdle.
   std::string hang_diagnostic() const;
+
+  /// Just the registered reporters' lines (no headline, no process-name
+  /// fallback) — the PDES engine aggregates these across partitions.
+  std::vector<std::string> hang_report_lines() const;
 
   /// Releases coroutine frames of finished processes.  Invalidates
   /// ProcessHandles of the collected processes.
@@ -168,6 +198,8 @@ class Simulator {
   Ev heap_pop();
 
   Tick now_ = 0;
+  Tick last_event_time_ = 0;
+  std::uint32_t partition_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

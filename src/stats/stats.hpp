@@ -123,6 +123,14 @@ class Log2Histogram {
     counts_[bucket] += 1;
   }
 
+  /// Folds another histogram in: bucket-wise count sums plus an Accumulator
+  /// merge, as if every sample of `other` had been add()ed here.  Used to
+  /// combine per-partition PDES stat shards.
+  void merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    acc_.merge(other.acc_);
+  }
+
   const Accumulator& summary() const { return acc_; }
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   static constexpr std::size_t bucket_count() { return kBuckets; }

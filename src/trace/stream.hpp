@@ -36,6 +36,12 @@ class OperationSource {
   /// Notifies the source that the global event completed at simulated time
   /// `t`.  Sources backed by live application code resume that code here.
   virtual void global_event_done(sim::Tick t) { (void)t; }
+
+  /// May this source be pulled from a PDES worker thread?  Sources that
+  /// synchronize with host threads of their own (the physical-time
+  /// interleaved execution-driven mode) must return false; the workbench
+  /// then refuses to parallelize the run.
+  virtual bool pdes_safe() const { return true; }
 };
 
 /// A fixed, pre-recorded trace.  This is classic trace-driven simulation —
@@ -79,6 +85,7 @@ class RecordingSource final : public OperationSource {
   void global_event_done(sim::Tick t) override {
     inner_->global_event_done(t);
   }
+  bool pdes_safe() const override { return inner_->pdes_safe(); }
 
   const std::vector<Operation>& recorded() const { return recorded_; }
 

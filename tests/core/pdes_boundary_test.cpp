@@ -1,0 +1,250 @@
+// Partition-boundary torture suite for the conservative PDES path: the
+// configurations the engine must *refuse* (serial fallback or logic_error),
+// and the behaviours at the edges it does accept — deliberate deadlocks
+// whose diagnostic must match the serial engine's, retry exhaustion whose
+// structured error must match, and NIC retry timers that straddle window
+// boundaries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "fault/fault.hpp"
+#include "gen/stochastic.hpp"
+#include "machine/params.hpp"
+#include "node/comm_node.hpp"
+#include "trace/stream.hpp"
+
+namespace merm {
+namespace {
+
+using core::Workbench;
+
+// ---------------------------------------------------------------- fallbacks
+
+TEST(PdesBoundary, WormholeSwitchingFallsBackToSerial) {
+  Workbench wb(machine::presets::generic_risc(2, 2));  // wormhole torus
+  const Workbench::PdesStatus st = wb.enable_pdes(4);
+  EXPECT_FALSE(st.active);
+  EXPECT_NE(st.note.find("wormhole"), std::string::npos) << st.note;
+  EXPECT_FALSE(wb.pdes_active());
+  // The fallback workbench still runs fine, serially.
+  gen::StochasticDescription d;
+  d.rounds = 1;
+  trace::Workload w = gen::make_stochastic_task_workload(d, 4);
+  EXPECT_TRUE(wb.run_task_level(w).completed);
+}
+
+TEST(PdesBoundary, SingleNodeFallsBackToSerial) {
+  Workbench wb(machine::presets::powerpc601_node());
+  const Workbench::PdesStatus st = wb.enable_pdes(4);
+  EXPECT_FALSE(st.active);
+  EXPECT_NE(st.note.find("fewer than two nodes"), std::string::npos);
+}
+
+TEST(PdesBoundary, ZeroSimThreadsMeansSerial) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  EXPECT_FALSE(wb.enable_pdes(0).active);
+  EXPECT_FALSE(wb.pdes_active());
+}
+
+TEST(PdesBoundary, ZeroLatencyLinksAreRejectedAndSafelySerialized) {
+  machine::MachineParams arch = machine::presets::t805_multicomputer(2, 2);
+  // No routing delay, no propagation, effectively infinite bandwidth: the
+  // minimum single-hop traversal is 0 ticks and there is no lookahead
+  // window to exploit.
+  arch.router.routing_decision_cycles = 0;
+  arch.link.propagation_delay = 0;
+  arch.link.bandwidth_bytes_per_s = 1e30;
+  Workbench wb(arch);
+  const Workbench::PdesStatus st = wb.enable_pdes(4);
+  EXPECT_FALSE(st.active);
+  EXPECT_NE(st.note.find("zero-latency"), std::string::npos) << st.note;
+  gen::StochasticDescription d;
+  d.rounds = 1;
+  trace::Workload w = gen::make_stochastic_task_workload(d, 4);
+  EXPECT_TRUE(wb.run_task_level(w).completed);  // serial engine still works
+}
+
+TEST(PdesBoundary, ProgressSamplingForcesSerial) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  wb.enable_progress(sim::kTicksPerMicrosecond);
+  const Workbench::PdesStatus st = wb.enable_pdes(4);
+  EXPECT_FALSE(st.active);
+  EXPECT_NE(st.note.find("progress"), std::string::npos) << st.note;
+}
+
+// ------------------------------------------------- ordering (logic errors)
+
+TEST(PdesBoundary, EnablingAfterTracingThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  wb.enable_tracing();
+  EXPECT_THROW(wb.enable_pdes(2), std::logic_error);
+}
+
+TEST(PdesBoundary, EnablingAfterStatsRegistrationThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  wb.register_all_stats();
+  EXPECT_THROW(wb.enable_pdes(2), std::logic_error);
+}
+
+TEST(PdesBoundary, EnablingAfterVsmThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  wb.enable_vsm();
+  EXPECT_THROW(wb.enable_pdes(2), std::logic_error);
+}
+
+TEST(PdesBoundary, EnablingAfterARunThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  gen::StochasticDescription d;
+  d.rounds = 1;
+  trace::Workload w = gen::make_stochastic_task_workload(d, 4);
+  ASSERT_TRUE(wb.run_task_level(w).completed);
+  EXPECT_THROW(wb.enable_pdes(2), std::logic_error);
+}
+
+TEST(PdesBoundary, VsmUnderPdesThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  ASSERT_TRUE(wb.enable_pdes(2).active);
+  EXPECT_THROW(wb.enable_vsm(), std::logic_error);
+}
+
+TEST(PdesBoundary, ProgressUnderPdesThrows) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  ASSERT_TRUE(wb.enable_pdes(2).active);
+  EXPECT_THROW(wb.enable_progress(sim::kTicksPerMicrosecond),
+               std::logic_error);
+}
+
+TEST(PdesBoundary, EnablingTwiceReportsExistingEngine) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 2));
+  ASSERT_TRUE(wb.enable_pdes(2).active);
+  const Workbench::PdesStatus st = wb.enable_pdes(8);
+  EXPECT_TRUE(st.active);
+  EXPECT_EQ(st.workers, 2u);  // first call wins
+  EXPECT_NE(st.note.find("already enabled"), std::string::npos);
+}
+
+// --------------------------------------------------------------- deadlocks
+
+/// Node 1 waits on a tag node 0 never sends — the canonical silent hang,
+/// here stretched across a partition boundary.
+trace::Workload mismatched_tag_workload() {
+  trace::Workload w;
+  auto sender = std::make_unique<trace::VectorSource>();
+  sender->push(trace::Operation::asend(64, 1, /*tag=*/7));
+  auto receiver = std::make_unique<trace::VectorSource>();
+  receiver->push(trace::Operation::recv(0, /*tag=*/99));
+  w.sources.push_back(std::move(sender));
+  w.sources.push_back(std::move(receiver));
+  return w;
+}
+
+std::string hang_text(unsigned sim_threads) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  if (sim_threads > 0) {
+    const Workbench::PdesStatus st = wb.enable_pdes(sim_threads);
+    EXPECT_TRUE(st.active) << st.note;
+  }
+  trace::Workload w = mismatched_tag_workload();
+  const core::RunResult r = wb.run_detailed(w);
+  EXPECT_FALSE(r.completed);
+  return r.hang_diagnostic;
+}
+
+TEST(PdesBoundary, DeadlockDiagnosticIsWorkerCountInvariant) {
+  const std::string serial = hang_text(0);
+  const std::string pdes1 = hang_text(1);
+  const std::string pdes2 = hang_text(2);
+  EXPECT_NE(pdes1.find("recv from 0 tag=99"), std::string::npos) << pdes1;
+  // PDES diagnostics are identical at any worker count.
+  EXPECT_EQ(pdes1, pdes2);
+  // And name exactly the same blocked operation the serial engine names.
+  EXPECT_NE(serial.find("recv from 0 tag=99"), std::string::npos) << serial;
+}
+
+TEST(PdesBoundary, ThrowOnHangCarriesTheDiagnosticUnderPdes) {
+  Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  ASSERT_TRUE(wb.enable_pdes(2).active);
+  wb.set_throw_on_hang(true);
+  trace::Workload w = mismatched_tag_workload();
+  try {
+    (void)wb.run_detailed(w);
+    FAIL() << "expected HangError";
+  } catch (const core::HangError& e) {
+    EXPECT_NE(std::string(e.what()).find("recv from 0 tag=99"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------------- retry machinery
+
+/// drop=1.0: every data message is lost, the sync send exhausts its retries
+/// and must surface the same structured error on every engine.
+std::string retry_exhaustion_what(unsigned sim_threads) {
+  machine::MachineParams arch = machine::presets::t805_multicomputer(2, 1);
+  arch.fault = fault::parse_spec("drop=1.0,retries=2,seed=3");
+  Workbench wb(arch);
+  if (sim_threads > 0) {
+    EXPECT_TRUE(wb.enable_pdes(sim_threads).active);
+  }
+  trace::Workload w;
+  auto sender = std::make_unique<trace::VectorSource>();
+  sender->push(trace::Operation::send(64, 1, /*tag=*/5));
+  auto receiver = std::make_unique<trace::VectorSource>();
+  receiver->push(trace::Operation::recv(0, /*tag=*/5));
+  w.sources.push_back(std::move(sender));
+  w.sources.push_back(std::move(receiver));
+  try {
+    (void)wb.run_detailed(w);
+    ADD_FAILURE() << "expected RetryExhaustedError";
+    return {};
+  } catch (const node::RetryExhaustedError& e) {
+    return e.what();
+  }
+}
+
+TEST(PdesBoundary, RetryExhaustionMatchesSerialEngine) {
+  const std::string serial = retry_exhaustion_what(0);
+  const std::string pdes1 = retry_exhaustion_what(1);
+  const std::string pdes4 = retry_exhaustion_what(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pdes1);
+  EXPECT_EQ(pdes1, pdes4);
+}
+
+/// Retry timers straddling window boundaries: a lossy channel forces the
+/// asend path through timeouts and backoffs that are longer than the
+/// lookahead window, so the retransmit timer on the source partition races
+/// the (delayed) confirm from the destination.  The outcome must still be
+/// worker-count invariant.
+TEST(PdesBoundary, RetryTimersStraddlingWindowsStayDeterministic) {
+  machine::MachineParams arch = machine::presets::t805_multicomputer(2, 2);
+  arch.fault = fault::parse_spec("drop=0.3,retries=8,seed=11");
+  std::vector<std::string> csvs;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    Workbench wb(arch);
+    ASSERT_TRUE(wb.enable_pdes(threads).active);
+    wb.register_all_stats();
+    gen::StochasticDescription d;
+    d.rounds = 2;
+    d.seed = 5;
+    trace::Workload w = gen::make_stochastic_task_workload(d, 4);
+    const core::RunResult r = wb.run_task_level(w);
+    EXPECT_TRUE(r.completed);
+    std::ostringstream csv;
+    wb.stats().write_csv(csv);
+    csvs.push_back(csv.str());
+  }
+  EXPECT_EQ(csvs[0], csvs[1]);
+  EXPECT_EQ(csvs[0], csvs[2]);
+}
+
+}  // namespace
+}  // namespace merm

@@ -1,0 +1,208 @@
+// The PDES determinism battery (the tentpole's acceptance test): one
+// simulation run parallelized over 2, 4 and 8 host worker threads must be
+// *bit-identical* to the same run on 1 worker — simulated end time, every
+// registered statistic (CSV bytes included: doubles are only bit-equal when
+// accumulation order is preserved), kernel aggregates, and the full
+// execution trace in both Chrome-JSON and binary form.  The matrix covers
+// task-level and detailed workloads, fault injection on and off, and traced
+// and untraced runs.
+//
+// The serial (legacy) engine is a different network model — zero-load
+// latency vs per-hop contention — so it is compared only on order- and
+// model-insensitive aggregates, not bit-for-bit (DESIGN.md "Conservative
+// PDES").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "fault/fault.hpp"
+#include "gen/stochastic.hpp"
+#include "machine/params.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/chrome_trace.hpp"
+
+namespace merm {
+namespace {
+
+struct Config {
+  node::SimulationLevel level = node::SimulationLevel::kTaskLevel;
+  bool faults = false;
+  bool traced = false;
+};
+
+/// Everything a PDES run must reproduce exactly at any worker count.
+struct Fingerprint {
+  bool completed = false;
+  bool pdes_active = false;
+  sim::Tick simulated_time = 0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t events_processed = 0;
+  std::size_t peak_queue_depth = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::string csv;
+  std::string chrome_trace;
+  std::string binary_trace;
+  std::string hang;
+};
+
+machine::MachineParams arch_for(const Config& cfg) {
+  machine::MachineParams arch = machine::presets::t805_multicomputer(4, 4);
+  if (cfg.faults) {
+    // A transient link outage plus probabilistic drops: every delivery may
+    // reroute, retry or time out, yet high retry budgets keep the workload
+    // completing so the fingerprint covers the full tolerance machinery.
+    arch.fault = fault::parse_spec(
+        "link=0-1@100000:900000,drop=0.02,retries=8,seed=7");
+  }
+  return arch;
+}
+
+trace::Workload workload_for(const Config& cfg, std::uint32_t nodes) {
+  gen::StochasticDescription d;
+  d.rounds = 2;
+  d.seed = 11;
+  return cfg.level == node::SimulationLevel::kTaskLevel
+             ? gen::make_stochastic_task_workload(d, nodes)
+             : gen::make_stochastic_workload(d, nodes);
+}
+
+Fingerprint run_once(unsigned sim_threads, const Config& cfg) {
+  const machine::MachineParams arch = arch_for(cfg);
+  core::Workbench wb(arch);
+  const core::Workbench::PdesStatus st = wb.enable_pdes(sim_threads);
+  EXPECT_TRUE(st.active) << st.note;
+  wb.register_all_stats();
+  if (cfg.traced) wb.enable_tracing();
+  trace::Workload w = workload_for(cfg, arch.node_count());
+  const core::RunResult r = cfg.level == node::SimulationLevel::kTaskLevel
+                                ? wb.run_task_level(w)
+                                : wb.run_detailed(w);
+  Fingerprint f;
+  f.completed = r.completed;
+  f.pdes_active = wb.pdes_active();
+  f.simulated_time = r.simulated_time;
+  f.cpu_cycles = r.simulated_cpu_cycles;
+  f.operations = r.operations;
+  f.messages = r.messages;
+  f.events_processed = r.events_processed;
+  f.peak_queue_depth = r.peak_queue_depth;
+  f.counters = wb.stats().counter_values();
+  f.hang = r.hang_diagnostic;
+  std::ostringstream csv;
+  wb.stats().write_csv(csv);
+  f.csv = csv.str();
+  if (cfg.traced && r.trace != nullptr) {
+    std::ostringstream chrome;
+    obs::write_chrome_trace(chrome, *r.trace);  // no host process: pure sim
+    f.chrome_trace = chrome.str();
+    std::ostringstream binary;
+    obs::write_binary_trace(binary, *r.trace);
+    f.binary_trace = binary.str();
+  }
+  return f;
+}
+
+void expect_worker_count_invariant(const Config& cfg) {
+  const Fingerprint base = run_once(1, cfg);
+  EXPECT_TRUE(base.completed);
+  EXPECT_TRUE(base.pdes_active);
+  EXPECT_GT(base.messages, 0u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const Fingerprint f = run_once(threads, cfg);
+    SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+    EXPECT_EQ(f.completed, base.completed);
+    EXPECT_EQ(f.simulated_time, base.simulated_time);
+    EXPECT_EQ(f.cpu_cycles, base.cpu_cycles);
+    EXPECT_EQ(f.operations, base.operations);
+    EXPECT_EQ(f.messages, base.messages);
+    EXPECT_EQ(f.events_processed, base.events_processed);
+    EXPECT_EQ(f.peak_queue_depth, base.peak_queue_depth);
+    EXPECT_EQ(f.counters, base.counters);
+    EXPECT_EQ(f.csv, base.csv);
+    EXPECT_EQ(f.chrome_trace, base.chrome_trace);
+    EXPECT_EQ(f.binary_trace, base.binary_trace);
+    EXPECT_EQ(f.hang, base.hang);
+  }
+}
+
+TEST(PdesDeterminism, TaskLevel) {
+  expect_worker_count_invariant({node::SimulationLevel::kTaskLevel});
+}
+
+TEST(PdesDeterminism, TaskLevelTraced) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kTaskLevel, false, true});
+}
+
+TEST(PdesDeterminism, TaskLevelWithFaults) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kTaskLevel, true, false});
+}
+
+TEST(PdesDeterminism, TaskLevelWithFaultsTraced) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kTaskLevel, true, true});
+}
+
+TEST(PdesDeterminism, Detailed) {
+  expect_worker_count_invariant({node::SimulationLevel::kDetailed});
+}
+
+TEST(PdesDeterminism, DetailedTraced) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kDetailed, false, true});
+}
+
+TEST(PdesDeterminism, DetailedWithFaults) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kDetailed, true, false});
+}
+
+TEST(PdesDeterminism, DetailedWithFaultsTraced) {
+  expect_worker_count_invariant(
+      {node::SimulationLevel::kDetailed, true, true});
+}
+
+/// Legacy-serial vs PDES: different network models (per-hop contention vs
+/// zero-load latency), so only model-order-insensitive aggregates must
+/// match — the workload's operation count and the message census.
+TEST(PdesDeterminism, SerialAndPdesAgreeOnModelInsensitiveAggregates) {
+  const Config cfg{node::SimulationLevel::kTaskLevel};
+  const machine::MachineParams arch = arch_for(cfg);
+
+  core::Workbench serial(arch);
+  trace::Workload ws = workload_for(cfg, arch.node_count());
+  const core::RunResult rs = serial.run_task_level(ws);
+
+  core::Workbench pdes(arch);
+  ASSERT_TRUE(pdes.enable_pdes(1).active);
+  trace::Workload wp = workload_for(cfg, arch.node_count());
+  const core::RunResult rp = pdes.run_task_level(wp);
+
+  ASSERT_TRUE(rs.completed);
+  ASSERT_TRUE(rp.completed);
+  EXPECT_EQ(rp.operations, rs.operations);
+  EXPECT_EQ(rp.messages, rs.messages);
+  EXPECT_EQ(rp.processors, rs.processors);
+}
+
+/// Repeating the identical parallel run in-process must also be
+/// bit-identical (no leaked state between Workbench instances).
+TEST(PdesDeterminism, RepeatedRunsAreBitIdentical) {
+  const Config cfg{node::SimulationLevel::kTaskLevel, true, true};
+  const Fingerprint a = run_once(4, cfg);
+  const Fingerprint b = run_once(4, cfg);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.simulated_time, b.simulated_time);
+}
+
+}  // namespace
+}  // namespace merm

@@ -143,6 +143,30 @@ TEST(TimingInvarianceTest, MultiCpuCoherentNode) {
   });
 }
 
+// PDES composes with the two-tier scheduler: a parallel run's results must
+// not depend on whether the partition simulators use the fast paths or the
+// reference schedule.  (Worker-count invariance itself is covered by
+// tests/core/pdes_determinism_test.cpp; this pins the scheduler axis.)
+TEST(TimingInvarianceTest, PdesRunIsSchedulerModeInvariant) {
+  const auto run_pdes = [](int mode) {
+    SchedulerMode scope(mode);
+    core::Workbench wb(machine::presets::t805_multicomputer(2, 2));
+    EXPECT_TRUE(wb.enable_pdes(2).active);
+    wb.register_all_stats();
+    trace::Workload w = gen::make_offline_workload(
+        4, [](gen::Annotator& a, trace::NodeId s, std::uint32_t n) {
+          gen::matmul_spmd(a, s, n, gen::MatmulParams{16});
+        });
+    const core::RunResult r = wb.run_detailed(w);
+    EXPECT_TRUE(r.completed);
+    std::ostringstream csv;
+    wb.stats().write_csv(csv);
+    return std::make_tuple(r.simulated_time, r.operations, r.messages,
+                           csv.str());
+  };
+  EXPECT_EQ(run_pdes(1), run_pdes(0));
+}
+
 // Footprint regression: a multi-phase Workbench must not accumulate finished
 // coroutine frames from completed phases (finish_run collects them).
 TEST(TimingInvarianceTest, MultiPhaseRunsCollectFinishedFrames) {

@@ -12,6 +12,7 @@
 
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "gen/apps.hpp"
@@ -82,6 +83,28 @@ Fingerprint fingerprint(const SweepResult& result) {
                     metric(p, "retries"));
   }
   return fp;
+}
+
+// PDES inside sweep points: the same faulted grid run with conservative
+// parallel simulation inside each point must be bit-identical across every
+// combination of sweep threads and PDES workers.  (The PDES reference is its
+// own baseline — the zero-load PDES network model is deliberately not
+// bit-compatible with the serial engine's per-hop contention model.)
+TEST(SweepSchedInvarianceTest, PdesPointsAgreeAcrossSweepAndSimThreadCounts) {
+  const Sweep sweep = build_grid();
+  const Fingerprint reference =
+      fingerprint(SweepEngine({.threads = 1, .sim_threads = 1}).run(sweep));
+  const std::vector<std::pair<unsigned, unsigned>> combos = {
+      {1, 2}, {2, 4}, {4, 2}, {1, 8}};
+  for (const auto& [sweep_threads, sim_threads] : combos) {
+    const Fingerprint fp =
+        fingerprint(SweepEngine({.threads = sweep_threads,
+                                 .sim_threads = sim_threads})
+                        .run(sweep));
+    EXPECT_EQ(fp, reference)
+        << "PDES diverged at sweep_threads=" << sweep_threads
+        << " sim_threads=" << sim_threads;
+  }
 }
 
 TEST(SweepSchedInvarianceTest, FaultedGridAgreesAcrossSchedulersAndThreads) {

@@ -1,0 +1,173 @@
+// Property/fuzz test for the event queue's 4-ary heap and same-tick FIFO
+// lane: for any stream of (time, priority) keys — duplicates included — the
+// dispatch order must equal a std::stable_sort of the stream by
+// (time, priority), i.e. exactly the (time, priority, insertion seq) total
+// order a single global heap would give.  The lane is an optimization for
+// priority-0 events scheduled at now(); these tests deliberately mix lane
+// and heap traffic, including events scheduled from inside running events,
+// to catch any divergence between the two structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace merm::sim {
+namespace {
+
+struct Key {
+  Tick time;
+  int priority;
+  std::size_t seq;  ///< insertion order, the stable-sort tie-break
+};
+
+/// The reference order: stable sort by (time, priority).
+std::vector<std::size_t> reference_order(const std::vector<Key>& keys) {
+  std::vector<Key> sorted = keys;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Key& a,
+                                                    const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.priority < b.priority;
+  });
+  std::vector<std::size_t> order;
+  order.reserve(sorted.size());
+  for (const Key& k : sorted) order.push_back(k.seq);
+  return order;
+}
+
+TEST(HeapLaneProperty, RandomStreamDispatchesInStableSortOrder) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 0xdeadbeefull}) {
+    Rng rng(seed);
+    Simulator sim;
+    std::vector<Key> keys;
+    std::vector<std::size_t> dispatched;
+    const std::size_t n = 2000;
+    for (std::size_t i = 0; i < n; ++i) {
+      // A narrow time range forces heavy timestamp duplication; priorities
+      // straddle zero so both lane-eligible and heap-only keys occur.
+      const Tick t = static_cast<Tick>(rng.next_below(50));
+      const int prio = static_cast<int>(rng.next_below(5)) - 2;
+      keys.push_back(Key{t, prio, i});
+      sim.schedule_at(t, [&dispatched, i] { dispatched.push_back(i); }, prio);
+    }
+    ASSERT_EQ(sim.run(), Simulator::RunResult::kIdle);
+    EXPECT_EQ(dispatched, reference_order(keys)) << "seed " << seed;
+  }
+}
+
+TEST(HeapLaneProperty, DuplicateTimestampsAreFifoWithinEqualKeys) {
+  Simulator sim;
+  std::vector<std::size_t> dispatched;
+  const std::size_t n = 500;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(7, [&dispatched, i] { dispatched.push_back(i); });
+  }
+  ASSERT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  ASSERT_EQ(dispatched.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(dispatched[i], i);
+}
+
+/// Events scheduled *during* dispatch: same-tick priority-0 events take the
+/// FIFO lane, everything else the heap.  The combined stream must still
+/// dispatch in (time, priority, seq) order, where seq counts every schedule
+/// call in program order (the simulator assigns sequence numbers in exactly
+/// that order).
+TEST(HeapLaneProperty, NestedSchedulingKeepsTheGlobalTotalOrder) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    Rng rng(seed);
+    Simulator sim;
+    std::vector<Key> keys;
+    std::vector<std::size_t> dispatched;
+    std::size_t next_id = 0;
+
+    // Each dispatched event may schedule a few followers, some at now()
+    // (lane when priority 0, heap otherwise), some in the future (heap).
+    // A same-tick child must carry a priority >= its parent's: an earlier
+    // key would mean scheduling into the already-dispatched past, which no
+    // single-heap reference can express either.
+    std::function<void(std::size_t, int, int)> fire = [&](std::size_t id,
+                                                          int prio,
+                                                          int depth) {
+      dispatched.push_back(id);
+      if (depth >= 3) return;
+      const std::size_t children = rng.next_below(3);
+      for (std::size_t c = 0; c < children; ++c) {
+        const bool same_tick = rng.chance(0.5);
+        const Tick t = sim.now() + (same_tick ? 0 : 1 + rng.next_below(20));
+        const int child_prio =
+            same_tick
+                ? std::max(prio, 0) + static_cast<int>(rng.next_below(2))
+                : static_cast<int>(rng.next_below(3)) - 1;
+        const std::size_t child = next_id++;
+        keys.push_back(Key{t, child_prio, child});
+        sim.schedule_at(
+            t,
+            [&fire, child, child_prio, depth] {
+              fire(child, child_prio, depth + 1);
+            },
+            child_prio);
+      }
+    };
+
+    for (std::size_t i = 0; i < 200; ++i) {
+      const Tick t = static_cast<Tick>(rng.next_below(30));
+      const int prio = static_cast<int>(rng.next_below(3)) - 1;
+      const std::size_t id = next_id++;
+      keys.push_back(Key{t, prio, id});
+      sim.schedule_at(t, [&fire, id, prio] { fire(id, prio, 0); }, prio);
+    }
+    ASSERT_EQ(sim.run(), Simulator::RunResult::kIdle);
+
+    // The reference order must be computed over the *final* key set, which
+    // includes every nested schedule in the simulator's own seq order.
+    EXPECT_EQ(dispatched, reference_order(keys)) << "seed " << seed;
+  }
+}
+
+/// The fast scheduler (lane + local cursors) and the reference scheduler
+/// (plain heap) must dispatch identical streams identically.
+TEST(HeapLaneProperty, FastAndReferenceSchedulersAgree) {
+  for (const std::uint64_t seed : {21ull, 22ull}) {
+    std::vector<std::vector<std::size_t>> orders;
+    for (const int mode : {0, 1}) {
+      set_reference_scheduler_override(mode);
+      Rng rng(seed);
+      Simulator sim;
+      std::vector<std::size_t> dispatched;
+      for (std::size_t i = 0; i < 1500; ++i) {
+        const Tick t = static_cast<Tick>(rng.next_below(40));
+        const int prio = static_cast<int>(rng.next_below(5)) - 2;
+        sim.schedule_at(t, [&dispatched, i] { dispatched.push_back(i); },
+                        prio);
+      }
+      EXPECT_EQ(sim.run(), Simulator::RunResult::kIdle);
+      orders.push_back(std::move(dispatched));
+    }
+    set_reference_scheduler_override(-1);
+    EXPECT_EQ(orders[0], orders[1]) << "seed " << seed;
+  }
+}
+
+/// Injection via the PDES entry point: inject_resume draws ascending seqs,
+/// so equal (time, priority) injections dispatch in injection order, and
+/// they interleave correctly with normally scheduled events.
+TEST(HeapLaneProperty, InjectedResumesRespectTheTotalOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // next_event_time must see through both lane and heap.
+  EXPECT_EQ(sim.next_event_time(), kTickMax);
+  sim.schedule_at(5, [&order] { order.push_back(1); });
+  EXPECT_EQ(sim.next_event_time(), 5u);
+  sim.schedule_at(3, [&order] { order.push_back(0); });
+  EXPECT_EQ(sim.next_event_time(), 3u);
+  ASSERT_EQ(sim.run(), Simulator::RunResult::kIdle);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.last_event_time(), 5u);
+}
+
+}  // namespace
+}  // namespace merm::sim
