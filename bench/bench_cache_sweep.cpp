@@ -71,7 +71,12 @@ machine::MachineParams with_l1(std::uint64_t size, std::uint32_t assoc,
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_threads = explore::threads_from_args(argc, argv);
+  try {
+    g_threads = explore::threads_from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   std::cout << "# E-F3: single-node cache parameterization sweeps "
                "(ppc601 model)\n\n";
 

@@ -71,7 +71,12 @@ sim::Tick one_message_latency(machine::TopologyKind kind,
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_threads = explore::threads_from_args(argc, argv);
+  try {
+    g_threads = explore::threads_from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   explore::SweepEngine engine({.threads = g_threads});
   std::cout << "# E-A3: switching / topology / message-size sweeps\n\n";
 

@@ -1,0 +1,131 @@
+// Prices the crash-safety machinery so its cost stays an explicit number:
+//
+//   * process isolation — the same grid in-process vs forked-per-point
+//     (pipe codec, fork/waitpid, fd hygiene), with a byte-identity check
+//     that the two modes really produce the same rows;
+//   * the memo store — a cold sweep (all misses, rows stored) vs a warm
+//     repeat (all hits, rows replayed), again byte-checked.
+//
+// Output is one parsable line per series (scripts/bench.sh turns them into
+// BENCH_sweep_robust.json); exits non-zero if either byte-identity check or
+// the expected hit pattern fails, so the bench doubles as a gate.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hpp"
+#include "gen/apps.hpp"
+
+namespace {
+
+using namespace merm;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+explore::Sweep build_grid(unsigned points) {
+  explore::Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::stencil_spmd(a, self, nodes, gen::StencilParams{16, 2});
+        });
+  };
+  sweep.workload_fingerprint = "bench_sweep_robust:stencil16x2:v1";
+  for (unsigned i = 0; i < points; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 2),
+              "pt-" + std::to_string(i));
+  }
+  return sweep;
+}
+
+std::string csv_of(const explore::SweepResult& r) {
+  std::ostringstream os;
+  r.write_csv(os, {.host_columns = false});
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned points = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--points=", 9) == 0) {
+      points = static_cast<unsigned>(std::strtoul(argv[i] + 9, nullptr, 10));
+    }
+  }
+  const explore::Sweep sweep = build_grid(points);
+
+  // --- isolation overhead ---------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const explore::SweepResult in_proc =
+      explore::SweepEngine({.threads = 1}).run(sweep);
+  const double in_proc_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const explore::SweepResult isolated =
+      explore::SweepEngine(
+          {.threads = 1, .isolate = explore::Isolation::kProcess})
+          .run(sweep);
+  const double isolated_s = seconds_since(t0);
+
+  if (csv_of(in_proc) != csv_of(isolated)) {
+    std::cerr << "bench_sweep_robust: isolated rows diverge from in-process "
+                 "rows\n";
+    return 1;
+  }
+  std::printf(
+      "SWEEP-ROBUST isolation points=%u in_process_seconds=%.4f "
+      "isolated_seconds=%.4f overhead_x=%.3f\n",
+      points, in_proc_s, isolated_s,
+      in_proc_s > 0 ? isolated_s / in_proc_s : 0.0);
+
+  // --- memo hit behaviour ---------------------------------------------
+  char tmpl[] = "/tmp/merm-bench-memo-XXXXXX";
+  const char* memo_dir = ::mkdtemp(tmpl);
+  if (memo_dir == nullptr) {
+    std::cerr << "bench_sweep_robust: mkdtemp failed\n";
+    return 1;
+  }
+  explore::SweepOptions memo_opts{.threads = 1, .memo_dir = memo_dir};
+
+  t0 = std::chrono::steady_clock::now();
+  const explore::SweepResult cold = explore::SweepEngine(memo_opts).run(sweep);
+  const double cold_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const explore::SweepResult warm = explore::SweepEngine(memo_opts).run(sweep);
+  const double warm_s = seconds_since(t0);
+
+  if (cold.memo_hits != 0 || warm.memo_hits != points ||
+      warm.memo_misses != 0) {
+    std::cerr << "bench_sweep_robust: expected all-miss then all-hit, got "
+              << cold.memo_hits << "/" << cold.memo_misses << " then "
+              << warm.memo_hits << "/" << warm.memo_misses << "\n";
+    return 1;
+  }
+  if (csv_of(cold) != csv_of(warm)) {
+    std::cerr << "bench_sweep_robust: memo-replayed rows diverge from "
+                 "simulated rows\n";
+    return 1;
+  }
+  std::printf(
+      "SWEEP-ROBUST memo points=%u cold_seconds=%.4f warm_seconds=%.4f "
+      "hits=%llu misses=%llu hit_rate=%.3f warm_speedup_x=%.2f\n",
+      points, cold_s, warm_s,
+      static_cast<unsigned long long>(warm.memo_hits),
+      static_cast<unsigned long long>(warm.memo_misses),
+      static_cast<double>(warm.memo_hits) / points,
+      warm_s > 0 ? cold_s / warm_s : 0.0);
+  return 0;
+}

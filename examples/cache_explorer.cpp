@@ -48,8 +48,14 @@ int main(int argc, char** argv) {
               "L1 " + sim::format_bytes(l1));
   }
 
-  explore::SweepEngine engine(
-      {.threads = explore::threads_from_args(argc, argv)});
+  unsigned threads = 0;
+  try {
+    threads = explore::threads_from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  explore::SweepEngine engine({.threads = threads});
   explore::SweepResult result;
   try {
     engine.run_into(sweep, result);

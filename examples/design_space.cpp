@@ -9,7 +9,9 @@
 // wormhole-routed RISC torus buy, and where does the time go?
 //
 //   $ ./examples/design_space [--sweep-threads=N] [--sim-threads=N]
-//                             [--faults=<spec>]
+//                             [--faults=<spec>] [--out=<csv>] [--isolate]
+//                             [--timeout=<s>] [--retries=<n>]
+//                             [--memo-dir=<dir>] [--resume]
 //
 // --sweep-threads (alias --threads, -jN) runs N experiment points at once;
 // --sim-threads parallelizes each point's own run with conservative PDES
@@ -18,7 +20,15 @@
 // With --faults (e.g. --faults=link=0-1@100,drop=0.01,seed=7) every candidate
 // runs in degraded mode: the sweep keeps going past faulted points and
 // reports them as failure rows instead of aborting the campaign.
+//
+// Crash-safety: --out=<csv> also journals every finished row to
+// <csv>.journal (fsync'd), so a killed campaign restarts with --resume and
+// replays what it already paid for; --isolate forks each point into its own
+// process (a segfault becomes a failure row, and --timeout/--retries become
+// enforceable); --memo-dir caches finished rows by content hash across
+// campaigns.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -28,16 +38,44 @@
 #include "gen/apps.hpp"
 #include "stats/stats.hpp"
 
+namespace {
+
+// `--name=value` / `--name value` string flags; boolean flags stand alone.
+bool flag_value(int argc, char** argv, int& i, const char* name,
+                std::string* out) {
+  const std::string arg = argv[i];
+  const std::string flag = std::string("--") + name;
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *out = arg.substr(flag.size() + 1);
+    return true;
+  }
+  if (arg == flag && i + 1 < argc) {
+    *out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace merm;
 
   std::string faults_spec;
+  std::string out_path;
+  std::string memo_dir;
+  std::string timeout_spec;
+  std::string retries_spec;
+  bool isolate = false;
+  bool do_resume = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--faults=", 9) == 0) {
-      faults_spec = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
-      faults_spec = argv[++i];
-    }
+    if (flag_value(argc, argv, i, "faults", &faults_spec)) continue;
+    if (flag_value(argc, argv, i, "out", &out_path)) continue;
+    if (flag_value(argc, argv, i, "memo-dir", &memo_dir)) continue;
+    if (flag_value(argc, argv, i, "timeout", &timeout_spec)) continue;
+    if (flag_value(argc, argv, i, "retries", &retries_spec)) continue;
+    if (std::strcmp(argv[i], "--isolate") == 0) isolate = true;
+    if (std::strcmp(argv[i], "--resume") == 0) do_resume = true;
   }
 
   const gen::AppFn app = [](gen::Annotator& a, trace::NodeId self,
@@ -49,6 +87,9 @@ int main(int argc, char** argv) {
   sweep.workload = [&](const machine::MachineParams& params, std::uint64_t) {
     return gen::make_offline_workload(params.node_count(), app);
   };
+  // Names what the factory generates, for the memo store and the journal's
+  // grid check; bump the suffix when the generated traffic changes.
+  sweep.workload_fingerprint = "design_space:matmul32:v1";
   // Post-run probes run on the worker thread while the model is alive, so
   // the table can keep the columns the serial loop used to compute inline.
   sweep.probe = [](core::Workbench& wb, const core::RunResult& r) {
@@ -74,25 +115,58 @@ int main(int argc, char** argv) {
     for (explore::ExperimentPoint& p : sweep.points) p.params.fault = faults;
   }
 
-  const explore::HostThreads host =
-      explore::host_threads_from_args(argc, argv);
+  const std::string journal =
+      out_path.empty() ? std::string() : out_path + ".journal";
+  if (do_resume && journal.empty()) {
+    std::cerr << "error: --resume needs --out=<csv> (the journal lives at "
+                 "<csv>.journal)\n";
+    return 2;
+  }
+
+  explore::HostThreads host;
+  double timeout_s = 0.0;
+  unsigned retries = 1;
+  try {
+    host = explore::host_threads_from_args(argc, argv);
+    if (!timeout_spec.empty()) timeout_s = std::stod(timeout_spec);
+    if (!retries_spec.empty()) {
+      retries = static_cast<unsigned>(std::stoul(retries_spec));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
   explore::SweepEngine engine(
       {.threads = host.sweep_threads,
        .sim_threads = host.sim_threads,
        .progress = &std::cerr,
-       // Degraded-mode campaigns record faulted points as failure rows and
-       // keep simulating the rest of the grid.
-       .keep_going = !faults_spec.empty()});
+       // Degraded-mode and isolated campaigns record faulted/crashed points
+       // as failure rows and keep simulating the rest of the grid.
+       .keep_going = !faults_spec.empty() || isolate,
+       .isolate =
+           isolate ? explore::Isolation::kProcess : explore::Isolation::kNone,
+       .point_timeout_s = timeout_s,
+       .max_attempts = retries,
+       // resume() appends to the existing journal; a fresh run truncates it.
+       .journal_path = do_resume ? std::string() : journal,
+       .memo_dir = memo_dir});
   explore::SweepResult result;
   try {
-    engine.run_into(sweep, result);
+    if (do_resume) {
+      result = engine.resume(sweep, journal);
+    } else {
+      engine.run_into(sweep, result);
+    }
   } catch (const std::exception& e) {
     std::cerr << "sweep failed: " << e.what() << "\n";
     return 1;
   }
   for (const explore::PointResult& p : result.points) {
     if (p.status == explore::PointResult::Status::kFailed) {
-      std::cerr << p.label << " FAILED: " << p.error << "\n";
+      std::cerr << p.label << " FAILED"
+                << (p.error_type.empty() ? "" : " [" + p.error_type + "]")
+                << ": " << p.error << "\n";
     } else if (!p.run.completed) {
       std::cerr << "workload did not complete on " << p.label << "\n";
       return 1;
@@ -103,6 +177,20 @@ int main(int argc, char** argv) {
   std::cout << "(" << result.points.size() << " architectures on "
             << result.threads << " thread(s), "
             << stats::Table::fmt(result.host_seconds, 3) << " s wall)\n";
+  if (result.resumed_points > 0) {
+    std::cout << result.resumed_points
+              << " point(s) replayed from the journal\n";
+  }
+  if (!memo_dir.empty()) {
+    std::cout << "memo: " << result.memo_hits << " hit(s), "
+              << result.memo_misses << " miss(es) in " << memo_dir << "\n";
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    result.write_csv(out);
+    std::cout << "results written to " << out_path << " (journal: " << journal
+              << ")\n";
+  }
 
   // The one-call comparison API gives the headline number directly.
   const auto workload_for = [&](const machine::MachineParams& params) {

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/workbench.hpp"
+#include "explore/memo.hpp"
+#include "explore/sweep.hpp"
 #include "fault/fault.hpp"
 #include "gen/workload_config.hpp"
 #include "machine/config.hpp"
@@ -34,6 +36,12 @@ int usage() {
       << "              [--level detailed|task] [--stats <csv>]\n"
       << "              [--progress <us>] [--faults <spec|file>]\n"
       << "              [--trace-out <file>] [--sim-threads <n>]\n"
+      << "  mermaid_cli sweep --machine <m> [--machine <m> ...] "
+      << "--workload <file>\n"
+      << "              [--level detailed|task] [--out <csv>]\n"
+      << "              [--sweep-threads <n>] [--sim-threads <n>]\n"
+      << "              [--faults <spec|file>] [--isolate] [--timeout <s>]\n"
+      << "              [--retries <n>] [--resume] [--memo-dir <dir>]\n"
       << "\n<machine> is a config file path or "
       << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
       << "--sim-threads parallelizes the single run with conservative PDES\n"
@@ -41,6 +49,11 @@ int usage() {
       << "back to the serial engine with a note)\n"
       << "--faults takes a config file (overlaid on the machine) or an\n"
       << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n"
+      << "sweep runs one grid row per --machine; with --out the finished\n"
+      << "rows are journaled (fsync'd) to <csv>.journal as they land, and\n"
+      << "--resume replays that journal instead of re-running; --isolate\n"
+      << "forks each point (crashes become failure rows; --timeout/--retries\n"
+      << "become enforceable); --memo-dir caches rows by content hash\n"
       << "--trace-out records an execution trace: a .json path gets Chrome\n"
       << "trace-event JSON (load it in Perfetto / chrome://tracing), any\n"
       << "other suffix gets the compact binary form (see trace_tool)\n";
@@ -192,6 +205,107 @@ int cmd_run(const RunArgs& args) {
   return result.completed ? 0 : 3;
 }
 
+struct SweepArgs {
+  std::vector<std::string> machines;
+  std::string workload;
+  std::string level = "detailed";
+  std::string out;  ///< CSV path; the journal rides along at <out>.journal
+  std::string faults;
+  std::string memo_dir;
+  bool isolate = false;
+  bool resume = false;
+  double timeout_s = 0.0;
+  unsigned retries = 1;
+  explore::HostThreads threads;
+};
+
+int cmd_sweep(const SweepArgs& args) {
+  const gen::StochasticDescription desc =
+      gen::parse_workload_file(args.workload);
+  // The memo key needs the workload's identity, and the file *is* that
+  // identity: hash its bytes, so editing the workload invalidates cached
+  // rows while renaming or copying the file does not.
+  std::string file_bytes;
+  {
+    std::ifstream in(args.workload, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    file_bytes = buf.str();
+  }
+
+  const bool task_level = args.level == "task";
+  if (!task_level && args.level != "detailed") {
+    std::cerr << "unknown level '" << args.level << "'\n";
+    return 2;
+  }
+  explore::Sweep sweep;
+  sweep.level = task_level ? node::SimulationLevel::kTaskLevel
+                           : node::SimulationLevel::kDetailed;
+  sweep.workload_fingerprint =
+      "workload-file:" + args.level +
+      ":sha256=" + explore::sha256_hex(file_bytes);
+  sweep.workload = [desc, task_level](const machine::MachineParams& params,
+                                      std::uint64_t) {
+    return task_level
+               ? gen::make_stochastic_task_workload(desc, params.node_count())
+               : gen::make_stochastic_workload(desc, params.node_count(),
+                                               params.node.cpu_count);
+  };
+  for (const std::string& spec : args.machines) {
+    machine::MachineParams m = resolve_machine(spec);
+    if (!args.faults.empty()) apply_faults(m, args.faults);
+    sweep.add(std::move(m), spec);
+  }
+
+  const std::string journal =
+      args.out.empty() ? std::string() : args.out + ".journal";
+  if (args.resume && journal.empty()) {
+    std::cerr << "error: --resume needs --out <csv> (the journal lives at "
+                 "<csv>.journal)\n";
+    return 2;
+  }
+
+  explore::SweepEngine engine(
+      {.threads = args.threads.sweep_threads,
+       .sim_threads = args.threads.sim_threads,
+       .progress = &std::cerr,
+       // A campaign grid reports failed points as rows; it never aborts.
+       .keep_going = true,
+       .isolate = args.isolate ? explore::Isolation::kProcess
+                               : explore::Isolation::kNone,
+       .point_timeout_s = args.timeout_s,
+       .max_attempts = args.retries,
+       .journal_path = args.resume ? std::string() : journal,
+       .memo_dir = args.memo_dir});
+  const explore::SweepResult result =
+      args.resume ? engine.resume(sweep, journal) : engine.run(sweep);
+
+  result.to_table().print(std::cout);
+  for (const explore::PointResult& p : result.points) {
+    if (p.status == explore::PointResult::Status::kFailed) {
+      std::cerr << p.label << " FAILED"
+                << (p.error_type.empty() ? "" : " [" + p.error_type + "]")
+                << ": " << p.error << "\n";
+    }
+  }
+  if (result.resumed_points > 0) {
+    std::cout << result.resumed_points
+              << " point(s) replayed from the journal\n";
+  }
+  if (!args.memo_dir.empty()) {
+    std::cout << "memo: " << result.memo_hits << " hit(s), "
+              << result.memo_misses << " miss(es) in " << args.memo_dir
+              << "\n";
+  }
+  if (!args.out.empty()) {
+    std::ofstream out(args.out);
+    result.write_csv(out);
+    std::cout << "results written to " << args.out << " (journal: " << journal
+              << ")\n";
+  }
+  return result.failed() == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +354,57 @@ int main(int argc, char** argv) {
       }
       if (run.machine.empty() || run.workload.empty()) return usage();
       return cmd_run(run);
+    }
+    if (!args.empty() && args[0] == "sweep") {
+      SweepArgs sw;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key = args[i];
+        // Boolean flags stand alone; everything else takes a value.
+        if (key == "--isolate") {
+          sw.isolate = true;
+          continue;
+        }
+        if (key == "--resume") {
+          sw.resume = true;
+          continue;
+        }
+        std::string value;
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+          value = args[++i];
+        } else {
+          std::cerr << "flag " << key << " needs a value\n";
+          return usage();
+        }
+        if (key == "--machine") {
+          sw.machines.push_back(value);
+        } else if (key == "--workload") {
+          sw.workload = value;
+        } else if (key == "--level") {
+          sw.level = value;
+        } else if (key == "--out") {
+          sw.out = value;
+        } else if (key == "--faults") {
+          sw.faults = value;
+        } else if (key == "--memo-dir") {
+          sw.memo_dir = value;
+        } else if (key == "--timeout") {
+          sw.timeout_s = std::stod(value);
+        } else if (key == "--retries") {
+          sw.retries = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "--sweep-threads" || key == "--sim-threads" ||
+                   key == "--threads") {
+          // Validated and applied by host_threads_from_args below.
+        } else {
+          std::cerr << "unknown flag " << key << "\n";
+          return usage();
+        }
+      }
+      sw.threads = explore::host_threads_from_args(argc, argv);
+      if (sw.machines.empty() || sw.workload.empty()) return usage();
+      return cmd_sweep(sw);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -18,19 +18,24 @@ MIN_TIME=0.5
 OUT=BENCH_scheduler.json
 OUT_OBS=BENCH_obs.json
 OUT_PDES=BENCH_pdes.json
+OUT_ROBUST=BENCH_sweep_robust.json
 PDES_ROUNDS=6
+ROBUST_POINTS=8
 if [[ "${1:-}" == "--smoke" ]]; then
   MIN_TIME=0.05
   OUT=build-release/BENCH_scheduler_smoke.json
   OUT_OBS=build-release/BENCH_obs_smoke.json
   OUT_PDES=build-release/BENCH_pdes_smoke.json
+  OUT_ROBUST=build-release/BENCH_sweep_robust_smoke.json
   PDES_ROUNDS=2
+  ROBUST_POINTS=4
 fi
 
 echo "=== bench: configure + build (build-release/) ==="
 cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$JOBS" \
   --target bench_kernel_micro bench_slowdown_detailed bench_pdes_scaling \
+  bench_sweep_robust \
   >/dev/null
 
 echo "=== bench: kernel microbenchmarks (min_time=${MIN_TIME}s) ==="
@@ -152,7 +157,7 @@ echo "=== bench: PDES thread scaling (32x32 T805, task level) ==="
   | tee build-release/bench_pdes_scaling.txt
 
 python3 - "$OUT_PDES" "$PDES_ROUNDS" <<'PY'
-import json, re, sys
+import json, os, re, sys
 
 out_path = sys.argv[1]
 rounds = int(sys.argv[2])
@@ -161,6 +166,21 @@ try:
         host_cores = sum(1 for line in f if line.startswith("processor"))
 except OSError:
     host_cores = 0
+
+# A scaling curve recorded on a bigger host is strictly more informative
+# than one from a smaller host: refuse to clobber it.  (Delete the file, or
+# run on an equal-or-larger machine, to re-record.)
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            prev_cores = json.load(f).get("host_cores", 0)
+    except (OSError, ValueError):
+        prev_cores = 0
+    if prev_cores > host_cores:
+        print(f"KEEP {out_path}: it was recorded on a {prev_cores}-core "
+              f"host; this host has only {host_cores} core(s) and its "
+              f"speedups would be unrepresentative")
+        sys.exit(0)
 
 points = []
 line_re = re.compile(
@@ -178,6 +198,12 @@ with open("build-release/bench_pdes_scaling.txt") as f:
             })
 if not points:
     sys.exit("no PDES scaling points parsed from bench_pdes_scaling output")
+
+# A point run with more sim threads than the host has cores measures
+# oversubscription, not scaling; mark it so nobody quotes it as a speedup.
+for p in points:
+    if host_cores and p["sim_threads"] > host_cores:
+        p["unrepresentative"] = True
 
 report = {
     "generated_by": "scripts/bench.sh",
@@ -197,6 +223,60 @@ print(f"wrote {out_path}")
 for p in points:
     print(f"  sim_threads={p['sim_threads']}: "
           f"{p['ops_per_sec']/1e3:.1f}K ops/s, {p['speedup']:.2f}x")
+PY
+
+echo "=== bench: sweep robustness (isolation overhead + memo hit rate) ==="
+# The bench exits non-zero if isolated/memoized rows are not byte-identical
+# to plain in-process rows, so this stage is also a correctness gate.
+./build-release/bench/bench_sweep_robust --points="$ROBUST_POINTS" \
+  | tee build-release/bench_sweep_robust.txt
+
+python3 - "$OUT_ROBUST" "$ROBUST_POINTS" <<'PY'
+import json, re, sys
+
+out_path = sys.argv[1]
+points = int(sys.argv[2])
+
+kv_re = re.compile(r"(\w+)=([0-9.eE+-]+)")
+series = {}
+with open("build-release/bench_sweep_robust.txt") as f:
+    for line in f:
+        m = re.match(r"^SWEEP-ROBUST (\w+) (.*)$", line)
+        if m:
+            series[m.group(1)] = {k: float(v)
+                                  for k, v in kv_re.findall(m.group(2))}
+iso = series.get("isolation")
+memo = series.get("memo")
+if not iso or not memo:
+    sys.exit("no SWEEP-ROBUST lines parsed from bench_sweep_robust output")
+
+report = {
+    "generated_by": "scripts/bench.sh",
+    "series": "sweep_robust",
+    "build_type": "Release",
+    "grid": "stencil 16x2 on 2x2 t805, detailed level, 1 sweep thread",
+    "points": points,
+    "isolation": {
+        "in_process_seconds": iso["in_process_seconds"],
+        "isolated_seconds": iso["isolated_seconds"],
+        "overhead_x": iso["overhead_x"],
+    },
+    "memo": {
+        "cold_seconds": memo["cold_seconds"],
+        "warm_seconds": memo["warm_seconds"],
+        "hits": int(memo["hits"]),
+        "misses": int(memo["misses"]),
+        "hit_rate": memo["hit_rate"],
+        "warm_speedup_x": memo["warm_speedup_x"],
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(f"  isolation overhead: {iso['overhead_x']:.2f}x; "
+      f"memo warm speedup: {memo['warm_speedup_x']:.2f}x "
+      f"(hit rate {memo['hit_rate']:.0%})")
 PY
 
 echo "=== bench.sh: done ==="

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full verification gate: the tier-1 suite on a plain build, the same suite
-# on an optimized Release build (the configuration the scheduler fast paths
-# are benchmarked in), a smoke pass of the scheduler benchmarks, the PDES
-# thread-scaling gate (skipped on hosts with < 4 cores), then the threaded
-# suites (sweep engine, fault determinism, conservative PDES) again under
-# TSan.
+# Full verification gate: the tier-1 suite on a plain build, a
+# crash-robustness gate (SIGKILL + journaled resume, process isolation,
+# memo hits), the same suite on an optimized Release build (the
+# configuration the scheduler fast paths are benchmarked in), a smoke pass
+# of the scheduler benchmarks, the PDES thread-scaling gate (skipped on
+# hosts with < 4 cores), then the threaded suites (sweep engine, fault
+# determinism, conservative PDES) again under TSan.
 #
 #   scripts/check.sh               # all stages
 #   SKIP_TSAN=1 scripts/check.sh      # skip the TSan stage
@@ -23,6 +24,17 @@ cmake --build build -j "$JOBS"
 
 echo "=== tier-1: full test suite ==="
 ctest --test-dir build --output-on-failure
+
+echo "=== tier-1: crash-robustness gate ==="
+# The fork-based suites are tier-1 ctest members too, but this leg runs the
+# binaries directly so the crash/kill/resume machinery is exercised (and
+# seen to be exercised) as its own gate: SIGKILL mid-grid + byte-identical
+# resume, abort() -> structured failure row, and memo hits on a repeated
+# sweep.  set -e gates on their exit status.
+./build/tests/explore/explore_sweep_resume_test \
+  --gtest_brief=1
+./build/tests/explore/explore_sweep_robust_test \
+  --gtest_brief=1 --gtest_filter='SweepIsolationTest.*:SweepMemoTest.*'
 
 if [[ "${SKIP_RELEASE:-0}" != "1" ]]; then
   echo "=== release: configure + build (build-release/) ==="

@@ -1,0 +1,165 @@
+#include "core/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace merm::core {
+
+std::string escape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        // Unknown escape: keep both characters rather than guessing.
+        out += '\\';
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string join_record(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += '\t';
+    line += escape_field(fields[i]);
+  }
+  return line;
+}
+
+std::vector<std::string> split_record(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(unescape_field(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw RecordError("bad double field '" + s + "'");
+  }
+  return v;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  if (s.empty()) throw RecordError("empty integer field");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw RecordError("bad integer field '" + s + "'");
+  }
+  return v;
+}
+
+constexpr std::size_t kRunResultFields = 13;
+
+}  // namespace
+
+std::size_t run_result_field_count() { return kRunResultFields; }
+
+void append_run_result_fields(std::vector<std::string>& out,
+                              const RunResult& r) {
+  out.push_back(r.machine_name);
+  out.push_back(r.level == node::SimulationLevel::kDetailed ? "detailed"
+                                                            : "task");
+  out.push_back(r.completed ? "1" : "0");
+  out.push_back(r.hang_diagnostic);
+  out.push_back(std::to_string(r.simulated_time));
+  out.push_back(std::to_string(r.simulated_cpu_cycles));
+  out.push_back(std::to_string(r.events_processed));
+  out.push_back(std::to_string(r.operations));
+  out.push_back(std::to_string(r.messages));
+  out.push_back(format_double(r.host_seconds));
+  out.push_back(std::to_string(r.footprint_bytes));
+  out.push_back(std::to_string(r.processors));
+  out.push_back(std::to_string(r.peak_queue_depth));
+}
+
+RunResult parse_run_result_fields(const std::vector<std::string>& fields,
+                                  std::size_t* pos) {
+  if (*pos + kRunResultFields > fields.size()) {
+    throw RecordError("truncated RunResult record");
+  }
+  std::size_t i = *pos;
+  RunResult r;
+  r.machine_name = fields[i++];
+  const std::string& level = fields[i++];
+  if (level == "detailed") {
+    r.level = node::SimulationLevel::kDetailed;
+  } else if (level == "task") {
+    r.level = node::SimulationLevel::kTaskLevel;
+  } else {
+    throw RecordError("bad level field '" + level + "'");
+  }
+  r.completed = fields[i++] == "1";
+  r.hang_diagnostic = fields[i++];
+  r.simulated_time = parse_u64(fields[i++]);
+  r.simulated_cpu_cycles = parse_u64(fields[i++]);
+  r.events_processed = parse_u64(fields[i++]);
+  r.operations = parse_u64(fields[i++]);
+  r.messages = parse_u64(fields[i++]);
+  r.host_seconds = parse_double(fields[i++]);
+  r.footprint_bytes = static_cast<std::size_t>(parse_u64(fields[i++]));
+  r.processors = static_cast<std::uint32_t>(parse_u64(fields[i++]));
+  r.peak_queue_depth = static_cast<std::size_t>(parse_u64(fields[i++]));
+  *pos = i;
+  return r;
+}
+
+}  // namespace merm::core

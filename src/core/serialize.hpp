@@ -1,0 +1,53 @@
+// Flat-record serialization for RunResult rows.
+//
+// The crash-safe sweep layer moves finished rows across three boundaries —
+// a pipe out of a forked worker process, an fsync'd write-ahead journal, and
+// the on-disk memo store — and a resumed sweep must reproduce the original
+// run's output byte for byte.  That rules out printf-rounded doubles and
+// ad-hoc quoting: every field here round-trips exactly (doubles travel as
+// hexfloats), and a record is one '\t'-separated line whose fields escape
+// tabs, newlines and backslashes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/workbench.hpp"
+
+namespace merm::core {
+
+/// Escapes '\\', '\t', '\n', '\r' so the field can sit inside a one-line
+/// tab-separated record.
+std::string escape_field(std::string_view s);
+std::string unescape_field(std::string_view s);
+
+/// Joins escaped fields with tabs / splits a record line back into unescaped
+/// fields.  split_record is the exact inverse of join_record.
+std::string join_record(const std::vector<std::string>& fields);
+std::vector<std::string> split_record(std::string_view line);
+
+/// Bit-exact double round-trip: hexfloat out, strtod back in.
+std::string format_double(double v);
+double parse_double(const std::string& s);
+
+/// Malformed record fields surface as this (wrong count, bad number, ...).
+class RecordError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends RunResult's fields (everything except the trace snapshot, which
+/// never crosses a process or crash boundary) to a record under construction.
+void append_run_result_fields(std::vector<std::string>& out,
+                              const RunResult& r);
+
+/// Parses the fields appended by append_run_result_fields starting at
+/// `*pos`; advances `*pos` past them.  Throws RecordError on malformed input.
+RunResult parse_run_result_fields(const std::vector<std::string>& fields,
+                                  std::size_t* pos);
+
+/// Number of fields append_run_result_fields emits.
+std::size_t run_result_field_count();
+
+}  // namespace merm::core

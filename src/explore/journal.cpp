@@ -1,0 +1,212 @@
+#include "explore/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+
+namespace merm::explore {
+
+namespace {
+
+constexpr const char* kMagic = "merm-sweep-journal v1";
+constexpr const char* kRowVersion = "r1";
+
+PointResult::Status parse_status(const std::string& s) {
+  if (s == "done") return PointResult::Status::kDone;
+  if (s == "failed") return PointResult::Status::kFailed;
+  if (s == "skipped") return PointResult::Status::kSkipped;
+  if (s == "pending") return PointResult::Status::kPending;
+  throw core::RecordError("bad status field '" + s + "'");
+}
+
+std::uint64_t parse_u64_field(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end == s.c_str() || *end != '\0') {
+    throw core::RecordError("bad integer field '" + s + "'");
+  }
+  return v;
+}
+
+/// FNV-1a 64 over the line payload: cheap torn-write detection, not
+/// tamper-proofing (the journal lives next to the output it protects).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string checksum_hex(std::string_view payload) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(payload)));
+  return buf;
+}
+
+std::string header_line(const std::string& grid_hash, std::size_t points) {
+  return std::string(kMagic) + " grid=" + grid_hash +
+         " points=" + std::to_string(points);
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("journal '" + path + "': " + what);
+}
+
+}  // namespace
+
+std::string encode_point_row(const PointResult& p) {
+  std::vector<std::string> f;
+  f.reserve(10 + core::run_result_field_count() + 2 * p.metrics.size());
+  f.push_back(kRowVersion);
+  f.push_back(to_string(p.status));
+  f.push_back(p.label);
+  f.push_back(std::to_string(p.seed));
+  f.push_back(std::to_string(p.attempts));
+  f.push_back(std::to_string(p.exit_signal));
+  f.push_back(p.error_type);
+  f.push_back(p.error);
+  f.push_back(p.hang_diagnostic);
+  core::append_run_result_fields(f, p.run);
+  f.push_back(std::to_string(p.metrics.size()));
+  for (const auto& [name, value] : p.metrics) {
+    f.push_back(name);
+    f.push_back(core::format_double(value));
+  }
+  return core::join_record(f);
+}
+
+PointResult decode_point_row(const std::string& line) {
+  const std::vector<std::string> f = core::split_record(line);
+  if (f.size() < 10 + core::run_result_field_count()) {
+    throw core::RecordError("truncated point row");
+  }
+  if (f[0] != kRowVersion) {
+    throw core::RecordError("unknown row version '" + f[0] + "'");
+  }
+  PointResult p;
+  std::size_t i = 1;
+  p.status = parse_status(f[i++]);
+  p.label = f[i++];
+  p.seed = parse_u64_field(f[i++]);
+  p.attempts = static_cast<unsigned>(parse_u64_field(f[i++]));
+  p.exit_signal = static_cast<int>(parse_u64_field(f[i++]));
+  p.error_type = f[i++];
+  p.error = f[i++];
+  p.hang_diagnostic = f[i++];
+  p.run = core::parse_run_result_fields(f, &i);
+  const std::size_t n_metrics = parse_u64_field(f[i++]);
+  if (i + 2 * n_metrics != f.size()) {
+    throw core::RecordError("bad metric count in point row");
+  }
+  p.metrics.reserve(n_metrics);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    const std::string& name = f[i++];
+    p.metrics.emplace_back(name, core::parse_double(f[i++]));
+  }
+  return p;
+}
+
+SweepJournal SweepJournal::create(const std::string& path,
+                                  const std::string& grid_hash,
+                                  std::size_t points) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                        0666);
+  if (fd < 0) fail(path, std::strerror(errno));
+  SweepJournal j(fd, path);
+  const std::string line = header_line(grid_hash, points) + "\n";
+  if (::write(fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    fail(path, "cannot write header");
+  }
+  ::fsync(fd);
+  return j;
+}
+
+SweepJournal SweepJournal::append_to(const std::string& path,
+                                     const std::string& grid_hash,
+                                     std::size_t points) {
+  {
+    std::ifstream in(path);
+    if (!in) fail(path, "does not exist (nothing to resume)");
+    std::string header;
+    std::getline(in, header);
+    if (header != header_line(grid_hash, points)) {
+      fail(path,
+           "header names a different sweep (grid of points, seeds, configs "
+           "or code version changed); refusing to resume");
+    }
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) fail(path, std::strerror(errno));
+  return SweepJournal(fd, path);
+}
+
+SweepJournal::SweepJournal(SweepJournal&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SweepJournal::append(std::size_t index, const PointResult& row) {
+  const std::string payload =
+      std::to_string(index) + '\t' + encode_point_row(row);
+  const std::string line = payload + "\t#" + checksum_hex(payload) + "\n";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path_, std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) fail(path_, std::strerror(errno));
+}
+
+std::map<std::size_t, PointResult> SweepJournal::load(
+    const std::string& path, const std::string& grid_hash,
+    std::size_t points) {
+  std::ifstream in(path);
+  if (!in) fail(path, "does not exist (nothing to resume)");
+  std::string line;
+  if (!std::getline(in, line) || line != header_line(grid_hash, points)) {
+    fail(path,
+         "header names a different sweep (grid of points, seeds, configs or "
+         "code version changed); refusing to resume");
+  }
+  std::map<std::size_t, PointResult> rows;
+  while (std::getline(in, line)) {
+    // "<index>\t<row fields...>\t#<fnv64>"
+    const std::size_t hash_pos = line.rfind("\t#");
+    if (hash_pos == std::string::npos ||
+        line.substr(hash_pos + 2) != checksum_hex(line.substr(0, hash_pos))) {
+      break;  // torn or corrupt tail: everything before it is still good
+    }
+    const std::size_t tab = line.find('\t');
+    try {
+      const std::size_t index =
+          static_cast<std::size_t>(parse_u64_field(line.substr(0, tab)));
+      if (index >= points) break;
+      rows[index] =
+          decode_point_row(line.substr(tab + 1, hash_pos - tab - 1));
+    } catch (const core::RecordError&) {
+      break;
+    }
+  }
+  return rows;
+}
+
+}  // namespace merm::explore

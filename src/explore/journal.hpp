@@ -1,0 +1,73 @@
+// Write-ahead journal for crash-safe sweeps, and the finished-row codec it
+// shares with the memo store and the process-isolation pipe.
+//
+// The journal is `<out>.journal`-style sidecar state: an fsync'd append of
+// every finalized row (done *and* failed — both are deterministic outcomes
+// that must not re-run on resume), headed by a grid hash binding the file to
+// one specific sweep (per-point config + level + seed + workload fingerprint
+// + code version).  SweepEngine::resume() replays journaled rows and runs
+// only the rest, producing byte-identical CSV/JSON to an uninterrupted run.
+//
+// Crash model: appends are single write() calls followed by fsync, and the
+// loader stops at the first malformed or checksum-failing line, so a row is
+// either durably present or ignored — a SIGKILL mid-append costs at most the
+// row being written.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "explore/sweep.hpp"
+
+namespace merm::explore {
+
+/// Encodes a finalized point row (status, error columns, RunResult fields,
+/// metrics — everything except the trace snapshot) as one record line.
+std::string encode_point_row(const PointResult& p);
+
+/// Inverse of encode_point_row; throws core::RecordError on malformed input.
+PointResult decode_point_row(const std::string& line);
+
+/// Append-only journal of finalized rows.  Thread-safe; every append is
+/// fsync'd before it returns, so a row acknowledged to the engine survives
+/// the process.
+class SweepJournal {
+ public:
+  /// Creates (truncating any previous file) a journal for a sweep whose
+  /// identity is `grid_hash` over `points` points.
+  static SweepJournal create(const std::string& path,
+                             const std::string& grid_hash, std::size_t points);
+
+  /// Opens an existing journal for appending.  Throws std::runtime_error if
+  /// the file is missing or its header names a different grid.
+  static SweepJournal append_to(const std::string& path,
+                                const std::string& grid_hash,
+                                std::size_t points);
+
+  /// Loads the finalized rows of an existing journal, keyed by grid index.
+  /// Verifies the header against (grid_hash, points); tolerates a torn final
+  /// line (the crash case) by stopping there.
+  static std::map<std::size_t, PointResult> load(const std::string& path,
+                                                 const std::string& grid_hash,
+                                                 std::size_t points);
+
+  SweepJournal(SweepJournal&& other) noexcept;
+  SweepJournal& operator=(SweepJournal&&) = delete;
+  ~SweepJournal();
+
+  /// Durably appends one finalized row.
+  void append(std::size_t index, const PointResult& row);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SweepJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::mutex mutex_;
+};
+
+}  // namespace merm::explore

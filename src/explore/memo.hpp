@@ -1,0 +1,60 @@
+// Content-hash memoization for sweep points.
+//
+// Because every experiment point is a pure function of (machine config,
+// workload identity, seed, code version) — PR 1's bit-identical determinism
+// is what makes that true — a finished row can be cached on disk and
+// replayed into any later sweep whose point hashes the same, across
+// processes and across overlapping grids.  The store is a directory of
+// one-file-per-key rows written atomically (tmp + rename), so concurrent
+// sweeps sharing a --memo-dir never see half a row.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace merm::explore {
+
+/// Hex digest of SHA-256(data) — the content hash behind memo keys, journal
+/// grid identity, and workload fingerprints.
+std::string sha256_hex(std::string_view data);
+
+/// Identity of the simulator code producing rows: the MERM_CODE_VERSION
+/// environment variable when set (useful to pin a version across rebuilds,
+/// or to isolate test stores), otherwise the git revision baked in at
+/// configure time, otherwise "unknown".  Part of every memo key so a store
+/// never replays rows produced by different model code.
+std::string code_version();
+
+/// On-disk map from point-key hash to an encoded finished row.
+class MemoStore {
+ public:
+  /// Opens (and creates, including parents) the store directory.  Throws
+  /// std::runtime_error when the directory cannot be created.
+  explicit MemoStore(std::string dir);
+
+  /// Returns the stored row line for `key_hash`, or nullopt.  Unreadable or
+  /// corrupt entries count as misses (and are left for a future store() to
+  /// overwrite).  Thread-safe.
+  std::optional<std::string> lookup(const std::string& key_hash);
+
+  /// Persists `row_line` under `key_hash` atomically.  A concurrent store to
+  /// the same key is harmless: both writers hold identical bytes (same key,
+  /// deterministic row), and rename is atomic.  Thread-safe.
+  void store(const std::string& key_hash, const std::string& row_line);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  std::string entry_path(const std::string& key_hash) const;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace merm::explore

@@ -1,16 +1,33 @@
 #include "explore/sweep.hpp"
 
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <cxxabi.h>
 #include <exception>
 #include <iomanip>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
+#include <typeinfo>
 
 #include "core/host.hpp"
+#include "core/serialize.hpp"
+#include "explore/journal.hpp"
+#include "explore/memo.hpp"
+#include "machine/config.hpp"
 
 namespace merm::explore {
 
@@ -92,6 +109,29 @@ std::string format_metric(double v) {
   return stats::Table::fmt(v, 4);
 }
 
+/// One CSV cell: newlines flatten to literal "\n" so a multi-line hang
+/// diagnostic cannot break row-per-line consumers, and cells containing
+/// commas or quotes get standard CSV quoting.
+std::string csv_field(const std::string& s) {
+  std::string flat;
+  flat.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\n') {
+      flat += "\\n";
+    } else if (c != '\r') {
+      flat += c;
+    }
+  }
+  if (flat.find_first_of(",\"") == std::string::npos) return flat;
+  std::string quoted = "\"";
+  for (const char c : flat) {
+    if (c == '"') quoted += "\"\"";
+    quoted += c == '"' ? '"' : c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
   for (const char c : s) {
@@ -150,16 +190,18 @@ stats::Table SweepResult::to_table() const {
   return table;
 }
 
-void SweepResult::write_csv(std::ostream& os) const {
+void SweepResult::write_csv(std::ostream& os, const WriteOptions& w) const {
   const std::vector<std::string> metrics = metric_columns(points);
   os << "index,label,status,seed,level,processors,completed,"
-        "simulated_time_ps,simulated_cpu_cycles,operations,messages,"
-        "events,host_seconds,footprint_bytes";
+        "simulated_time_ps,simulated_cpu_cycles,operations,messages,events";
+  if (w.host_columns) os << ",host_seconds,footprint_bytes";
+  os << ",error_type,error,hang_diagnostic,attempts";
   for (const std::string& m : metrics) os << ',' << m;
   os << '\n';
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointResult& p = points[i];
-    os << i << ',' << p.label << ',' << to_string(p.status) << ',' << p.seed;
+    os << i << ',' << csv_field(p.label) << ',' << to_string(p.status) << ','
+       << p.seed;
     if (p.done()) {
       os << ','
          << (p.run.level == node::SimulationLevel::kDetailed ? "detailed"
@@ -167,11 +209,17 @@ void SweepResult::write_csv(std::ostream& os) const {
          << ',' << p.run.processors << ',' << (p.run.completed ? 1 : 0) << ','
          << p.run.simulated_time << ',' << p.run.simulated_cpu_cycles << ','
          << p.run.operations << ',' << p.run.messages << ','
-         << p.run.events_processed << ',' << p.run.host_seconds << ','
-         << p.run.footprint_bytes;
+         << p.run.events_processed;
+      if (w.host_columns) {
+        os << ',' << p.run.host_seconds << ',' << p.run.footprint_bytes;
+      }
     } else {
-      os << ",,,,,,,,,,";
+      os << ",,,,,,,,";
+      if (w.host_columns) os << ",,";
     }
+    os << ',' << csv_field(p.error_type) << ',' << csv_field(p.error) << ','
+       << csv_field(p.hang_diagnostic) << ',';
+    if (p.attempts > 0) os << p.attempts;
     for (const std::string& m : metrics) {
       os << ',';
       if (const double* v = find_metric(p, m)) os << *v;
@@ -180,7 +228,7 @@ void SweepResult::write_csv(std::ostream& os) const {
   }
 }
 
-void SweepResult::write_json(std::ostream& os) const {
+void SweepResult::write_json(std::ostream& os, const WriteOptions& w) const {
   os << "[\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointResult& p = points[i];
@@ -198,14 +246,25 @@ void SweepResult::write_json(std::ostream& os) const {
          << ", \"simulated_cpu_cycles\": " << p.run.simulated_cpu_cycles
          << ", \"operations\": " << p.run.operations
          << ", \"messages\": " << p.run.messages
-         << ", \"events\": " << p.run.events_processed
-         << ", \"host_seconds\": " << p.run.host_seconds
-         << ", \"footprint_bytes\": " << p.run.footprint_bytes;
+         << ", \"events\": " << p.run.events_processed;
+      if (w.host_columns) {
+        os << ", \"host_seconds\": " << p.run.host_seconds
+           << ", \"footprint_bytes\": " << p.run.footprint_bytes;
+      }
+    }
+    if (!p.error_type.empty()) {
+      os << ", \"error_type\": ";
+      write_json_string(os, p.error_type);
     }
     if (!p.error.empty()) {
       os << ", \"error\": ";
       write_json_string(os, p.error);
     }
+    if (!p.hang_diagnostic.empty()) {
+      os << ", \"hang_diagnostic\": ";
+      write_json_string(os, p.hang_diagnostic);
+    }
+    if (p.attempts > 0) os << ", \"attempts\": " << p.attempts;
     if (!p.metrics.empty()) {
       os << ", \"metrics\": {";
       for (std::size_t m = 0; m < p.metrics.size(); ++m) {
@@ -268,94 +327,476 @@ void SweepEngine::for_each(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+
+std::string demangled(const char* mangled) {
+  int status = 0;
+  char* d = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  std::string out = status == 0 && d != nullptr ? d : mangled;
+  std::free(d);
+  return out;
+}
+
+std::string signal_label(int sig) {
+  switch (sig) {
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGTERM:
+      return "SIGTERM";
+    default:
+      return "SIG" + std::to_string(sig);
+  }
+}
+
+/// Runs one point in-process, finalizing `pr` to kDone or kFailed; never
+/// throws.  On failure the thrown exception also lands in *eptr (when given)
+/// so a !keep_going caller can rethrow the original object.
+void execute_point(const Sweep& sweep, const SweepOptions& opts,
+                   const ExperimentPoint& point, std::size_t index,
+                   PointResult& pr, std::exception_ptr* eptr) {
+  pr.attempts = 1;
+  try {
+    const WorkloadFactory& factory =
+        point.workload ? point.workload : sweep.workload;
+    if (!factory) {
+      throw std::invalid_argument("sweep point '" + pr.label +
+                                  "' has no workload factory");
+    }
+    core::Workbench wb(point.params);
+    // A fault-injected point that deadlocks (e.g. a partition nobody can
+    // route around) must surface as a failure row, not a silent
+    // completed=false result.
+    wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
+    // Parallelize inside the point before configure/tracing bind to the
+    // machine; incompatible points simply stay serial.
+    if (opts.sim_threads != 0) wb.enable_pdes(opts.sim_threads);
+    if (sweep.configure) sweep.configure(wb, point, index);
+    trace::Workload workload = factory(point.params, pr.seed);
+    pr.run = point.level == node::SimulationLevel::kDetailed
+                 ? wb.run_detailed(workload)
+                 : wb.run_task_level(workload);
+    // Drop the point's finished coroutine frames before probing; a large
+    // grid otherwise carries every completed workload's frames to the end
+    // of the sweep.
+    wb.simulator().collect_finished();
+    if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
+    if (opts.host_metrics) {
+      const obs::HostProfiler& prof = wb.host_profiler();
+      pr.metrics.emplace_back("host.launch_s", prof.total_seconds("launch"));
+      pr.metrics.emplace_back("host.run_s", prof.total_seconds("run"));
+      pr.metrics.emplace_back(
+          "host.events_per_s",
+          pr.run.host_seconds > 0.0
+              ? static_cast<double>(pr.run.events_processed) /
+                    pr.run.host_seconds
+              : 0.0);
+      pr.metrics.emplace_back("host.peak_queue",
+                              static_cast<double>(pr.run.peak_queue_depth));
+    }
+    if (sweep.inspect) sweep.inspect(wb, pr.run, index);
+    pr.status = PointResult::Status::kDone;
+  } catch (const std::exception& e) {
+    pr.status = PointResult::Status::kFailed;
+    pr.error = e.what();
+    pr.error_type = demangled(typeid(e).name());
+    if (const auto* hang = dynamic_cast<const core::HangError*>(&e)) {
+      pr.hang_diagnostic = hang->diagnostic();
+    }
+    if (eptr != nullptr) *eptr = std::current_exception();
+  } catch (...) {
+    pr.status = PointResult::Status::kFailed;
+    pr.error = "unknown exception";
+    pr.error_type = "unknown";
+    if (eptr != nullptr) *eptr = std::current_exception();
+  }
+}
+
+/// What one forked attempt produced.
+struct ChildOutcome {
+  enum class Kind {
+    kRow,       ///< complete row line received, child exited cleanly
+    kCrashed,   ///< child terminated by a signal before delivering a row
+    kTimeout,   ///< wall-clock budget elapsed; child was SIGKILLed
+    kProtocol,  ///< child exited without a (complete) row
+  };
+  Kind kind = Kind::kProtocol;
+  std::string row_line;
+  int signal = 0;
+  std::string detail;
+};
+
+/// The forked child inherits every descriptor the engine holds — other
+/// points' pipes, the journal — and a long-lived child keeping an unrelated
+/// pipe's write end open would stall that point's EOF.  Close everything but
+/// our own pipe immediately.
+void close_other_fds(int keep) {
+  long max_fd = ::sysconf(_SC_OPEN_MAX);
+  if (max_fd <= 0 || max_fd > 1024) max_fd = 1024;
+  for (int fd = 3; fd < max_fd; ++fd) {
+    if (fd != keep) ::close(fd);
+  }
+}
+
+ChildOutcome run_child_once(const Sweep& sweep, const SweepOptions& opts,
+                            const ExperimentPoint& point, std::size_t index,
+                            const PointResult& seeded) {
+  ChildOutcome out;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    out.detail = std::string("pipe: ") + std::strerror(errno);
+    return out;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    out.detail = std::string("fork: ") + std::strerror(errno);
+    return out;
+  }
+  if (pid == 0) {
+    // Child: run the point and ship the encoded row back over the pipe.
+    // _exit (not exit) so inherited atexit state never runs twice, and a
+    // crash anywhere in the model is simply our termination signal.
+    close_other_fds(fds[1]);
+    PointResult pr = seeded;
+    execute_point(sweep, opts, point, index, pr, nullptr);
+    const std::string line = encode_point_row(pr) + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::write(fds[1], line.data() + off, line.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::_exit(3);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::_exit(0);
+  }
+
+  // Parent: collect the row, enforcing the wall-clock budget.
+  ::close(fds[1]);
+  std::string buf;
+  bool timed_out = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.point_timeout_s));
+  for (;;) {
+    int wait_ms = -1;
+    if (opts.point_timeout_s > 0) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      const long ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+      if (ms <= 0) {
+        timed_out = true;
+        ::kill(pid, SIGKILL);
+        break;
+      }
+      wait_ms = static_cast<int>(std::min<long>(ms, 60'000));
+    }
+    struct pollfd pfd {
+      fds[0], POLLIN, 0
+    };
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // recheck the deadline
+    char chunk[4096];
+    const ssize_t n = ::read(fds[0], chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: child closed its end
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  if (timed_out) {
+    out.kind = ChildOutcome::Kind::kTimeout;
+    return out;
+  }
+  if (WIFSIGNALED(status)) {
+    out.kind = ChildOutcome::Kind::kCrashed;
+    out.signal = WTERMSIG(status);
+    return out;
+  }
+  const std::size_t nl = buf.find('\n');
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+      nl != std::string::npos) {
+    out.kind = ChildOutcome::Kind::kRow;
+    out.row_line = buf.substr(0, nl);
+    return out;
+  }
+  out.detail = "child exited with status " +
+               std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) +
+               " without a result row";
+  return out;
+}
+
+/// Runs one point in a forked child with bounded retry: crashes and
+/// timeouts re-run (the point is deterministic, so a genuine model bug fails
+/// identically and gets recorded as poisoned after max_attempts; a transient
+/// host condition — OOM kill, scheduling stall — gets another chance after
+/// exponential backoff).  Deterministic model failures (a clean exception
+/// row from the child) never retry.
+void run_point_isolated(const Sweep& sweep, const SweepOptions& opts,
+                        const ExperimentPoint& point, std::size_t index,
+                        PointResult& pr) {
+  const unsigned max_attempts = std::max(1u, opts.max_attempts);
+  double backoff = opts.retry_backoff_s > 0 ? opts.retry_backoff_s : 0.05;
+  for (unsigned attempt = 1;; ++attempt) {
+    const ChildOutcome o = run_child_once(sweep, opts, point, index, pr);
+
+    std::string kind;
+    std::string message;
+    int sig = 0;
+    switch (o.kind) {
+      case ChildOutcome::Kind::kRow:
+        try {
+          PointResult row = decode_point_row(o.row_line);
+          row.label = pr.label;
+          row.seed = pr.seed;
+          row.attempts = attempt;
+          pr = std::move(row);
+          return;
+        } catch (const core::RecordError& e) {
+          kind = "child-error";
+          message = std::string("garbled result row: ") + e.what();
+        }
+        break;
+      case ChildOutcome::Kind::kCrashed:
+        sig = o.signal;
+        kind = "signal:" + signal_label(o.signal);
+        message = "point crashed: killed by " + signal_label(o.signal) +
+                  " (signal " + std::to_string(o.signal) + ")";
+        break;
+      case ChildOutcome::Kind::kTimeout:
+        kind = "timeout";
+        message = "point exceeded the " +
+                  stats::Table::fmt(opts.point_timeout_s, 3) +
+                  " s wall-clock timeout and was killed";
+        break;
+      case ChildOutcome::Kind::kProtocol:
+        kind = "child-error";
+        message = o.detail.empty() ? "child failed to return a result row"
+                                   : o.detail;
+        break;
+    }
+
+    if (attempt >= max_attempts) {
+      pr.status = PointResult::Status::kFailed;
+      pr.attempts = attempt;
+      pr.exit_signal = sig;
+      if (max_attempts > 1) {
+        pr.error_type = "poisoned:" + kind;
+        pr.error = "poisoned after " + std::to_string(attempt) +
+                   " attempts; last failure: " + message;
+      } else {
+        pr.error_type = kind;
+        pr.error = message;
+      }
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff *= 2;
+  }
+}
+
+}  // namespace
+
+std::string SweepEngine::point_key(const Sweep& sweep, std::size_t index,
+                                   std::uint64_t seed) {
+  const ExperimentPoint& p = sweep.points[index];
+  std::string blob = "machine-config:\n";
+  blob += machine::write_config_string(p.params);
+  blob += "\nlevel=";
+  blob += p.level == node::SimulationLevel::kDetailed ? "detailed" : "task";
+  blob += "\nseed=" + std::to_string(seed);
+  blob += "\nworkload=" + sweep.workload_fingerprint;
+  // A per-point factory override is invisible to the sweep-wide fingerprint;
+  // mark it so such points at least never collide with un-overridden ones.
+  if (p.workload) blob += "\npoint-workload-override=1";
+  blob += "\ncode=" + code_version();
+  return sha256_hex(blob);
+}
+
 void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
+  run_into_impl(sweep, out, nullptr);
+}
+
+void SweepEngine::resume_into(const Sweep& sweep,
+                              const std::string& journal_path,
+                              SweepResult& out) {
+  run_into_impl(sweep, out, &journal_path);
+}
+
+SweepResult SweepEngine::resume(const Sweep& sweep,
+                                const std::string& journal_path) {
+  SweepResult out;
+  resume_into(sweep, journal_path, out);
+  return out;
+}
+
+void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
+                                const std::string* resume_journal) {
   const std::size_t count = sweep.points.size();
+  if (opts_.isolate == Isolation::kNone) {
+    if (opts_.point_timeout_s > 0) {
+      throw std::invalid_argument(
+          "SweepOptions::point_timeout_s requires Isolation::kProcess: a "
+          "hung in-process point cannot be killed without its pool thread");
+    }
+    if (opts_.max_attempts > 1) {
+      throw std::invalid_argument(
+          "SweepOptions::max_attempts > 1 requires Isolation::kProcess: "
+          "only crash/timeout outcomes are retried");
+    }
+  }
+  if (!opts_.memo_dir.empty() && sweep.workload_fingerprint.empty()) {
+    throw std::invalid_argument(
+        "SweepOptions::memo_dir requires Sweep::workload_fingerprint: a "
+        "workload std::function cannot be content-hashed, so the caller "
+        "must name what the factory generates");
+  }
+
   out = SweepResult{};
   out.points.resize(count);
   out.threads = resolved_threads(count);
   for (std::size_t i = 0; i < count; ++i) {
     const ExperimentPoint& p = sweep.points[i];
     out.points[i].label = p.label.empty() ? p.params.name : p.label;
-    out.points[i].seed =
-        p.seed != 0 ? p.seed : point_seed(sweep.base_seed, i);
+    out.points[i].seed = p.seed != 0 ? p.seed : point_seed(sweep.base_seed, i);
   }
 
+  // Content-hash identity: per-point keys feed the memo store; their
+  // concatenation is the journal's grid hash.
+  const bool journaling =
+      resume_journal != nullptr || !opts_.journal_path.empty();
+  std::vector<std::string> keys;
+  std::string grid_hash;
+  if (journaling || !opts_.memo_dir.empty()) {
+    keys.reserve(count);
+    std::string all;
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(point_key(sweep, i, out.points[i].seed));
+      all += keys[i];
+      all += '\n';
+    }
+    grid_hash = sha256_hex(all);
+  }
+
+  std::optional<SweepJournal> journal;
+  if (resume_journal != nullptr) {
+    auto rows = SweepJournal::load(*resume_journal, grid_hash, count);
+    journal.emplace(SweepJournal::append_to(*resume_journal, grid_hash,
+                                            count));
+    for (auto& [i, row] : rows) {
+      row.label = out.points[i].label;
+      row.seed = out.points[i].seed;
+      row.resumed = true;
+      out.points[i] = std::move(row);
+      ++out.resumed_points;
+    }
+  } else if (!opts_.journal_path.empty()) {
+    journal.emplace(
+        SweepJournal::create(opts_.journal_path, grid_hash, count));
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (out.points[i].status == PointResult::Status::kPending) {
+      pending.push_back(i);
+    }
+  }
+
+  std::optional<MemoStore> memo;
+  if (!opts_.memo_dir.empty()) memo.emplace(opts_.memo_dir);
+
   stats::SharedAccumulator host_times;
+  for (const PointResult& p : out.points) {
+    if (p.resumed && p.done()) host_times.add(p.run.host_seconds);
+  }
   std::mutex progress_mutex;
-  std::atomic<std::size_t> finished{0};
+  std::atomic<std::size_t> finished{count - pending.size()};
   core::HostTimer timer;
 
-  const auto body = [&](std::size_t i) {
-    const ExperimentPoint& point = sweep.points[i];
-    PointResult& pr = out.points[i];
-    try {
-      const WorkloadFactory& factory =
-          point.workload ? point.workload : sweep.workload;
-      if (!factory) {
-        throw std::invalid_argument("sweep point '" + pr.label +
-                                    "' has no workload factory");
-      }
-      core::Workbench wb(point.params);
-      // A fault-injected point that deadlocks (e.g. a partition nobody can
-      // route around) must surface as a failure row, not a silent
-      // completed=false result.
-      wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
-      // Parallelize inside the point before configure/tracing bind to the
-      // machine; incompatible points simply stay serial.
-      if (opts_.sim_threads != 0) wb.enable_pdes(opts_.sim_threads);
-      if (sweep.configure) sweep.configure(wb, point, i);
-      trace::Workload workload = factory(point.params, pr.seed);
-      pr.run = point.level == node::SimulationLevel::kDetailed
-                   ? wb.run_detailed(workload)
-                   : wb.run_task_level(workload);
-      // Drop the point's finished coroutine frames before probing; a large
-      // grid otherwise carries every completed workload's frames to the end
-      // of the sweep.
-      wb.simulator().collect_finished();
-      if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
-      if (opts_.host_metrics) {
-        const obs::HostProfiler& prof = wb.host_profiler();
-        pr.metrics.emplace_back("host.launch_s",
-                                prof.total_seconds("launch"));
-        pr.metrics.emplace_back("host.run_s", prof.total_seconds("run"));
-        pr.metrics.emplace_back(
-            "host.events_per_s",
-            pr.run.host_seconds > 0.0
-                ? static_cast<double>(pr.run.events_processed) /
-                      pr.run.host_seconds
-                : 0.0);
-        pr.metrics.emplace_back(
-            "host.peak_queue",
-            static_cast<double>(pr.run.peak_queue_depth));
-      }
-      if (sweep.inspect) sweep.inspect(wb, pr.run, i);
-      pr.status = PointResult::Status::kDone;
-    } catch (const std::exception& e) {
-      pr.status = PointResult::Status::kFailed;
-      pr.error = e.what();
-      if (!opts_.keep_going) throw;
-    } catch (...) {
-      pr.status = PointResult::Status::kFailed;
-      pr.error = "unknown exception";
-      if (!opts_.keep_going) throw;
+  /// Journal, count and report a row that just reached its final state.
+  const auto finalize_row = [&](std::size_t i, PointResult& pr) {
+    if (opts_.memo_columns && pr.done()) {
+      pr.metrics.emplace_back("memo.hit", pr.memo_hit ? 1.0 : 0.0);
     }
-    if (pr.status == PointResult::Status::kFailed) {
-      const std::size_t done = finished.fetch_add(1) + 1;
-      if (opts_.progress != nullptr) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        *opts_.progress << "[sweep] " << done << "/" << count << " "
-                        << pr.label << " FAILED: " << pr.error << "\n";
-      }
-      return;  // keep_going: the failure row is the result
-    }
-    host_times.add(pr.run.host_seconds);
+    if (journal) journal->append(i, pr);
+    if (pr.done()) host_times.add(pr.run.host_seconds);
     const std::size_t done = finished.fetch_add(1) + 1;
     if (opts_.progress != nullptr) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
-      *opts_.progress << "[sweep] " << done << "/" << count << " " << pr.label
-                      << " sim=" << sim::format_time(pr.run.simulated_time)
-                      << " host=" << stats::Table::fmt(pr.run.host_seconds, 3)
-                      << "s\n";
+      if (pr.done()) {
+        *opts_.progress << "[sweep] " << done << "/" << count << " "
+                        << pr.label
+                        << " sim=" << sim::format_time(pr.run.simulated_time)
+                        << " host="
+                        << stats::Table::fmt(pr.run.host_seconds, 3) << "s"
+                        << (pr.memo_hit ? " (memo hit)" : "") << "\n";
+      } else {
+        *opts_.progress << "[sweep] " << done << "/" << count << " "
+                        << pr.label << " FAILED"
+                        << (pr.error_type.empty() ? ""
+                                                  : " [" + pr.error_type + "]")
+                        << ": " << pr.error << "\n";
+      }
+    }
+  };
+
+  const auto body = [&](std::size_t slot) {
+    const std::size_t i = pending[slot];
+    const ExperimentPoint& point = sweep.points[i];
+    PointResult& pr = out.points[i];
+
+    // Memo lookup first: a hit replays the stored row without simulating.
+    if (memo) {
+      if (const std::optional<std::string> hit = memo->lookup(keys[i])) {
+        try {
+          PointResult cached = decode_point_row(*hit);
+          cached.label = pr.label;
+          cached.seed = pr.seed;
+          cached.memo_hit = true;
+          pr = std::move(cached);
+          finalize_row(i, pr);
+          return;
+        } catch (const core::RecordError&) {
+          // Corrupt entry: fall through and re-run; store() overwrites it.
+        }
+      }
+    }
+
+    std::exception_ptr eptr;
+    if (opts_.isolate == Isolation::kProcess) {
+      run_point_isolated(sweep, opts_, point, i, pr);
+    } else {
+      execute_point(sweep, opts_, point, i, pr, &eptr);
+    }
+    if (memo && pr.done()) memo->store(keys[i], encode_point_row(pr));
+    finalize_row(i, pr);
+    if (pr.status == PointResult::Status::kFailed && !opts_.keep_going) {
+      if (eptr) std::rethrow_exception(eptr);
+      throw std::runtime_error(pr.error);
     }
   };
 
@@ -367,10 +808,14 @@ void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
     }
     out.point_host_seconds = host_times.snapshot();
     out.host_seconds = timer.elapsed_seconds();
+    if (memo) {
+      out.memo_hits = memo->hits();
+      out.memo_misses = memo->misses();
+    }
   };
 
   try {
-    for_each(count, body);
+    for_each(pending.size(), body);
   } catch (...) {
     finalize();
     throw;
@@ -386,28 +831,38 @@ SweepResult SweepEngine::run(const Sweep& sweep) {
 
 namespace {
 
-/// Shared flag-value parser for every thread-count option: accepts 1..9999,
-/// anything else (including garbage) leaves `fallback` in place.
-unsigned parse_thread_count(const std::string& v, unsigned fallback) {
-  try {
-    const unsigned long n = std::stoul(v);
-    return n > 0 && n < 10'000 ? static_cast<unsigned>(n) : fallback;
-  } catch (...) {
-    return fallback;
+/// Shared flag-value parser for every thread-count option: a plain integer
+/// in 1..9999, anything else throws — "--sweep-threads=0" silently running
+/// a sweep on the engine default is exactly the kind of typo that wastes a
+/// night of compute.
+unsigned parse_thread_count(const std::string& flag, const std::string& v) {
+  const bool digits =
+      !v.empty() && v.size() <= 5 &&
+      v.find_first_not_of("0123456789") == std::string::npos;
+  const unsigned long n = digits ? std::stoul(v) : 0;
+  if (!digits || n == 0 || n >= 10'000) {
+    throw std::invalid_argument(flag +
+                                ": expected a thread count in 1..9999, got '" +
+                                v + "'");
   }
+  return static_cast<unsigned>(n);
 }
 
-/// Matches `--<name>=V` / `--<name> V`; fills `*out` on a well-formed value.
+/// Matches `--<name>=V` / `--<name> V`; fills `*out` or throws on a
+/// malformed or missing value.
 bool match_flag(const std::string& name, int argc, char** argv, int i,
                 unsigned* out) {
   const std::string arg = argv[i];
-  const std::string eq = "--" + name + "=";
-  if (arg.rfind(eq, 0) == 0) {
-    *out = parse_thread_count(arg.substr(eq.size()), *out);
+  const std::string flag = "--" + name;
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *out = parse_thread_count(flag, arg.substr(flag.size() + 1));
     return true;
   }
-  if (arg == "--" + name && i + 1 < argc) {
-    *out = parse_thread_count(argv[i + 1], *out);
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(flag + " needs a value");
+    }
+    *out = parse_thread_count(flag, argv[i + 1]);
     return true;
   }
   return false;
@@ -425,7 +880,7 @@ HostThreads host_threads_from_args(int argc, char** argv,
     // Back-compat: the pre-PDES single axis meant "points in flight".
     if (match_flag("threads", argc, argv, i, &t.sweep_threads)) continue;
     if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      t.sweep_threads = parse_thread_count(arg.substr(2), t.sweep_threads);
+      t.sweep_threads = parse_thread_count("-j", arg.substr(2));
     }
   }
   return t;

@@ -82,6 +82,13 @@ struct Sweep {
   MetricProbe probe;             ///< optional post-run metric extraction
   PointConfigure configure;      ///< optional pre-run workbench setup
   PointInspect inspect;          ///< optional post-run workbench inspection
+  /// Caller-supplied identity of the workload factory (an app name, a hash
+  /// of the workload file — anything that changes when the generated traffic
+  /// would).  Mixed into every point's content-hash key: required non-empty
+  /// for memoization (SweepOptions::memo_dir), since a std::function cannot
+  /// be hashed, and recommended for journaled sweeps to strengthen the
+  /// resume grid check.
+  std::string workload_fingerprint;
   /// Treat a hung run (event queue drained, processes blocked) as a point
   /// failure carrying the hang diagnostic, rather than a "done" point with
   /// completed=false.  Implied for points whose params.fault is enabled —
@@ -111,11 +118,40 @@ struct PointResult {
   core::RunResult run;  ///< valid only when status == kDone
   std::vector<std::pair<std::string, double>> metrics;
   std::string error;
+  /// Structured failure classification, in its own column rather than
+  /// flattened into `error`: the demangled exception type for in-process
+  /// failures ("merm::core::HangError", "std::runtime_error", ...), or for
+  /// isolated points "signal:SIGABRT"-style crash captures, "timeout", and
+  /// "poisoned:<kind>" once bounded retries are exhausted.
+  std::string error_type;
+  /// The simulator's blocked-operation report when the failure was a hang;
+  /// empty otherwise.  Dedicated column so the multi-line diagnostic never
+  /// has to be fished back out of the error message.
+  std::string hang_diagnostic;
+  /// Executions consumed (1 = first attempt succeeded or failed
+  /// deterministically; >1 = crash/timeout retries happened).
+  unsigned attempts = 0;
+  /// Signal that terminated the last isolated attempt (SIGABRT, SIGSEGV,
+  /// SIGKILL from the OOM killer...), 0 when the child exited normally.
+  int exit_signal = 0;
+  /// Row was replayed from the content-hash memo store (not re-simulated).
+  bool memo_hit = false;
+  /// Row was replayed from a journal by SweepEngine::resume.
+  bool resumed = false;
 
   bool done() const { return status == Status::kDone; }
 };
 
 const char* to_string(PointResult::Status s);
+
+/// Column selection for CSV/JSON export.
+struct WriteOptions {
+  /// Include the host-cost columns (host_seconds, footprint_bytes).  They
+  /// are nondeterministic run to run, so byte-identity comparisons — a
+  /// resumed sweep against an uninterrupted one, two memoized sweeps —
+  /// should export with host_columns = false.
+  bool host_columns = true;
+};
 
 /// All point results, in grid order regardless of completion order.
 struct SweepResult {
@@ -126,6 +162,12 @@ struct SweepResult {
   /// Distribution of per-point host times (collected thread-safely).
   stats::Accumulator point_host_seconds;
 
+  /// Memo-store traffic for this sweep (0/0 when memoization was off).
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  /// Points replayed from the journal by resume() instead of re-running.
+  std::size_t resumed_points = 0;
+
   std::size_t completed() const;
   std::size_t failed() const;
 
@@ -134,10 +176,23 @@ struct SweepResult {
   stats::Table to_table() const;
 
   /// One row per point; metric columns are the union over all points.
-  void write_csv(std::ostream& os) const;
+  void write_csv(std::ostream& os, const WriteOptions& opts = {}) const;
 
   /// Array of objects, one per point.
-  void write_json(std::ostream& os) const;
+  void write_json(std::ostream& os, const WriteOptions& opts = {}) const;
+};
+
+/// How each experiment point is executed relative to the engine process.
+enum class Isolation {
+  /// In the engine's own process on a pool thread (the default, cheapest).
+  kNone,
+  /// In a forked child, its finished row returned over a pipe.  A point that
+  /// segfaults, abort()s or is OOM-killed becomes a structured failure row
+  /// (exit signal captured) instead of taking the whole sweep down, and
+  /// wall-clock timeouts become enforceable (the child is killed).  Results
+  /// are bit-identical to in-process execution: the child runs the same
+  /// deterministic simulation.
+  kProcess,
 };
 
 struct SweepOptions {
@@ -165,6 +220,38 @@ struct SweepOptions {
   /// nondeterministic, and the default output must stay byte-identical
   /// between serial and threaded sweeps.
   bool host_metrics = false;
+  /// Process isolation for every point (see Isolation).  Note that under
+  /// kProcess the point's configure/probe/inspect hooks run inside the
+  /// forked child: their side effects on captured state do not propagate
+  /// back, only the row (and any files they write) does.
+  Isolation isolate = Isolation::kNone;
+  /// Per-point wall-clock budget in seconds; 0 = unlimited.  Requires
+  /// Isolation::kProcess (a hung in-process point cannot be killed without
+  /// taking the pool thread with it) — run() throws std::invalid_argument
+  /// otherwise.
+  double point_timeout_s = 0.0;
+  /// Executions allowed per point before it is recorded as poisoned.  Only
+  /// crash and timeout outcomes retry (a clean exception out of the model is
+  /// deterministic and re-running it would fail identically); retries >1
+  /// require Isolation::kProcess.  0 is treated as 1.
+  unsigned max_attempts = 1;
+  /// Sleep before the first retry; doubles each further retry (exponential
+  /// backoff, so a point crashing on a transient host condition — memory
+  /// pressure, a dying disk — gets breathing room without stalling forever).
+  double retry_backoff_s = 0.05;
+  /// When set, every finalized row is appended (fsync'd) to this write-ahead
+  /// journal as it completes; run() truncates any previous file, resume()
+  /// replays it.  Convention: `<out>.journal` next to the output file.
+  std::string journal_path;
+  /// When set, finished points are memoized in this directory keyed on
+  /// content hash (config + workload fingerprint + seed + code version), and
+  /// later sweeps — this one re-run, or any overlapping grid — replay them
+  /// as cache hits.  Requires Sweep::workload_fingerprint to be non-empty.
+  std::string memo_dir;
+  /// Adds a "memo.hit" metric column (1 = row replayed from the store) to
+  /// done points.  Off by default: the column differs between the miss run
+  /// and the hit run, which would break byte-identity of repeated sweeps.
+  bool memo_columns = false;
 };
 
 /// Executes experiment grids on a thread pool.
@@ -183,6 +270,19 @@ class SweepEngine {
   /// As run(), but fills `out` in place so completed point results survive
   /// when an exception propagates (out.points[i].status tells which).
   void run_into(const Sweep& sweep, SweepResult& out);
+
+  /// Resumes a journaled sweep after a crash or kill: rows recorded in the
+  /// journal at `journal_path` (written by a previous run with
+  /// SweepOptions::journal_path set) are replayed without re-running, the
+  /// remaining points execute normally, and new rows are appended to the
+  /// same journal.  The final result — and its CSV/JSON export — is
+  /// byte-identical to what the uninterrupted run would have produced
+  /// (export with WriteOptions{.host_columns = false} when comparing across
+  /// separate runs).  Throws std::runtime_error if the journal is missing or
+  /// belongs to a different grid.
+  SweepResult resume(const Sweep& sweep, const std::string& journal_path);
+  void resume_into(const Sweep& sweep, const std::string& journal_path,
+                   SweepResult& out);
 
   /// Generic deterministic fan-out: body(i) once for each i in [0, count),
   /// claimed in index order from the pool.  body must confine its effects to
@@ -204,7 +304,17 @@ class SweepEngine {
 
   const SweepOptions& options() const { return opts_; }
 
+  /// Content-hash key of one grid point: SHA-256 over the full machine
+  /// config, abstraction level, per-point seed, the sweep's workload
+  /// fingerprint and the code version.  What the memo store and the journal
+  /// grid hash are built from.
+  static std::string point_key(const Sweep& sweep, std::size_t index,
+                               std::uint64_t seed);
+
  private:
+  void run_into_impl(const Sweep& sweep, SweepResult& out,
+                     const std::string* resume_journal);
+
   SweepOptions opts_;
 };
 
@@ -221,7 +331,10 @@ struct HostThreads {
 ///   --sim-threads=N   | --sim-threads N     PDES workers per simulation
 ///   --threads=N | --threads N | -jN         back-compat alias for
 ///                                           --sweep-threads
-/// Malformed or absent flags leave the fallback value in place.
+/// Absent flags leave the fallback value in place.  A present flag whose
+/// value is not a plain integer in 1..9999 (zero, negative, garbage,
+/// missing) throws std::invalid_argument naming the flag — silently running
+/// a "--sweep-threads=0" sweep single-threaded hid typos for two PRs.
 HostThreads host_threads_from_args(int argc, char** argv,
                                    HostThreads fallback = {});
 

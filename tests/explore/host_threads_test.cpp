@@ -1,0 +1,102 @@
+// Strict parsing of the driver thread flags: valid values land on the right
+// axis (including the pre-PDES --threads / -jN back-compat aliases), and a
+// present-but-malformed value — zero, negative, garbage, missing — throws
+// instead of silently falling back to the engine default.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace merm::explore {
+namespace {
+
+HostThreads parse(std::initializer_list<std::string> args,
+                  HostThreads fallback = {}) {
+  std::vector<std::string> hold = {"prog"};
+  hold.insert(hold.end(), args);
+  std::vector<char*> argv;
+  argv.reserve(hold.size());
+  for (std::string& s : hold) argv.push_back(s.data());
+  return host_threads_from_args(static_cast<int>(argv.size()), argv.data(),
+                                fallback);
+}
+
+TEST(HostThreadsTest, AbsentFlagsKeepTheFallback) {
+  const HostThreads t = parse({"--faults=drop=0.1"}, HostThreads{3, 2});
+  EXPECT_EQ(t.sweep_threads, 3u);
+  EXPECT_EQ(t.sim_threads, 2u);
+}
+
+TEST(HostThreadsTest, BothAxesParseInEqualsAndSpaceForm) {
+  const HostThreads eq = parse({"--sweep-threads=4", "--sim-threads=2"});
+  EXPECT_EQ(eq.sweep_threads, 4u);
+  EXPECT_EQ(eq.sim_threads, 2u);
+
+  const HostThreads sp = parse({"--sweep-threads", "8", "--sim-threads", "3"});
+  EXPECT_EQ(sp.sweep_threads, 8u);
+  EXPECT_EQ(sp.sim_threads, 3u);
+}
+
+TEST(HostThreadsTest, ThreadsAliasStillSetsTheSweepAxis) {
+  EXPECT_EQ(parse({"--threads=6"}).sweep_threads, 6u);
+  EXPECT_EQ(parse({"--threads", "5"}).sweep_threads, 5u);
+  EXPECT_EQ(parse({"-j7"}).sweep_threads, 7u);
+  EXPECT_EQ(parse({"--threads=6"}).sim_threads, 0u);
+}
+
+TEST(HostThreadsTest, LaterFlagWins) {
+  EXPECT_EQ(parse({"--threads=2", "--sweep-threads=9"}).sweep_threads, 9u);
+}
+
+TEST(HostThreadsTest, ZeroIsRejectedNotSilentlyDefaulted) {
+  // "--sweep-threads=0" used to mean "engine default" by accident — exactly
+  // the typo that turns an intended 10-way sweep into a serial overnight run.
+  EXPECT_THROW(parse({"--sweep-threads=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sim-threads=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--threads", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"-j0"}), std::invalid_argument);
+}
+
+TEST(HostThreadsTest, NegativeAndGarbageAreRejected) {
+  EXPECT_THROW(parse({"--threads=-2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sweep-threads=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sim-threads=4x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--threads="}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sweep-threads", "2.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--threads=100000"}), std::invalid_argument);
+}
+
+TEST(HostThreadsTest, MissingValueIsRejected) {
+  EXPECT_THROW(parse({"--sweep-threads"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sim-threads"}), std::invalid_argument);
+}
+
+TEST(HostThreadsTest, ErrorNamesTheOffendingFlag) {
+  try {
+    parse({"--sweep-threads=0"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--sweep-threads"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(HostThreadsTest, SingleAxisWrapperKeepsItsContract) {
+  std::vector<std::string> hold = {"prog", "--threads=3"};
+  std::vector<char*> argv;
+  for (std::string& s : hold) argv.push_back(s.data());
+  EXPECT_EQ(threads_from_args(static_cast<int>(argv.size()), argv.data(), 9),
+            3u);
+
+  std::vector<std::string> none = {"prog"};
+  std::vector<char*> argv2 = {none[0].data()};
+  EXPECT_EQ(threads_from_args(1, argv2.data(), 9), 9u);
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -1,0 +1,236 @@
+// Journaled resume: SIGKILL the engine process mid-grid, resume from the
+// write-ahead journal, and the final CSV/JSON must be byte-identical to an
+// uninterrupted run's — the acceptance bar for crash-safe sweeps.  Also the
+// journal's refusal paths (foreign grid, missing file) and torn-tail
+// tolerance.
+//
+// Fork-based: not registered under the tsan label (TSan does not follow
+// fork()), but tier-1 like everything else in this directory.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/journal.hpp"
+#include "gen/apps.hpp"
+
+namespace merm::explore {
+namespace {
+
+constexpr sim::Tick kUs = sim::kTicksPerMicrosecond;
+
+std::string csv_of(const SweepResult& r) {
+  std::ostringstream os;
+  r.write_csv(os, {.host_columns = false});
+  return os.str();
+}
+
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + tag + std::string("-XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+/// A faulted 4x4 grid: four machine variants (clean / lossy / outage /
+/// deterministically-failing) times four seeds.  Every outcome — done rows,
+/// fault-perturbed rows, failure rows — must round-trip the journal.
+Sweep build_faulted_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{2, 256});
+        });
+  };
+  sweep.workload_fingerprint = "pingpong:2x256:v1";
+  for (std::size_t variant = 0; variant < 4; ++variant) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      machine::MachineParams m = machine::presets::t805_multicomputer(2, 1);
+      if (variant == 1) {
+        m.fault.enabled = true;
+        m.fault.seed = 99;
+        m.fault.drop_probability = 0.05;
+        m.fault.ack_timeout = 500 * kUs;
+        m.fault.max_retries = 12;
+      } else if (variant == 2) {
+        m.fault.enabled = true;
+        m.fault.max_retries = 12;
+        m.fault.ack_timeout = 500 * kUs;
+        m.fault.link_events.push_back(
+            {.a = 0, .b = 1, .down_at = 0, .up_at = 5000 * kUs});
+      }
+      ExperimentPoint& p = sweep.add(
+          m, "v" + std::to_string(variant) + "-s" + std::to_string(s));
+      p.seed = 1000 + 16 * variant + s;
+      if (variant == 3) {
+        p.workload = [](const machine::MachineParams&,
+                        std::uint64_t) -> trace::Workload {
+          throw std::runtime_error("deterministic failure point");
+        };
+      }
+    }
+  }
+  return sweep;
+}
+
+std::size_t journal_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+TEST(SweepResumeTest, KillMidGridThenResumeIsByteIdentical) {
+  const std::string dir = make_temp_dir("merm-resume");
+  const std::string journal = dir + "/sweep.journal";
+  Sweep sweep = build_faulted_grid();
+  // Slow the tail of the grid down (inside each isolated child, so results
+  // are unaffected) to give the parent a reliable window to SIGKILL the
+  // engine with the grid only partially journaled.
+  sweep.configure = [](core::Workbench&, const ExperimentPoint&,
+                       std::size_t index) {
+    if (index >= 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  };
+
+  SweepOptions opts{.threads = 1,
+                    .keep_going = true,
+                    .isolate = Isolation::kProcess,
+                    .journal_path = journal};
+
+  // Reference: the same sweep, uninterrupted.
+  SweepOptions ref_opts = opts;
+  ref_opts.journal_path = dir + "/reference.journal";
+  const SweepResult reference = SweepEngine(ref_opts).run(sweep);
+  ASSERT_EQ(reference.points.size(), 16u);
+  EXPECT_GE(reference.failed(), 4u);  // the deterministic-failure variant
+  EXPECT_EQ(reference.completed() + reference.failed(), 16u);
+
+  // Run the engine in a child process and SIGKILL it once the journal holds
+  // at least three finalized rows (point 3 is then mid-sleep: killed while
+  // the grid is provably incomplete).
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    SweepEngine engine(opts);
+    SweepResult r;
+    try {
+      engine.run_into(sweep, r);
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  bool enough = false;
+  for (int spin = 0; spin < 20000 && !enough; ++spin) {
+    enough = journal_lines(journal) >= 1 + 3;
+    if (!enough) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  ASSERT_TRUE(enough) << "engine child never journaled its first rows";
+
+  SweepEngine engine(opts);
+  const SweepResult resumed = engine.resume(sweep, journal);
+
+  EXPECT_GE(resumed.resumed_points, 3u);
+  EXPECT_LT(resumed.resumed_points, 16u)
+      << "child finished before the kill; the resume replayed everything";
+  EXPECT_EQ(csv_of(resumed), csv_of(reference));
+  std::ostringstream ja, jb;
+  resumed.write_json(ja, {.host_columns = false});
+  reference.write_json(jb, {.host_columns = false});
+  EXPECT_EQ(ja.str(), jb.str());
+
+  // And a second resume replays the now-complete journal without running
+  // anything — same bytes again.
+  const SweepResult replay = SweepEngine(opts).resume(sweep, journal);
+  EXPECT_EQ(replay.resumed_points, 16u);
+  EXPECT_EQ(csv_of(replay), csv_of(reference));
+}
+
+TEST(SweepResumeTest, ResumeRefusesAForeignJournal) {
+  const std::string dir = make_temp_dir("merm-resume-foreign");
+  Sweep sweep = build_faulted_grid();
+  SweepOptions opts{.threads = 1,
+                    .keep_going = true,
+                    .journal_path = dir + "/a.journal"};
+  (void)SweepEngine(opts).run(sweep);
+
+  // Any change to the grid identity — here a different base seed — must be
+  // refused rather than silently mixing rows from two different sweeps.
+  Sweep other = build_faulted_grid();
+  for (ExperimentPoint& p : other.points) p.seed += 1;
+  EXPECT_THROW(
+      (void)SweepEngine(opts).resume(other, dir + "/a.journal"),
+      std::runtime_error);
+}
+
+TEST(SweepResumeTest, ResumeWithoutAJournalThrows) {
+  const std::string dir = make_temp_dir("merm-resume-missing");
+  Sweep sweep = build_faulted_grid();
+  SweepEngine engine({.threads = 1, .keep_going = true});
+  EXPECT_THROW((void)engine.resume(sweep, dir + "/nope.journal"),
+               std::runtime_error);
+}
+
+TEST(SweepResumeTest, TornTailIsDiscardedAndCompleteRowsReplay) {
+  const std::string dir = make_temp_dir("merm-resume-torn");
+  const std::string journal = dir + "/sweep.journal";
+
+  std::atomic<int> executions{0};
+  Sweep sweep;
+  sweep.workload = [&executions](const machine::MachineParams& params,
+                                 std::uint64_t) {
+    executions.fetch_add(1);
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{1, 64});
+        });
+  };
+  for (int i = 0; i < 4; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 1),
+              "pt-" + std::to_string(i));
+  }
+
+  SweepOptions opts{.threads = 1, .journal_path = journal};
+  const SweepResult first = SweepEngine(opts).run(sweep);
+  EXPECT_EQ(executions.load(), 4);
+
+  // Simulate a crash mid-append: half a row, no checksum.
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << "4\tr1\tgarbage-torn-li";
+  }
+
+  const SweepResult resumed = SweepEngine(opts).resume(sweep, journal);
+  EXPECT_EQ(executions.load(), 4) << "complete rows must not re-run";
+  EXPECT_EQ(resumed.resumed_points, 4u);
+  EXPECT_EQ(csv_of(resumed), csv_of(first));
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -1,0 +1,352 @@
+// Crash-safe execution: process-isolated points turn abort()/segfault into
+// structured failure rows while the grid completes, wall-clock timeouts kill
+// hung points, bounded retries mark repeat offenders as poisoned, the memo
+// store replays finished rows byte-identically, and a PDES-mode hang row
+// carries the same schema (error_type + hang_diagnostic) as a serial one.
+//
+// Fork-based: not registered under the tsan label (TSan does not follow
+// fork()), but tier-1 like everything else in this directory.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/memo.hpp"
+#include "gen/apps.hpp"
+#include "trace/stream.hpp"
+
+namespace merm::explore {
+namespace {
+
+WorkloadFactory pingpong_factory() {
+  return [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{2, 256});
+        });
+  };
+}
+
+Sweep cheap_grid(std::size_t points) {
+  Sweep sweep;
+  sweep.workload = pingpong_factory();
+  for (std::size_t i = 0; i < points; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 1),
+              "pt-" + std::to_string(i));
+  }
+  return sweep;
+}
+
+std::string csv_of(const SweepResult& r) {
+  std::ostringstream os;
+  r.write_csv(os, {.host_columns = false});
+  return os.str();
+}
+
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + tag + std::string("-XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+TEST(SweepIsolationTest, AbortingPointBecomesFailureRowAndGridCompletes) {
+  Sweep sweep = cheap_grid(5);
+  sweep.points[2].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    std::abort();
+  };
+
+  SweepEngine engine({.threads = 2,
+                      .keep_going = true,
+                      .isolate = Isolation::kProcess});
+  const SweepResult result = engine.run(sweep);  // must not throw
+
+  ASSERT_EQ(result.points.size(), 5u);
+  for (const std::size_t i : {0u, 1u, 3u, 4u}) {
+    EXPECT_EQ(result.points[i].status, PointResult::Status::kDone) << i;
+    EXPECT_TRUE(result.points[i].run.completed) << i;
+  }
+  const PointResult& crashed = result.points[2];
+  EXPECT_EQ(crashed.status, PointResult::Status::kFailed);
+  EXPECT_EQ(crashed.error_type, "signal:SIGABRT");
+  EXPECT_EQ(crashed.exit_signal, SIGABRT);
+  EXPECT_EQ(crashed.attempts, 1u);
+  EXPECT_NE(crashed.error.find("SIGABRT"), std::string::npos) << crashed.error;
+  EXPECT_EQ(result.completed(), 4u);
+  EXPECT_EQ(result.failed(), 1u);
+}
+
+TEST(SweepIsolationTest, IsolatedRowsAreBitIdenticalToInProcessRows) {
+  Sweep sweep = cheap_grid(4);
+  sweep.probe = [](core::Workbench&, const core::RunResult& r) {
+    return std::vector<std::pair<std::string, double>>{
+        {"ops_x2", static_cast<double>(r.operations) * 2.0},
+        {"frac", 1.0 / 3.0}};  // non-representable: exercises the hexfloat
+  };
+
+  const SweepResult in_proc = SweepEngine({.threads = 2}).run(sweep);
+  const SweepResult forked =
+      SweepEngine({.threads = 2, .isolate = Isolation::kProcess}).run(sweep);
+
+  // Same simulation, same seed derivation, and a lossless row codec over the
+  // pipe: everything except host cost must match to the byte.
+  EXPECT_EQ(csv_of(in_proc), csv_of(forked));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(in_proc.points[i].run.simulated_time,
+              forked.points[i].run.simulated_time)
+        << i;
+    EXPECT_EQ(in_proc.points[i].metrics, forked.points[i].metrics) << i;
+  }
+}
+
+TEST(SweepIsolationTest, TimeoutKillsTheHungPointAndRecordsIt) {
+  Sweep sweep = cheap_grid(3);
+  sweep.points[1].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    std::this_thread::sleep_for(std::chrono::seconds(30));
+    return {};
+  };
+
+  SweepEngine engine({.threads = 1,
+                      .keep_going = true,
+                      .isolate = Isolation::kProcess,
+                      .point_timeout_s = 0.3});
+  const SweepResult result = engine.run(sweep);
+
+  EXPECT_EQ(result.points[0].status, PointResult::Status::kDone);
+  EXPECT_EQ(result.points[2].status, PointResult::Status::kDone);
+  const PointResult& hung = result.points[1];
+  EXPECT_EQ(hung.status, PointResult::Status::kFailed);
+  EXPECT_EQ(hung.error_type, "timeout");
+  EXPECT_NE(hung.error.find("wall-clock timeout"), std::string::npos)
+      << hung.error;
+}
+
+TEST(SweepIsolationTest, RepeatedCrashIsPoisonedAfterBoundedRetries) {
+  Sweep sweep = cheap_grid(1);
+  sweep.points[0].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    std::abort();
+  };
+
+  SweepEngine engine({.threads = 1,
+                      .keep_going = true,
+                      .isolate = Isolation::kProcess,
+                      .max_attempts = 3,
+                      .retry_backoff_s = 0.01});
+  const SweepResult result = engine.run(sweep);
+
+  const PointResult& p = result.points[0];
+  EXPECT_EQ(p.status, PointResult::Status::kFailed);
+  EXPECT_EQ(p.attempts, 3u);
+  EXPECT_EQ(p.error_type, "poisoned:signal:SIGABRT");
+  EXPECT_EQ(p.exit_signal, SIGABRT);
+  EXPECT_NE(p.error.find("poisoned after 3 attempts"), std::string::npos)
+      << p.error;
+}
+
+TEST(SweepIsolationTest, DeterministicExceptionDoesNotRetry) {
+  Sweep sweep = cheap_grid(1);
+  sweep.points[0].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    throw std::runtime_error("deterministic boom");
+  };
+
+  SweepEngine engine({.threads = 1,
+                      .keep_going = true,
+                      .isolate = Isolation::kProcess,
+                      .max_attempts = 3,
+                      .retry_backoff_s = 0.01});
+  const SweepResult result = engine.run(sweep);
+
+  const PointResult& p = result.points[0];
+  EXPECT_EQ(p.status, PointResult::Status::kFailed);
+  EXPECT_EQ(p.attempts, 1u) << "a clean exception row must not re-run";
+  EXPECT_EQ(p.error, "deterministic boom");
+  EXPECT_EQ(p.error_type, "std::runtime_error");
+}
+
+TEST(SweepIsolationTest, NonIsolatedFirstFailureStillRethrowsOriginalType) {
+  // The !keep_going contract predates isolation and must survive it: the
+  // original exception object propagates for in-process execution.
+  Sweep sweep = cheap_grid(2);
+  sweep.points[0].workload = [](const machine::MachineParams&,
+                                std::uint64_t) -> trace::Workload {
+    throw std::logic_error("typed boom");
+  };
+  SweepEngine engine({.threads = 1});
+  SweepResult result;
+  EXPECT_THROW(engine.run_into(sweep, result), std::logic_error);
+}
+
+TEST(SweepOptionValidationTest, TimeoutAndRetriesRequireIsolation) {
+  const Sweep sweep = cheap_grid(1);
+  SweepResult out;
+  EXPECT_THROW(
+      SweepEngine({.threads = 1, .point_timeout_s = 1.0}).run_into(sweep, out),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SweepEngine({.threads = 1, .max_attempts = 2}).run_into(sweep, out),
+      std::invalid_argument);
+}
+
+TEST(SweepOptionValidationTest, MemoizationRequiresAWorkloadFingerprint) {
+  const Sweep sweep = cheap_grid(1);  // no workload_fingerprint
+  SweepResult out;
+  EXPECT_THROW(SweepEngine({.threads = 1, .memo_dir = "/tmp/unused-memo"})
+                   .run_into(sweep, out),
+               std::invalid_argument);
+}
+
+TEST(SweepMemoTest, RepeatedSweepHitsTheStoreWithIdenticalBytes) {
+  const std::string dir = make_temp_dir("merm-memo");
+  Sweep sweep = cheap_grid(4);
+  sweep.workload_fingerprint = "pingpong:2x256:v1";
+
+  SweepOptions opts{.threads = 2, .memo_dir = dir};
+  const SweepResult first = SweepEngine(opts).run(sweep);
+  EXPECT_EQ(first.memo_hits, 0u);
+  EXPECT_EQ(first.memo_misses, 4u);
+
+  const SweepResult second = SweepEngine(opts).run(sweep);
+  EXPECT_EQ(second.memo_hits, 4u);
+  EXPECT_EQ(second.memo_misses, 0u);
+  for (const PointResult& p : second.points) EXPECT_TRUE(p.memo_hit);
+
+  EXPECT_EQ(csv_of(first), csv_of(second));
+  std::ostringstream j1, j2;
+  first.write_json(j1, {.host_columns = false});
+  second.write_json(j2, {.host_columns = false});
+  EXPECT_EQ(j1.str(), j2.str());
+}
+
+TEST(SweepMemoTest, MemoColumnsSurfaceTheHitFlagWhenAskedFor) {
+  const std::string dir = make_temp_dir("merm-memo-col");
+  Sweep sweep = cheap_grid(2);
+  sweep.workload_fingerprint = "pingpong:2x256:v1";
+
+  SweepOptions opts{.threads = 1, .memo_dir = dir, .memo_columns = true};
+  const SweepResult first = SweepEngine(opts).run(sweep);
+  const SweepResult second = SweepEngine(opts).run(sweep);
+  for (const PointResult& p : first.points) {
+    ASSERT_FALSE(p.metrics.empty());
+    EXPECT_EQ(p.metrics.back().first, "memo.hit");
+    EXPECT_EQ(p.metrics.back().second, 0.0);
+  }
+  for (const PointResult& p : second.points) {
+    ASSERT_FALSE(p.metrics.empty());
+    EXPECT_EQ(p.metrics.back().first, "memo.hit");
+    EXPECT_EQ(p.metrics.back().second, 1.0);
+  }
+}
+
+TEST(SweepMemoTest, DifferentSeedOrFingerprintMisses) {
+  const std::string dir = make_temp_dir("merm-memo-key");
+  Sweep sweep = cheap_grid(2);
+  sweep.workload_fingerprint = "pingpong:2x256:v1";
+  SweepOptions opts{.threads = 1, .memo_dir = dir};
+  (void)SweepEngine(opts).run(sweep);
+
+  Sweep reseeded = sweep;
+  reseeded.base_seed = 12345;
+  EXPECT_EQ(SweepEngine(opts).run(reseeded).memo_hits, 0u);
+
+  Sweep refingered = sweep;
+  refingered.workload_fingerprint = "pingpong:2x256:v2";
+  EXPECT_EQ(SweepEngine(opts).run(refingered).memo_hits, 0u);
+
+  // The untouched grid still hits: the store key is content, not history.
+  EXPECT_EQ(SweepEngine(opts).run(sweep).memo_hits, 2u);
+}
+
+TEST(SweepHangSchemaTest, PdesHangRowMatchesSerialRowSchema) {
+  // A hang under conservative PDES must produce the same structured failure
+  // row as the serial engine: HangError in error_type, the blocked-operation
+  // report in hang_diagnostic — not a different shape per engine.
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    trace::Workload w;
+    auto sender = std::make_unique<trace::VectorSource>();
+    sender->push(trace::Operation::asend(64, 1, /*tag=*/7));
+    auto receiver = std::make_unique<trace::VectorSource>();
+    receiver->push(trace::Operation::recv(0, /*tag=*/99));
+    w.sources.push_back(std::move(sender));
+    w.sources.push_back(std::move(receiver));
+    for (std::uint32_t n = 2; n < params.node_count(); ++n) {
+      w.sources.push_back(std::make_unique<trace::VectorSource>());
+    }
+    return w;
+  };
+  machine::MachineParams m = machine::presets::t805_multicomputer(2, 2);
+  m.fault.enabled = true;  // implies fail_on_hang for this point
+  sweep.add(m, "mismatched-tags");
+
+  const SweepResult serial =
+      SweepEngine({.threads = 1, .keep_going = true}).run(sweep);
+  const SweepResult pdes =
+      SweepEngine({.threads = 1, .sim_threads = 2, .keep_going = true})
+          .run(sweep);
+
+  for (const SweepResult* r : {&serial, &pdes}) {
+    ASSERT_EQ(r->points.size(), 1u);
+    const PointResult& p = r->points[0];
+    EXPECT_EQ(p.status, PointResult::Status::kFailed);
+    EXPECT_EQ(p.error_type, "merm::core::HangError");
+    EXPECT_FALSE(p.hang_diagnostic.empty());
+    EXPECT_NE(p.hang_diagnostic.find("tag=99"), std::string::npos)
+        << p.hang_diagnostic;
+    EXPECT_NE(p.error.find("simulation hang"), std::string::npos) << p.error;
+  }
+
+  // Same columns either way (the CSV header is schema; diagnosing a hang
+  // must not require knowing which engine ran the point).
+  const std::string serial_csv = csv_of(serial);
+  const std::string pdes_csv = csv_of(pdes);
+  EXPECT_EQ(serial_csv.substr(0, serial_csv.find('\n')),
+            pdes_csv.substr(0, pdes_csv.find('\n')));
+}
+
+TEST(SweepHangSchemaTest, IsolatedHangRowKeepsTheSameSchemaToo) {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams&, std::uint64_t) {
+    trace::Workload w;
+    auto sender = std::make_unique<trace::VectorSource>();
+    sender->push(trace::Operation::asend(64, 1, /*tag=*/7));
+    auto receiver = std::make_unique<trace::VectorSource>();
+    receiver->push(trace::Operation::recv(0, /*tag=*/99));
+    w.sources.push_back(std::move(sender));
+    w.sources.push_back(std::move(receiver));
+    return w;
+  };
+  machine::MachineParams m = machine::presets::t805_multicomputer(2, 1);
+  m.fault.enabled = true;
+  sweep.add(m, "mismatched-tags");
+
+  const SweepResult result =
+      SweepEngine(
+          {.threads = 1, .keep_going = true, .isolate = Isolation::kProcess})
+          .run(sweep);
+  const PointResult& p = result.points[0];
+  EXPECT_EQ(p.status, PointResult::Status::kFailed);
+  EXPECT_EQ(p.error_type, "merm::core::HangError");
+  EXPECT_NE(p.hang_diagnostic.find("tag=99"), std::string::npos)
+      << p.hang_diagnostic;
+}
+
+}  // namespace
+}  // namespace merm::explore
