@@ -1,13 +1,22 @@
 // Conservative-PDES thread scaling on the 32x32 T805 mesh (1024 nodes,
-// task level).  One Workbench run per sim-thread count; every run must
-// produce bit-identical simulated results (that is the engine's contract,
-// asserted here too), so the only thing allowed to change is wall time.
+// task level).  One Workbench run per sim-thread count; at a fixed
+// partitioning every run must produce bit-identical simulated results
+// (that is the engine's contract, asserted here too), so the only thing
+// allowed to change is wall time.  Partitions default to the largest
+// requested thread count — coarse topology blocks, windows O(partitions) —
+// and can be overridden with --partitions=<n> or --partitions=auto
+// (auto ties the partitioning to each run's thread count, so the
+// cross-thread determinism check is skipped in that mode).
 //
 // Output: a human table plus one machine-readable line per point
-//   PDES sim_threads=<n> ops_per_sec=<r> speedup=<x> host_seconds=<s>
+//   PDES sim_threads=<n> partitions=<p> windows=<w>
+//        barriers_per_sim_second=<b> ops_per_sec=<r> speedup=<x>
+//        host_seconds=<s>
 // which scripts/bench.sh scrapes into BENCH_pdes.json.
 //
 //   bench_pdes_scaling [--rounds=N] [--threads=1,2,4,8]
+//                      [--partitions=<n|auto>]
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <sstream>
@@ -29,12 +38,13 @@ struct Point {
   std::string counters;  // canonical stat dump, compared across points
 };
 
-Point run_point(unsigned sim_threads, std::uint32_t rounds) {
+Point run_point(unsigned sim_threads, std::uint32_t rounds,
+                std::uint32_t partitions) {
   const auto arch = machine::presets::t805_multicomputer(32, 32);
   core::Workbench wb(arch);
   Point p;
   p.sim_threads = sim_threads;
-  p.pdes_active = wb.enable_pdes(sim_threads).active;
+  p.pdes_active = wb.enable_pdes(sim_threads, partitions).active;
   wb.register_all_stats();
 
   gen::StochasticDescription d;
@@ -58,6 +68,9 @@ Point run_point(unsigned sim_threads, std::uint32_t rounds) {
 int main(int argc, char** argv) {
   std::uint32_t rounds = 6;
   std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  bool partitions_set = false;
+  bool partitions_auto = false;
+  std::uint32_t partitions = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--rounds=", 0) == 0) {
@@ -69,22 +82,44 @@ int main(int argc, char** argv) {
       while (std::getline(list, tok, ',')) {
         thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
       }
+    } else if (arg.rfind("--partitions=", 0) == 0) {
+      const std::string v = arg.substr(13);
+      partitions_set = true;
+      if (v == "auto") {
+        partitions_auto = true;
+        partitions = 0;
+      } else {
+        partitions = static_cast<std::uint32_t>(std::stoul(v));
+      }
     } else {
-      std::cerr << "usage: " << argv[0] << " [--rounds=N] [--threads=a,b,c]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--rounds=N] [--threads=a,b,c] [--partitions=<n|auto>]\n";
       return 2;
     }
   }
+  if (thread_counts.empty()) {
+    std::cerr << "--threads needs at least one count\n";
+    return 2;
+  }
+  if (!partitions_set) {
+    // Fixed partitioning across the whole curve: the coarse blocks the
+    // widest run would pick, so every point simulates the identical model.
+    partitions = *std::max_element(thread_counts.begin(), thread_counts.end());
+  }
 
   std::cout << "# PDES thread scaling: 32x32 T805 mesh, task level, "
-            << rounds << " rounds\n\n";
+            << rounds << " rounds, partitions="
+            << (partitions_auto ? std::string("auto")
+                                : std::to_string(partitions))
+            << "\n\n";
 
-  stats::Table table({"sim threads", "sim time", "host s", "Mops/s",
-                      "speedup"});
+  stats::Table table({"sim threads", "partitions", "windows", "sim time",
+                      "host s", "Mops/s", "speedup"});
   std::vector<Point> points;
   double base_seconds = 0.0;
   bool identical = true;
   for (const unsigned threads : thread_counts) {
-    Point p = run_point(threads, rounds);
+    Point p = run_point(threads, rounds, partitions);
     if (!p.run.completed) {
       std::cerr << "workload deadlocked at sim_threads=" << threads << "\n";
       return 1;
@@ -96,7 +131,7 @@ int main(int argc, char** argv) {
     }
     if (points.empty()) {
       base_seconds = p.run.host_seconds;
-    } else {
+    } else if (!partitions_auto) {
       const Point& ref = points.front();
       identical = identical &&
                   p.run.simulated_time == ref.run.simulated_time &&
@@ -107,12 +142,23 @@ int main(int argc, char** argv) {
     const double ops_per_sec =
         static_cast<double>(p.run.operations) / p.run.host_seconds;
     const double speedup = base_seconds / p.run.host_seconds;
+    const double sim_seconds = static_cast<double>(p.run.simulated_time) /
+                               static_cast<double>(sim::kTicksPerSecond);
+    const double barriers_per_sim_second =
+        sim_seconds > 0.0 ? static_cast<double>(p.run.pdes_windows) /
+                                sim_seconds
+                          : 0.0;
     table.add_row({std::to_string(threads),
+                   std::to_string(p.run.pdes_partitions),
+                   std::to_string(p.run.pdes_windows),
                    sim::format_time(p.run.simulated_time),
                    stats::Table::fmt(p.run.host_seconds, 4),
                    stats::Table::fmt(ops_per_sec / 1e6, 3),
                    stats::Table::fmt(speedup, 2)});
     std::cout << "PDES sim_threads=" << threads
+              << " partitions=" << p.run.pdes_partitions
+              << " windows=" << p.run.pdes_windows
+              << " barriers_per_sim_second=" << barriers_per_sim_second
               << " ops_per_sec=" << ops_per_sec << " speedup=" << speedup
               << " host_seconds=" << p.run.host_seconds << "\n";
     points.push_back(std::move(p));
@@ -120,6 +166,11 @@ int main(int argc, char** argv) {
 
   std::cout << "\n";
   table.print(std::cout);
+  if (partitions_auto) {
+    std::cout << "\ndeterminism check: skipped (--partitions=auto ties the "
+                 "partitioning to the thread count)\n";
+    return 0;
+  }
   std::cout << "\ndeterminism check: stat tables across thread counts "
             << (identical ? "IDENTICAL" : "DIVERGED") << "\n";
   return identical ? 0 : 1;

@@ -9,13 +9,16 @@
 // wormhole-routed RISC torus buy, and where does the time go?
 //
 //   $ ./examples/design_space [--sweep-threads=N] [--sim-threads=N]
+//                             [--sim-partitions=N|auto]
 //                             [--faults=<spec>] [--out=<csv>] [--isolate]
 //                             [--timeout=<s>] [--retries=<n>]
 //                             [--memo-dir=<dir>] [--resume]
 //
 // --sweep-threads (alias --threads, -jN) runs N experiment points at once;
 // --sim-threads parallelizes each point's own run with conservative PDES
-// (points the PDES path cannot honor fall back to the serial engine).
+// (points the PDES path cannot honor fall back to the serial engine);
+// --sim-partitions pins the PDES partition count ('auto' = coarse blocks,
+// min(sim-threads, nodes)).
 //
 // With --faults (e.g. --faults=link=0-1@100,drop=0.01,seed=7) every candidate
 // runs in degraded mode: the sweep keeps going past faulted points and
@@ -140,6 +143,7 @@ int main(int argc, char** argv) {
   explore::SweepEngine engine(
       {.threads = host.sweep_threads,
        .sim_threads = host.sim_threads,
+       .sim_partitions = host.sim_partitions,
        .progress = &std::cerr,
        // Degraded-mode and isolated campaigns record faulted/crashed points
        // as failure rows and keep simulating the rest of the grid.

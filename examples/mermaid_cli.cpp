@@ -36,17 +36,22 @@ int usage() {
       << "              [--level detailed|task] [--stats <csv>]\n"
       << "              [--progress <us>] [--faults <spec|file>]\n"
       << "              [--trace-out <file>] [--sim-threads <n>]\n"
+      << "              [--sim-partitions <n|auto>]\n"
       << "  mermaid_cli sweep --machine <m> [--machine <m> ...] "
       << "--workload <file>\n"
       << "              [--level detailed|task] [--out <csv>]\n"
       << "              [--sweep-threads <n>] [--sim-threads <n>]\n"
+      << "              [--sim-partitions <n|auto>] [--pdes-columns]\n"
       << "              [--faults <spec|file>] [--isolate] [--timeout <s>]\n"
       << "              [--retries <n>] [--resume] [--memo-dir <dir>]\n"
       << "\n<machine> is a config file path or "
       << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
       << "--sim-threads parallelizes the single run with conservative PDES\n"
-      << "(results are identical for any n >= 1; incompatible machines fall\n"
-      << "back to the serial engine with a note)\n"
+      << "(results are identical for any n >= 1 at a fixed --sim-partitions;\n"
+      << "incompatible machines fall back to the serial engine with a note)\n"
+      << "--sim-partitions sets the PDES partition count; 'auto' (default)\n"
+      << "uses min(sim-threads, nodes) coarse topology blocks\n"
+      << "--pdes-columns adds a pdes.fallback column to sweep rows\n"
       << "--faults takes a config file (overlaid on the machine) or an\n"
       << "inline spec, e.g. 'link=0-1@100:500,drop=0.01,retries=6,seed=7'\n"
       << "sweep runs one grid row per --machine; with --out the finished\n"
@@ -128,6 +133,7 @@ struct RunArgs {
   std::string trace_out;
   std::uint64_t progress_us = 0;
   unsigned sim_threads = 0;
+  std::uint32_t sim_partitions = 0;  ///< 0 = auto
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -148,7 +154,8 @@ int cmd_run(const RunArgs& args) {
       std::cerr << "[pdes] serial fallback: --progress samples global state "
                    "mid-run\n";
     } else {
-      const core::Workbench::PdesStatus st = wb.enable_pdes(args.sim_threads);
+      const core::Workbench::PdesStatus st =
+          wb.enable_pdes(args.sim_threads, args.sim_partitions);
       if (st.active) {
         std::cerr << "[pdes] " << st.workers << " workers over "
                   << st.partitions << " partitions (" << st.note << ")\n";
@@ -214,6 +221,7 @@ struct SweepArgs {
   std::string memo_dir;
   bool isolate = false;
   bool resume = false;
+  bool pdes_columns = false;
   double timeout_s = 0.0;
   unsigned retries = 1;
   explore::HostThreads threads;
@@ -268,6 +276,7 @@ int cmd_sweep(const SweepArgs& args) {
   explore::SweepEngine engine(
       {.threads = args.threads.sweep_threads,
        .sim_threads = args.threads.sim_threads,
+       .sim_partitions = args.threads.sim_partitions,
        .progress = &std::cerr,
        // A campaign grid reports failed points as rows; it never aborts.
        .keep_going = true,
@@ -276,7 +285,8 @@ int cmd_sweep(const SweepArgs& args) {
        .point_timeout_s = args.timeout_s,
        .max_attempts = args.retries,
        .journal_path = args.resume ? std::string() : journal,
-       .memo_dir = args.memo_dir});
+       .memo_dir = args.memo_dir,
+       .pdes_columns = args.pdes_columns});
   const explore::SweepResult result =
       args.resume ? engine.resume(sweep, journal) : engine.run(sweep);
 
@@ -345,12 +355,23 @@ int main(int argc, char** argv) {
           run.trace_out = value;
         } else if (key == "--progress") {
           run.progress_us = std::stoull(value);
-        } else if (key == "--sim-threads") {
-          run.sim_threads = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "--sim-threads" || key == "--sim-partitions") {
+          // Validated and applied by host_threads_from_args below: the
+          // strict parser rejects 0, negatives and garbage with exit 2
+          // instead of silently running serial.
         } else {
           std::cerr << "unknown flag " << key << "\n";
           return usage();
         }
+      }
+      try {
+        const explore::HostThreads ht =
+            explore::host_threads_from_args(argc, argv);
+        run.sim_threads = ht.sim_threads;
+        run.sim_partitions = ht.sim_partitions;
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
       }
       if (run.machine.empty() || run.workload.empty()) return usage();
       return cmd_run(run);
@@ -366,6 +387,10 @@ int main(int argc, char** argv) {
         }
         if (key == "--resume") {
           sw.resume = true;
+          continue;
+        }
+        if (key == "--pdes-columns") {
+          sw.pdes_columns = true;
           continue;
         }
         std::string value;
@@ -395,14 +420,19 @@ int main(int argc, char** argv) {
         } else if (key == "--retries") {
           sw.retries = static_cast<unsigned>(std::stoul(value));
         } else if (key == "--sweep-threads" || key == "--sim-threads" ||
-                   key == "--threads") {
+                   key == "--sim-partitions" || key == "--threads") {
           // Validated and applied by host_threads_from_args below.
         } else {
           std::cerr << "unknown flag " << key << "\n";
           return usage();
         }
       }
-      sw.threads = explore::host_threads_from_args(argc, argv);
+      try {
+        sw.threads = explore::host_threads_from_args(argc, argv);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
       if (sw.machines.empty() || sw.workload.empty()) return usage();
       return cmd_sweep(sw);
     }

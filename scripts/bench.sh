@@ -184,7 +184,10 @@ if os.path.exists(out_path):
 
 points = []
 line_re = re.compile(
-    r"^PDES sim_threads=(?P<threads>\d+) ops_per_sec=(?P<rate>[0-9.eE+-]+)"
+    r"^PDES sim_threads=(?P<threads>\d+) partitions=(?P<parts>\d+)"
+    r" windows=(?P<windows>\d+)"
+    r" barriers_per_sim_second=(?P<barriers>[0-9.eE+-]+)"
+    r" ops_per_sec=(?P<rate>[0-9.eE+-]+)"
     r" speedup=(?P<speedup>[0-9.eE+-]+) host_seconds=(?P<secs>[0-9.eE+-]+)")
 with open("build-release/bench_pdes_scaling.txt") as f:
     for line in f:
@@ -192,6 +195,9 @@ with open("build-release/bench_pdes_scaling.txt") as f:
         if m:
             points.append({
                 "sim_threads": int(m["threads"]),
+                "partitions": int(m["parts"]),
+                "windows": int(m["windows"]),
+                "barriers_per_sim_second": round(float(m["barriers"]), 1),
                 "ops_per_sec": round(float(m["rate"]), 1),
                 "speedup": round(float(m["speedup"]), 3),
                 "host_seconds": round(float(m["secs"]), 4),
@@ -209,7 +215,8 @@ report = {
     "generated_by": "scripts/bench.sh",
     "series": "pdes",
     "build_type": "Release",
-    "workload": "32x32 t805 mesh, stochastic random-perm, task level",
+    "workload": ("32x32 t805 mesh, stochastic random-perm, task level, "
+                 "coarse partitions fixed at max sim_threads"),
     "rounds": rounds,
     # Speedups are only meaningful relative to this: on a host with fewer
     # cores than sim threads, slowdown at higher thread counts is expected.

@@ -86,16 +86,18 @@ if ratio < 1.0 - effective:
 PY
 
   echo "=== release: PDES scaling smoke gate ==="
-  # A 4-worker conservative-PDES run of the 32x32 mesh must be at least
-  # 1.8x faster than the 1-worker run.  Only meaningful with real
-  # parallelism underneath, so the gate SKIPs (does not fail) on small
-  # hosts; determinism itself is still enforced by the bench's own exit
-  # code and by the pdes-labelled tests above.
+  # A 4-worker conservative-PDES run of the 32x32 mesh at the coarse
+  # 4-partition point must be at least 1.8x faster than the 1-worker run of
+  # the identical partitioning.  Only meaningful with real parallelism
+  # underneath, so the gate SKIPs (does not fail) on small hosts;
+  # determinism itself is still enforced by the bench's own exit code and
+  # by the pdes-labelled tests above.
   CORES=$(nproc 2>/dev/null || echo 1)
   if [[ "$CORES" -lt 4 ]]; then
     echo "SKIP: host has ${CORES} core(s); the >=1.8x @ 4-thread gate needs 4+"
   else
     ./build-release/bench/bench_pdes_scaling --rounds=4 --threads=1,4 \
+      --partitions=4 \
       | tee build-release/bench_pdes_gate.txt
     python3 - <<'PY'
 import re, sys

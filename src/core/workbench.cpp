@@ -26,6 +26,11 @@ void RunResult::print(std::ostream& os) const {
   os << "  peak queue depth: " << peak_queue_depth << "\n";
   os << "  slowdown/proc:    " << std::setprecision(1)
      << slowdown_per_processor() << " (" << processors << " processors)\n";
+  if (pdes_active) {
+    os << "  pdes:             " << pdes_workers << " worker(s) / "
+       << pdes_partitions << " partition(s) (" << pdes_mapping << "), "
+       << pdes_windows << " windows\n";
+  }
 }
 
 Workbench::Workbench(machine::MachineParams params)
@@ -50,7 +55,8 @@ void Workbench::register_all_stats() {
   stats_registered_ = true;
 }
 
-Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads) {
+Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads,
+                                             std::uint32_t partitions) {
   PdesStatus st;
   if (engine_) {
     // Already parallel; report the live configuration.
@@ -58,6 +64,7 @@ Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads) {
     st.workers = engine_->workers();
     st.partitions = engine_->partition_count();
     st.lookahead = engine_->lookahead();
+    st.mapping = pdes_status_.mapping;
     st.note = "already enabled";
     return st;
   }
@@ -83,29 +90,50 @@ Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads) {
   const std::uint32_t nodes = params_.node_count();
   if (sim_threads == 0) {
     st.note = "sim-threads=0 requests the serial engine";
+    pdes_status_ = st;
     return st;
   }
   if (nodes < 2) {
     st.note = "fewer than two nodes: nothing to partition";
+    pdes_status_ = st;
     return st;
   }
   if (params_.router.switching != machine::Switching::kStoreAndForward) {
     st.note =
         "wormhole switching couples partitions with sub-lookahead "
         "backpressure; only store-and-forward runs in parallel";
+    pdes_status_ = st;
     return st;
   }
   if (progress_interval_ != 0) {
     st.note = "progress sampling reads global state mid-run; run serially";
+    pdes_status_ = st;
     return st;
   }
-  const sim::Tick lookahead = machine_->network().min_hop_lookahead();
-  if (lookahead == 0) {
+  if (machine_->network().min_hop_lookahead() == 0) {
     st.note = "zero-latency links leave no lookahead window";
+    pdes_status_ = st;
     return st;
   }
-  engine_ = std::make_unique<sim::pdes::Engine>(nodes, sim_threads, lookahead);
-  machine_ = std::make_unique<node::Machine>(*engine_, params_);
+  // Coarse partitioning: auto means one contiguous block per worker (never
+  // more than the node count).  The map is a pure function of the topology
+  // and the partition count, so a fixed --sim-partitions pins results
+  // regardless of worker count.
+  const std::uint32_t want =
+      partitions == 0 ? std::min<std::uint32_t>(sim_threads, nodes)
+                      : std::min<std::uint32_t>(partitions, nodes);
+  network::Topology::PartitionMap map =
+      machine_->network().topology().partition_blocks(want);
+  // Effective lookahead: the cheapest *cross-partition* interaction.  With
+  // a single partition nothing crosses and the window is unbounded (half
+  // the tick range; barrier hooks still cap fault-scripted runs).
+  sim::Tick lookahead =
+      machine_->network().pdes_lookahead(map.node_to_partition);
+  if (lookahead == sim::kTickMax) lookahead = sim::kTickMax / 2;
+  engine_ = std::make_unique<sim::pdes::Engine>(map.partition_count,
+                                                sim_threads, lookahead);
+  machine_ = std::make_unique<node::Machine>(*engine_, params_,
+                                             map.node_to_partition);
   if (fault::FaultPlan* plan = machine_->fault_plan()) {
     engine_->set_barrier_hook([plan](sim::Tick t, sim::Tick until) {
       return plan->apply_transitions(t, until);
@@ -118,7 +146,10 @@ Workbench::PdesStatus Workbench::enable_pdes(unsigned sim_threads) {
   st.workers = engine_->workers();
   st.partitions = engine_->partition_count();
   st.lookahead = lookahead;
-  st.note = "conservative windows, lookahead " + sim::format_time(lookahead);
+  st.mapping = map.mapping;
+  st.note = "conservative windows over " + map.mapping + ", lookahead " +
+            sim::format_time(lookahead);
+  pdes_status_ = st;
   return st;
 }
 
@@ -286,6 +317,9 @@ RunResult Workbench::finish_run(const std::vector<sim::ProcessHandle>& handles,
   r.processors = level == node::SimulationLevel::kDetailed
                      ? machine_->node_count() * machine_->cpus_per_node()
                      : machine_->node_count();
+  // Serial run: carry the fallback reason (if a PDES request was declined)
+  // so callers can tell a requested-but-fallen-back run from a serial one.
+  r.pdes_note = pdes_status_.note;
   if (r.completed && progress_interval_ == 0) {
     // Release the finished workload's coroutine frames so multi-phase runs
     // don't accumulate them.  Skipped while a progress sampler is armed:
@@ -310,13 +344,19 @@ RunResult Workbench::finish_run_pdes(
   if (params_.fault.enabled && !handles.empty()) {
     // Scripted repair transitions can outlive the workload; record each
     // partition's local completion time so simulated_time reports when the
-    // application finished, not when the last repair fired.
+    // application finished, not when the last repair fired.  Handles are
+    // node-major (node * per_node + cpu); group them by owning partition.
+    std::vector<std::vector<sim::ProcessHandle>> local(parts);
+    for (std::uint32_t n = 0; n < machine_->node_count(); ++n) {
+      const std::uint32_t p = machine_->node_partition(n);
+      for (std::uint32_t c = 0; c < per_node; ++c) {
+        local[p].push_back(handles[static_cast<std::size_t>(n) * per_node + c]);
+      }
+    }
     for (std::uint32_t p = 0; p < parts; ++p) {
-      std::vector<sim::ProcessHandle> local(
-          handles.begin() + p * per_node,
-          handles.begin() + (p + 1) * per_node);
+      if (local[p].empty()) continue;
       engine_->sim(p).spawn(
-          watch_partition(std::move(local), engine_->sim(p), done_at, p));
+          watch_partition(std::move(local[p]), engine_->sim(p), done_at, p));
     }
     watched = true;
   }
@@ -365,6 +405,12 @@ RunResult Workbench::finish_run_pdes(
   r.processors = level == node::SimulationLevel::kDetailed
                      ? machine_->node_count() * machine_->cpus_per_node()
                      : machine_->node_count();
+  r.pdes_active = true;
+  r.pdes_workers = engine_->workers();
+  r.pdes_partitions = engine_->partition_count();
+  r.pdes_windows = engine_->windows();
+  r.pdes_mapping = pdes_status_.mapping;
+  r.pdes_note = pdes_status_.note;
   if (r.completed) engine_->collect_finished();
   return r;
 }

@@ -58,6 +58,21 @@ struct RunResult {
   /// enable_tracing), null otherwise.  Shared so RunResult stays copyable.
   std::shared_ptr<const obs::TraceData> trace;
 
+  // -- conservative-PDES execution report (zero/empty for serial runs) --
+  bool pdes_active = false;
+  unsigned pdes_workers = 0;          ///< host worker threads
+  std::uint32_t pdes_partitions = 0;  ///< partition-Simulators
+  /// Synchronization windows executed (cumulative over the engine's runs);
+  /// each window costs one barrier round-trip over all partitions, so
+  /// windows / simulated seconds is the barrier-overhead rate.
+  std::uint64_t pdes_windows = 0;
+  /// How nodes were grouped into partitions, e.g. "grid:2x2" (axis-aligned
+  /// sub-grids) or "linear:4" (contiguous index blocks).
+  std::string pdes_mapping;
+  /// enable_pdes's note: the fallback reason when a PDES request stayed
+  /// serial, the configuration summary when active, empty when never asked.
+  std::string pdes_note;
+
   /// Host cycles spent per simulated CPU cycle, per simulated processor —
   /// the paper's slowdown metric.
   double slowdown_per_processor(double host_hz = host_frequency_hz()) const {
@@ -119,21 +134,31 @@ class Workbench {
   struct PdesStatus {
     bool active = false;
     unsigned workers = 0;       ///< host worker threads (clamped)
-    std::uint32_t partitions = 0;  ///< one per node when active
-    sim::Tick lookahead = 0;    ///< window length (min single-hop latency)
+    std::uint32_t partitions = 0;  ///< partition-Simulators when active
+    sim::Tick lookahead = 0;    ///< window length (min cross-partition latency)
+    std::string mapping;        ///< node->partition grouping, e.g. "grid:2x2"
     std::string note;           ///< human-readable fallback reason / summary
   };
 
   /// Switches this workbench to conservative parallel simulation with
   /// `sim_threads` host workers (1 is the serial-equivalent baseline: same
-  /// algorithm, same results, no extra threads).  Must be called before
-  /// tracing, VSM, stat registration or any run — those bind to the machine
-  /// being replaced, so calling late throws std::logic_error.  Machine or
-  /// workbench configurations the PDES path cannot honor (fewer than two
-  /// nodes, wormhole switching, zero lookahead, progress sampling,
-  /// sim_threads == 0) fall back to the serial engine and report why in the
-  /// returned status; results stay valid either way.
-  PdesStatus enable_pdes(unsigned sim_threads);
+  /// algorithm, same results, no extra threads) over `partitions`
+  /// partition-Simulators.  `partitions == 0` means auto:
+  /// min(sim_threads, nodes) topology-aware contiguous blocks.  Coarser
+  /// partitionings (fewer partitions) widen the lookahead window — it
+  /// becomes the minimum *cross-partition* hop latency — and cut barrier
+  /// crossings per window from O(nodes) to O(partitions).  Results are
+  /// bit-identical across worker counts at any FIXED partitioning; runs
+  /// under different partitionings are each valid contended-model results
+  /// but may differ in how concurrent streams interleave on shared links.
+  /// Must be called before tracing, VSM, stat registration or any run —
+  /// those bind to the machine being replaced, so calling late throws
+  /// std::logic_error.  Machine or workbench configurations the PDES path
+  /// cannot honor (fewer than two nodes, wormhole switching, zero
+  /// lookahead, progress sampling, sim_threads == 0) fall back to the
+  /// serial engine and report why in the returned status; results stay
+  /// valid either way.
+  PdesStatus enable_pdes(unsigned sim_threads, std::uint32_t partitions = 0);
   bool pdes_active() const { return engine_ != nullptr; }
   sim::pdes::Engine* pdes_engine() { return engine_.get(); }
 
@@ -250,6 +275,9 @@ class Workbench {
   /// RunResult::trace after the run).  Mutually exclusive with sink_.
   std::vector<std::unique_ptr<obs::TraceSink>> pdes_sinks_;
   bool stats_registered_ = false;
+  /// Last enable_pdes outcome (default-initialized when never called);
+  /// echoed into RunResult so sweeps can record mapping/fallback per point.
+  PdesStatus pdes_status_;
   obs::HostProfiler profiler_;
   obs::CounterSampler* sampler_ = nullptr;
   sim::Tick progress_interval_ = 0;

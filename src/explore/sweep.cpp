@@ -379,7 +379,12 @@ void execute_point(const Sweep& sweep, const SweepOptions& opts,
     wb.set_throw_on_hang(sweep.fail_on_hang || point.params.fault.enabled);
     // Parallelize inside the point before configure/tracing bind to the
     // machine; incompatible points simply stay serial.
-    if (opts.sim_threads != 0) wb.enable_pdes(opts.sim_threads);
+    bool pdes_fell_back = false;
+    if (opts.sim_threads != 0) {
+      const core::Workbench::PdesStatus st =
+          wb.enable_pdes(opts.sim_threads, opts.sim_partitions);
+      pdes_fell_back = !st.active;
+    }
     if (sweep.configure) sweep.configure(wb, point, index);
     trace::Workload workload = factory(point.params, pr.seed);
     pr.run = point.level == node::SimulationLevel::kDetailed
@@ -390,6 +395,9 @@ void execute_point(const Sweep& sweep, const SweepOptions& opts,
     // of the sweep.
     wb.simulator().collect_finished();
     if (sweep.probe) pr.metrics = sweep.probe(wb, pr.run);
+    if (opts.pdes_columns && opts.sim_threads != 0) {
+      pr.metrics.emplace_back("pdes.fallback", pdes_fell_back ? 1.0 : 0.0);
+    }
     if (opts.host_metrics) {
       const obs::HostProfiler& prof = wb.host_profiler();
       pr.metrics.emplace_back("host.launch_s", prof.total_seconds("launch"));
@@ -621,7 +629,7 @@ void run_point_isolated(const Sweep& sweep, const SweepOptions& opts,
 }  // namespace
 
 std::string SweepEngine::point_key(const Sweep& sweep, std::size_t index,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed) const {
   const ExperimentPoint& p = sweep.points[index];
   std::string blob = "machine-config:\n";
   blob += machine::write_config_string(p.params);
@@ -629,6 +637,18 @@ std::string SweepEngine::point_key(const Sweep& sweep, std::size_t index,
   blob += p.level == node::SimulationLevel::kDetailed ? "detailed" : "task";
   blob += "\nseed=" + std::to_string(seed);
   blob += "\nworkload=" + sweep.workload_fingerprint;
+  if (opts_.sim_threads != 0) {
+    // The PDES contended network resolves stream interleaving per
+    // partitioning, so the partition count (auto resolved exactly as
+    // enable_pdes resolves it) is part of the point's identity.  The worker
+    // count is not: results are bit-identical across it at any fixed
+    // partitioning.  Serial points keep the legacy key.
+    const std::uint32_t requested =
+        opts_.sim_partitions != 0 ? opts_.sim_partitions : opts_.sim_threads;
+    blob += "\nengine=pdes/" +
+            std::to_string(
+                std::min<std::uint32_t>(requested, p.params.node_count()));
+  }
   // A per-point factory override is invisible to the sweep-wide fingerprint;
   // mark it so such points at least never collide with un-overridden ones.
   if (p.workload) blob += "\npoint-workload-override=1";
@@ -868,6 +888,42 @@ bool match_flag(const std::string& name, int argc, char** argv, int i,
   return false;
 }
 
+/// `--sim-partitions` value: "auto" (the enable_pdes default, 0) or a plain
+/// integer in 1..9999.  Same strictness as the thread flags — a garbled
+/// partition count must not silently fall back to auto.
+std::uint32_t parse_partition_count(const std::string& flag,
+                                    const std::string& v) {
+  if (v == "auto") return 0;
+  const bool digits =
+      !v.empty() && v.size() <= 5 &&
+      v.find_first_not_of("0123456789") == std::string::npos;
+  const unsigned long n = digits ? std::stoul(v) : 0;
+  if (!digits || n == 0 || n >= 10'000) {
+    throw std::invalid_argument(
+        flag + ": expected 'auto' or a partition count in 1..9999, got '" + v +
+        "'");
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+/// Matches `--sim-partitions=V` / `--sim-partitions V`.
+bool match_partition_flag(int argc, char** argv, int i, std::uint32_t* out) {
+  const std::string arg = argv[i];
+  const std::string flag = "--sim-partitions";
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *out = parse_partition_count(flag, arg.substr(flag.size() + 1));
+    return true;
+  }
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(flag + " needs a value");
+    }
+    *out = parse_partition_count(flag, argv[i + 1]);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 HostThreads host_threads_from_args(int argc, char** argv,
@@ -877,6 +933,7 @@ HostThreads host_threads_from_args(int argc, char** argv,
     const std::string arg = argv[i];
     if (match_flag("sweep-threads", argc, argv, i, &t.sweep_threads)) continue;
     if (match_flag("sim-threads", argc, argv, i, &t.sim_threads)) continue;
+    if (match_partition_flag(argc, argv, i, &t.sim_partitions)) continue;
     // Back-compat: the pre-PDES single axis meant "points in flight".
     if (match_flag("threads", argc, argv, i, &t.sweep_threads)) continue;
     if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {

@@ -203,10 +203,18 @@ struct SweepOptions {
   /// keeps every point on the serial engine.  Points the PDES path cannot
   /// honor (wormhole switching, single node, ...) fall back to serial
   /// automatically.  Note the two engines are separately deterministic:
-  /// results are bit-identical across any sim_threads >= 1, and across any
-  /// `threads`, but the PDES network model is not bit-identical to the
-  /// serial one (see DESIGN.md "Conservative PDES").
+  /// results are bit-identical across any sim_threads >= 1 *at a fixed
+  /// partitioning* (see sim_partitions), and across any `threads`; the PDES
+  /// contended network resolves concurrent streams in barrier order, so it
+  /// is not bit-identical to the serial engine on general traffic (see
+  /// DESIGN.md "Conservative PDES").
   unsigned sim_threads = 0;
+  /// Partition count for each point's PDES engine (Workbench::enable_pdes
+  /// second argument); 0 = auto, min(sim_threads, nodes) coarse blocks.
+  /// Sweeps that compare results across different sim_threads values must
+  /// pin this: the auto default ties the partitioning — and therefore the
+  /// contended-network stream interleaving — to the worker count.
+  std::uint32_t sim_partitions = 0;
   /// If set, one line per finished point ("[sweep] 3/12 ...").
   std::ostream* progress = nullptr;
   /// When true, a point that throws (a hang, RetryExhaustedError, a bad
@@ -252,6 +260,11 @@ struct SweepOptions {
   /// done points.  Off by default: the column differs between the miss run
   /// and the hit run, which would break byte-identity of repeated sweeps.
   bool memo_columns = false;
+  /// Adds a "pdes.fallback" metric column (1 = the point requested PDES but
+  /// fell back to the serial engine — wormhole switching, single node,
+  /// zero-latency links...) to done points.  Off by default so existing
+  /// sweep outputs keep their columns; only meaningful with sim_threads > 0.
+  bool pdes_columns = false;
 };
 
 /// Executes experiment grids on a thread pool.
@@ -306,10 +319,12 @@ class SweepEngine {
 
   /// Content-hash key of one grid point: SHA-256 over the full machine
   /// config, abstraction level, per-point seed, the sweep's workload
-  /// fingerprint and the code version.  What the memo store and the journal
-  /// grid hash are built from.
-  static std::string point_key(const Sweep& sweep, std::size_t index,
-                               std::uint64_t seed);
+  /// fingerprint, the code version, and — when sim_threads > 0 — the PDES
+  /// engine identity (resolved partition count; worker count is excluded
+  /// because results are invariant across it at a fixed partitioning).
+  /// What the memo store and the journal grid hash are built from.
+  std::string point_key(const Sweep& sweep, std::size_t index,
+                        std::uint64_t seed) const;
 
  private:
   void run_into_impl(const Sweep& sweep, SweepResult& out,
@@ -324,17 +339,21 @@ class SweepEngine {
 struct HostThreads {
   unsigned sweep_threads = 0;  ///< SweepOptions::threads
   unsigned sim_threads = 0;    ///< SweepOptions::sim_threads / enable_pdes
+  std::uint32_t sim_partitions = 0;  ///< SweepOptions::sim_partitions; 0=auto
 };
 
-/// Parses both thread axes from a driver's argv:
+/// Parses both thread axes (and the PDES partitioning knob) from argv:
 ///   --sweep-threads=N | --sweep-threads N   points in flight at once
 ///   --sim-threads=N   | --sim-threads N     PDES workers per simulation
+///   --sim-partitions=N|auto                 PDES partitions per simulation
 ///   --threads=N | --threads N | -jN         back-compat alias for
 ///                                           --sweep-threads
 /// Absent flags leave the fallback value in place.  A present flag whose
 /// value is not a plain integer in 1..9999 (zero, negative, garbage,
 /// missing) throws std::invalid_argument naming the flag — silently running
 /// a "--sweep-threads=0" sweep single-threaded hid typos for two PRs.
+/// --sim-partitions additionally accepts the literal "auto" (same as
+/// leaving it unset: min(sim_threads, nodes) coarse blocks).
 HostThreads host_threads_from_args(int argc, char** argv,
                                    HostThreads fallback = {});
 

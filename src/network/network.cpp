@@ -318,16 +318,46 @@ sim::Process Network::packet_process(const std::vector<Hop>& hops,
   }
 }
 
-void Network::enable_pdes(sim::pdes::Engine& engine) {
-  if (engine.partition_count() != topology_.node_count()) {
+void Network::enable_pdes(sim::pdes::Engine& engine,
+                          std::vector<std::uint32_t> node_partition) {
+  const std::uint32_t n = topology_.node_count();
+  if (node_partition.empty()) {
+    if (engine.partition_count() != n) {
+      throw std::invalid_argument(
+          "network: without a node->partition map the PDES engine must "
+          "carry one partition per node (" +
+          std::to_string(engine.partition_count()) + " != " +
+          std::to_string(n) + ")");
+    }
+    node_partition.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) node_partition[i] = i;
+  }
+  if (node_partition.size() != n) {
     throw std::invalid_argument(
-        "network: PDES engine must carry one partition per node (" +
-        std::to_string(engine.partition_count()) + " != " +
-        std::to_string(topology_.node_count()) + ")");
+        "network: node->partition map must cover every node (" +
+        std::to_string(node_partition.size()) + " != " + std::to_string(n) +
+        ")");
+  }
+  for (const std::uint32_t p : node_partition) {
+    if (p >= engine.partition_count()) {
+      throw std::invalid_argument(
+          "network: node->partition map names partition " +
+          std::to_string(p) + " but the engine has " +
+          std::to_string(engine.partition_count()));
+    }
   }
   pdes_ = &engine;
+  part_ = std::move(node_partition);
   shards_.clear();
-  shards_.resize(topology_.node_count());
+  shards_.resize(engine.partition_count());
+  next_free_.assign(links_.size(), {});
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    next_free_[i].assign(links_[i].size(), 0);
+  }
+  pending_.clear();
+  pending_.resize(engine.partition_count());
+  pending_seq_.assign(engine.partition_count(), 0);
+  engine.add_barrier_task([this] { resolve_pending(); });
 }
 
 sim::Tick Network::min_hop_lookahead() const {
@@ -337,10 +367,27 @@ sim::Tick Network::min_hop_lookahead() const {
          link_params_.propagation_delay;
 }
 
+sim::Tick Network::pdes_lookahead(
+    const std::vector<std::uint32_t>& node_partition) const {
+  const std::uint32_t n = topology_.node_count();
+  std::uint32_t d_min = 0;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (node_partition[a] == node_partition[b]) continue;
+      const std::uint32_t d = topology_.hop_distance(
+          static_cast<NodeId>(a), static_cast<NodeId>(b));
+      if (d_min == 0 || d < d_min) d_min = d;
+    }
+  }
+  if (d_min == 0) return sim::kTickMax;  // nothing crosses a boundary
+  return static_cast<sim::Tick>(d_min) * min_hop_lookahead();
+}
+
 Network::PdesVerdict Network::pdes_inject(
     NodeId src, NodeId dst, std::uint64_t bytes, bool control,
     std::function<void(bool delivered)> deliver) {
-  NetShard& shard = shards_[static_cast<std::size_t>(src)];
+  const std::uint32_t sp = part_[static_cast<std::size_t>(src)];
+  NetShard& shard = shards_[sp];
   shard.messages.add();
   PdesVerdict verdict;
   if (src == dst) {
@@ -351,10 +398,8 @@ Network::PdesVerdict Network::pdes_inject(
     return verdict;
   }
 
-  sim::Simulator& ssim = pdes_->sim(static_cast<std::uint32_t>(src));
-  obs::TraceSink* sink =
-      pdes_sinks_.empty() ? nullptr
-                          : pdes_sinks_[static_cast<std::size_t>(src)];
+  sim::Simulator& ssim = pdes_->sim(sp);
+  obs::TraceSink* sink = pdes_sinks_.empty() ? nullptr : pdes_sinks_[sp];
   const auto drop_instant = [&] {
     if (sink != nullptr) {
       sink->instant(trace_tracks_[src], obs::SpanKind::kDrop, ssim.now(),
@@ -393,49 +438,118 @@ Network::PdesVerdict Network::pdes_inject(
     }
   }
 
-  // Zero-load pipeline latency: the head packet crosses every hop, the rest
-  // stream one hold time behind it.  Per-hop link traffic is charged now, on
-  // the source shard; every hold is >= min_hop_lookahead(), so the delivery
-  // time always clears the current window.
+  // Contention model: each packet reserves every hop against the link
+  // ledger (store-and-forward holds; wormhole never reaches this path).
+  // When every hop of the route stays inside the source's partition —
+  // links are owned by their from-node — the reservation happens right
+  // now, on the owning worker, and the arrival is an ordinary local event.
+  // A route that crosses a partition boundary (including a fault detour
+  // through another partition's nodes) is parked and resolved at the next
+  // window barrier, so the shared ledger entries are only ever touched
+  // single-threaded.  A cross route covers >= d_min hops by construction,
+  // so its arrival always clears the current window.
+  bool local = true;
+  for (const Hop& h : hops) {
+    if (part_[static_cast<std::size_t>(h.from)] != sp ||
+        part_[static_cast<std::size_t>(h.to)] != sp) {
+      local = false;
+      break;
+    }
+  }
+  verdict.injected = true;
+  if (local) {
+    const sim::Tick start = ssim.now();
+    const sim::Tick arrival = reserve_route(hops, bytes, start, shard);
+    const auto hop_count = static_cast<std::uint32_t>(hops.size());
+    ssim.schedule_at(arrival, [this, src, dst, bytes, hop_count, control,
+                               start, d = std::move(deliver)] {
+      pdes_arrive(src, dst, bytes, hop_count, control, start, d);
+    });
+  } else {
+    pending_[sp].push_back(PendingXfer{ssim.now(), sp, pending_seq_[sp]++,
+                                       src, dst, bytes, control,
+                                       std::move(hops), std::move(deliver)});
+  }
+  return verdict;
+}
+
+sim::Tick Network::reserve_route(const std::vector<Hop>& hops,
+                                 std::uint64_t bytes, sim::Tick start,
+                                 NetShard& shard) {
+  // Store-and-forward reservations.  Packet i enters hop h when it has
+  // fully arrived there (ready) and the link is free (next_free); both the
+  // serial FIFO grant order and this ledger process a single per-link
+  // stream in the same order, so on workloads where each directed link
+  // carries one message at a time the times match the serial model
+  // exactly.  Concurrent streams over one link are serialized in
+  // resolution order rather than simulated-request order — the documented
+  // approximation.
   const sim::Tick t_r = router_clock_.to_ticks(router_.routing_decision_cycles);
   const sim::Tick t_prop = link_params_.propagation_delay;
   const std::uint32_t n_packets = packet_count(bytes);
   shard.packets.add(n_packets);
   std::uint64_t left = bytes;
-  sim::Tick delay = 0;
+  sim::Tick arrival = start;
   for (std::uint32_t i = 0; i < n_packets; ++i) {
     const std::uint64_t payload =
         std::min<std::uint64_t>(left, router_.max_packet_bytes);
     left -= payload;
     const std::uint64_t pkt = payload + router_.header_bytes;
-    const sim::Tick hold = t_r + hops.front().link->serialization(pkt) + t_prop;
-    delay += i == 0 ? hold * static_cast<sim::Tick>(hops.size()) : hold;
+    sim::Tick ready = start;
     for (const Hop& h : hops) {
+      const sim::Tick hold = t_r + h.link->serialization(pkt) + t_prop;
+      sim::Tick& free_at =
+          next_free_[static_cast<std::size_t>(h.from)][h.port];
+      const sim::Tick depart = ready > free_at ? ready : free_at;
+      free_at = depart + hold;
+      ready = depart + hold;
       LinkDelta& d = shard.link_deltas[link_key(h.from, h.port)];
       d.packets += 1;
       d.bytes += pkt;
       d.busy += hold;
     }
+    arrival = ready;
   }
-
-  verdict.injected = true;
-  ssim.spawn(pdes_transit(src, dst, bytes,
-                          static_cast<std::uint32_t>(hops.size()), control,
-                          ssim.now(), delay, std::move(deliver)));
-  return verdict;
+  return arrival;
 }
 
-sim::Process Network::pdes_transit(NodeId src, NodeId dst, std::uint64_t bytes,
-                                   std::uint32_t hop_count, bool control,
-                                   sim::Tick start, sim::Tick delay,
-                                   std::function<void(bool)> deliver) {
-  co_await pdes_->teleport(static_cast<std::uint32_t>(dst), delay);
-  // From here on the coroutine runs on dst's partition.
-  NetShard& shard = shards_[static_cast<std::size_t>(dst)];
-  const sim::Tick now = pdes_->sim(static_cast<std::uint32_t>(dst)).now();
-  obs::TraceSink* sink =
-      pdes_sinks_.empty() ? nullptr
-                          : pdes_sinks_[static_cast<std::size_t>(dst)];
+void Network::resolve_pending() {
+  std::vector<PendingXfer> all;
+  for (std::vector<PendingXfer>& box : pending_) {
+    all.insert(all.end(), std::make_move_iterator(box.begin()),
+               std::make_move_iterator(box.end()));
+    box.clear();
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(),
+            [](const PendingXfer& a, const PendingXfer& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src_part != b.src_part) return a.src_part < b.src_part;
+              return a.seq < b.seq;
+            });
+  for (PendingXfer& x : all) {
+    const sim::Tick arrival =
+        reserve_route(x.hops, x.bytes, x.when, shards_[x.src_part]);
+    sim::Simulator& dsim =
+        pdes_->sim(part_[static_cast<std::size_t>(x.dst)]);
+    const auto hop_count = static_cast<std::uint32_t>(x.hops.size());
+    dsim.schedule_at(arrival, [this, src = x.src, dst = x.dst,
+                               bytes = x.bytes, hop_count,
+                               control = x.control, start = x.when,
+                               d = std::move(x.deliver)] {
+      pdes_arrive(src, dst, bytes, hop_count, control, start, d);
+    });
+  }
+}
+
+void Network::pdes_arrive(NodeId src, NodeId dst, std::uint64_t bytes,
+                          std::uint32_t hop_count, bool control,
+                          sim::Tick start,
+                          const std::function<void(bool)>& deliver) {
+  const std::uint32_t dp = part_[static_cast<std::size_t>(dst)];
+  NetShard& shard = shards_[dp];
+  const sim::Tick now = pdes_->sim(dp).now();
+  obs::TraceSink* sink = pdes_sinks_.empty() ? nullptr : pdes_sinks_[dp];
   // Bytes count before the corruption draw, matching the serial order.
   shard.bytes_delivered.add(bytes);
   if (fault_ != nullptr && !control && fault_->draw_corrupt_at(dst)) {
@@ -447,7 +561,7 @@ sim::Process Network::pdes_transit(NodeId src, NodeId dst, std::uint64_t bytes,
                     static_cast<std::int64_t>(bytes), dst);
     }
     if (deliver) deliver(false);
-    co_return;
+    return;
   }
   shard.message_latency_ticks.add(static_cast<double>(now - start));
   shard.message_hops.add(static_cast<double>(hop_count));

@@ -106,23 +106,44 @@ class Network {
   FaultInjector* fault_injector() const { return fault_; }
 
   // ---- conservative-PDES path -------------------------------------------
-  // One partition per node.  Message traffic goes through pdes_inject()
-  // instead of transmit(): the per-hop contention model is replaced by the
-  // zero-load pipeline latency (packets stream behind the head, no
-  // cross-message queueing — see DESIGN.md for the fidelity trade), which
-  // keeps every link interaction inside a single partition and makes the
-  // minimum hop cost a valid lookahead.
+  // Nodes are grouped into partitions (possibly many nodes per partition).
+  // Message traffic goes through pdes_inject() instead of transmit(): the
+  // FIFO link resources are replaced by a reservation ledger — one
+  // next-free tick per unidirectional link — against which each packet
+  // reserves every hop in order (depart = max(ready, next_free)), which
+  // reproduces the serial store-and-forward contention times exactly when
+  // each directed link carries one message stream at a time and
+  // approximates them under cross-traffic (see DESIGN.md §8 for the
+  // fidelity trade).  Routes whose every hop stays inside the source
+  // node's partition reserve immediately, on the owning worker; routes
+  // that cross a partition boundary are parked and resolved at the next
+  // window barrier, single-threaded, in (when, src_partition, seq) order —
+  // a pure function of simulated content, so results are bit-identical at
+  // any worker count for a fixed partitioning.
 
-  /// Binds the network to a PDES engine (partition_count() must equal
-  /// node_count()).  Statistics then accrue into per-partition shards; call
-  /// fold_pdes_shards() once after the run.
-  void enable_pdes(sim::pdes::Engine& engine);
+  /// Binds the network to a PDES engine.  `node_partition[n]` names the
+  /// partition that owns node n (values < engine.partition_count(); an
+  /// empty vector means the legacy one-partition-per-node identity map).
+  /// Statistics then accrue into per-partition shards; call
+  /// fold_pdes_shards() once after the run.  Registers a barrier task on
+  /// the engine, so the network must outlive the engine's last run().
+  void enable_pdes(sim::pdes::Engine& engine,
+                   std::vector<std::uint32_t> node_partition = {});
   bool pdes_active() const { return pdes_ != nullptr; }
 
-  /// The model's lookahead: the cheapest possible cross-partition latency —
+  /// The model's lookahead: the cheapest possible single-hop latency —
   /// one routing decision plus serialization of a bare header plus wire
   /// propagation.  Zero means this configuration cannot bound a PDES window.
   sim::Tick min_hop_lookahead() const;
+
+  /// Window length the given node->partition map supports: the minimum
+  /// hop distance between any two nodes in *different* partitions times
+  /// min_hop_lookahead().  Every cross-partition interaction covers at
+  /// least that distance (fault detours only lengthen routes), so it lower
+  /// bounds the cross-partition latency.  Returns sim::kTickMax when no
+  /// pair crosses (a single partition): windows are then unbounded.
+  sim::Tick pdes_lookahead(
+      const std::vector<std::uint32_t>& node_partition) const;
 
   /// Synchronous outcome of a PDES injection, decided on the source
   /// partition.  Exactly one of the flags is set.
@@ -143,9 +164,10 @@ class Network {
                           std::function<void(bool delivered)> deliver);
 
   /// PDES tracing: one sink per partition, all sharing one track table.
-  /// Source-side instants (drops, reroutes) go to sinks[src]; the transit
-  /// span is written at arrival on sinks[dst] — both on the per-source-node
-  /// track tracks[src].
+  /// Source-side instants (drops, reroutes) go to the source node's
+  /// partition sink; the transit span is written at arrival on the
+  /// destination node's partition sink — both on the per-source-node track
+  /// tracks[src].
   void attach_trace_pdes(std::vector<obs::TraceSink*> sinks,
                          std::vector<obs::TrackId> tracks);
 
@@ -260,12 +282,38 @@ class Network {
            port;
   }
 
-  /// The in-flight half of a PDES transmission: teleports to dst's
-  /// partition, then does the arrival-side accounting and delivery there.
-  sim::Process pdes_transit(NodeId src, NodeId dst, std::uint64_t bytes,
-                            std::uint32_t hop_count, bool control,
-                            sim::Tick start, sim::Tick delay,
-                            std::function<void(bool)> deliver);
+  /// A cross-partition transmission parked until the next window barrier.
+  /// (when, src_part, seq) is the deterministic resolution key; seq counts
+  /// parked transfers per source partition.
+  struct PendingXfer {
+    sim::Tick when;
+    std::uint32_t src_part;
+    std::uint64_t seq;
+    NodeId src;
+    NodeId dst;
+    std::uint64_t bytes;
+    bool control;
+    std::vector<Hop> hops;
+    std::function<void(bool)> deliver;
+  };
+
+  /// Reserves every hop of `hops` for every packet of a `bytes`-byte
+  /// message against the next_free_ ledger, starting at `start`; charges
+  /// per-link traffic to `shard` and returns the last packet's arrival
+  /// time at the destination.
+  sim::Tick reserve_route(const std::vector<Hop>& hops, std::uint64_t bytes,
+                          sim::Tick start, NetShard& shard);
+
+  /// Barrier task: resolves all parked cross-partition transfers in
+  /// (when, src_partition, seq) order — reservations against the shared
+  /// ledger, then an arrival event on the destination's partition.
+  void resolve_pending();
+
+  /// Arrival-side accounting + delivery; runs as an event on the
+  /// destination node's partition at the reserved arrival time.
+  void pdes_arrive(NodeId src, NodeId dst, std::uint64_t bytes,
+                   std::uint32_t hop_count, bool control, sim::Tick start,
+                   const std::function<void(bool)>& deliver);
 
   sim::Simulator& sim_;
   machine::RouterParams router_;
@@ -278,8 +326,16 @@ class Network {
   std::vector<obs::TrackId> trace_tracks_;  ///< one per source node
 
   sim::pdes::Engine* pdes_ = nullptr;
+  std::vector<std::uint32_t> part_;          ///< [node] -> owning partition
   std::vector<NetShard> shards_;             ///< [partition] in PDES mode
   std::vector<obs::TraceSink*> pdes_sinks_;  ///< [partition] in PDES mode
+  /// Link reservation ledger, [node][port] -> first free tick.  Entries for
+  /// a partition's own links are advanced by its worker mid-window (local
+  /// routes); cross-partition resolution advances any entry, but only at
+  /// the barrier, single-threaded.
+  std::vector<std::vector<sim::Tick>> next_free_;
+  std::vector<std::vector<PendingXfer>> pending_;  ///< [source partition]
+  std::vector<std::uint64_t> pending_seq_;         ///< [source partition]
 };
 
 }  // namespace merm::network

@@ -1,5 +1,6 @@
 #include "network/topology.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -293,6 +294,69 @@ int Topology::edge_dimension(NodeId u, NodeId v) const {
   const auto a = static_cast<std::uint32_t>(u);
   const auto b = static_cast<std::uint32_t>(v);
   return (a / width_) == (b / width_) ? 0 : 1;
+}
+
+Topology::PartitionMap Topology::partition_blocks(std::uint32_t parts) const {
+  const std::uint32_t n = node_count();
+  parts = std::max(1u, std::min(parts, n));
+
+  PartitionMap map;
+  map.partition_count = parts;
+  map.node_to_partition.resize(n);
+
+  if ((kind_ == TopologyKind::kMesh2D || kind_ == TopologyKind::kTorus2D) &&
+      width_ > 0 && height_ > 0) {
+    // Tile the grid with px * py axis-aligned rectangles, choosing the
+    // factorization of `parts` closest to the grid's own aspect ratio so
+    // the blocks are as square as possible (shortest perimeter = fewest
+    // cross-partition links).  Because the blocks are axis-aligned and
+    // contiguous in both x and y, every XY (dimension-order) route between
+    // two nodes of the same block stays inside the block.
+    std::uint32_t best_px = 0;
+    std::uint32_t best_py = 0;
+    std::uint64_t best_score = 0;
+    for (std::uint32_t px = 1; px <= parts; ++px) {
+      if (parts % px != 0) continue;
+      const std::uint32_t py = parts / px;
+      if (px > width_ || py > height_) continue;
+      // Minimize the total block perimeter ~ py*width + px*height.
+      const std::uint64_t score = static_cast<std::uint64_t>(py) * width_ +
+                                  static_cast<std::uint64_t>(px) * height_;
+      if (best_px == 0 || score < best_score) {
+        best_px = px;
+        best_py = py;
+        best_score = score;
+      }
+    }
+    if (best_px != 0) {
+      const std::uint32_t px = best_px;
+      const std::uint32_t py = best_py;
+      for (std::uint32_t y = 0; y < height_; ++y) {
+        for (std::uint32_t x = 0; x < width_; ++x) {
+          // Balanced tiling: column band x*px/width, row band y*py/height.
+          const std::uint32_t bx =
+              static_cast<std::uint32_t>(static_cast<std::uint64_t>(x) * px /
+                                         width_);
+          const std::uint32_t by =
+              static_cast<std::uint32_t>(static_cast<std::uint64_t>(y) * py /
+                                         height_);
+          map.node_to_partition[y * width_ + x] = by * px + bx;
+        }
+      }
+      map.mapping =
+          "grid:" + std::to_string(px) + "x" + std::to_string(py);
+      return map;
+    }
+    // No factorization fits (e.g. parts prime and > width, > height): fall
+    // through to linear index blocks, which are still contiguous runs.
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    map.node_to_partition[i] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(i) * parts / n);
+  }
+  map.mapping = "linear:" + std::to_string(parts);
+  return map;
 }
 
 std::uint32_t Topology::link_count() const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "machine/params.hpp"
@@ -91,6 +92,25 @@ class Topology {
   /// Used to reset the dateline VC when dimension-order routing switches
   /// dimensions.  Returns 0 for non-grid topologies.
   int edge_dimension(NodeId u, NodeId v) const;
+
+  /// A node -> partition assignment for coarse-grained PDES, plus a human
+  /// readable description of how it was derived (recorded in RunResult so
+  /// sweeps can report the mapping a measurement was taken under).
+  struct PartitionMap {
+    std::vector<std::uint32_t> node_to_partition;  ///< [node]
+    std::uint32_t partition_count = 1;
+    std::string mapping;  ///< e.g. "grid:2x2" or "linear:4"
+  };
+
+  /// Splits the nodes into `parts` contiguous blocks (clamped to
+  /// [1, node_count]).  Mesh/torus grids are tiled with axis-aligned
+  /// rectangular sub-grids when `parts` factors into px * py with px <=
+  /// width and py <= height (XY routes between same-block nodes then stay
+  /// inside the block, maximizing intra-partition traffic); everything else
+  /// — and grids where no factorization fits — falls back to linear index
+  /// blocks.  Every partition is non-empty and the assignment depends only
+  /// on the topology and `parts`, never on worker count.
+  PartitionMap partition_blocks(std::uint32_t parts) const;
 
  private:
   Topology() = default;

@@ -12,8 +12,12 @@ Machine::Machine(sim::Simulator& sim, const machine::MachineParams& params)
 }
 
 Machine::Machine(sim::pdes::Engine& engine,
-                 const machine::MachineParams& params)
-    : sim_(engine.sim(0)), params_(params), pdes_(&engine) {
+                 const machine::MachineParams& params,
+                 std::vector<std::uint32_t> node_to_partition)
+    : sim_(engine.sim(0)),
+      params_(params),
+      pdes_(&engine),
+      node_partition_(std::move(node_to_partition)) {
   build(&engine);
 }
 
@@ -23,7 +27,16 @@ void Machine::build(sim::pdes::Engine* engine) {
   // pdes_inject() and never touches that simulator's queue.
   network_ = std::make_unique<network::Network>(
       sim_, params_.topology, params_.router, params_.link);
-  if (engine != nullptr) network_->enable_pdes(*engine);
+  if (engine != nullptr) {
+    if (node_partition_.empty()) {
+      // Legacy identity map: one partition per node.
+      node_partition_.resize(network_->node_count());
+      for (std::uint32_t i = 0; i < network_->node_count(); ++i) {
+        node_partition_[i] = i;
+      }
+    }
+    network_->enable_pdes(*engine, node_partition_);
+  }
   if (params_.fault.enabled) {
     fault_plan_ =
         std::make_unique<fault::FaultPlan>(params_.fault, network_->topology());
@@ -40,7 +53,8 @@ void Machine::build(sim::pdes::Engine* engine) {
   const std::uint32_t n = network_->node_count();
   node_sims_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    node_sims_.push_back(engine != nullptr ? &engine->sim(i) : &sim_);
+    node_sims_.push_back(engine != nullptr ? &engine->sim(node_partition_[i])
+                                           : &sim_);
   }
   comm_nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -95,8 +109,9 @@ void Machine::attach_trace(obs::TraceSink& sink) {
 }
 
 void Machine::attach_trace_pdes(const std::vector<obs::TraceSink*>& sinks) {
-  if (sinks.size() != node_count()) {
-    throw std::invalid_argument("attach_trace_pdes needs one sink per node");
+  if (pdes_ == nullptr || sinks.size() != pdes_->partition_count()) {
+    throw std::invalid_argument(
+        "attach_trace_pdes needs one sink per partition");
   }
   // Register every track in every sink, in the exact order attach_trace
   // uses, so all sinks carry identical track tables and the post-run merge
@@ -115,11 +130,11 @@ void Machine::attach_trace_pdes(const std::vector<obs::TraceSink*>& sinks) {
     for (std::uint32_t c = 0; c < cpus_per_node(); ++c) {
       cpu_tracks.push_back(add(base + ".cpu" + std::to_string(c)));
     }
-    compute_nodes_[n]->attach_trace(sinks[n], std::move(cpu_tracks));
-    comm_nodes_[n]->attach_trace(sinks[n], add(base + ".comm"));
+    obs::TraceSink* sink = sinks[node_partition(n)];
+    compute_nodes_[n]->attach_trace(sink, std::move(cpu_tracks));
+    comm_nodes_[n]->attach_trace(sink, add(base + ".comm"));
     net_tracks.push_back(add(base + ".net"));
-    compute_nodes_[n]->memory().bus().attach_trace(sinks[n],
-                                                   add(base + ".bus"));
+    compute_nodes_[n]->memory().bus().attach_trace(sink, add(base + ".bus"));
   }
   network_->attach_trace_pdes(
       std::vector<obs::TraceSink*>(sinks.begin(), sinks.end()),

@@ -41,12 +41,15 @@ class Machine {
  public:
   Machine(sim::Simulator& sim, const machine::MachineParams& params);
 
-  /// Conservative-PDES assembly: every node's components live on their own
-  /// partition (engine.sim(node)), the network runs its zero-load PDES path,
-  /// and scripted faults apply at window barriers instead of being armed as
-  /// events.  `engine` must carry exactly one partition per node and must
-  /// outlive the machine.
-  Machine(sim::pdes::Engine& engine, const machine::MachineParams& params);
+  /// Conservative-PDES assembly: node n's components live on partition
+  /// `node_to_partition[n]` (possibly many nodes per partition — the
+  /// coarse-grained mapping), the network runs its reservation-ledger PDES
+  /// path, and scripted faults apply at window barriers instead of being
+  /// armed as events.  An empty map means the legacy one-partition-per-node
+  /// identity (the engine must then carry node_count partitions).  `engine`
+  /// must outlive the machine.
+  Machine(sim::pdes::Engine& engine, const machine::MachineParams& params,
+          std::vector<std::uint32_t> node_to_partition = {});
 
   const machine::MachineParams& params() const { return params_; }
   std::uint32_t node_count() const {
@@ -60,9 +63,13 @@ class Machine {
   sim::Simulator& simulator() { return sim_; }
   /// The PDES engine this machine runs on, or nullptr for a serial machine.
   sim::pdes::Engine* pdes_engine() { return pdes_; }
-  /// The simulator node `i`'s components are spawned on (partition i under
-  /// PDES, the shared serial simulator otherwise).
+  /// The simulator node `i`'s components are spawned on (its owning
+  /// partition under PDES, the shared serial simulator otherwise).
   sim::Simulator& node_simulator(std::uint32_t i) { return *node_sims_[i]; }
+  /// The partition owning node `i` (0 for a serial machine).
+  std::uint32_t node_partition(std::uint32_t i) const {
+    return node_partition_.empty() ? 0 : node_partition_[i];
+  }
   /// The armed fault plan, or nullptr when params.fault is disabled.
   fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
@@ -86,9 +93,11 @@ class Machine {
   /// component.  Call once, before any run that should be traced.
   void attach_trace(obs::TraceSink& sink);
 
-  /// PDES tracing: one sink per partition, each given the *identical* track
-  /// table (same names, same ids, same order as attach_trace would build),
-  /// so per-track events merge across partitions without id translation.
+  /// PDES tracing: one sink per *partition* (not per node), each given the
+  /// identical track table (same names, same ids, same order as
+  /// attach_trace would build), so per-track events merge across
+  /// partitions without id translation.  Node n's components record into
+  /// its owning partition's sink.
   void attach_trace_pdes(const std::vector<obs::TraceSink*>& sinks);
 
   /// Folds the network's per-partition stat shards and the fault plan's
@@ -111,6 +120,7 @@ class Machine {
   sim::Simulator& sim_;  ///< partition 0's simulator under PDES
   machine::MachineParams params_;
   sim::pdes::Engine* pdes_ = nullptr;
+  std::vector<std::uint32_t> node_partition_;  ///< [node]; empty when serial
   std::vector<sim::Simulator*> node_sims_;  ///< [node]; all &sim_ when serial
   std::unique_ptr<network::Network> network_;
   /// Declared after network_ so it is destroyed first (the network holds a

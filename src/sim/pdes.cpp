@@ -118,6 +118,9 @@ void Engine::rethrow_window_error() {
 
 Engine::RunResult Engine::run(Tick until) {
   for (;;) {
+    // Barrier tasks first: they may convert parked cross-partition work
+    // (e.g. pending link reservations) into outbox mail or direct events.
+    for (const auto& task : barrier_tasks_) task();
     drain_outboxes();
     Tick t = global_next_event_time();
     // Let the hook apply scripted transitions due up to min(t, until); it
@@ -142,6 +145,7 @@ Engine::RunResult Engine::run(Tick until) {
     bound = std::min(bound, until);
     if (cap != kTickMax && cap > 0) bound = std::min(bound, cap - 1);
     window_bound_ = bound;
+    ++windows_;
 
     if (workers_ == 1) {
       for (std::uint32_t p = 0; p < partition_count(); ++p) run_partition(p);

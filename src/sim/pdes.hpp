@@ -80,6 +80,20 @@ class Engine {
   using BarrierHook = std::function<Tick(Tick t, Tick until)>;
   void set_barrier_hook(BarrierHook hook) { hook_ = std::move(hook); }
 
+  /// Registers a task run single-threaded at every barrier, before the
+  /// cross-partition outboxes are merged (workers are parked on the gate, so
+  /// tasks may touch any partition's state).  The network uses this to
+  /// resolve cross-partition link reservations in deterministic order.
+  void add_barrier_task(std::function<void()> task) {
+    barrier_tasks_.push_back(std::move(task));
+  }
+
+  /// Number of synchronization windows executed by run() so far.  Each
+  /// window costs one full barrier round-trip, so windows() divided by the
+  /// simulated duration is the barrier-overhead rate coarse partitioning is
+  /// meant to drive down.
+  std::uint64_t windows() const { return windows_; }
+
   /// Runs all partitions until every queue drains or time passes `until`.
   /// Rethrows the earliest process exception (ties broken by partition id).
   RunResult run(Tick until = kTickMax);
@@ -155,7 +169,9 @@ class Engine {
   unsigned workers_;
   Tick lookahead_;
   BarrierHook hook_;
+  std::vector<std::function<void()>> barrier_tasks_;
   Tick end_time_ = 0;
+  std::uint64_t windows_ = 0;
 
   // -- worker pool (absent when workers_ == 1) --
   std::vector<std::thread> threads_;

@@ -1,0 +1,123 @@
+// The contended parallel network's exact-match acceptance case: when every
+// directed link carries at most one message stream, the PDES reservation
+// ledger degenerates to the serial engine's store-and-forward FIFO — each
+// packet departs at max(its ready time, the link's free time), which is
+// exactly the order the serial contention events resolve in.  On such a
+// workload the PDES run must match the serial engine *bit for bit* on the
+// full registered-stat CSV (latency sums included: integer-tick doubles sum
+// exactly, so accumulation order cannot leak), at every worker count and at
+// every fixed partitioning.  General traffic (two streams sharing a link
+// mid-window) is exempt — barrier-ordered reservations may interleave the
+// streams differently than global event order — and that divergence is
+// covered by pdes_determinism_test's aggregate-only serial comparison.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "gen/stochastic.hpp"
+#include "machine/params.hpp"
+#include "trace/stream.hpp"
+
+namespace merm {
+namespace {
+
+using core::Workbench;
+
+/// Pipeline traffic on a 4x1 line: node i streams `messages` multi-packet
+/// sends to node i+1 while receiving the stream from node i-1.  XY routing
+/// puts stream i->i+1 alone on directed link i->i+1, so no directed link
+/// ever serves two streams.
+trace::Workload pipeline_workload(std::uint32_t nodes, int messages,
+                                  std::uint32_t bytes) {
+  trace::Workload w;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    auto src = std::make_unique<trace::VectorSource>();
+    for (int m = 0; m < messages; ++m) {
+      // Async sends: the forward stream is the only traffic on each
+      // directed link (no rendezvous handshake sharing the reverse path).
+      if (n + 1 < nodes) src->push(trace::Operation::asend(bytes, n + 1, m));
+      if (n > 0) src->push(trace::Operation::recv(n - 1, m));
+    }
+    w.sources.push_back(std::move(src));
+  }
+  return w;
+}
+
+struct Snapshot {
+  bool completed = false;
+  sim::Tick simulated_time = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t messages = 0;
+  std::string csv;
+};
+
+Snapshot run_once(unsigned sim_threads, std::uint32_t partitions,
+                  std::uint32_t nodes, int messages, std::uint32_t bytes) {
+  // Multi-packet messages (bytes > max_packet_bytes) so the per-packet
+  // pipelining of store-and-forward is actually exercised, not just a
+  // single reservation per message.
+  const machine::MachineParams arch =
+      machine::presets::t805_multicomputer(nodes, 1);
+  Workbench wb(arch);
+  if (sim_threads > 0) {
+    const Workbench::PdesStatus st = wb.enable_pdes(sim_threads, partitions);
+    EXPECT_TRUE(st.active) << st.note;
+  }
+  wb.register_all_stats();
+  trace::Workload w = pipeline_workload(nodes, messages, bytes);
+  const core::RunResult r = wb.run_task_level(w);
+  Snapshot s;
+  s.completed = r.completed;
+  s.simulated_time = r.simulated_time;
+  s.operations = r.operations;
+  s.messages = r.messages;
+  std::ostringstream csv;
+  wb.stats().write_csv(csv);
+  s.csv = csv.str();
+  return s;
+}
+
+constexpr std::uint32_t kNodes = 4;
+constexpr int kMessages = 6;
+constexpr std::uint32_t kBytes = 4096;  // >> t805 max packet size
+
+TEST(PdesContention, SingleStreamLinksMatchSerialEngineExactly) {
+  const Snapshot serial = run_once(0, 0, kNodes, kMessages, kBytes);
+  ASSERT_TRUE(serial.completed);
+  ASSERT_GT(serial.messages, 0u);
+  for (const std::uint32_t partitions : {1u, 2u, kNodes}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("partitions=" + std::to_string(partitions) +
+                   " sim_threads=" + std::to_string(threads));
+      const Snapshot pdes =
+          run_once(threads, partitions, kNodes, kMessages, kBytes);
+      EXPECT_TRUE(pdes.completed);
+      EXPECT_EQ(pdes.simulated_time, serial.simulated_time);
+      EXPECT_EQ(pdes.operations, serial.operations);
+      EXPECT_EQ(pdes.messages, serial.messages);
+      EXPECT_EQ(pdes.csv, serial.csv);
+    }
+  }
+}
+
+/// The same pipeline with cross-partition hops forced through every window:
+/// 2 partitions put the 1->2 stream across the barrier, so its packets are
+/// reserved at barrier time — and must land on the identical ticks the
+/// local (1-partition) and serial runs produce.
+TEST(PdesContention, BarrierResolvedCrossTrafficKeepsSerialTiming) {
+  const Snapshot local = run_once(4, 1, kNodes, kMessages, kBytes);
+  const Snapshot cross = run_once(4, 2, kNodes, kMessages, kBytes);
+  ASSERT_TRUE(local.completed);
+  ASSERT_TRUE(cross.completed);
+  EXPECT_EQ(cross.simulated_time, local.simulated_time);
+  EXPECT_EQ(cross.csv, local.csv);
+}
+
+}  // namespace
+}  // namespace merm

@@ -1,18 +1,22 @@
-// The PDES determinism battery (the tentpole's acceptance test): one
-// simulation run parallelized over 2, 4 and 8 host worker threads must be
-// *bit-identical* to the same run on 1 worker — simulated end time, every
-// registered statistic (CSV bytes included: doubles are only bit-equal when
-// accumulation order is preserved), kernel aggregates, and the full
-// execution trace in both Chrome-JSON and binary form.  The matrix covers
-// task-level and detailed workloads, fault injection on and off, and traced
-// and untraced runs.
+// The PDES determinism battery (the tentpole's acceptance test): at any
+// FIXED partitioning, one simulation run parallelized over 2, 4 and 8 host
+// worker threads must be *bit-identical* to the same run on 1 worker —
+// simulated end time, every registered statistic (CSV bytes included:
+// doubles are only bit-equal when accumulation order is preserved), kernel
+// aggregates, and the full execution trace in both Chrome-JSON and binary
+// form.  The matrix covers partitions in {1, auto-resolved, nodes} x
+// task-level and detailed workloads x fault injection on/off x traced and
+// untraced runs.  (Different partitionings are each valid contended-model
+// results but need not match each other: concurrent streams on a shared
+// link may interleave differently — DESIGN.md §8.)
 //
-// The serial (legacy) engine is a different network model — zero-load
-// latency vs per-hop contention — so it is compared only on order- and
-// model-insensitive aggregates, not bit-for-bit (DESIGN.md "Conservative
-// PDES").
+// The serial (legacy) engine resolves link contention in global event
+// order while PDES uses barrier-ordered reservations, so general traffic
+// is compared only on order-insensitive aggregates; the exact serial-match
+// case (single stream per directed link) lives in pdes_contention_test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -73,11 +77,14 @@ trace::Workload workload_for(const Config& cfg, std::uint32_t nodes) {
              : gen::make_stochastic_workload(d, nodes);
 }
 
-Fingerprint run_once(unsigned sim_threads, const Config& cfg) {
+Fingerprint run_once(unsigned sim_threads, const Config& cfg,
+                     std::uint32_t partitions) {
   const machine::MachineParams arch = arch_for(cfg);
   core::Workbench wb(arch);
-  const core::Workbench::PdesStatus st = wb.enable_pdes(sim_threads);
+  const core::Workbench::PdesStatus st =
+      wb.enable_pdes(sim_threads, partitions);
   EXPECT_TRUE(st.active) << st.note;
+  EXPECT_EQ(st.partitions, partitions);
   wb.register_all_stats();
   if (cfg.traced) wb.enable_tracing();
   trace::Workload w = workload_for(cfg, arch.node_count());
@@ -110,25 +117,36 @@ Fingerprint run_once(unsigned sim_threads, const Config& cfg) {
 }
 
 void expect_worker_count_invariant(const Config& cfg) {
-  const Fingerprint base = run_once(1, cfg);
-  EXPECT_TRUE(base.completed);
-  EXPECT_TRUE(base.pdes_active);
-  EXPECT_GT(base.messages, 0u);
-  for (const unsigned threads : {2u, 4u, 8u}) {
-    const Fingerprint f = run_once(threads, cfg);
-    SCOPED_TRACE("sim_threads=" + std::to_string(threads));
-    EXPECT_EQ(f.completed, base.completed);
-    EXPECT_EQ(f.simulated_time, base.simulated_time);
-    EXPECT_EQ(f.cpu_cycles, base.cpu_cycles);
-    EXPECT_EQ(f.operations, base.operations);
-    EXPECT_EQ(f.messages, base.messages);
-    EXPECT_EQ(f.events_processed, base.events_processed);
-    EXPECT_EQ(f.peak_queue_depth, base.peak_queue_depth);
-    EXPECT_EQ(f.counters, base.counters);
-    EXPECT_EQ(f.csv, base.csv);
-    EXPECT_EQ(f.chrome_trace, base.chrome_trace);
-    EXPECT_EQ(f.binary_trace, base.binary_trace);
-    EXPECT_EQ(f.hang, base.hang);
+  // Partitions must be pinned for cross-worker-count comparison: the auto
+  // default ties the partition count to the worker count.  The matrix
+  // covers the single-partition extreme (unbounded windows, everything
+  // local), the auto value a 4-worker run would resolve to (coarse
+  // sub-grid blocks), and one-partition-per-node (the legacy fine map).
+  const machine::MachineParams arch = arch_for(cfg);
+  const std::uint32_t auto_at_4 = std::min<std::uint32_t>(4, arch.node_count());
+  for (const std::uint32_t partitions :
+       {1u, auto_at_4, arch.node_count()}) {
+    SCOPED_TRACE("partitions=" + std::to_string(partitions));
+    const Fingerprint base = run_once(1, cfg, partitions);
+    EXPECT_TRUE(base.completed);
+    EXPECT_TRUE(base.pdes_active);
+    EXPECT_GT(base.messages, 0u);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      const Fingerprint f = run_once(threads, cfg, partitions);
+      SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+      EXPECT_EQ(f.completed, base.completed);
+      EXPECT_EQ(f.simulated_time, base.simulated_time);
+      EXPECT_EQ(f.cpu_cycles, base.cpu_cycles);
+      EXPECT_EQ(f.operations, base.operations);
+      EXPECT_EQ(f.messages, base.messages);
+      EXPECT_EQ(f.events_processed, base.events_processed);
+      EXPECT_EQ(f.peak_queue_depth, base.peak_queue_depth);
+      EXPECT_EQ(f.counters, base.counters);
+      EXPECT_EQ(f.csv, base.csv);
+      EXPECT_EQ(f.chrome_trace, base.chrome_trace);
+      EXPECT_EQ(f.binary_trace, base.binary_trace);
+      EXPECT_EQ(f.hang, base.hang);
+    }
   }
 }
 
@@ -197,11 +215,49 @@ TEST(PdesDeterminism, SerialAndPdesAgreeOnModelInsensitiveAggregates) {
 /// bit-identical (no leaked state between Workbench instances).
 TEST(PdesDeterminism, RepeatedRunsAreBitIdentical) {
   const Config cfg{node::SimulationLevel::kTaskLevel, true, true};
-  const Fingerprint a = run_once(4, cfg);
-  const Fingerprint b = run_once(4, cfg);
+  const Fingerprint a = run_once(4, cfg, 4);
+  const Fingerprint b = run_once(4, cfg, 4);
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.chrome_trace, b.chrome_trace);
   EXPECT_EQ(a.simulated_time, b.simulated_time);
+}
+
+/// partitions=0 (auto) resolves to min(sim_threads, nodes) contiguous
+/// blocks and reports the grid mapping in both PdesStatus and RunResult.
+TEST(PdesDeterminism, AutoPartitionsFollowWorkerCountAndReportMapping) {
+  const Config cfg{node::SimulationLevel::kTaskLevel};
+  const machine::MachineParams arch = arch_for(cfg);
+  core::Workbench wb(arch);
+  const core::Workbench::PdesStatus st = wb.enable_pdes(4);  // auto
+  ASSERT_TRUE(st.active) << st.note;
+  EXPECT_EQ(st.partitions, 4u);
+  EXPECT_EQ(st.mapping, "grid:2x2");  // 4x4 mesh tiled into 2x2 blocks
+  trace::Workload w = workload_for(cfg, arch.node_count());
+  const core::RunResult r = wb.run_task_level(w);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.pdes_active);
+  EXPECT_EQ(r.pdes_partitions, 4u);
+  EXPECT_EQ(r.pdes_mapping, "grid:2x2");
+  EXPECT_GT(r.pdes_windows, 0u);
+}
+
+/// Coarser partitionings widen the window (lookahead scales with the
+/// minimum cross-partition hop distance) so the same run needs no more —
+/// and with a single partition, dramatically fewer — barriers.
+TEST(PdesDeterminism, CoarserPartitionsNeedNoMoreWindows) {
+  const Config cfg{node::SimulationLevel::kTaskLevel};
+  const machine::MachineParams arch = arch_for(cfg);
+  std::uint64_t windows_fine = 0;
+  std::uint64_t windows_single = 0;
+  for (const std::uint32_t partitions : {arch.node_count(), 1u}) {
+    core::Workbench wb(arch);
+    ASSERT_TRUE(wb.enable_pdes(2, partitions).active);
+    trace::Workload w = workload_for(cfg, arch.node_count());
+    const core::RunResult r = wb.run_task_level(w);
+    ASSERT_TRUE(r.completed);
+    (partitions == 1 ? windows_single : windows_fine) = r.pdes_windows;
+  }
+  EXPECT_LT(windows_single, windows_fine);
 }
 
 }  // namespace

@@ -87,19 +87,24 @@ Fingerprint fingerprint(const SweepResult& result) {
 
 // PDES inside sweep points: the same faulted grid run with conservative
 // parallel simulation inside each point must be bit-identical across every
-// combination of sweep threads and PDES workers.  (The PDES reference is its
-// own baseline — the zero-load PDES network model is deliberately not
-// bit-compatible with the serial engine's per-hop contention model.)
+// combination of sweep threads and PDES workers.  sim_partitions is pinned
+// (one partition per node on the 4x4 grid): the auto default ties the
+// partitioning to sim_threads, and different partitionings resolve shared
+// network streams in different orders.  (The PDES reference is its own
+// baseline — barrier-ordered link reservations are not bit-compatible with
+// the serial engine's global-event-order contention on general traffic.)
 TEST(SweepSchedInvarianceTest, PdesPointsAgreeAcrossSweepAndSimThreadCounts) {
   const Sweep sweep = build_grid();
-  const Fingerprint reference =
-      fingerprint(SweepEngine({.threads = 1, .sim_threads = 1}).run(sweep));
+  const Fingerprint reference = fingerprint(
+      SweepEngine({.threads = 1, .sim_threads = 1, .sim_partitions = 16})
+          .run(sweep));
   const std::vector<std::pair<unsigned, unsigned>> combos = {
       {1, 2}, {2, 4}, {4, 2}, {1, 8}};
   for (const auto& [sweep_threads, sim_threads] : combos) {
     const Fingerprint fp =
         fingerprint(SweepEngine({.threads = sweep_threads,
-                                 .sim_threads = sim_threads})
+                                 .sim_threads = sim_threads,
+                                 .sim_partitions = 16})
                         .run(sweep));
     EXPECT_EQ(fp, reference)
         << "PDES diverged at sweep_threads=" << sweep_threads
