@@ -7,20 +7,39 @@
 //   $ ./examples/mermaid_cli run --machine t805.cfg --workload ring.wl
 //   $ ./examples/mermaid_cli run --machine preset:risc:2x2 ...
 //       ... --workload ring.wl --level task --stats out.csv
+//
+// Sweeps also run as a service: `mermaid_cli serve` starts a daemon that
+// accepts jobs over a unix socket, shares one memo store across all
+// submissions, and survives kill -9 (jobs resume from their journals).
+//
+//   $ ./examples/mermaid_cli serve --socket /tmp/merm.sock --spool /tmp/spool &
+//   $ ./examples/mermaid_cli submit --socket /tmp/merm.sock ...
+//         ... --machine preset:t805:4x4 --workload ring.wl --wait
+//   $ ./examples/mermaid_cli fetch --socket /tmp/merm.sock --job <id> > out.csv
+#include <csignal>
+#include <chrono>
+#include <cmath>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/workbench.hpp"
 #include "explore/memo.hpp"
 #include "explore/sweep.hpp"
-#include "fault/fault.hpp"
 #include "gen/workload_config.hpp"
 #include "machine/config.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/chrome_trace.hpp"
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -44,6 +63,24 @@ int usage() {
       << "              [--sim-partitions <n|auto>] [--pdes-columns]\n"
       << "              [--faults <spec|file>] [--isolate] [--timeout <s>]\n"
       << "              [--retries <n>] [--resume] [--memo-dir <dir>]\n"
+      << "              [--progress] [--no-host-columns]\n"
+      << "  mermaid_cli serve --socket <path> --spool <dir>\n"
+      << "              [--job-workers <n>] [--memo-max-bytes <n>]\n"
+      << "              [--memo-max-age <s>]\n"
+      << "  mermaid_cli submit --socket <path> --machine <m> [...] "
+      << "--workload <file>\n"
+      << "              [--level detailed|task] [--faults <spec|file>]\n"
+      << "              [--no-isolate] [--timeout <s>] [--retries <n>]\n"
+      << "              [--sweep-threads <n>] [--sim-threads <n>]\n"
+      << "              [--sim-partitions <n|auto>] [--wait]\n"
+      << "  mermaid_cli status --socket <path> [--job <id>] [--json]\n"
+      << "  mermaid_cli jobs --socket <path>\n"
+      << "  mermaid_cli fetch --socket <path> --job <id> "
+      << "[--format csv|json] [--out <file>]\n"
+      << "  mermaid_cli cancel --socket <path> --job <id>\n"
+      << "  mermaid_cli shutdown --socket <path>\n"
+      << "  mermaid_cli memo-gc (--memo-dir <dir> | --socket <path>)\n"
+      << "              [--max-bytes <n>] [--max-age <s>]\n"
       << "\n<machine> is a config file path or "
       << "preset:{t805|ppc601|risc|ipsc860}[:WxH]\n"
       << "--sim-threads parallelizes the single run with conservative PDES\n"
@@ -58,49 +95,19 @@ int usage() {
       << "rows are journaled (fsync'd) to <csv>.journal as they land, and\n"
       << "--resume replays that journal instead of re-running; --isolate\n"
       << "forks each point (crashes become failure rows; --timeout/--retries\n"
-      << "become enforceable); --memo-dir caches rows by content hash\n"
+      << "become enforceable); --memo-dir caches rows by content hash;\n"
+      << "--progress streams done/total, failure and memo counts, rolling\n"
+      << "throughput and an ETA to stderr; --no-host-columns drops the\n"
+      << "nondeterministic host-cost columns so outputs byte-compare\n"
+      << "serve runs the sweep service: jobs submitted to its socket share\n"
+      << "one memo store under <spool>, and a killed daemon resumes its\n"
+      << "unfinished jobs on restart; submit sends a sweep to it (--wait\n"
+      << "polls progress until done), fetch retrieves results (identical\n"
+      << "bytes to `sweep --no-host-columns` of the same grid)\n"
       << "--trace-out records an execution trace: a .json path gets Chrome\n"
       << "trace-event JSON (load it in Perfetto / chrome://tracing), any\n"
       << "other suffix gets the compact binary form (see trace_tool)\n";
   return 2;
-}
-
-machine::MachineParams resolve_machine(const std::string& spec) {
-  if (spec.rfind("preset:", 0) == 0) {
-    std::string rest = spec.substr(7);
-    std::string name = rest;
-    std::uint32_t w = 4;
-    std::uint32_t h = 4;
-    const auto colon = rest.find(':');
-    if (colon != std::string::npos) {
-      name = rest.substr(0, colon);
-      const std::string dims = rest.substr(colon + 1);
-      const auto x = dims.find('x');
-      if (x == std::string::npos) {
-        throw std::runtime_error("bad preset dims '" + dims + "'");
-      }
-      w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
-      h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
-    }
-    if (name == "t805") return machine::presets::t805_multicomputer(w, h);
-    if (name == "ppc601") return machine::presets::powerpc601_node();
-    if (name == "risc") return machine::presets::generic_risc(w, h);
-    if (name == "ipsc860") {
-      return machine::presets::ipsc860_hypercube(w * h);
-    }
-    throw std::runtime_error("unknown preset '" + name + "'");
-  }
-  return machine::parse_config_file(spec);
-}
-
-// `spec` is either a config file (overlaid on top of `params`, so a file
-// holding just a [fault] stanza works) or an inline fault::parse_spec string.
-void apply_faults(machine::MachineParams& params, const std::string& spec) {
-  if (std::ifstream probe(spec); probe) {
-    params = machine::parse_config_file(spec, params);
-  } else {
-    params.fault = fault::parse_spec(spec);
-  }
 }
 
 int cmd_presets() {
@@ -114,7 +121,7 @@ int cmd_presets() {
 }
 
 int cmd_describe(const std::string& spec) {
-  machine::write_config(std::cout, resolve_machine(spec));
+  machine::write_config(std::cout, serve::resolve_machine(spec));
   return 0;
 }
 
@@ -122,6 +129,14 @@ int cmd_describe_workload() {
   gen::StochasticDescription d;
   gen::write_workload(std::cout, d);
   return 0;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 struct RunArgs {
@@ -142,8 +157,8 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }
 
 int cmd_run(const RunArgs& args) {
-  machine::MachineParams params = resolve_machine(args.machine);
-  if (!args.faults.empty()) apply_faults(params, args.faults);
+  machine::MachineParams params = serve::resolve_machine(args.machine);
+  if (!args.faults.empty()) serve::apply_faults(params, args.faults);
   gen::StochasticDescription desc = gen::parse_workload_file(args.workload);
 
   core::Workbench wb(params);
@@ -212,6 +227,29 @@ int cmd_run(const RunArgs& args) {
   return result.completed ? 0 : 3;
 }
 
+std::string format_eta(double s) {
+  if (!std::isfinite(s) || s < 0) return "?";
+  const auto total = static_cast<long>(s + 0.5);
+  if (total < 60) return std::to_string(total) + "s";
+  return std::to_string(total / 60) + "m" + std::to_string(total % 60) + "s";
+}
+
+/// Rolling-window throughput over completion timestamps — the same ETA the
+/// daemon reports, computed client-side for `sweep --progress`.
+struct ProgressMeter {
+  std::deque<std::chrono::steady_clock::time_point> recent;
+  static constexpr std::size_t kWindow = 32;
+
+  double note_and_rate() {
+    recent.push_back(std::chrono::steady_clock::now());
+    if (recent.size() > kWindow) recent.pop_front();
+    if (recent.size() < 2) return 0.0;
+    const double span =
+        std::chrono::duration<double>(recent.back() - recent.front()).count();
+    return span > 0.0 ? static_cast<double>(recent.size() - 1) / span : 0.0;
+  }
+};
+
 struct SweepArgs {
   std::vector<std::string> machines;
   std::string workload;
@@ -222,48 +260,40 @@ struct SweepArgs {
   bool isolate = false;
   bool resume = false;
   bool pdes_columns = false;
+  bool progress = false;
+  bool host_columns = true;
   double timeout_s = 0.0;
   unsigned retries = 1;
   explore::HostThreads threads;
 };
 
-int cmd_sweep(const SweepArgs& args) {
-  const gen::StochasticDescription desc =
-      gen::parse_workload_file(args.workload);
-  // The memo key needs the workload's identity, and the file *is* that
-  // identity: hash its bytes, so editing the workload invalidates cached
-  // rows while renaming or copying the file does not.
-  std::string file_bytes;
-  {
-    std::ifstream in(args.workload, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    file_bytes = buf.str();
-  }
+serve::JobSpec job_spec_of(const SweepArgs& args) {
+  serve::JobSpec spec;
+  spec.machines = args.machines;
+  spec.workload_text = read_file_bytes(args.workload);
+  spec.level = args.level;
+  spec.faults = args.faults;
+  spec.sweep_threads = args.threads.sweep_threads;
+  spec.sim_threads = args.threads.sim_threads;
+  spec.sim_partitions = args.threads.sim_partitions;
+  spec.isolate = args.isolate;
+  spec.timeout_s = args.timeout_s;
+  spec.retries = args.retries;
+  return spec;
+}
 
-  const bool task_level = args.level == "task";
-  if (!task_level && args.level != "detailed") {
+int cmd_sweep(const SweepArgs& args) {
+  if (args.level != "detailed" && args.level != "task") {
     std::cerr << "unknown level '" << args.level << "'\n";
     return 2;
   }
-  explore::Sweep sweep;
-  sweep.level = task_level ? node::SimulationLevel::kTaskLevel
-                           : node::SimulationLevel::kDetailed;
-  sweep.workload_fingerprint =
-      "workload-file:" + args.level +
-      ":sha256=" + explore::sha256_hex(file_bytes);
-  sweep.workload = [desc, task_level](const machine::MachineParams& params,
-                                      std::uint64_t) {
-    return task_level
-               ? gen::make_stochastic_task_workload(desc, params.node_count())
-               : gen::make_stochastic_workload(desc, params.node_count(),
-                                               params.node.cpu_count);
-  };
-  for (const std::string& spec : args.machines) {
-    machine::MachineParams m = resolve_machine(spec);
-    if (!args.faults.empty()) apply_faults(m, args.faults);
-    sweep.add(std::move(m), spec);
-  }
+  // The batch path and the daemon build the *same* grid from the same spec
+  // (serve::build_sweep): content-derived point seeds, workload identified
+  // by its bytes.  That is what makes `sweep --no-host-columns` output
+  // byte-identical to a fetched service result of the same grid.
+  const serve::JobSpec spec = job_spec_of(args);
+  const explore::Sweep sweep = serve::build_sweep(spec);
+  explore::SweepOptions opts = serve::engine_options(spec);
 
   const std::string journal =
       args.out.empty() ? std::string() : args.out + ".journal";
@@ -272,21 +302,30 @@ int cmd_sweep(const SweepArgs& args) {
                  "<csv>.journal)\n";
     return 2;
   }
+  opts.journal_path = args.resume ? std::string() : journal;
+  opts.memo_dir = args.memo_dir;
+  opts.pdes_columns = args.pdes_columns;
+  const auto meter = std::make_shared<ProgressMeter>();
+  if (args.progress) {
+    opts.on_point_complete = [meter](const explore::SweepProgress& p) {
+      const double rate = meter->note_and_rate();
+      std::cerr << "[sweep] " << p.done << "/" << p.total << " done";
+      if (p.failed > 0) std::cerr << ", " << p.failed << " failed";
+      if (p.memo_hits > 0) std::cerr << ", " << p.memo_hits << " memo";
+      if (rate > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", rate);
+        std::cerr << " | " << buf << " pts/s, eta "
+                  << format_eta(
+                         static_cast<double>(p.total - p.done) / rate);
+      }
+      std::cerr << "\n";
+    };
+  } else {
+    opts.progress = &std::cerr;
+  }
 
-  explore::SweepEngine engine(
-      {.threads = args.threads.sweep_threads,
-       .sim_threads = args.threads.sim_threads,
-       .sim_partitions = args.threads.sim_partitions,
-       .progress = &std::cerr,
-       // A campaign grid reports failed points as rows; it never aborts.
-       .keep_going = true,
-       .isolate = args.isolate ? explore::Isolation::kProcess
-                               : explore::Isolation::kNone,
-       .point_timeout_s = args.timeout_s,
-       .max_attempts = args.retries,
-       .journal_path = args.resume ? std::string() : journal,
-       .memo_dir = args.memo_dir,
-       .pdes_columns = args.pdes_columns});
+  explore::SweepEngine engine(opts);
   const explore::SweepResult result =
       args.resume ? engine.resume(sweep, journal) : engine.run(sweep);
 
@@ -309,11 +348,223 @@ int cmd_sweep(const SweepArgs& args) {
   }
   if (!args.out.empty()) {
     std::ofstream out(args.out);
-    result.write_csv(out);
+    result.write_csv(out, {.host_columns = args.host_columns});
     std::cout << "results written to " << args.out << " (journal: " << journal
               << ")\n";
   }
   return result.failed() == 0 ? 0 : 3;
+}
+
+// --- sweep service ---------------------------------------------------------
+
+int g_serve_signal_fd = -1;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_signal_fd >= 0) {
+    const char b = 's';
+    [[maybe_unused]] const ssize_t n = ::write(g_serve_signal_fd, &b, 1);
+  }
+}
+
+int cmd_serve(const serve::ServerOptions& opts) {
+  serve::Server server(opts);
+  server.start();
+  // SIGINT/SIGTERM wind down gracefully: running jobs journal their
+  // completed rows and everything resumes on the next start.
+  g_serve_signal_fd = server.signal_fd();
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGPIPE, SIG_IGN);  // dead clients must not kill the daemon
+  server.run();
+  return 0;
+}
+
+/// Prints one human line for a job-status response frame.
+void print_job_line(const serve::Json& r, std::ostream& os) {
+  const auto n = [&r](std::string_view key) {
+    return static_cast<long long>(r.get_number(key, 0.0));
+  };
+  os << r.get_string("job") << "\n  " << r.get_string("state") << ": " << n("done")
+     << "/" << n("total") << " done, " << n("failed") << " failed, "
+     << n("memo_hits") << " memo hit(s), " << n("resumed") << " resumed";
+  if (const serve::Json* rate = r.find("points_per_s")) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", rate->as_number());
+    os << ", " << buf << " pts/s, eta " << format_eta(r.get_number("eta_s"));
+  }
+  if (const serve::Json* elapsed = r.find("elapsed_s")) {
+    os << ", " << format_eta(elapsed->as_number()) << " elapsed";
+  }
+  const std::string error = r.get_string("error");
+  if (!error.empty()) os << "\n  error: " << error;
+  os << "\n";
+}
+
+/// Sends one frame; exits nonzero (after printing the error) on "ok": false.
+serve::Json request_or_fail(serve::Client& client, const serve::Json& req) {
+  const serve::Json r = client.request(req);
+  if (!r.get_bool("ok")) {
+    throw std::runtime_error("daemon refused: " +
+                             r.get_string("error", "(no error message)"));
+  }
+  return r;
+}
+
+int cmd_submit(const std::string& socket, const serve::JobSpec& spec,
+               bool wait) {
+  serve::Client client(socket);
+  serve::Json req = spec.to_json();
+  req.set("cmd", serve::Json("submit"));
+  const serve::Json r = request_or_fail(client, req);
+  const std::string id = r.get_string("job");
+  std::cerr << "job " << id << " "
+            << (r.get_bool("attached") ? "attached (already submitted)"
+                                       : "queued")
+            << ", " << static_cast<long long>(r.get_number("total"))
+            << " point(s)\n";
+  std::cout << id << "\n";
+  if (!wait) return 0;
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    serve::Json sreq = serve::Json::object();
+    sreq.set("cmd", serve::Json("status"));
+    sreq.set("job", serve::Json(id));
+    const serve::Json st = request_or_fail(client, sreq);
+    const std::string state = st.get_string("state");
+    if (state == "running") {
+      std::cerr << "[serve] "
+                << static_cast<long long>(st.get_number("done")) << "/"
+                << static_cast<long long>(st.get_number("total")) << " done";
+      if (const serve::Json* rate = st.find("points_per_s")) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", rate->as_number());
+        std::cerr << " | " << buf << " pts/s, eta "
+                  << format_eta(st.get_number("eta_s"));
+      }
+      std::cerr << "\n";
+      continue;
+    }
+    if (state == "queued") continue;
+    print_job_line(st, std::cerr);
+    if (state == "done") return 0;
+    return 3;  // failed or cancelled
+  }
+}
+
+int cmd_status(const std::string& socket, const std::string& job, bool json) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("status"));
+  if (!job.empty()) req.set("job", serve::Json(job));
+  const serve::Json r = request_or_fail(client, req);
+  if (json) {
+    std::cout << r.dump() << "\n";
+    return 0;
+  }
+  if (!job.empty()) {
+    print_job_line(r, std::cout);
+    return 0;
+  }
+  const auto n = [&r](std::string_view key) {
+    return static_cast<long long>(r.get_number(key, 0.0));
+  };
+  std::cout << "uptime " << format_eta(r.get_number("uptime_s")) << ", "
+            << n("jobs") << " job(s): " << n("queued") << " queued, "
+            << n("running") << " running, " << n("done") << " done, "
+            << n("failed") << " failed, " << n("cancelled") << " cancelled\n"
+            << "submissions " << n("submissions") << " (" << n("attached")
+            << " attached to existing jobs)\n"
+            << "memo: " << n("memo_hits") << " hit(s), " << n("memo_misses")
+            << " miss(es), " << n("memo_evictions") << " eviction(s)\n";
+  return 0;
+}
+
+int cmd_jobs(const std::string& socket) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("list"));
+  const serve::Json r = request_or_fail(client, req);
+  const serve::Json* jobs = r.find("jobs");
+  if (jobs == nullptr || jobs->items().empty()) {
+    std::cout << "no jobs\n";
+    return 0;
+  }
+  for (const serve::Json& job : jobs->items()) print_job_line(job, std::cout);
+  return 0;
+}
+
+int cmd_fetch(const std::string& socket, const std::string& job,
+              const std::string& format, const std::string& out) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("results"));
+  req.set("job", serve::Json(job));
+  req.set("format", serve::Json(format));
+  const serve::Json r = request_or_fail(client, req);
+  const std::string& data = r.get_string("data");
+  if (out.empty()) {
+    std::cout << data;
+    return 0;
+  }
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::cerr << "error: cannot open " << out << "\n";
+    return 1;
+  }
+  os << data;
+  std::cerr << "results written to " << out << "\n";
+  return 0;
+}
+
+int cmd_cancel(const std::string& socket, const std::string& job) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("cancel"));
+  req.set("job", serve::Json(job));
+  const serve::Json r = request_or_fail(client, req);
+  std::cout << "job " << r.get_string("job") << " "
+            << (r.get_bool("cancelling") ? "cancelling"
+                                         : r.get_string("state"))
+            << "\n";
+  return 0;
+}
+
+int cmd_shutdown(const std::string& socket) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("shutdown"));
+  request_or_fail(client, req);
+  std::cout << "daemon shutting down\n";
+  return 0;
+}
+
+int cmd_memo_gc(const std::string& socket, const std::string& memo_dir,
+                std::uint64_t max_bytes, double max_age_s) {
+  if (!socket.empty()) {
+    serve::Client client(socket);
+    serve::Json req = serve::Json::object();
+    req.set("cmd", serve::Json("memo-gc"));
+    if (max_bytes != 0) req.set("max_bytes", serve::Json(max_bytes));
+    if (max_age_s > 0) req.set("max_age_s", serve::Json(max_age_s));
+    const serve::Json r = request_or_fail(client, req);
+    std::cout << "daemon memo store: scanned "
+              << static_cast<long long>(r.get_number("scanned"))
+              << " entrie(s) ("
+              << static_cast<long long>(r.get_number("bytes_scanned"))
+              << " bytes), evicted "
+              << static_cast<long long>(r.get_number("evicted")) << " ("
+              << static_cast<long long>(r.get_number("bytes_freed"))
+              << " bytes)\n";
+    return 0;
+  }
+  explore::MemoStore store(memo_dir);
+  const explore::MemoPruneStats stats =
+      store.prune({.max_bytes = max_bytes, .max_age_s = max_age_s});
+  std::cout << memo_dir << ": scanned " << stats.scanned << " entrie(s) ("
+            << stats.bytes_scanned << " bytes), evicted " << stats.evicted
+            << " (" << stats.bytes_freed << " bytes)\n";
+  return 0;
 }
 
 }  // namespace
@@ -393,6 +644,14 @@ int main(int argc, char** argv) {
           sw.pdes_columns = true;
           continue;
         }
+        if (key == "--progress") {
+          sw.progress = true;
+          continue;
+        }
+        if (key == "--no-host-columns") {
+          sw.host_columns = false;
+          continue;
+        }
         std::string value;
         if (const auto eq = key.find('='); eq != std::string::npos) {
           value = key.substr(eq + 1);
@@ -435,6 +694,160 @@ int main(int argc, char** argv) {
       }
       if (sw.machines.empty() || sw.workload.empty()) return usage();
       return cmd_sweep(sw);
+    }
+    if (!args.empty() && args[0] == "serve") {
+      serve::ServerOptions opts;
+      opts.log = &std::cerr;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key = args[i];
+        std::string value;
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+          value = args[++i];
+        } else {
+          std::cerr << "flag " << key << " needs a value\n";
+          return usage();
+        }
+        if (key == "--socket") {
+          opts.socket_path = value;
+        } else if (key == "--spool") {
+          opts.spool = value;
+        } else if (key == "--job-workers") {
+          opts.job_workers = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "--memo-max-bytes") {
+          opts.memo_max_bytes = std::stoull(value);
+        } else if (key == "--memo-max-age") {
+          opts.memo_max_age_s = std::stod(value);
+        } else {
+          std::cerr << "unknown flag " << key << "\n";
+          return usage();
+        }
+      }
+      if (opts.socket_path.empty() || opts.spool.empty()) return usage();
+      return cmd_serve(opts);
+    }
+    if (!args.empty() && args[0] == "submit") {
+      std::string socket;
+      bool wait = false;
+      SweepArgs sw;
+      sw.isolate = true;  // the service default: points fork
+      std::uint64_t stall_ms = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key = args[i];
+        if (key == "--wait") {
+          wait = true;
+          continue;
+        }
+        if (key == "--no-isolate") {
+          sw.isolate = false;
+          continue;
+        }
+        std::string value;
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+          value = args[++i];
+        } else {
+          std::cerr << "flag " << key << " needs a value\n";
+          return usage();
+        }
+        if (key == "--socket") {
+          socket = value;
+        } else if (key == "--machine") {
+          sw.machines.push_back(value);
+        } else if (key == "--workload") {
+          sw.workload = value;
+        } else if (key == "--level") {
+          sw.level = value;
+        } else if (key == "--faults") {
+          sw.faults = value;
+        } else if (key == "--timeout") {
+          sw.timeout_s = std::stod(value);
+        } else if (key == "--retries") {
+          sw.retries = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "--stall-ms") {
+          // Test hook: per-point configure stall for kill/resume windows.
+          stall_ms = std::stoull(value);
+        } else if (key == "--sweep-threads" || key == "--sim-threads" ||
+                   key == "--sim-partitions" || key == "--threads") {
+          // Validated and applied by host_threads_from_args below.
+        } else {
+          std::cerr << "unknown flag " << key << "\n";
+          return usage();
+        }
+      }
+      try {
+        sw.threads = explore::host_threads_from_args(argc, argv);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
+      if (socket.empty() || sw.machines.empty() || sw.workload.empty()) {
+        return usage();
+      }
+      serve::JobSpec spec = job_spec_of(sw);
+      spec.stall_ms = stall_ms;
+      return cmd_submit(socket, spec, wait);
+    }
+    if (!args.empty() &&
+        (args[0] == "status" || args[0] == "jobs" || args[0] == "fetch" ||
+         args[0] == "cancel" || args[0] == "shutdown" ||
+         args[0] == "memo-gc")) {
+      const std::string cmd = args[0];
+      std::string socket, job, out, memo_dir;
+      std::string format = "csv";
+      std::uint64_t max_bytes = 0;
+      double max_age_s = 0.0;
+      bool json = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        std::string key = args[i];
+        if (key == "--json") {
+          json = true;
+          continue;
+        }
+        std::string value;
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < args.size()) {
+          value = args[++i];
+        } else {
+          std::cerr << "flag " << key << " needs a value\n";
+          return usage();
+        }
+        if (key == "--socket") {
+          socket = value;
+        } else if (key == "--job") {
+          job = value;
+        } else if (key == "--format") {
+          format = value;
+        } else if (key == "--out") {
+          out = value;
+        } else if (key == "--memo-dir") {
+          memo_dir = value;
+        } else if (key == "--max-bytes") {
+          max_bytes = std::stoull(value);
+        } else if (key == "--max-age") {
+          max_age_s = std::stod(value);
+        } else {
+          std::cerr << "unknown flag " << key << "\n";
+          return usage();
+        }
+      }
+      if (cmd == "memo-gc") {
+        if (socket.empty() == memo_dir.empty()) return usage();  // exactly one
+        return cmd_memo_gc(socket, memo_dir, max_bytes, max_age_s);
+      }
+      if (socket.empty()) return usage();
+      if (cmd == "status") return cmd_status(socket, job, json);
+      if (cmd == "jobs") return cmd_jobs(socket);
+      if (cmd == "shutdown") return cmd_shutdown(socket);
+      if (job.empty()) return usage();
+      if (cmd == "fetch") return cmd_fetch(socket, job, format, out);
+      if (cmd == "cancel") return cmd_cancel(socket, job);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

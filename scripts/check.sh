@@ -36,6 +36,59 @@ echo "=== tier-1: crash-robustness gate ==="
 ./build/tests/explore/explore_sweep_robust_test \
   --gtest_brief=1 --gtest_filter='SweepIsolationTest.*:SweepMemoTest.*'
 
+echo "=== tier-1: sweep-service gate (kill -9 mid-job + spool resume) ==="
+# The daemon's whole value proposition, exercised the hard way: start it in
+# a throwaway spool, submit a faulted sweep slowed enough to catch mid-job,
+# SIGKILL the daemon, restart it on the same spool, and require the job to
+# finish on its own with fetched bytes identical to the batch engine's
+# `sweep --no-host-columns` output.  (The graceful-shutdown variant runs in
+# ctest as DaemonTest.ShutdownMidJobThenRestartResumesFromTheSpool.)
+SPOOL=$(mktemp -d)
+SOCK="$SPOOL/merm.sock"
+FAULTS="drop=0.01,retries=8,seed=7"
+MACHINES=(--machine preset:t805:2x2 --machine preset:risc:2x2
+  --machine preset:ipsc860:2x2 --machine preset:t805:2x1)
+./build/examples/mermaid_cli describe-workload > "$SPOOL/work.wl"
+./build/examples/mermaid_cli serve --socket "$SOCK" --spool "$SPOOL/spool" \
+  > "$SPOOL/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+# --sweep-threads 1 serializes the points; --stall-ms gives each one a
+# fixed head start, so "first row journaled, grid incomplete" is a state
+# the script can reliably kill inside.
+JOB=$(./build/examples/mermaid_cli submit --socket "$SOCK" "${MACHINES[@]}" \
+  --workload "$SPOOL/work.wl" --faults "$FAULTS" \
+  --sweep-threads 1 --stall-ms 500 2>> "$SPOOL/serve.log")
+JOURNAL="$SPOOL/spool/jobs/$JOB/sweep.journal"
+for _ in $(seq 600); do
+  [[ -f "$JOURNAL" ]] && [[ "$(wc -l < "$JOURNAL")" -ge 2 ]] && break
+  sleep 0.1
+done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+if [[ -f "$SPOOL/spool/jobs/$JOB/result.csv" ]]; then
+  echo "serve gate FAILED: the job outran the kill; raise --stall-ms"
+  exit 1
+fi
+./build/examples/mermaid_cli serve --socket "$SOCK" --spool "$SPOOL/spool" \
+  >> "$SPOOL/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1200); do
+  [[ -f "$SPOOL/spool/jobs/$JOB/result.csv" ]] && break
+  sleep 0.1
+done
+./build/examples/mermaid_cli fetch --socket "$SOCK" --job "$JOB" \
+  --out "$SPOOL/fetched.csv" 2>> "$SPOOL/serve.log"
+./build/examples/mermaid_cli status --socket "$SOCK"
+./build/examples/mermaid_cli shutdown --socket "$SOCK" > /dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+./build/examples/mermaid_cli sweep "${MACHINES[@]}" \
+  --workload "$SPOOL/work.wl" --faults "$FAULTS" --isolate \
+  --no-host-columns --out "$SPOOL/batch.csv" > /dev/null
+cmp "$SPOOL/fetched.csv" "$SPOOL/batch.csv"
+echo "serve gate: resumed daemon results byte-identical to the batch sweep"
+rm -rf "$SPOOL"
+
 if [[ "${SKIP_RELEASE:-0}" != "1" ]]; then
   echo "=== release: configure + build (build-release/) ==="
   cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null

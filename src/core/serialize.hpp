@@ -9,6 +9,7 @@
 // tabs, newlines and backslashes.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,11 @@ std::vector<std::string> split_record(std::string_view line);
 /// Bit-exact double round-trip: hexfloat out, strtod back in.
 std::string format_double(double v);
 double parse_double(const std::string& s);
+
+/// Writes `s` as a JSON string literal (quotes, backslash and control
+/// characters escaped).  Shared by the sweep JSON exporter and the serve
+/// protocol, so both sides of the wire agree on one escaping.
+void write_json_string(std::ostream& os, std::string_view s);
 
 /// Malformed record fields surface as this (wrong count, bad number, ...).
 class RecordError : public std::runtime_error {

@@ -188,12 +188,24 @@ std::map<std::size_t, PointResult> SweepJournal::load(
          "code version changed); refusing to resume");
   }
   std::map<std::size_t, PointResult> rows;
+  std::size_t row_lines = 0;
   while (std::getline(in, line)) {
     // "<index>\t<row fields...>\t#<fnv64>"
     const std::size_t hash_pos = line.rfind("\t#");
     if (hash_pos == std::string::npos ||
         line.substr(hash_pos + 2) != checksum_hex(line.substr(0, hash_pos))) {
       break;  // torn or corrupt tail: everything before it is still good
+    }
+    // A torn tail is recoverable; *extra* checksum-valid rows are not.  A
+    // grid of N points can journal at most N rows, so a duplicated tail
+    // (torn write + blind re-append, a copy-paste of journals, ...) means
+    // the file no longer describes one run of this sweep — refuse rather
+    // than silently replaying whichever duplicate happens to load last.
+    if (++row_lines > points) {
+      fail(path, "holds " + std::to_string(row_lines) +
+                     "+ rows for a grid of " + std::to_string(points) +
+                     " points (duplicated or foreign tail); refusing to "
+                     "resume from it");
     }
     const std::size_t tab = line.find('\t');
     try {

@@ -1,14 +1,19 @@
 #include "explore/memo.hpp"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <utime.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace merm::explore {
 
@@ -169,6 +174,10 @@ std::optional<std::string> MemoStore::lookup(const std::string& key_hash) {
     if (std::getline(in, magic) && std::getline(in, row) &&
         magic == std::string(kEntryMagic) + " " + key_hash && !row.empty()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      // Touch the entry so prune()'s mtime-ordered eviction is LRU, not
+      // oldest-written: a key every overlapping sweep keeps hitting must
+      // outlive one nobody has asked for in a week.
+      ::utime(entry_path(key_hash).c_str(), nullptr);
       return row;
     }
   }
@@ -194,6 +203,75 @@ void MemoStore::store(const std::string& key_hash,
     ::unlink(tmp.c_str());
     throw std::runtime_error("memo store: cannot publish '" + path + "'");
   }
+}
+
+MemoPruneStats MemoStore::prune(const MemoPruneOptions& opts) {
+  struct Entry {
+    std::string name;  // file name within the store
+    std::time_t mtime = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  MemoPruneStats stats;
+  std::vector<Entry> entries;
+  {
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) {
+      throw std::runtime_error("memo store: cannot scan '" + dir_ + "'");
+    }
+    std::time_t now = std::time(nullptr);
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      const std::string path = dir_ + "/" + name;
+      // Writers that died between open and rename leave ".tmp.<pid>" files
+      // behind; anything stale enough to be orphaned (not a live writer's
+      // window) goes with the pass.
+      if (name.find(".tmp.") != std::string::npos) {
+        struct stat st{};
+        if (::stat(path.c_str(), &st) == 0 && now - st.st_mtime > 3600) {
+          ::unlink(path.c_str());
+        }
+        continue;
+      }
+      if (name.size() <= 4 || name.compare(name.size() - 4, 4, ".row") != 0) {
+        continue;
+      }
+      struct stat st{};
+      if (::stat(path.c_str(), &st) != 0) continue;
+      entries.push_back({name, st.st_mtime,
+                         static_cast<std::uint64_t>(st.st_size)});
+    }
+    ::closedir(d);
+  }
+
+  // Oldest first; name breaks mtime ties so a pass is deterministic.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+  });
+
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) total += e.bytes;
+  stats.scanned = entries.size();
+  stats.bytes_scanned = total;
+
+  const std::time_t now = std::time(nullptr);
+  for (const Entry& e : entries) {
+    const bool too_old =
+        opts.max_age_s > 0.0 &&
+        static_cast<double>(now - e.mtime) > opts.max_age_s;
+    const bool over_budget = opts.max_bytes > 0 && total > opts.max_bytes;
+    if (!too_old && !over_budget) {
+      // Entries are sorted oldest-first: once one is young enough and the
+      // store fits, everything after it stays too.
+      break;
+    }
+    if (::unlink((dir_ + "/" + e.name).c_str()) != 0) continue;
+    total -= e.bytes;
+    stats.bytes_freed += e.bytes;
+    ++stats.evicted;
+  }
+  evictions_.fetch_add(stats.evicted, std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace merm::explore

@@ -28,6 +28,21 @@ std::string sha256_hex(std::string_view data);
 /// never replays rows produced by different model code.
 std::string code_version();
 
+/// Size/age bounds for MemoStore::prune.  Zero means "no bound on this
+/// axis"; pruning with both bounds zero is a no-op scan.
+struct MemoPruneOptions {
+  std::uint64_t max_bytes = 0;  ///< keep total entry bytes at or under this
+  double max_age_s = 0.0;       ///< evict entries not touched for this long
+};
+
+/// What one prune pass saw and did.
+struct MemoPruneStats {
+  std::uint64_t scanned = 0;        ///< entries examined
+  std::uint64_t evicted = 0;        ///< entries removed
+  std::uint64_t bytes_scanned = 0;  ///< total entry bytes before the pass
+  std::uint64_t bytes_freed = 0;    ///< entry bytes removed
+};
+
 /// On-disk map from point-key hash to an encoded finished row.
 class MemoStore {
  public:
@@ -45,9 +60,20 @@ class MemoStore {
   /// deterministic row), and rename is atomic.  Thread-safe.
   void store(const std::string& key_hash, const std::string& row_line);
 
+  /// Bounds a long-lived shared store: evicts entries older than
+  /// `max_age_s`, then the least-recently-used entries (by mtime — lookup
+  /// refreshes it, so a hot entry stays) until the store fits `max_bytes`.
+  /// Eviction order is deterministic: oldest first, ties broken by name.
+  /// Racing sweeps are safe — a concurrently re-stored entry simply
+  /// reappears, and an eviction under a reader costs that reader one miss
+  /// (the row re-runs and is re-stored).  Returns what the pass did.
+  MemoPruneStats prune(const MemoPruneOptions& opts);
+
   const std::string& dir() const { return dir_; }
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
+  /// Entries removed by prune() calls on this handle.
+  std::uint64_t evictions() const { return evictions_.load(); }
 
  private:
   std::string entry_path(const std::string& key_hash) const;
@@ -55,6 +81,7 @@ class MemoStore {
   std::string dir_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace merm::explore

@@ -133,28 +133,7 @@ std::string csv_field(const std::string& s) {
 }
 
 void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  core::write_json_string(os, s);
 }
 
 }  // namespace
@@ -656,6 +635,18 @@ std::string SweepEngine::point_key(const Sweep& sweep, std::size_t index,
   return sha256_hex(blob);
 }
 
+std::string SweepEngine::grid_hash(const Sweep& sweep) const {
+  std::string all;
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const ExperimentPoint& p = sweep.points[i];
+    const std::uint64_t seed =
+        p.seed != 0 ? p.seed : point_seed(sweep.base_seed, i);
+    all += point_key(sweep, i, seed);
+    all += '\n';
+  }
+  return sha256_hex(all);
+}
+
 void SweepEngine::run_into(const Sweep& sweep, SweepResult& out) {
   run_into_impl(sweep, out, nullptr);
 }
@@ -755,6 +746,15 @@ void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
   }
   std::mutex progress_mutex;
   std::atomic<std::size_t> finished{count - pending.size()};
+  // Cumulative failure/memo counts for the progress hook; replayed journal
+  // rows seed the failure count so a resumed sweep reports grid-true totals.
+  std::atomic<std::size_t> failed_live{0};
+  std::atomic<std::size_t> memo_live{0};
+  for (const PointResult& p : out.points) {
+    if (p.resumed && p.status == PointResult::Status::kFailed) {
+      failed_live.fetch_add(1);
+    }
+  }
   core::HostTimer timer;
 
   /// Journal, count and report a row that just reached its final state.
@@ -764,6 +764,8 @@ void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
     }
     if (journal) journal->append(i, pr);
     if (pr.done()) host_times.add(pr.run.host_seconds);
+    if (pr.status == PointResult::Status::kFailed) failed_live.fetch_add(1);
+    if (pr.memo_hit) memo_live.fetch_add(1);
     const std::size_t done = finished.fetch_add(1) + 1;
     if (opts_.progress != nullptr) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -781,6 +783,18 @@ void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
                                                   : " [" + pr.error_type + "]")
                         << ": " << pr.error << "\n";
       }
+    }
+    if (opts_.on_point_complete) {
+      SweepProgress prog;
+      prog.total = count;
+      prog.done = done;
+      prog.failed = failed_live.load();
+      prog.memo_hits = memo_live.load();
+      prog.resumed = out.resumed_points;
+      prog.index = i;
+      prog.row = &pr;
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      opts_.on_point_complete(prog);
     }
   };
 

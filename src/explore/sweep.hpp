@@ -182,6 +182,21 @@ struct SweepResult {
   void write_json(std::ostream& os, const WriteOptions& opts = {}) const;
 };
 
+/// Snapshot handed to SweepOptions::on_point_complete each time a row
+/// reaches its final state.  All counts are cumulative for the whole grid,
+/// so a consumer can render "done/total, failed, memo" and derive throughput
+/// and an ETA without any bookkeeping of its own.
+struct SweepProgress {
+  std::size_t total = 0;     ///< grid size
+  std::size_t done = 0;      ///< rows finalized so far, incl. journal replays
+  std::size_t failed = 0;    ///< failed rows so far
+  std::size_t memo_hits = 0; ///< rows replayed from the memo store so far
+  std::size_t resumed = 0;   ///< rows replayed from the journal before the run
+  std::size_t index = 0;     ///< grid index of the row that just finalized
+  /// The row that just finalized; valid only for the duration of the call.
+  const PointResult* row = nullptr;
+};
+
 /// How each experiment point is executed relative to the engine process.
 enum class Isolation {
   /// In the engine's own process on a pool thread (the default, cheapest).
@@ -217,6 +232,14 @@ struct SweepOptions {
   std::uint32_t sim_partitions = 0;
   /// If set, one line per finished point ("[sweep] 3/12 ...").
   std::ostream* progress = nullptr;
+  /// If set, called once per finalized row (done, failed, memo replay) with
+  /// cumulative counts — the programmatic sibling of `progress`, built for
+  /// live status displays and the sweep service's progress/ETA stream.
+  /// Calls are serialized under an internal mutex and may come from any pool
+  /// thread.  A hook that throws cancels the sweep exactly like a point
+  /// failure with keep_going = false — the cancellation lever the service's
+  /// `cancel` command is built on (completed rows stay journaled).
+  std::function<void(const SweepProgress&)> on_point_complete;
   /// When true, a point that throws (a hang, RetryExhaustedError, a bad
   /// config...) is recorded as a per-point failure row and the rest of the
   /// grid keeps running; run()/run_into() then return normally.  When false
@@ -325,6 +348,12 @@ class SweepEngine {
   /// What the memo store and the journal grid hash are built from.
   std::string point_key(const Sweep& sweep, std::size_t index,
                         std::uint64_t seed) const;
+
+  /// Identity of the whole grid under this engine's options: SHA-256 over
+  /// every point_key in grid order.  This is exactly the hash the journal
+  /// header carries, so external tooling (the sweep service's spool, a
+  /// hand-rolled journal) can name a sweep without running it.
+  std::string grid_hash(const Sweep& sweep) const;
 
  private:
   void run_into_impl(const Sweep& sweep, SweepResult& out,

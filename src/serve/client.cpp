@@ -1,0 +1,65 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace merm::serve {
+
+Client::Client(std::string socket_path, int timeout_ms)
+    : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+Json Client::request(const Json& req) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  }
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("serve client: socket path too long: " +
+                             socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve client: cannot reach daemon at '" +
+                             socket_path_ + "': " + std::strerror(err) +
+                             " (is `mermaid_cli serve` running?)");
+  }
+
+  if (!write_frame(fd, req)) {
+    ::close(fd);
+    throw std::runtime_error("serve client: daemon closed the connection");
+  }
+  LineReader reader(fd, kMaxFrameBytes, timeout_ms_);
+  std::string line;
+  const LineReader::Status st = reader.next(&line);
+  ::close(fd);
+  switch (st) {
+    case LineReader::Status::kLine:
+      return Json::parse(line);
+    case LineReader::Status::kEof:
+      throw std::runtime_error(
+          "serve client: daemon closed the connection without replying");
+    case LineReader::Status::kOversized:
+      throw std::runtime_error("serve client: response frame exceeds " +
+                               std::to_string(kMaxFrameBytes) + " bytes");
+    case LineReader::Status::kTimeout:
+      throw std::runtime_error("serve client: timed out waiting for a reply");
+    case LineReader::Status::kError:
+      break;
+  }
+  throw std::runtime_error(std::string("serve client: read failed: ") +
+                           std::strerror(errno));
+}
+
+}  // namespace merm::serve

@@ -1,0 +1,34 @@
+// Client side of the sweep service: connect to the daemon's unix socket,
+// send one request frame, read one response frame.  Used by the
+// `mermaid_cli submit/status/fetch/...` subcommands and the daemon tests.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace merm::serve {
+
+/// One-shot request/response client.  Each request() opens a fresh
+/// connection — the daemon serves short frames, so connection reuse buys
+/// nothing and one-shot keeps client failure modes trivial.
+class Client {
+ public:
+  /// `socket_path` is the daemon's listening socket; `timeout_ms` bounds
+  /// both connect-side reads and writes.
+  explicit Client(std::string socket_path, int timeout_ms = 30'000);
+
+  /// Sends `request` and returns the daemon's response frame.  Throws
+  /// std::runtime_error when the daemon is unreachable or the response is
+  /// missing/oversized/unparseable; a frame with "ok": false is *returned*,
+  /// not thrown — protocol errors are data, transport errors are exceptions.
+  Json request(const Json& request);
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  int timeout_ms_;
+};
+
+}  // namespace merm::serve

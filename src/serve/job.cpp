@@ -1,0 +1,193 @@
+#include "serve/job.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "explore/memo.hpp"
+#include "fault/fault.hpp"
+#include "gen/stochastic.hpp"
+#include "gen/workload_config.hpp"
+#include "machine/config.hpp"
+
+namespace merm::serve {
+
+machine::MachineParams resolve_machine(const std::string& spec) {
+  if (spec.rfind("preset:", 0) == 0) {
+    std::string rest = spec.substr(7);
+    std::string name = rest;
+    std::uint32_t w = 4;
+    std::uint32_t h = 4;
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      name = rest.substr(0, colon);
+      const std::string dims = rest.substr(colon + 1);
+      const auto x = dims.find('x');
+      if (x == std::string::npos) {
+        throw std::runtime_error("bad preset dims '" + dims + "'");
+      }
+      w = static_cast<std::uint32_t>(std::stoul(dims.substr(0, x)));
+      h = static_cast<std::uint32_t>(std::stoul(dims.substr(x + 1)));
+    }
+    if (name == "t805") return machine::presets::t805_multicomputer(w, h);
+    if (name == "ppc601") return machine::presets::powerpc601_node();
+    if (name == "risc") return machine::presets::generic_risc(w, h);
+    if (name == "ipsc860") {
+      return machine::presets::ipsc860_hypercube(w * h);
+    }
+    throw std::runtime_error("unknown preset '" + name + "'");
+  }
+  return machine::parse_config_file(spec);
+}
+
+void apply_faults(machine::MachineParams& params, const std::string& spec) {
+  if (std::ifstream probe(spec); probe) {
+    params = machine::parse_config_file(spec, params);
+  } else {
+    params.fault = fault::parse_spec(spec);
+  }
+}
+
+Json JobSpec::to_json() const {
+  Json j = Json::object();
+  Json ms = Json::array();
+  for (const std::string& m : machines) ms.push(Json(m));
+  j.set("machines", std::move(ms));
+  j.set("workload", Json(workload_text));
+  j.set("level", Json(level));
+  if (!faults.empty()) j.set("faults", Json(faults));
+  if (sweep_threads != 0) j.set("sweep_threads", Json(double(sweep_threads)));
+  if (sim_threads != 0) j.set("sim_threads", Json(double(sim_threads)));
+  if (sim_partitions != 0) {
+    j.set("sim_partitions", Json(double(sim_partitions)));
+  }
+  j.set("isolate", Json(isolate));
+  if (timeout_s > 0) j.set("timeout_s", Json(timeout_s));
+  if (retries > 1) j.set("retries", Json(double(retries)));
+  if (stall_ms != 0) j.set("stall_ms", Json(double(stall_ms)));
+  return j;
+}
+
+namespace {
+
+unsigned checked_count(const Json& j, std::string_view key, unsigned def,
+                       unsigned max) {
+  const double v = j.get_number(key, def);
+  if (v < 0 || v > max || v != static_cast<double>(static_cast<unsigned>(v))) {
+    throw ProtocolError("field '" + std::string(key) +
+                        "': expected an integer in 0.." + std::to_string(max));
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+JobSpec JobSpec::from_json(const Json& j) {
+  JobSpec s;
+  s.machines = j.get_string_list("machines");
+  if (s.machines.empty()) {
+    throw ProtocolError("submit needs a non-empty 'machines' array");
+  }
+  s.workload_text = j.get_string("workload");
+  if (s.workload_text.empty()) {
+    throw ProtocolError(
+        "submit needs 'workload': the workload description file's text");
+  }
+  s.level = j.get_string("level", "detailed");
+  if (s.level != "detailed" && s.level != "task") {
+    throw ProtocolError("field 'level': expected \"detailed\" or \"task\"");
+  }
+  s.faults = j.get_string("faults");
+  s.sweep_threads = checked_count(j, "sweep_threads", 0, 9999);
+  s.sim_threads = checked_count(j, "sim_threads", 0, 9999);
+  s.sim_partitions = checked_count(j, "sim_partitions", 0, 9999);
+  s.isolate = j.get_bool("isolate", true);
+  s.timeout_s = j.get_number("timeout_s", 0.0);
+  if (s.timeout_s < 0) throw ProtocolError("field 'timeout_s': negative");
+  s.retries = checked_count(j, "retries", 1, 100);
+  s.stall_ms = checked_count(j, "stall_ms", 0, 60'000);
+  return s;
+}
+
+explore::Sweep build_sweep(const JobSpec& spec) {
+  const gen::StochasticDescription desc =
+      gen::parse_workload_string(spec.workload_text);
+  const bool task_level = spec.level == "task";
+
+  explore::Sweep sweep;
+  sweep.level = task_level ? node::SimulationLevel::kTaskLevel
+                           : node::SimulationLevel::kDetailed;
+  // The workload file's bytes *are* its identity: editing the description
+  // invalidates cached rows, renaming or copying the file does not.  Same
+  // fingerprint format as the batch CLI has always used, so existing memo
+  // stores keep working.
+  sweep.workload_fingerprint =
+      "workload-file:" + spec.level +
+      ":sha256=" + explore::sha256_hex(spec.workload_text);
+  sweep.workload = [desc, task_level](const machine::MachineParams& params,
+                                      std::uint64_t) {
+    return task_level
+               ? gen::make_stochastic_task_workload(desc, params.node_count())
+               : gen::make_stochastic_workload(desc, params.node_count(),
+                                               params.node.cpu_count);
+  };
+  for (const std::string& mspec : spec.machines) {
+    machine::MachineParams m = resolve_machine(mspec);
+    if (!spec.faults.empty()) apply_faults(m, spec.faults);
+    explore::ExperimentPoint& p = sweep.add(std::move(m), mspec);
+    // Content-derived seed: a function of what the point *is*, never of
+    // where it sits in this particular grid.  Index-derived seeds would
+    // give the same machine different memo keys in different grids, which
+    // is exactly the sharing a long-lived service exists to exploit.
+    const std::string identity = "point-seed:\n" +
+                                 machine::write_config_string(p.params) +
+                                 "\nlevel=" + spec.level + "\nworkload=" +
+                                 sweep.workload_fingerprint;
+    const std::string digest = explore::sha256_hex(identity);
+    std::uint64_t seed = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = digest[i];
+      seed = (seed << 4) |
+             static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    p.seed = seed != 0 ? seed : 1;  // 0 would fall back to index derivation
+  }
+  if (spec.stall_ms != 0) {
+    const auto stall = std::chrono::milliseconds(spec.stall_ms);
+    sweep.configure = [stall](core::Workbench&,
+                              const explore::ExperimentPoint&, std::size_t) {
+      std::this_thread::sleep_for(stall);
+    };
+  }
+  return sweep;
+}
+
+explore::SweepOptions engine_options(const JobSpec& spec) {
+  explore::SweepOptions opts;
+  opts.threads = spec.sweep_threads;
+  opts.sim_threads = spec.sim_threads;
+  opts.sim_partitions = spec.sim_partitions;
+  opts.keep_going = true;
+  opts.isolate = spec.isolate ? explore::Isolation::kProcess
+                              : explore::Isolation::kNone;
+  opts.point_timeout_s = spec.timeout_s;
+  opts.max_attempts = spec.retries;
+  return opts;
+}
+
+std::string job_id(const JobSpec& spec) {
+  const explore::Sweep sweep = build_sweep(spec);
+  return explore::SweepEngine(engine_options(spec)).grid_hash(sweep);
+}
+
+std::string spool_memo_dir(const std::string& spool) { return spool + "/memo"; }
+
+std::string spool_jobs_dir(const std::string& spool) { return spool + "/jobs"; }
+
+std::string spool_job_dir(const std::string& spool, const std::string& id) {
+  return spool_jobs_dir(spool) + "/" + id;
+}
+
+}  // namespace merm::serve

@@ -1,0 +1,87 @@
+// What a sweep job *is*, independent of the daemon that runs it.
+//
+// A JobSpec is the self-contained, serializable description of one sweep:
+// machine specs, the workload description text (the bytes, not a path — the
+// daemon must not depend on client-side files), the abstraction level, and
+// the engine knobs that change results.  From a spec both the batch CLI and
+// the daemon build the *same* explore::Sweep through build_sweep(), which is
+// what makes a fetched result byte-identical to `mermaid_cli sweep` of the
+// same grid.
+//
+// Job identity is the grid content hash (SweepEngine::grid_hash over the
+// spec's points), so identical submissions from different clients collapse
+// onto one job, and the spool directory keyed by it survives daemon
+// restarts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hpp"
+#include "machine/params.hpp"
+#include "serve/protocol.hpp"
+
+namespace merm::serve {
+
+/// Resolves a machine spec — a config file path or
+/// "preset:{t805|ppc601|risc|ipsc860}[:WxH]" — to full parameters.  Shared
+/// by the batch CLI and the daemon (moved here from mermaid_cli so both
+/// resolve identically).  Throws std::runtime_error on unknown specs.
+machine::MachineParams resolve_machine(const std::string& spec);
+
+/// Overlays a fault description: `spec` is either a config file (overlaid
+/// on `params`) or an inline fault::parse_spec string such as
+/// "drop=0.01,retries=6,seed=7".
+void apply_faults(machine::MachineParams& params, const std::string& spec);
+
+/// One sweep job, fully described.
+struct JobSpec {
+  std::vector<std::string> machines;  ///< specs, one grid row each
+  std::string workload_text;          ///< workload description file bytes
+  std::string level = "detailed";     ///< "detailed" | "task"
+  std::string faults;                 ///< optional overlay for every machine
+  unsigned sweep_threads = 0;         ///< points in flight; 0 = auto
+  unsigned sim_threads = 0;           ///< PDES workers per point; 0 = serial
+  std::uint32_t sim_partitions = 0;   ///< PDES partitions; 0 = auto
+  bool isolate = true;                ///< fork each point (service default)
+  double timeout_s = 0.0;             ///< per-point budget; needs isolate
+  unsigned retries = 1;               ///< attempts per point; needs isolate
+  /// Test hook: sleep this long in each point's configure step, so kill /
+  /// resume tests get a reliable window.  Does not affect results or job
+  /// identity (it is not part of the grid hash).
+  std::uint64_t stall_ms = 0;
+
+  /// Frame/spool codec.  from_json throws ProtocolError on missing or
+  /// mistyped fields; to_json round-trips through it exactly.
+  Json to_json() const;
+  static JobSpec from_json(const Json& j);
+};
+
+/// Builds the sweep a spec describes.  Point seeds are derived from each
+/// point's *content* (machine config + level + workload fingerprint), not
+/// its grid index, so the same machine appearing in two different grids
+/// hashes to the same memo key — the sharing that makes overlapping
+/// submissions cache hits.  Throws on unresolvable machines or a malformed
+/// workload description.
+explore::Sweep build_sweep(const JobSpec& spec);
+
+/// Engine options a spec implies (journal/memo paths and progress hooks are
+/// the runner's to fill in).  keep_going is always on: a service grid
+/// reports failed points as rows, it never aborts the job.
+explore::SweepOptions engine_options(const JobSpec& spec);
+
+/// Job id: SweepEngine::grid_hash of the spec's grid (also the journal
+/// header hash and the spool directory name).
+std::string job_id(const JobSpec& spec);
+
+/// Where a job lives under the daemon spool:
+///   <spool>/memo                 shared memo store (all jobs)
+///   <spool>/jobs/<id>/spec.json  the JobSpec, written atomically at submit
+///   <spool>/jobs/<id>/sweep.journal
+///   <spool>/jobs/<id>/result.csv / result.json   (host columns excluded)
+std::string spool_memo_dir(const std::string& spool);
+std::string spool_jobs_dir(const std::string& spool);
+std::string spool_job_dir(const std::string& spool, const std::string& id);
+
+}  // namespace merm::serve

@@ -1,0 +1,491 @@
+#include "serve/protocol.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "core/serialize.hpp"
+
+namespace merm::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw ProtocolError(what); }
+
+const char* kind_name(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::kNull:
+      return "null";
+    case Json::Kind::kBool:
+      return "bool";
+    case Json::Kind::kNumber:
+      return "number";
+    case Json::Kind::kString:
+      return "string";
+    case Json::Kind::kArray:
+      return "array";
+    case Json::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void wrong_kind(const char* want, Json::Kind got) {
+  bad(std::string("expected ") + want + ", got " + kind_name(got));
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) wrong_kind("bool", kind_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber) wrong_kind("number", kind_);
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) wrong_kind("string", kind_);
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) wrong_kind("array", kind_);
+  return arr_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::get_string(std::string_view key, std::string def) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null()) return def;
+  if (v->kind_ != Kind::kString) {
+    bad("field '" + std::string(key) + "': expected string, got " +
+        kind_name(v->kind_));
+  }
+  return v->str_;
+}
+
+double Json::get_number(std::string_view key, double def) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null()) return def;
+  if (v->kind_ != Kind::kNumber) {
+    bad("field '" + std::string(key) + "': expected number, got " +
+        kind_name(v->kind_));
+  }
+  return v->num_;
+}
+
+bool Json::get_bool(std::string_view key, bool def) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null()) return def;
+  if (v->kind_ != Kind::kBool) {
+    bad("field '" + std::string(key) + "': expected bool, got " +
+        kind_name(v->kind_));
+  }
+  return v->bool_;
+}
+
+std::vector<std::string> Json::get_string_list(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null()) return {};
+  if (v->kind_ != Kind::kArray) {
+    bad("field '" + std::string(key) + "': expected array, got " +
+        kind_name(v->kind_));
+  }
+  std::vector<std::string> out;
+  out.reserve(v->arr_.size());
+  for (const Json& item : v->arr_) {
+    if (item.kind_ != Kind::kString) {
+      bad("field '" + std::string(key) + "': expected array of strings");
+    }
+    out.push_back(item.str_);
+  }
+  return out;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) wrong_kind("object", kind_);
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) wrong_kind("array", kind_);
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+/// JSON numbers: integral values print as integers (counts and sizes stay
+/// readable and exact up to 2^53), everything else round-trips via %.17g.
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no Inf/NaN; absent beats invalid
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    os << buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Json::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      write_number(os, num_);
+      break;
+    case Kind::kString:
+      core::write_json_string(os, str_);
+      break;
+    case Kind::kArray:
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) os << ',';
+        arr_[i].write(os);
+      }
+      os << ']';
+      break;
+    case Kind::kObject:
+      os << '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) os << ',';
+        core::write_json_string(os, obj_[i].first);
+        os << ':';
+        obj_[i].second.write(os);
+      }
+      os << '}';
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view.  Depth-limited and
+/// exception-based: any malformed byte lands in ProtocolError with an
+/// offset, and the daemon answers with a structured error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    bad(what + " (at byte " + std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of frame");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxJsonDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point; surrogate pairs are not needed by
+          // this protocol (our writer only emits \u00xx) but decode to
+          // their replacement-free BMP bytes rather than erroring.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad number: no digits after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("bad number: no digits in exponent");
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size()) fail("bad number '" + lit + "'");
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  if (text.size() > kMaxFrameBytes) bad("frame exceeds kMaxFrameBytes");
+  return Parser(text).parse_document();
+}
+
+LineReader::Status LineReader::next(std::string* line) {
+  if (poisoned_) return Status::kOversized;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return Status::kLine;
+    }
+    if (buf_.size() > max_) {
+      // The frame never ended inside the budget.  There is no way to find
+      // the next frame boundary reliably, so the stream is done: report
+      // oversized now and on every later call.
+      poisoned_ = true;
+      return Status::kOversized;
+    }
+    if (timeout_ms_ >= 0) {
+      struct pollfd pfd {
+        fd_, POLLIN, 0
+      };
+      const int ready = ::poll(&pfd, 1, timeout_ms_);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::kError;
+      }
+      if (ready == 0) return Status::kTimeout;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) return Status::kEof;  // unterminated tail bytes are dropped
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_frame(int fd, const Json& msg) {
+  const std::string line = msg.dump() + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Json ok_response() {
+  Json r = Json::object();
+  r.set("ok", Json(true));
+  return r;
+}
+
+Json error_response(const std::string& message) {
+  Json r = Json::object();
+  r.set("ok", Json(false));
+  r.set("error", Json(message));
+  return r;
+}
+
+}  // namespace merm::serve

@@ -1,0 +1,150 @@
+// Wire protocol of the sweep service: newline-delimited JSON frames over a
+// unix-domain stream socket.
+//
+// Every request is one JSON object on one line ({"cmd": "submit", ...});
+// every response is one JSON object on one line carrying "ok": true plus
+// command-specific fields, or "ok": false plus "error".  Malformed input —
+// truncated frames, oversized frames, garbage bytes, wrong field types —
+// must come back as a structured error, never crash the daemon and never
+// desynchronize the stream (see tests/serve/protocol_test.cpp).
+//
+// The Json value type below is deliberately small: objects, arrays,
+// strings, doubles, bools, null.  It exists so the daemon has zero external
+// dependencies, mirroring the memo store's self-contained SHA-256.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace merm::serve {
+
+/// Malformed frames and type mismatches surface as this; the daemon turns
+/// it into an {"ok": false} response instead of dying.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A frame larger than this is rejected before parsing: the protocol moves
+/// result files (a few MB at the extreme), not bulk traces.
+constexpr std::size_t kMaxFrameBytes = 32 * 1024 * 1024;
+
+/// Nesting deeper than this is rejected while parsing — no legitimate frame
+/// nests past submit.machines (depth 2), and a "[[[[..." bomb must not
+/// recurse the daemon into a stack overflow.
+constexpr std::size_t kMaxJsonDepth = 16;
+
+/// Minimal JSON value: null, bool, number, string, array, object (insertion
+/// ordered, so dumped frames are deterministic).
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(std::int64_t v)
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v)
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Json(int v) : kind_(Kind::kNumber), num_(v) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; a kind mismatch throws ProtocolError naming the
+  /// expected kind, so a frame with the wrong shape fails loudly.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;  ///< array elements
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+
+  /// Convenience getters with defaults for optional frame fields.  A
+  /// present field of the wrong kind throws — an "isolate": "yes" typo must
+  /// not silently read as the default.
+  std::string get_string(std::string_view key, std::string def = {}) const;
+  double get_number(std::string_view key, double def = 0.0) const;
+  bool get_bool(std::string_view key, bool def = false) const;
+  /// A present field must be an array of strings; absent yields {}.
+  std::vector<std::string> get_string_list(std::string_view key) const;
+
+  /// Object/array builders.  set() replaces an existing key.
+  Json& set(std::string key, Json value);
+  Json& push(Json value);
+
+  /// One-line serialization (no trailing newline).  parse(dump()) == *this.
+  void write(std::ostream& os) const;
+  std::string dump() const;
+
+  /// Parses exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed, trailing garbage is an error).  Throws
+  /// ProtocolError on anything malformed.
+  static Json parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Buffered line framing over a socket/pipe fd.  One instance per
+/// connection; next() hands out complete newline-terminated frames and
+/// classifies everything that is not one.
+class LineReader {
+ public:
+  enum class Status {
+    kLine,       ///< *line holds a complete frame (newline stripped)
+    kEof,        ///< peer closed; any unterminated tail bytes are dropped
+    kOversized,  ///< frame exceeded max_bytes before its newline arrived
+    kTimeout,    ///< no bytes for longer than the per-read timeout
+    kError,      ///< read() failed
+  };
+
+  explicit LineReader(int fd, std::size_t max_bytes = kMaxFrameBytes,
+                      int timeout_ms = -1)
+      : fd_(fd), max_(max_bytes), timeout_ms_(timeout_ms) {}
+
+  Status next(std::string* line);
+
+ private:
+  int fd_;
+  std::size_t max_;
+  int timeout_ms_;
+  std::string buf_;
+  bool poisoned_ = false;  ///< oversized frame seen; stream is desynced
+};
+
+/// Writes `msg` as one frame (dump + '\n'), retrying partial writes.
+/// Returns false when the peer is gone (EPIPE, reset).
+bool write_frame(int fd, const Json& msg);
+
+/// Canonical response shapes.
+Json ok_response();
+Json error_response(const std::string& message);
+
+}  // namespace merm::serve

@@ -1,0 +1,715 @@
+#include "serve/server.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "explore/journal.hpp"
+#include "explore/memo.hpp"
+
+namespace merm::serve {
+
+namespace {
+
+/// Thrown out of the progress hook to cancel a running job; the engine
+/// drains in-flight points (their rows still journal) and rethrows it.
+struct JobCancelledError {};
+
+void make_dirs(const std::string& dir) {
+  std::string path;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    path = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (path.empty() || path == "/") continue;
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("serve: cannot create directory '" + path +
+                               "'");
+    }
+  }
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("serve: cannot read '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// tmp + rename, same publication discipline as the memo store: a reader
+/// (or a crash) never sees a half-written spec or result file.
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("serve: cannot write '" + tmp + "'");
+    out << bytes;
+    if (!out.flush()) {
+      throw std::runtime_error("serve: short write to '" + tmp + "'");
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("serve: cannot publish '" + path + "'");
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// One registered job.  Counters are atomics so `status` snapshots never
+/// wait on a running sweep; state transitions happen under Server::mutex_.
+struct Server::Job {
+  std::string id;
+  JobSpec spec;
+  std::string dir;
+  std::size_t total = 0;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  std::string error;  ///< guarded by Server::mutex_
+
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> memo_hits{0};
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<bool> cancel{false};
+
+  std::chrono::steady_clock::time_point started{};
+  std::atomic<double> final_elapsed_s{0.0};
+
+  /// Completion timestamps of the most recent points, for the rolling
+  /// throughput behind the ETA.  Guarded by rate_mutex.
+  std::mutex rate_mutex;
+  std::deque<std::chrono::steady_clock::time_point> recent;
+
+  static constexpr std::size_t kRateWindow = 32;
+
+  void note_completion() {
+    const std::lock_guard<std::mutex> lock(rate_mutex);
+    recent.push_back(std::chrono::steady_clock::now());
+    if (recent.size() > kRateWindow) recent.pop_front();
+  }
+
+  /// Points per second over the rolling window; 0 when unknown.
+  double rolling_rate() {
+    const std::lock_guard<std::mutex> lock(rate_mutex);
+    if (recent.size() < 2) return 0.0;
+    const double span =
+        std::chrono::duration<double>(recent.back() - recent.front()).count();
+    if (span <= 0.0) return 0.0;
+    return static_cast<double>(recent.size() - 1) / span;
+  }
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::start() {
+  if (opts_.socket_path.empty() || opts_.spool.empty()) {
+    throw std::runtime_error("serve: socket_path and spool are required");
+  }
+  make_dirs(opts_.spool);
+  make_dirs(spool_jobs_dir(opts_.spool));
+  make_dirs(spool_memo_dir(opts_.spool));
+
+  // A SIGKILL'd daemon leaves its socket file behind; it is ours (the spool
+  // and socket belong together), so replace it.
+  ::unlink(opts_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  }
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             opts_.socket_path);
+  }
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("serve: bind '" + opts_.socket_path +
+                             "': " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error(std::string("serve: listen: ") +
+                             std::strerror(errno));
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error(std::string("serve: pipe: ") +
+                             std::strerror(errno));
+  }
+  started_ = std::chrono::steady_clock::now();
+
+  recover_spool();
+
+  const unsigned workers = opts_.job_workers != 0 ? opts_.job_workers : 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (opts_.log != nullptr) {
+    *opts_.log << "[serve] listening on " << opts_.socket_path << ", spool "
+               << opts_.spool << ", " << workers << " job worker(s)\n";
+  }
+}
+
+void Server::recover_spool() {
+  const std::string jobs_dir = spool_jobs_dir(opts_.spool);
+  DIR* d = ::opendir(jobs_dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> names;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());  // deterministic recovery order
+
+  for (const std::string& name : names) {
+    const std::string dir = jobs_dir + "/" + name;
+    const std::string spec_path = dir + "/spec.json";
+    if (!file_exists(spec_path)) continue;
+    try {
+      const JobSpec spec = JobSpec::from_json(Json::parse(read_file(spec_path)));
+      const std::string id = job_id(spec);
+      if (id != name) {
+        // The grid hash covers the code version: a rebuilt daemon cannot
+        // honestly resume rows produced by different model code.  Leave the
+        // directory for inspection; a fresh submit gets a fresh id.
+        if (opts_.log != nullptr) {
+          *opts_.log << "[serve] spool job " << name.substr(0, 12)
+                     << "... was produced by a different code version; "
+                        "ignoring it\n";
+        }
+        continue;
+      }
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->spec = spec;
+      job->dir = dir;
+      job->total = spec.machines.size();
+      order_.push_back(id);
+      jobs_[id] = job;
+      if (file_exists(dir + "/result.csv")) {
+        job->state = JobState::kDone;
+        // Recover the headline counters from the journal so `status` of a
+        // finished job stays truthful across restarts.
+        try {
+          const auto rows = explore::SweepJournal::load(
+              dir + "/sweep.journal", id, job->total);
+          job->done = rows.size();
+          std::size_t failed = 0;
+          for (const auto& [i, row] : rows) {
+            if (row.status == explore::PointResult::Status::kFailed) ++failed;
+          }
+          job->failed = failed;
+        } catch (const std::exception&) {
+          job->done = job->total;
+        }
+      } else {
+        queue_.push_back(job);
+        if (opts_.log != nullptr) {
+          *opts_.log << "[serve] recovered unfinished job "
+                     << id.substr(0, 12) << "... (" << job->total
+                     << " points); re-enqueued\n";
+        }
+      }
+    } catch (const std::exception& e) {
+      if (opts_.log != nullptr) {
+        *opts_.log << "[serve] cannot recover spool job " << name << ": "
+                   << e.what() << "\n";
+      }
+    }
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->cancel.load()) {
+        job->state = JobState::kCancelled;
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->started = std::chrono::steady_clock::now();
+    }
+    run_job(job);
+  }
+}
+
+void Server::run_job(const std::shared_ptr<Job>& job) {
+  if (opts_.log != nullptr) {
+    *opts_.log << "[serve] job " << job->id.substr(0, 12) << "... running ("
+               << job->total << " points)\n";
+  }
+  try {
+    const explore::Sweep sweep = build_sweep(job->spec);
+    explore::SweepOptions opts = engine_options(job->spec);
+    opts.memo_dir = spool_memo_dir(opts_.spool);
+    const std::string journal = job->dir + "/sweep.journal";
+    const bool resume = file_exists(journal);
+    if (!resume) opts.journal_path = journal;
+    opts.on_point_complete = [job](const explore::SweepProgress& p) {
+      job->done = p.done;
+      job->failed = p.failed;
+      job->memo_hits = p.memo_hits;
+      job->resumed = p.resumed;
+      job->note_completion();
+      if (job->cancel.load()) throw JobCancelledError{};
+    };
+
+    explore::SweepEngine engine(opts);
+    explore::SweepResult result;
+    if (resume) {
+      engine.resume_into(sweep, journal, result);
+    } else {
+      engine.run_into(sweep, result);
+    }
+
+    job->done = result.points.size();
+    job->failed = result.failed();
+    job->resumed = result.resumed_points;
+    job->memo_hits = result.memo_hits;
+    memo_hits_.fetch_add(result.memo_hits);
+    memo_misses_.fetch_add(result.memo_misses);
+
+    // Results are the *deterministic* bytes: host columns excluded, so a
+    // fetched file is byte-identical to any other execution of this grid —
+    // the batch CLI's --no-host-columns output included.
+    std::ostringstream csv;
+    result.write_csv(csv, {.host_columns = false});
+    write_file_atomic(job->dir + "/result.csv", csv.str());
+    std::ostringstream json;
+    result.write_json(json, {.host_columns = false});
+    write_file_atomic(job->dir + "/result.json", json.str());
+
+    job->final_elapsed_s = seconds_since(job->started);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->state = JobState::kDone;
+    }
+    if (opts_.log != nullptr) {
+      *opts_.log << "[serve] job " << job->id.substr(0, 12) << "... done: "
+                 << result.completed() << " ok, " << result.failed()
+                 << " failed, " << result.memo_hits << " memo hit(s), "
+                 << result.resumed_points << " resumed\n";
+    }
+
+    if (opts_.memo_max_bytes != 0 || opts_.memo_max_age_s > 0) {
+      explore::MemoStore store(spool_memo_dir(opts_.spool));
+      const explore::MemoPruneStats pruned = store.prune(
+          {.max_bytes = opts_.memo_max_bytes,
+           .max_age_s = opts_.memo_max_age_s});
+      memo_evictions_.fetch_add(pruned.evicted);
+      if (opts_.log != nullptr && pruned.evicted > 0) {
+        *opts_.log << "[serve] memo prune: evicted " << pruned.evicted
+                   << " entrie(s), freed " << pruned.bytes_freed
+                   << " bytes\n";
+      }
+    }
+  } catch (const JobCancelledError&) {
+    job->final_elapsed_s = seconds_since(job->started);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->state = JobState::kCancelled;
+    if (opts_.log != nullptr) {
+      *opts_.log << "[serve] job " << job->id.substr(0, 12)
+                 << "... cancelled (" << job->done.load() << "/" << job->total
+                 << " rows journaled)\n";
+    }
+  } catch (const std::exception& e) {
+    job->final_elapsed_s = seconds_since(job->started);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->error = e.what();
+    job->state = JobState::kFailed;
+    if (opts_.log != nullptr) {
+      *opts_.log << "[serve] job " << job->id.substr(0, 12)
+                 << "... FAILED: " << e.what() << "\n";
+    }
+  }
+}
+
+void Server::run() {
+  for (;;) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      // A byte on the self-pipe is a shutdown request — possibly from a
+      // signal handler, for which this is the only safe delivery channel.
+      char drain[64];
+      [[maybe_unused]] const ssize_t n =
+          ::read(wake_pipe_[0], drain, sizeof(drain));
+      request_shutdown();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) break;
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) break;
+    }
+  }
+  // Wind down: wake the workers; running jobs were cancelled by
+  // request_shutdown and will journal out quickly.
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (opts_.log != nullptr) *opts_.log << "[serve] shut down\n";
+}
+
+void Server::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    for (const auto& [id, job] : jobs_) {
+      const JobState s = job->state.load();
+      if (s == JobState::kRunning || s == JobState::kQueued) {
+        job->cancel = true;
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  // Unblock the accept poll.
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  LineReader reader(fd, kMaxFrameBytes, opts_.client_timeout_ms);
+  std::string line;
+  for (;;) {
+    const LineReader::Status st = reader.next(&line);
+    if (st == LineReader::Status::kOversized) {
+      (void)write_frame(fd, error_response("frame exceeds " +
+                                           std::to_string(kMaxFrameBytes) +
+                                           " bytes"));
+      return;
+    }
+    if (st != LineReader::Status::kLine) return;  // EOF, timeout, error
+    Json response;
+    bool shutdown_after = false;
+    try {
+      const Json request = Json::parse(line);
+      if (request.get_string("cmd") == "shutdown") shutdown_after = true;
+      response = handle_request(request);
+    } catch (const ProtocolError& e) {
+      response = error_response(std::string("bad frame: ") + e.what());
+      shutdown_after = false;
+    } catch (const std::exception& e) {
+      response = error_response(e.what());
+      shutdown_after = false;
+    }
+    if (!write_frame(fd, response)) return;
+    if (shutdown_after) {
+      request_shutdown();
+      return;
+    }
+  }
+}
+
+Json Server::handle_request(const Json& req) {
+  const std::string cmd = req.get_string("cmd");
+  if (cmd == "submit") return handle_submit(req);
+  if (cmd == "status") return handle_status(req);
+  if (cmd == "results") return handle_results(req);
+  if (cmd == "cancel") return handle_cancel(req);
+  if (cmd == "list") return handle_list();
+  if (cmd == "memo-gc") return handle_memo_gc(req);
+  if (cmd == "shutdown") return ok_response();
+  if (cmd.empty()) return error_response("missing 'cmd' field");
+  return error_response("unknown cmd '" + cmd + "'");
+}
+
+Json Server::handle_submit(const Json& req) {
+  const JobSpec spec = JobSpec::from_json(req);
+  // Validates machines and workload too: job_id builds the sweep.
+  const std::string id = job_id(spec);
+  submissions_.fetch_add(1);
+
+  std::shared_ptr<Job> job;
+  bool attached = false;
+  bool requeued = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      job = it->second;
+      const JobState s = job->state.load();
+      if (s == JobState::kFailed || s == JobState::kCancelled) {
+        // Terminal-but-incomplete: run it again.  The journal still holds
+        // every finished row, so this is a resume, not a redo.
+        job->cancel = false;
+        job->error.clear();
+        job->state = JobState::kQueued;
+        queue_.push_back(job);
+        requeued = true;
+      } else {
+        attached = true;
+        attached_.fetch_add(1);
+      }
+    } else {
+      job = std::make_shared<Job>();
+      job->id = id;
+      job->spec = spec;
+      job->dir = spool_job_dir(opts_.spool, id);
+      job->total = spec.machines.size();
+      make_dirs(job->dir);
+      write_file_atomic(job->dir + "/spec.json", spec.to_json().dump() + "\n");
+      jobs_[id] = job;
+      order_.push_back(id);
+      queue_.push_back(job);
+    }
+  }
+  queue_cv_.notify_one();
+  if (opts_.log != nullptr) {
+    *opts_.log << "[serve] submit " << id.substr(0, 12) << "... ("
+               << spec.machines.size() << " points) -> "
+               << (attached ? "attached" : requeued ? "requeued" : "queued")
+               << "\n";
+  }
+
+  Json r = ok_response();
+  r.set("job", Json(id));
+  r.set("state", Json(to_string(job->state.load())));
+  r.set("total", Json(double(job->total)));
+  r.set("attached", Json(attached));
+  if (requeued) r.set("requeued", Json(true));
+  return r;
+}
+
+std::shared_ptr<Server::Job> Server::find_job(const Json& req, Json* error) {
+  const std::string id = req.get_string("job");
+  if (id.empty()) {
+    *error = error_response("missing 'job' field");
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    *error = error_response("unknown job '" + id + "'");
+    return nullptr;
+  }
+  return it->second;
+}
+
+Json Server::job_status(const std::shared_ptr<Job>& job) {
+  Json r = ok_response();
+  r.set("job", Json(job->id));
+  const JobState state = job->state.load();
+  r.set("state", Json(to_string(state)));
+  r.set("total", Json(double(job->total)));
+  const std::size_t done = job->done.load();
+  r.set("done", Json(double(done)));
+  r.set("failed", Json(double(job->failed.load())));
+  r.set("memo_hits", Json(double(job->memo_hits.load())));
+  r.set("resumed", Json(double(job->resumed.load())));
+  if (state == JobState::kRunning) {
+    const double elapsed = seconds_since(job->started);
+    r.set("elapsed_s", Json(elapsed));
+    const double rate = job->rolling_rate();
+    if (rate > 0.0) {
+      r.set("points_per_s", Json(rate));
+      const double remaining = static_cast<double>(job->total - done);
+      r.set("eta_s", Json(remaining / rate));
+    }
+  } else if (state != JobState::kQueued) {
+    r.set("elapsed_s", Json(job->final_elapsed_s.load()));
+  }
+  if (state == JobState::kFailed) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    r.set("error", Json(job->error));
+  }
+  return r;
+}
+
+Json Server::server_status() {
+  Json r = ok_response();
+  r.set("uptime_s", Json(seconds_since(started_)));
+  std::size_t queued = 0, running = 0, done = 0, failed = 0, cancelled = 0;
+  std::uint64_t live_hits = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      switch (job->state.load()) {
+        case JobState::kQueued:
+          ++queued;
+          break;
+        case JobState::kRunning:
+          ++running;
+          live_hits += job->memo_hits.load();
+          break;
+        case JobState::kDone:
+          ++done;
+          break;
+        case JobState::kFailed:
+          ++failed;
+          break;
+        case JobState::kCancelled:
+          ++cancelled;
+          break;
+      }
+    }
+    r.set("jobs", Json(double(jobs_.size())));
+  }
+  r.set("queued", Json(double(queued)));
+  r.set("running", Json(double(running)));
+  r.set("done", Json(double(done)));
+  r.set("failed", Json(double(failed)));
+  r.set("cancelled", Json(double(cancelled)));
+  r.set("submissions", Json(double(submissions_.load())));
+  r.set("attached", Json(double(attached_.load())));
+  r.set("memo_hits", Json(double(memo_hits_.load() + live_hits)));
+  r.set("memo_misses", Json(double(memo_misses_.load())));
+  r.set("memo_evictions", Json(double(memo_evictions_.load())));
+  return r;
+}
+
+Json Server::handle_status(const Json& req) {
+  if (req.find("job") == nullptr) return server_status();
+  Json error;
+  const std::shared_ptr<Job> job = find_job(req, &error);
+  if (job == nullptr) return error;
+  return job_status(job);
+}
+
+Json Server::handle_results(const Json& req) {
+  Json error;
+  const std::shared_ptr<Job> job = find_job(req, &error);
+  if (job == nullptr) return error;
+  const JobState state = job->state.load();
+  if (state != JobState::kDone) {
+    return error_response("job '" + job->id + "' is " + to_string(state) +
+                          ", results are available once it is done");
+  }
+  const std::string format = req.get_string("format", "csv");
+  if (format != "csv" && format != "json") {
+    return error_response("field 'format': expected \"csv\" or \"json\"");
+  }
+  Json r = ok_response();
+  r.set("job", Json(job->id));
+  r.set("format", Json(format));
+  r.set("data", Json(read_file(job->dir + "/result." + format)));
+  return r;
+}
+
+Json Server::handle_cancel(const Json& req) {
+  Json error;
+  const std::shared_ptr<Job> job = find_job(req, &error);
+  if (job == nullptr) return error;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const JobState s = job->state.load();
+    if (s == JobState::kQueued || s == JobState::kRunning) {
+      job->cancel = true;
+    }
+  }
+  Json r = ok_response();
+  r.set("job", Json(job->id));
+  r.set("state", Json(to_string(job->state.load())));
+  r.set("cancelling", Json(job->cancel.load()));
+  return r;
+}
+
+Json Server::handle_list() {
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs.reserve(order_.size());
+    for (const std::string& id : order_) {
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) jobs.push_back(it->second);
+    }
+  }
+  Json arr = Json::array();
+  for (const std::shared_ptr<Job>& job : jobs) arr.push(job_status(job));
+  Json r = ok_response();
+  r.set("jobs", std::move(arr));
+  return r;
+}
+
+Json Server::handle_memo_gc(const Json& req) {
+  explore::MemoPruneOptions opts;
+  opts.max_bytes =
+      static_cast<std::uint64_t>(req.get_number("max_bytes", 0.0));
+  opts.max_age_s = req.get_number("max_age_s", 0.0);
+  explore::MemoStore store(spool_memo_dir(opts_.spool));
+  const explore::MemoPruneStats stats = store.prune(opts);
+  memo_evictions_.fetch_add(stats.evicted);
+  Json r = ok_response();
+  r.set("scanned", Json(double(stats.scanned)));
+  r.set("evicted", Json(double(stats.evicted)));
+  r.set("bytes_scanned", Json(double(stats.bytes_scanned)));
+  r.set("bytes_freed", Json(double(stats.bytes_freed)));
+  return r;
+}
+
+}  // namespace merm::serve

@@ -1,0 +1,126 @@
+// mermaid_serve: the sweep-as-a-service daemon.
+//
+// Accepts jobs over a unix-domain socket (see protocol.hpp), runs them on a
+// bounded pool of job workers through the existing SweepEngine — process
+// isolation, write-ahead journal and the *shared* memo store all on by
+// default, so overlapping grids from different clients become cache hits —
+// and streams per-job progress: points done/total/failed/memo-hit, rolling
+// throughput, and an ETA derived from completed-point wall times.
+//
+// Everything durable lives under one spool directory keyed by grid content
+// hash (see job.hpp for the layout).  A SIGKILL'd daemon loses nothing: on
+// restart it re-registers every spooled job, re-enqueues the unfinished
+// ones, and their journals resume exactly where the rows stopped.
+// Duplicate submissions of an identical grid attach to the existing job
+// instead of re-simulating.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+
+namespace merm::serve {
+
+/// Lifecycle of one job.  kFailed means the *job* could not run (bad spec
+/// after a code change, spool I/O error) — individual point failures are
+/// rows in a kDone job's results, mirroring SweepOptions::keep_going.
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+const char* to_string(JobState s);
+
+struct ServerOptions {
+  std::string socket_path;  ///< unix socket to listen on (unlinked first)
+  std::string spool;        ///< spool directory (created if missing)
+  unsigned job_workers = 1; ///< jobs running concurrently
+  /// When nonzero, the shared memo store is pruned to this many bytes after
+  /// every finished job (and its age sibling applies too).
+  std::uint64_t memo_max_bytes = 0;
+  double memo_max_age_s = 0.0;
+  std::ostream* log = nullptr;  ///< daemon chatter; nullptr = silent
+  /// Per-read client timeout: a connection that goes quiet mid-frame for
+  /// this long is dropped so one wedged client cannot hold the daemon.
+  int client_timeout_ms = 10'000;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket, creates the spool, and recovers spooled jobs from a
+  /// previous life (unfinished ones re-enqueue and resume from their
+  /// journals).  Throws std::runtime_error on bind/spool failures.
+  void start();
+
+  /// Serves requests until a shutdown frame arrives (or request_shutdown()
+  /// is called from another thread).  start() must have succeeded.
+  void run();
+
+  /// Asks run() to wind down: queued jobs stay spooled, running jobs are
+  /// cancelled at their next finished point (their journals keep every
+  /// completed row for the next daemon life).  Safe from any thread, but
+  /// NOT from a signal handler (it takes locks) — handlers should write a
+  /// byte to signal_fd() instead, which run() treats as this call.
+  void request_shutdown();
+
+  /// Write end of the self-pipe; writing one byte is the async-signal-safe
+  /// way to trigger request_shutdown().  Valid after start().
+  int signal_fd() const { return wake_pipe_[1]; }
+
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Job;
+
+  void recover_spool();
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  void handle_connection(int fd);
+  Json handle_request(const Json& req);
+
+  Json handle_submit(const Json& req);
+  Json handle_status(const Json& req);
+  Json handle_results(const Json& req);
+  Json handle_cancel(const Json& req);
+  Json handle_list();
+  Json handle_memo_gc(const Json& req);
+  Json server_status();
+  Json job_status(const std::shared_ptr<Job>& job);
+
+  std::shared_ptr<Job> find_job(const Json& req, Json* error);
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe that unblocks the accept poll
+
+  std::mutex mutex_;  ///< registry, queue, job state transitions
+  std::condition_variable queue_cv_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::vector<std::string> order_;  ///< submission order for `list`
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<std::uint64_t> submissions_{0};
+  std::atomic<std::uint64_t> attached_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
+  std::atomic<std::uint64_t> memo_evictions_{0};
+};
+
+}  // namespace merm::serve

@@ -1,0 +1,206 @@
+// The progress hook (SweepOptions::on_point_complete), the grid content
+// hash (SweepEngine::grid_hash), and memo-store pruning — the library
+// surface the sweep service is built on.
+#include "explore/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+#include <utime.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "explore/journal.hpp"
+#include "explore/memo.hpp"
+#include "gen/apps.hpp"
+
+namespace merm::explore {
+namespace {
+
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + tag + std::string("-XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+/// Six points, two of which fail deterministically.
+Sweep build_grid() {
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{1, 64});
+        });
+  };
+  sweep.workload_fingerprint = "pingpong:1x64:progress-test";
+  for (int i = 0; i < 6; ++i) {
+    ExperimentPoint& p = sweep.add(machine::presets::t805_multicomputer(2, 1),
+                                   "pt-" + std::to_string(i));
+    p.seed = 7000 + i;
+    if (i == 2 || i == 4) {
+      p.workload = [](const machine::MachineParams&,
+                      std::uint64_t) -> trace::Workload {
+        throw std::runtime_error("deterministic failure point");
+      };
+    }
+  }
+  return sweep;
+}
+
+TEST(SweepProgressTest, HookSeesEveryRowWithCumulativeCounts) {
+  const Sweep sweep = build_grid();
+  std::vector<SweepProgress> seen;
+  std::vector<PointResult::Status> row_status;
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.keep_going = true;
+  opts.on_point_complete = [&](const SweepProgress& p) {
+    ASSERT_NE(p.row, nullptr);
+    seen.push_back(p);
+    row_status.push_back(p.row->status);
+  };
+  const SweepResult result = SweepEngine(opts).run(sweep);
+
+  ASSERT_EQ(seen.size(), 6u);  // one call per finalized row
+  std::size_t failures_seen = 0;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].total, 6u);
+    // Calls are serialized under the engine's mutex, so `done` is exactly
+    // the call ordinal even on a threaded pool.
+    EXPECT_EQ(seen[i].done, i + 1);
+    EXPECT_LE(seen[i].failed, seen[i].done);
+    EXPECT_EQ(seen[i].memo_hits, 0u);
+    EXPECT_EQ(seen[i].resumed, 0u);
+    if (row_status[i] == PointResult::Status::kFailed) ++failures_seen;
+  }
+  EXPECT_EQ(failures_seen, 2u);
+  EXPECT_EQ(seen.back().failed, 2u);
+  EXPECT_EQ(result.failed(), 2u);
+}
+
+TEST(SweepProgressTest, HookSeesMemoReplaysAndCountsHits) {
+  const std::string dir = make_temp_dir("merm-progress-memo");
+  const Sweep sweep = build_grid();
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.keep_going = true;
+  opts.memo_dir = dir;
+  (void)SweepEngine(opts).run(sweep);  // populate the store (done rows only)
+
+  std::vector<SweepProgress> seen;
+  opts.on_point_complete = [&](const SweepProgress& p) { seen.push_back(p); };
+  const SweepResult second = SweepEngine(opts).run(sweep);
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.back().memo_hits, 4u);  // the two failures re-ran
+  EXPECT_EQ(second.memo_hits, 4u);
+}
+
+TEST(SweepProgressTest, ThrowingHookCancelsLikeAFirstFailure) {
+  const Sweep sweep = build_grid();
+  struct CancelRequested {};
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.keep_going = true;  // the hook cancels even a keep-going sweep
+  opts.on_point_complete = [](const SweepProgress& p) {
+    if (p.done == 2) throw CancelRequested{};
+  };
+  SweepEngine engine(opts);
+  SweepResult out;
+  EXPECT_THROW(engine.run_into(sweep, out), CancelRequested);
+  // The two finalized rows survive in the result; the rest were cancelled.
+  std::size_t finalized = 0, skipped = 0;
+  for (const PointResult& p : out.points) {
+    if (p.status == PointResult::Status::kSkipped) ++skipped;
+    if (p.status != PointResult::Status::kPending &&
+        p.status != PointResult::Status::kSkipped) {
+      ++finalized;
+    }
+  }
+  EXPECT_EQ(finalized, 2u);
+  EXPECT_EQ(skipped, 4u);
+}
+
+TEST(SweepProgressTest, GridHashIsTheJournalHeaderIdentity) {
+  const std::string dir = make_temp_dir("merm-grid-hash");
+  const std::string journal = dir + "/sweep.journal";
+  const Sweep sweep = build_grid();
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.keep_going = true;
+  opts.journal_path = journal;
+  SweepEngine engine(opts);
+  (void)engine.run(sweep);
+
+  // Loading the journal under the externally computed hash must succeed —
+  // that is the contract the service spool depends on.
+  const std::string hash = engine.grid_hash(sweep);
+  const auto rows = SweepJournal::load(journal, hash, sweep.size());
+  EXPECT_EQ(rows.size(), sweep.size());
+
+  // And any identity change moves the hash.
+  Sweep other = build_grid();
+  other.points[3].seed += 1;
+  EXPECT_NE(engine.grid_hash(other), hash);
+  Sweep refingered = build_grid();
+  refingered.workload_fingerprint = "pingpong:1x64:other";
+  EXPECT_NE(engine.grid_hash(refingered), hash);
+}
+
+TEST(SweepProgressTest, MemoPruneEvictsByAgeThenSize) {
+  const std::string dir = make_temp_dir("merm-memo-prune");
+  const Sweep sweep = build_grid();
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.keep_going = true;
+  opts.memo_dir = dir;
+  (void)SweepEngine(opts).run(sweep);
+
+  MemoStore store(dir);
+  // Both bounds zero: a no-op scan that still reports the store size.
+  const MemoPruneStats scan = store.prune({});
+  EXPECT_EQ(scan.scanned, 4u);  // failures are not memoized
+  EXPECT_EQ(scan.evicted, 0u);
+  EXPECT_GT(scan.bytes_scanned, 0u);
+
+  // Age-based: backdate two entries and evict anything older than an hour.
+  std::vector<std::string> entries;
+  {
+    const std::string marker = dir + "/entries.txt";
+    const std::string cmd = "ls " + dir + " > " + marker;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream in(marker);
+    std::string name;
+    while (std::getline(in, name)) {
+      if (name != "entries.txt") entries.push_back(dir + "/" + name);
+    }
+  }
+  ASSERT_EQ(entries.size(), 4u);
+  struct utimbuf old_times {};
+  old_times.actime = old_times.modtime = 1'000'000;  // 1970, definitely old
+  ASSERT_EQ(::utime(entries[0].c_str(), &old_times), 0);
+  ASSERT_EQ(::utime(entries[1].c_str(), &old_times), 0);
+  const MemoPruneStats aged = store.prune({.max_age_s = 3600.0});
+  EXPECT_EQ(aged.evicted, 2u);
+  EXPECT_EQ(store.evictions(), 2u);
+
+  // Size-based: a 1-byte budget evicts everything that remains.
+  const MemoPruneStats sized = store.prune({.max_bytes = 1});
+  EXPECT_EQ(sized.evicted, 2u);
+  EXPECT_EQ(store.evictions(), 4u);
+
+  // The emptied store yields no hits: the next sweep re-runs every point.
+  const SweepResult after = SweepEngine(opts).run(sweep);
+  EXPECT_EQ(after.memo_hits, 0u);
+  EXPECT_EQ(after.memo_misses, 6u);
+}
+
+}  // namespace
+}  // namespace merm::explore

@@ -232,5 +232,52 @@ TEST(SweepResumeTest, TornTailIsDiscardedAndCompleteRowsReplay) {
   EXPECT_EQ(csv_of(resumed), csv_of(first));
 }
 
+TEST(SweepResumeTest, OverfullJournalIsRefusedNotSilentlyReplayed) {
+  const std::string dir = make_temp_dir("merm-resume-overfull");
+  const std::string journal = dir + "/sweep.journal";
+
+  Sweep sweep;
+  sweep.workload = [](const machine::MachineParams& params, std::uint64_t) {
+    return gen::make_offline_workload(
+        params.node_count(),
+        [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+          gen::pingpong(a, self, nodes, gen::PingPongParams{1, 64});
+        });
+  };
+  for (int i = 0; i < 4; ++i) {
+    sweep.add(machine::presets::t805_multicomputer(2, 1),
+              "pt-" + std::to_string(i));
+  }
+
+  SweepOptions opts{.threads = 1, .journal_path = journal};
+  (void)SweepEngine(opts).run(sweep);
+
+  // A duplicated tail: checksum-valid rows beyond the grid size, as a buggy
+  // concatenation (`cat a.journal >> b.journal` of the same grid) would
+  // produce.  The header still names the right grid, so before the row-count
+  // guard this replayed quietly with later duplicates overwriting earlier
+  // rows.  It must be a clear refusal instead.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 1u + 4u);  // header + one row per point
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << lines[1] << "\n" << lines[2] << "\n";
+  }
+
+  try {
+    (void)SweepEngine(opts).resume(sweep, journal);
+    FAIL() << "resume accepted a journal holding more rows than the grid";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rows for a grid"),
+              std::string::npos)
+        << "unexpected error: " << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace merm::explore

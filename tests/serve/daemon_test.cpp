@@ -1,0 +1,364 @@
+// The sweep service end to end, in process: a Server on a background
+// thread, real unix-socket clients.  Covers the tentpole guarantees —
+// fetched results byte-identical to the batch engine, duplicate submissions
+// attaching, overlapping grids hitting the shared memo store, malformed
+// frames answered (not crashed on), cancellation, and spool recovery after
+// a shutdown mid-job.  The SIGKILL variant of recovery lives in
+// scripts/check.sh (a daemon cannot kill -9 itself from inside gtest).
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/sweep.hpp"
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+
+namespace merm::serve {
+namespace {
+
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + tag + std::string("-XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = ::mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : "";
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+constexpr const char* kTinyWorkload =
+    "rounds = 1\ninstructions_per_round = 2000\n";
+
+JobSpec tiny_spec(std::vector<std::string> machines) {
+  JobSpec spec;
+  spec.machines = std::move(machines);
+  spec.workload_text = kTinyWorkload;
+  spec.isolate = false;  // in-process points keep the suite fast
+  return spec;
+}
+
+/// Reference bytes: the batch engine on the same spec, host columns off —
+/// what `mermaid_cli sweep --no-host-columns` would write.
+std::string batch_csv(JobSpec spec) {
+  spec.stall_ms = 0;  // the stall is a timing hook, not part of the result
+  const explore::Sweep sweep = build_sweep(spec);
+  explore::SweepOptions opts = engine_options(spec);
+  const explore::SweepResult result = explore::SweepEngine(opts).run(sweep);
+  std::ostringstream os;
+  result.write_csv(os, {.host_columns = false});
+  return os.str();
+}
+
+/// A live daemon on a background thread, torn down on scope exit.
+class Daemon {
+ public:
+  explicit Daemon(const std::string& dir, unsigned workers = 1) {
+    ServerOptions opts;
+    opts.socket_path = dir + "/merm.sock";
+    opts.spool = dir + "/spool";
+    opts.job_workers = workers;
+    server_ = std::make_unique<Server>(opts);
+    server_->start();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~Daemon() { stop(); }
+
+  void stop() {
+    if (server_ != nullptr) server_->request_shutdown();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+  }
+
+  const std::string& socket() const { return server_->options().socket_path; }
+  Server& server() { return *server_; }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+Json request(const std::string& socket, const Json& req) {
+  return Client(socket).request(req);
+}
+
+Json submit(const std::string& socket, const JobSpec& spec) {
+  Json req = spec.to_json();
+  req.set("cmd", Json("submit"));
+  return request(socket, req);
+}
+
+Json job_status(const std::string& socket, const std::string& id) {
+  Json req = Json::object();
+  req.set("cmd", Json("status"));
+  req.set("job", Json(id));
+  return request(socket, req);
+}
+
+/// Polls until the job reaches a terminal state; returns the final frame.
+Json await_job(const std::string& socket, const std::string& id,
+               int timeout_ms = 30'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const Json st = job_status(socket, id);
+    const std::string state = st.get_string("state");
+    if (state != "queued" && state != "running") return st;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "job " << id << " stuck in state " << state;
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::string fetch_csv(const std::string& socket, const std::string& id) {
+  Json req = Json::object();
+  req.set("cmd", Json("results"));
+  req.set("job", Json(id));
+  req.set("format", Json("csv"));
+  const Json r = request(socket, req);
+  EXPECT_TRUE(r.get_bool("ok")) << r.get_string("error");
+  return r.get_string("data");
+}
+
+/// Writes raw bytes to the daemon socket and returns the first reply line
+/// (empty on EOF/timeout) — for frames a well-behaved Client cannot send.
+std::string raw_request(const std::string& socket, const std::string& bytes) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0);
+  EXPECT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  LineReader reader(fd, kMaxFrameBytes, 5000);
+  std::string line;
+  const LineReader::Status st = reader.next(&line);
+  ::close(fd);
+  return st == LineReader::Status::kLine ? line : std::string();
+}
+
+TEST(DaemonTest, SubmitRunFetchMatchesTheBatchEngineByteForByte) {
+  const std::string dir = make_temp_dir("merm-daemon-fetch");
+  Daemon daemon(dir);
+  const JobSpec spec =
+      tiny_spec({"preset:t805:2x1", "preset:risc:2x1", "preset:ipsc860:2x1"});
+
+  const Json r = submit(daemon.socket(), spec);
+  ASSERT_TRUE(r.get_bool("ok")) << r.get_string("error");
+  const std::string id = r.get_string("job");
+  EXPECT_EQ(id, job_id(spec));  // the job id IS the grid hash
+  EXPECT_EQ(r.get_number("total"), 3.0);
+
+  const Json done = await_job(daemon.socket(), id);
+  EXPECT_EQ(done.get_string("state"), "done");
+  EXPECT_EQ(done.get_number("done"), 3.0);
+  EXPECT_EQ(done.get_number("failed"), 0.0);
+
+  EXPECT_EQ(fetch_csv(daemon.socket(), id), batch_csv(spec));
+}
+
+TEST(DaemonTest, DuplicateSubmissionsAttachInsteadOfRerunning) {
+  const std::string dir = make_temp_dir("merm-daemon-dup");
+  Daemon daemon(dir);
+  const JobSpec spec = tiny_spec({"preset:t805:2x1"});
+
+  const Json first = submit(daemon.socket(), spec);
+  ASSERT_TRUE(first.get_bool("ok"));
+  EXPECT_FALSE(first.get_bool("attached"));
+  const std::string id = first.get_string("job");
+  (void)await_job(daemon.socket(), id);
+
+  const Json second = submit(daemon.socket(), spec);
+  ASSERT_TRUE(second.get_bool("ok"));
+  EXPECT_TRUE(second.get_bool("attached"));
+  EXPECT_EQ(second.get_string("job"), id);
+
+  Json sreq = Json::object();
+  sreq.set("cmd", Json("status"));
+  const Json server_st = request(daemon.socket(), sreq);
+  EXPECT_EQ(server_st.get_number("submissions"), 2.0);
+  EXPECT_EQ(server_st.get_number("attached"), 1.0);
+  EXPECT_EQ(server_st.get_number("jobs"), 1.0);
+}
+
+TEST(DaemonTest, OverlappingGridsHitTheSharedMemoStore) {
+  const std::string dir = make_temp_dir("merm-daemon-memo");
+  Daemon daemon(dir);
+  const JobSpec a = tiny_spec({"preset:t805:2x1", "preset:risc:2x1"});
+  const JobSpec b = tiny_spec({"preset:risc:2x1", "preset:ipsc860:2x1"});
+
+  const std::string id_a = submit(daemon.socket(), a).get_string("job");
+  (void)await_job(daemon.socket(), id_a);
+  const std::string id_b = submit(daemon.socket(), b).get_string("job");
+  const Json done_b = await_job(daemon.socket(), id_b);
+
+  // The shared risc:2x1 point replays from the store: content-derived
+  // seeds make the overlap a hit even though the grids differ.
+  EXPECT_EQ(done_b.get_number("memo_hits"), 1.0);
+  EXPECT_EQ(fetch_csv(daemon.socket(), id_b), batch_csv(b));
+
+  Json sreq = Json::object();
+  sreq.set("cmd", Json("status"));
+  const Json st = request(daemon.socket(), sreq);
+  EXPECT_EQ(st.get_number("memo_hits"), 1.0);
+  EXPECT_EQ(st.get_number("memo_misses"), 3.0);
+}
+
+TEST(DaemonTest, MalformedFramesGetErrorsAndTheDaemonSurvives) {
+  const std::string dir = make_temp_dir("merm-daemon-garbage");
+  Daemon daemon(dir);
+
+  const char* garbage[] = {
+      "not json at all\n",
+      "{\"cmd\": \"submit\"\n",           // truncated object
+      "{\"cmd\": 42}\n",                  // mistyped cmd
+      "{\"cmd\": \"frobnicate\"}\n",      // unknown cmd
+      "{}\n",                             // missing cmd
+      "{\"cmd\":\"submit\"}\n",           // submit without a grid
+      "{\"cmd\":\"status\",\"job\":\"feedbeef\"}\n",  // unknown job
+      "{\"cmd\":\"results\",\"job\":\"feedbeef\"}\n",
+      "\n",                               // empty frame
+  };
+  for (const char* frame : garbage) {
+    const std::string reply = raw_request(daemon.socket(), frame);
+    ASSERT_FALSE(reply.empty()) << "no reply to: " << frame;
+    const Json r = Json::parse(reply);
+    EXPECT_FALSE(r.get_bool("ok")) << "accepted: " << frame;
+    EXPECT_FALSE(r.get_string("error").empty());
+  }
+
+  // An oversized frame gets an error too (then the connection drops —
+  // byte-stream desync is unrecoverable).
+  std::string huge = "{\"cmd\":\"submit\",\"workload\":\"";
+  huge.append(kMaxFrameBytes + 1024, 'x');
+  const std::string reply = raw_request(daemon.socket(), huge);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_FALSE(Json::parse(reply).get_bool("ok"));
+
+  // After all of that, the daemon still runs real jobs.
+  const JobSpec spec = tiny_spec({"preset:t805:2x1"});
+  const std::string id = submit(daemon.socket(), spec).get_string("job");
+  EXPECT_EQ(await_job(daemon.socket(), id).get_string("state"), "done");
+}
+
+TEST(DaemonTest, CancelStopsAJobAndResubmitRequeuesIt) {
+  const std::string dir = make_temp_dir("merm-daemon-cancel");
+  Daemon daemon(dir);
+  JobSpec spec = tiny_spec({"preset:t805:2x1", "preset:risc:2x1",
+                            "preset:ipsc860:2x1", "preset:t805:2x2"});
+  spec.stall_ms = 200;  // a window to cancel inside
+
+  const std::string id = submit(daemon.socket(), spec).get_string("job");
+  Json creq = Json::object();
+  creq.set("cmd", Json("cancel"));
+  creq.set("job", Json(id));
+  const Json cr = request(daemon.socket(), creq);
+  ASSERT_TRUE(cr.get_bool("ok"));
+
+  const Json st = await_job(daemon.socket(), id);
+  EXPECT_EQ(st.get_string("state"), "cancelled");
+  EXPECT_LT(st.get_number("done"), 4.0);
+
+  // Results are refused while incomplete...
+  Json rreq = Json::object();
+  rreq.set("cmd", Json("results"));
+  rreq.set("job", Json(id));
+  EXPECT_FALSE(request(daemon.socket(), rreq).get_bool("ok"));
+
+  // ...and resubmitting the same spec requeues (resumes) rather than
+  // attaching to the cancelled carcass.
+  const Json again = submit(daemon.socket(), spec);
+  ASSERT_TRUE(again.get_bool("ok"));
+  EXPECT_TRUE(again.get_bool("requeued"));
+  const Json done = await_job(daemon.socket(), id);
+  EXPECT_EQ(done.get_string("state"), "done");
+  EXPECT_EQ(done.get_number("done"), 4.0);
+  EXPECT_EQ(fetch_csv(daemon.socket(), id), batch_csv(spec));
+}
+
+TEST(DaemonTest, ShutdownMidJobThenRestartResumesFromTheSpool) {
+  const std::string dir = make_temp_dir("merm-daemon-resume");
+  JobSpec spec = tiny_spec({"preset:t805:2x1", "preset:risc:2x1",
+                            "preset:ipsc860:2x1", "preset:t805:2x2",
+                            "preset:risc:2x2", "preset:ipsc860:2x2"});
+  spec.stall_ms = 250;
+  const std::string id = job_id(spec);
+
+  {
+    Daemon daemon(dir);
+    ASSERT_TRUE(submit(daemon.socket(), spec).get_bool("ok"));
+    // Let at least one row land in the journal, then wind down mid-job.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      const Json st = job_status(daemon.socket(), id);
+      if (st.get_number("done") >= 1.0) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "job never started";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    daemon.stop();
+  }
+
+  const std::string job_dir = spool_job_dir(dir + "/spool", id);
+  EXPECT_TRUE(file_exists(job_dir + "/spec.json"));
+  EXPECT_TRUE(file_exists(job_dir + "/sweep.journal"));
+  ASSERT_FALSE(file_exists(job_dir + "/result.csv"))
+      << "job finished before the shutdown; the resume path was not hit";
+
+  // A fresh daemon on the same spool recovers and finishes the job without
+  // being asked.
+  Daemon daemon(dir);
+  const Json done = await_job(daemon.socket(), id);
+  EXPECT_EQ(done.get_string("state"), "done");
+  EXPECT_EQ(done.get_number("done"), 6.0);
+  EXPECT_GE(done.get_number("resumed"), 1.0);
+  EXPECT_EQ(fetch_csv(daemon.socket(), id), batch_csv(spec));
+}
+
+TEST(DaemonTest, FinishedJobsSurviveRestartWithTheirResults) {
+  const std::string dir = make_temp_dir("merm-daemon-warm");
+  const JobSpec spec = tiny_spec({"preset:t805:2x1", "preset:risc:2x1"});
+  const std::string id = job_id(spec);
+  std::string first_bytes;
+  {
+    Daemon daemon(dir);
+    ASSERT_TRUE(submit(daemon.socket(), spec).get_bool("ok"));
+    (void)await_job(daemon.socket(), id);
+    first_bytes = fetch_csv(daemon.socket(), id);
+  }
+  Daemon daemon(dir);
+  const Json st = job_status(daemon.socket(), id);
+  EXPECT_EQ(st.get_string("state"), "done");
+  EXPECT_EQ(st.get_number("done"), 2.0);
+  EXPECT_EQ(fetch_csv(daemon.socket(), id), first_bytes);
+  // And a resubmission attaches to the recovered job, serving from cache.
+  const Json again = submit(daemon.socket(), spec);
+  EXPECT_TRUE(again.get_bool("attached"));
+}
+
+}  // namespace
+}  // namespace merm::serve

@@ -1,0 +1,280 @@
+// The service wire codec under hostile input: round-trips, truncated and
+// oversized frames, garbage bytes, type confusion, nesting bombs.  The bar
+// is structural — every malformed input becomes a ProtocolError (or a
+// LineReader status), never a crash and never a silently wrong value.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace merm::serve {
+namespace {
+
+TEST(ProtocolJsonTest, DumpParseRoundTripsStructures) {
+  Json obj = Json::object();
+  obj.set("cmd", Json("submit"));
+  obj.set("count", Json(42));
+  obj.set("ratio", Json(0.375));
+  obj.set("flag", Json(true));
+  obj.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push(Json("a"));
+  arr.push(Json(std::string("tab\there \"quoted\" back\\slash\nnewline")));
+  arr.push(Json(-7));
+  obj.set("items", std::move(arr));
+
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.dump(), obj.dump());
+  EXPECT_EQ(back.get_string("cmd"), "submit");
+  EXPECT_EQ(back.get_number("count"), 42.0);
+  EXPECT_EQ(back.get_number("ratio"), 0.375);
+  EXPECT_TRUE(back.get_bool("flag"));
+  EXPECT_TRUE(back.find("nothing")->is_null());
+  const std::vector<Json>& items = back.find("items")->items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1].as_string(), "tab\there \"quoted\" back\\slash\nnewline");
+  EXPECT_EQ(items[2].as_number(), -7.0);
+}
+
+TEST(ProtocolJsonTest, ControlAndUnicodeEscapesRoundTrip) {
+  std::string nasty;
+  for (int c = 0; c < 32; ++c) nasty.push_back(static_cast<char>(c));
+  nasty += "plain";
+  const Json j(nasty);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), nasty);
+
+  // \uXXXX escapes decode to UTF-8 (including a two-escape surrogate-free
+  // BMP character).
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\\u4e2d\"").as_string(),
+            "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(ProtocolJsonTest, IntegersPrintExactly) {
+  Json j = Json::object();
+  j.set("big", Json(std::uint64_t{1} << 50));
+  const std::string text = j.dump();
+  EXPECT_NE(text.find("1125899906842624"), std::string::npos) << text;
+  EXPECT_EQ(Json::parse(text).get_number("big"),
+            static_cast<double>(std::uint64_t{1} << 50));
+}
+
+TEST(ProtocolJsonTest, MalformedInputsThrowNotCrash) {
+  const char* cases[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\" 1}",
+      "{'a': 1}",
+      "[1,",
+      "[1 2]",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"bad unicode \\u12g4\"",
+      "tru",
+      "nul",
+      "+1",
+      "1.2.3",
+      "0x10",
+      "{\"a\":1} trailing",
+      "\x00\xff\xfe garbage",
+      "{\"a\": \x01}",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)Json::parse(text), ProtocolError) << "input: " << text;
+  }
+}
+
+TEST(ProtocolJsonTest, NestingBombIsRejectedNotRecursedToDeath) {
+  std::string bomb(100'000, '[');
+  EXPECT_THROW((void)Json::parse(bomb), ProtocolError);
+  // And a *complete* deep value past the limit is rejected too.
+  std::string deep = std::string(kMaxJsonDepth + 1, '[') + "1" +
+                     std::string(kMaxJsonDepth + 1, ']');
+  EXPECT_THROW((void)Json::parse(deep), ProtocolError);
+  // At the limit it parses.
+  std::string ok = std::string(kMaxJsonDepth, '[') + "1" +
+                   std::string(kMaxJsonDepth, ']');
+  EXPECT_NO_THROW((void)Json::parse(ok));
+}
+
+TEST(ProtocolJsonTest, TypeConfusionThrowsInsteadOfCoercing) {
+  const Json j = Json::parse(
+      "{\"s\": \"text\", \"n\": 3, \"b\": true, \"a\": [1], \"o\": {}}");
+  EXPECT_THROW((void)j.get_number("s"), ProtocolError);
+  EXPECT_THROW((void)j.get_string("n"), ProtocolError);
+  EXPECT_THROW((void)j.get_bool("n"), ProtocolError);
+  EXPECT_THROW((void)j.get_string_list("s"), ProtocolError);
+  EXPECT_THROW((void)j.get_string_list("o"), ProtocolError);
+  // An array of non-strings is not a string list.
+  EXPECT_THROW((void)j.get_string_list("a"), ProtocolError);
+  // Absent keys yield defaults.
+  EXPECT_EQ(j.get_string("missing", "def"), "def");
+  EXPECT_EQ(j.get_number("missing", 9.0), 9.0);
+  EXPECT_TRUE(j.get_string_list("missing").empty());
+}
+
+/// Deterministic pseudo-fuzz: mutate a valid frame at xorshift-chosen
+/// positions; parse must either succeed or throw ProtocolError — anything
+/// else (crash, uncaught foreign exception) fails the test harness itself.
+TEST(ProtocolJsonTest, MutatedFramesNeverEscapeTheErrorContract) {
+  const std::string seed_frame =
+      "{\"cmd\":\"submit\",\"machines\":[\"preset:t805:2x2\"],"
+      "\"workload\":\"rounds = 1\",\"isolate\":true,\"timeout_s\":1.5}";
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int parsed = 0, rejected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string frame = seed_frame;
+    const int mutations = 1 + static_cast<int>(next() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = next() % frame.size();
+      switch (next() % 4) {
+        case 0:
+          frame[pos] = static_cast<char>(next() % 256);
+          break;
+        case 1:
+          frame.erase(pos, 1 + next() % 3);
+          break;
+        case 2:
+          frame.insert(pos, 1, static_cast<char>(next() % 256));
+          break;
+        default:
+          frame.resize(pos);  // truncation
+          break;
+      }
+      if (frame.empty()) frame = "x";
+    }
+    try {
+      (void)Json::parse(frame);
+      ++parsed;
+    } catch (const ProtocolError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 2000);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(LineReaderTest, SplitAndBatchedFramesBothArrive) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Two frames in one write, then one frame split across two writes.
+  const std::string batch = "{\"a\":1}\n{\"b\":2}\n";
+  ASSERT_EQ(::write(fds[1], batch.data(), batch.size()),
+            static_cast<ssize_t>(batch.size()));
+  LineReader reader(fds[0], 4096, 2000);
+  std::string line;
+  ASSERT_EQ(reader.next(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"a\":1}");
+  ASSERT_EQ(reader.next(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"b\":2}");
+
+  ASSERT_EQ(::write(fds[1], "{\"c\":", 5), 5);
+  ASSERT_EQ(::write(fds[1], "3}\n", 3), 3);
+  ASSERT_EQ(reader.next(&line), LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"c\":3}");
+
+  ::close(fds[1]);
+  EXPECT_EQ(reader.next(&line), LineReader::Status::kEof);
+  ::close(fds[0]);
+}
+
+TEST(LineReaderTest, OversizedFramePoisonsTheStream) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string huge(200, 'x');  // no newline within the 64-byte cap
+  ASSERT_EQ(::write(fds[1], huge.data(), huge.size()),
+            static_cast<ssize_t>(huge.size()));
+  LineReader reader(fds[0], 64, 2000);
+  std::string line;
+  EXPECT_EQ(reader.next(&line), LineReader::Status::kOversized);
+  // Once desynced, the reader stays poisoned even if a newline shows up.
+  ASSERT_EQ(::write(fds[1], "\n{\"ok\":1}\n", 10), 10);
+  EXPECT_EQ(reader.next(&line), LineReader::Status::kOversized);
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+TEST(LineReaderTest, QuietConnectionTimesOut) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  LineReader reader(fds[0], 4096, 50);
+  std::string line;
+  EXPECT_EQ(reader.next(&line), LineReader::Status::kTimeout);
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+TEST(JobSpecTest, RoundTripsThroughitsFrame) {
+  JobSpec spec;
+  spec.machines = {"preset:t805:2x2", "preset:risc:4x4"};
+  spec.workload_text = "rounds = 2\nseed = 1\n";
+  spec.level = "task";
+  spec.faults = "drop=0.01,retries=6,seed=7";
+  spec.sweep_threads = 3;
+  spec.sim_threads = 2;
+  spec.sim_partitions = 4;
+  spec.isolate = false;
+  spec.timeout_s = 12.5;
+  spec.retries = 3;
+  spec.stall_ms = 250;
+
+  const JobSpec back = JobSpec::from_json(Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(back.machines, spec.machines);
+  EXPECT_EQ(back.workload_text, spec.workload_text);
+  EXPECT_EQ(back.level, spec.level);
+  EXPECT_EQ(back.faults, spec.faults);
+  EXPECT_EQ(back.sweep_threads, spec.sweep_threads);
+  EXPECT_EQ(back.sim_threads, spec.sim_threads);
+  EXPECT_EQ(back.sim_partitions, spec.sim_partitions);
+  EXPECT_EQ(back.isolate, spec.isolate);
+  EXPECT_EQ(back.timeout_s, spec.timeout_s);
+  EXPECT_EQ(back.retries, spec.retries);
+  EXPECT_EQ(back.stall_ms, spec.stall_ms);
+}
+
+TEST(JobSpecTest, RejectsMissingAndMistypedFields) {
+  const char* bad[] = {
+      "{}",                                                  // no machines
+      "{\"machines\":[]}",                                   // empty grid
+      "{\"machines\":[\"m\"]}",                              // no workload
+      "{\"machines\":\"m\",\"workload\":\"w\"}",             // not a list
+      "{\"machines\":[1],\"workload\":\"w\"}",               // not strings
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"level\":\"fast\"}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"retries\":2.5}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"retries\":-1}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"retries\":1e9}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"timeout_s\":-5}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"isolate\":\"yes\"}",
+      "{\"machines\":[\"m\"],\"workload\":\"w\",\"sweep_threads\":\"4\"}",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)JobSpec::from_json(Json::parse(text)), ProtocolError)
+        << "frame: " << text;
+  }
+}
+
+TEST(ResponseShapeTest, OkAndErrorFrames) {
+  EXPECT_TRUE(ok_response().get_bool("ok"));
+  const Json err = error_response("no such job");
+  EXPECT_FALSE(err.get_bool("ok"));
+  EXPECT_EQ(err.get_string("error"), "no such job");
+}
+
+}  // namespace
+}  // namespace merm::serve
