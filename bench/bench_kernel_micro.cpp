@@ -8,6 +8,7 @@
 #include "gen/apps.hpp"
 #include "gen/stochastic.hpp"
 #include "memory/hierarchy.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -72,7 +73,9 @@ BENCHMARK(BM_ChannelRendezvous)->Arg(1 << 14);
 // ComputeNode::run (local time cursor + frame-free fast path on a
 // single-CPU node).
 void RunOperationExecution(benchmark::State& state, bool thrash,
-                           obs::TraceSink* sink = nullptr) {
+                           obs::TraceSink* sink = nullptr,
+                           obs::Counter* op_counter = nullptr,
+                           obs::Histogram* op_hist = nullptr) {
   machine::NodeParams node = machine::presets::powerpc601_node().node;
   sim::Simulator sim;
   memory::MemoryHierarchy mem(sim, node);
@@ -92,14 +95,23 @@ void RunOperationExecution(benchmark::State& state, bool thrash,
     ops.push_back(trace::Operation::add(trace::DataType::kDouble));
   }
   for (auto _ : state) {
-    sim.spawn([](cpu::Cpu& c, memory::MemoryHierarchy& m,
-                 const std::vector<trace::Operation>& trace_ops)
-                  -> sim::Process {
-      for (const auto& op : trace_ops) {
-        if (!c.try_execute_fast(op)) co_await c.execute(op);
+    sim.spawn([](sim::Simulator& s, cpu::Cpu& c, memory::MemoryHierarchy& m,
+                 const std::vector<trace::Operation>& trace_ops,
+                 obs::Counter* ctr, obs::Histogram* hist) -> sim::Process {
+      if (ctr == nullptr) {
+        for (const auto& op : trace_ops) {
+          if (!c.try_execute_fast(op)) co_await c.execute(op);
+        }
+      } else {
+        for (const auto& op : trace_ops) {
+          const sim::Tick before = s.now();
+          if (!c.try_execute_fast(op)) co_await c.execute(op);
+          ctr->add();
+          hist->observe(static_cast<double>(s.now() - before));
+        }
       }
       co_await m.cursor(0).flush();
-    }(cpu, mem, ops));
+    }(sim, cpu, mem, ops, op_counter, op_hist));
     sim.run();
     sim.collect_finished();
   }
@@ -132,6 +144,24 @@ void BM_OperationExecutionTraced(benchmark::State& state) {
   RunOperationExecution(state, state.range(0) != 0, &sink);
 }
 BENCHMARK(BM_OperationExecutionTraced)->Arg(0)->Arg(1);
+
+// The same loop recording runtime metrics per simulated operation — a
+// counter bump plus a histogram observe on every op, orders of magnitude
+// denser than any production call site (the sweep layer records ~4 updates
+// per *point*, i.e. per ~1e5 ops).  scripts/check.sh uses the delta against
+// BM_OperationExecution/0 as an absolute regression guard on the recording
+// fast path; the ≤2% claim belongs to the disabled-hook path, which the
+// baseline gate covers.
+void BM_OperationExecutionMetrics(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& ops = reg.counter("bench_ops_total", "ops executed");
+  obs::Histogram& cost = reg.histogram(
+      "bench_op_cost_ticks", {0.0, 100.0, 1'000.0, 10'000.0, 100'000.0},
+      "per-op simulated cost");
+  RunOperationExecution(state, state.range(0) != 0, nullptr, &ops, &cost);
+  benchmark::DoNotOptimize(ops.value());
+}
+BENCHMARK(BM_OperationExecutionMetrics)->Arg(0)->Arg(1);
 
 // Trace generation rates: stochastic vs annotated (offline).
 void BM_StochasticGeneration(benchmark::State& state) {

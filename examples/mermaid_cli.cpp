@@ -19,7 +19,6 @@
 #include <csignal>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,6 +31,7 @@
 
 #include "core/workbench.hpp"
 #include "explore/memo.hpp"
+#include "explore/progress.hpp"
 #include "explore/sweep.hpp"
 #include "gen/workload_config.hpp"
 #include "machine/config.hpp"
@@ -55,7 +55,7 @@ int usage() {
       << "              [--level detailed|task] [--stats <csv>]\n"
       << "              [--progress <us>] [--faults <spec|file>]\n"
       << "              [--trace-out <file>] [--sim-threads <n>]\n"
-      << "              [--sim-partitions <n|auto>]\n"
+      << "              [--sim-partitions <n|auto>] [--pdes-metrics]\n"
       << "  mermaid_cli sweep --machine <m> [--machine <m> ...] "
       << "--workload <file>\n"
       << "              [--level detailed|task] [--out <csv>]\n"
@@ -66,7 +66,8 @@ int usage() {
       << "              [--progress] [--no-host-columns]\n"
       << "  mermaid_cli serve --socket <path> --spool <dir>\n"
       << "              [--job-workers <n>] [--memo-max-bytes <n>]\n"
-      << "              [--memo-max-age <s>]\n"
+      << "              [--memo-max-age <s>] [--metrics-file <path>]\n"
+      << "              [--metrics-interval <s>]\n"
       << "  mermaid_cli submit --socket <path> --machine <m> [...] "
       << "--workload <file>\n"
       << "              [--level detailed|task] [--faults <spec|file>]\n"
@@ -74,6 +75,7 @@ int usage() {
       << "              [--sweep-threads <n>] [--sim-threads <n>]\n"
       << "              [--sim-partitions <n|auto>] [--wait]\n"
       << "  mermaid_cli status --socket <path> [--job <id>] [--json]\n"
+      << "  mermaid_cli metrics --socket <path> [--json]\n"
       << "  mermaid_cli jobs --socket <path>\n"
       << "  mermaid_cli fetch --socket <path> --job <id> "
       << "[--format csv|json] [--out <file>]\n"
@@ -106,7 +108,13 @@ int usage() {
       << "bytes to `sweep --no-host-columns` of the same grid)\n"
       << "--trace-out records an execution trace: a .json path gets Chrome\n"
       << "trace-event JSON (load it in Perfetto / chrome://tracing), any\n"
-      << "other suffix gets the compact binary form (see trace_tool)\n";
+      << "other suffix gets the compact binary form (see trace_tool)\n"
+      << "--pdes-metrics profiles the PDES partitions (host-side only, the\n"
+      << "simulated result is unchanged) and prints per-partition events,\n"
+      << "busy time, barrier wait and per-window imbalance after the run\n"
+      << "metrics scrapes the daemon's runtime telemetry (Prometheus text,\n"
+      << "or JSON with --json); serve --metrics-file atomically rewrites\n"
+      << "the same exposition to a file every --metrics-interval seconds\n";
   return 2;
 }
 
@@ -149,11 +157,40 @@ struct RunArgs {
   std::uint64_t progress_us = 0;
   unsigned sim_threads = 0;
   std::uint32_t sim_partitions = 0;  ///< 0 = auto
+  bool pdes_metrics = false;
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Human rendering of the PDES partition profile (`run --pdes-metrics`).
+/// Host-side timings vary run to run; the simulated result does not.
+void print_pdes_profile(std::ostream& os,
+                        const sim::pdes::Engine::Profile& p) {
+  const auto ms = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  os << "[pdes-metrics] " << p.windows << " window(s), barrier wait "
+     << ms(p.barrier_wait_ns) << " ms, " << p.mail_delivered
+     << " engine mail delivered\n";
+  if (p.measured_windows > 0) {
+    char mean[32], peak[32];
+    std::snprintf(mean, sizeof(mean), "%.2f", p.imbalance_mean());
+    std::snprintf(peak, sizeof(peak), "%.2f", p.imbalance_max);
+    os << "[pdes-metrics] per-window imbalance (peak/mean busy): mean " << mean
+       << "x, worst " << peak << "x over " << p.measured_windows
+       << " measured window(s)\n";
+  }
+  for (std::size_t i = 0; i < p.partitions.size(); ++i) {
+    const auto& part = p.partitions[i];
+    os << "[pdes-metrics]   partition " << i << ": " << part.events
+       << " event(s), busy " << ms(part.busy_ns) << " ms, "
+       << part.mail_posted << " engine mail posted\n";
+  }
 }
 
 int cmd_run(const RunArgs& args) {
@@ -174,6 +211,9 @@ int cmd_run(const RunArgs& args) {
       if (st.active) {
         std::cerr << "[pdes] " << st.workers << " workers over "
                   << st.partitions << " partitions (" << st.note << ")\n";
+        if (args.pdes_metrics && !wb.enable_pdes_profiling()) {
+          std::cerr << "[pdes-metrics] unavailable (no PDES engine)\n";
+        }
       } else {
         std::cerr << "[pdes] serial fallback: " << st.note << "\n";
       }
@@ -199,6 +239,14 @@ int cmd_run(const RunArgs& args) {
     return 2;
   }
   result.print(std::cout);
+  if (args.pdes_metrics) {
+    if (result.pdes_profile != nullptr) {
+      print_pdes_profile(std::cout, *result.pdes_profile);
+    } else {
+      std::cerr << "[pdes-metrics] no profile: needs --sim-threads > 0 and an "
+                   "active PDES engine\n";
+    }
+  }
 
   if (!args.stats_out.empty()) {
     std::ofstream out(args.stats_out);
@@ -233,22 +281,6 @@ std::string format_eta(double s) {
   if (total < 60) return std::to_string(total) + "s";
   return std::to_string(total / 60) + "m" + std::to_string(total % 60) + "s";
 }
-
-/// Rolling-window throughput over completion timestamps — the same ETA the
-/// daemon reports, computed client-side for `sweep --progress`.
-struct ProgressMeter {
-  std::deque<std::chrono::steady_clock::time_point> recent;
-  static constexpr std::size_t kWindow = 32;
-
-  double note_and_rate() {
-    recent.push_back(std::chrono::steady_clock::now());
-    if (recent.size() > kWindow) recent.pop_front();
-    if (recent.size() < 2) return 0.0;
-    const double span =
-        std::chrono::duration<double>(recent.back() - recent.front()).count();
-    return span > 0.0 ? static_cast<double>(recent.size() - 1) / span : 0.0;
-  }
-};
 
 struct SweepArgs {
   std::vector<std::string> machines;
@@ -305,19 +337,20 @@ int cmd_sweep(const SweepArgs& args) {
   opts.journal_path = args.resume ? std::string() : journal;
   opts.memo_dir = args.memo_dir;
   opts.pdes_columns = args.pdes_columns;
-  const auto meter = std::make_shared<ProgressMeter>();
+  // ThroughputMeter only counts freshly executed points, so memo hits and
+  // journal replays shrink the remaining work without inflating the rate —
+  // the ETA stays honest on warm caches (same meter the daemon uses).
+  const auto meter = std::make_shared<explore::ThroughputMeter>();
   if (args.progress) {
     opts.on_point_complete = [meter](const explore::SweepProgress& p) {
-      const double rate = meter->note_and_rate();
+      const explore::ThroughputMeter::Estimate est = meter->note(p);
       std::cerr << "[sweep] " << p.done << "/" << p.total << " done";
       if (p.failed > 0) std::cerr << ", " << p.failed << " failed";
       if (p.memo_hits > 0) std::cerr << ", " << p.memo_hits << " memo";
-      if (rate > 0.0) {
+      if (est.points_per_s > 0.0) {
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.2f", rate);
-        std::cerr << " | " << buf << " pts/s, eta "
-                  << format_eta(
-                         static_cast<double>(p.total - p.done) / rate);
+        std::snprintf(buf, sizeof(buf), "%.2f", est.points_per_s);
+        std::cerr << " | " << buf << " pts/s, eta " << format_eta(est.eta_s);
       }
       std::cerr << "\n";
     };
@@ -480,6 +513,17 @@ int cmd_status(const std::string& socket, const std::string& job, bool json) {
   return 0;
 }
 
+int cmd_metrics(const std::string& socket, bool json) {
+  serve::Client client(socket);
+  serve::Json req = serve::Json::object();
+  req.set("cmd", serve::Json("metrics"));
+  req.set("format", serve::Json(json ? "json" : "prometheus"));
+  const serve::Json r = request_or_fail(client, req);
+  std::cout << r.get_string("data");
+  if (json) std::cout << "\n";  // the exposition already ends in a newline
+  return 0;
+}
+
 int cmd_jobs(const std::string& socket) {
   serve::Client client(socket);
   serve::Json req = serve::Json::object();
@@ -581,6 +625,10 @@ int main(int argc, char** argv) {
       RunArgs run;
       for (std::size_t i = 1; i < args.size(); ++i) {
         std::string key = args[i];
+        if (key == "--pdes-metrics") {
+          run.pdes_metrics = true;
+          continue;
+        }
         std::string value;
         // Accept both `--flag value` and `--flag=value`.
         if (const auto eq = key.find('='); eq != std::string::npos) {
@@ -720,6 +768,10 @@ int main(int argc, char** argv) {
           opts.memo_max_bytes = std::stoull(value);
         } else if (key == "--memo-max-age") {
           opts.memo_max_age_s = std::stod(value);
+        } else if (key == "--metrics-file") {
+          opts.metrics_file = value;
+        } else if (key == "--metrics-interval") {
+          opts.metrics_interval_s = std::stod(value);
         } else {
           std::cerr << "unknown flag " << key << "\n";
           return usage();
@@ -795,7 +847,7 @@ int main(int argc, char** argv) {
     if (!args.empty() &&
         (args[0] == "status" || args[0] == "jobs" || args[0] == "fetch" ||
          args[0] == "cancel" || args[0] == "shutdown" ||
-         args[0] == "memo-gc")) {
+         args[0] == "memo-gc" || args[0] == "metrics")) {
       const std::string cmd = args[0];
       std::string socket, job, out, memo_dir;
       std::string format = "csv";
@@ -843,6 +895,7 @@ int main(int argc, char** argv) {
       }
       if (socket.empty()) return usage();
       if (cmd == "status") return cmd_status(socket, job, json);
+      if (cmd == "metrics") return cmd_metrics(socket, json);
       if (cmd == "jobs") return cmd_jobs(socket);
       if (cmd == "shutdown") return cmd_shutdown(socket);
       if (job.empty()) return usage();

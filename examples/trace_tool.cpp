@@ -20,6 +20,7 @@
 #include "gen/apps.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/trace_stats.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -29,7 +30,7 @@ using namespace merm;
 int usage() {
   std::cerr << "usage:\n"
             << "  trace_tool record <stencil|matmul|allreduce|pingpong> <file>\n"
-            << "  trace_tool stats <file>\n"
+            << "  trace_tool stats <file> [--top <n>]\n"
             << "  trace_tool dump <file>\n"
             << "  trace_tool convert <binary-in> <text-out>\n"
             << "  trace_tool compress <binary-in> <packed-out>\n"
@@ -37,7 +38,11 @@ int usage() {
             << "  trace_tool chrome <timeline-in> <json-out>   # -> Perfetto\n"
             << "  trace_tool timeline <timeline-in>            # summarize\n"
             << "\n<timeline-in> is an execution timeline written by\n"
-            << "'mermaid_cli run --trace-out=<file>' (compact binary form)\n";
+            << "'mermaid_cli run --trace-out=<file>' (compact binary form)\n"
+            << "stats sniffs the file: execution timelines (MOBT) get a\n"
+            << "wait-state report (compute vs bus-wait vs link-transit vs\n"
+            << "send/recv-blocked, per-track totals, the --top <n> longest\n"
+            << "spans); annotated operation traces get per-node op counts\n";
   return 2;
 }
 
@@ -80,7 +85,25 @@ int cmd_record(const std::string& kernel, const std::string& path) {
   return 0;
 }
 
-int cmd_stats(const std::string& path) {
+/// True when the file starts with the execution-timeline magic ('M','O',
+/// 'B','T') — those get the wait-state analyzer, everything else is an
+/// annotated operation trace.
+bool is_timeline_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  return in.gcount() == 4 && magic[0] == 'M' && magic[1] == 'O' &&
+         magic[2] == 'B' && magic[3] == 'T';
+}
+
+int cmd_stats(const std::string& path, std::size_t top_k) {
+  if (is_timeline_file(path)) {
+    std::ifstream in(path, std::ios::binary);
+    const obs::TraceData data = obs::read_binary_trace(in);
+    obs::write_trace_stats(std::cout, data, {.top_k = top_k});
+    return 0;
+  }
   const auto traces = load(path);
   for (std::size_t n = 0; n < traces.size(); ++n) {
     std::map<trace::OpCode, std::uint64_t> histogram;
@@ -190,7 +213,23 @@ int main(int argc, char** argv) {
     if (args.size() == 3 && args[0] == "record") {
       return cmd_record(args[1], args[2]);
     }
-    if (args.size() == 2 && args[0] == "stats") return cmd_stats(args[1]);
+    if (args.size() >= 2 && args[0] == "stats") {
+      std::size_t top_k = 10;
+      std::string file;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--top" && i + 1 < args.size()) {
+          top_k = static_cast<std::size_t>(std::stoull(args[++i]));
+        } else if (args[i].rfind("--top=", 0) == 0) {
+          top_k = static_cast<std::size_t>(std::stoull(args[i].substr(6)));
+        } else if (file.empty()) {
+          file = args[i];
+        } else {
+          return usage();
+        }
+      }
+      if (file.empty()) return usage();
+      return cmd_stats(file, top_k);
+    }
     if (args.size() == 2 && args[0] == "dump") return cmd_dump(args[1]);
     if (args.size() == 3 && args[0] == "convert") {
       return cmd_convert(args[1], args[2]);

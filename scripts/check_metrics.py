@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (stdlib only).
+
+    check_metrics.py METRICS_FILE [LATER_SCRAPE]
+
+Checks, on one file:
+  - every non-comment line parses as `name{labels} value`
+  - metric and label names match the Prometheus grammar
+  - every sample belongs to a family declared with `# TYPE` (histogram
+    samples may use the _bucket/_sum/_count suffixes of their family)
+  - counter family names end in `_total` (the repo's convention)
+  - histogram buckets: le values sorted and unique per series, cumulative
+    counts non-decreasing, a `+Inf` bucket present and equal to `_count`
+  - values parse as floats (`+Inf`/`-Inf`/`NaN` allowed)
+
+With a second file (a later scrape of the same process), additionally
+checks that every counter present in both is monotonically non-decreasing.
+
+Exit status 0 when clean; 1 with one message per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{label="value",...} value  — label values may contain escaped chars.
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*",?)*)\})?'
+    r' (\S+)$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse(path):
+    """Returns (types, samples, errors): family -> type, list of
+    (name, label_tuple, value), list of messages."""
+    types = {}
+    samples = []
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"{where}: malformed TYPE line: {line!r}")
+                    continue
+                name, kind = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    errors.append(f"{where}: bad family name {name!r}")
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    errors.append(f"{where}: unknown type {kind!r}")
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed HELP line: {line!r}")
+            # other comments are legal and ignored
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        name, label_text, value_text = m.group(1), m.group(2), m.group(3)
+        labels = tuple(LABEL_RE.findall(label_text or ""))
+        for lname, _ in labels:
+            if not LABEL_NAME_RE.match(lname):
+                errors.append(f"{where}: bad label name {lname!r}")
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"{where}: bad value {value_text!r}")
+            continue
+        samples.append((name, labels, value))
+    return types, samples, errors
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family (histogram suffixes)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def check_one(path):
+    types, samples, errors = parse(path)
+
+    for name, kind in types.items():
+        if kind == "counter" and not name.endswith("_total"):
+            errors.append(f"{path}: counter {name} does not end in _total")
+
+    # Group histogram buckets by (family, labels-without-le).
+    buckets = {}
+    counts = {}
+    for name, labels, value in samples:
+        fam = family_of(name, types)
+        if fam is None:
+            errors.append(f"{path}: sample {name} has no # TYPE declaration")
+            continue
+        if types[fam] == "histogram":
+            base_labels = tuple(l for l in labels if l[0] != "le")
+            if name == fam + "_bucket":
+                le = [v for k, v in labels if k == "le"]
+                if len(le) != 1:
+                    errors.append(
+                        f"{path}: bucket of {fam} without exactly one le")
+                    continue
+                buckets.setdefault((fam, base_labels), []).append(
+                    (le[0], value))
+            elif name == fam + "_count":
+                counts[(fam, base_labels)] = value
+    for (fam, labels), rows in buckets.items():
+        series = f"{fam}{dict(labels) if labels else ''}"
+        les = [parse_value(le) for le, _ in rows]
+        if sorted(les) != les or len(set(les)) != len(les):
+            errors.append(f"{path}: {series}: le values not sorted/unique")
+        values = [v for _, v in rows]
+        if any(b > a for a, b in zip(values[1:], values[:-1])):
+            errors.append(f"{path}: {series}: bucket counts not cumulative")
+        if rows[-1][0] != "+Inf":
+            errors.append(f"{path}: {series}: missing +Inf bucket")
+        elif (fam, labels) in counts and rows[-1][1] != counts[(fam, labels)]:
+            errors.append(
+                f"{path}: {series}: +Inf bucket {rows[-1][1]} != _count "
+                f"{counts[(fam, labels)]}")
+    return types, samples, errors
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    types1, samples1, e1 = check_one(argv[1])
+    errors += e1
+    if len(argv) == 3:
+        types2, samples2, e2 = check_one(argv[2])
+        errors += e2
+        first = {(n, l): v for n, l, v in samples1}
+        for name, labels, value in samples2:
+            fam = family_of(name, types2)
+            monotone = (types2.get(fam) == "counter" or
+                        (types2.get(fam) == "histogram" and
+                         not name.endswith("_sum")))
+            if not monotone:
+                continue
+            before = first.get((name, labels))
+            if before is not None and value < before:
+                errors.append(
+                    f"counter {name}{dict(labels)} went backwards: "
+                    f"{before} -> {value}")
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    n = len(samples1)
+    print(f"check_metrics: OK ({n} samples, {len(types1)} families"
+          f"{', monotonic across scrapes' if len(argv) == 3 else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -411,6 +411,10 @@ RunResult Workbench::finish_run_pdes(
   r.pdes_windows = engine_->windows();
   r.pdes_mapping = pdes_status_.mapping;
   r.pdes_note = pdes_status_.note;
+  if (engine_->profiling_enabled()) {
+    r.pdes_profile =
+        std::make_shared<sim::pdes::Engine::Profile>(engine_->profile());
+  }
   if (r.completed) engine_->collect_finished();
   return r;
 }

@@ -72,6 +72,10 @@ struct RunResult {
   /// enable_pdes's note: the fallback reason when a PDES request stayed
   /// serial, the configuration summary when active, empty when never asked.
   std::string pdes_note;
+  /// Host-side engine profile when Workbench::enable_pdes_profiling() was
+  /// called on an active-PDES workbench, null otherwise.  Shared so
+  /// RunResult stays copyable.
+  std::shared_ptr<const sim::pdes::Engine::Profile> pdes_profile;
 
   /// Host cycles spent per simulated CPU cycle, per simulated processor —
   /// the paper's slowdown metric.
@@ -161,6 +165,16 @@ class Workbench {
   PdesStatus enable_pdes(unsigned sim_threads, std::uint32_t partitions = 0);
   bool pdes_active() const { return engine_ != nullptr; }
   sim::pdes::Engine* pdes_engine() { return engine_.get(); }
+
+  /// Turns on host-side engine profiling (per-partition busy time, barrier
+  /// wait, window imbalance), surfaced as RunResult::pdes_profile.  No-op
+  /// when the workbench is serial (enable_pdes not called or fell back);
+  /// returns whether profiling is actually armed.
+  bool enable_pdes_profiling() {
+    if (engine_ == nullptr) return false;
+    engine_->enable_profiling();
+    return true;
+  }
 
   /// Registers all model metrics in stats() under the machine name.
   void register_all_stats();

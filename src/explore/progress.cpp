@@ -1,0 +1,30 @@
+#include "explore/progress.hpp"
+
+namespace merm::explore {
+
+ThroughputMeter::Estimate ThroughputMeter::note(const SweepProgress& p,
+                                                Clock::time_point now) {
+  const bool replayed =
+      p.row != nullptr && (p.row->memo_hit || p.row->resumed);
+  if (!replayed) {
+    ++fresh_;
+    times_.push_back(now);
+    while (times_.size() > window_) times_.pop_front();
+  }
+  Estimate est;
+  est.fresh = fresh_;
+  if (times_.size() >= 2) {
+    const double span =
+        std::chrono::duration<double>(times_.back() - times_.front()).count();
+    if (span > 0.0) {
+      est.points_per_s =
+          static_cast<double>(times_.size() - 1) / span;
+    }
+  }
+  if (est.points_per_s > 0.0 && p.total >= p.done) {
+    est.eta_s = static_cast<double>(p.total - p.done) / est.points_per_s;
+  }
+  return est;
+}
+
+}  // namespace merm::explore

@@ -1,0 +1,49 @@
+// Rolling throughput/ETA estimation over a sweep's progress stream — the
+// one implementation behind `mermaid_cli sweep --progress` and the serve
+// daemon's per-job ETA.
+//
+// The subtlety both callers used to get wrong: memo-hit and journal-resumed
+// rows finalize in microseconds, so feeding them into the rate window makes
+// a resumed sweep report absurd points/s (and an ETA of nothing) for the
+// first window.  The meter therefore counts only *freshly executed* rows
+// toward the rate; replayed rows still shrink the remaining-work estimate,
+// they just cannot claim to predict how fast real simulation goes.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+
+#include "explore/sweep.hpp"
+
+namespace merm::explore {
+
+class ThroughputMeter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `window` = fresh completions the rolling rate looks back over.
+  explicit ThroughputMeter(std::size_t window = 32)
+      : window_(window < 2 ? 2 : window) {}
+
+  struct Estimate {
+    /// Fresh points per second over the window; 0 until two fresh rows
+    /// have completed (no basis for a rate yet).
+    double points_per_s = 0.0;
+    /// Seconds to finish the remaining rows at that rate; < 0 = unknown.
+    double eta_s = -1.0;
+    std::size_t fresh = 0;  ///< freshly executed rows seen so far
+  };
+
+  /// Feeds one on_point_complete callback; returns the updated estimate.
+  Estimate note(const SweepProgress& p) { return note(p, Clock::now()); }
+  /// Injectable-clock variant (tests drive this one deterministically).
+  Estimate note(const SweepProgress& p, Clock::time_point now);
+
+ private:
+  std::size_t window_;
+  std::size_t fresh_ = 0;
+  std::deque<Clock::time_point> times_;
+};
+
+}  // namespace merm::explore

@@ -41,6 +41,15 @@ std::uint64_t point_seed(std::uint64_t base, std::size_t index) {
   return z ^ (z >> 31);
 }
 
+const std::vector<double>& point_latency_buckets() {
+  // Sweep points span sub-millisecond task-level runs to minute-scale
+  // detailed meshes; roughly-2.5x steps keep the histogram at 15 buckets.
+  static const std::vector<double> kBuckets = {
+      0.001, 0.0025, 0.005, 0.025, 0.05, 0.1, 0.25, 0.5,
+      1.0,   2.5,    5.0,   10.0,  30.0, 60.0, 120.0};
+  return kBuckets;
+}
+
 ExperimentPoint& Sweep::add(machine::MachineParams params, std::string label) {
   ExperimentPoint p;
   p.label = label.empty() ? params.name : std::move(label);
@@ -757,6 +766,34 @@ void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
   }
   core::HostTimer timer;
 
+  // Sweep-level telemetry: instruments are interned once here (registration
+  // locks), then rows record through the returned handles lock-free.
+  obs::Counter* m_points_done = nullptr;
+  obs::Counter* m_points_failed = nullptr;
+  obs::Counter* m_memo_hits = nullptr;
+  obs::Histogram* m_point_seconds = nullptr;
+  if (opts_.metrics != nullptr) {
+    obs::MetricLabels base;
+    if (!opts_.metrics_label.empty()) base.emplace_back("job", opts_.metrics_label);
+    auto with_result = [&base](const char* result) {
+      obs::MetricLabels l = base;
+      l.emplace_back("result", result);
+      return l;
+    };
+    m_points_done = &opts_.metrics->counter(
+        "merm_sweep_points_total", "Finalized sweep rows by result",
+        with_result("done"));
+    m_points_failed = &opts_.metrics->counter(
+        "merm_sweep_points_total", "Finalized sweep rows by result",
+        with_result("failed"));
+    m_memo_hits = &opts_.metrics->counter(
+        "merm_sweep_memo_replays_total",
+        "Rows replayed from the memo store instead of simulating", base);
+    m_point_seconds = &opts_.metrics->histogram(
+        "merm_sweep_point_seconds", point_latency_buckets(),
+        "Host latency of freshly executed sweep points", base);
+  }
+
   /// Journal, count and report a row that just reached its final state.
   const auto finalize_row = [&](std::size_t i, PointResult& pr) {
     if (opts_.memo_columns && pr.done()) {
@@ -766,6 +803,16 @@ void SweepEngine::run_into_impl(const Sweep& sweep, SweepResult& out,
     if (pr.done()) host_times.add(pr.run.host_seconds);
     if (pr.status == PointResult::Status::kFailed) failed_live.fetch_add(1);
     if (pr.memo_hit) memo_live.fetch_add(1);
+    if (opts_.metrics != nullptr) {
+      if (pr.done()) m_points_done->add();
+      if (pr.status == PointResult::Status::kFailed) m_points_failed->add();
+      if (pr.memo_hit) m_memo_hits->add();
+      // Replayed rows carry the *original* run's host time (or none): only
+      // fresh executions inform the latency distribution.
+      if (pr.done() && !pr.memo_hit && !pr.resumed) {
+        m_point_seconds->observe(pr.run.host_seconds);
+      }
+    }
     const std::size_t done = finished.fetch_add(1) + 1;
     if (opts_.progress != nullptr) {
       const std::lock_guard<std::mutex> lock(progress_mutex);

@@ -30,6 +30,7 @@
 #include "core/workbench.hpp"
 #include "machine/params.hpp"
 #include "node/machine.hpp"
+#include "obs/metrics.hpp"
 #include "stats/stats.hpp"
 #include "trace/stream.hpp"
 
@@ -288,7 +289,23 @@ struct SweepOptions {
   /// zero-latency links...) to done points.  Off by default so existing
   /// sweep outputs keep their columns; only meaningful with sim_threads > 0.
   bool pdes_columns = false;
+  /// When set, the engine records sweep-level runtime telemetry into this
+  /// registry as rows finalize: merm_sweep_points_total{result=...},
+  /// merm_sweep_memo_hits_total, and a merm_sweep_point_seconds histogram of
+  /// freshly executed point latencies.  Recording is thread-sharded, so pool
+  /// workers write without locks; the registry must outlive run().  Purely
+  /// host-side — never consulted by any simulation, so results stay
+  /// bit-identical with it attached.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Label value ({job="..."}) attached to this sweep's series, so one
+  /// registry (the serve daemon's) can hold many concurrent sweeps; empty =
+  /// unlabelled series.
+  std::string metrics_label;
 };
+
+/// Bucket bounds (seconds) of the merm_sweep_point_seconds histogram; shared
+/// with the daemon so its p50/p90 job columns read the same series.
+const std::vector<double>& point_latency_buckets();
 
 /// Executes experiment grids on a thread pool.
 ///

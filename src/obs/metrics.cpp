@@ -1,0 +1,355 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace merm::obs {
+
+namespace detail {
+
+std::size_t metrics_shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Fixed formatter so exposition is a pure function of the value: integral
+// doubles render with no fraction, the rest through %.9g.
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  return buf;
+}
+
+// JSON has no literal for NaN/Inf; those become null.
+std::string format_json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_number(v);
+}
+
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// {a="x",b="y"} body (no braces); empty for an unlabelled series.
+std::string render_labels(const MetricLabels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out.push_back(',');
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::add(double d) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error("Histogram bounds must be strictly increasing");
+  }
+  for (auto& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) shard.buckets[i] = 0;
+  }
+}
+
+void Histogram::observe(double v) {
+  // Prometheus buckets are inclusive upper bounds: bucket i counts
+  // v <= bounds_[i]; everything above the last bound lands in +Inf.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[detail::metrics_shard_index()];
+  shard.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  double cur = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(cur, cur + v,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::View Histogram::view() const {
+  View out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      out.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+double Histogram::View::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // +Inf bucket: clamp to the last finite bound (Prometheus semantics).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (counts[i] == 0) return hi;
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
+                                                MetricLabels labels,
+                                                const std::string& help,
+                                                Kind kind) {
+  const std::string key = render_labels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->label_key == key) {
+      if (e->kind != kind) {
+        throw std::logic_error("metric '" + name +
+                               "' re-registered as a different kind");
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = std::move(labels);
+  e->label_key = key;
+  e->help = help;
+  e->kind = kind;
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  MetricLabels labels) {
+  Entry& e = intern(name, std::move(labels), help, Kind::kCounter);
+  if (!e.counter) e.counter.reset(new Counter());
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              MetricLabels labels) {
+  Entry& e = intern(name, std::move(labels), help, Kind::kGauge);
+  if (!e.gauge) e.gauge.reset(new Gauge());
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help,
+                                      MetricLabels labels) {
+  Entry& e = intern(name, std::move(labels), help, Kind::kHistogram);
+  if (!e.histogram) e.histogram.reset(new Histogram(std::move(bounds)));
+  return *e.histogram;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,
+                                                    const MetricLabels& labels,
+                                                    Kind kind) const {
+  const std::string key = render_labels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->label_key == key && e->kind == kind) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const MetricLabels& labels) const {
+  const Entry* e = find(name, labels, Kind::kCounter);
+  return e != nullptr ? e->counter.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name, const MetricLabels& labels) const {
+  const Entry* e = find(name, labels, Kind::kHistogram);
+  return e != nullptr ? e->histogram.get() : nullptr;
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::sorted_entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.get());
+  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
+    if (a->name != b->name) return a->name < b->name;
+    return a->label_key < b->label_key;
+  });
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const auto entries = sorted_entries();
+  const std::string* family = nullptr;
+  for (const Entry* e : entries) {
+    if (family == nullptr || *family != e->name) {
+      family = &e->name;
+      if (!e->help.empty()) os << "# HELP " << e->name << " " << e->help << "\n";
+      os << "# TYPE " << e->name << " "
+         << (e->kind == Kind::kCounter
+                 ? "counter"
+                 : e->kind == Kind::kGauge ? "gauge" : "histogram")
+         << "\n";
+    }
+    const std::string labels = e->label_key;
+    if (e->kind == Kind::kCounter) {
+      os << e->name << (labels.empty() ? "" : "{" + labels + "}") << " "
+         << e->counter->value() << "\n";
+    } else if (e->kind == Kind::kGauge) {
+      os << e->name << (labels.empty() ? "" : "{" + labels + "}") << " "
+         << format_number(e->gauge->value()) << "\n";
+    } else {
+      const Histogram::View v = e->histogram->view();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= v.bounds.size(); ++i) {
+        cumulative += v.counts[i];
+        const std::string le =
+            i < v.bounds.size() ? format_number(v.bounds[i]) : "+Inf";
+        os << e->name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+           << "le=\"" << le << "\"} " << cumulative << "\n";
+      }
+      os << e->name << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << format_number(v.sum) << "\n";
+      os << e->name << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << v.count << "\n";
+    }
+  }
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const auto entries = sorted_entries();
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Entry* e : entries) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape_json(e->name) << "\",\"type\":\""
+       << (e->kind == Kind::kCounter
+               ? "counter"
+               : e->kind == Kind::kGauge ? "gauge" : "histogram")
+       << "\"";
+    if (!e->help.empty()) os << ",\"help\":\"" << escape_json(e->help) << "\"";
+    if (!e->labels.empty()) {
+      os << ",\"labels\":{";
+      bool lf = true;
+      for (const auto& [k, val] : e->labels) {
+        if (!lf) os << ",";
+        lf = false;
+        os << "\"" << escape_json(k) << "\":\"" << escape_json(val) << "\"";
+      }
+      os << "}";
+    }
+    if (e->kind == Kind::kCounter) {
+      os << ",\"value\":" << e->counter->value();
+    } else if (e->kind == Kind::kGauge) {
+      os << ",\"value\":" << format_json_number(e->gauge->value());
+    } else {
+      const Histogram::View v = e->histogram->view();
+      os << ",\"sum\":" << format_json_number(v.sum) << ",\"count\":" << v.count
+         << ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= v.bounds.size(); ++i) {
+        cumulative += v.counts[i];
+        if (i != 0) os << ",";
+        os << "{\"le\":";
+        if (i < v.bounds.size()) {
+          os << format_number(v.bounds[i]);
+        } else {
+          os << "\"+Inf\"";
+        }
+        os << ",\"count\":" << cumulative << "}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]}";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace merm::obs

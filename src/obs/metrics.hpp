@@ -1,0 +1,164 @@
+// Runtime metrics: a registry of named counters, gauges and fixed-bucket
+// histograms with thread-sharded recording and merge-on-snapshot.
+//
+// Recording is the hot side: each handle owns a small array of cache-line
+// padded atomic shards and a thread bumps "its" shard with a relaxed RMW —
+// no locks, no false sharing between pool workers.  Reading is the cold
+// side: snapshots merge the shards with plain atomic loads, so scraping a
+// registry while workers record is race-free (TSan-clean) and two
+// snapshots of an idle registry are byte-identical.
+//
+// Like HostProfiler, everything here is host-side telemetry: nothing a
+// metric records is ever consulted by the simulation, so enabling metrics
+// cannot perturb simulated results (the PDES determinism contract).
+//
+// Exposition: Prometheus text format (# HELP/# TYPE, counters named
+// *_total by convention at the call site, histogram _bucket{le=...} with
+// cumulative counts plus _sum/_count) and a structured JSON mirror.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace merm::obs {
+
+/// Label set attached to one instrument, e.g. {{"job", "ab12"}}.  Kept in
+/// insertion order for rendering; (name, rendered labels) is the registry
+/// key.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable per-thread shard slot: threads are striped round-robin across
+/// the shard array, so two pool workers almost never contend on a line.
+std::size_t metrics_shard_index();
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter (integer).  add() is wait-free on x86.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[detail::metrics_shard_index()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+
+ private:
+  std::array<detail::ShardCell, detail::kMetricShards> shards_;
+};
+
+/// Last-writer-wins double with add() for up/down counts (pool busyness).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: upper bounds are set at registration and never
+/// change, so recording is a binary search plus one sharded bucket bump.
+class Histogram {
+ public:
+  /// Merged, immutable view of one histogram at a point in time.
+  struct View {
+    std::vector<double> bounds;          ///< finite upper bounds (le)
+    std::vector<std::uint64_t> counts;   ///< per-bucket, bounds.size()+1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// Prometheus-style quantile: linear interpolation inside the bucket;
+    /// observations in the +Inf bucket clamp to the last finite bound.
+    /// Returns 0 for an empty histogram.
+    double quantile(double q) const;
+  };
+
+  void observe(double v);
+  View view() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, detail::kMetricShards> shards_;
+};
+
+/// Owner of all instruments.  Registration takes a mutex; the returned
+/// references are stable for the registry's lifetime and recording through
+/// them never locks.  Re-registering the same (name, labels) returns the
+/// existing instrument (a kind mismatch throws std::logic_error), so two
+/// layers — e.g. the sweep engine and the daemon — can share one series.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   MetricLabels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               MetricLabels labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "", MetricLabels labels = {});
+
+  /// Lookup without registering; nullptr when absent (or a different kind).
+  const Counter* find_counter(const std::string& name,
+                              const MetricLabels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const MetricLabels& labels = {}) const;
+
+  /// Prometheus text exposition.  Families are emitted in name order and
+  /// series in label order, with a fixed number format, so output is a
+  /// pure function of the recorded values.
+  void write_prometheus(std::ostream& os) const;
+  std::string prometheus() const;
+
+  /// JSON mirror: {"metrics":[{name,type,help,labels,...}, ...]}.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    std::string label_key;  ///< rendered labels, the dedup key
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& intern(const std::string& name, MetricLabels labels,
+                const std::string& help, Kind kind);
+  const Entry* find(const std::string& name, const MetricLabels& labels,
+                    Kind kind) const;
+  std::vector<const Entry*> sorted_entries() const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace merm::obs

@@ -1,0 +1,172 @@
+#include "obs/trace_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace merm::obs {
+
+namespace {
+
+// Every ranked span carries its position in TraceData::events so ties
+// break on recording order — the last resort that keeps the top-K list
+// stable for byte-identical inputs.
+struct Ranked {
+  TraceStats::TopSpan span;
+  std::size_t index = 0;
+  std::uint8_t kind_idx = 0;
+};
+
+std::string percent(std::uint64_t part, std::uint64_t whole) {
+  char buf[32];
+  const double pct =
+      whole == 0 ? 0.0
+                 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+TraceStats TraceStats::compute(const TraceData& data,
+                               const TraceStatsOptions& opts) {
+  TraceStats s;
+  s.sealed_at = data.sealed_at;
+  s.hung = data.hung;
+  s.events = data.events.size();
+  s.tracks.reserve(data.tracks.size());
+  for (const auto& t : data.tracks) {
+    TrackTotal tt;
+    tt.name = t.name;
+    tt.dropped = t.dropped;
+    s.dropped += t.dropped;
+    s.tracks.push_back(std::move(tt));
+  }
+
+  std::vector<Ranked> ranked;
+  for (std::size_t i = 0; i < data.events.size(); ++i) {
+    const TraceEvent& ev = data.events[i];
+    const std::size_t k = static_cast<std::size_t>(ev.kind);
+    if (k >= kKinds) continue;
+    TrackTotal* track =
+        ev.track < s.tracks.size() ? &s.tracks[ev.track] : nullptr;
+    if (track != nullptr) ++track->events;
+    if ((ev.flags & kFlagInstant) != 0) {
+      ++s.instants;
+      ++s.kinds[k].instants;
+      continue;
+    }
+    const std::uint64_t dur = ev.end >= ev.begin ? ev.end - ev.begin : 0;
+    ++s.spans;
+    s.kinds[k].time += dur;
+    ++s.kinds[k].spans;
+    s.span_time += dur;
+    if ((ev.flags & kFlagOpen) != 0) ++s.open_spans;
+    if (track != nullptr) {
+      track->time += dur;
+      track->kind_time[k] += dur;
+    }
+    Ranked r;
+    r.span.duration = dur;
+    r.span.begin = ev.begin;
+    r.span.end = ev.end;
+    r.span.kind = ev.kind;
+    r.span.track = track != nullptr ? track->name : "?";
+    r.span.open = (ev.flags & kFlagOpen) != 0;
+    r.index = i;
+    r.kind_idx = static_cast<std::uint8_t>(k);
+    ranked.push_back(std::move(r));
+  }
+
+  const std::size_t keep = std::min(opts.top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const Ranked& a, const Ranked& b) {
+                      if (a.span.duration != b.span.duration)
+                        return a.span.duration > b.span.duration;
+                      if (a.span.begin != b.span.begin)
+                        return a.span.begin < b.span.begin;
+                      if (a.span.track != b.span.track)
+                        return a.span.track < b.span.track;
+                      if (a.kind_idx != b.kind_idx)
+                        return a.kind_idx < b.kind_idx;
+                      return a.index < b.index;
+                    });
+  s.top.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) s.top.push_back(ranked[i].span);
+  return s;
+}
+
+void write_trace_stats(std::ostream& os, const TraceData& data,
+                       const TraceStatsOptions& opts) {
+  const TraceStats s = TraceStats::compute(data, opts);
+  char buf[256];
+
+  os << "trace: " << s.tracks.size() << " tracks, " << s.events << " events ("
+     << s.spans << " spans, " << s.instants << " instants), sealed at "
+     << s.sealed_at << " ticks\n";
+  if (s.hung) {
+    os << "note: run HUNG; the open spans below are the blocked operations\n";
+  }
+  if (s.dropped > 0) {
+    os << "note: " << s.dropped
+       << " events dropped to ring wrap; totals are partial\n";
+  }
+
+  os << "\nwait states (span time summed over tracks):\n";
+  std::snprintf(buf, sizeof buf, "  %-14s %14s %9s %8s\n", "kind",
+                "time_ticks", "share", "spans");
+  os << buf;
+  for (std::size_t k = 0; k < TraceStats::kKinds; ++k) {
+    const auto& kt = s.kinds[k];
+    if (kt.spans == 0 && kt.instants == 0) continue;
+    if (kt.instants > 0 && kt.spans == 0) continue;  // instants listed below
+    std::snprintf(buf, sizeof buf, "  %-14s %14llu %9s %8llu\n",
+                  to_string(static_cast<SpanKind>(k)),
+                  static_cast<unsigned long long>(kt.time),
+                  percent(kt.time, s.span_time).c_str(),
+                  static_cast<unsigned long long>(kt.spans));
+    os << buf;
+  }
+  if (s.instants > 0) {
+    os << "instants:";
+    for (std::size_t k = 0; k < TraceStats::kKinds; ++k) {
+      if (s.kinds[k].instants == 0) continue;
+      os << " " << to_string(static_cast<SpanKind>(k)) << "="
+         << s.kinds[k].instants;
+    }
+    os << "\n";
+  }
+  if (s.open_spans > 0) {
+    os << "open at seal: " << s.open_spans << " span(s)\n";
+  }
+
+  os << "\nper-track totals:\n";
+  for (const auto& t : s.tracks) {
+    std::snprintf(buf, sizeof buf, "  %-18s %12llu ticks %8llu events",
+                  t.name.c_str(), static_cast<unsigned long long>(t.time),
+                  static_cast<unsigned long long>(t.events));
+    os << buf;
+    for (std::size_t k = 0; k < TraceStats::kKinds; ++k) {
+      if (t.kind_time[k] == 0) continue;
+      os << "  " << to_string(static_cast<SpanKind>(k)) << "="
+         << t.kind_time[k];
+    }
+    if (t.dropped > 0) os << "  dropped=" << t.dropped;
+    os << "\n";
+  }
+
+  if (!s.top.empty()) {
+    os << "\ntop " << s.top.size() << " longest spans:\n";
+    for (std::size_t i = 0; i < s.top.size(); ++i) {
+      const auto& ts = s.top[i];
+      std::snprintf(buf, sizeof buf, "  %2llu. %12llu ticks  %-12s %-18s",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(ts.duration),
+                    to_string(ts.kind), ts.track.c_str());
+      os << buf << " [" << ts.begin << ".." << ts.end << "]"
+         << (ts.open ? " (open)" : "") << "\n";
+    }
+  }
+}
+
+}  // namespace merm::obs

@@ -1,0 +1,73 @@
+// Post-hoc wait-state analysis of a sealed trace: where did simulated time
+// go — compute, bus waits, link transit, blocked sends/recvs?
+//
+// This is the answer layer on top of the MOBT traces: `trace_tool stats
+// run.mobt` renders the report below instead of asking a human to eyeball
+// a Perfetto timeline.  The report is a pure function of the TraceData —
+// integer tick arithmetic, fixed formatting, deterministic tie-breaks in
+// the top-K ranking — so identical traces produce byte-identical reports
+// (checked against a golden file in tests/obs).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace merm::obs {
+
+struct TraceStatsOptions {
+  std::size_t top_k = 10;  ///< longest spans to list individually
+};
+
+/// Aggregated wait-state totals; compute() is the analysis, write() the
+/// deterministic rendering.
+struct TraceStats {
+  static constexpr std::size_t kKinds = 9;  ///< SpanKind enumerator count
+
+  struct KindTotal {
+    std::uint64_t time = 0;      ///< summed span duration, ticks
+    std::uint64_t spans = 0;     ///< completed + open spans
+    std::uint64_t instants = 0;  ///< point events of this kind
+  };
+  struct TrackTotal {
+    std::string name;
+    std::uint64_t time = 0;  ///< summed span duration on this track
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+    std::array<std::uint64_t, kKinds> kind_time{};
+  };
+  struct TopSpan {
+    std::uint64_t duration = 0;
+    sim::Tick begin = 0;
+    sim::Tick end = 0;
+    SpanKind kind = SpanKind::kCompute;
+    std::string track;
+    bool open = false;  ///< still open at seal time
+  };
+
+  sim::Tick sealed_at = 0;
+  bool hung = false;
+  std::uint64_t events = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  std::uint64_t open_spans = 0;  ///< spans unterminated at seal
+  std::uint64_t dropped = 0;     ///< ring overwrites (report is partial)
+  std::uint64_t span_time = 0;   ///< sum of all span durations
+  std::array<KindTotal, kKinds> kinds{};
+  std::vector<TrackTotal> tracks;  ///< trace track order; empty tracks kept
+  std::vector<TopSpan> top;        ///< longest first, deterministic ties
+
+  static TraceStats compute(const TraceData& data,
+                            const TraceStatsOptions& opts = {});
+};
+
+/// Renders the wait-state report (compute + write in one call).
+void write_trace_stats(std::ostream& os, const TraceData& data,
+                       const TraceStatsOptions& opts = {});
+
+}  // namespace merm::obs

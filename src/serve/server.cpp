@@ -116,33 +116,63 @@ struct Server::Job {
   std::chrono::steady_clock::time_point started{};
   std::atomic<double> final_elapsed_s{0.0};
 
-  /// Completion timestamps of the most recent points, for the rolling
-  /// throughput behind the ETA.  Guarded by rate_mutex.
+  /// Rolling fresh-row throughput behind the ETA (memo-hit and resumed
+  /// rows are excluded — they finalize in microseconds and would make the
+  /// rate absurd).  Guarded by rate_mutex.
   std::mutex rate_mutex;
-  std::deque<std::chrono::steady_clock::time_point> recent;
+  explore::ThroughputMeter meter;
+  double rate = 0.0;  ///< fresh points/s; 0 = unknown
 
-  static constexpr std::size_t kRateWindow = 32;
+  /// Point-latency series in the server registry ({job=...}); set when the
+  /// job first runs, read by job_status for p50/p90.
+  std::atomic<const obs::Histogram*> latency{nullptr};
 
-  void note_completion() {
+  void note_progress(const explore::SweepProgress& p) {
     const std::lock_guard<std::mutex> lock(rate_mutex);
-    recent.push_back(std::chrono::steady_clock::now());
-    if (recent.size() > kRateWindow) recent.pop_front();
+    rate = meter.note(p).points_per_s;
   }
 
-  /// Points per second over the rolling window; 0 when unknown.
   double rolling_rate() {
     const std::lock_guard<std::mutex> lock(rate_mutex);
-    if (recent.size() < 2) return 0.0;
-    const double span =
-        std::chrono::duration<double>(recent.back() - recent.front()).count();
-    if (span <= 0.0) return 0.0;
-    return static_cast<double>(recent.size() - 1) / span;
+    return rate;
   }
 };
 
-Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  // Counters live for the daemon's whole life; gauges are refreshed at
+  // scrape time (refresh_gauges).
+  m_submissions_ = &metrics_.counter("merm_serve_submissions_total",
+                                     "Job submissions received");
+  m_attached_ = &metrics_.counter(
+      "merm_serve_attached_total",
+      "Submissions that attached to an existing identical job");
+  m_points_ = &metrics_.counter("merm_serve_points_total",
+                                "Sweep rows finalized across all jobs");
+  m_jobs_done_ = &metrics_.counter("merm_serve_jobs_finished_total",
+                                   "Jobs reaching a terminal state",
+                                   {{"state", "done"}});
+  m_jobs_failed_ = &metrics_.counter("merm_serve_jobs_finished_total",
+                                     "Jobs reaching a terminal state",
+                                     {{"state", "failed"}});
+  m_jobs_cancelled_ = &metrics_.counter("merm_serve_jobs_finished_total",
+                                        "Jobs reaching a terminal state",
+                                        {{"state", "cancelled"}});
+  m_memo_hits_ =
+      &metrics_.counter("merm_memo_hits_total", "Shared memo store hits");
+  m_memo_misses_ =
+      &metrics_.counter("merm_memo_misses_total", "Shared memo store misses");
+  m_memo_evictions_ = &metrics_.counter("merm_memo_evictions_total",
+                                        "Entries pruned from the memo store");
+  g_uptime_ =
+      &metrics_.gauge("merm_serve_uptime_seconds", "Daemon uptime in seconds");
+  g_workers_busy_ = &metrics_.gauge("merm_serve_workers_busy",
+                                    "Job workers currently running a sweep");
+  g_workers_total_ =
+      &metrics_.gauge("merm_serve_workers", "Job worker pool size");
+}
 
 Server::~Server() {
+  stop_metrics_thread();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
@@ -197,10 +227,67 @@ void Server::start() {
   for (unsigned i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (!opts_.metrics_file.empty()) {
+    metrics_thread_ = std::thread([this] { metrics_file_loop(); });
+  }
   if (opts_.log != nullptr) {
     *opts_.log << "[serve] listening on " << opts_.socket_path << ", spool "
                << opts_.spool << ", " << workers << " job worker(s)\n";
   }
+}
+
+void Server::refresh_gauges() {
+  g_uptime_->set(seconds_since(started_));
+  g_workers_busy_->set(static_cast<double>(workers_busy_.load()));
+  g_workers_total_->set(static_cast<double>(workers_.size()));
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      ++counts[static_cast<std::size_t>(job->state.load())];
+    }
+  }
+  static constexpr JobState kStates[] = {JobState::kQueued, JobState::kRunning,
+                                         JobState::kDone, JobState::kFailed,
+                                         JobState::kCancelled};
+  for (const JobState s : kStates) {
+    metrics_
+        .gauge("merm_serve_jobs", "Registered jobs by state",
+               {{"state", to_string(s)}})
+        .set(static_cast<double>(counts[static_cast<std::size_t>(s)]));
+  }
+}
+
+void Server::metrics_file_loop() {
+  std::unique_lock<std::mutex> lock(metrics_mutex_);
+  for (;;) {
+    metrics_cv_.wait_for(
+        lock, std::chrono::duration<double>(
+                  opts_.metrics_interval_s > 0 ? opts_.metrics_interval_s : 5.0),
+        [&] { return metrics_stop_; });
+    const bool stopping = metrics_stop_;
+    lock.unlock();
+    // Publish even on the shutdown pass so the file's last state is final.
+    refresh_gauges();
+    try {
+      write_file_atomic(opts_.metrics_file, metrics_.prometheus());
+    } catch (const std::exception& e) {
+      if (opts_.log != nullptr) {
+        *opts_.log << "[serve] metrics file: " << e.what() << "\n";
+      }
+    }
+    lock.lock();
+    if (stopping) return;
+  }
+}
+
+void Server::stop_metrics_thread() {
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_stop_ = true;
+  }
+  metrics_cv_.notify_all();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
 }
 
 void Server::recover_spool() {
@@ -290,7 +377,9 @@ void Server::worker_loop() {
       job->state = JobState::kRunning;
       job->started = std::chrono::steady_clock::now();
     }
+    workers_busy_.fetch_add(1);
     run_job(job);
+    workers_busy_.fetch_sub(1);
   }
 }
 
@@ -306,12 +395,22 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     const std::string journal = job->dir + "/sweep.journal";
     const bool resume = file_exists(journal);
     if (!resume) opts.journal_path = journal;
-    opts.on_point_complete = [job](const explore::SweepProgress& p) {
+    // The job's sweep records into the daemon registry under {job=...};
+    // interning the latency series here (before the engine does) hands
+    // job_status a stable handle for its p50/p90 columns.
+    const std::string label = job->id.substr(0, 12);
+    opts.metrics = &metrics_;
+    opts.metrics_label = label;
+    job->latency.store(&metrics_.histogram(
+        "merm_sweep_point_seconds", explore::point_latency_buckets(),
+        "Host latency of freshly executed sweep points", {{"job", label}}));
+    opts.on_point_complete = [this, job](const explore::SweepProgress& p) {
       job->done = p.done;
       job->failed = p.failed;
       job->memo_hits = p.memo_hits;
       job->resumed = p.resumed;
-      job->note_completion();
+      job->note_progress(p);
+      m_points_->add();
       if (job->cancel.load()) throw JobCancelledError{};
     };
 
@@ -329,6 +428,8 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     job->memo_hits = result.memo_hits;
     memo_hits_.fetch_add(result.memo_hits);
     memo_misses_.fetch_add(result.memo_misses);
+    m_memo_hits_->add(result.memo_hits);
+    m_memo_misses_->add(result.memo_misses);
 
     // Results are the *deterministic* bytes: host columns excluded, so a
     // fetched file is byte-identical to any other execution of this grid —
@@ -345,6 +446,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
       const std::lock_guard<std::mutex> lock(mutex_);
       job->state = JobState::kDone;
     }
+    m_jobs_done_->add();
     if (opts_.log != nullptr) {
       *opts_.log << "[serve] job " << job->id.substr(0, 12) << "... done: "
                  << result.completed() << " ok, " << result.failed()
@@ -358,6 +460,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
           {.max_bytes = opts_.memo_max_bytes,
            .max_age_s = opts_.memo_max_age_s});
       memo_evictions_.fetch_add(pruned.evicted);
+      m_memo_evictions_->add(pruned.evicted);
       if (opts_.log != nullptr && pruned.evicted > 0) {
         *opts_.log << "[serve] memo prune: evicted " << pruned.evicted
                    << " entrie(s), freed " << pruned.bytes_freed
@@ -366,6 +469,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     }
   } catch (const JobCancelledError&) {
     job->final_elapsed_s = seconds_since(job->started);
+    m_jobs_cancelled_->add();
     const std::lock_guard<std::mutex> lock(mutex_);
     job->state = JobState::kCancelled;
     if (opts_.log != nullptr) {
@@ -375,6 +479,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     }
   } catch (const std::exception& e) {
     job->final_elapsed_s = seconds_since(job->started);
+    m_jobs_failed_->add();
     const std::lock_guard<std::mutex> lock(mutex_);
     job->error = e.what();
     job->state = JobState::kFailed;
@@ -421,6 +526,7 @@ void Server::run() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  stop_metrics_thread();  // publishes one final metrics-file snapshot
   if (opts_.log != nullptr) *opts_.log << "[serve] shut down\n";
 }
 
@@ -484,6 +590,7 @@ Json Server::handle_request(const Json& req) {
   if (cmd == "cancel") return handle_cancel(req);
   if (cmd == "list") return handle_list();
   if (cmd == "memo-gc") return handle_memo_gc(req);
+  if (cmd == "metrics") return handle_metrics(req);
   if (cmd == "shutdown") return ok_response();
   if (cmd.empty()) return error_response("missing 'cmd' field");
   return error_response("unknown cmd '" + cmd + "'");
@@ -494,6 +601,7 @@ Json Server::handle_submit(const Json& req) {
   // Validates machines and workload too: job_id builds the sweep.
   const std::string id = job_id(spec);
   submissions_.fetch_add(1);
+  m_submissions_->add();
 
   std::shared_ptr<Job> job;
   bool attached = false;
@@ -515,6 +623,7 @@ Json Server::handle_submit(const Json& req) {
       } else {
         attached = true;
         attached_.fetch_add(1);
+        m_attached_->add();
       }
     } else {
       job = std::make_shared<Job>();
@@ -584,6 +693,13 @@ Json Server::job_status(const std::shared_ptr<Job>& job) {
   } else if (state != JobState::kQueued) {
     r.set("elapsed_s", Json(job->final_elapsed_s.load()));
   }
+  if (const obs::Histogram* latency = job->latency.load()) {
+    const obs::Histogram::View v = latency->view();
+    if (v.count > 0) {
+      r.set("point_p50_s", Json(v.quantile(0.5)));
+      r.set("point_p90_s", Json(v.quantile(0.9)));
+    }
+  }
   if (state == JobState::kFailed) {
     const std::lock_guard<std::mutex> lock(mutex_);
     r.set("error", Json(job->error));
@@ -630,6 +746,21 @@ Json Server::server_status() {
   r.set("memo_hits", Json(double(memo_hits_.load() + live_hits)));
   r.set("memo_misses", Json(double(memo_misses_.load())));
   r.set("memo_evictions", Json(double(memo_evictions_.load())));
+  r.set("workers_busy", Json(double(workers_busy_.load())));
+  r.set("workers_total", Json(double(workers_.size())));
+  return r;
+}
+
+Json Server::handle_metrics(const Json& req) {
+  const std::string format = req.get_string("format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    return error_response("field 'format': expected \"prometheus\" or \"json\"");
+  }
+  refresh_gauges();
+  Json r = ok_response();
+  r.set("format", Json(format));
+  r.set("data",
+        Json(format == "json" ? metrics_.json() : metrics_.prometheus()));
   return r;
 }
 
@@ -704,6 +835,7 @@ Json Server::handle_memo_gc(const Json& req) {
   explore::MemoStore store(spool_memo_dir(opts_.spool));
   const explore::MemoPruneStats stats = store.prune(opts);
   memo_evictions_.fetch_add(stats.evicted);
+  m_memo_evictions_->add(stats.evicted);
   Json r = ok_response();
   r.set("scanned", Json(double(stats.scanned)));
   r.set("evicted", Json(double(stats.evicted)));

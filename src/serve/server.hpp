@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "explore/progress.hpp"
+#include "obs/metrics.hpp"
 #include "serve/job.hpp"
 #include "serve/protocol.hpp"
 
@@ -51,6 +53,12 @@ struct ServerOptions {
   /// Per-read client timeout: a connection that goes quiet mid-frame for
   /// this long is dropped so one wedged client cannot hold the daemon.
   int client_timeout_ms = 10'000;
+  /// When set, the daemon atomically rewrites this file (tmp + rename) with
+  /// the Prometheus exposition of its registry every metrics_interval_s
+  /// seconds — the file-based scrape path for node-exporter-style
+  /// collectors.  The live sibling is the `metrics` protocol verb.
+  std::string metrics_file;
+  double metrics_interval_s = 5.0;
 };
 
 class Server {
@@ -98,8 +106,15 @@ class Server {
   Json handle_cancel(const Json& req);
   Json handle_list();
   Json handle_memo_gc(const Json& req);
+  Json handle_metrics(const Json& req);
   Json server_status();
   Json job_status(const std::shared_ptr<Job>& job);
+
+  /// Point-in-time gauges (uptime, worker busyness, jobs by state) are set
+  /// right before every exposition; counters/histograms record live.
+  void refresh_gauges();
+  void metrics_file_loop();
+  void stop_metrics_thread();
 
   std::shared_ptr<Job> find_job(const Json& req, Json* error);
 
@@ -121,6 +136,26 @@ class Server {
   std::atomic<std::uint64_t> memo_hits_{0};
   std::atomic<std::uint64_t> memo_misses_{0};
   std::atomic<std::uint64_t> memo_evictions_{0};
+  std::atomic<unsigned> workers_busy_{0};
+
+  // -- runtime telemetry (the `metrics` verb / --metrics-file) --
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_submissions_ = nullptr;
+  obs::Counter* m_attached_ = nullptr;
+  obs::Counter* m_points_ = nullptr;  ///< rows finalized, all jobs
+  obs::Counter* m_jobs_done_ = nullptr;
+  obs::Counter* m_jobs_failed_ = nullptr;
+  obs::Counter* m_jobs_cancelled_ = nullptr;
+  obs::Counter* m_memo_hits_ = nullptr;
+  obs::Counter* m_memo_misses_ = nullptr;
+  obs::Counter* m_memo_evictions_ = nullptr;
+  obs::Gauge* g_uptime_ = nullptr;
+  obs::Gauge* g_workers_busy_ = nullptr;
+  obs::Gauge* g_workers_total_ = nullptr;
+  std::thread metrics_thread_;
+  std::mutex metrics_mutex_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
 };
 
 }  // namespace merm::serve

@@ -1,9 +1,19 @@
 #include "sim/pdes.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace merm::sim::pdes {
+
+namespace {
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 Engine::Engine(std::uint32_t partitions, unsigned workers, Tick lookahead)
     : workers_(std::max(1u, std::min(workers, partitions))),
@@ -23,6 +33,8 @@ Engine::Engine(std::uint32_t partitions, unsigned workers, Tick lookahead)
   }
   outbox_.resize(partitions);
   outbox_seq_.assign(partitions, 0);
+  window_busy_ns_.assign(partitions, 0);
+  part_busy_ns_.assign(partitions, 0);
   errors_.resize(partitions);
   error_times_.assign(partitions, kTickMax);
   if (workers_ > 1) {
@@ -65,6 +77,7 @@ bool Engine::drain_outboxes() {
     box.clear();
   }
   if (mail.empty()) return false;
+  mail_delivered_ += mail.size();
   std::sort(mail.begin(), mail.end(), [](const Mail& a, const Mail& b) {
     if (a.when != b.when) return a.when < b.when;
     if (a.src != b.src) return a.src < b.src;
@@ -77,12 +90,14 @@ bool Engine::drain_outboxes() {
 }
 
 void Engine::run_partition(std::uint32_t p) {
+  const std::uint64_t t0 = profiling_ ? host_now_ns() : 0;
   try {
     sims_[p]->run(window_bound_);
   } catch (...) {
     errors_[p] = std::current_exception();
     error_times_[p] = sims_[p]->now();
   }
+  if (profiling_) window_busy_ns_[p] += host_now_ns() - t0;
 }
 
 void Engine::worker_main(unsigned worker) {
@@ -149,12 +164,57 @@ Engine::RunResult Engine::run(Tick until) {
 
     if (workers_ == 1) {
       for (std::uint32_t p = 0; p < partition_count(); ++p) run_partition(p);
+    } else if (profiling_) {
+      const std::uint64_t b0 = host_now_ns();
+      gate_->arrive_and_wait();  // open: workers read window_bound_
+      gate_->arrive_and_wait();  // closed: workers published outboxes/errors
+      barrier_wait_ns_ += host_now_ns() - b0;
     } else {
       gate_->arrive_and_wait();  // open: workers read window_bound_
       gate_->arrive_and_wait();  // closed: workers published outboxes/errors
     }
+    if (profiling_) fold_window_profile();
     rethrow_window_error();
   }
+}
+
+void Engine::fold_window_profile() {
+  // Runs between barriers, so the per-window slots are quiescent.  The
+  // imbalance ratio uses the mean over *all* partitions: one busy partition
+  // among P idle ones scores P, a perfectly level window scores 1.
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (std::uint32_t p = 0; p < partition_count(); ++p) {
+    const std::uint64_t busy = window_busy_ns_[p];
+    window_busy_ns_[p] = 0;
+    part_busy_ns_[p] += busy;
+    total += busy;
+    peak = std::max(peak, busy);
+  }
+  if (total == 0) return;
+  ++measured_windows_;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(partition_count());
+  const double ratio = static_cast<double>(peak) / mean;
+  imbalance_sum_ += ratio;
+  imbalance_max_ = std::max(imbalance_max_, ratio);
+}
+
+Engine::Profile Engine::profile() const {
+  Profile out;
+  out.windows = windows_;
+  out.barrier_wait_ns = barrier_wait_ns_;
+  out.mail_delivered = mail_delivered_;
+  out.measured_windows = measured_windows_;
+  out.imbalance_sum = imbalance_sum_;
+  out.imbalance_max = imbalance_max_;
+  out.partitions.resize(partition_count());
+  for (std::uint32_t p = 0; p < partition_count(); ++p) {
+    out.partitions[p].events = sims_[p]->events_processed();
+    out.partitions[p].busy_ns = part_busy_ns_[p];
+    out.partitions[p].mail_posted = outbox_seq_[p];
+  }
+  return out;
 }
 
 std::uint64_t Engine::events_processed() const {

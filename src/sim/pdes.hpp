@@ -94,6 +94,47 @@ class Engine {
   /// meant to drive down.
   std::uint64_t windows() const { return windows_; }
 
+  /// Host-side runtime profile of a run, collected when enable_profiling()
+  /// was called before run().  Strictly observational: nothing here is ever
+  /// consulted by the simulation, so profiling cannot perturb simulated
+  /// results (worker-count bit-identity holds with it on).  Host times are
+  /// nondeterministic; the event/mail counts are not.
+  ///
+  /// The engine cannot depend on obs/ (obs links sim), so this is a plain
+  /// struct; Workbench and the CLI bridge it into a MetricsRegistry.
+  struct Profile {
+    struct Partition {
+      std::uint64_t events = 0;       ///< events dispatched by this partition
+      std::uint64_t busy_ns = 0;      ///< host ns executing its windows
+      std::uint64_t mail_posted = 0;  ///< cross-partition transfers posted
+    };
+    std::uint64_t windows = 0;
+    std::uint64_t barrier_wait_ns = 0;  ///< coordinator ns parked on the gate
+    std::uint64_t mail_delivered = 0;   ///< transfers merged at barriers
+    /// Windows where at least one partition recorded busy time; the
+    /// denominator of imbalance_mean().
+    std::uint64_t measured_windows = 0;
+    /// Per-window imbalance = (max partition busy) / (mean partition busy);
+    /// 1.0 is a perfectly balanced window, partition_count() is one
+    /// partition doing all the work while the rest idle at the barrier.
+    double imbalance_sum = 0.0;
+    double imbalance_max = 0.0;
+    std::vector<Partition> partitions;
+    double imbalance_mean() const {
+      return measured_windows == 0
+                 ? 0.0
+                 : imbalance_sum / static_cast<double>(measured_windows);
+    }
+  };
+
+  /// Turns on per-window host timing (two clock reads per partition-window
+  /// plus two per barrier).  Off by default so the hot path stays free.
+  void enable_profiling() { profiling_ = true; }
+  bool profiling_enabled() const { return profiling_; }
+  /// Snapshot of the accumulated profile; call after run() (or at a
+  /// barrier — the coordinator owns all profile state between windows).
+  Profile profile() const;
+
   /// Runs all partitions until every queue drains or time passes `until`.
   /// Rethrows the earliest process exception (ties broken by partition id).
   RunResult run(Tick until = kTickMax);
@@ -162,6 +203,7 @@ class Engine {
   Tick global_next_event_time() const;
   bool drain_outboxes();  ///< merge + inject; true when any mail moved
   void rethrow_window_error();
+  void fold_window_profile();  ///< coordinator, between barrier phases
 
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<std::vector<Mail>> outbox_;      ///< [source partition]
@@ -172,6 +214,18 @@ class Engine {
   std::vector<std::function<void()>> barrier_tasks_;
   Tick end_time_ = 0;
   std::uint64_t windows_ = 0;
+
+  // -- profiling (all coordinator-owned except window_busy_ns_, whose slots
+  //    are written by the owning worker inside a window and read by the
+  //    coordinator after the close barrier — the usual phase argument) --
+  bool profiling_ = false;
+  std::vector<std::uint64_t> window_busy_ns_;  ///< [partition], this window
+  std::vector<std::uint64_t> part_busy_ns_;    ///< [partition], cumulative
+  std::uint64_t barrier_wait_ns_ = 0;
+  std::uint64_t mail_delivered_ = 0;
+  std::uint64_t measured_windows_ = 0;
+  double imbalance_sum_ = 0.0;
+  double imbalance_max_ = 0.0;
 
   // -- worker pool (absent when workers_ == 1) --
   std::vector<std::thread> threads_;

@@ -16,6 +16,7 @@
 
 #include "explore/journal.hpp"
 #include "explore/memo.hpp"
+#include "explore/progress.hpp"
 #include "gen/apps.hpp"
 
 namespace merm::explore {
@@ -200,6 +201,108 @@ TEST(SweepProgressTest, MemoPruneEvictsByAgeThenSize) {
   const SweepResult after = SweepEngine(opts).run(sweep);
   EXPECT_EQ(after.memo_hits, 0u);
   EXPECT_EQ(after.memo_misses, 6u);
+}
+
+// --- ThroughputMeter (the --progress / daemon ETA estimator) ---------------
+
+using Clock = ThroughputMeter::Clock;
+
+SweepProgress progress_row(std::size_t done, std::size_t total,
+                           const PointResult* row) {
+  SweepProgress p;
+  p.done = done;
+  p.total = total;
+  p.row = row;
+  return p;
+}
+
+TEST(ThroughputMeterTest, FreshCompletionsDriveRateAndEta) {
+  ThroughputMeter meter;
+  PointResult fresh;
+  const Clock::time_point t0 = Clock::now();
+  ThroughputMeter::Estimate est =
+      meter.note(progress_row(1, 10, &fresh), t0);
+  EXPECT_EQ(est.points_per_s, 0.0);  // one sample: no basis for a rate
+  EXPECT_LT(est.eta_s, 0.0);
+  est = meter.note(progress_row(2, 10, &fresh), t0 + std::chrono::seconds(1));
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(est.eta_s, 8.0);
+  est = meter.note(progress_row(3, 10, &fresh), t0 + std::chrono::seconds(2));
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(est.eta_s, 7.0);
+  EXPECT_EQ(est.fresh, 3u);
+}
+
+TEST(ThroughputMeterTest, MemoHitsAndResumedRowsDoNotInflateTheRate) {
+  // Regression: replayed rows finalize in microseconds; counting them in
+  // the rate window made a warm-cache sweep report absurd points/s and a
+  // near-zero ETA for the real work remaining.
+  ThroughputMeter meter;
+  PointResult fresh;
+  PointResult memo;
+  memo.memo_hit = true;
+  PointResult resumed;
+  resumed.resumed = true;
+
+  const Clock::time_point t0 = Clock::now();
+  meter.note(progress_row(1, 100, &fresh), t0);
+  ThroughputMeter::Estimate est =
+      meter.note(progress_row(2, 100, &fresh), t0 + std::chrono::seconds(1));
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+
+  // A burst of 50 replayed rows lands in the same instant.
+  const Clock::time_point burst = t0 + std::chrono::seconds(1);
+  for (std::size_t i = 0; i < 25; ++i) {
+    est = meter.note(progress_row(3 + i, 100, &memo), burst);
+  }
+  for (std::size_t i = 0; i < 25; ++i) {
+    est = meter.note(progress_row(28 + i, 100, &resumed), burst);
+  }
+  // The rate still reflects the two fresh rows only...
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+  EXPECT_EQ(est.fresh, 2u);
+  // ...while the replayed rows did shrink the remaining-work estimate.
+  EXPECT_DOUBLE_EQ(est.eta_s, 48.0);
+
+  // The next fresh row keeps the window honest: 3 fresh rows over 2 s.
+  est = meter.note(progress_row(53, 100, &fresh),
+                   t0 + std::chrono::seconds(2));
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+  EXPECT_EQ(est.fresh, 3u);
+}
+
+TEST(ThroughputMeterTest, ReplayOnlyStreamReportsNoRate) {
+  ThroughputMeter meter;
+  PointResult memo;
+  memo.memo_hit = true;
+  const Clock::time_point t0 = Clock::now();
+  ThroughputMeter::Estimate est;
+  for (std::size_t i = 0; i < 10; ++i) {
+    est = meter.note(progress_row(i + 1, 10, &memo),
+                     t0 + std::chrono::milliseconds(i));
+  }
+  EXPECT_EQ(est.points_per_s, 0.0);  // nothing fresh: no rate, no fake ETA
+  EXPECT_LT(est.eta_s, 0.0);
+  EXPECT_EQ(est.fresh, 0u);
+}
+
+TEST(ThroughputMeterTest, WindowSlidesOverOldCompletions) {
+  // With a window of 4, the rate tracks the *recent* pace: a sweep that
+  // sped up stops being penalized for its slow start.
+  ThroughputMeter meter(4);
+  PointResult fresh;
+  const Clock::time_point t0 = Clock::now();
+  ThroughputMeter::Estimate est;
+  // Two slow rows (10 s apart), then four fast rows (1 s apart).
+  est = meter.note(progress_row(1, 20, &fresh), t0);
+  est = meter.note(progress_row(2, 20, &fresh), t0 + std::chrono::seconds(10));
+  for (int i = 0; i < 4; ++i) {
+    est = meter.note(progress_row(3 + i, 20, &fresh),
+                     t0 + std::chrono::seconds(11 + i));
+  }
+  // Window holds the last 4 completions, all 1 s apart.
+  EXPECT_DOUBLE_EQ(est.points_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(est.eta_s, 14.0);
 }
 
 }  // namespace

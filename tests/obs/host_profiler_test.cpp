@@ -34,6 +34,53 @@ TEST(HostProfilerTest, TotalSecondsSumsSameNamedPhases) {
   EXPECT_GE(prof.elapsed_seconds(), prof.total_seconds("step"));
 }
 
+TEST(HostProfilerTest, NestedPhaseAccounting) {
+  // A parent's duration covers its children, siblings share the parent's
+  // depth + 1, and total_seconds() sums same-named phases across nesting
+  // levels — the invariants the Chrome "host" track rendering relies on.
+  HostProfiler prof;
+  {
+    const HostProfiler::Scope run(prof, "run");
+    { const HostProfiler::Scope gen(prof, "step"); }
+    {
+      const HostProfiler::Scope loop(prof, "loop");
+      const HostProfiler::Scope inner(prof, "step");
+    }
+  }
+  ASSERT_EQ(prof.phases().size(), 4u);
+  EXPECT_EQ(prof.phases()[0].name, "run");
+  EXPECT_EQ(prof.phases()[0].depth, 0);
+  EXPECT_EQ(prof.phases()[1].name, "step");
+  EXPECT_EQ(prof.phases()[1].depth, 1);
+  EXPECT_EQ(prof.phases()[2].name, "loop");
+  EXPECT_EQ(prof.phases()[2].depth, 1);  // sibling of the first "step"
+  EXPECT_EQ(prof.phases()[3].name, "step");
+  EXPECT_EQ(prof.phases()[3].depth, 2);  // nested under "loop"
+
+  const auto& run = prof.phases()[0];
+  double children = 0.0;
+  for (std::size_t i = 1; i < prof.phases().size(); ++i) {
+    const auto& p = prof.phases()[i];
+    EXPECT_GE(p.begin_s, run.begin_s);
+    EXPECT_LE(p.begin_s + p.dur_s, run.begin_s + run.dur_s + 1e-9);
+    if (p.depth == 1) children += p.dur_s;
+  }
+  EXPECT_GE(run.dur_s + 1e-9, children);
+  // Same-named phases sum regardless of depth.
+  EXPECT_GE(prof.total_seconds("step"),
+            prof.phases()[1].dur_s + prof.phases()[3].dur_s - 1e-12);
+}
+
+TEST(HostProfilerTest, UnbalancedEndIsIgnored) {
+  HostProfiler prof;
+  prof.end();  // nothing open: must not crash or record
+  EXPECT_TRUE(prof.phases().empty());
+  { const HostProfiler::Scope s(prof, "a"); }
+  prof.end();  // still balanced afterwards
+  ASSERT_EQ(prof.phases().size(), 1u);
+  EXPECT_GE(prof.phases()[0].dur_s, 0.0);
+}
+
 TEST(HostProfilerTest, ResetDropsPhasesAndRestartsOrigin) {
   HostProfiler prof;
   { const HostProfiler::Scope s(prof, "a"); }

@@ -81,5 +81,31 @@ TEST(CounterSamplerTest, RatesSkipZeroElapsedIntervals) {
   EXPECT_NE(out.find(",7\n"), std::string::npos);
 }
 
+TEST(CounterSamplerTest, AllZeroElapsedIntervalsYieldHeaderOnlyRates) {
+  // Every interval degenerate: the rates CSV is just the header — no rows,
+  // no inf/nan — while the delta writer still reports the counted change
+  // (deltas never divide by elapsed time).
+  stats::StatRegistry reg;
+  stats::Counter c;
+  reg.register_counter("msgs", &c);
+  CounterSampler sampler(reg, {"msgs"});
+  sampler.sample(500);
+  c.add(2);
+  sampler.sample(500);
+  c.add(4);
+  sampler.sample(500);
+
+  std::ostringstream rates;
+  sampler.write_csv_rates(rates);
+  EXPECT_EQ(rates.str(), "time_ps,msgs_per_s\n");
+
+  std::ostringstream deltas;
+  sampler.write_csv_deltas(deltas);
+  EXPECT_EQ(deltas.str(),
+            "time_ps,msgs\n"
+            "500,2\n"
+            "500,4\n");
+}
+
 }  // namespace
 }  // namespace merm::obs

@@ -1,0 +1,128 @@
+// Wait-state analyzer tests: aggregation over a hand-built timeline, the
+// deterministic top-K ordering, and a golden-file check of the full report
+// for the tiny 2-node ping-pong run (same determinism argument as the
+// Chrome-export golden: simulated time only, fixed formatting).
+//
+// Regenerate the golden after an intentional format change with
+//   MERM_UPDATE_GOLDEN=1 ./tests/obs_trace_stats_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/workbench.hpp"
+#include "gen/apps.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_stats.hpp"
+
+namespace merm::obs {
+namespace {
+
+TraceData sample_data() {
+  TraceSink sink;
+  const TrackId cpu = sink.add_track("node0.cpu0");
+  const TrackId comm = sink.add_track("node0.comm");
+  const TrackId net = sink.add_track("node0.net");
+  sink.span(cpu, SpanKind::kCompute, 0, 500);
+  sink.span(cpu, SpanKind::kCompute, 600, 700);
+  sink.span(cpu, SpanKind::kBusWait, 500, 600);
+  sink.span(comm, SpanKind::kRecvBlock, 100, 400);
+  sink.span(net, SpanKind::kLinkTransit, 150, 350);
+  sink.instant(net, SpanKind::kNicRetry, 200);
+  sink.instant(net, SpanKind::kDrop, 210);
+  sink.open(comm, SpanKind::kSendBlock, 800);
+  sink.seal(1000, true);
+  return sink.to_data();
+}
+
+TEST(TraceStatsTest, AggregatesKindsTracksAndInstants) {
+  const TraceStats s = TraceStats::compute(sample_data());
+  EXPECT_EQ(s.sealed_at, 1000u);
+  EXPECT_TRUE(s.hung);
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.spans, 6u);  // the open span counts as a span
+  EXPECT_EQ(s.instants, 2u);
+  EXPECT_EQ(s.open_spans, 1u);
+
+  const auto kind_time = [&s](SpanKind k) {
+    return s.kinds[static_cast<std::size_t>(k)].time;
+  };
+  EXPECT_EQ(kind_time(SpanKind::kCompute), 600u);
+  EXPECT_EQ(kind_time(SpanKind::kBusWait), 100u);
+  EXPECT_EQ(kind_time(SpanKind::kRecvBlock), 300u);
+  EXPECT_EQ(kind_time(SpanKind::kLinkTransit), 200u);
+  // An open span runs to the seal point.
+  EXPECT_EQ(kind_time(SpanKind::kSendBlock), 200u);
+  EXPECT_EQ(s.kinds[static_cast<std::size_t>(SpanKind::kNicRetry)].instants,
+            1u);
+
+  ASSERT_EQ(s.tracks.size(), 3u);
+  EXPECT_EQ(s.tracks[0].name, "node0.cpu0");
+  EXPECT_EQ(s.tracks[0].time, 700u);
+  EXPECT_EQ(s.tracks[0].events, 3u);
+  EXPECT_EQ(s.tracks[1].time, 500u);  // 300 recv-block + 200 open send-block
+}
+
+TEST(TraceStatsTest, TopKOrdersByDurationThenPosition) {
+  const TraceStats s = TraceStats::compute(sample_data(), {.top_k = 3});
+  ASSERT_EQ(s.top.size(), 3u);
+  EXPECT_EQ(s.top[0].duration, 500u);
+  EXPECT_EQ(s.top[0].kind, SpanKind::kCompute);
+  EXPECT_EQ(s.top[1].duration, 300u);
+  EXPECT_EQ(s.top[1].kind, SpanKind::kRecvBlock);
+  EXPECT_EQ(s.top[2].duration, 200u);
+  // 200-tick tie (link-transit at 150 vs open send-block at 800): earlier
+  // begin wins, deterministically.
+  EXPECT_EQ(s.top[2].kind, SpanKind::kLinkTransit);
+  EXPECT_EQ(s.top[2].begin, 150u);
+}
+
+TEST(TraceStatsTest, ReportIsReproducible) {
+  std::ostringstream a, b;
+  write_trace_stats(a, sample_data());
+  write_trace_stats(b, sample_data());
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("HUNG"), std::string::npos);
+  EXPECT_NE(a.str().find("open at seal"), std::string::npos);
+}
+
+std::string pingpong_stats_report() {
+  core::Workbench wb(machine::presets::t805_multicomputer(2, 1));
+  wb.enable_tracing();
+  auto workload = gen::make_offline_workload(
+      2, [](gen::Annotator& a, trace::NodeId self, std::uint32_t nodes) {
+        gen::pingpong(a, self, nodes, gen::PingPongParams{2, 64});
+      });
+  const core::RunResult r = wb.run_detailed(workload);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NE(r.trace, nullptr);
+  std::ostringstream os;
+  write_trace_stats(os, *r.trace, {.top_k = 5});
+  return os.str();
+}
+
+TEST(TraceStatsTest, GoldenPingPongReport) {
+  const std::string got = pingpong_stats_report();
+  const std::string path = std::string(MERM_GOLDEN_DIR) + "/pingpong_stats.txt";
+
+  if (std::getenv("MERM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with MERM_UPDATE_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "wait-state report changed; if intentional, regenerate with "
+         "MERM_UPDATE_GOLDEN=1 and review the diff";
+}
+
+}  // namespace
+}  // namespace merm::obs

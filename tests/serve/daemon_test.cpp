@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -70,11 +71,15 @@ std::string batch_csv(JobSpec spec) {
 /// A live daemon on a background thread, torn down on scope exit.
 class Daemon {
  public:
-  explicit Daemon(const std::string& dir, unsigned workers = 1) {
+  explicit Daemon(const std::string& dir, unsigned workers = 1,
+                  const std::string& metrics_file = std::string(),
+                  double metrics_interval_s = 0.05) {
     ServerOptions opts;
     opts.socket_path = dir + "/merm.sock";
     opts.spool = dir + "/spool";
     opts.job_workers = workers;
+    opts.metrics_file = metrics_file;
+    opts.metrics_interval_s = metrics_interval_s;
     server_ = std::make_unique<Server>(opts);
     server_->start();
     thread_ = std::thread([this] { server_->run(); });
@@ -358,6 +363,148 @@ TEST(DaemonTest, FinishedJobsSurviveRestartWithTheirResults) {
   // And a resubmission attaches to the recovered job, serving from cache.
   const Json again = submit(daemon.socket(), spec);
   EXPECT_TRUE(again.get_bool("attached"));
+}
+
+TEST(DaemonTest, ServerStatusReportsUptimeAndWorkerPool) {
+  const std::string dir = make_temp_dir("merm-daemon-pool");
+  Daemon daemon(dir);
+
+  Json req = Json::object();
+  req.set("cmd", Json("status"));
+  const Json idle = request(daemon.socket(), req);
+  ASSERT_TRUE(idle.get_bool("ok"));
+  EXPECT_GE(idle.get_number("uptime_s"), 0.0);
+  EXPECT_EQ(idle.get_number("workers_total"), 1.0);
+  EXPECT_EQ(idle.get_number("workers_busy"), 0.0);
+
+  // A stalled job holds the one worker busy long enough to observe it.
+  JobSpec spec = tiny_spec({"preset:t805:2x1", "preset:risc:2x1"});
+  spec.stall_ms = 200;
+  ASSERT_TRUE(submit(daemon.socket(), spec).get_bool("ok"));
+  bool saw_busy = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!saw_busy && std::chrono::steady_clock::now() < deadline) {
+    const Json st = request(daemon.socket(), req);
+    saw_busy = st.get_number("workers_busy") == 1.0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(saw_busy) << "never observed the worker running the job";
+
+  (void)await_job(daemon.socket(), job_id(spec));
+  // Terminal job: the worker must return to the pool.
+  bool idle_again = false;
+  while (!idle_again && std::chrono::steady_clock::now() < deadline) {
+    idle_again = request(daemon.socket(), req).get_number("workers_busy") == 0.0;
+    if (!idle_again) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(idle_again);
+}
+
+TEST(DaemonTest, MetricsVerbExposesTheRegistry) {
+  const std::string dir = make_temp_dir("merm-daemon-metrics");
+  Daemon daemon(dir);
+  const JobSpec spec = tiny_spec({"preset:t805:2x1"});
+  const Json r = submit(daemon.socket(), spec);
+  ASSERT_TRUE(r.get_bool("ok"));
+  const std::string id = r.get_string("job");
+  (void)await_job(daemon.socket(), id);
+
+  Json req = Json::object();
+  req.set("cmd", Json("metrics"));
+  const Json prom = request(daemon.socket(), req);
+  ASSERT_TRUE(prom.get_bool("ok")) << prom.get_string("error");
+  EXPECT_EQ(prom.get_string("format"), "prometheus");
+  const std::string text = prom.get_string("data");
+  EXPECT_NE(text.find("# TYPE merm_serve_submissions_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("merm_serve_submissions_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("merm_serve_points_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("merm_serve_jobs_finished_total{state=\"done\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("merm_serve_jobs{state=\"done\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE merm_serve_uptime_seconds gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("merm_serve_workers 1\n"), std::string::npos);
+  // The job's sweep recorded into the shared registry under {job=...}.
+  const std::string label = "{job=\"" + id.substr(0, 12) + "\"";
+  EXPECT_NE(text.find("merm_sweep_points_total" + label), std::string::npos);
+  EXPECT_NE(text.find("merm_sweep_point_seconds_bucket" + label),
+            std::string::npos);
+
+  Json jreq = Json::object();
+  jreq.set("cmd", Json("metrics"));
+  jreq.set("format", Json("json"));
+  const Json js = request(daemon.socket(), jreq);
+  ASSERT_TRUE(js.get_bool("ok"));
+  EXPECT_EQ(js.get_string("format"), "json");
+  const std::string json = js.get_string("data");
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"merm_serve_uptime_seconds\""),
+            std::string::npos);
+
+  Json bad = Json::object();
+  bad.set("cmd", Json("metrics"));
+  bad.set("format", Json("xml"));
+  EXPECT_FALSE(request(daemon.socket(), bad).get_bool("ok"));
+}
+
+TEST(DaemonTest, JobStatusReportsPointLatencyQuantiles) {
+  const std::string dir = make_temp_dir("merm-daemon-latency");
+  Daemon daemon(dir);
+  const JobSpec spec = tiny_spec({"preset:t805:2x1", "preset:risc:2x1"});
+  ASSERT_TRUE(submit(daemon.socket(), spec).get_bool("ok"));
+  const Json done = await_job(daemon.socket(), job_id(spec));
+  ASSERT_EQ(done.get_string("state"), "done");
+  // Both points ran fresh, so the per-job latency histogram has samples and
+  // the status frame carries its quantiles.
+  const Json* p50 = done.find("point_p50_s");
+  const Json* p90 = done.find("point_p90_s");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p90, nullptr);
+  EXPECT_GE(p50->as_number(), 0.0);
+  EXPECT_GE(p90->as_number(), p50->as_number());
+}
+
+TEST(DaemonTest, MetricsFileIsWrittenAtomicallyOnAnInterval) {
+  const std::string dir = make_temp_dir("merm-daemon-mfile");
+  const std::string mfile = dir + "/metrics.prom";
+  Daemon daemon(dir, 1, mfile, 0.05);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!file_exists(mfile) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(file_exists(mfile)) << "metrics file never published";
+
+  const JobSpec spec = tiny_spec({"preset:t805:2x1"});
+  ASSERT_TRUE(submit(daemon.socket(), spec).get_bool("ok"));
+  (void)await_job(daemon.socket(), job_id(spec));
+
+  // The rewrite loop must eventually publish the finished job; every
+  // observed snapshot is complete (tmp + rename, never a partial file).
+  std::string text;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(mfile, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+    if (text.find("merm_serve_jobs_finished_total{state=\"done\"} 1\n") !=
+        std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(text.find("merm_serve_jobs_finished_total{state=\"done\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE merm_serve_uptime_seconds gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("merm_serve_workers 1\n"), std::string::npos);
 }
 
 }  // namespace

@@ -182,5 +182,61 @@ TEST(PdesEngine, AggregatesSumOverPartitions) {
   EXPECT_EQ(eng.live_processes(), 0u);
 }
 
+/// The metrics contract: profiling is host-side observation only, so the
+/// simulated history must be bit-identical with profiling on or off, at
+/// any worker count — and the profile's deterministic counters (events,
+/// mail posted, windows) must themselves be worker-count invariant.
+TEST(PdesEngine, ProfilingDoesNotPerturbResultsAndCountsDeterministically) {
+  std::vector<std::vector<std::string>> reference;
+  Engine::Profile ref_profile;
+  for (const bool profiled : {false, true}) {
+    for (const unsigned workers : {1u, 2u, 4u}) {
+      Engine eng(4, workers, kLookahead);
+      if (profiled) eng.enable_profiling();
+      std::vector<std::vector<std::string>> logs(4);
+      for (std::uint32_t p = 0; p < 4; ++p) {
+        for (int i = 0; i < 3; ++i) {
+          eng.sim(p).spawn(storm(eng, p, 500 + p * 8 + i, 10, logs));
+        }
+      }
+      EXPECT_EQ(eng.run(), Engine::RunResult::kIdle);
+      if (reference.empty()) {
+        reference = logs;
+      } else {
+        EXPECT_EQ(logs, reference)
+            << "workers=" << workers << " profiled=" << profiled;
+      }
+      if (!profiled) continue;
+
+      const Engine::Profile prof = eng.profile();
+      EXPECT_EQ(prof.windows, eng.windows());
+      ASSERT_EQ(prof.partitions.size(), 4u);
+      std::uint64_t events = 0;
+      for (const auto& part : prof.partitions) events += part.events;
+      EXPECT_EQ(events, eng.events_processed());
+      if (ref_profile.partitions.empty()) {
+        ref_profile = prof;
+      } else {
+        // The deterministic slice of the profile is invariant in the
+        // worker count; host-time fields (busy_ns, barrier_wait_ns) are
+        // not and stay unasserted.
+        EXPECT_EQ(prof.windows, ref_profile.windows) << workers;
+        EXPECT_EQ(prof.mail_delivered, ref_profile.mail_delivered) << workers;
+        for (std::size_t p = 0; p < prof.partitions.size(); ++p) {
+          EXPECT_EQ(prof.partitions[p].events, ref_profile.partitions[p].events)
+              << "workers=" << workers << " partition=" << p;
+          EXPECT_EQ(prof.partitions[p].mail_posted,
+                    ref_profile.partitions[p].mail_posted)
+              << "workers=" << workers << " partition=" << p;
+        }
+      }
+      // Host-side timing exists when parallel workers actually measured
+      // windows; with one worker busy time still accumulates.
+      EXPECT_GT(prof.windows, 0u);
+      EXPECT_GE(prof.imbalance_max, prof.imbalance_mean());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace merm::sim::pdes
