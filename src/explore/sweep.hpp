@@ -291,7 +291,7 @@ struct SweepOptions {
   bool pdes_columns = false;
   /// When set, the engine records sweep-level runtime telemetry into this
   /// registry as rows finalize: merm_sweep_points_total{result=...},
-  /// merm_sweep_memo_hits_total, and a merm_sweep_point_seconds histogram of
+  /// merm_sweep_memo_replays_total, and a merm_sweep_point_seconds histogram of
   /// freshly executed point latencies.  Recording is thread-sharded, so pool
   /// workers write without locks; the registry must outlive run().  Purely
   /// host-side — never consulted by any simulation, so results stay

@@ -116,6 +116,9 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) {
+  // NaN would land in bucket 0 (lower_bound) and poison _sum forever;
+  // +/-Inf would poison _sum too.  Drop non-finite observations.
+  if (!std::isfinite(v)) return;
   // Prometheus buckets are inclusive upper bounds: bucket i counts
   // v <= bounds_[i]; everything above the last bound lands in +Inf.
   const std::size_t idx = static_cast<std::size_t>(
@@ -168,7 +171,8 @@ double Histogram::View::quantile(double q) const {
 MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
                                                 MetricLabels labels,
                                                 const std::string& help,
-                                                Kind kind) {
+                                                Kind kind,
+                                                std::vector<double> bounds) {
   const std::string key = render_labels(labels);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) {
@@ -176,6 +180,10 @@ MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
       if (e->kind != kind) {
         throw std::logic_error("metric '" + name +
                                "' re-registered as a different kind");
+      }
+      if (kind == Kind::kHistogram && e->histogram->bounds_ != bounds) {
+        throw std::logic_error("metric '" + name +
+                               "' re-registered with different bounds");
       }
       return *e;
     }
@@ -186,6 +194,16 @@ MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
   e->label_key = key;
   e->help = help;
   e->kind = kind;
+  // The instrument must exist before mu_ is released: a second registrant
+  // of the same series returns *e above and dereferences it with no further
+  // synchronization.
+  switch (kind) {
+    case Kind::kCounter: e->counter.reset(new Counter()); break;
+    case Kind::kGauge: e->gauge.reset(new Gauge()); break;
+    case Kind::kHistogram:
+      e->histogram.reset(new Histogram(std::move(bounds)));
+      break;
+  }
   entries_.push_back(std::move(e));
   return *entries_.back();
 }
@@ -193,25 +211,21 @@ MetricsRegistry::Entry& MetricsRegistry::intern(const std::string& name,
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   MetricLabels labels) {
-  Entry& e = intern(name, std::move(labels), help, Kind::kCounter);
-  if (!e.counter) e.counter.reset(new Counter());
-  return *e.counter;
+  return *intern(name, std::move(labels), help, Kind::kCounter).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               MetricLabels labels) {
-  Entry& e = intern(name, std::move(labels), help, Kind::kGauge);
-  if (!e.gauge) e.gauge.reset(new Gauge());
-  return *e.gauge;
+  return *intern(name, std::move(labels), help, Kind::kGauge).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const std::string& help,
                                       MetricLabels labels) {
-  Entry& e = intern(name, std::move(labels), help, Kind::kHistogram);
-  if (!e.histogram) e.histogram.reset(new Histogram(std::move(bounds)));
-  return *e.histogram;
+  return *intern(name, std::move(labels), help, Kind::kHistogram,
+                 std::move(bounds))
+              .histogram;
 }
 
 const MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name,

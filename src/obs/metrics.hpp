@@ -107,8 +107,9 @@ class Histogram {
 /// Owner of all instruments.  Registration takes a mutex; the returned
 /// references are stable for the registry's lifetime and recording through
 /// them never locks.  Re-registering the same (name, labels) returns the
-/// existing instrument (a kind mismatch throws std::logic_error), so two
-/// layers — e.g. the sweep engine and the daemon — can share one series.
+/// existing instrument (a kind or histogram-bounds mismatch throws
+/// std::logic_error), so two layers — e.g. the sweep engine and the
+/// daemon — can share one series.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -151,8 +152,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Finds or creates an entry under mu_; the instrument is allocated
+  /// before the lock is released so concurrent registrants of the same
+  /// series never observe a half-built entry.  `bounds` is only used for
+  /// kHistogram.
   Entry& intern(const std::string& name, MetricLabels labels,
-                const std::string& help, Kind kind);
+                const std::string& help, Kind kind,
+                std::vector<double> bounds = {});
   const Entry* find(const std::string& name, const MetricLabels& labels,
                     Kind kind) const;
   std::vector<const Entry*> sorted_entries() const;

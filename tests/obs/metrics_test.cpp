@@ -99,6 +99,49 @@ TEST(MetricsRegistryTest, KindMismatchThrows) {
   EXPECT_THROW(reg.histogram("merm_test_kind", {1.0}), std::logic_error);
 }
 
+TEST(MetricsRegistryTest, HistogramBoundsMismatchThrows) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("merm_test_bounds", {0.5, 1.0});
+  // Same bounds re-register and share the series; different bounds would
+  // silently record into a differently shaped histogram, so they throw.
+  EXPECT_EQ(&reg.histogram("merm_test_bounds", {0.5, 1.0}), &h);
+  EXPECT_THROW(reg.histogram("merm_test_bounds", {0.5, 2.0}),
+               std::logic_error);
+  EXPECT_THROW(reg.histogram("merm_test_bounds", {0.5}), std::logic_error);
+}
+
+TEST(MetricsHistogramTest, IgnoresNonFiniteObservations) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("merm_test_nonfinite", {1.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(0.5);
+  const Histogram::View v = h.view();
+  EXPECT_EQ(v.count, 1u);
+  EXPECT_DOUBLE_EQ(v.sum, 0.5);  // a NaN observation must not poison _sum
+}
+
+// Regression for a registration race: two threads registering the same
+// (name, labels) concurrently must converge on one fully built instrument
+// (the entry is allocated under the registry mutex before it's published).
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter& c = reg.counter("merm_test_race_total", "", {{"job", "x"}});
+      c.add();
+      seen[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
 TEST(MetricsRegistryTest, PrometheusExposition) {
   MetricsRegistry reg;
   reg.counter("merm_test_ops_total", "Operations executed").add(7);
